@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the substrate components: branch
+//! predictors, caches, the RDG analysis and the functional interpreter.
+//!
+//! These measure the *simulator's* wall-clock performance (host-side),
+//! complementing the figure binaries that measure the *simulated*
+//! machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dca_prog::{Interp, Rdg};
+use dca_stats::Rng64;
+use dca_uarch::{Bimodal, BranchPredictor, Cache, CacheConfig, Combined, Gshare};
+use dca_workloads::{build, Scale};
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    g.throughput(Throughput::Elements(1024));
+    let mut rng = Rng64::seeded(1);
+    let stimuli: Vec<(u64, bool)> = (0..1024)
+        .map(|_| (0x1000 + rng.range(0, 256) * 4, rng.chance(0.6)))
+        .collect();
+    g.bench_function("bimodal_2k", |b| {
+        let mut p = Bimodal::new(2048);
+        b.iter(|| {
+            for &(pc, t) in &stimuli {
+                black_box(p.predict(pc));
+                p.update(pc, t);
+            }
+        })
+    });
+    g.bench_function("gshare_64k", |b| {
+        let mut p = Gshare::new(64 * 1024, 16);
+        b.iter(|| {
+            for &(pc, t) in &stimuli {
+                black_box(p.predict(pc));
+                p.update(pc, t);
+            }
+        })
+    });
+    g.bench_function("combined_paper", |b| {
+        let mut p = Combined::paper();
+        b.iter(|| {
+            for &(pc, t) in &stimuli {
+                black_box(p.predict(pc));
+                p.update(pc, t);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1024));
+    let mut rng = Rng64::seeded(2);
+    let addrs: Vec<u64> = (0..1024).map(|_| rng.range(0, 1 << 20)).collect();
+    g.bench_function("l1_64k_2way", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1());
+        b.iter(|| {
+            for &a in &addrs {
+                black_box(cache.access(a));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    let w = build("compress", Scale::Smoke);
+    g.bench_function("rdg_build_compress", |b| {
+        b.iter(|| black_box(Rdg::build(&w.program)))
+    });
+    let gcc = build("gcc", Scale::Smoke);
+    g.bench_function("rdg_build_gcc_17k_insts", |b| {
+        b.iter(|| black_box(Rdg::build(&gcc.program)))
+    });
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    let w = build("compress", Scale::Smoke);
+    let n = w.execute_functional().dyn_insts;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("functional_compress", |b| {
+        b.iter(|| {
+            let count = Interp::new(&w.program, w.memory.clone()).count();
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predictors, bench_cache, bench_analysis, bench_interp
+}
+criterion_main!(benches);

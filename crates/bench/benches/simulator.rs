@@ -1,0 +1,59 @@
+//! Criterion end-to-end benchmarks: simulated instructions per second
+//! for the full pipeline under different steering schemes, plus the
+//! per-call cost of the steering decision itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dca_sim::{SimConfig, Simulator};
+use dca_steer::{FifoSteering, GeneralBalance, Modulo, SliceKind, SliceSteering};
+use dca_workloads::{build, Scale};
+
+const FUEL: u64 = 20_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    let w = build("compress", Scale::Smoke);
+    g.throughput(Throughput::Elements(FUEL));
+    g.bench_function("base_naive", |b| {
+        let cfg = SimConfig::paper_base();
+        b.iter(|| {
+            let mut s = dca_steer::Naive::new();
+            black_box(Simulator::new(&cfg, &w.program, w.memory.clone()).run(&mut s, FUEL))
+        })
+    });
+    g.bench_function("clustered_general_balance", |b| {
+        let cfg = SimConfig::paper_clustered();
+        b.iter(|| {
+            let mut s = GeneralBalance::new();
+            black_box(Simulator::new(&cfg, &w.program, w.memory.clone()).run(&mut s, FUEL))
+        })
+    });
+    g.bench_function("clustered_ldst_slice", |b| {
+        let cfg = SimConfig::paper_clustered();
+        b.iter(|| {
+            let mut s = SliceSteering::new(SliceKind::LdSt);
+            black_box(Simulator::new(&cfg, &w.program, w.memory.clone()).run(&mut s, FUEL))
+        })
+    });
+    g.bench_function("clustered_fifo", |b| {
+        let cfg = SimConfig::paper_clustered();
+        b.iter(|| {
+            let mut s = FifoSteering::paper();
+            black_box(Simulator::new(&cfg, &w.program, w.memory.clone()).run(&mut s, FUEL))
+        })
+    });
+    g.bench_function("clustered_modulo", |b| {
+        let cfg = SimConfig::paper_clustered();
+        b.iter(|| {
+            let mut s = Modulo::new();
+            black_box(Simulator::new(&cfg, &w.program, w.memory.clone()).run(&mut s, FUEL))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Decision-logic overhead of each steering scheme, isolated from the
+//! pipeline: ns per `steer`+`on_steered` pair on a realistic decode
+//! stream. The paper argues (§3.3) that the steering hardware is
+//! simple; in software terms the schemes must add negligible cost per
+//! simulated instruction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dca_bench::ALL_SCHEMES;
+use dca_prog::Program;
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+use dca_workloads::{build, Scale};
+
+/// A decode stream replayed against a scheme outside the simulator:
+/// static instructions in program order with synthetic-but-plausible
+/// operand residency.
+fn decode_stream(prog: &Program) -> Vec<(u32, u64)> {
+    prog.static_insts()
+        .iter()
+        .map(|si| (si.sidx, 0x1000 + u64::from(si.sidx) * 4))
+        .collect()
+}
+
+fn drive(scheme: &mut dyn Steering, prog: &Program, rounds: usize) -> u64 {
+    let stream = decode_stream(prog);
+    let ctx = SteerCtx::default();
+    let mut int_count = 0u64;
+    let mut seq = 0u64;
+    for _ in 0..rounds {
+        for &(sidx, pc) in &stream {
+            let inst = &prog.static_inst(sidx).inst;
+            if inst.op == dca_isa::Opcode::Halt {
+                continue;
+            }
+            let view = DecodedView {
+                seq,
+                sidx,
+                pc,
+                inst,
+                class: inst.op.class(),
+                srcs: [None, None],
+            };
+            seq += 1;
+            let c = scheme
+                .steer(&view, Allowed::both(), &ctx)
+                .unwrap_or(ClusterId::Int);
+            scheme.on_steered(&view, c, &ctx);
+            scheme.on_issued(view.seq, c);
+            int_count += u64::from(c == ClusterId::Int);
+        }
+    }
+    int_count
+}
+
+fn bench_steering(c: &mut Criterion) {
+    let w = build("compress", Scale::Smoke);
+    let rounds = 50;
+    let per_iter = (w.program.len() - 1) * rounds;
+    let mut g = c.benchmark_group("steering_decision");
+    g.throughput(Throughput::Elements(per_iter as u64));
+    for kind in ALL_SCHEMES {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut scheme = kind.instantiate(&w.program);
+                black_box(drive(scheme.as_mut(), &w.program, rounds))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_steering
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact `ablate_copy_latency` (see dca-bench docs).
+fn main() {
+    dca_bench::run_cli(Some("ablate_copy_latency"));
+}

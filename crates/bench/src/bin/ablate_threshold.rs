@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact `ablate_threshold` (see dca-bench docs).
+fn main() {
+    dca_bench::run_cli(Some("ablate_threshold"));
+}

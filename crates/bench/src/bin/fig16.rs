@@ -1,0 +1,4 @@
+//! Regenerates the paper artefact `fig16` (see dca-bench docs).
+fn main() {
+    dca_bench::run_cli(Some("fig16"));
+}

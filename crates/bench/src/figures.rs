@@ -1,0 +1,1065 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! Every function renders a [`Figure`]: a markdown document containing
+//! the regenerated table/series plus an ASCII rendition of the plot.
+//! The binaries print it and store it under `results/`.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dca_sim::BalanceHistogram;
+use dca_stats::{ascii_bars, ascii_series, geometric_mean, harmonic_mean, Table};
+use dca_workloads::{FIGURE3_NAMES, NAMES};
+
+use crate::{Lab, Machine, SchemeKind};
+
+/// A regenerated artefact.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Stable identifier (`fig03`, `table1`, `ablate_buses`, …).
+    pub id: &'static str,
+    /// Title, matching the paper's caption.
+    pub title: String,
+    /// Markdown body.
+    pub body: String,
+}
+
+impl Figure {
+    /// Writes the figure to `<dir>/<id>.md` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or file.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.md", self.id));
+        std::fs::write(&path, format!("# {}\n\n{}", self.title, self.body))?;
+        Ok(path)
+    }
+}
+
+/// Which suite mean a figure reports (the paper uses G-mean in
+/// Figure 3 and H-mean elsewhere).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Mean {
+    Geometric,
+    Harmonic,
+}
+
+impl Mean {
+    fn label(self) -> &'static str {
+        match self {
+            Mean::Geometric => "G-mean",
+            Mean::Harmonic => "H-mean",
+        }
+    }
+
+    /// Mean over speed-up percentages, computed on ratios as the paper
+    /// does.
+    fn of_percents(self, percents: &[f64]) -> f64 {
+        let ratios: Vec<f64> = percents.iter().map(|p| 1.0 + p / 100.0).collect();
+        let m = match self {
+            Mean::Geometric => geometric_mean(&ratios),
+            Mean::Harmonic => harmonic_mean(&ratios),
+        };
+        (m - 1.0) * 100.0
+    }
+}
+
+/// A named series of a speed-up figure.
+type Series<'a> = (&'a str, Machine, SchemeKind);
+
+fn speedup_figure(
+    lab: &mut Lab,
+    id: &'static str,
+    title: &str,
+    series: &[Series<'_>],
+    benches: &[&str],
+    mean: Mean,
+) -> Figure {
+    let mut headers: Vec<&str> = vec!["benchmark"];
+    headers.extend(series.iter().map(|(l, _, _)| *l));
+    let mut table = Table::new(&headers);
+    let mut per_series: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
+    for &bench in benches {
+        let mut row = vec![bench.to_string()];
+        for (k, &(_, machine, scheme)) in series.iter().enumerate() {
+            let s = lab.speedup(bench, machine, scheme);
+            per_series[k].push(s);
+            row.push(format!("{s:.1}"));
+        }
+        table.row(&row);
+    }
+    let mut mean_row = vec![mean.label().to_string()];
+    let mut bars = Vec::new();
+    for (k, (label, _, _)) in series.iter().enumerate() {
+        let m = mean.of_percents(&per_series[k]);
+        mean_row.push(format!("{m:.1}"));
+        bars.push((label.to_string(), m));
+    }
+    table.row(&mean_row);
+
+    let mut body = String::new();
+    let _ = writeln!(body, "Performance improvement (%) over the base machine.\n");
+    let _ = writeln!(body, "{}", table.to_markdown());
+    let _ = writeln!(body, "```\nsuite {}:\n{}```", mean.label(), ascii_bars(&bars, 40));
+    Figure {
+        id,
+        title: title.to_string(),
+        body,
+    }
+}
+
+fn comm_figure(
+    lab: &mut Lab,
+    id: &'static str,
+    title: &str,
+    series: &[Series<'_>],
+    benches: &[&str],
+    per_benchmark: bool,
+) -> Figure {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "Inter-cluster communications per dynamic instruction, split into\n\
+         critical and non-critical (a communication is critical when it\n\
+         delayed a consumer in the destination cluster).\n"
+    );
+    let mut table = Table::new(&["scheme", "benchmark", "comm/instr", "critical", "non-critical"]);
+    let mut bars = Vec::new();
+    for &(label, machine, scheme) in series {
+        let mut totals = Vec::new();
+        let mut crits = Vec::new();
+        for &bench in benches {
+            let s = lab.stats(bench, machine, scheme);
+            let total = s.comms_per_inst();
+            let crit = s.critical_comms_per_inst();
+            totals.push(total);
+            crits.push(crit);
+            if per_benchmark {
+                table.row(&[
+                    label.to_string(),
+                    bench.to_string(),
+                    format!("{total:.3}"),
+                    format!("{crit:.3}"),
+                    format!("{:.3}", total - crit),
+                ]);
+            }
+        }
+        let avg: f64 = totals.iter().sum::<f64>() / totals.len() as f64;
+        let avg_crit: f64 = crits.iter().sum::<f64>() / crits.len() as f64;
+        table.row(&[
+            label.to_string(),
+            "average".to_string(),
+            format!("{avg:.3}"),
+            format!("{avg_crit:.3}"),
+            format!("{:.3}", avg - avg_crit),
+        ]);
+        bars.push((format!("{label} (total)"), avg));
+        bars.push((format!("{label} (critical)"), avg_crit));
+    }
+    let _ = writeln!(body, "{}", table.to_markdown());
+    let _ = writeln!(body, "```\n{}```", ascii_bars(&bars, 40));
+    Figure {
+        id,
+        title: title.to_string(),
+        body,
+    }
+}
+
+fn balance_figure(
+    lab: &mut Lab,
+    id: &'static str,
+    title: &str,
+    series: &[Series<'_>],
+    benches: &[&str],
+) -> Figure {
+    let xs: Vec<i64> = (-10..=10).collect();
+    let mut rendered = Vec::new();
+    let mut table = Table::new(
+        &std::iter::once("#ready FP − #ready INT")
+            .chain(series.iter().map(|(l, _, _)| *l))
+            .collect::<Vec<_>>(),
+    );
+    let mut columns: Vec<[f64; 21]> = Vec::new();
+    for &(label, machine, scheme) in series {
+        let mut merged = BalanceHistogram::new();
+        for &bench in benches {
+            let s = lab.stats(bench, machine, scheme);
+            merged.merge(&s.balance);
+        }
+        let pct = merged.percent_series();
+        rendered.push((label.to_string(), pct.to_vec()));
+        columns.push(pct);
+    }
+    for (row_idx, &x) in xs.iter().enumerate() {
+        let mut row = vec![x.to_string()];
+        for col in &columns {
+            row.push(format!("{:.1}", col[row_idx]));
+        }
+        table.row(&row);
+    }
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "Distribution of the difference in ready instructions between the\n\
+         clusters, % of cycles (SpecInt-analogue suite average).\n"
+    );
+    let _ = writeln!(body, "{}", table.to_markdown());
+    let _ = writeln!(body, "```\n{}```", ascii_series(&xs, &rendered));
+    Figure {
+        id,
+        title: title.to_string(),
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+/// Table 1: benchmarks and their inputs (plus the analogue's measured
+/// functional character, which stands in for the original binaries).
+pub fn table1(lab: &mut Lab) -> Figure {
+    let scale = lab.opts().scale;
+    let mut t = Table::new(&[
+        "benchmark",
+        "paper input",
+        "analogue behaviour",
+        "dyn. insts",
+        "loads",
+        "stores",
+        "branches",
+    ]);
+    for name in NAMES {
+        let w = dca_workloads::build(name, scale);
+        let s = w.execute_functional();
+        t.row(&[
+            name.to_string(),
+            w.paper_input.to_string(),
+            w.description.to_string(),
+            s.dyn_insts.to_string(),
+            format!("{:.1}%", s.load_ratio() * 100.0),
+            format!("{:.1}%", s.store_ratio() * 100.0),
+            format!("{:.1}%", s.branch_ratio() * 100.0),
+        ]);
+    }
+    Figure {
+        id: "table1",
+        title: "Table 1: Benchmarks and their inputs (SpecInt95 analogues)".into(),
+        body: t.to_markdown(),
+    }
+}
+
+/// Table 2: machine parameters, read back from the configuration
+/// structs so the document cannot drift from the code.
+pub fn table2(_lab: &mut Lab) -> Figure {
+    let c = Machine::Clustered.config();
+    let h = c.hierarchy;
+    let mut t = Table::new(&["parameter", "configuration"]);
+    let mut row = |k: &str, v: String| {
+        t.row(&[k.to_string(), v]);
+    };
+    row("Fetch width", format!("{} instructions", c.fetch_width));
+    row(
+        "I-cache",
+        format!(
+            "{}KB, {}-way, {}-byte lines, {}-cycle hit, {}-cycle miss penalty",
+            h.l1i.size_bytes / 1024,
+            h.l1i.ways,
+            h.l1i.line_bytes,
+            h.l1_hit,
+            h.l1_miss_penalty
+        ),
+    );
+    row(
+        "Branch predictor",
+        format!(
+            "combined: {}-entry selector, gshare {}K 2-bit counters / {}-bit history, bimodal {}K",
+            c.bpred.selector_entries,
+            c.bpred.gshare_entries / 1024,
+            c.bpred.history_bits,
+            c.bpred.bimodal_entries / 1024
+        ),
+    );
+    row("Decode/rename width", format!("{} instructions", c.decode_width));
+    row(
+        "Instruction queues",
+        format!("{} + {}", c.iq_size[0], c.iq_size[1]),
+    );
+    row("Max in-flight", format!("{}", c.rob_size));
+    row("Retire width", format!("{} instructions", c.retire_width));
+    row(
+        "Functional units (C1)",
+        format!(
+            "{} intALU + {} int mul/div",
+            c.fus[0].int_alu, c.fus[0].int_muldiv
+        ),
+    );
+    row(
+        "Functional units (C2)",
+        format!(
+            "{} intALU + {} fpALU + {} fp mul/div",
+            c.fus[1].int_alu, c.fus[1].fp_alu, c.fus[1].fp_muldiv
+        ),
+    );
+    row(
+        "Inter-cluster buses",
+        format!(
+            "{}/cycle each way, {} extra cycle(s); copies consume issue width",
+            c.buses_per_dir, c.copy_latency
+        ),
+    );
+    row(
+        "Issue",
+        format!(
+            "{} + {} out-of-order; loads execute when prior store addresses known",
+            c.issue_width[0], c.issue_width[1]
+        ),
+    );
+    row(
+        "Physical registers",
+        format!("{} + {}", c.phys_regs[0], c.phys_regs[1]),
+    );
+    row(
+        "D-cache L1",
+        format!(
+            "{}KB, {}-way, {}-byte lines, {}-cycle hit, {} R/W ports",
+            h.l1d.size_bytes / 1024,
+            h.l1d.ways,
+            h.l1d.line_bytes,
+            h.l1_hit,
+            c.dcache_ports
+        ),
+    );
+    row(
+        "L2 (shared)",
+        format!(
+            "{}KB, {}-way, {}-byte lines, {}-cycle hit",
+            h.l2.size_bytes / 1024,
+            h.l2.ways,
+            h.l2.line_bytes,
+            h.l1_miss_penalty
+        ),
+    );
+    row(
+        "Main memory",
+        format!(
+            "{}-byte bus, {} cycles first chunk, {} inter-chunk",
+            h.bus_bytes, h.mem_first_chunk, h.mem_inter_chunk
+        ),
+    );
+    Figure {
+        id: "table2",
+        title: "Table 2: Machine parameters".into(),
+        body: t.to_markdown(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 3–16
+// ---------------------------------------------------------------------
+
+/// Figure 3: static partitioning (Sastry et al.) versus the dynamic
+/// LdSt slice steering; G-mean over seven benchmarks (no vortex).
+pub fn fig03(lab: &mut Lab) -> Figure {
+    speedup_figure(
+        lab,
+        "fig03",
+        "Figure 3: Static versus dynamic partitioning",
+        &[
+            ("Static (Sastry et al.)", Machine::Clustered, SchemeKind::StaticLdSt),
+            ("LdSt slice", Machine::Clustered, SchemeKind::LdStSlice),
+        ],
+        &FIGURE3_NAMES,
+        Mean::Geometric,
+    )
+}
+
+/// Figure 4: LdSt slice versus Br slice steering.
+pub fn fig04(lab: &mut Lab) -> Figure {
+    speedup_figure(
+        lab,
+        "fig04",
+        "Figure 4: LdSt slice versus Br slice steering",
+        &[
+            ("LdSt slice", Machine::Clustered, SchemeKind::LdStSlice),
+            ("Br slice", Machine::Clustered, SchemeKind::BrSlice),
+        ],
+        &NAMES,
+        Mean::Harmonic,
+    )
+}
+
+/// Figure 5: communications per dynamic instruction for the slice
+/// steering schemes, split critical / non-critical, per benchmark.
+pub fn fig05(lab: &mut Lab) -> Figure {
+    comm_figure(
+        lab,
+        "fig05",
+        "Figure 5: Communications per dynamic instruction (slice steering)",
+        &[
+            ("LdSt slice", Machine::Clustered, SchemeKind::LdStSlice),
+            ("Br slice", Machine::Clustered, SchemeKind::BrSlice),
+        ],
+        &NAMES,
+        true,
+    )
+}
+
+/// Figure 6: workload-balance distribution for the slice steering
+/// schemes.
+pub fn fig06(lab: &mut Lab) -> Figure {
+    balance_figure(
+        lab,
+        "fig06",
+        "Figure 6: Distribution of ready-instruction imbalance (slice steering)",
+        &[
+            ("Ld/St slice", Machine::Clustered, SchemeKind::LdStSlice),
+            ("Br slice", Machine::Clustered, SchemeKind::BrSlice),
+        ],
+        &NAMES,
+    )
+}
+
+/// Figure 7: non-slice balance steering versus plain slice steering.
+pub fn fig07(lab: &mut Lab) -> Figure {
+    speedup_figure(
+        lab,
+        "fig07",
+        "Figure 7: Non-slice balance steering versus slice steering",
+        &[
+            ("LdSt slice", Machine::Clustered, SchemeKind::LdStSlice),
+            ("Br slice", Machine::Clustered, SchemeKind::BrSlice),
+            ("LdSt non-slice", Machine::Clustered, SchemeKind::LdStNonSliceBalance),
+            ("Br non-slice", Machine::Clustered, SchemeKind::BrNonSliceBalance),
+        ],
+        &NAMES,
+        Mean::Harmonic,
+    )
+}
+
+/// Figure 8: suite-average communications for the four schemes of
+/// Figure 7.
+pub fn fig08(lab: &mut Lab) -> Figure {
+    comm_figure(
+        lab,
+        "fig08",
+        "Figure 8: Communications per instruction (suite average)",
+        &[
+            ("LdSt slice", Machine::Clustered, SchemeKind::LdStSlice),
+            ("Br slice", Machine::Clustered, SchemeKind::BrSlice),
+            ("LdSt non-slice", Machine::Clustered, SchemeKind::LdStNonSliceBalance),
+            ("Br non-slice", Machine::Clustered, SchemeKind::BrNonSliceBalance),
+        ],
+        &NAMES,
+        false,
+    )
+}
+
+/// Figure 9: workload-balance distribution for non-slice balance
+/// steering.
+pub fn fig09(lab: &mut Lab) -> Figure {
+    balance_figure(
+        lab,
+        "fig09",
+        "Figure 9: Ready-instruction imbalance (non-slice balance steering)",
+        &[
+            ("Ld/St non-slice", Machine::Clustered, SchemeKind::LdStNonSliceBalance),
+            ("Br non-slice", Machine::Clustered, SchemeKind::BrNonSliceBalance),
+        ],
+        &NAMES,
+    )
+}
+
+/// Figure 11: slice balance steering performance.
+pub fn fig11(lab: &mut Lab) -> Figure {
+    speedup_figure(
+        lab,
+        "fig11",
+        "Figure 11: Slice balance steering performance",
+        &[
+            ("LdSt slice bal.", Machine::Clustered, SchemeKind::LdStSliceBalance),
+            ("Br slice bal.", Machine::Clustered, SchemeKind::BrSliceBalance),
+        ],
+        &NAMES,
+        Mean::Harmonic,
+    )
+}
+
+/// Figure 12: balance distribution of modulo versus slice balance.
+pub fn fig12(lab: &mut Lab) -> Figure {
+    balance_figure(
+        lab,
+        "fig12",
+        "Figure 12: Ready-instruction imbalance (modulo vs slice balance)",
+        &[
+            ("Modulo", Machine::Clustered, SchemeKind::Modulo),
+            ("Ld/St slice bal.", Machine::Clustered, SchemeKind::LdStSliceBalance),
+            ("Br slice bal.", Machine::Clustered, SchemeKind::BrSliceBalance),
+        ],
+        &NAMES,
+    )
+}
+
+/// Figure 13: priority slice balance steering performance (plus the
+/// critical-communication deltas the paper quotes in §3.7).
+pub fn fig13(lab: &mut Lab) -> Figure {
+    let mut fig = speedup_figure(
+        lab,
+        "fig13",
+        "Figure 13: Priority slice balance steering performance",
+        &[
+            ("LdSt p. slice", Machine::Clustered, SchemeKind::LdStPriority),
+            ("Br p. slice", Machine::Clustered, SchemeKind::BrPriority),
+        ],
+        &NAMES,
+        Mean::Harmonic,
+    );
+    // §3.7 quotes the reduction in *critical* communications versus the
+    // plain slice-balance schemes — append the measured values.
+    let mut extra = String::new();
+    for (label, plain, prio) in [
+        ("LdSt", SchemeKind::LdStSliceBalance, SchemeKind::LdStPriority),
+        ("Br", SchemeKind::BrSliceBalance, SchemeKind::BrPriority),
+    ] {
+        let (mut c_plain, mut c_prio) = (0.0, 0.0);
+        for &bench in &NAMES {
+            c_plain += lab
+                .stats(bench, Machine::Clustered, plain)
+                .critical_comms_per_inst();
+            c_prio += lab
+                .stats(bench, Machine::Clustered, prio)
+                .critical_comms_per_inst();
+        }
+        c_plain /= NAMES.len() as f64;
+        c_prio /= NAMES.len() as f64;
+        let _ = writeln!(
+            extra,
+            "- {label}: critical comms/instr {c_plain:.3} (slice bal.) → {c_prio:.3} (priority)",
+        );
+    }
+    fig.body.push_str("\nCritical-communication change (§3.7):\n\n");
+    fig.body.push_str(&extra);
+    fig
+}
+
+/// Figure 14: modulo, general balance and the 16-way upper bound.
+pub fn fig14(lab: &mut Lab) -> Figure {
+    speedup_figure(
+        lab,
+        "fig14",
+        "Figure 14: General balance steering",
+        &[
+            ("Modulo", Machine::Clustered, SchemeKind::Modulo),
+            ("General bal.", Machine::Clustered, SchemeKind::GeneralBalance),
+            ("UB arch.", Machine::UpperBound, SchemeKind::Naive),
+        ],
+        &NAMES,
+        Mean::Harmonic,
+    )
+}
+
+/// Figure 15: register replication under general balance steering.
+pub fn fig15(lab: &mut Lab) -> Figure {
+    let mut t = Table::new(&["benchmark", "avg replicated regs/cycle"]);
+    let mut bars = Vec::new();
+    let mut vals = Vec::new();
+    for &bench in &NAMES {
+        let s = lab.stats(bench, Machine::Clustered, SchemeKind::GeneralBalance);
+        let r = s.avg_replication();
+        vals.push(r);
+        t.row(&[bench.to_string(), format!("{r:.2}")]);
+        bars.push((bench.to_string(), r));
+    }
+    let hmean = harmonic_mean(&vals.iter().map(|v| v.max(1e-9)).collect::<Vec<_>>());
+    t.row(&["H-mean".into(), format!("{hmean:.2}")]);
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "Average number of integer logical registers with a physical\n\
+         register allocated in both clusters, per cycle (the paper reports\n\
+         3.1 on average versus full replication of the Alpha 21264).\n"
+    );
+    let _ = writeln!(body, "{}", t.to_markdown());
+    let _ = writeln!(body, "```\n{}```", ascii_bars(&bars, 40));
+    Figure {
+        id: "fig15",
+        title: "Figure 15: Register replication (general balance steering)".into(),
+        body,
+    }
+}
+
+/// Figure 16: FIFO-based steering (Palacharla et al.) versus general
+/// balance, including the communication comparison quoted in §3.9.
+pub fn fig16(lab: &mut Lab) -> Figure {
+    let mut fig = speedup_figure(
+        lab,
+        "fig16",
+        "Figure 16: General balance versus FIFO-based steering",
+        &[
+            ("FIFO-based", Machine::Clustered, SchemeKind::Fifo),
+            ("General bal.", Machine::Clustered, SchemeKind::GeneralBalance),
+        ],
+        &NAMES,
+        Mean::Harmonic,
+    );
+    let mut comm = String::new();
+    for (label, scheme) in [
+        ("FIFO-based", SchemeKind::Fifo),
+        ("General bal.", SchemeKind::GeneralBalance),
+    ] {
+        let avg: f64 = NAMES
+            .iter()
+            .map(|b| lab.stats(b, Machine::Clustered, scheme).comms_per_inst())
+            .sum::<f64>()
+            / NAMES.len() as f64;
+        let _ = writeln!(comm, "- {label}: {avg:.3} communications/instruction");
+    }
+    fig.body
+        .push_str("\nCommunication comparison (§3.9: 0.162 vs 0.042 in the paper):\n\n");
+    fig.body.push_str(&comm);
+    fig
+}
+
+// ---------------------------------------------------------------------
+// Ablations (claims made in the text)
+// ---------------------------------------------------------------------
+
+/// §3.8 claim: general balance performs the same with one bus per
+/// direction.
+pub fn ablate_buses(lab: &mut Lab) -> Figure {
+    speedup_figure(
+        lab,
+        "ablate_buses",
+        "Ablation: general balance with 3 vs 1 buses per direction (§3.8)",
+        &[
+            ("3 buses", Machine::Clustered, SchemeKind::GeneralBalance),
+            ("1 bus", Machine::OneBus, SchemeKind::GeneralBalance),
+        ],
+        &NAMES,
+        Mean::Harmonic,
+    )
+}
+
+/// §3.5 claim: metric I1 alone performs close to the I1+I2 combination.
+/// This ablation runs outside the [`Lab`] cache because it needs
+/// custom-configured schemes.
+pub fn ablate_imbalance(lab: &mut Lab) -> Figure {
+    use dca_sim::Simulator;
+    use dca_steer::{ImbalanceConfig, ImbalanceMetric, NonSliceBalance, SliceKind};
+
+    let mut t = Table::new(&["benchmark", "I1 only", "I2 only", "combined"]);
+    let mut sums = [0.0f64; 3];
+    let metrics = [
+        ImbalanceMetric::I1Only,
+        ImbalanceMetric::I2Only,
+        ImbalanceMetric::Combined,
+    ];
+    let scale = lab.opts().scale;
+    let max = lab.opts().max_insts;
+    for &bench in &NAMES {
+        let base_ipc = lab.base(bench).ipc();
+        let w = dca_workloads::build(bench, scale);
+        let mut row = vec![bench.to_string()];
+        for (k, &metric) in metrics.iter().enumerate() {
+            let mut scheme = NonSliceBalance::with_config(
+                SliceKind::LdSt,
+                ImbalanceConfig {
+                    metric,
+                    ..ImbalanceConfig::default()
+                },
+            );
+            let stats = Simulator::new(
+                &Machine::Clustered.config(),
+                &w.program,
+                w.memory.clone(),
+            )
+            .run(&mut scheme, max);
+            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            sums[k] += sp;
+            row.push(format!("{sp:.1}"));
+        }
+        t.row(&row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for s in sums {
+        mean_row.push(format!("{:.1}", s / NAMES.len() as f64));
+    }
+    t.row(&mean_row);
+    Figure {
+        id: "ablate_imbalance",
+        title: "Ablation: imbalance metrics I1 / I2 / combined (§3.5)".into(),
+        body: format!(
+            "Speed-up (%) of LdSt non-slice balance steering by imbalance metric.\n\n{}",
+            t.to_markdown()
+        ),
+    }
+}
+
+/// §3.7 design point: the criticality threshold adapts towards ~50% of
+/// instructions in critical slices.
+pub fn ablate_threshold(lab: &mut Lab) -> Figure {
+    use dca_sim::Simulator;
+    use dca_steer::{PriorityConfig, PrioritySliceBalance, SliceKind};
+
+    let mut t = Table::new(&["benchmark", "final threshold", "critical fraction (window)"]);
+    let scale = lab.opts().scale;
+    let max = lab.opts().max_insts;
+    for &bench in &NAMES {
+        let w = dca_workloads::build(bench, scale);
+        let mut scheme =
+            PrioritySliceBalance::with_config(SliceKind::LdSt, PriorityConfig::default());
+        let _ = Simulator::new(&Machine::Clustered.config(), &w.program, w.memory.clone())
+            .run(&mut scheme, max);
+        t.row(&[
+            bench.to_string(),
+            scheme.threshold().to_string(),
+            format!("{:.0}%", scheme.critical_percent()),
+        ]);
+    }
+    Figure {
+        id: "ablate_threshold",
+        title: "Ablation: adaptive criticality threshold (§3.7)".into(),
+        body: t.to_markdown(),
+    }
+}
+
+/// Wire-delay sensitivity: the paper's whole premise is that
+/// inter-cluster bypasses cost one extra cycle. This sweep shows how
+/// the best scheme (general balance) degrades as that wire delay grows,
+/// and that the naive partitioning is insensitive (it never
+/// communicates).
+pub fn ablate_copy_latency(lab: &mut Lab) -> Figure {
+    use dca_sim::Simulator;
+    use dca_steer::GeneralBalance;
+
+    let latencies = [1u32, 2, 4, 8];
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(latencies.iter().map(|l| format!("{l} cycle(s)")));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let scale = lab.opts().scale;
+    let max = lab.opts().max_insts;
+    let mut sums = vec![0.0f64; latencies.len()];
+    for &bench in &NAMES {
+        let base_ipc = lab.base(bench).ipc();
+        let w = dca_workloads::build(bench, scale);
+        let mut row = vec![bench.to_string()];
+        for (k, &lat) in latencies.iter().enumerate() {
+            let mut cfg = Machine::Clustered.config();
+            cfg.copy_latency = lat;
+            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max);
+            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            sums[k] += sp;
+            row.push(format!("{sp:.1}"));
+        }
+        t.row(&row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for s in &sums {
+        mean_row.push(format!("{:.1}", s / NAMES.len() as f64));
+    }
+    t.row(&mean_row);
+    Figure {
+        id: "ablate_copy_latency",
+        title: "Ablation: inter-cluster bypass latency (wire-delay premise, §1/§2)".into(),
+        body: format!(
+            "Speed-up (%) of general balance steering over the base machine as \
+             the inter-cluster bypass latency grows. The paper assumes 1 cycle; \
+             steering quality matters *more* as wires get slower — the gap to \
+             the naive partitioning shrinks but stays positive while \
+             communications are rare enough.\n\n{}",
+            t.to_markdown()
+        ),
+    }
+}
+
+/// Per-cluster issue width sweep: how much of the upper bound's
+/// advantage is raw width versus the absence of communication.
+pub fn ablate_issue_width(lab: &mut Lab) -> Figure {
+    use dca_sim::Simulator;
+    use dca_steer::GeneralBalance;
+
+    let widths = [2u32, 4, 8];
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(widths.iter().map(|w| format!("{w}+{w} wide")));
+    header.push("UB 8-wide".into());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let scale = lab.opts().scale;
+    let max = lab.opts().max_insts;
+    let mut sums = vec![0.0f64; widths.len() + 1];
+    for &bench in &NAMES {
+        let base_ipc = lab.base(bench).ipc();
+        let w = dca_workloads::build(bench, scale);
+        let mut row = vec![bench.to_string()];
+        for (k, &iw) in widths.iter().enumerate() {
+            let mut cfg = Machine::Clustered.config();
+            cfg.issue_width = [iw, iw];
+            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max);
+            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            sums[k] += sp;
+            row.push(format!("{sp:.1}"));
+        }
+        let ub = (lab
+            .stats(bench, Machine::UpperBound, SchemeKind::Naive)
+            .ipc()
+            / base_ipc
+            - 1.0)
+            * 100.0;
+        sums[widths.len()] += ub;
+        row.push(format!("{ub:.1}"));
+        t.row(&row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for s in &sums {
+        mean_row.push(format!("{:.1}", s / NAMES.len() as f64));
+    }
+    t.row(&mean_row);
+    Figure {
+        id: "ablate_issue_width",
+        title: "Ablation: per-cluster issue width under general balance".into(),
+        body: format!(
+            "Speed-up (%) over the base machine. 4+4 is the paper's clustered \
+             machine; the unified 8-wide upper bound shows what removing the \
+             communication penalty (not just adding width) buys.\n\n{}",
+            t.to_markdown()
+        ),
+    }
+}
+
+/// Instruction-window (ROB) sweep on the paper's clustered machine.
+pub fn ablate_window(lab: &mut Lab) -> Figure {
+    use dca_sim::Simulator;
+    use dca_steer::GeneralBalance;
+
+    let sizes = [32u32, 64, 128];
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(sizes.iter().map(|s| format!("ROB {s}")));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let scale = lab.opts().scale;
+    let max = lab.opts().max_insts;
+    let mut sums = vec![0.0f64; sizes.len()];
+    for &bench in &NAMES {
+        let base_ipc = lab.base(bench).ipc();
+        let w = dca_workloads::build(bench, scale);
+        let mut row = vec![bench.to_string()];
+        for (k, &rob) in sizes.iter().enumerate() {
+            let mut cfg = Machine::Clustered.config();
+            cfg.rob_size = rob;
+            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max);
+            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            sums[k] += sp;
+            row.push(format!("{sp:.1}"));
+        }
+        t.row(&row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for s in &sums {
+        mean_row.push(format!("{:.1}", s / NAMES.len() as f64));
+    }
+    t.row(&mean_row);
+    Figure {
+        id: "ablate_window",
+        title: "Ablation: instruction window size (Table 2's 64 in-flight)".into(),
+        body: format!(
+            "Speed-up (%) of general balance over the (ROB-64) base machine as \
+             the window grows. Both clusters share the window; the paper fixes \
+             it at 64 in-flight instructions.\n\n{}",
+            t.to_markdown()
+        ),
+    }
+}
+
+/// Register-file port sweep: §2 says copies compete for register-file
+/// ports like any other instruction; Table 2 gives no port counts, so
+/// the reproduction defaults to unconstrained ports. This sweep shows
+/// what the claim costs if ports are scarce.
+pub fn ablate_rf_ports(lab: &mut Lab) -> Figure {
+    use dca_sim::Simulator;
+    use dca_steer::GeneralBalance;
+
+    // (read, write) ports per cluster; 0 = unconstrained.
+    let configs: [(u32, u32, &str); 4] =
+        [(0, 0, "unconstrained"), (8, 4, "8r4w"), (6, 3, "6r3w"), (4, 2, "4r2w")];
+    let mut header = vec!["benchmark".to_string()];
+    header.extend(configs.iter().map(|&(_, _, l)| l.to_string()));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    let scale = lab.opts().scale;
+    let max = lab.opts().max_insts;
+    let mut sums = vec![0.0f64; configs.len()];
+    for &bench in &NAMES {
+        let base_ipc = lab.base(bench).ipc();
+        let w = dca_workloads::build(bench, scale);
+        let mut row = vec![bench.to_string()];
+        for (k, &(r, wr, _)) in configs.iter().enumerate() {
+            let mut cfg = Machine::Clustered.config();
+            cfg.rf_read_ports = [r, r];
+            cfg.rf_write_ports = [wr, wr];
+            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max);
+            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            sums[k] += sp;
+            row.push(format!("{sp:.1}"));
+        }
+        t.row(&row);
+    }
+    let mut mean_row = vec!["mean".to_string()];
+    for s in &sums {
+        mean_row.push(format!("{:.1}", s / NAMES.len() as f64));
+    }
+    t.row(&mean_row);
+    Figure {
+        id: "ablate_rf_ports",
+        title: "Ablation: register-file ports per cluster (§2's copy-competition claim)".into(),
+        body: format!(
+            "Speed-up (%) of general balance over the base machine as register-\n\
+             file ports shrink (reads/writes per cluster per cycle, consumed at\n\
+             issue; copies read in the source cluster and write in the\n\
+             destination cluster). 8r4w matches the 4-wide issue demand;\n\
+             tighter configurations throttle copies and computation alike.\n\n{}",
+            t.to_markdown()
+        ),
+    }
+}
+
+/// Looks up a figure generator by its artefact id.
+pub fn by_name(name: &str) -> Option<fn(&mut Lab) -> Figure> {
+    Some(match name {
+        "table1" => table1,
+        "table2" => table2,
+        "fig03" => fig03,
+        "fig04" => fig04,
+        "fig05" => fig05,
+        "fig06" => fig06,
+        "fig07" => fig07,
+        "fig08" => fig08,
+        "fig09" => fig09,
+        "fig11" => fig11,
+        "fig12" => fig12,
+        "fig13" => fig13,
+        "fig14" => fig14,
+        "fig15" => fig15,
+        "fig16" => fig16,
+        "ablate_buses" => ablate_buses,
+        "ablate_imbalance" => ablate_imbalance,
+        "ablate_threshold" => ablate_threshold,
+        "ablate_copy_latency" => ablate_copy_latency,
+        "ablate_issue_width" => ablate_issue_width,
+        "ablate_window" => ablate_window,
+        "ablate_rf_ports" => ablate_rf_ports,
+        _ => return None,
+    })
+}
+
+/// Every artefact in paper order.
+pub fn all(lab: &mut Lab) -> Vec<Figure> {
+    vec![
+        table1(lab),
+        table2(lab),
+        fig03(lab),
+        fig04(lab),
+        fig05(lab),
+        fig06(lab),
+        fig07(lab),
+        fig08(lab),
+        fig09(lab),
+        fig11(lab),
+        fig12(lab),
+        fig13(lab),
+        fig14(lab),
+        fig15(lab),
+        fig16(lab),
+        ablate_buses(lab),
+        ablate_imbalance(lab),
+        ablate_threshold(lab),
+        ablate_copy_latency(lab),
+        ablate_issue_width(lab),
+        ablate_window(lab),
+        ablate_rf_ports(lab),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunOpts;
+    use dca_workloads::Scale;
+
+    fn tiny_lab() -> Lab {
+        Lab::new(RunOpts {
+            scale: Scale::Smoke,
+            max_insts: 25_000,
+            verbose: false,
+        })
+    }
+
+    #[test]
+    fn table2_reflects_config() {
+        let f = table2(&mut tiny_lab());
+        assert!(f.body.contains("64KB"));
+        assert!(f.body.contains("96 + 96"));
+        assert!(f.body.contains("3 intALU"));
+    }
+
+    #[test]
+    fn fig03_runs_on_two_benchmarks_worth_of_cache() {
+        // Smoke-level integration: one speed-up figure end to end on a
+        // reduced bench list via the internal helper.
+        let mut lab = tiny_lab();
+        let fig = speedup_figure(
+            &mut lab,
+            "fig03",
+            "test",
+            &[
+                ("Static", Machine::Clustered, SchemeKind::StaticLdSt),
+                ("LdSt slice", Machine::Clustered, SchemeKind::LdStSlice),
+            ],
+            &["compress", "li"],
+            Mean::Geometric,
+        );
+        assert!(fig.body.contains("compress"));
+        assert!(fig.body.contains("G-mean"));
+        // 2 benchmarks x (2 schemes + base) = 6 runs
+        assert_eq!(lab.runs(), 6);
+    }
+
+    #[test]
+    fn balance_figure_percentages_are_finite() {
+        let mut lab = tiny_lab();
+        let fig = balance_figure(
+            &mut lab,
+            "fig06",
+            "test",
+            &[("Modulo", Machine::Clustered, SchemeKind::Modulo)],
+            &["compress"],
+        );
+        assert!(fig.body.contains("Modulo"));
+        assert!(!fig.body.contains("NaN"));
+    }
+
+    #[test]
+    fn figure_saves_to_disk() {
+        let dir = std::env::temp_dir().join("dca-bench-test");
+        let f = Figure {
+            id: "table2",
+            title: "t".into(),
+            body: "b".into(),
+        };
+        let p = f.save(&dir).unwrap();
+        assert!(p.exists());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn mean_of_percents_matches_paper_arithmetic() {
+        // A 36% mean speed-up corresponds to ratios of 1.36.
+        let m = Mean::Harmonic.of_percents(&[36.0, 36.0]);
+        assert!((m - 36.0).abs() < 1e-9);
+        let g = Mean::Geometric.of_percents(&[0.0, 0.0]);
+        assert!(g.abs() < 1e-9);
+    }
+}

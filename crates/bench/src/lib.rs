@@ -1,0 +1,459 @@
+//! # dca-bench — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (§3) as text artefacts. Each `figNN` binary reproduces one figure;
+//! `figures` runs everything and writes `results/*.md`.
+//!
+//! The heart of the crate is [`Lab`], which memoises simulation runs:
+//! several figures share the same (benchmark, machine, scheme) runs —
+//! e.g. Figure 4 (speed-ups), Figure 5 (communications) and Figure 6
+//! (workload balance) all come from the same LdSt/Br slice-steering
+//! simulations — so each combination is simulated exactly once per
+//! invocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::collections::HashMap;
+
+use dca_prog::Program;
+use dca_sim::{SimConfig, SimStats, Simulator, Steering};
+use dca_steer::{
+    FifoSteering, GeneralBalance, Modulo, Naive, NonSliceBalance, PrioritySliceBalance,
+    SliceBalance, SliceKind, SliceSteering, StaticPartition,
+};
+use dca_workloads::{Scale, Workload};
+
+/// Which machine configuration a run uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// The conventional base machine (no int units in the FP cluster,
+    /// no bypasses) — the denominator of every speed-up.
+    Base,
+    /// The paper's clustered machine.
+    Clustered,
+    /// Clustered with one bus per direction (§3.8 ablation).
+    OneBus,
+    /// The 16-way upper bound ("UB arch").
+    UpperBound,
+}
+
+impl Machine {
+    /// The corresponding configuration.
+    pub fn config(self) -> SimConfig {
+        match self {
+            Machine::Base => SimConfig::paper_base(),
+            Machine::Clustered => SimConfig::paper_clustered(),
+            Machine::OneBus => SimConfig::one_bus(),
+            Machine::UpperBound => SimConfig::paper_upper_bound(),
+        }
+    }
+
+    /// Parses a machine name as used on the command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of valid names on an unknown input.
+    pub fn from_name(name: &str) -> Result<Machine, String> {
+        Ok(match name {
+            "base" => Machine::Base,
+            "clustered" => Machine::Clustered,
+            "one-bus" | "onebus" => Machine::OneBus,
+            "ub" | "upper-bound" => Machine::UpperBound,
+            other => {
+                return Err(format!(
+                    "unknown machine `{other}` (base|clustered|one-bus|ub)"
+                ))
+            }
+        })
+    }
+
+    /// Stable key for memoisation.
+    fn key(self) -> &'static str {
+        match self {
+            Machine::Base => "base",
+            Machine::Clustered => "clustered",
+            Machine::OneBus => "onebus",
+            Machine::UpperBound => "ub",
+        }
+    }
+}
+
+/// Every steering scheme the evaluation exercises.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names mirror the paper's scheme names
+pub enum SchemeKind {
+    Naive,
+    Modulo,
+    StaticLdSt,
+    LdStSlice,
+    BrSlice,
+    LdStNonSliceBalance,
+    BrNonSliceBalance,
+    LdStSliceBalance,
+    BrSliceBalance,
+    LdStPriority,
+    BrPriority,
+    GeneralBalance,
+    Fifo,
+}
+
+/// All scheme kinds, in presentation order.
+pub const ALL_SCHEMES: [SchemeKind; 13] = [
+    SchemeKind::Naive,
+    SchemeKind::Modulo,
+    SchemeKind::StaticLdSt,
+    SchemeKind::LdStSlice,
+    SchemeKind::BrSlice,
+    SchemeKind::LdStNonSliceBalance,
+    SchemeKind::BrNonSliceBalance,
+    SchemeKind::LdStSliceBalance,
+    SchemeKind::BrSliceBalance,
+    SchemeKind::LdStPriority,
+    SchemeKind::BrPriority,
+    SchemeKind::GeneralBalance,
+    SchemeKind::Fifo,
+];
+
+impl SchemeKind {
+    /// Human label used in figure rows/legends (matches the paper's).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Naive => "naive",
+            SchemeKind::Modulo => "Modulo",
+            SchemeKind::StaticLdSt => "Static (Sastry et al.)",
+            SchemeKind::LdStSlice => "LdSt slice",
+            SchemeKind::BrSlice => "Br slice",
+            SchemeKind::LdStNonSliceBalance => "LdSt non-slice",
+            SchemeKind::BrNonSliceBalance => "Br non-slice",
+            SchemeKind::LdStSliceBalance => "LdSt slice bal.",
+            SchemeKind::BrSliceBalance => "Br slice bal.",
+            SchemeKind::LdStPriority => "LdSt p. slice",
+            SchemeKind::BrPriority => "Br p. slice",
+            SchemeKind::GeneralBalance => "General bal.",
+            SchemeKind::Fifo => "FIFO-based",
+        }
+    }
+
+    /// Instantiates the scheme (some need the program for offline
+    /// analysis).
+    pub fn instantiate(self, prog: &Program) -> Box<dyn Steering> {
+        match self {
+            SchemeKind::Naive => Box::new(Naive::new()),
+            SchemeKind::Modulo => Box::new(Modulo::new()),
+            SchemeKind::StaticLdSt => Box::new(StaticPartition::analyze(prog)),
+            SchemeKind::LdStSlice => Box::new(SliceSteering::new(SliceKind::LdSt)),
+            SchemeKind::BrSlice => Box::new(SliceSteering::new(SliceKind::Br)),
+            SchemeKind::LdStNonSliceBalance => {
+                Box::new(NonSliceBalance::new(SliceKind::LdSt))
+            }
+            SchemeKind::BrNonSliceBalance => Box::new(NonSliceBalance::new(SliceKind::Br)),
+            SchemeKind::LdStSliceBalance => Box::new(SliceBalance::new(SliceKind::LdSt)),
+            SchemeKind::BrSliceBalance => Box::new(SliceBalance::new(SliceKind::Br)),
+            SchemeKind::LdStPriority => Box::new(PrioritySliceBalance::new(SliceKind::LdSt)),
+            SchemeKind::BrPriority => Box::new(PrioritySliceBalance::new(SliceKind::Br)),
+            SchemeKind::GeneralBalance => Box::new(GeneralBalance::new()),
+            SchemeKind::Fifo => Box::new(FifoSteering::paper()),
+        }
+    }
+
+    /// Short machine-readable name accepted by [`SchemeKind::from_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Naive => "naive",
+            SchemeKind::Modulo => "modulo",
+            SchemeKind::StaticLdSt => "static",
+            SchemeKind::LdStSlice => "ldst-slice",
+            SchemeKind::BrSlice => "br-slice",
+            SchemeKind::LdStNonSliceBalance => "ldst-nonslice",
+            SchemeKind::BrNonSliceBalance => "br-nonslice",
+            SchemeKind::LdStSliceBalance => "ldst-slicebal",
+            SchemeKind::BrSliceBalance => "br-slicebal",
+            SchemeKind::LdStPriority => "ldst-priority",
+            SchemeKind::BrPriority => "br-priority",
+            SchemeKind::GeneralBalance => "general",
+            SchemeKind::Fifo => "fifo",
+        }
+    }
+
+    /// Parses a scheme name as used on the command line (the inverse of
+    /// [`SchemeKind::name`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of valid names on an unknown input.
+    pub fn from_name(name: &str) -> Result<SchemeKind, String> {
+        ALL_SCHEMES
+            .into_iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = ALL_SCHEMES.iter().map(|s| s.name()).collect();
+                format!("unknown scheme `{name}` (valid: {})", valid.join("|"))
+            })
+    }
+
+    fn key(self) -> String {
+        format!("{self:?}")
+    }
+}
+
+/// Harness options (scale and instruction budget).
+#[derive(Copy, Clone, Debug)]
+pub struct RunOpts {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Instruction budget per run (the paper's "100M after skipping
+    /// 100M" becomes "everything the workload executes, capped here").
+    pub max_insts: u64,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> RunOpts {
+        RunOpts {
+            scale: Scale::Default,
+            max_insts: 5_000_000,
+            verbose: false,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses harness options from command-line arguments
+    /// (`--scale smoke|default|full`, `--max-insts N`, `--verbose`).
+    /// Unrecognised arguments are returned for the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed value (unknown scale, non-numeric
+    /// instruction budget).
+    pub fn from_args(args: impl Iterator<Item = String>) -> (RunOpts, Vec<String>) {
+        let mut opts = RunOpts::default();
+        let mut rest = Vec::new();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    opts.scale = match v.as_str() {
+                        "smoke" => Scale::Smoke,
+                        "default" => Scale::Default,
+                        "full" => Scale::Full,
+                        other => panic!("unknown scale `{other}` (smoke|default|full)"),
+                    };
+                }
+                "--max-insts" => {
+                    opts.max_insts = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-insts needs a number");
+                }
+                "--verbose" => opts.verbose = true,
+                _ => rest.push(a),
+            }
+        }
+        (opts, rest)
+    }
+}
+
+/// Memoising experiment driver: builds workloads once and simulates
+/// each (benchmark, machine, scheme) combination at most once.
+///
+/// # Example
+///
+/// ```
+/// use dca_bench::{Lab, Machine, RunOpts, SchemeKind};
+/// use dca_workloads::Scale;
+///
+/// let mut lab = Lab::new(RunOpts {
+///     scale: Scale::Smoke,
+///     max_insts: 30_000,
+///     verbose: false,
+/// });
+/// let s = lab.stats("li", Machine::Clustered, SchemeKind::GeneralBalance);
+/// assert!(s.committed > 0);
+/// ```
+pub struct Lab {
+    opts: RunOpts,
+    workloads: HashMap<&'static str, Workload>,
+    cache: HashMap<(String, &'static str, String), SimStats>,
+}
+
+impl Lab {
+    /// Creates a lab.
+    pub fn new(opts: RunOpts) -> Lab {
+        Lab {
+            opts,
+            workloads: HashMap::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The options in use.
+    pub fn opts(&self) -> RunOpts {
+        self.opts
+    }
+
+    fn workload(&mut self, bench: &str) -> &Workload {
+        let scale = self.opts.scale;
+        let name = dca_workloads::NAMES
+            .iter()
+            .copied()
+            .find(|n| *n == bench)
+            .unwrap_or_else(|| panic!("unknown benchmark `{bench}`"));
+        self.workloads
+            .entry(name)
+            .or_insert_with(|| dca_workloads::build(name, scale))
+    }
+
+    /// Simulates (or returns the memoised result of) one combination.
+    pub fn stats(&mut self, bench: &str, machine: Machine, scheme: SchemeKind) -> SimStats {
+        let key = (bench.to_owned(), machine.key(), scheme.key());
+        if let Some(s) = self.cache.get(&key) {
+            return s.clone();
+        }
+        if self.opts.verbose {
+            eprintln!("[lab] {bench} / {} / {}", machine.key(), scheme.label());
+        }
+        let max = self.opts.max_insts;
+        let w = self.workload(bench);
+        let cfg = machine.config();
+        let mut steering = scheme.instantiate(&w.program);
+        let stats =
+            Simulator::new(&cfg, &w.program, w.memory.clone()).run(steering.as_mut(), max);
+        self.cache.insert(key, stats.clone());
+        stats
+    }
+
+    /// Base-machine run for `bench` (the speed-up denominator).
+    pub fn base(&mut self, bench: &str) -> SimStats {
+        self.stats(bench, Machine::Base, SchemeKind::Naive)
+    }
+
+    /// Speed-up (percent) of a combination over the base machine.
+    pub fn speedup(&mut self, bench: &str, machine: Machine, scheme: SchemeKind) -> f64 {
+        let s = self.stats(bench, machine, scheme);
+        let b = self.base(bench);
+        s.speedup_over(&b)
+    }
+
+    /// Number of simulations performed so far (for tests).
+    pub fn runs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Shared `main` for the figure binaries: parses common options,
+/// regenerates the requested artefacts (or the one fixed by the thin
+/// per-figure binaries), prints them and saves them under `results/`.
+///
+/// # Panics
+///
+/// Panics on unknown figure names or malformed options — these are
+/// developer-facing binaries.
+pub fn run_cli(fixed: Option<&'static str>) {
+    run_cli_with(std::env::args().skip(1), fixed);
+}
+
+/// [`run_cli`] over an explicit argument list (callers that already
+/// consumed part of the command line, e.g. the `dca figures`
+/// subcommand, pass the remainder here).
+///
+/// # Panics
+///
+/// Panics on malformed options or an unknown figure id.
+pub fn run_cli_with(args: impl Iterator<Item = String>, fixed: Option<&'static str>) {
+    let (opts, rest) = RunOpts::from_args(args);
+    let mut lab = Lab::new(opts);
+    let out = std::path::PathBuf::from("results");
+    let selected: Vec<String> = match fixed {
+        Some(f) => vec![f.to_string()],
+        None if rest.is_empty() => vec!["all".to_string()],
+        None => rest,
+    };
+    let t0 = std::time::Instant::now();
+    for sel in selected {
+        if sel == "all" {
+            for fig in figures::all(&mut lab) {
+                emit(&fig, &out);
+            }
+        } else {
+            let f = figures::by_name(&sel)
+                .unwrap_or_else(|| panic!("unknown figure `{sel}`; try `all`"));
+            let fig = f(&mut lab);
+            emit(&fig, &out);
+        }
+    }
+    eprintln!(
+        "[lab] {} simulation runs, {:.1}s",
+        lab.runs(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn emit(fig: &figures::Figure, out: &std::path::Path) {
+    println!("# {}\n\n{}", fig.title, fig.body);
+    match fig.save(out) {
+        Ok(p) => eprintln!("[lab] wrote {}", p.display()),
+        Err(e) => eprintln!("[lab] could not write {}: {e}", fig.id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_opts() -> RunOpts {
+        RunOpts {
+            scale: Scale::Smoke,
+            max_insts: 60_000,
+            verbose: false,
+        }
+    }
+
+    #[test]
+    fn lab_memoises_runs() {
+        let mut lab = Lab::new(smoke_opts());
+        let a = lab.stats("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+        assert_eq!(lab.runs(), 1);
+        let b = lab.stats("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+        assert_eq!(lab.runs(), 1, "second call must hit the cache");
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn speedup_is_relative_to_base() {
+        let mut lab = Lab::new(smoke_opts());
+        let s = lab.speedup("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+        // Any steering on the clustered machine should not be
+        // dramatically slower than the base machine.
+        assert!(s > -30.0, "speedup {s}");
+        assert_eq!(lab.runs(), 2, "scheme + base");
+    }
+
+    #[test]
+    fn opts_parse() {
+        let (o, rest) = RunOpts::from_args(
+            ["--scale", "smoke", "fig03", "--max-insts", "1234", "--verbose"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.scale, Scale::Smoke);
+        assert_eq!(o.max_insts, 1234);
+        assert!(o.verbose);
+        assert_eq!(rest, vec!["fig03"]);
+    }
+
+    #[test]
+    fn every_scheme_instantiates() {
+        let w = dca_workloads::build("compress", Scale::Smoke);
+        for k in ALL_SCHEMES {
+            let s = k.instantiate(&w.program);
+            assert!(!s.name().is_empty());
+            assert!(!k.label().is_empty());
+        }
+    }
+}

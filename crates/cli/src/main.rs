@@ -1,0 +1,276 @@
+//! `dca` — command-line driver for the clustered-superscalar simulator.
+//!
+//! ```text
+//! dca run --bench li --scheme general              # simulate a benchmark
+//! dca run --asm kernel.s --scheme modulo --trace 40
+//! dca compare --bench all                          # scheme × benchmark speedups
+//! dca slices --bench compress                      # static slice report
+//! dca list                                         # benchmarks and schemes
+//! dca figures fig14                                # regenerate paper artefacts
+//! ```
+//!
+//! The binary is a thin shell over the library crates: every number it
+//! prints is reproducible through the public API (see the crate-level
+//! docs of `dca-sim` and `dca-bench`).
+
+mod report;
+
+use std::process::ExitCode;
+
+use dca_bench::{Lab, Machine, RunOpts, SchemeKind, ALL_SCHEMES};
+use dca_prog::{parse_asm, Memory, Program};
+use dca_sim::Simulator;
+use dca_stats::Table;
+
+fn usage() -> &'static str {
+    "dca — dynamic cluster assignment simulator (HPCA 2000 reproduction)
+
+USAGE:
+    dca run     [--bench NAME | --kernel NAME | --asm FILE] [--scheme NAME]
+                [--machine NAME] [--scale smoke|default|full] [--max-insts N]
+                [--trace N] [--pipe FROM:TO]
+    dca compare [--bench NAME|all] [--schemes a,b,...] [--scale ...]
+    dca slices  [--bench NAME | --kernel NAME | --asm FILE]
+    dca list
+    dca figures [ID ...]          (no ID: regenerate everything)
+
+Machines: base | clustered | one-bus | ub
+Run `dca list` for benchmark and scheme names."
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "slices" => cmd_slices(args),
+        "list" => cmd_list(),
+        "figures" => {
+            // Delegate to the bench harness (same artefacts as the
+            // fig*/table*/ablate_* binaries).
+            dca_bench::run_cli_with(args.into_iter(), None);
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A `--flag value` puller over the argument list.
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn take(&mut self, flag: &str) -> Option<String> {
+        let i = self.0.iter().position(|a| a == flag)?;
+        if i + 1 >= self.0.len() {
+            // Treated as a parse error by callers needing a value.
+            self.0.remove(i);
+            return Some(String::new());
+        }
+        self.0.remove(i);
+        Some(self.0.remove(i))
+    }
+
+    fn finish(self, context: &str) -> Result<(), String> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognised arguments for {context}: {:?}", self.0))
+        }
+    }
+}
+
+/// The program under test: a built-in benchmark, a micro-kernel, or an
+/// assembled file.
+fn load_program(
+    bench: Option<&str>,
+    kernel: Option<&str>,
+    asm: Option<&str>,
+    scale: dca_workloads::Scale,
+) -> Result<(String, Program, Memory), String> {
+    if [bench.is_some(), kernel.is_some(), asm.is_some()]
+        .iter()
+        .filter(|&&x| x)
+        .count()
+        > 1
+    {
+        return Err("--bench, --kernel and --asm are mutually exclusive".into());
+    }
+    match (bench, kernel, asm) {
+        (Some(b), None, None) => {
+            if !dca_workloads::NAMES.contains(&b) {
+                return Err(format!(
+                    "unknown benchmark `{b}` (valid: {})",
+                    dca_workloads::NAMES.join(", ")
+                ));
+            }
+            let w = dca_workloads::build(b, scale);
+            Ok((b.to_string(), w.program, w.memory))
+        }
+        (None, Some(k), None) => {
+            let w = dca_workloads::kernels::by_name(k).ok_or_else(|| {
+                format!(
+                    "unknown kernel `{k}` (valid: {})",
+                    dca_workloads::kernels::NAMES.join(", ")
+                )
+            })?;
+            Ok((k.to_string(), w.program, w.memory))
+        }
+        (None, None, Some(path)) => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let prog = parse_asm(&src).map_err(|e| format!("{path}: {e}"))?;
+            Ok((path.to_string(), prog, Memory::new()))
+        }
+        _ => Err("need --bench NAME, --kernel NAME or --asm FILE (try `dca list`)".into()),
+    }
+}
+
+fn parse_opts(args: Vec<String>) -> (RunOpts, Flags) {
+    let (opts, rest) = RunOpts::from_args(args.into_iter());
+    (opts, Flags(rest))
+}
+
+fn cmd_run(args: Vec<String>) -> Result<(), String> {
+    let (opts, mut flags) = parse_opts(args);
+    let bench = flags.take("--bench");
+    let kernel = flags.take("--kernel");
+    let asm = flags.take("--asm");
+    let scheme = SchemeKind::from_name(&flags.take("--scheme").unwrap_or_else(|| "general".into()))?;
+    let machine = Machine::from_name(&flags.take("--machine").unwrap_or_else(|| "clustered".into()))?;
+    let trace_cap: usize = match flags.take("--trace") {
+        Some(v) => v.parse().map_err(|_| "--trace needs a number")?,
+        None => 0,
+    };
+    let pipe = flags.take("--pipe");
+    flags.finish("run")?;
+
+    let (name, prog, mem) =
+        load_program(bench.as_deref(), kernel.as_deref(), asm.as_deref(), opts.scale)?;
+    let mut steering = scheme.instantiate(&prog);
+    let mut sim = Simulator::new(&machine.config(), &prog, mem);
+    if trace_cap > 0 {
+        sim.enable_trace(trace_cap);
+    }
+    let stats = sim.run_mut(steering.as_mut(), opts.max_insts);
+    println!(
+        "{}",
+        report::run_report(&name, machine, scheme.label(), &stats)
+    );
+    if let Some(trace) = sim.take_trace() {
+        println!("{}", trace.render_table());
+        if let Some(win) = pipe {
+            let (from, to) = win
+                .split_once(':')
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .ok_or("--pipe expects FROM:TO cycle numbers")?;
+            println!("{}", trace.render_pipe(from, to));
+        }
+    } else if pipe.is_some() {
+        return Err("--pipe needs --trace N".into());
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: Vec<String>) -> Result<(), String> {
+    let (opts, mut flags) = parse_opts(args);
+    let bench = flags.take("--bench").unwrap_or_else(|| "all".into());
+    let schemes: Vec<SchemeKind> = match flags.take("--schemes") {
+        Some(list) => list
+            .split(',')
+            .map(SchemeKind::from_name)
+            .collect::<Result<_, _>>()?,
+        None => ALL_SCHEMES
+            .into_iter()
+            .filter(|s| *s != SchemeKind::Naive)
+            .collect(),
+    };
+    flags.finish("compare")?;
+
+    let benches: Vec<&str> = if bench == "all" {
+        dca_workloads::NAMES.to_vec()
+    } else if dca_workloads::NAMES.contains(&bench.as_str()) {
+        // The Lab keys workloads by their static name.
+        vec![dca_workloads::NAMES
+            .iter()
+            .find(|n| **n == bench)
+            .copied()
+            .expect("checked")]
+    } else {
+        return Err(format!(
+            "unknown benchmark `{bench}` (valid: all, {})",
+            dca_workloads::NAMES.join(", ")
+        ));
+    };
+
+    let mut lab = Lab::new(opts);
+    let mut headers = vec!["scheme"];
+    headers.extend(benches.iter().copied());
+    if benches.len() > 1 {
+        headers.push("H-mean");
+    }
+    let mut t = Table::new(&headers);
+    for s in schemes {
+        let mut row = vec![s.label().to_string()];
+        let mut ratios = Vec::new();
+        for &b in &benches {
+            let sp = lab.speedup(b, Machine::Clustered, s);
+            ratios.push(1.0 + sp / 100.0);
+            row.push(format!("{sp:.1}"));
+        }
+        if benches.len() > 1 {
+            let hm = dca_stats::harmonic_mean(&ratios);
+            row.push(format!("{:.1}", (hm - 1.0) * 100.0));
+        }
+        t.row(&row);
+    }
+    println!("Speed-up (%) over the base machine, clustered machine runs\n");
+    println!("{}", t.to_aligned());
+    Ok(())
+}
+
+fn cmd_slices(args: Vec<String>) -> Result<(), String> {
+    let (opts, mut flags) = parse_opts(args);
+    let bench = flags.take("--bench");
+    let kernel = flags.take("--kernel");
+    let asm = flags.take("--asm");
+    flags.finish("slices")?;
+    let (name, prog, _) =
+        load_program(bench.as_deref(), kernel.as_deref(), asm.as_deref(), opts.scale)?;
+    println!("{}", report::slice_report(&name, &prog));
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("benchmarks (SpecInt95 analogues):");
+    for name in dca_workloads::NAMES {
+        let w = dca_workloads::build(name, dca_workloads::Scale::Smoke);
+        println!("  {name:10} {} (paper input: {})", w.description, w.paper_input);
+    }
+    println!("\nmicro-kernels (dca-workloads::kernels):");
+    for name in dca_workloads::kernels::NAMES {
+        let w = dca_workloads::kernels::by_name(name).expect("registered");
+        println!("  {name:16} {}", w.description);
+    }
+    println!("\nsteering schemes:");
+    for s in ALL_SCHEMES {
+        println!("  {:15} {}", s.name(), s.label());
+    }
+    println!("\nmachines: base | clustered | one-bus | ub");
+    Ok(())
+}

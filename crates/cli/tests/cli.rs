@@ -1,0 +1,166 @@
+//! End-to-end tests of the `dca` binary: each subcommand, plus the
+//! error paths a user will actually hit.
+
+use std::process::{Command, Output};
+
+fn dca(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dca"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn list_names_everything() {
+    let o = dca(&["list"]);
+    assert!(o.status.success());
+    let s = stdout(&o);
+    for b in dca_workloads::NAMES {
+        assert!(s.contains(b), "missing benchmark {b}");
+    }
+    for scheme in ["naive", "modulo", "general", "fifo", "ldst-slicebal"] {
+        assert!(s.contains(scheme), "missing scheme {scheme}");
+    }
+}
+
+#[test]
+fn run_benchmark_prints_counters() {
+    let o = dca(&["run", "--bench", "li", "--scheme", "general", "--scale", "smoke"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("li on Clustered under General bal."));
+    assert!(s.contains("IPC"));
+    assert!(s.contains("copies (critical)"));
+}
+
+#[test]
+fn run_asm_with_trace_and_pipe() {
+    let dir = std::env::temp_dir().join("dca-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kernel.s");
+    std::fs::write(
+        &path,
+        "e:\n li r1, #3\nl:\n add r2, r2, #1\n add r1, r1, #-1\n bne r1, r0, l\n halt\n",
+    )
+    .unwrap();
+    let o = dca(&[
+        "run",
+        "--asm",
+        path.to_str().unwrap(),
+        "--scheme",
+        "modulo",
+        "--trace",
+        "8",
+        "--pipe",
+        "0:48",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("uop"), "trace table rendered");
+    assert!(s.contains("cycle 0..48"), "pipe diagram rendered");
+}
+
+#[test]
+fn run_kernel_by_name() {
+    let o = dca(&["run", "--kernel", "serial-chain", "--scheme", "modulo"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("serial-chain on Clustered under Modulo"));
+    // Modulo on a serial chain must communicate heavily.
+    assert!(s.contains("comms / instruction"));
+    let bad = dca(&["run", "--kernel", "nosuch"]);
+    assert!(!bad.status.success());
+    assert!(stderr(&bad).contains("unknown kernel"));
+    let both = dca(&["run", "--kernel", "branchy", "--bench", "li"]);
+    assert!(!both.status.success());
+    assert!(stderr(&both).contains("mutually exclusive"));
+}
+
+#[test]
+fn compare_prints_speedup_table() {
+    let o = dca(&[
+        "compare",
+        "--bench",
+        "compress",
+        "--schemes",
+        "modulo,general",
+        "--scale",
+        "smoke",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("Modulo"));
+    assert!(s.contains("General bal."));
+    assert!(s.contains("compress"));
+}
+
+#[test]
+fn slices_reports_both_slices() {
+    let o = dca(&["slices", "--bench", "compress", "--scale", "smoke"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let s = stdout(&o);
+    assert!(s.contains("LdSt slice:"));
+    assert!(s.contains("Br slice:"));
+}
+
+#[test]
+fn error_paths_fail_with_diagnostics() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["run", "--bench", "nosuch", "--scale", "smoke"], "unknown benchmark"),
+        (&["run", "--bench", "li", "--scheme", "nosuch"], "unknown scheme"),
+        (&["run"], "need --bench NAME, --kernel NAME or --asm FILE"),
+        (
+            &["run", "--bench", "li", "--asm", "x.s"],
+            "mutually exclusive",
+        ),
+        (
+            &["run", "--bench", "li", "--pipe", "0:9", "--scale", "smoke"],
+            "--pipe needs --trace",
+        ),
+        (&["nosuch"], "unknown command"),
+        (
+            &["run", "--bench", "li", "--machine", "warp", "--scale", "smoke"],
+            "unknown machine",
+        ),
+    ];
+    for (args, needle) in cases {
+        let o = dca(args);
+        assert!(!o.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&o).contains(needle),
+            "{args:?}: stderr {:?} missing {needle:?}",
+            stderr(&o)
+        );
+    }
+}
+
+#[test]
+fn help_exits_cleanly() {
+    let o = dca(&["--help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("USAGE"));
+}
+
+#[test]
+fn figures_subcommand_writes_artefacts() {
+    let dir = std::env::temp_dir().join("dca-cli-figures");
+    std::fs::create_dir_all(&dir).unwrap();
+    let o = Command::new(env!("CARGO_BIN_EXE_dca"))
+        .args(["figures", "table2", "--scale", "smoke"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(o.status.success(), "{}", stderr(&o));
+    let written = dir.join("results").join("table2.md");
+    assert!(written.exists(), "artefact written to results/");
+    let body = std::fs::read_to_string(written).unwrap();
+    assert!(body.contains("Fetch width"), "Table 2 content present");
+}

@@ -1,0 +1,692 @@
+//! Instruction encoding: opcode, operands, immediate and branch target.
+
+use std::fmt;
+
+use crate::{ExecClass, Opcode, Reg};
+
+/// An opaque control-flow label, resolved to a basic-block index by
+/// `dca-prog` during program layout.
+///
+/// Labels are plain `u32` indices so that `dca-isa` stays independent of
+/// the program representation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One static machine instruction.
+///
+/// The operand layout is fixed per opcode family:
+///
+/// * ALU ops: `dst`, `src1`, and either `src2` or the immediate,
+/// * loads: `dst = mem[src1 + imm]`,
+/// * stores: `mem[src1 + imm] = src2`,
+/// * branches: compare `src1` with `src2` (or the immediate), jump to
+///   `target`,
+/// * `li`: `dst = imm`.
+///
+/// Use the named constructors ([`Inst::add`], [`Inst::ld`], …) rather
+/// than building the struct literally; they keep the layout invariants
+/// and [`Inst::validate`] checks them.
+///
+/// # Example
+///
+/// ```
+/// use dca_isa::{Inst, Label, Reg};
+///
+/// let ld = Inst::ld(Reg::int(1), Reg::int(2), 16);
+/// assert_eq!(ld.to_string(), "ld r1, 16(r2)");
+///
+/// let b = Inst::beq(Reg::int(1), Reg::ZERO, Label(7));
+/// assert_eq!(b.to_string(), "beq r1, r0, L7");
+/// assert!(b.validate().is_ok());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<Reg>,
+    /// First source register (base register for memory ops).
+    pub src1: Option<Reg>,
+    /// Second source register (data register for stores).
+    pub src2: Option<Reg>,
+    /// Immediate operand: ALU immediate, memory displacement, or the
+    /// comparison constant of an immediate-form branch.
+    pub imm: i64,
+    /// Control-transfer target, present on branches and jumps.
+    pub target: Option<Label>,
+}
+
+/// Validation error produced by [`Inst::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstError {
+    inst: Box<Inst>,
+    reason: &'static str,
+}
+
+impl fmt::Display for InstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction `{:?}`: {}", self.inst, self.reason)
+    }
+}
+
+impl std::error::Error for InstError {}
+
+impl Inst {
+    fn raw(op: Opcode) -> Inst {
+        Inst {
+            op,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            target: None,
+        }
+    }
+
+    // ----- constructors: simple integer ---------------------------------
+
+    /// Three-register ALU operation `dst = src1 <op> src2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a register-register ALU opcode (see
+    /// [`Inst::validate`]).
+    pub fn alu(op: Opcode, dst: Reg, a: Reg, b: Reg) -> Inst {
+        let i = Inst {
+            dst: Some(dst),
+            src1: Some(a),
+            src2: Some(b),
+            ..Inst::raw(op)
+        };
+        i.expect_valid()
+    }
+
+    /// Immediate-form ALU operation `dst = src1 <op> imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not an ALU opcode.
+    pub fn alui(op: Opcode, dst: Reg, a: Reg, imm: i64) -> Inst {
+        let i = Inst {
+            dst: Some(dst),
+            src1: Some(a),
+            imm,
+            ..Inst::raw(op)
+        };
+        i.expect_valid()
+    }
+
+    /// `add dst, a, b`.
+    pub fn add(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Add, dst, a, b)
+    }
+
+    /// `add dst, a, #imm`.
+    pub fn addi(dst: Reg, a: Reg, imm: i64) -> Inst {
+        Inst::alui(Opcode::Add, dst, a, imm)
+    }
+
+    /// `sub dst, a, b`.
+    pub fn sub(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Sub, dst, a, b)
+    }
+
+    /// `and dst, a, b`.
+    pub fn and(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::And, dst, a, b)
+    }
+
+    /// `or dst, a, b`.
+    pub fn or(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Or, dst, a, b)
+    }
+
+    /// `xor dst, a, b`.
+    pub fn xor(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Xor, dst, a, b)
+    }
+
+    /// `sll dst, a, #imm` (shift left by immediate).
+    pub fn slli(dst: Reg, a: Reg, imm: i64) -> Inst {
+        Inst::alui(Opcode::Sll, dst, a, imm)
+    }
+
+    /// `srl dst, a, #imm` (logical shift right by immediate).
+    pub fn srli(dst: Reg, a: Reg, imm: i64) -> Inst {
+        Inst::alui(Opcode::Srl, dst, a, imm)
+    }
+
+    /// `slt dst, a, b` (signed set-less-than).
+    pub fn slt(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Slt, dst, a, b)
+    }
+
+    /// `seq dst, a, b` (set-if-equal).
+    pub fn seq(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Seq, dst, a, b)
+    }
+
+    /// `mov dst, src`.
+    pub fn mov(dst: Reg, src: Reg) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src),
+            ..Inst::raw(Opcode::Mov)
+        }
+        .expect_valid()
+    }
+
+    /// `li dst, #imm` (load immediate).
+    pub fn li(dst: Reg, imm: i64) -> Inst {
+        Inst {
+            dst: Some(dst),
+            imm,
+            ..Inst::raw(Opcode::Li)
+        }
+        .expect_valid()
+    }
+
+    // ----- constructors: complex integer --------------------------------
+
+    /// `mul dst, a, b` (integer cluster only).
+    pub fn mul(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Mul, dst, a, b)
+    }
+
+    /// `div dst, a, b` (integer cluster only).
+    pub fn div(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Div, dst, a, b)
+    }
+
+    /// `rem dst, a, b` (integer cluster only).
+    pub fn rem(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::Rem, dst, a, b)
+    }
+
+    // ----- constructors: floating point ----------------------------------
+
+    /// `fadd dst, a, b`.
+    pub fn fadd(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::FAdd, dst, a, b)
+    }
+
+    /// `fmul dst, a, b`.
+    pub fn fmul(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::FMul, dst, a, b)
+    }
+
+    /// `fdiv dst, a, b`.
+    pub fn fdiv(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::FDiv, dst, a, b)
+    }
+
+    /// `fcmplt dst, a, b`: integer `dst = (a < b) as i64` on FP sources.
+    pub fn fcmplt(dst: Reg, a: Reg, b: Reg) -> Inst {
+        Inst::alu(Opcode::FCmpLt, dst, a, b)
+    }
+
+    /// `cvtif dst, src`: convert integer to FP.
+    pub fn cvtif(dst: Reg, src: Reg) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src),
+            ..Inst::raw(Opcode::CvtIf)
+        }
+        .expect_valid()
+    }
+
+    /// `cvtfi dst, src`: convert FP to integer (truncating).
+    pub fn cvtfi(dst: Reg, src: Reg) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src1: Some(src),
+            ..Inst::raw(Opcode::CvtFi)
+        }
+        .expect_valid()
+    }
+
+    // ----- constructors: memory ------------------------------------------
+
+    /// `ld dst, imm(base)`.
+    pub fn ld(dst: Reg, base: Reg, offset: i64) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src1: Some(base),
+            imm: offset,
+            ..Inst::raw(Opcode::Ld)
+        }
+        .expect_valid()
+    }
+
+    /// `st data, imm(base)` — note the data register is `src2`.
+    pub fn st(data: Reg, base: Reg, offset: i64) -> Inst {
+        Inst {
+            src1: Some(base),
+            src2: Some(data),
+            imm: offset,
+            ..Inst::raw(Opcode::St)
+        }
+        .expect_valid()
+    }
+
+    /// `fld dst, imm(base)` — FP load.
+    pub fn fld(dst: Reg, base: Reg, offset: i64) -> Inst {
+        Inst {
+            dst: Some(dst),
+            src1: Some(base),
+            imm: offset,
+            ..Inst::raw(Opcode::FLd)
+        }
+        .expect_valid()
+    }
+
+    /// `fst data, imm(base)` — FP store.
+    pub fn fst(data: Reg, base: Reg, offset: i64) -> Inst {
+        Inst {
+            src1: Some(base),
+            src2: Some(data),
+            imm: offset,
+            ..Inst::raw(Opcode::FSt)
+        }
+        .expect_valid()
+    }
+
+    // ----- constructors: control ------------------------------------------
+
+    fn branch(op: Opcode, a: Reg, b: Reg, target: Label) -> Inst {
+        Inst {
+            src1: Some(a),
+            src2: Some(b),
+            target: Some(target),
+            ..Inst::raw(op)
+        }
+        .expect_valid()
+    }
+
+    /// `beq a, b, target`.
+    pub fn beq(a: Reg, b: Reg, target: Label) -> Inst {
+        Inst::branch(Opcode::Beq, a, b, target)
+    }
+
+    /// `bne a, b, target`.
+    pub fn bne(a: Reg, b: Reg, target: Label) -> Inst {
+        Inst::branch(Opcode::Bne, a, b, target)
+    }
+
+    /// `blt a, b, target` (signed).
+    pub fn blt(a: Reg, b: Reg, target: Label) -> Inst {
+        Inst::branch(Opcode::Blt, a, b, target)
+    }
+
+    /// `bge a, b, target` (signed).
+    pub fn bge(a: Reg, b: Reg, target: Label) -> Inst {
+        Inst::branch(Opcode::Bge, a, b, target)
+    }
+
+    fn branchi(op: Opcode, a: Reg, imm: i64, target: Label) -> Inst {
+        Inst {
+            src1: Some(a),
+            imm,
+            target: Some(target),
+            ..Inst::raw(op)
+        }
+        .expect_valid()
+    }
+
+    /// `beq a, #imm, target` (immediate-compare form).
+    pub fn beqi(a: Reg, imm: i64, target: Label) -> Inst {
+        Inst::branchi(Opcode::Beq, a, imm, target)
+    }
+
+    /// `bne a, #imm, target`.
+    pub fn bnei(a: Reg, imm: i64, target: Label) -> Inst {
+        Inst::branchi(Opcode::Bne, a, imm, target)
+    }
+
+    /// `blt a, #imm, target` (signed).
+    pub fn blti(a: Reg, imm: i64, target: Label) -> Inst {
+        Inst::branchi(Opcode::Blt, a, imm, target)
+    }
+
+    /// `bge a, #imm, target` (signed).
+    pub fn bgei(a: Reg, imm: i64, target: Label) -> Inst {
+        Inst::branchi(Opcode::Bge, a, imm, target)
+    }
+
+    /// `j target` (unconditional direct jump).
+    pub fn j(target: Label) -> Inst {
+        Inst {
+            target: Some(target),
+            ..Inst::raw(Opcode::J)
+        }
+        .expect_valid()
+    }
+
+    /// `halt`.
+    pub fn halt() -> Inst {
+        Inst::raw(Opcode::Halt)
+    }
+
+    /// `nop`.
+    pub fn nop() -> Inst {
+        Inst::raw(Opcode::Nop)
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// Iterator over the source registers actually read, skipping the
+    /// hard-wired zero register (which never creates a dependence).
+    pub fn srcs(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// The destination register if the instruction writes one, with
+    /// writes to the zero register filtered out (they are discarded).
+    pub fn effective_dst(&self) -> Option<Reg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+
+    /// The functional-unit class (delegates to [`Opcode::class`]).
+    pub fn class(&self) -> ExecClass {
+        self.op.class()
+    }
+
+    /// Checks the operand-layout invariants for this opcode family.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstError`] describing the violated invariant, e.g.
+    /// a store with a destination register or a branch without a target.
+    pub fn validate(&self) -> Result<(), InstError> {
+        let fail = |reason| {
+            Err(InstError {
+                inst: Box::new(*self),
+                reason,
+            })
+        };
+        use Opcode::*;
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Seq | Mul | Div | Rem | FAdd
+            | FSub | FMul | FDiv | FCmpLt => {
+                if self.dst.is_none() {
+                    return fail("ALU operation requires a destination");
+                }
+                if self.src1.is_none() {
+                    return fail("ALU operation requires src1");
+                }
+                if self.target.is_some() {
+                    return fail("ALU operation cannot have a branch target");
+                }
+            }
+            Mov | FMov | CvtIf | CvtFi => {
+                if self.dst.is_none() || self.src1.is_none() {
+                    return fail("move/convert requires dst and src1");
+                }
+                if self.src2.is_some() {
+                    return fail("move/convert takes a single source");
+                }
+            }
+            Li => {
+                if self.dst.is_none() {
+                    return fail("li requires a destination");
+                }
+                if self.src1.is_some() || self.src2.is_some() {
+                    return fail("li takes no register sources");
+                }
+            }
+            Ld | FLd => {
+                if self.dst.is_none() || self.src1.is_none() {
+                    return fail("load requires dst and base register");
+                }
+                if self.src2.is_some() {
+                    return fail("load takes a single source (the base)");
+                }
+            }
+            St | FSt => {
+                if self.dst.is_some() {
+                    return fail("store cannot have a destination");
+                }
+                if self.src1.is_none() || self.src2.is_none() {
+                    return fail("store requires base (src1) and data (src2)");
+                }
+            }
+            Beq | Bne | Blt | Bge => {
+                if self.target.is_none() {
+                    return fail("branch requires a target");
+                }
+                if self.dst.is_some() {
+                    return fail("branch cannot have a destination");
+                }
+                if self.src1.is_none() {
+                    return fail("branch requires src1");
+                }
+            }
+            J => {
+                if self.target.is_none() {
+                    return fail("jump requires a target");
+                }
+                if self.dst.is_some() || self.src1.is_some() || self.src2.is_some() {
+                    return fail("jump takes no operands");
+                }
+            }
+            Halt | Nop => {
+                if self.dst.is_some() || self.src1.is_some() || self.src2.is_some() {
+                    return fail("halt/nop take no operands");
+                }
+            }
+        }
+        // Bank checks: FP opcodes read/write FP registers, etc.
+        let int_dst = |r: Option<Reg>| r.is_none_or(|r| r.is_int());
+        let fp_dst = |r: Option<Reg>| r.is_none_or(|r| r.is_fp());
+        match self.op {
+            FAdd | FSub | FMul | FDiv | FMov => {
+                if !fp_dst(self.dst) || !fp_dst(self.src1) || !fp_dst(self.src2) {
+                    return fail("FP arithmetic uses FP registers");
+                }
+            }
+            FCmpLt => {
+                if !int_dst(self.dst) || !fp_dst(self.src1) || !fp_dst(self.src2) {
+                    return fail("fcmplt writes an integer register from FP sources");
+                }
+            }
+            CvtIf => {
+                if !fp_dst(self.dst) || !int_dst(self.src1) {
+                    return fail("cvtif converts int -> fp");
+                }
+            }
+            CvtFi => {
+                if !int_dst(self.dst) || !fp_dst(self.src1) {
+                    return fail("cvtfi converts fp -> int");
+                }
+            }
+            FLd => {
+                if !fp_dst(self.dst) || !int_dst(self.src1) {
+                    return fail("fld loads an FP register via an integer base");
+                }
+            }
+            FSt => {
+                if !int_dst(self.src1) || !fp_dst(self.src2) {
+                    return fail("fst stores an FP register via an integer base");
+                }
+            }
+            _ => {
+                if !int_dst(self.dst) || !int_dst(self.src1) || !int_dst(self.src2) {
+                    return fail("integer operation uses integer registers");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expect_valid(self) -> Inst {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
+        self
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        use Opcode::*;
+        match self.op {
+            Ld | FLd => write!(
+                f,
+                "{m} {}, {}({})",
+                self.dst.unwrap(),
+                self.imm,
+                self.src1.unwrap()
+            ),
+            St | FSt => write!(
+                f,
+                "{m} {}, {}({})",
+                self.src2.unwrap(),
+                self.imm,
+                self.src1.unwrap()
+            ),
+            Beq | Bne | Blt | Bge => match self.src2 {
+                Some(b) => write!(
+                    f,
+                    "{m} {}, {}, {}",
+                    self.src1.unwrap(),
+                    b,
+                    self.target.unwrap()
+                ),
+                None => write!(
+                    f,
+                    "{m} {}, #{}, {}",
+                    self.src1.unwrap(),
+                    self.imm,
+                    self.target.unwrap()
+                ),
+            },
+            J => write!(f, "{m} {}", self.target.unwrap()),
+            Halt | Nop => f.write_str(m),
+            Li => write!(f, "{m} {}, #{}", self.dst.unwrap(), self.imm),
+            Mov | FMov | CvtIf | CvtFi => {
+                write!(f, "{m} {}, {}", self.dst.unwrap(), self.src1.unwrap())
+            }
+            _ => match self.src2 {
+                Some(b) => write!(f, "{m} {}, {}, {}", self.dst.unwrap(), self.src1.unwrap(), b),
+                None => write!(
+                    f,
+                    "{m} {}, {}, #{}",
+                    self.dst.unwrap(),
+                    self.src1.unwrap(),
+                    self.imm
+                ),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_valid_instructions() {
+        let insts = [
+            Inst::add(Reg::int(1), Reg::int(2), Reg::int(3)),
+            Inst::addi(Reg::int(1), Reg::int(2), -8),
+            Inst::li(Reg::int(9), 1234),
+            Inst::mov(Reg::int(4), Reg::int(5)),
+            Inst::mul(Reg::int(1), Reg::int(2), Reg::int(3)),
+            Inst::ld(Reg::int(1), Reg::int(30), 16),
+            Inst::st(Reg::int(2), Reg::int(30), -16),
+            Inst::fld(Reg::fp(1), Reg::int(30), 0),
+            Inst::fst(Reg::fp(1), Reg::int(30), 8),
+            Inst::fadd(Reg::fp(1), Reg::fp(2), Reg::fp(3)),
+            Inst::fcmplt(Reg::int(1), Reg::fp(1), Reg::fp(2)),
+            Inst::cvtif(Reg::fp(0), Reg::int(1)),
+            Inst::cvtfi(Reg::int(1), Reg::fp(0)),
+            Inst::beq(Reg::int(1), Reg::ZERO, Label(0)),
+            Inst::j(Label(3)),
+            Inst::halt(),
+            Inst::nop(),
+        ];
+        for i in insts {
+            assert!(i.validate().is_ok(), "{i} should validate");
+        }
+    }
+
+    #[test]
+    fn srcs_skips_zero_register() {
+        let i = Inst::add(Reg::int(1), Reg::ZERO, Reg::int(2));
+        let srcs: Vec<_> = i.srcs().collect();
+        assert_eq!(srcs, vec![Reg::int(2)]);
+    }
+
+    #[test]
+    fn effective_dst_discards_zero_register_writes() {
+        let i = Inst::add(Reg::ZERO, Reg::int(1), Reg::int(2));
+        assert_eq!(i.effective_dst(), None);
+        let j = Inst::add(Reg::int(3), Reg::int(1), Reg::int(2));
+        assert_eq!(j.effective_dst(), Some(Reg::int(3)));
+    }
+
+    #[test]
+    fn store_data_register_is_a_source() {
+        let st = Inst::st(Reg::int(7), Reg::int(30), 0);
+        let srcs: Vec<_> = st.srcs().collect();
+        assert!(srcs.contains(&Reg::int(7)));
+        assert!(srcs.contains(&Reg::int(30)));
+        assert_eq!(st.effective_dst(), None);
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        // store with a destination
+        let mut bad = Inst::st(Reg::int(1), Reg::int(2), 0);
+        bad.dst = Some(Reg::int(3));
+        assert!(bad.validate().is_err());
+        // branch without target
+        let mut b = Inst::beq(Reg::int(1), Reg::int(2), Label(0));
+        b.target = None;
+        assert!(b.validate().is_err());
+        // FP add over integer registers
+        let mut f = Inst::fadd(Reg::fp(1), Reg::fp(2), Reg::fp(3));
+        f.src1 = Some(Reg::int(2));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn immediate_branches_validate_and_display() {
+        let b = Inst::blti(Reg::int(3), 7, Label(2));
+        assert!(b.validate().is_ok());
+        assert_eq!(b.to_string(), "blt r3, #7, L2");
+        let srcs: Vec<_> = b.srcs().collect();
+        assert_eq!(srcs, vec![Reg::int(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Inst::addi(Reg::int(1), Reg::int(2), 4).to_string(),
+            "add r1, r2, #4"
+        );
+        assert_eq!(
+            Inst::st(Reg::int(2), Reg::int(3), 8).to_string(),
+            "st r2, 8(r3)"
+        );
+        assert_eq!(Inst::j(Label(2)).to_string(), "j L2");
+        assert_eq!(Inst::li(Reg::int(1), -5).to_string(), "li r1, #-5");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid instruction")]
+    fn constructor_panics_on_bank_mismatch() {
+        // `add` over FP registers must panic via expect_valid.
+        let _ = Inst::add(Reg::fp(1), Reg::fp(2), Reg::fp(3));
+    }
+}

@@ -1,0 +1,43 @@
+//! # dca-isa — the mini RISC instruction set of the DCA reproduction
+//!
+//! This crate defines the Alpha-flavoured load/store ISA executed by the
+//! functional interpreter (`dca-prog`) and timed by the clustered
+//! superscalar simulator (`dca-sim`). It deliberately stays tiny: the
+//! paper ("Dynamic Cluster Assignment Mechanisms", HPCA 2000) only needs
+//! integer ALU operations (simple and complex), floating-point
+//! operations, loads/stores and conditional branches — enough to express
+//! the SpecInt95-analogue workloads and to give the steering heuristics
+//! the same decision surface they had on Alpha binaries:
+//!
+//! * **simple integer** instructions can execute in *either* cluster,
+//! * **complex integer** (multiply/divide) only in the integer cluster,
+//! * **floating point** only in the FP cluster,
+//! * **memory** instructions split into a steerable effective-address
+//!   micro-operation plus a memory access handled by the unified
+//!   disambiguation logic,
+//! * **branches** are simple integer operations and define the Br slice.
+//!
+//! # Example
+//!
+//! ```
+//! use dca_isa::{Inst, Reg, Opcode, ClusterNeed};
+//!
+//! let add = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
+//! assert_eq!(add.op, Opcode::Add);
+//! assert_eq!(add.op.cluster_need(), ClusterNeed::Either);
+//! assert_eq!(add.to_string(), "add r1, r2, r3");
+//!
+//! let mul = Inst::mul(Reg::int(4), Reg::int(1), Reg::int(1));
+//! assert_eq!(mul.op.cluster_need(), ClusterNeed::IntOnly);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inst;
+mod op;
+mod reg;
+
+pub use inst::{Inst, InstError, Label};
+pub use op::{ClusterNeed, ExecClass, Opcode};
+pub use reg::{Reg, RegParseError, NUM_FP_REGS, NUM_INT_REGS};

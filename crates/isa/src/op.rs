@@ -1,0 +1,363 @@
+//! Opcodes and their static classification.
+//!
+//! The classification drives everything the steering logic and the
+//! timing model need to know about an instruction *before* it executes:
+//! which functional-unit class it occupies ([`ExecClass`]), and which
+//! clusters are capable of executing it ([`ClusterNeed`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Every opcode of the mini ISA.
+///
+/// Arithmetic opcodes come in register/register form; an immediate may
+/// replace the second source operand (see [`crate::Inst`]). Memory
+/// opcodes use a base register plus signed displacement, like Alpha.
+///
+/// # Example
+///
+/// ```
+/// use dca_isa::{Opcode, ExecClass};
+/// assert_eq!(Opcode::Mul.class(), ExecClass::IntMul);
+/// assert!(Opcode::Beq.is_branch());
+/// assert!(Opcode::Ld.is_mem());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    // --- simple integer -------------------------------------------------
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left.
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-if-less-than (signed): `dst = (a < b) as i64`.
+    Slt,
+    /// Set-if-equal: `dst = (a == b) as i64`.
+    Seq,
+    /// Register move (`dst = src1`).
+    Mov,
+    /// Load immediate (`dst = imm`).
+    Li,
+    // --- complex integer ------------------------------------------------
+    /// Integer multiplication (integer cluster only).
+    Mul,
+    /// Integer division (integer cluster only). Division by zero yields 0,
+    /// like a trapping implementation that delivers a default.
+    Div,
+    /// Integer remainder (integer cluster only). Remainder by zero yields 0.
+    Rem,
+    // --- floating point ---------------------------------------------------
+    /// FP addition.
+    FAdd,
+    /// FP subtraction.
+    FSub,
+    /// FP multiplication.
+    FMul,
+    /// FP division.
+    FDiv,
+    /// FP move (`dst = src1`).
+    FMov,
+    /// FP compare less-than; writes an *integer* destination register.
+    FCmpLt,
+    /// Convert integer to FP.
+    CvtIf,
+    /// Convert FP to integer (truncating).
+    CvtFi,
+    // --- memory ---------------------------------------------------------
+    /// Integer load: `dst = mem[src1 + imm]` (64-bit).
+    Ld,
+    /// Integer store: `mem[src1 + imm] = src2` (64-bit).
+    St,
+    /// FP load: `dst = mem[src1 + imm]` (64-bit IEEE double).
+    FLd,
+    /// FP store: `mem[src1 + imm] = src2`.
+    FSt,
+    // --- control --------------------------------------------------------
+    /// Branch if equal (`src1 == src2`).
+    Beq,
+    /// Branch if not equal.
+    Bne,
+    /// Branch if less-than (signed).
+    Blt,
+    /// Branch if greater-or-equal (signed).
+    Bge,
+    /// Unconditional direct jump.
+    J,
+    /// Stop the program.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Functional-unit class an instruction occupies while executing.
+///
+/// Latencies are configured in `dca-uarch`; the paper does not list
+/// them, so SimpleScalar v3.0 defaults are used (see DESIGN.md §4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Single-cycle integer ALU operation (both clusters have 3 such
+    /// units). Branches and effective-address adds also use this class.
+    IntAlu,
+    /// Pipelined integer multiply (integer cluster only).
+    IntMul,
+    /// Unpipelined integer divide (integer cluster only).
+    IntDiv,
+    /// FP add/compare/convert (FP cluster only).
+    FpAlu,
+    /// Pipelined FP multiply (FP cluster only).
+    FpMul,
+    /// Unpipelined FP divide (FP cluster only).
+    FpDiv,
+    /// Memory read; the steerable part is an [`ExecClass::IntAlu`]
+    /// effective-address micro-op, the access itself goes through the
+    /// unified disambiguation logic.
+    Load,
+    /// Memory write; like [`ExecClass::Load`] plus a data operand read
+    /// at commit.
+    Store,
+    /// Control transfer (executes on an integer ALU).
+    Ctrl,
+    /// No functional unit needed.
+    Nop,
+}
+
+/// Which clusters are architecturally capable of executing an opcode.
+///
+/// This encodes the machine organisation of the paper's Figure 1:
+/// cluster 1 (index 0, "integer") owns the complex integer units,
+/// cluster 2 (index 1, "FP") owns the FP units, and both own simple
+/// integer ALUs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ClusterNeed {
+    /// Simple integer work: either cluster may execute it.
+    Either,
+    /// Complex integer work: only the integer cluster.
+    IntOnly,
+    /// Floating-point work: only the FP cluster.
+    FpOnly,
+}
+
+impl Opcode {
+    /// The functional-unit class of this opcode.
+    pub fn class(self) -> ExecClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Seq | Mov | Li => {
+                ExecClass::IntAlu
+            }
+            Mul => ExecClass::IntMul,
+            Div | Rem => ExecClass::IntDiv,
+            FAdd | FSub | FMov | FCmpLt | CvtIf | CvtFi => ExecClass::FpAlu,
+            FMul => ExecClass::FpMul,
+            FDiv => ExecClass::FpDiv,
+            Ld | FLd => ExecClass::Load,
+            St | FSt => ExecClass::Store,
+            Beq | Bne | Blt | Bge | J => ExecClass::Ctrl,
+            Halt | Nop => ExecClass::Nop,
+        }
+    }
+
+    /// Which clusters can execute this opcode.
+    ///
+    /// Memory operations report the need of their *effective-address*
+    /// micro-op (a simple integer add), i.e. [`ClusterNeed::Either`];
+    /// the destination of an FP load still lives in the FP cluster's
+    /// register file, which the simulator handles during renaming.
+    pub fn cluster_need(self) -> ClusterNeed {
+        match self.class() {
+            ExecClass::IntMul | ExecClass::IntDiv => ClusterNeed::IntOnly,
+            ExecClass::FpAlu | ExecClass::FpMul | ExecClass::FpDiv => ClusterNeed::FpOnly,
+            ExecClass::Load | ExecClass::Store => ClusterNeed::Either,
+            ExecClass::IntAlu | ExecClass::Ctrl | ExecClass::Nop => ClusterNeed::Either,
+        }
+    }
+
+    /// `true` for memory operations (loads and stores).
+    pub fn is_mem(self) -> bool {
+        matches!(self.class(), ExecClass::Load | ExecClass::Store)
+    }
+
+    /// `true` for loads.
+    pub fn is_load(self) -> bool {
+        self.class() == ExecClass::Load
+    }
+
+    /// `true` for stores.
+    pub fn is_store(self) -> bool {
+        self.class() == ExecClass::Store
+    }
+
+    /// `true` for conditional branches (not unconditional jumps).
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// `true` for any control transfer (conditional branch or jump).
+    pub fn is_branch(self) -> bool {
+        self.is_cond_branch() || self == Opcode::J
+    }
+
+    /// `true` if the opcode may be executed by the simple integer ALUs
+    /// present in both clusters (the defining property of the paper's
+    /// extended FP cluster).
+    pub fn is_simple_int(self) -> bool {
+        matches!(self.class(), ExecClass::IntAlu | ExecClass::Ctrl)
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Seq => "seq",
+            Mov => "mov",
+            Li => "li",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FMov => "fmov",
+            FCmpLt => "fcmplt",
+            CvtIf => "cvtif",
+            CvtFi => "cvtfi",
+            Ld => "ld",
+            St => "st",
+            FLd => "fld",
+            FSt => "fst",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            J => "j",
+            Halt => "halt",
+            Nop => "nop",
+        }
+    }
+
+    /// All opcodes, in declaration order. Handy for exhaustive tests
+    /// and for the assembler's mnemonic table.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Seq, Mov, Li, Mul, Div, Rem, FAdd, FSub,
+            FMul, FDiv, FMov, FCmpLt, CvtIf, CvtFi, Ld, St, FLd, FSt, Beq, Bne, Blt, Bge, J, Halt,
+            Nop,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an unknown mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpcodeParseError {
+    text: String,
+}
+
+impl fmt::Display for OpcodeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown mnemonic `{}`", self.text)
+    }
+}
+
+impl std::error::Error for OpcodeParseError {}
+
+impl FromStr for Opcode {
+    type Err = OpcodeParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Opcode::all()
+            .iter()
+            .copied()
+            .find(|op| op.mnemonic() == s)
+            .ok_or_else(|| OpcodeParseError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_need_matches_figure_1() {
+        // Complex integer units live only in cluster 1 (the integer one).
+        assert_eq!(Opcode::Mul.cluster_need(), ClusterNeed::IntOnly);
+        assert_eq!(Opcode::Div.cluster_need(), ClusterNeed::IntOnly);
+        assert_eq!(Opcode::Rem.cluster_need(), ClusterNeed::IntOnly);
+        // FP units only in cluster 2.
+        for op in [Opcode::FAdd, Opcode::FMul, Opcode::FDiv, Opcode::FCmpLt] {
+            assert_eq!(op.cluster_need(), ClusterNeed::FpOnly);
+        }
+        // Everything else is simple-integer and goes anywhere.
+        for op in [Opcode::Add, Opcode::Beq, Opcode::Ld, Opcode::St, Opcode::J] {
+            assert_eq!(op.cluster_need(), ClusterNeed::Either);
+        }
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Ld.is_load() && Opcode::Ld.is_mem());
+        assert!(Opcode::FLd.is_load());
+        assert!(Opcode::St.is_store() && !Opcode::St.is_load());
+        assert!(Opcode::FSt.is_store());
+        assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::J.is_branch() && !Opcode::J.is_cond_branch());
+        assert!(!Opcode::Halt.is_branch());
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for &op in Opcode::all() {
+            assert_eq!(op.mnemonic().parse::<Opcode>().unwrap(), op);
+        }
+        assert!("bogus".parse::<Opcode>().is_err());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<_> = Opcode::all().iter().map(|o| o.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Opcode::all().len());
+    }
+
+    #[test]
+    fn simple_int_excludes_complex_and_fp() {
+        assert!(Opcode::Add.is_simple_int());
+        assert!(Opcode::Beq.is_simple_int());
+        assert!(!Opcode::Mul.is_simple_int());
+        assert!(!Opcode::FAdd.is_simple_int());
+        assert!(!Opcode::Ld.is_simple_int()); // the access, not the EA op
+    }
+}

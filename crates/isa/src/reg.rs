@@ -1,0 +1,201 @@
+//! Logical (architectural) registers.
+//!
+//! The machine has 32 integer registers `r0..r31` and 32 floating-point
+//! registers `f0..f31`. `r0` is hard-wired to zero, like Alpha's `r31`
+//! and MIPS' `$zero`: reads return 0, writes are discarded, and the
+//! register renaming logic of the simulator never allocates a physical
+//! register for it.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of integer logical registers (`r0` is the hard-wired zero).
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point logical registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// A logical register operand: either integer (`r0..r31`) or
+/// floating-point (`f0..f31`).
+///
+/// # Example
+///
+/// ```
+/// use dca_isa::Reg;
+///
+/// let r = Reg::int(5);
+/// assert!(r.is_int());
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert_eq!("f3".parse::<Reg>().unwrap(), Reg::fp(3));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// An integer register `rN`.
+    Int(u8),
+    /// A floating-point register `fN`.
+    Fp(u8),
+}
+
+impl Reg {
+    /// The hard-wired zero register `r0`.
+    pub const ZERO: Reg = Reg::Int(0);
+
+    /// Creates the integer register `rN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!(
+            (n as usize) < NUM_INT_REGS,
+            "integer register index {n} out of range"
+        );
+        Reg::Int(n)
+    }
+
+    /// Creates the floating-point register `fN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(
+            (n as usize) < NUM_FP_REGS,
+            "fp register index {n} out of range"
+        );
+        Reg::Fp(n)
+    }
+
+    /// Returns `true` for integer registers.
+    pub fn is_int(self) -> bool {
+        matches!(self, Reg::Int(_))
+    }
+
+    /// Returns `true` for floating-point registers.
+    pub fn is_fp(self) -> bool {
+        matches!(self, Reg::Fp(_))
+    }
+
+    /// Returns `true` for the hard-wired zero register `r0`.
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO
+    }
+
+    /// The register number within its bank (0..32).
+    pub fn index(self) -> u8 {
+        match self {
+            Reg::Int(n) | Reg::Fp(n) => n,
+        }
+    }
+
+    /// A dense index over both banks: integer registers map to
+    /// `0..32`, floating-point registers to `32..64`. Useful for
+    /// flat lookup tables such as the steering parent table.
+    pub fn flat_index(self) -> usize {
+        match self {
+            Reg::Int(n) => n as usize,
+            Reg::Fp(n) => NUM_INT_REGS + n as usize,
+        }
+    }
+
+    /// Total number of distinct [`Reg::flat_index`] values.
+    pub const FLAT_COUNT: usize = NUM_INT_REGS + NUM_FP_REGS;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Int(n) => write!(f, "r{n}"),
+            Reg::Fp(n) => write!(f, "f{n}"),
+        }
+    }
+}
+
+/// Error returned when parsing a register name fails.
+///
+/// # Example
+///
+/// ```
+/// use dca_isa::Reg;
+/// assert!("r99".parse::<Reg>().is_err());
+/// assert!("x1".parse::<Reg>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegParseError {
+    text: String,
+}
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+impl FromStr for Reg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || RegParseError { text: s.to_owned() };
+        let (bank, num) = s.split_at(s.len().min(1));
+        let n: u8 = num.parse().map_err(|_| err())?;
+        match bank {
+            "r" if (n as usize) < NUM_INT_REGS => Ok(Reg::Int(n)),
+            "f" if (n as usize) < NUM_FP_REGS => Ok(Reg::Fp(n)),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::ZERO.is_int());
+        assert!(!Reg::int(1).is_zero());
+        assert!(!Reg::fp(0).is_zero());
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_disjoint() {
+        let mut seen = [false; Reg::FLAT_COUNT];
+        for n in 0..32 {
+            seen[Reg::int(n).flat_index()] = true;
+            seen[Reg::fp(n).flat_index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for n in 0..32u8 {
+            let r = Reg::int(n);
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+            let f = Reg::fp(n);
+            assert_eq!(f.to_string().parse::<Reg>().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        for bad in ["", "r", "f", "r32", "f32", "r-1", "q3", "r 1", "R1"] {
+            assert!(bad.parse::<Reg>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_constructor_validates() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_constructor_validates() {
+        let _ = Reg::fp(255);
+    }
+}

@@ -1,0 +1,519 @@
+//! A small textual assembler and disassembler.
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! ; full-line comment
+//! label:            ; starts a new basic block
+//!     li   r1, #0
+//!     ld   r2, 8(r3)
+//!     add  r1, r1, r2      ; register form
+//!     add  r3, r3, #8      ; immediate form
+//!     bne  r3, r4, label
+//!     halt
+//! ```
+//!
+//! Immediates may be written `#42` or `42`; registers are `rN`/`fN`;
+//! memory operands are `disp(base)`; branch/jump targets are label
+//! names. Labels must start a line and end with `:`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dca_isa::{Inst, Label, Opcode, Reg};
+
+use crate::{Block, Program, ProgramError};
+
+/// Error produced by [`parse_asm`], carrying a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the problem (0 for program-level errors).
+    pub line: usize,
+    /// Explanation of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> AsmError {
+        AsmError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Reg(Reg),
+    Imm(i64),
+    Mem { disp: i64, base: Reg },
+    LabelName(String),
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let err = |m: String| AsmError { line, message: m };
+    let tok = tok.trim();
+    if tok.is_empty() {
+        return Err(err("empty operand".into()));
+    }
+    if let Some(imm) = tok.strip_prefix('#') {
+        return imm
+            .parse::<i64>()
+            .map(Operand::Imm)
+            .map_err(|_| err(format!("bad immediate `{tok}`")));
+    }
+    if let Some(open) = tok.find('(') {
+        let close = tok
+            .rfind(')')
+            .ok_or_else(|| err(format!("unterminated memory operand `{tok}`")))?;
+        let disp_txt = &tok[..open];
+        let disp = if disp_txt.is_empty() {
+            0
+        } else {
+            disp_txt
+                .parse::<i64>()
+                .map_err(|_| err(format!("bad displacement `{disp_txt}`")))?
+        };
+        let base: Reg = tok[open + 1..close]
+            .parse()
+            .map_err(|e| err(format!("bad base register in `{tok}`: {e}")))?;
+        return Ok(Operand::Mem { disp, base });
+    }
+    if let Ok(r) = tok.parse::<Reg>() {
+        return Ok(Operand::Reg(r));
+    }
+    if let Ok(v) = tok.parse::<i64>() {
+        return Ok(Operand::Imm(v));
+    }
+    if tok
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        return Ok(Operand::LabelName(tok.to_owned()));
+    }
+    Err(err(format!("unrecognised operand `{tok}`")))
+}
+
+/// Parses assembly text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for syntax problems,
+/// unknown mnemonics/labels, or operand-layout violations (which are
+/// detected by the ISA-level `Inst::validate` during program
+/// construction).
+///
+/// # Example
+///
+/// ```
+/// use dca_prog::parse_asm;
+/// let p = parse_asm("start:\n  li r1, #7\n  halt")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), dca_prog::AsmError>(())
+/// ```
+pub fn parse_asm(text: &str) -> Result<Program, AsmError> {
+    struct RawInst {
+        line: usize,
+        op: Opcode,
+        operands: Vec<Operand>,
+    }
+    let mut block_names: Vec<String> = Vec::new();
+    let mut block_bodies: Vec<Vec<RawInst>> = Vec::new();
+    let mut label_ids: HashMap<String, u32> = HashMap::new();
+
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw_line.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(label) = code.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() {
+                return Err(AsmError {
+                    line,
+                    message: "empty label".into(),
+                });
+            }
+            if label_ids.contains_key(label) {
+                return Err(AsmError {
+                    line,
+                    message: format!("duplicate label `{label}`"),
+                });
+            }
+            label_ids.insert(label.to_owned(), block_names.len() as u32);
+            block_names.push(label.to_owned());
+            block_bodies.push(Vec::new());
+            continue;
+        }
+        let (mnemonic, rest) = match code.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (code, ""),
+        };
+        let op: Opcode = mnemonic.parse().map_err(|e| AsmError {
+            line,
+            message: format!("{e}"),
+        })?;
+        let operands = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',')
+                .map(|t| parse_operand(t, line))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        if block_bodies.is_empty() {
+            // Implicit entry block for label-less programs.
+            label_ids.insert("entry".into(), 0);
+            block_names.push("entry".into());
+            block_bodies.push(Vec::new());
+        }
+        block_bodies
+            .last_mut()
+            .expect("at least one block")
+            .push(RawInst { line, op, operands });
+    }
+
+    // Second pass: split source-level blocks after control transfers,
+    // so `add / bne / halt` under a single label becomes two basic
+    // blocks. Synthetic continuation blocks are named `name$k`, which
+    // the operand grammar cannot produce, so no collisions are possible.
+    let mut split_names: Vec<String> = Vec::new();
+    let mut split_bodies: Vec<Vec<RawInst>> = Vec::new();
+    for (name, body) in block_names.iter().zip(block_bodies) {
+        let mut current_name = name.clone();
+        let mut current: Vec<RawInst> = Vec::new();
+        let mut synth = 0usize;
+        let mut pushed_any = false;
+        for raw in body {
+            let is_ctrl = raw.op.is_branch() || raw.op == Opcode::Halt;
+            current.push(raw);
+            if is_ctrl {
+                split_names.push(std::mem::replace(&mut current_name, {
+                    synth += 1;
+                    format!("{name}${synth}")
+                }));
+                split_bodies.push(std::mem::take(&mut current));
+                pushed_any = true;
+            }
+        }
+        if !current.is_empty() || !pushed_any {
+            // Either leftover instructions, or the label had no body at
+            // all (it still needs a block so branches can target it).
+            split_names.push(current_name);
+            split_bodies.push(current);
+        }
+    }
+    // Re-key label ids to the split block order: a source label maps to
+    // the first split block carrying its exact name.
+    label_ids.clear();
+    for (i, n) in split_names.iter().enumerate() {
+        label_ids.entry(n.clone()).or_insert(i as u32);
+    }
+
+    let mut blocks = Vec::with_capacity(split_names.len());
+    for (name, body) in split_names.into_iter().zip(split_bodies) {
+        let mut insts = Vec::with_capacity(body.len().max(1));
+        for raw in body {
+            insts.push(lower(raw.op, &raw.operands, &label_ids, raw.line)?);
+        }
+        if insts.is_empty() {
+            insts.push(Inst::nop());
+        }
+        blocks.push(Block::new(name, insts));
+    }
+    Ok(Program::from_blocks(blocks)?)
+}
+
+fn lower(
+    op: Opcode,
+    operands: &[Operand],
+    labels: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Inst, AsmError> {
+    let err = |m: String| AsmError { line, message: m };
+    let reg = |o: &Operand| -> Result<Reg, AsmError> {
+        match o {
+            Operand::Reg(r) => Ok(*r),
+            other => Err(err(format!("expected register, found {other:?}"))),
+        }
+    };
+    let label = |o: &Operand| -> Result<Label, AsmError> {
+        match o {
+            Operand::LabelName(n) => labels
+                .get(n)
+                .map(|&i| Label(i))
+                .ok_or_else(|| err(format!("unknown label `{n}`"))),
+            other => Err(err(format!("expected label, found {other:?}"))),
+        }
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "{op} expects {n} operands, found {}",
+                operands.len()
+            )))
+        }
+    };
+
+    use Opcode::*;
+    let inst = match op {
+        Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Seq | Mul | Div | Rem | FAdd
+        | FSub | FMul | FDiv | FCmpLt => {
+            need(3)?;
+            let dst = reg(&operands[0])?;
+            let a = reg(&operands[1])?;
+            match &operands[2] {
+                Operand::Reg(b) => Inst {
+                    op,
+                    dst: Some(dst),
+                    src1: Some(a),
+                    src2: Some(*b),
+                    imm: 0,
+                    target: None,
+                },
+                Operand::Imm(v) => Inst {
+                    op,
+                    dst: Some(dst),
+                    src1: Some(a),
+                    src2: None,
+                    imm: *v,
+                    target: None,
+                },
+                other => return Err(err(format!("bad third operand {other:?}"))),
+            }
+        }
+        Mov | FMov | CvtIf | CvtFi => {
+            need(2)?;
+            Inst {
+                op,
+                dst: Some(reg(&operands[0])?),
+                src1: Some(reg(&operands[1])?),
+                src2: None,
+                imm: 0,
+                target: None,
+            }
+        }
+        Li => {
+            need(2)?;
+            let dst = reg(&operands[0])?;
+            let imm = match &operands[1] {
+                Operand::Imm(v) => *v,
+                other => return Err(err(format!("li needs an immediate, found {other:?}"))),
+            };
+            Inst::li(dst, imm)
+        }
+        Ld | FLd => {
+            need(2)?;
+            let dst = reg(&operands[0])?;
+            let (disp, base) = match &operands[1] {
+                Operand::Mem { disp, base } => (*disp, *base),
+                other => return Err(err(format!("load needs disp(base), found {other:?}"))),
+            };
+            Inst {
+                op,
+                dst: Some(dst),
+                src1: Some(base),
+                src2: None,
+                imm: disp,
+                target: None,
+            }
+        }
+        St | FSt => {
+            need(2)?;
+            let data = reg(&operands[0])?;
+            let (disp, base) = match &operands[1] {
+                Operand::Mem { disp, base } => (*disp, *base),
+                other => return Err(err(format!("store needs disp(base), found {other:?}"))),
+            };
+            Inst {
+                op,
+                dst: None,
+                src1: Some(base),
+                src2: Some(data),
+                imm: disp,
+                target: None,
+            }
+        }
+        Beq | Bne | Blt | Bge => {
+            need(3)?;
+            let a = reg(&operands[0])?;
+            let b = reg(&operands[1])?;
+            Inst {
+                op,
+                dst: None,
+                src1: Some(a),
+                src2: Some(b),
+                imm: 0,
+                target: Some(label(&operands[2])?),
+            }
+        }
+        J => {
+            need(1)?;
+            Inst::j(label(&operands[0])?)
+        }
+        Halt => {
+            need(0)?;
+            Inst::halt()
+        }
+        Nop => {
+            need(0)?;
+            Inst::nop()
+        }
+    };
+    inst.validate().map_err(|e| err(e.to_string()))?;
+    Ok(inst)
+}
+
+/// Renders a program back to assembly text. The output parses back to
+/// an equivalent program (same blocks, same instructions).
+///
+/// # Example
+///
+/// ```
+/// use dca_prog::{disassemble, parse_asm};
+/// let p = parse_asm("start:\n  li r1, #7\n  halt")?;
+/// let text = disassemble(&p);
+/// let q = parse_asm(&text)?;
+/// assert_eq!(p.len(), q.len());
+/// # Ok::<(), dca_prog::AsmError>(())
+/// ```
+pub fn disassemble(prog: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (bi, block) in prog.blocks().iter().enumerate() {
+        let _ = writeln!(out, "{}:", block.name);
+        for inst in &block.insts {
+            // Rewrite label operands to use block names.
+            if let Some(t) = inst.target {
+                let name = &prog.blocks()[t.0 as usize].name;
+                let shown = inst.to_string();
+                let label_txt = format!("L{}", t.0);
+                let _ = writeln!(out, "    {}", shown.replace(&label_txt, name));
+            } else {
+                let _ = writeln!(out, "    {inst}");
+            }
+        }
+        if bi + 1 < prog.blocks().len() {
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_representative_program() {
+        let p = parse_asm(
+            "; vector sum
+             entry:
+                 li r1, #0          ; acc
+                 li r2, #0x0        ; not hex, will fail? no: plain 0x0 invalid -> use 0
+                 halt",
+        );
+        // `0x0` is not valid; ensure error reporting works.
+        assert!(p.is_err());
+        let p = parse_asm(
+            "entry:
+                 li r1, #0
+                 li r3, #4096
+                 li r4, #4160
+             loop:
+                 ld r2, 0(r3)
+                 add r1, r1, r2
+                 add r3, r3, #8
+                 bne r3, r4, loop
+             done:
+                 st r1, 0(r4)
+                 halt",
+        )
+        .unwrap();
+        assert_eq!(p.blocks().len(), 3);
+        assert_eq!(p.len(), 9);
+        let bne = p.static_inst(6);
+        assert_eq!(bne.inst.op, Opcode::Bne);
+        assert_eq!(bne.target, Some(3)); // loop starts at sidx 3
+    }
+
+    #[test]
+    fn implicit_entry_block() {
+        let p = parse_asm("li r1, #1\nhalt").unwrap();
+        assert_eq!(p.blocks()[0].name, "entry");
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = parse_asm("entry:\n  bogus r1\n  halt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let e = parse_asm("entry:\n  j nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let e = parse_asm("entry:\n  add r1, r2\n  halt").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = "entry:
+    li r1, #3
+    li r5, #8192
+
+body:
+    add r1, r1, #-1
+    st r1, 0(r5)
+    bne r1, r0, body
+
+exit:
+    halt
+";
+        let p = parse_asm(src).unwrap();
+        let text = disassemble(&p);
+        let q = parse_asm(&text).unwrap();
+        assert_eq!(p.len(), q.len());
+        for (a, b) in p.static_insts().iter().zip(q.static_insts()) {
+            assert_eq!(a.inst, b.inst, "mismatch at sidx {}", a.sidx);
+        }
+    }
+
+    #[test]
+    fn immediate_without_hash_is_accepted() {
+        let p = parse_asm("entry:\n  li r1, 42\n  add r2, r1, 8\n  halt").unwrap();
+        assert_eq!(p.static_inst(0).inst.imm, 42);
+        assert_eq!(p.static_inst(1).inst.imm, 8);
+    }
+
+    #[test]
+    fn fp_program_parses() {
+        let p = parse_asm(
+            "entry:
+                 fld f1, 0(r1)
+                 fadd f2, f1, f1
+                 fmul f3, f2, f1
+                 fcmplt r2, f3, f1
+                 fst f3, 8(r1)
+                 halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+    }
+}

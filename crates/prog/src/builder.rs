@@ -1,0 +1,258 @@
+//! Incremental program construction.
+
+use dca_isa::{Inst, Label};
+
+use crate::{Block, Program, ProgramError};
+
+/// Builder for [`Program`]s, used by the workload generators.
+///
+/// Blocks are declared up front with [`ProgramBuilder::block`] (so they
+/// can be forward-referenced as branch targets) and filled in any order
+/// via [`ProgramBuilder::select`] + [`ProgramBuilder::push`].
+///
+/// # Example
+///
+/// ```
+/// use dca_isa::{Inst, Reg};
+/// use dca_prog::ProgramBuilder;
+///
+/// let mut b = ProgramBuilder::new();
+/// let entry = b.block("entry");
+/// let body = b.block("body");
+/// let exit = b.block("exit");
+///
+/// b.select(entry);
+/// b.push(Inst::li(Reg::int(1), 4));
+///
+/// b.select(body);
+/// b.push(Inst::addi(Reg::int(1), Reg::int(1), -1));
+/// b.push(Inst::bne(Reg::int(1), Reg::ZERO, body));
+///
+/// b.select(exit);
+/// b.push(Inst::halt());
+///
+/// let prog = b.build()?;
+/// assert_eq!(prog.blocks().len(), 3);
+/// # Ok::<(), dca_prog::ProgramError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    blocks: Vec<Block>,
+    current: Option<usize>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Declares a new (initially empty) block and returns its label.
+    /// The first declared block is the program entry. The new block
+    /// becomes the current block.
+    pub fn block(&mut self, name: impl Into<String>) -> Label {
+        let label = Label(self.blocks.len() as u32);
+        self.blocks.push(Block::new(name, Vec::new()));
+        self.current = Some(label.0 as usize);
+        label
+    }
+
+    /// Selects the block that subsequent [`ProgramBuilder::push`] calls
+    /// append to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` was not returned by this builder's
+    /// [`ProgramBuilder::block`].
+    pub fn select(&mut self, label: Label) {
+        assert!(
+            (label.0 as usize) < self.blocks.len(),
+            "label {label} does not belong to this builder"
+        );
+        self.current = Some(label.0 as usize);
+    }
+
+    /// Appends an instruction to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been declared yet.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        let cur = self.current.expect("no current block; call block() first");
+        self.blocks[cur].insts.push(inst);
+        self
+    }
+
+    /// Appends every instruction of `insts` to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been declared yet.
+    pub fn extend(&mut self, insts: impl IntoIterator<Item = Inst>) -> &mut Self {
+        for i in insts {
+            self.push(i);
+        }
+        self
+    }
+
+    /// Number of instructions pushed so far across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Validates and lays out the program.
+    ///
+    /// Convenience transformations applied first:
+    ///
+    /// * blocks left empty receive a single `nop` (so forward-declared
+    ///   but unused blocks do not fail validation);
+    /// * blocks containing control transfers in the middle are
+    ///   **auto-split** into basic blocks (continuations are named
+    ///   `name$k`), with all labels remapped — generators can freely
+    ///   push several branches into one logical block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProgramError`] from [`Program::from_blocks`].
+    pub fn build(mut self) -> Result<Program, ProgramError> {
+        for b in &mut self.blocks {
+            if b.insts.is_empty() {
+                b.insts.push(Inst::nop());
+            }
+        }
+        // Auto-split at control transfers; remember where each original
+        // block's first part lands so labels can be remapped.
+        let mut new_blocks: Vec<Block> = Vec::new();
+        let mut remap: Vec<u32> = Vec::with_capacity(self.blocks.len());
+        for block in self.blocks {
+            remap.push(new_blocks.len() as u32);
+            let mut part = 0usize;
+            let mut cur: Vec<Inst> = Vec::new();
+            let name = block.name;
+            for inst in block.insts {
+                let is_ctrl = inst.op.is_branch() || inst.op == dca_isa::Opcode::Halt;
+                cur.push(inst);
+                if is_ctrl {
+                    let part_name = if part == 0 {
+                        name.clone()
+                    } else {
+                        format!("{name}${part}")
+                    };
+                    new_blocks.push(Block::new(part_name, std::mem::take(&mut cur)));
+                    part += 1;
+                }
+            }
+            if !cur.is_empty() || part == 0 {
+                let part_name = if part == 0 {
+                    name.clone()
+                } else {
+                    format!("{name}${part}")
+                };
+                new_blocks.push(Block::new(part_name, cur));
+            }
+        }
+        for b in &mut new_blocks {
+            for inst in &mut b.insts {
+                if let Some(l) = inst.target {
+                    inst.target = Some(Label(remap[l.0 as usize]));
+                }
+            }
+        }
+        Program::from_blocks(new_blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_isa::Reg;
+
+    #[test]
+    fn forward_references_work() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block("entry");
+        let exit = b.block("exit");
+        b.select(entry);
+        b.push(Inst::j(exit));
+        b.select(exit);
+        b.push(Inst::halt());
+        let p = b.build().unwrap();
+        assert_eq!(p.static_inst(0).target, Some(1));
+    }
+
+    #[test]
+    fn empty_declared_blocks_get_nops() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block("entry");
+        let _unused = b.block("unused");
+        let exit = b.block("exit");
+        b.select(entry);
+        b.push(Inst::j(exit));
+        b.select(exit);
+        b.push(Inst::halt());
+        let p = b.build().unwrap();
+        assert_eq!(p.blocks()[1].insts.len(), 1); // the inserted nop
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut b = ProgramBuilder::new();
+        b.block("entry");
+        b.extend([
+            Inst::li(Reg::int(1), 1),
+            Inst::li(Reg::int(2), 2),
+            Inst::halt(),
+        ]);
+        assert_eq!(b.inst_count(), 3);
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn mid_block_branches_are_auto_split_with_label_remap() {
+        let mut b = ProgramBuilder::new();
+        let entry = b.block("entry");
+        let tail = b.block("tail");
+        b.select(entry);
+        b.push(Inst::li(Reg::int(1), 2));
+        b.push(Inst::beq(Reg::int(1), Reg::ZERO, tail)); // mid-block
+        b.push(Inst::addi(Reg::int(1), Reg::int(1), -1));
+        b.push(Inst::bne(Reg::int(1), Reg::ZERO, entry)); // mid-block
+        b.push(Inst::li(Reg::int(2), 9));
+        b.select(tail);
+        b.push(Inst::halt());
+        let p = b.build().unwrap();
+        // entry split into 3 parts + tail = 4 blocks.
+        assert_eq!(p.blocks().len(), 4);
+        assert_eq!(p.blocks()[1].name, "entry$1");
+        // The bne target must still resolve to the first part of entry.
+        let bne = p
+            .static_insts()
+            .iter()
+            .find(|si| si.inst.op == dca_isa::Opcode::Bne)
+            .unwrap();
+        assert_eq!(bne.target, Some(0));
+        // The beq target must resolve to the (shifted) tail block.
+        let beq = p
+            .static_insts()
+            .iter()
+            .find(|si| si.inst.op == dca_isa::Opcode::Beq)
+            .unwrap();
+        let tail_entry = p.block_by_name("tail").unwrap();
+        assert_eq!(beq.target, Some(p.block_entry(tail_entry)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn select_validates_label() {
+        let mut b = ProgramBuilder::new();
+        b.select(Label(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no current block")]
+    fn push_requires_block() {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::nop());
+    }
+}

@@ -1,0 +1,456 @@
+//! The register dependence graph (RDG) of the paper's §3.1.
+//!
+//! > "The register dependence graph represents all register dependences
+//! > in a program. It is a directed graph that has a node associated to
+//! > each static instruction and an edge for every data dependence
+//! > (true dependence) through a register. Memory instructions are
+//! > special cases since they are split into two **disconnected**
+//! > nodes, one representing the address calculation and the other the
+//! > memory access."
+//!
+//! Edges are computed with a classic reaching-definitions dataflow over
+//! the control-flow graph, at instruction granularity: an edge
+//! `d -> u` exists iff the definition of register `r` at node `d`
+//! reaches the use of `r` at node `u` along some control-flow path.
+
+use dca_isa::Reg;
+
+use crate::Program;
+
+/// Which half of a static instruction a node represents.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodePart {
+    /// The instruction itself — for memory instructions, the
+    /// effective-address calculation.
+    Main,
+    /// The memory access of a load/store (a load's access *defines*
+    /// the destination register; a store's access *uses* the data
+    /// register). Disconnected from the [`NodePart::Main`] node.
+    Access,
+}
+
+/// A node of the [`Rdg`]: a `(static instruction, part)` pair with a
+/// dense `u32` encoding (`sidx * 2 + part`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Node for the main part (or EA calculation) of instruction `sidx`.
+    pub fn main(sidx: u32) -> NodeId {
+        NodeId(sidx * 2)
+    }
+
+    /// Node for the memory-access part of instruction `sidx`.
+    pub fn access(sidx: u32) -> NodeId {
+        NodeId(sidx * 2 + 1)
+    }
+
+    /// The static instruction index this node belongs to.
+    pub fn sidx(self) -> u32 {
+        self.0 / 2
+    }
+
+    /// Which part of the instruction this node is.
+    pub fn part(self) -> NodePart {
+        if self.0.is_multiple_of(2) {
+            NodePart::Main
+        } else {
+            NodePart::Access
+        }
+    }
+
+    /// Dense index, suitable for `Vec` lookup tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Growable bitset used for dataflow sets.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn with_capacity(bits: usize) -> BitSet {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    fn remove(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// `self |= other`; returns `true` if `self` changed.
+    fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+}
+
+/// One register definition site.
+#[derive(Copy, Clone, Debug)]
+struct DefSite {
+    node: NodeId,
+    reg_flat: usize,
+}
+
+/// The register dependence graph of a [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use dca_prog::{parse_asm, NodeId, Rdg};
+///
+/// let p = parse_asm(
+///     "e:
+///         li r1, #4096
+///         ld r2, 0(r1)
+///         add r3, r2, r2
+///         halt",
+/// )?;
+/// let rdg = Rdg::build(&p);
+/// // The add (sidx 2) depends on the load's *access* node, while the
+/// // load's address calculation depends on the li.
+/// let add_parents = rdg.parents(NodeId::main(2));
+/// assert_eq!(add_parents, &[NodeId::access(1)]);
+/// let ea_parents = rdg.parents(NodeId::main(1));
+/// assert_eq!(ea_parents, &[NodeId::main(0)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rdg {
+    node_count: usize,
+    parents: Vec<Vec<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl Rdg {
+    /// Builds the RDG of `prog` by reaching-definitions analysis.
+    pub fn build(prog: &Program) -> Rdg {
+        let insts = prog.static_insts();
+        let node_count = insts.len() * 2;
+
+        // --- collect definition sites --------------------------------
+        let mut defs: Vec<DefSite> = Vec::new();
+        let mut defs_of_reg: Vec<Vec<usize>> = vec![Vec::new(); Reg::FLAT_COUNT];
+        for si in insts {
+            if let Some(dst) = si.inst.effective_dst() {
+                let node = if si.inst.op.is_load() {
+                    NodeId::access(si.sidx)
+                } else {
+                    NodeId::main(si.sidx)
+                };
+                let def_id = defs.len();
+                defs.push(DefSite {
+                    node,
+                    reg_flat: dst.flat_index(),
+                });
+                defs_of_reg[dst.flat_index()].push(def_id);
+            }
+        }
+        let ndefs = defs.len();
+
+        // --- block-level CFG ------------------------------------------
+        let nblocks = prog.blocks().len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        for (bi, _) in prog.blocks().iter().enumerate() {
+            // last instruction of block bi
+            let last_sidx = prog.block_entry(bi as u32)
+                + prog.blocks()[bi].insts.len() as u32
+                - 1;
+            let last = &insts[last_sidx as usize];
+            if let Some(t) = last.target {
+                succs[bi].push(insts[t as usize].block as usize);
+            }
+            if let Some(f) = last.fallthrough {
+                succs[bi].push(insts[f as usize].block as usize);
+            }
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(b);
+            }
+        }
+
+        // --- gen/kill per block ----------------------------------------
+        let mut gen: Vec<BitSet> = vec![BitSet::with_capacity(ndefs); nblocks];
+        let mut kill: Vec<BitSet> = vec![BitSet::with_capacity(ndefs); nblocks];
+        {
+            let mut def_cursor = 0usize;
+            for (bi, block) in prog.blocks().iter().enumerate() {
+                for inst in &block.insts {
+                    if inst.effective_dst().is_some() {
+                        let d = def_cursor;
+                        let r = defs[d].reg_flat;
+                        for &other in &defs_of_reg[r] {
+                            if other != d {
+                                kill[bi].insert(other);
+                                gen[bi].remove(other);
+                            }
+                        }
+                        gen[bi].insert(d);
+                        def_cursor += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(def_cursor, ndefs);
+        }
+
+        // --- fixpoint: reaching definitions ----------------------------
+        let mut inset: Vec<BitSet> = vec![BitSet::with_capacity(ndefs); nblocks];
+        let mut outset: Vec<BitSet> = vec![BitSet::with_capacity(ndefs); nblocks];
+        let mut work: Vec<usize> = (0..nblocks).collect();
+        while let Some(b) = work.pop() {
+            let mut input = BitSet::with_capacity(ndefs);
+            for &p in &preds[b] {
+                input.union_with(&outset[p]);
+            }
+            inset[b] = input.clone();
+            // out = gen ∪ (in − kill)
+            let mut out = input;
+            for (w, k) in out.words.iter_mut().zip(&kill[b].words) {
+                *w &= !k;
+            }
+            out.union_with(&gen[b]);
+            if out != outset[b] {
+                outset[b] = out;
+                for &s in &succs[b] {
+                    if !work.contains(&s) {
+                        work.push(s);
+                    }
+                }
+            }
+        }
+
+        // --- per-use edges ----------------------------------------------
+        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); node_count];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); node_count];
+        let mut add_edge = |from: NodeId, to: NodeId| {
+            parents[to.index()].push(from);
+            children[from.index()].push(to);
+        };
+        let mut def_cursor = 0usize;
+        for (bi, block) in prog.blocks().iter().enumerate() {
+            let mut live = inset[bi].clone();
+            let base_sidx = prog.block_entry(bi as u32);
+            for (pos, inst) in block.insts.iter().enumerate() {
+                let sidx = base_sidx + pos as u32;
+                // uses: (node, reg) pairs
+                let mut link_use = |node: NodeId, reg: Reg, live: &BitSet| {
+                    for &d in &defs_of_reg[reg.flat_index()] {
+                        if live.contains(d) {
+                            add_edge(defs[d].node, node);
+                        }
+                    }
+                };
+                if inst.op.is_mem() {
+                    // EA node uses the base register.
+                    if let Some(base) = inst.src1.filter(|r| !r.is_zero()) {
+                        link_use(NodeId::main(sidx), base, &live);
+                    }
+                    // Store access uses the data register.
+                    if inst.op.is_store() {
+                        if let Some(data) = inst.src2.filter(|r| !r.is_zero()) {
+                            link_use(NodeId::access(sidx), data, &live);
+                        }
+                    }
+                } else {
+                    for reg in inst.srcs() {
+                        link_use(NodeId::main(sidx), reg, &live);
+                    }
+                }
+                // defs
+                if inst.effective_dst().is_some() {
+                    let d = def_cursor;
+                    let r = defs[d].reg_flat;
+                    for &other in &defs_of_reg[r] {
+                        live.remove(other);
+                    }
+                    live.insert(d);
+                    def_cursor += 1;
+                }
+            }
+        }
+        debug_assert_eq!(def_cursor, ndefs);
+
+        // Deduplicate (a def can reach a use along several paths, and
+        // an instruction may use the same register twice).
+        for v in parents.iter_mut().chain(children.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        Rdg {
+            node_count,
+            parents,
+            children,
+        }
+    }
+
+    /// Number of nodes (2 per static instruction; the access node of a
+    /// non-memory instruction exists but has no edges).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Definition nodes this node's register reads depend on.
+    pub fn parents(&self, node: NodeId) -> &[NodeId] {
+        &self.parents[node.index()]
+    }
+
+    /// Use nodes that read this node's defined register.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// Iterator over all node ids (including edge-less ones).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::parse_asm;
+
+    /// The paper's Figure 2 example, transcribed into our ISA.
+    ///
+    /// ```text
+    /// for (i=0;i<N;i++) {
+    ///   if (C[i]!=0) A[i]=B[i]/C[i]; else A[i]=0;
+    /// }
+    /// ```
+    pub(crate) fn figure2_program() -> crate::Program {
+        parse_asm(
+            "init:
+                 li r1, #0
+                 li r5, #80
+             for:
+                 ld r6, 4096(r1)
+                 ld r7, 8192(r1)
+                 beq r7, r0, l1
+             divblk:
+                 div r8, r6, r7
+                 j l2
+             l1:
+                 li r8, #0
+             l2:
+                 st r8, 12288(r1)
+                 add r1, r1, #8
+                 bne r1, r5, for
+                 halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure2_edges_match_paper_structure() {
+        let p = figure2_program();
+        let rdg = Rdg::build(&p);
+        // sidx: 0 li r1,#0 | 1 li r5 | 2 ld r6 | 3 ld r7 | 4 beq | 5 div
+        //       6 j | 7 li r8 | 8 st r8 | 9 add r1 | 10 bne | 11 halt
+        // The div (5) depends on the two load *access* nodes.
+        let div_parents = rdg.parents(NodeId::main(5));
+        assert!(div_parents.contains(&NodeId::access(2)));
+        assert!(div_parents.contains(&NodeId::access(3)));
+        // The store's access uses r8 defined by div (5) or li (7).
+        let st_access = rdg.parents(NodeId::access(8));
+        assert!(st_access.contains(&NodeId::main(5)));
+        assert!(st_access.contains(&NodeId::main(7)));
+        // The store's EA uses r1 defined by li (0) or add (9).
+        let st_ea = rdg.parents(NodeId::main(8));
+        assert!(st_ea.contains(&NodeId::main(0)));
+        assert!(st_ea.contains(&NodeId::main(9)));
+        // EA and access of the same load are disconnected.
+        assert!(!rdg.parents(NodeId::access(2)).contains(&NodeId::main(2)));
+        assert!(rdg.children(NodeId::main(2)).is_empty());
+        // Loop-carried: add (9) is its own grandparent via the back edge.
+        assert!(rdg.parents(NodeId::main(9)).contains(&NodeId::main(9)));
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let p = parse_asm(
+            "e:
+                li r1, #1
+                add r2, r1, r1
+                add r3, r2, r1
+                halt",
+        )
+        .unwrap();
+        let rdg = Rdg::build(&p);
+        assert_eq!(rdg.parents(NodeId::main(1)), &[NodeId::main(0)]);
+        let p3 = rdg.parents(NodeId::main(2));
+        assert_eq!(p3, &[NodeId::main(0), NodeId::main(1)]);
+        assert_eq!(
+            rdg.children(NodeId::main(0)),
+            &[NodeId::main(1), NodeId::main(2)]
+        );
+    }
+
+    #[test]
+    fn kill_blocks_stale_defs() {
+        let p = parse_asm(
+            "e:
+                li r1, #1
+                li r1, #2
+                add r2, r1, r1
+                halt",
+        )
+        .unwrap();
+        let rdg = Rdg::build(&p);
+        // add must depend only on the second li.
+        assert_eq!(rdg.parents(NodeId::main(2)), &[NodeId::main(1)]);
+        assert!(rdg.children(NodeId::main(0)).is_empty());
+    }
+
+    #[test]
+    fn merge_point_sees_both_defs() {
+        let p = parse_asm(
+            "e:
+                beq r9, r0, other
+             a:
+                li r1, #1
+                j join
+             other:
+                li r1, #2
+             join:
+                add r2, r1, r1
+                halt",
+        )
+        .unwrap();
+        let rdg = Rdg::build(&p);
+        let add_sidx = 4;
+        let parents = rdg.parents(NodeId::main(add_sidx));
+        assert_eq!(parents.len(), 2);
+    }
+
+    #[test]
+    fn uses_before_any_def_have_no_parents() {
+        let p = parse_asm("e:\n add r1, r2, r3\n halt").unwrap();
+        let rdg = Rdg::build(&p);
+        assert!(rdg.parents(NodeId::main(0)).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the assembler: `disassemble` followed by
+//! `parse_asm` reproduces the exact instruction sequence, and the
+//! functional interpreter is invariant under the round trip.
+
+use dca_prog::{disassemble, parse_asm, Interp, Memory};
+use proptest::prelude::*;
+
+/// Random programs built from assembler *text* fragments — this keeps
+/// the strategy in the same representation the property is about.
+fn arb_asm_source() -> impl Strategy<Value = String> {
+    let line = prop_oneof![
+        (1u8..10, 1u8..10, 1u8..10).prop_map(|(d, a, b)| format!("add r{d}, r{a}, r{b}")),
+        (1u8..10, 1u8..10, -64i64..64).prop_map(|(d, a, i)| format!("add r{d}, r{a}, #{i}")),
+        (1u8..10, 1u8..10, 1u8..10).prop_map(|(d, a, b)| format!("xor r{d}, r{a}, r{b}")),
+        (1u8..10, -512i64..512).prop_map(|(d, i)| format!("li r{d}, #{i}")),
+        (1u8..10, 1u8..10).prop_map(|(d, a)| format!("mov r{d}, r{a}")),
+        (1u8..10, 0i64..64).prop_map(|(d, off)| format!("ld r{d}, {}(r15)", off & !7)),
+        (1u8..10, 0i64..64).prop_map(|(v, off)| format!("st r{v}, {}(r15)", off & !7)),
+        (1u8..10, 1u8..10).prop_map(|(d, a)| format!("mul r{d}, r{a}, r{a}")),
+        Just("nop".to_string()),
+    ];
+    proptest::collection::vec(line, 1..30).prop_map(|lines| {
+        let mut src = String::from("entry:\n    li r15, #131072\n");
+        for l in &lines {
+            src.push_str("    ");
+            src.push_str(l);
+            src.push('\n');
+        }
+        // A countdown loop exercises labels in the round trip.
+        src.push_str(
+            "    li r20, #3\nloop:\n    add r20, r20, #-1\n    bne r20, r0, loop\n    halt\n",
+        );
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn disassemble_parse_is_identity_on_instructions(src in arb_asm_source()) {
+        let p = parse_asm(&src).expect("generated source is valid");
+        let text = disassemble(&p);
+        let q = parse_asm(&text).unwrap_or_else(|e| panic!("round trip failed: {e}\n{text}"));
+        prop_assert_eq!(p.len(), q.len());
+        for (a, b) in p.static_insts().iter().zip(q.static_insts()) {
+            prop_assert_eq!(a.inst, b.inst, "sidx {}", a.sidx);
+            prop_assert_eq!(a.target, b.target, "sidx {}", a.sidx);
+            prop_assert_eq!(a.fallthrough, b.fallthrough, "sidx {}", a.sidx);
+        }
+    }
+
+    #[test]
+    fn interpreter_invariant_under_round_trip(src in arb_asm_source()) {
+        let p = parse_asm(&src).expect("valid");
+        let q = parse_asm(&disassemble(&p)).expect("round trip parses");
+        let mut ip = Interp::new(&p, Memory::new()).with_fuel(5_000);
+        let mut iq = Interp::new(&q, Memory::new()).with_fuel(5_000);
+        loop {
+            match (ip.next(), iq.next()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.sidx, b.sidx);
+                    prop_assert_eq!(a.ea, b.ea);
+                    prop_assert_eq!(a.taken, b.taken);
+                }
+                (a, b) => prop_assert!(false, "streams diverged: {a:?} vs {b:?}"),
+            }
+        }
+        for r in 0..32u8 {
+            prop_assert_eq!(ip.int_reg(r), iq.int_reg(r));
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Machine configuration (the paper's Table 2) and its presets.
+
+use dca_uarch::{CombinedConfig, FuPoolConfig, HierarchyConfig};
+
+/// One of the two clusters. The paper calls cluster 1 the *integer
+/// cluster* (it owns the complex integer units) and cluster 2 the *FP
+/// cluster* (it owns the FP units and, in the clustered machine, three
+/// simple integer ALUs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClusterId {
+    /// The integer cluster (paper's "cluster 1" / C1).
+    Int,
+    /// The FP cluster (paper's "cluster 2" / C2).
+    Fp,
+}
+
+impl ClusterId {
+    /// Dense index: `Int` → 0, `Fp` → 1.
+    pub fn index(self) -> usize {
+        match self {
+            ClusterId::Int => 0,
+            ClusterId::Fp => 1,
+        }
+    }
+
+    /// The other cluster.
+    pub fn other(self) -> ClusterId {
+        match self {
+            ClusterId::Int => ClusterId::Fp,
+            ClusterId::Fp => ClusterId::Int,
+        }
+    }
+
+    /// Both clusters, in index order.
+    pub const BOTH: [ClusterId; 2] = [ClusterId::Int, ClusterId::Fp];
+
+    /// Cluster from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 1`.
+    pub fn from_index(i: usize) -> ClusterId {
+        match i {
+            0 => ClusterId::Int,
+            1 => ClusterId::Fp,
+            _ => panic!("cluster index {i} out of range"),
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterId::Int => f.write_str("INT"),
+            ClusterId::Fp => f.write_str("FP"),
+        }
+    }
+}
+
+/// Full machine configuration. Public fields in the spirit of a plain
+/// parameter record; [`SimConfig::validate`] checks consistency and the
+/// presets encode the paper's machines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Instructions fetched per cycle (paper: 8).
+    pub fetch_width: u32,
+    /// Instructions decoded/renamed per cycle (paper: 8).
+    pub decode_width: u32,
+    /// Instructions retired per cycle (paper: 8).
+    pub retire_width: u32,
+    /// Reorder-buffer entries = max in-flight instructions (paper: 64).
+    pub rob_size: u32,
+    /// Instruction-queue entries per cluster (paper: 64 + 64).
+    pub iq_size: [u32; 2],
+    /// Issue width per cluster (paper: 4 + 4).
+    pub issue_width: [u32; 2],
+    /// Physical registers per cluster (paper: 96 + 96).
+    pub phys_regs: [u32; 2],
+    /// Functional units per cluster.
+    pub fus: [FuPoolConfig; 2],
+    /// Inter-cluster transfers per cycle per direction (paper: 3).
+    pub buses_per_dir: u32,
+    /// Extra cycles an inter-cluster bypass adds over a local bypass
+    /// (paper: 1).
+    pub copy_latency: u32,
+    /// D-cache read/write ports shared by loads and committing stores
+    /// (paper: 3).
+    pub dcache_ports: u32,
+    /// Register-file read ports per cluster consumed at issue; `0`
+    /// models unconstrained ports (the default — Table 2 does not give
+    /// port counts, but §2 says copies "compete for … register file
+    /// ports as any other instruction", which this knob exposes for
+    /// ablation).
+    pub rf_read_ports: [u32; 2],
+    /// Register-file write ports per cluster consumed at issue (result
+    /// and copy-destination writes); `0` = unconstrained.
+    pub rf_write_ports: [u32; 2],
+    /// Cache/memory hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor geometry.
+    pub bpred: CombinedConfig,
+    /// Whether the inter-cluster bypasses exist. `false` reproduces the
+    /// *base* (conventional) machine, which communicates only through
+    /// memory.
+    pub intercluster: bool,
+    /// Upper-bound machine: a single unified cluster (index 0) holding
+    /// the union of all resources; steering is ignored.
+    pub unified: bool,
+    /// Fetch-buffer capacity in instructions.
+    pub fetch_buffer: u32,
+}
+
+impl SimConfig {
+    /// The paper's clustered machine (Table 2).
+    pub fn paper_clustered() -> SimConfig {
+        SimConfig {
+            fetch_width: 8,
+            decode_width: 8,
+            retire_width: 8,
+            rob_size: 64,
+            iq_size: [64, 64],
+            issue_width: [4, 4],
+            phys_regs: [96, 96],
+            fus: [
+                FuPoolConfig::paper_int_cluster(),
+                FuPoolConfig::paper_fp_cluster(),
+            ],
+            buses_per_dir: 3,
+            copy_latency: 1,
+            dcache_ports: 3,
+            rf_read_ports: [0, 0],
+            rf_write_ports: [0, 0],
+            hierarchy: HierarchyConfig::default(),
+            bpred: CombinedConfig::default(),
+            intercluster: true,
+            unified: false,
+            fetch_buffer: 16,
+        }
+    }
+
+    /// The *base* conventional machine the paper reports speed-ups
+    /// against: identical parameters, but the FP cluster has **no**
+    /// simple integer units and there are **no** inter-cluster
+    /// bypasses.
+    pub fn paper_base() -> SimConfig {
+        SimConfig {
+            fus: [
+                FuPoolConfig::paper_int_cluster(),
+                FuPoolConfig::base_fp_cluster(),
+            ],
+            intercluster: false,
+            ..SimConfig::paper_clustered()
+        }
+    }
+
+    /// The paper's upper bound ("UB arch"): a 16-way issue processor
+    /// (8 integer + 8 FP) with no communication penalty, modelled as a
+    /// single unified cluster with 8-wide issue on the integer side —
+    /// the binding constraint for SpecInt workloads — and the union of
+    /// all functional units.
+    pub fn paper_upper_bound() -> SimConfig {
+        SimConfig {
+            iq_size: [128, 0],
+            issue_width: [8, 0],
+            phys_regs: [192, 0],
+            fus: [FuPoolConfig::paper_unified(), FuPoolConfig::base_fp_cluster()],
+            unified: true,
+            intercluster: false,
+            ..SimConfig::paper_clustered()
+        }
+    }
+
+    /// The clustered machine with a single bus each way (§3.8 claims
+    /// performance is unchanged).
+    pub fn one_bus() -> SimConfig {
+        SimConfig {
+            buses_per_dir: 1,
+            ..SimConfig::paper_clustered()
+        }
+    }
+
+    /// A deliberately tiny machine for stress tests: 2-wide everything,
+    /// small queues — surfaces structural-hazard bugs quickly.
+    pub fn small_test() -> SimConfig {
+        SimConfig {
+            fetch_width: 2,
+            decode_width: 2,
+            retire_width: 2,
+            rob_size: 8,
+            iq_size: [4, 4],
+            issue_width: [2, 2],
+            phys_regs: [48, 72],
+            buses_per_dir: 1,
+            fetch_buffer: 4,
+            ..SimConfig::paper_clustered()
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (e.g. fewer physical registers than architectural
+    /// state requires).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.decode_width == 0 || self.retire_width == 0 {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.rob_size == 0 {
+            return Err("ROB must have at least one entry".into());
+        }
+        // Architectural mappings: 31 int regs in cluster 0 (r0 is not
+        // renamed), 32 FP regs in the FP cluster. With inter-cluster
+        // bypasses the FP cluster can additionally hold a live *replica*
+        // of every integer register (the paper's replication, Figure
+        // 15), so its register file must cover 32 + 31 long-lived
+        // mappings plus at least one in-flight allocation — undersizing
+        // it deadlocks dispatch once replicas accumulate. The paper's
+        // 96 registers satisfy this comfortably.
+        if self.phys_regs[0] < 31 + 1 {
+            return Err("cluster 0 needs at least 32 physical registers".into());
+        }
+        let fp_cluster = if self.unified { 0 } else { 1 };
+        // Unified: 31 int + 32 FP architectural mappings share the one
+        // file. Clustered with bypasses: 32 FP plus up to 31 integer
+        // *replicas*. Both compositions need the same 63 long-lived
+        // mappings; without bypasses only the FP bank lives there.
+        let fp_need = if self.unified || self.intercluster {
+            31 + 32 + 1
+        } else {
+            32 + 1
+        };
+        if self.phys_regs[fp_cluster] < fp_need {
+            return Err(format!(
+                "cluster {fp_cluster} needs at least {fp_need} physical registers                  (architectural state + possible replicas + one in flight)"
+            ));
+        }
+        if self.unified && self.intercluster {
+            return Err("a unified machine has no inter-cluster buses".into());
+        }
+        if self.intercluster && self.buses_per_dir == 0 {
+            return Err("clustered machine needs at least one bus per direction".into());
+        }
+        for c in 0..2 {
+            if self.rf_read_ports[c] == 1 {
+                return Err(format!(
+                    "cluster {c}: 1 RF read port cannot issue two-source \
+                     instructions (use 0 for unconstrained or >= 2)"
+                ));
+            }
+        }
+        if self.fetch_buffer < self.fetch_width {
+            return Err("fetch buffer must hold at least one fetch group".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    /// Defaults to the paper's clustered machine.
+    fn default() -> SimConfig {
+        SimConfig::paper_clustered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            SimConfig::paper_clustered(),
+            SimConfig::paper_base(),
+            SimConfig::paper_upper_bound(),
+            SimConfig::one_bus(),
+            SimConfig::small_test(),
+        ] {
+            cfg.validate().expect("preset must be valid");
+        }
+    }
+
+    #[test]
+    fn cluster_id_round_trips() {
+        for c in ClusterId::BOTH {
+            assert_eq!(ClusterId::from_index(c.index()), c);
+            assert_ne!(c.other(), c);
+            assert_eq!(c.other().other(), c);
+        }
+    }
+
+    #[test]
+    fn base_machine_has_no_int_units_in_fp_cluster() {
+        let base = SimConfig::paper_base();
+        assert_eq!(base.fus[1].int_alu, 0);
+        assert!(!base.intercluster);
+    }
+
+    #[test]
+    fn validate_rejects_tiny_regfiles() {
+        let cfg = SimConfig {
+            phys_regs: [16, 96],
+            ..SimConfig::paper_clustered()
+        };
+        assert!(cfg.validate().is_err());
+        // A clustered FP register file must also cover integer replicas.
+        let cfg = SimConfig {
+            phys_regs: [96, 40],
+            ..SimConfig::paper_clustered()
+        };
+        assert!(cfg.validate().is_err());
+        // ... unless the machine has no bypasses (no replication).
+        let cfg = SimConfig {
+            phys_regs: [96, 40],
+            ..SimConfig::paper_base()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unified_with_buses() {
+        let cfg = SimConfig {
+            unified: true,
+            intercluster: true,
+            phys_regs: [192, 0],
+            ..SimConfig::paper_clustered()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! The unified load/store disambiguation logic.
+//!
+//! > "Load and store instructions are internally split into two
+//! > operations, one for computing the effective address and another
+//! > that performs the memory access. [...] the instruction is
+//! > forwarded to a unique disambiguation logic that decides when the
+//! > instruction can perform its memory access. A load reads from
+//! > memory after being disambiguated with all previous stores,
+//! > whereas stores write to memory at commit."
+//!
+//! Policy (matching Table 2's "loads may execute when prior store
+//! addresses are known"):
+//!
+//! * a load may access the D-cache once its own address is known and
+//!   every older store's address is known;
+//! * if the youngest older store with an overlapping address has ready
+//!   data, the load is served by store-to-load forwarding (1 cycle)
+//!   without consuming a D-cache port;
+//! * if that store's data is not ready yet, the load waits;
+//! * stores write the D-cache at commit, consuming a port.
+//!
+//! All accesses are 8 bytes wide; overlap is `|a − b| < 8`.
+
+use crate::rename::PhysReg;
+use crate::ClusterId;
+
+/// Entry state for the memory-access half of a load.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LoadState {
+    /// Waiting for address and/or disambiguation and/or data.
+    Waiting,
+    /// Access performed; result arrives at the recorded cycle.
+    Issued,
+}
+
+/// One load or store in the unified queue (program order).
+#[derive(Clone, Debug)]
+pub struct LsqEntry {
+    /// Dynamic µop sequence of the owning instruction.
+    pub seq: u64,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// Effective address, once the EA micro-op has executed.
+    pub addr: Option<u64>,
+    /// Cycle at which the address became usable.
+    pub addr_at: u64,
+    /// For stores: the data operand (cluster, physical register).
+    pub data: Option<(ClusterId, PhysReg)>,
+    /// For loads: access state.
+    pub state: LoadState,
+    /// Static instruction index (for steering criticality callbacks).
+    pub sidx: u32,
+}
+
+/// The unified disambiguation queue.
+#[derive(Clone, Debug, Default)]
+pub struct Lsq {
+    entries: Vec<LsqEntry>,
+}
+
+impl Lsq {
+    /// Creates an empty queue.
+    pub fn new() -> Lsq {
+        Lsq::default()
+    }
+
+    /// Appends an entry at dispatch (program order).
+    pub fn push(&mut self, e: LsqEntry) {
+        debug_assert!(
+            self.entries.last().is_none_or(|last| last.seq < e.seq),
+            "LSQ must be filled in program order"
+        );
+        self.entries.push(e);
+    }
+
+    /// Records the address of the entry owned by µop `seq`.
+    pub fn set_addr(&mut self, seq: u64, addr: u64, at: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+            e.addr = Some(addr);
+            e.addr_at = at;
+        }
+    }
+
+    /// Removes the (necessarily oldest) entry owned by `seq` at commit.
+    pub fn retire(&mut self, seq: u64) {
+        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+            debug_assert_eq!(pos, 0, "memory ops must retire in order");
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Number of queued entries.
+    #[allow(dead_code)] // used by unit tests and kept for debugging
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries are queued.
+    #[allow(dead_code)] // used by unit tests and kept for debugging
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Immutable view of the entries in program order.
+    pub fn entries(&self) -> &[LsqEntry] {
+        &self.entries
+    }
+
+    /// Mutable access to the entry owned by `seq`.
+    pub fn entry_mut(&mut self, seq: u64) -> Option<&mut LsqEntry> {
+        self.entries.iter_mut().find(|e| e.seq == seq)
+    }
+
+    /// Disambiguation check for the load owned by `seq` at cycle `now`:
+    ///
+    /// * `Err(())` — not ready to access memory yet (own address
+    ///   unknown, an older store address unknown, or a matching store's
+    ///   data not ready);
+    /// * `Ok(Some(store_seq))` — may be served by forwarding from that
+    ///   store;
+    /// * `Ok(None)` — may access the D-cache.
+    #[allow(clippy::result_unit_err)]
+    pub fn load_disambiguate(&self, seq: u64, now: u64, store_data_ready: impl Fn(ClusterId, PhysReg) -> bool) -> Result<Option<u64>, ()> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.seq == seq)
+            .expect("load not in LSQ");
+        let load = &self.entries[idx];
+        debug_assert!(!load.is_store);
+        let laddr = match load.addr {
+            Some(a) if load.addr_at <= now => a,
+            _ => return Err(()),
+        };
+        // All older stores must have known addresses.
+        let mut forward_from: Option<&LsqEntry> = None;
+        for e in &self.entries[..idx] {
+            if !e.is_store {
+                continue;
+            }
+            match e.addr {
+                Some(a) if e.addr_at <= now => {
+                    if a.abs_diff(laddr) < 8 {
+                        forward_from = Some(e); // youngest so far wins
+                    }
+                }
+                _ => return Err(()),
+            }
+        }
+        match forward_from {
+            Some(st) => {
+                let (c, p) = st.data.expect("store has a data operand");
+                if store_data_ready(c, p) {
+                    Ok(Some(st.seq))
+                } else {
+                    Err(())
+                }
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(seq: u64) -> LsqEntry {
+        LsqEntry {
+            seq,
+            is_store: false,
+            addr: None,
+            addr_at: 0,
+            data: None,
+            state: LoadState::Waiting,
+            sidx: 0,
+        }
+    }
+
+    fn store(seq: u64) -> LsqEntry {
+        LsqEntry {
+            is_store: true,
+            data: Some((ClusterId::Int, PhysReg(1))),
+            ..load(seq)
+        }
+    }
+
+    #[test]
+    fn load_waits_for_own_address() {
+        let mut q = Lsq::new();
+        q.push(load(0));
+        assert!(q.load_disambiguate(0, 5, |_, _| true).is_err());
+        q.set_addr(0, 0x100, 3);
+        assert_eq!(q.load_disambiguate(0, 5, |_, _| true), Ok(None));
+        // The address is usable only from its ready cycle onwards.
+        assert!(q.load_disambiguate(0, 2, |_, _| true).is_err());
+    }
+
+    #[test]
+    fn load_waits_for_older_store_addresses() {
+        let mut q = Lsq::new();
+        q.push(store(0));
+        q.push(load(1));
+        q.set_addr(1, 0x100, 0);
+        assert!(q.load_disambiguate(1, 5, |_, _| true).is_err());
+        q.set_addr(0, 0x900, 4);
+        assert_eq!(q.load_disambiguate(1, 5, |_, _| true), Ok(None));
+    }
+
+    #[test]
+    fn forwarding_from_youngest_matching_store() {
+        let mut q = Lsq::new();
+        q.push(store(0));
+        q.push(store(1));
+        q.push(load(2));
+        q.set_addr(0, 0x100, 0);
+        q.set_addr(1, 0x100, 0);
+        q.set_addr(2, 0x100, 0);
+        assert_eq!(q.load_disambiguate(2, 1, |_, _| true), Ok(Some(1)));
+    }
+
+    #[test]
+    fn forwarding_waits_for_store_data() {
+        let mut q = Lsq::new();
+        q.push(store(0));
+        q.push(load(1));
+        q.set_addr(0, 0x100, 0);
+        q.set_addr(1, 0x104, 0); // overlapping (|diff| < 8)
+        assert!(q.load_disambiguate(1, 1, |_, _| false).is_err());
+        assert_eq!(q.load_disambiguate(1, 1, |_, _| true), Ok(Some(0)));
+    }
+
+    #[test]
+    fn younger_stores_do_not_matter() {
+        let mut q = Lsq::new();
+        q.push(load(0));
+        q.push(store(1)); // younger, address unknown
+        q.set_addr(0, 0x80, 0);
+        assert_eq!(q.load_disambiguate(0, 1, |_, _| true), Ok(None));
+    }
+
+    #[test]
+    fn disjoint_store_does_not_forward() {
+        let mut q = Lsq::new();
+        q.push(store(0));
+        q.push(load(1));
+        q.set_addr(0, 0x100, 0);
+        q.set_addr(1, 0x108, 0); // adjacent 8-byte word, no overlap
+        assert_eq!(q.load_disambiguate(1, 1, |_, _| true), Ok(None));
+    }
+
+    #[test]
+    fn retire_in_order() {
+        let mut q = Lsq::new();
+        q.push(store(0));
+        q.push(load(1));
+        q.retire(0);
+        assert_eq!(q.len(), 1);
+        q.retire(1);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,1252 @@
+//! The cycle-level pipeline: fetch → decode/rename/steer → issue →
+//! execute → commit.
+//!
+//! ## Modelling decisions (also summarised in DESIGN.md §6)
+//!
+//! * **Trace-driven wrong path**: the functional stream contains only
+//!   committed-path instructions, so a mispredicted branch stalls fetch
+//!   until it resolves instead of fetching wrong-path work. No ROB
+//!   squash ever happens, which also means µop sequence numbers in the
+//!   ROB are contiguous.
+//! * **Copies are ROB entries**: a consumer and the copies it needs are
+//!   allocated atomically at dispatch, which makes physical-register
+//!   freeing uniform (displaced mappings are released when the
+//!   displacing µop commits) and rules out rename deadlock.
+//! * **Local bypass 0 cycles / remote 1 cycle**: an ALU result produced
+//!   by a µop issued at cycle *t* with latency *L* is usable by local
+//!   consumers issuing at *t+L* and, through a copy issued at *t′*, by
+//!   remote consumers at *t′+1+copy_latency*.
+//! * **Store data**: integer store data must reside in the store's
+//!   cluster (a copy is inserted if needed, per §2 of the paper); FP
+//!   store data is read from the FP register file at commit without a
+//!   copy, since FP values are never replicated.
+
+use std::collections::VecDeque;
+
+use dca_isa::{ClusterNeed, ExecClass, Opcode, Reg};
+use dca_prog::{DynInst, Interp, Memory, Program};
+use dca_uarch::{
+    latency_of, BranchPredictor, Combined, FuPool, MemHierarchy, MemLevel, PortMeter,
+};
+
+use crate::config::{ClusterId, SimConfig};
+use crate::lsq::{LoadState, Lsq, LsqEntry};
+use crate::rename::{PhysReg, RegFile, RenameMap};
+use crate::stats::SimStats;
+use crate::steering::{Allowed, DecodedView, SrcView, SteerCtx, Steering};
+
+/// Cycles without a single commit (with work in flight) after which the
+/// simulator declares a livelock (a model bug, not a program property).
+const NO_PROGRESS_LIMIT: u64 = 100_000;
+
+#[derive(Copy, Clone, Debug)]
+struct Fetched {
+    d: DynInst,
+    available_at: u64,
+    mispredicted: bool,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum UopKind {
+    /// ALU/branch/jump/nop work executed in a cluster.
+    Normal,
+    /// Inter-cluster copy (dense id for critical-communication stats).
+    Copy { id: u32 },
+    /// Load (EA µop + memory access via the LSQ).
+    Load,
+    /// Store (EA µop; writes memory at commit).
+    Store,
+}
+
+#[derive(Clone, Debug)]
+struct RobEntry {
+    seq: u64,
+    dyn_seq: u64,
+    sidx: u32,
+    pc: u64,
+    /// The program instruction (for copies: the consumer the copy was
+    /// inserted for) — carried for tracing.
+    inst: dca_isa::Inst,
+    cluster: ClusterId,
+    kind: UopKind,
+    is_program: bool,
+    /// Destination mapping installed at rename.
+    dst: Option<(ClusterId, PhysReg)>,
+    /// Mappings displaced at rename, freed at commit.
+    displaced: Vec<(ClusterId, PhysReg)>,
+    /// Cycle the instruction entered the fetch buffer.
+    fetch_at: u64,
+    /// Cycle the µop was dispatched.
+    dispatch_at: u64,
+    /// Cycle the µop left its instruction queue (nops never do).
+    issue_at: Option<u64>,
+    /// Cycle the µop's result is architecturally complete.
+    complete_at: Option<u64>,
+    mispredicted: bool,
+    is_cond_branch: bool,
+}
+
+#[derive(Clone, Debug)]
+struct IqEntry {
+    seq: u64,
+    /// Dynamic *program-instruction* sequence (what `DecodedView::seq`
+    /// carried at steering time); copies inherit their consumer's.
+    dyn_seq: u64,
+    sidx: u32,
+    /// Cluster whose queue holds this entry (copies sit in the *source*
+    /// cluster and write into `copy_dst`).
+    cluster: ClusterId,
+    issue_class: ExecClass,
+    kind: UopKind,
+    srcs: [Option<PhysReg>; 2],
+    /// For copies: destination cluster/register (sources are local).
+    copy_dst: Option<(ClusterId, PhysReg)>,
+    dst: Option<PhysReg>,
+    ea: Option<u64>,
+    dispatched_at: u64,
+    mispredicted: bool,
+}
+
+/// Fetch-stall state while a mispredicted branch is in flight. Only one
+/// can be outstanding because fetch stops at the first one.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum BranchWait {
+    /// No outstanding mispredicted branch.
+    None,
+    /// Fetched but not yet dispatched (µop seq unknown).
+    Fetched,
+    /// Dispatched; waiting for this µop to issue and resolve.
+    Dispatched(u64),
+}
+
+/// The simulator: owns the machine state and drives one program's
+/// dynamic stream through the timing model.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Simulator<'p> {
+    cfg: SimConfig,
+    interp: Option<Interp<'p>>,
+    // frontend
+    fetch_buf: VecDeque<Fetched>,
+    pending: Option<DynInst>,
+    icache_ready_at: u64,
+    resume_at: u64,
+    branch_wait: BranchWait,
+    stream_done: bool,
+    bpred: Combined,
+    // backend
+    rob: VecDeque<RobEntry>,
+    rob_head_seq: u64,
+    iq: [Vec<IqEntry>; 2],
+    regs: [RegFile; 2],
+    map: RenameMap,
+    lsq: Lsq,
+    fus: [FuPool; 2],
+    hierarchy: MemHierarchy,
+    dports: PortMeter,
+    bus_used: [u32; 2],
+    rf_reads_used: [u32; 2],
+    rf_writes_used: [u32; 2],
+    now: u64,
+    last_progress_cycle: u64,
+    uop_seq: u64,
+    copy_critical: Vec<bool>,
+    /// Steering decision for the instruction at the head of the fetch
+    /// buffer, kept across resource-stall retries so [`Steering::steer`]
+    /// is called exactly once per decoded instruction (the documented
+    /// contract — re-steering would let stateful schemes advance their
+    /// state once per *retry cycle* instead of once per instruction).
+    steer_cache: Option<(u64, ClusterId)>,
+    /// Per-µop pipeline trace, collected only when enabled.
+    trace: Option<crate::Trace>,
+    stats: SimStats,
+    fp_cluster: ClusterId,
+}
+
+impl<'p> Simulator<'p> {
+    /// Builds a simulator for `prog` with the given initial memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`].
+    pub fn new(cfg: &SimConfig, prog: &'p Program, mem: Memory) -> Simulator<'p> {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid simulator configuration: {e}");
+        }
+        let fp_cluster = if cfg.unified { ClusterId::Int } else { ClusterId::Fp };
+        let mut regs = [
+            RegFile::new(cfg.phys_regs[0] as usize),
+            RegFile::new(cfg.phys_regs[1] as usize),
+        ];
+        let mut map = RenameMap::new(fp_cluster);
+        // Architectural state: integer registers live in the integer
+        // cluster, FP registers in the FP cluster; everything ready.
+        for n in 1..32u8 {
+            let p = regs[ClusterId::Int.index()]
+                .alloc()
+                .expect("config validated: enough int registers");
+            map.define(Reg::int(n), ClusterId::Int, p);
+            regs[ClusterId::Int.index()].set_ready(p, 0);
+        }
+        for n in 0..32u8 {
+            let p = regs[fp_cluster.index()]
+                .alloc()
+                .expect("config validated: enough fp registers");
+            map.define(Reg::fp(n), fp_cluster, p);
+            regs[fp_cluster.index()].set_ready(p, 0);
+        }
+        Simulator {
+            interp: Some(Interp::new(prog, mem)),
+            fetch_buf: VecDeque::with_capacity(cfg.fetch_buffer as usize),
+            pending: None,
+            icache_ready_at: 0,
+            resume_at: 0,
+            branch_wait: BranchWait::None,
+            stream_done: false,
+            bpred: Combined::new(cfg.bpred),
+            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            rob_head_seq: 0,
+            iq: [Vec::new(), Vec::new()],
+            regs,
+            map,
+            lsq: Lsq::new(),
+            fus: [FuPool::new(cfg.fus[0]), FuPool::new(cfg.fus[1])],
+            hierarchy: MemHierarchy::new(cfg.hierarchy),
+            dports: PortMeter::new(cfg.dcache_ports),
+            bus_used: [0, 0],
+            rf_reads_used: [0, 0],
+            rf_writes_used: [0, 0],
+            now: 0,
+            last_progress_cycle: 0,
+            uop_seq: 0,
+            copy_critical: Vec::new(),
+            steer_cache: None,
+            trace: None,
+            stats: SimStats::default(),
+            fp_cluster,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Runs at most `max_insts` dynamic instructions to completion
+    /// (stream exhausted and pipeline drained) and returns the
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline livelocks (a simulator bug) or if the
+    /// workload requires an inter-cluster register transfer on a
+    /// machine without bypasses (`cfg.intercluster == false` with a
+    /// bank-crossing workload).
+    pub fn run(mut self, steering: &mut dyn Steering, max_insts: u64) -> SimStats {
+        self.run_mut(steering, max_insts)
+    }
+
+    /// Like [`Simulator::run`], but borrows the simulator, so post-run
+    /// state — notably a collected [`Trace`](crate::Trace) — remains
+    /// accessible through [`Simulator::take_trace`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_mut(&mut self, steering: &mut dyn Steering, max_insts: u64) -> SimStats {
+        self.interp = Some(
+            self.interp
+                .take()
+                .expect("interpreter present")
+                .with_fuel(max_insts),
+        );
+        while !self.done() {
+            self.step(steering);
+            assert!(
+                self.now < self.last_progress_cycle + NO_PROGRESS_LIMIT,
+                "pipeline livelock: cycle {} ({} max instructions)\n\
+                 rob head: {:?}\niq0: {:?}\niq1: {:?}\nlsq: {:?}\nbranch_wait: {:?} resume_at {}\n\
+                 fetch_buf {} pending {:?} stream_done {}",
+                self.now,
+                max_insts,
+                self.rob.front(),
+                self.iq[0].first(),
+                self.iq[1].first(),
+                self.lsq.entries().first(),
+                self.branch_wait,
+                self.resume_at,
+                self.fetch_buf.len(),
+                self.pending.map(|d| d.seq),
+                self.stream_done,
+            );
+        }
+        self.stats.cycles = self.now;
+        self.stats.critical_copies = self.copy_critical.iter().filter(|&&c| c).count() as u64;
+        self.stats.l1i = self.hierarchy.l1i_stats();
+        self.stats.l1d = self.hierarchy.l1d_stats();
+        self.stats.l2 = self.hierarchy.l2_stats();
+        self.stats.bpred = self.bpred.stats();
+        self.stats.clone()
+    }
+
+    /// Starts recording a [`Trace`](crate::Trace) of at most `capacity`
+    /// committed µops. Call before [`Simulator::run_mut`]; retrieve the
+    /// result with [`Simulator::take_trace`]. Enabling tracing does not
+    /// change any timing.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::Trace::with_capacity(capacity));
+    }
+
+    /// Takes the collected trace, leaving tracing disabled. Returns
+    /// `None` if [`Simulator::enable_trace`] was never called.
+    pub fn take_trace(&mut self) -> Option<crate::Trace> {
+        self.trace.take()
+    }
+
+    fn done(&self) -> bool {
+        self.stream_done
+            && self.pending.is_none()
+            && self.fetch_buf.is_empty()
+            && self.rob.is_empty()
+    }
+
+    fn rob_index_of(&self, seq: u64) -> Option<usize> {
+        let idx = seq.checked_sub(self.rob_head_seq)? as usize;
+        (idx < self.rob.len()).then_some(idx)
+    }
+
+    // ------------------------------------------------------------------
+    // cycle
+    // ------------------------------------------------------------------
+
+    fn step(&mut self, steering: &mut dyn Steering) {
+        let now = self.now;
+        self.fus[0].begin_cycle(now);
+        self.fus[1].begin_cycle(now);
+        self.dports.begin_cycle();
+        self.bus_used = [0, 0];
+        self.rf_reads_used = [0, 0];
+        self.rf_writes_used = [0, 0];
+
+        let ctx = self.make_ctx();
+        self.stats
+            .balance
+            .record(i64::from(ctx.ready[1]) - i64::from(ctx.ready[0]));
+        self.stats.replication_reg_cycles += u64::from(self.map.replication_count());
+        steering.on_cycle(&ctx);
+
+        self.commit();
+        self.memory_stage(steering);
+        self.issue(steering);
+        self.dispatch(steering, ctx);
+        self.fetch();
+
+        self.now += 1;
+    }
+
+    fn make_ctx(&self) -> SteerCtx {
+        let mut ready = [0u32; 2];
+        for (queue, slot) in self.iq.iter().zip(ready.iter_mut()) {
+            *slot = queue.iter().filter(|e| self.entry_ready(e)).count() as u32;
+        }
+        SteerCtx {
+            now: self.now,
+            ready,
+            iq_len: [self.iq[0].len() as u32, self.iq[1].len() as u32],
+            issue_width: self.cfg.issue_width,
+        }
+    }
+
+    fn entry_ready(&self, e: &IqEntry) -> bool {
+        if e.dispatched_at >= self.now {
+            return false;
+        }
+        e.srcs
+            .iter()
+            .flatten()
+            .all(|&p| self.regs[e.cluster.index()].is_ready(p, self.now))
+    }
+
+    // ------------------------------------------------------------------
+    // commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        let mut budget = self.cfg.retire_width;
+        while budget > 0 {
+            let Some(head) = self.rob.front() else { break };
+            match head.kind {
+                UopKind::Store => {
+                    // Needs: EA complete, data ready, and a D-cache port.
+                    if head.complete_at.is_none_or(|c| c > self.now) {
+                        break;
+                    }
+                    let entry = self
+                        .lsq
+                        .entries()
+                        .first()
+                        .expect("store at ROB head is oldest in LSQ");
+                    debug_assert_eq!(entry.seq, head.seq);
+                    let addr = match entry.addr {
+                        Some(a) if entry.addr_at <= self.now => a,
+                        _ => break,
+                    };
+                    // `None` data means the store writes r0 (constant
+                    // zero) — always ready.
+                    if let Some((dc, dp)) = entry.data {
+                        if !self.regs[dc.index()].is_ready(dp, self.now) {
+                            break;
+                        }
+                    }
+                    if !self.dports.try_acquire() {
+                        break;
+                    }
+                    self.hierarchy.access_data(addr);
+                    let seq = head.seq;
+                    self.lsq.retire(seq);
+                }
+                UopKind::Load => {
+                    if head.complete_at.is_none_or(|c| c > self.now) {
+                        break;
+                    }
+                    let seq = head.seq;
+                    self.lsq.retire(seq);
+                }
+                UopKind::Normal | UopKind::Copy { .. } => {
+                    if head.complete_at.is_none_or(|c| c > self.now) {
+                        break;
+                    }
+                }
+            }
+            let head = self.rob.pop_front().expect("checked non-empty");
+            debug_assert!(
+                head.sidx as usize * 2 < usize::MAX && head.cluster.index() < 2,
+                "ROB entry metadata intact"
+            );
+            if let Some(tr) = self.trace.as_mut() {
+                tr.push(crate::trace::UopRecord {
+                    seq: head.seq,
+                    dyn_seq: head.dyn_seq,
+                    sidx: head.sidx,
+                    pc: head.pc,
+                    text: crate::trace::record_text(&head.inst),
+                    cluster: head.cluster,
+                    kind: match head.kind {
+                        UopKind::Normal => crate::TracedKind::Normal,
+                        UopKind::Load => crate::TracedKind::Load,
+                        UopKind::Store => crate::TracedKind::Store,
+                        UopKind::Copy { .. } => crate::TracedKind::Copy,
+                    },
+                    fetch_at: head.fetch_at,
+                    dispatch_at: head.dispatch_at,
+                    issue_at: head.issue_at,
+                    complete_at: head.complete_at.unwrap_or(self.now),
+                    commit_at: self.now,
+                    mispredicted: head.mispredicted && head.is_cond_branch,
+                });
+            }
+            self.rob_head_seq = head.seq + 1;
+            self.last_progress_cycle = self.now;
+            for (c, p) in head.displaced {
+                self.regs[c.index()].release(p);
+            }
+            self.stats.committed_uops += 1;
+            if head.is_program {
+                self.stats.committed += 1;
+                match head.kind {
+                    UopKind::Load => self.stats.loads += 1,
+                    UopKind::Store => self.stats.stores += 1,
+                    _ => {}
+                }
+                if head.is_cond_branch {
+                    self.stats.branches += 1;
+                    if head.mispredicted {
+                        self.stats.mispredicts += 1;
+                    }
+                }
+            }
+            budget -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // memory (unified disambiguation logic)
+    // ------------------------------------------------------------------
+
+    fn memory_stage(&mut self, steering: &mut dyn Steering) {
+        // Collect candidate loads in program order; issue while ports
+        // remain.
+        let now = self.now;
+        let candidates: Vec<u64> = self
+            .lsq
+            .entries()
+            .iter()
+            .filter(|e| !e.is_store && e.state == LoadState::Waiting)
+            .map(|e| e.seq)
+            .collect();
+        for seq in candidates {
+            let regs = &self.regs;
+            let verdict = self.lsq.load_disambiguate(seq, now, |c, p| {
+                regs[c.index()].is_ready(p, now)
+            });
+            let Ok(forward) = verdict else { continue };
+            let (done_at, missed) = match forward {
+                Some(_store_seq) => {
+                    self.stats.forwarded_loads += 1;
+                    (now + 1, false)
+                }
+                None => {
+                    if !self.dports.try_acquire() {
+                        continue; // retry next cycle
+                    }
+                    let addr = self.lsq.entry_mut(seq).and_then(|e| e.addr).expect("addr known");
+                    let (lat, lvl) = self.hierarchy.access_data(addr);
+                    (now + u64::from(lat), lvl != MemLevel::L1)
+                }
+            };
+            let entry = self.lsq.entry_mut(seq).expect("entry exists");
+            entry.state = LoadState::Issued;
+            let sidx = entry.sidx;
+            let rob_idx = self.rob_index_of(seq).expect("load in ROB");
+            let (dc, dp) = self.rob[rob_idx].dst.expect("loads have destinations");
+            self.regs[dc.index()].set_ready(dp, done_at);
+            self.rob[rob_idx].complete_at = Some(done_at);
+            if missed {
+                steering.on_load_miss(sidx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // issue / execute
+    // ------------------------------------------------------------------
+
+    /// Register-file ports an issuing µop needs: reads in its own
+    /// cluster, the write in the destination's cluster (for copies,
+    /// the remote one). Returns `None` when a port limit is exceeded;
+    /// otherwise reserves the ports.
+    fn try_rf_ports(&mut self, e: &IqEntry, cluster: ClusterId) -> bool {
+        let reads = e.srcs.iter().flatten().count() as u32;
+        let write_cluster = match e.kind {
+            UopKind::Copy { .. } => e.copy_dst.map(|(dc, _)| dc),
+            _ => e.dst.map(|_| cluster),
+        };
+        let read_cap = self.cfg.rf_read_ports[cluster.index()];
+        if read_cap != 0 && self.rf_reads_used[cluster.index()] + reads > read_cap {
+            return false;
+        }
+        if let Some(wc) = write_cluster {
+            let write_cap = self.cfg.rf_write_ports[wc.index()];
+            if write_cap != 0 && self.rf_writes_used[wc.index()] + 1 > write_cap {
+                return false;
+            }
+            self.rf_writes_used[wc.index()] += 1;
+        }
+        self.rf_reads_used[cluster.index()] += reads;
+        true
+    }
+
+    fn issue(&mut self, steering: &mut dyn Steering) {
+        let now = self.now;
+        for c in ClusterId::BOTH {
+            let mut budget = self.cfg.issue_width[c.index()];
+            let mut i = 0;
+            while budget > 0 && i < self.iq[c.index()].len() {
+                let e = &self.iq[c.index()][i];
+                if !self.entry_ready(e) {
+                    i += 1;
+                    continue;
+                }
+                // Structural resources.
+                let accepted = match e.kind {
+                    UopKind::Copy { .. } => {
+                        let dir = c.index(); // 0: INT->FP, 1: FP->INT
+                        if self.bus_used[dir] < self.cfg.buses_per_dir {
+                            self.bus_used[dir] += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => self.fus[c.index()].try_issue(e.issue_class, now),
+                };
+                if !accepted {
+                    i += 1;
+                    continue;
+                }
+                let e_ref = &self.iq[c.index()][i];
+                let e_snapshot = e_ref.clone();
+                if !self.try_rf_ports(&e_snapshot, c) {
+                    // FU/bus reservations for this µop are only logical
+                    // within the cycle; skipping it leaves them charged,
+                    // which conservatively models a port-starved issue
+                    // slot that could not be reclaimed this cycle.
+                    i += 1;
+                    continue;
+                }
+                let e = self.iq[c.index()].remove(i);
+                debug_assert_eq!(e.cluster, c, "IQ entry in the wrong queue");
+                self.execute_uop(&e, c, steering);
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Detects whether the last-arriving source of an issuing consumer
+    /// was delivered by a copy that actually delayed it (the paper's
+    /// critical-communication definition).
+    fn note_critical_sources(&mut self, e: &IqEntry, cluster: ClusterId) {
+        let rf = &self.regs[cluster.index()];
+        let mut times: Vec<(u64, Option<u32>)> = e
+            .srcs
+            .iter()
+            .flatten()
+            .map(|&p| (rf.ready_at(p), rf.copy_id(p)))
+            .collect();
+        if times.is_empty() {
+            return;
+        }
+        times.sort_unstable_by_key(|&(t, _)| t);
+        let (last_t, last_copy) = *times.last().expect("non-empty");
+        let Some(copy_id) = last_copy else { return };
+        let second_t = if times.len() >= 2 {
+            times[times.len() - 2].0
+        } else {
+            0
+        };
+        let earliest_otherwise = second_t.max(e.dispatched_at + 1);
+        if last_t > earliest_otherwise {
+            self.copy_critical[copy_id as usize] = true;
+        }
+    }
+
+    fn execute_uop(&mut self, e: &IqEntry, cluster: ClusterId, steering: &mut dyn Steering) {
+        let now = self.now;
+        self.note_critical_sources(e, cluster);
+        if !matches!(e.kind, UopKind::Copy { .. }) {
+            steering.on_issued(e.dyn_seq, cluster);
+        }
+        let rob_idx = self.rob_index_of(e.seq).expect("µop in ROB");
+        self.rob[rob_idx].issue_at = Some(now);
+        match e.kind {
+            UopKind::Copy { id } => {
+                // The copy reads its source through the local bypass
+                // (0 cycles, like any FU) and drives the inter-cluster
+                // bus for `copy_latency` cycles: a remote consumer
+                // issues exactly `copy_latency` cycles after a local
+                // one could have.
+                let (dst_cluster, dst) = e.copy_dst.expect("copies have destinations");
+                let at = now + u64::from(self.cfg.copy_latency.max(1));
+                self.regs[dst_cluster.index()].set_ready_from_copy(dst, at, id);
+                self.rob[rob_idx].complete_at = Some(at);
+            }
+            UopKind::Load | UopKind::Store => {
+                // EA micro-op: the address becomes usable next cycle.
+                let addr = e.ea.expect("memory µops carry their effective address");
+                self.lsq.set_addr(e.seq, addr, now + 1);
+                if e.kind == UopKind::Store {
+                    self.rob[rob_idx].complete_at = Some(now + 1);
+                }
+                // Loads complete when the access returns (memory_stage).
+            }
+            UopKind::Normal => {
+                let lat = u64::from(latency_of(e.issue_class));
+                let done = now + lat;
+                if let Some(p) = e.dst {
+                    let dst_cluster = self.rob[rob_idx]
+                        .dst
+                        .map(|(c, _)| c)
+                        .unwrap_or(cluster);
+                    self.regs[dst_cluster.index()].set_ready(p, done);
+                }
+                self.rob[rob_idx].complete_at = Some(done);
+                if e.mispredicted && self.branch_wait == BranchWait::Dispatched(e.seq) {
+                    self.resume_at = done;
+                    self.branch_wait = BranchWait::None;
+                    steering.on_mispredict(e.sidx);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // dispatch (decode / steer / rename)
+    // ------------------------------------------------------------------
+
+    fn allowed_clusters(&self, op: Opcode) -> Allowed {
+        if self.cfg.unified {
+            return Allowed::only(ClusterId::Int);
+        }
+        match op.cluster_need() {
+            ClusterNeed::IntOnly => Allowed::only(ClusterId::Int),
+            ClusterNeed::FpOnly => Allowed::only(self.fp_cluster),
+            ClusterNeed::Either => {
+                // The base machine removes the FP cluster's simple
+                // integer ALUs, which forces everything integer into
+                // cluster 1 — the naive partitioning.
+                if self.cfg.fus[ClusterId::Fp.index()].int_alu == 0 {
+                    Allowed::only(ClusterId::Int)
+                } else {
+                    Allowed::both()
+                }
+            }
+        }
+    }
+
+    /// Integer source registers that participate in renaming for the
+    /// *cluster-local* part of the instruction (EA base and integer
+    /// store data; FP operands are never replicated).
+    fn renamed_srcs(inst: &dca_isa::Inst) -> Vec<Reg> {
+        let mut v = Vec::with_capacity(2);
+        match inst.op {
+            Opcode::FSt => {
+                // base (int) renames locally; FP data read at commit.
+                if let Some(b) = inst.src1.filter(|r| !r.is_zero()) {
+                    v.push(b);
+                }
+            }
+            _ => {
+                for r in inst.srcs() {
+                    v.push(r);
+                }
+            }
+        }
+        v
+    }
+
+    fn dispatch(&mut self, steering: &mut dyn Steering, mut ctx: SteerCtx) {
+        let mut budget = self.cfg.decode_width;
+        let mut stalled = false;
+        while budget > 0 {
+            let Some(front) = self.fetch_buf.front() else { break };
+            if front.available_at > self.now {
+                break;
+            }
+            let f = *front;
+            let d = &f.d;
+            let inst = d.inst;
+            // Build the steering view *before* inserting copies.
+            let mut srcs: [Option<SrcView>; 2] = [None, None];
+            for (k, r) in inst.srcs().take(2).enumerate() {
+                srcs[k] = Some(SrcView {
+                    reg: r,
+                    mapped: self.map.mapped_mask(r),
+                });
+            }
+            let view = DecodedView {
+                seq: d.seq,
+                sidx: d.sidx,
+                pc: d.pc,
+                inst: &inst,
+                class: inst.op.class(),
+                srcs,
+            };
+            let allowed = self.allowed_clusters(inst.op);
+            let cluster = if self.cfg.unified {
+                ClusterId::Int
+            } else if let Some((_, c)) = self.steer_cache.filter(|&(s, _)| s == d.seq) {
+                // Decision already made when this instruction first
+                // reached dispatch; a resource stall must not re-steer.
+                c
+            } else {
+                match steering.steer(&view, allowed, &ctx) {
+                    Some(c) => {
+                        let c = allowed.clamp(c);
+                        self.steer_cache = Some((d.seq, c));
+                        c
+                    }
+                    None => {
+                        stalled = true;
+                        break;
+                    }
+                }
+            };
+
+            // ---- resource accounting -------------------------------
+            let needs_copy: Vec<Reg> = Self::renamed_srcs(&inst)
+                .into_iter()
+                .filter(|&r| self.map.lookup(r, cluster).is_none())
+                .collect();
+            if !needs_copy.is_empty() && !self.cfg.intercluster {
+                panic!(
+                    "machine without inter-cluster bypasses needs a copy of {:?} \
+                     for `{inst}` — workload and configuration are inconsistent",
+                    needs_copy
+                );
+            }
+            let n_copies = needs_copy.len() as u32;
+            let dst_cluster = inst.effective_dst().map(|r| {
+                if r.is_fp() {
+                    self.fp_cluster
+                } else {
+                    cluster
+                }
+            });
+            let rob_free = self.cfg.rob_size - self.rob.len() as u32;
+            let iq_local_free =
+                self.cfg.iq_size[cluster.index()] - self.iq[cluster.index()].len() as u32;
+            let other = cluster.other();
+            let iq_remote_free =
+                self.cfg.iq_size[other.index()] - self.iq[other.index()].len() as u32;
+            let mut regs_needed = [0u32; 2];
+            regs_needed[cluster.index()] += n_copies; // copy destinations are local
+            if let Some(dc) = dst_cluster {
+                regs_needed[dc.index()] += 1;
+            }
+            let enough = rob_free > n_copies
+                && iq_local_free >= 1
+                && iq_remote_free >= n_copies
+                && (0..2).all(|k| self.regs[k].free_count() >= regs_needed[k] as usize);
+            if !enough {
+                stalled = true;
+                break;
+            }
+
+            // ---- allocate copies -----------------------------------
+            for r in needs_copy {
+                let src_preg = self
+                    .map
+                    .lookup(r, other)
+                    .expect("operand is mapped in the other cluster");
+                let q = self.regs[cluster.index()].alloc().expect("checked");
+                let displaced = self
+                    .map
+                    .replicate(r, cluster, q)
+                    .map(|d| vec![d])
+                    .unwrap_or_default();
+                let id = self.copy_critical.len() as u32;
+                self.copy_critical.push(false);
+                let seq = self.next_uop_seq();
+                self.rob.push_back(RobEntry {
+                    seq,
+                    dyn_seq: d.seq,
+                    sidx: d.sidx,
+                    pc: d.pc,
+                    inst,
+                    cluster: other,
+                    kind: UopKind::Copy { id },
+                    is_program: false,
+                    dst: Some((cluster, q)),
+                    displaced,
+                    fetch_at: f.available_at.saturating_sub(1),
+                    dispatch_at: self.now,
+                    issue_at: None,
+                    complete_at: None,
+                    mispredicted: false,
+                    is_cond_branch: false,
+                });
+                self.iq[other.index()].push(IqEntry {
+                    seq,
+                    dyn_seq: d.seq,
+                    sidx: d.sidx,
+                    cluster: other,
+                    issue_class: ExecClass::IntAlu,
+                    kind: UopKind::Copy { id },
+                    srcs: [Some(src_preg), None],
+                    copy_dst: Some((cluster, q)),
+                    dst: None,
+                    ea: None,
+                    dispatched_at: self.now,
+                    mispredicted: false,
+                });
+                self.stats.copies += 1;
+                self.stats.copies_by_dir[other.index()] += 1;
+            }
+
+            // ---- main µop -------------------------------------------
+            // Sources are renamed *before* the destination is defined,
+            // so an instruction reading and writing the same logical
+            // register sees the previous mapping.
+            let seq = self.next_uop_seq();
+            let kind = match inst.op.class() {
+                ExecClass::Load => UopKind::Load,
+                ExecClass::Store => UopKind::Store,
+                _ => UopKind::Normal,
+            };
+            // IQ sources: EA base for memory ops, all sources otherwise.
+            let mut iq_srcs: [Option<PhysReg>; 2] = [None, None];
+            if inst.op.is_mem() {
+                if let Some(b) = inst.src1.filter(|r| !r.is_zero()) {
+                    iq_srcs[0] = Some(
+                        self.map
+                            .lookup(b, cluster)
+                            .expect("base register mapped locally"),
+                    );
+                }
+            } else {
+                for (k, r) in Self::renamed_srcs(&inst).into_iter().take(2).enumerate() {
+                    iq_srcs[k] = Some(
+                        self.map
+                            .lookup(r, cluster)
+                            .expect("sources mapped locally after copies"),
+                    );
+                }
+                // FP-bank sources of FP ops rename in the FP cluster.
+                if matches!(
+                    inst.op,
+                    Opcode::FAdd
+                        | Opcode::FSub
+                        | Opcode::FMul
+                        | Opcode::FDiv
+                        | Opcode::FMov
+                        | Opcode::FCmpLt
+                        | Opcode::CvtFi
+                ) {
+                    for (k, r) in inst.srcs().take(2).enumerate() {
+                        iq_srcs[k] = Some(
+                            self.map
+                                .lookup(r, self.fp_cluster)
+                                .expect("FP sources mapped in the FP cluster"),
+                        );
+                    }
+                }
+            }
+            // Store data operand is also a *source*: resolve before the
+            // destination rename (stores have no destination, but keep
+            // the ordering uniform and before `define`).
+            let store_data = if inst.op.is_store() {
+                let data_reg = inst.src2.expect("stores have data registers");
+                if data_reg.is_zero() {
+                    None
+                } else if data_reg.is_fp() {
+                    Some((
+                        self.fp_cluster,
+                        self.map
+                            .lookup(data_reg, self.fp_cluster)
+                            .expect("FP data mapped"),
+                    ))
+                } else {
+                    Some((
+                        cluster,
+                        self.map
+                            .lookup(data_reg, cluster)
+                            .expect("integer data mapped locally"),
+                    ))
+                }
+            } else {
+                None
+            };
+            let (dst_map, displaced) = match (inst.effective_dst(), dst_cluster) {
+                (Some(r), Some(dc)) => {
+                    let p = self.regs[dc.index()].alloc().expect("checked");
+                    (Some((dc, p)), self.map.define(r, dc, p))
+                }
+                _ => (None, Vec::new()),
+            };
+            let issue_class = if inst.op.is_mem() {
+                ExecClass::IntAlu
+            } else {
+                inst.op.class()
+            };
+            self.rob.push_back(RobEntry {
+                seq,
+                dyn_seq: d.seq,
+                sidx: d.sidx,
+                pc: d.pc,
+                inst,
+                cluster,
+                kind,
+                is_program: true,
+                dst: dst_map,
+                displaced,
+                fetch_at: f.available_at.saturating_sub(1),
+                dispatch_at: self.now,
+                issue_at: None,
+                complete_at: if inst.op.class() == ExecClass::Nop {
+                    Some(self.now + 1)
+                } else {
+                    None
+                },
+                mispredicted: f.mispredicted,
+                is_cond_branch: inst.op.is_cond_branch(),
+            });
+            if inst.op.is_mem() {
+                self.lsq.push(LsqEntry {
+                    seq,
+                    is_store: inst.op.is_store(),
+                    addr: None,
+                    addr_at: 0,
+                    data: store_data,
+                    state: LoadState::Waiting,
+                    sidx: d.sidx,
+                });
+            }
+            if inst.op.class() != ExecClass::Nop {
+                self.iq[cluster.index()].push(IqEntry {
+                    seq,
+                    dyn_seq: d.seq,
+                    sidx: d.sidx,
+                    cluster,
+                    issue_class,
+                    kind,
+                    srcs: iq_srcs,
+                    copy_dst: None,
+                    dst: dst_map.map(|(_, p)| p),
+                    ea: d.ea,
+                    dispatched_at: self.now,
+                    mispredicted: f.mispredicted,
+                });
+            }
+            if f.mispredicted {
+                debug_assert_eq!(self.branch_wait, BranchWait::Fetched);
+                self.branch_wait = BranchWait::Dispatched(seq);
+            }
+            if inst.op.class() == ExecClass::Nop {
+                // Nops bypass the instruction queues; tell the scheme
+                // the slot is gone so occupancy-tracking schemes (FIFO)
+                // stay consistent.
+                steering.on_issued(d.seq, cluster);
+            }
+            self.stats.steered[cluster.index()] += 1;
+            steering.on_steered(&view, cluster, &ctx);
+            ctx.iq_len[cluster.index()] += 1;
+            self.steer_cache = None;
+            self.fetch_buf.pop_front();
+            budget -= 1;
+        }
+        if stalled && !self.fetch_buf.is_empty() {
+            self.stats.dispatch_stall_cycles += 1;
+        }
+    }
+
+    fn next_uop_seq(&mut self) -> u64 {
+        let s = self.uop_seq;
+        self.uop_seq += 1;
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.branch_wait != BranchWait::None || self.now < self.resume_at {
+            return;
+        }
+        if self.now < self.icache_ready_at {
+            return;
+        }
+        let room = self.cfg.fetch_buffer as usize - self.fetch_buf.len();
+        let width = (self.cfg.fetch_width as usize).min(room);
+        if width == 0 {
+            return;
+        }
+        let line_mask = !(self.cfg.hierarchy.l1i.line_bytes as u64 - 1);
+        let mut fetched = 0usize;
+        let mut lines_touched: Vec<u64> = Vec::with_capacity(2);
+        while fetched < width {
+            let d = match self
+                .pending
+                .take()
+                .or_else(|| self.interp.as_mut().expect("interpreter present").next())
+            {
+                Some(d) => d,
+                None => {
+                    self.stream_done = true;
+                    break;
+                }
+            };
+            let line = d.pc & line_mask;
+            if !lines_touched.contains(&line) {
+                let (lat, _lvl) = self.hierarchy.access_inst(d.pc);
+                lines_touched.push(line);
+                if lat > self.cfg.hierarchy.l1_hit {
+                    // Miss: instructions from this line arrive after the
+                    // fill; anything already fetched this cycle stands.
+                    self.icache_ready_at = self.now + u64::from(lat);
+                    self.pending = Some(d);
+                    break;
+                }
+            }
+            let mut mispredicted = false;
+            let mut fetch_break = false;
+            if d.inst.op.is_cond_branch() {
+                let taken = d.taken.expect("cond branches have outcomes");
+                let predicted = self.bpred.predict(d.pc);
+                self.bpred.update(d.pc, taken);
+                mispredicted = predicted != taken;
+                if mispredicted {
+                    // Trace-driven wrong path: stall fetch until the
+                    // branch resolves.
+                    self.branch_wait = BranchWait::Fetched;
+                    fetch_break = true;
+                } else if taken {
+                    fetch_break = true; // taken-branch fetch break
+                }
+            } else if d.inst.op == Opcode::J {
+                fetch_break = true;
+            }
+            self.fetch_buf.push_back(Fetched {
+                d,
+                available_at: self.now + 1,
+                mispredicted,
+            });
+            fetched += 1;
+            if fetch_break {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steering::RoundRobin;
+    use dca_prog::parse_asm;
+
+    fn loop_prog() -> Program {
+        parse_asm(
+            "e:
+                li r1, #50
+                li r5, #8192
+             l:
+                ld r2, 0(r5)
+                add r2, r2, r1
+                st r2, 0(r5)
+                add r5, r5, #8
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn commits_exactly_the_dynamic_stream() {
+        let p = loop_prog();
+        let expected = Interp::new(&p, Memory::new()).count() as u64;
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        assert_eq!(stats.committed, expected);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.1, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn base_machine_runs_without_copies() {
+        let p = loop_prog();
+        let stats = Simulator::new(&SimConfig::paper_base(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        assert_eq!(stats.copies, 0, "no bypasses in the base machine");
+        assert_eq!(stats.steered[1], 0, "integer code cannot enter the base FP cluster");
+        assert_eq!(stats.avg_replication(), 0.0);
+    }
+
+    #[test]
+    fn upper_bound_machine_at_least_as_fast_as_base() {
+        let p = loop_prog();
+        let base = Simulator::new(&SimConfig::paper_base(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        let ub = Simulator::new(&SimConfig::paper_upper_bound(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        assert_eq!(ub.committed, base.committed);
+        assert!(ub.cycles <= base.cycles, "UB {} vs base {}", ub.cycles, base.cycles);
+    }
+
+    #[test]
+    fn round_robin_on_clustered_machine_generates_copies() {
+        let p = loop_prog();
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        assert!(stats.copies > 0, "modulo steering must communicate");
+        assert!(stats.comms_per_inst() > 0.05);
+        assert!(stats.steered[0] > 0 && stats.steered[1] > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = loop_prog();
+        let a = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        let b = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.copies, b.copies);
+        assert_eq!(a.critical_copies, b.critical_copies);
+        assert_eq!(a.balance, b.balance);
+    }
+
+    #[test]
+    fn fuel_truncates_long_runs() {
+        let p = loop_prog();
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 10);
+        assert_eq!(stats.committed, 10);
+    }
+
+    #[test]
+    fn small_machine_survives_structural_pressure() {
+        let p = loop_prog();
+        let stats = Simulator::new(&SimConfig::small_test(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        let expected = Interp::new(&p, Memory::new()).count() as u64;
+        assert_eq!(stats.committed, expected);
+    }
+
+    #[test]
+    fn store_load_forwarding_is_exercised() {
+        // The div keeps the ROB head busy for ~20 cycles, so the store
+        // is still in the LSQ when the younger load disambiguates.
+        let p = parse_asm(
+            "e:
+                li r1, #4096
+                li r2, #7
+                li r8, #1000
+                li r9, #3
+                div r8, r8, r9
+                st r2, 0(r1)
+                ld r3, 0(r1)
+                add r4, r3, r3
+                halt",
+        )
+        .unwrap();
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 100);
+        assert_eq!(stats.forwarded_loads, 1);
+    }
+
+    #[test]
+    fn mispredicts_are_counted() {
+        // A data-dependent branch pattern the predictor cannot learn
+        // perfectly: alternating short runs.
+        let p = parse_asm(
+            "e:
+                li r1, #200
+             l:
+                and r2, r1, #3
+                beq r2, r0, skip
+                add r3, r3, #1
+             skip:
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap();
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        assert!(stats.branches >= 400);
+        assert!(stats.bpred.lookups >= 400);
+    }
+
+    #[test]
+    fn fp_workload_uses_fp_cluster() {
+        let p = parse_asm(
+            "e:
+                li r1, #4096
+                li r2, #30
+                cvtif f1, r2
+                fmov f2, f1
+             l:
+                fadd f2, f2, f1
+                fmul f3, f2, f1
+                fst f3, 0(r1)
+                add r1, r1, #8
+                add r2, r2, #-1
+                bne r2, r0, l
+                halt",
+        )
+        .unwrap();
+        let expected = Interp::new(&p, Memory::new()).count() as u64;
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut RoundRobin::new(), 1_000_000);
+        assert_eq!(stats.committed, expected);
+        assert!(stats.steered[1] > 0, "FP ops must run in the FP cluster");
+    }
+}

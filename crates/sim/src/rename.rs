@@ -1,0 +1,346 @@
+//! Register renaming with the paper's dual-mapped integer registers.
+//!
+//! > "Dynamic register renaming is performed by means of a physical
+//! > register file in each cluster and a single register map table.
+//! > Since integer instructions can be executed in both clusters, the
+//! > entries of the map table for integer registers contain two fields
+//! > that identify the mapping in each cluster."
+//!
+//! A new definition of logical register `r` in cluster `c` installs a
+//! fresh mapping in `c` and **invalidates** any mapping of `r` in the
+//! other cluster (the old value there is stale). A copy instruction
+//! installs a *replica* mapping of `r` in the consumer's cluster.
+//! Physical registers displaced by a definition are freed when that
+//! definition commits — by then every older reader has committed.
+
+use dca_isa::{Reg, NUM_FP_REGS, NUM_INT_REGS};
+
+use crate::ClusterId;
+
+/// A physical register index within one cluster's register file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysReg(pub u16);
+
+/// Cycle at which an in-flight physical register becomes readable.
+const IN_FLIGHT: u64 = u64::MAX;
+
+/// One cluster's physical register file: readiness, free list, and
+/// copy provenance (for critical-communication accounting).
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    ready_at: Vec<u64>,
+    /// Dense copy id when the value was produced by a copy instruction.
+    copy_id: Vec<Option<u32>>,
+    free: Vec<PhysReg>,
+    total: usize,
+}
+
+impl RegFile {
+    /// Creates a register file with `total` registers, all free.
+    pub fn new(total: usize) -> RegFile {
+        RegFile {
+            ready_at: vec![IN_FLIGHT; total],
+            copy_id: vec![None; total],
+            free: (0..total as u16).rev().map(PhysReg).collect(),
+            total,
+        }
+    }
+
+    /// Allocates a register (returned not-ready), or `None` if the
+    /// free list is empty.
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        let p = self.free.pop()?;
+        self.ready_at[p.0 as usize] = IN_FLIGHT;
+        self.copy_id[p.0 as usize] = None;
+        Some(p)
+    }
+
+    /// Returns a register to the free list.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics on double-free.
+    pub fn release(&mut self, p: PhysReg) {
+        debug_assert!(
+            !self.free.contains(&p),
+            "double free of physical register {p:?}"
+        );
+        self.free.push(p);
+    }
+
+    /// Number of free registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total registers.
+    #[allow(dead_code)] // diagnostic accessor, exercised by tests
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Marks `p` readable by consumers issuing at cycle `at` or later.
+    pub fn set_ready(&mut self, p: PhysReg, at: u64) {
+        self.ready_at[p.0 as usize] = at;
+    }
+
+    /// Marks `p` as produced by copy number `id` (and readable at `at`).
+    pub fn set_ready_from_copy(&mut self, p: PhysReg, at: u64, id: u32) {
+        self.ready_at[p.0 as usize] = at;
+        self.copy_id[p.0 as usize] = Some(id);
+    }
+
+    /// The cycle at which `p` becomes readable (`u64::MAX` while the
+    /// producer is still in flight).
+    pub fn ready_at(&self, p: PhysReg) -> u64 {
+        self.ready_at[p.0 as usize]
+    }
+
+    /// `true` if `p` is readable at cycle `now`.
+    pub fn is_ready(&self, p: PhysReg, now: u64) -> bool {
+        self.ready_at[p.0 as usize] <= now
+    }
+
+    /// The copy that produced `p`, if any.
+    pub fn copy_id(&self, p: PhysReg) -> Option<u32> {
+        self.copy_id[p.0 as usize]
+    }
+}
+
+/// The single map table with per-cluster mapping fields for integer
+/// registers. FP registers have a single mapping in the FP cluster
+/// (or in cluster 0 on the unified machine).
+#[derive(Clone, Debug)]
+pub struct RenameMap {
+    int: [[Option<PhysReg>; 2]; NUM_INT_REGS],
+    fp: [Option<PhysReg>; NUM_FP_REGS],
+    fp_cluster: ClusterId,
+}
+
+impl RenameMap {
+    /// Creates an empty map whose FP bank lives in `fp_cluster`.
+    pub fn new(fp_cluster: ClusterId) -> RenameMap {
+        RenameMap {
+            int: [[None; 2]; NUM_INT_REGS],
+            fp: [None; NUM_FP_REGS],
+            fp_cluster,
+        }
+    }
+
+    /// The cluster that owns FP architectural state.
+    #[allow(dead_code)] // diagnostic accessor, exercised by tests
+    pub fn fp_cluster(&self) -> ClusterId {
+        self.fp_cluster
+    }
+
+    /// Current mapping of `reg` in `cluster` (FP registers report
+    /// `None` for the non-FP cluster).
+    pub fn lookup(&self, reg: Reg, cluster: ClusterId) -> Option<PhysReg> {
+        match reg {
+            Reg::Int(n) => self.int[n as usize][cluster.index()],
+            Reg::Fp(n) => {
+                if cluster == self.fp_cluster {
+                    self.fp[n as usize]
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Which clusters currently hold a valid mapping of `reg`.
+    pub fn mapped_mask(&self, reg: Reg) -> [bool; 2] {
+        [
+            self.lookup(reg, ClusterId::Int).is_some(),
+            self.lookup(reg, ClusterId::Fp).is_some(),
+        ]
+    }
+
+    /// Installs a *definition* of `reg` in `cluster`: sets the new
+    /// mapping there and invalidates the other cluster's mapping.
+    /// Returns the displaced physical registers (up to one per
+    /// cluster) to be freed when the defining instruction commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an FP register is defined outside the FP cluster, or
+    /// on an attempt to rename `r0`.
+    pub fn define(
+        &mut self,
+        reg: Reg,
+        cluster: ClusterId,
+        p: PhysReg,
+    ) -> Vec<(ClusterId, PhysReg)> {
+        let mut displaced = Vec::with_capacity(2);
+        match reg {
+            Reg::Int(0) => panic!("r0 is never renamed"),
+            Reg::Int(n) => {
+                let entry = &mut self.int[n as usize];
+                if let Some(old) = entry[cluster.index()].replace(p) {
+                    displaced.push((cluster, old));
+                }
+                if let Some(old) = entry[cluster.other().index()].take() {
+                    displaced.push((cluster.other(), old));
+                }
+            }
+            Reg::Fp(n) => {
+                assert_eq!(
+                    cluster, self.fp_cluster,
+                    "FP registers live in the FP cluster"
+                );
+                if let Some(old) = self.fp[n as usize].replace(p) {
+                    displaced.push((cluster, old));
+                }
+            }
+        }
+        displaced
+    }
+
+    /// Installs a *replica* mapping created by a copy of `reg` into
+    /// `cluster`. Unlike [`RenameMap::define`], the other cluster's
+    /// mapping stays valid. Returns a displaced stale replica if one
+    /// existed (possible when a copy overwrites an older replica that
+    /// was never invalidated by a redefinition — it is freed when the
+    /// copy commits).
+    ///
+    /// # Panics
+    ///
+    /// Panics for FP registers: copies only replicate integer values
+    /// in this microarchitecture.
+    pub fn replicate(
+        &mut self,
+        reg: Reg,
+        cluster: ClusterId,
+        p: PhysReg,
+    ) -> Option<(ClusterId, PhysReg)> {
+        match reg {
+            Reg::Int(0) => panic!("r0 is never renamed"),
+            Reg::Int(n) => self.int[n as usize][cluster.index()]
+                .replace(p)
+                .map(|old| (cluster, old)),
+            Reg::Fp(_) => panic!("FP registers are never replicated"),
+        }
+    }
+
+    /// Number of integer logical registers currently mapped in *both*
+    /// clusters — the paper's register-replication measure (Figure 15).
+    pub fn replication_count(&self) -> u32 {
+        self.int
+            .iter()
+            .filter(|e| e[0].is_some() && e[1].is_some())
+            .count() as u32
+    }
+
+    /// Total live mappings (for free-list conservation tests).
+    #[allow(dead_code)] // conservation checks in tests
+    pub fn live_mappings(&self) -> usize {
+        let ints: usize = self
+            .int
+            .iter()
+            .map(|e| usize::from(e[0].is_some()) + usize::from(e[1].is_some()))
+            .sum();
+        ints + self.fp.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_round_trip() {
+        let mut rf = RegFile::new(4);
+        assert_eq!(rf.free_count(), 4);
+        let a = rf.alloc().unwrap();
+        let b = rf.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(rf.free_count(), 2);
+        assert!(!rf.is_ready(a, 100));
+        rf.set_ready(a, 5);
+        assert!(!rf.is_ready(a, 4));
+        assert!(rf.is_ready(a, 5));
+        rf.release(a);
+        rf.release(b);
+        assert_eq!(rf.free_count(), 4);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rf = RegFile::new(2);
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_some());
+        assert!(rf.alloc().is_none());
+    }
+
+    #[test]
+    fn copy_provenance_is_reset_on_alloc() {
+        let mut rf = RegFile::new(2);
+        let a = rf.alloc().unwrap();
+        rf.set_ready_from_copy(a, 3, 7);
+        assert_eq!(rf.copy_id(a), Some(7));
+        rf.release(a);
+        let a2 = rf.alloc().unwrap();
+        assert_eq!(rf.copy_id(a2), None);
+    }
+
+    #[test]
+    fn define_invalidates_other_cluster() {
+        let mut m = RenameMap::new(ClusterId::Fp);
+        let r = Reg::int(5);
+        assert!(m.define(r, ClusterId::Int, PhysReg(1)).is_empty());
+        // Replicate into FP cluster.
+        assert!(m.replicate(r, ClusterId::Fp, PhysReg(2)).is_none());
+        assert_eq!(m.mapped_mask(r), [true, true]);
+        assert_eq!(m.replication_count(), 1);
+        // New definition in FP cluster displaces both old mappings.
+        let displaced = m.define(r, ClusterId::Fp, PhysReg(3));
+        assert_eq!(displaced.len(), 2);
+        assert!(displaced.contains(&(ClusterId::Fp, PhysReg(2))));
+        assert!(displaced.contains(&(ClusterId::Int, PhysReg(1))));
+        assert_eq!(m.mapped_mask(r), [false, true]);
+        assert_eq!(m.replication_count(), 0);
+    }
+
+    #[test]
+    fn fp_registers_single_mapping() {
+        let mut m = RenameMap::new(ClusterId::Fp);
+        let f = Reg::fp(3);
+        assert!(m.define(f, ClusterId::Fp, PhysReg(9)).is_empty());
+        assert_eq!(m.lookup(f, ClusterId::Fp), Some(PhysReg(9)));
+        assert_eq!(m.lookup(f, ClusterId::Int), None);
+        let displaced = m.define(f, ClusterId::Fp, PhysReg(10));
+        assert_eq!(displaced, vec![(ClusterId::Fp, PhysReg(9))]);
+    }
+
+    #[test]
+    fn unified_machine_hosts_fp_in_cluster0() {
+        let mut m = RenameMap::new(ClusterId::Int);
+        let f = Reg::fp(0);
+        m.define(f, ClusterId::Int, PhysReg(4));
+        assert_eq!(m.lookup(f, ClusterId::Int), Some(PhysReg(4)));
+    }
+
+    #[test]
+    fn live_mapping_accounting() {
+        let mut m = RenameMap::new(ClusterId::Fp);
+        assert_eq!(m.live_mappings(), 0);
+        m.define(Reg::int(1), ClusterId::Int, PhysReg(0));
+        m.replicate(Reg::int(1), ClusterId::Fp, PhysReg(1));
+        m.define(Reg::fp(0), ClusterId::Fp, PhysReg(2));
+        assert_eq!(m.live_mappings(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "r0 is never renamed")]
+    fn zero_register_is_not_renamable() {
+        let mut m = RenameMap::new(ClusterId::Fp);
+        m.define(Reg::int(0), ClusterId::Int, PhysReg(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "FP registers live in the FP cluster")]
+    fn fp_define_in_int_cluster_panics() {
+        let mut m = RenameMap::new(ClusterId::Fp);
+        m.define(Reg::fp(1), ClusterId::Int, PhysReg(0));
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulation statistics: everything the paper's figures plot.
+
+use dca_uarch::{CacheStats, PredictorStats};
+
+/// Histogram of the per-cycle workload-balance measure the paper plots
+/// in Figures 6, 9 and 12: `#ready FP − #ready INT`, clamped to
+/// `[-10, +10]`.
+///
+/// # Example
+///
+/// ```
+/// use dca_sim::BalanceHistogram;
+/// let mut h = BalanceHistogram::new();
+/// h.record(3);
+/// h.record(-25); // clamped into the -10 bucket
+/// assert_eq!(h.cycles(), 2);
+/// assert_eq!(h.percent(-10), 50.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BalanceHistogram {
+    buckets: [u64; 21],
+    total: u64,
+}
+
+impl BalanceHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> BalanceHistogram {
+        BalanceHistogram::default()
+    }
+
+    /// Records one cycle's balance value (`ready_fp − ready_int`).
+    pub fn record(&mut self, diff: i64) {
+        let clamped = diff.clamp(-10, 10);
+        self.buckets[(clamped + 10) as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Number of cycles recorded.
+    pub fn cycles(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw count of the bucket for `diff` ∈ [-10, 10].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diff` is outside [-10, 10].
+    pub fn count(&self, diff: i64) -> u64 {
+        assert!((-10..=10).contains(&diff), "bucket {diff} out of range");
+        self.buckets[(diff + 10) as usize]
+    }
+
+    /// Percentage of cycles in the bucket for `diff` (0.0 if empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diff` is outside [-10, 10].
+    pub fn percent(&self, diff: i64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(diff) as f64 * 100.0 / self.total as f64
+        }
+    }
+
+    /// Merges another histogram into this one (used to average the
+    /// SpecInt suite, as the paper's figures do).
+    pub fn merge(&mut self, other: &BalanceHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The percentage series for the buckets −10..=10 in order — the
+    /// exact series the paper's balance figures plot.
+    pub fn percent_series(&self) -> [f64; 21] {
+        let mut out = [0.0; 21];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.percent(i as i64 - 10);
+        }
+        out
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed *program* instructions (copies excluded).
+    pub committed: u64,
+    /// Committed micro-operations including copies.
+    pub committed_uops: u64,
+    /// Copy instructions inserted (= inter-cluster communications).
+    pub copies: u64,
+    /// Copies whose arrival delayed at least one consumer in the
+    /// destination cluster (the paper's "critical" communications).
+    pub critical_copies: u64,
+    /// Copies by direction: `[INT→FP, FP→INT]`.
+    pub copies_by_dir: [u64; 2],
+    /// Program instructions steered to each cluster.
+    pub steered: [u64; 2],
+    /// Workload-balance histogram (Figures 6/9/12).
+    pub balance: BalanceHistogram,
+    /// Sum over cycles of the number of integer logical registers
+    /// holding a physical register in *both* clusters (Figure 15).
+    pub replication_reg_cycles: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Loads served by store-to-load forwarding.
+    pub forwarded_loads: u64,
+    /// Committed conditional branches.
+    pub branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// L1 I-cache counters.
+    pub l1i: CacheStats,
+    /// L1 D-cache counters.
+    pub l1d: CacheStats,
+    /// Shared L2 counters.
+    pub l2: CacheStats,
+    /// Branch predictor counters.
+    pub bpred: PredictorStats,
+    /// Cycles in which dispatch stalled with a non-empty fetch buffer
+    /// (resource or steering stalls).
+    pub dispatch_stall_cycles: u64,
+    /// Dynamic instructions the steering scheme sent to the cluster
+    /// where a slice table said they belong (diagnostic for slice
+    /// schemes; 0 when unused).
+    pub slice_hits: u64,
+}
+
+impl SimStats {
+    /// Committed program instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Communications (copies) per committed program instruction —
+    /// the paper's Figures 5 and 8 metric.
+    pub fn comms_per_inst(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.copies as f64 / self.committed as f64
+        }
+    }
+
+    /// Critical communications per committed program instruction.
+    pub fn critical_comms_per_inst(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.critical_copies as f64 / self.committed as f64
+        }
+    }
+
+    /// Average number of replicated integer registers per cycle —
+    /// the paper's Figure 15 metric.
+    pub fn avg_replication(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.replication_reg_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction ratio.
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Percentage IPC improvement of `self` over `base` — the paper's
+    /// "Perf. improvement (%)" y-axis.
+    pub fn speedup_over(&self, base: &SimStats) -> f64 {
+        (self.ipc() / base.ipc() - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentages_sum_to_100() {
+        let mut h = BalanceHistogram::new();
+        for d in [-3, -3, 0, 2, 2, 2, 11, -40] {
+            h.record(d);
+        }
+        let sum: f64 = h.percent_series().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(h.count(2), 3);
+        assert_eq!(h.count(10), 1, "clamped high");
+        assert_eq!(h.count(-10), 1, "clamped low");
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = BalanceHistogram::new();
+        a.record(1);
+        let mut b = BalanceHistogram::new();
+        b.record(1);
+        b.record(-1);
+        a.merge(&b);
+        assert_eq!(a.cycles(), 3);
+        assert_eq!(a.count(1), 2);
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = SimStats {
+            cycles: 100,
+            committed: 100,
+            ..SimStats::default()
+        };
+        let better = SimStats {
+            cycles: 100,
+            committed: 136,
+            ..SimStats::default()
+        };
+        assert!((better.speedup_over(&base) - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_inst_metrics_handle_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.comms_per_inst(), 0.0);
+        assert_eq!(s.avg_replication(), 0.0);
+        assert_eq!(s.mispredict_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_bucket_bounds_checked() {
+        let h = BalanceHistogram::new();
+        let _ = h.count(11);
+    }
+}

@@ -1,0 +1,329 @@
+//! The steering interface — the hook the paper's mechanisms plug into.
+//!
+//! At decode/rename time the simulator presents each instruction to a
+//! [`Steering`] implementation together with everything the paper's
+//! hardware could observe: the instruction's PC and class, where its
+//! source operands currently reside ([`SrcView`]), per-cluster ready
+//! counts and queue occupancies ([`SteerCtx`]), and which clusters are
+//! architecturally allowed ([`Allowed`]).
+//!
+//! The scheme implementations live in the `dca-steer` crate; a trivial
+//! [`RoundRobin`] is provided here so the simulator can be exercised
+//! without it.
+
+use dca_isa::{ExecClass, Inst, Reg};
+
+use crate::ClusterId;
+
+/// Which clusters may execute an instruction: the machine-capability
+/// mask the steering logic must respect (complex integer → integer
+/// cluster, FP → FP cluster, simple integer → both — unless the
+/// configuration removed the FP cluster's integer ALUs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Allowed {
+    mask: [bool; 2],
+}
+
+impl Allowed {
+    /// Both clusters allowed.
+    pub fn both() -> Allowed {
+        Allowed { mask: [true, true] }
+    }
+
+    /// Only `c` allowed.
+    pub fn only(c: ClusterId) -> Allowed {
+        let mut mask = [false, false];
+        mask[c.index()] = true;
+        Allowed { mask }
+    }
+
+    /// `true` if `c` is allowed.
+    pub fn contains(&self, c: ClusterId) -> bool {
+        self.mask[c.index()]
+    }
+
+    /// `true` if the steering logic actually has a choice.
+    pub fn is_free(&self) -> bool {
+        self.mask[0] && self.mask[1]
+    }
+
+    /// If exactly one cluster is allowed, returns it.
+    pub fn forced(&self) -> Option<ClusterId> {
+        match self.mask {
+            [true, false] => Some(ClusterId::Int),
+            [false, true] => Some(ClusterId::Fp),
+            _ => None,
+        }
+    }
+
+    /// Restricts `preferred` to the allowed set, falling back to the
+    /// forced cluster when `preferred` is not allowed.
+    pub fn clamp(&self, preferred: ClusterId) -> ClusterId {
+        if self.contains(preferred) {
+            preferred
+        } else {
+            self.forced().unwrap_or(preferred)
+        }
+    }
+}
+
+/// Where one source operand currently resides.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SrcView {
+    /// The logical register read.
+    pub reg: Reg,
+    /// `mapped[k]` is `true` if the register has a valid (current)
+    /// physical mapping in cluster `k` — i.e. using it there needs no
+    /// copy.
+    pub mapped: [bool; 2],
+}
+
+impl SrcView {
+    /// `true` if the operand is available in cluster `c` without a
+    /// copy.
+    pub fn in_cluster(&self, c: ClusterId) -> bool {
+        self.mapped[c.index()]
+    }
+}
+
+/// The decoded instruction as the steering hardware sees it.
+#[derive(Copy, Clone, Debug)]
+pub struct DecodedView<'a> {
+    /// Dynamic sequence number (program order).
+    pub seq: u64,
+    /// Static instruction index (dense; the PC-indexed tables of the
+    /// paper are modelled as tables over this index).
+    pub sidx: u32,
+    /// Program counter.
+    pub pc: u64,
+    /// The instruction.
+    pub inst: &'a Inst,
+    /// Functional-unit class.
+    pub class: ExecClass,
+    /// Source operands with their current cluster residency (up to 2;
+    /// `None` entries are unused slots).
+    pub srcs: [Option<SrcView>; 2],
+}
+
+impl DecodedView<'_> {
+    /// Iterator over the present source views.
+    pub fn src_views(&self) -> impl Iterator<Item = SrcView> + '_ {
+        self.srcs.into_iter().flatten()
+    }
+
+    /// Number of source operands resident in cluster `c`.
+    pub fn operands_in(&self, c: ClusterId) -> u32 {
+        self.src_views().filter(|s| s.in_cluster(c)).count() as u32
+    }
+
+    /// `true` for loads/stores (the slice-defining instructions of the
+    /// LdSt schemes).
+    pub fn is_mem(&self) -> bool {
+        self.inst.op.is_mem()
+    }
+
+    /// `true` for branches (the slice-defining instructions of the Br
+    /// schemes).
+    pub fn is_branch(&self) -> bool {
+        self.inst.op.is_branch()
+    }
+}
+
+/// Per-cycle machine state observable by the steering logic.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SteerCtx {
+    /// Current cycle.
+    pub now: u64,
+    /// Instructions with all operands ready, per cluster, at the start
+    /// of this cycle — the paper's workload measure for metric I2.
+    pub ready: [u32; 2],
+    /// Instruction-queue occupancy per cluster.
+    pub iq_len: [u32; 2],
+    /// Issue width per cluster (constant, from the configuration).
+    pub issue_width: [u32; 2],
+}
+
+impl SteerCtx {
+    /// The cluster with fewer queued instructions (ties → integer
+    /// cluster), a reasonable instantaneous "least loaded" measure.
+    pub fn less_occupied(&self) -> ClusterId {
+        if self.iq_len[1] < self.iq_len[0] {
+            ClusterId::Fp
+        } else {
+            ClusterId::Int
+        }
+    }
+
+    /// The paper's instantaneous imbalance condition for metric I2:
+    /// *"the workload is considered imbalanced when one cluster has
+    /// more ready instructions than its issue width, and the other has
+    /// less"*; in that case it is quantified as the difference in ready
+    /// instructions (INT − FP), otherwise 0.
+    pub fn instant_i2(&self) -> i64 {
+        let over0 = self.ready[0] > self.issue_width[0];
+        let over1 = self.ready[1] > self.issue_width[1];
+        let under0 = self.ready[0] < self.issue_width[0];
+        let under1 = self.ready[1] < self.issue_width[1];
+        if (over0 && under1) || (over1 && under0) {
+            i64::from(self.ready[0]) - i64::from(self.ready[1])
+        } else {
+            0
+        }
+    }
+}
+
+/// A dynamic cluster-assignment mechanism.
+///
+/// The simulator drives implementations through the following protocol,
+/// all in program order:
+///
+/// 1. [`Steering::steer`] once per decoded instruction (the return
+///    value is clamped to the allowed set by the caller as a safety
+///    net; returning `None` requests a dispatch stall, used by the
+///    FIFO-based scheme when no FIFO can accept the instruction);
+/// 2. [`Steering::on_steered`] after the instruction is actually
+///    dispatched (skipped if dispatch stalled for resources);
+/// 3. [`Steering::on_cycle`] once at the start of every cycle;
+/// 4. [`Steering::on_issued`] when any dispatched instruction leaves an
+///    instruction queue;
+/// 5. [`Steering::on_load_miss`] / [`Steering::on_mispredict`] when a
+///    load misses the L1D or a conditional branch resolves
+///    mispredicted (the criticality events of §3.7).
+pub trait Steering {
+    /// Short machine-readable name used in reports (e.g. `"ldst-slice"`).
+    fn name(&self) -> String;
+
+    /// Chooses a cluster for a decoded instruction, or `None` to stall
+    /// dispatch this cycle.
+    fn steer(&mut self, d: &DecodedView<'_>, allowed: Allowed, ctx: &SteerCtx)
+        -> Option<ClusterId>;
+
+    /// Notification that `d` was dispatched to `cluster`.
+    fn on_steered(&mut self, d: &DecodedView<'_>, cluster: ClusterId, ctx: &SteerCtx) {
+        let _ = (d, cluster, ctx);
+    }
+
+    /// Start-of-cycle notification.
+    fn on_cycle(&mut self, ctx: &SteerCtx) {
+        let _ = ctx;
+    }
+
+    /// A previously dispatched instruction (by dynamic `seq`) issued.
+    fn on_issued(&mut self, seq: u64, cluster: ClusterId) {
+        let _ = (seq, cluster);
+    }
+
+    /// The load at static index `sidx` missed in the L1 D-cache.
+    fn on_load_miss(&mut self, sidx: u32) {
+        let _ = sidx;
+    }
+
+    /// The conditional branch at static index `sidx` resolved
+    /// mispredicted.
+    fn on_mispredict(&mut self, sidx: u32) {
+        let _ = sidx;
+    }
+}
+
+/// Trivial reference scheme: alternates free instructions between the
+/// clusters. This is the paper's **modulo steering** (§3.6); it is
+/// defined here (rather than in `dca-steer`) so the simulator's own
+/// tests and doctests have a scheme available.
+///
+/// # Example
+///
+/// ```
+/// use dca_sim::steering::RoundRobin;
+/// let rr = RoundRobin::new();
+/// assert_eq!(rr.name(), "modulo");
+/// # use dca_sim::Steering;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    next: bool,
+}
+
+impl RoundRobin {
+    /// Creates the scheme starting at the integer cluster.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl Steering for RoundRobin {
+    fn name(&self) -> String {
+        "modulo".into()
+    }
+
+    fn steer(
+        &mut self,
+        _d: &DecodedView<'_>,
+        allowed: Allowed,
+        _ctx: &SteerCtx,
+    ) -> Option<ClusterId> {
+        if let Some(forced) = allowed.forced() {
+            return Some(forced);
+        }
+        let c = if self.next { ClusterId::Fp } else { ClusterId::Int };
+        self.next = !self.next;
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowed_masks() {
+        let b = Allowed::both();
+        assert!(b.is_free() && b.forced().is_none());
+        let i = Allowed::only(ClusterId::Int);
+        assert!(i.contains(ClusterId::Int) && !i.contains(ClusterId::Fp));
+        assert_eq!(i.forced(), Some(ClusterId::Int));
+        assert_eq!(i.clamp(ClusterId::Fp), ClusterId::Int);
+        assert_eq!(b.clamp(ClusterId::Fp), ClusterId::Fp);
+    }
+
+    #[test]
+    fn instant_i2_follows_paper_definition() {
+        let mut ctx = SteerCtx {
+            issue_width: [4, 4],
+            ..SteerCtx::default()
+        };
+        // One cluster above width, the other below: imbalanced.
+        ctx.ready = [7, 1];
+        assert_eq!(ctx.instant_i2(), 6);
+        ctx.ready = [1, 7];
+        assert_eq!(ctx.instant_i2(), -6);
+        // Both above width: the machine issues at full rate — balanced.
+        ctx.ready = [9, 12];
+        assert_eq!(ctx.instant_i2(), 0);
+        // Both below width: balanced.
+        ctx.ready = [2, 3];
+        assert_eq!(ctx.instant_i2(), 0);
+        // Exactly at width is neither over nor under.
+        ctx.ready = [4, 1];
+        assert_eq!(ctx.instant_i2(), 0);
+    }
+
+    #[test]
+    fn round_robin_alternates_and_respects_forced() {
+        let mut rr = RoundRobin::new();
+        let inst = dca_isa::Inst::nop();
+        let d = DecodedView {
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            inst: &inst,
+            class: dca_isa::ExecClass::Nop,
+            srcs: [None, None],
+        };
+        let ctx = SteerCtx::default();
+        let a = rr.steer(&d, Allowed::both(), &ctx).unwrap();
+        let b = rr.steer(&d, Allowed::both(), &ctx).unwrap();
+        assert_ne!(a, b);
+        let f = rr.steer(&d, Allowed::only(ClusterId::Fp), &ctx).unwrap();
+        assert_eq!(f, ClusterId::Fp);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end checks of the pipeline trace facility: records must be
+//! complete, internally ordered, and agree with the run's statistics —
+//! and tracing must never perturb timing.
+
+use dca_prog::{parse_asm, Memory, Program};
+use dca_sim::{
+    steering::RoundRobin, ClusterId, SimConfig, Simulator, Trace, TracedKind,
+};
+
+fn chain_loop() -> Program {
+    parse_asm(
+        "e:
+            li r1, #40
+         l:
+            add r2, r2, #1
+            add r2, r2, #2
+            ld r3, 0(r4)
+            st r2, 8(r4)
+            add r1, r1, #-1
+            bne r1, r0, l
+            halt",
+    )
+    .expect("valid asm")
+}
+
+fn traced_run(cfg: &SimConfig, cap: usize) -> (dca_sim::SimStats, Trace) {
+    let prog = chain_loop();
+    let mut sim = Simulator::new(cfg, &prog, Memory::new());
+    sim.enable_trace(cap);
+    let mut scheme = RoundRobin::new();
+    let stats = sim.run_mut(&mut scheme, 10_000);
+    let trace = sim.take_trace().expect("tracing enabled");
+    (stats, trace)
+}
+
+#[test]
+fn trace_records_every_committed_uop() {
+    let (stats, trace) = traced_run(&SimConfig::paper_clustered(), usize::MAX);
+    assert_eq!(trace.len() as u64, stats.committed_uops);
+    assert_eq!(trace.dropped(), 0);
+    let copies = trace
+        .records()
+        .iter()
+        .filter(|r| r.kind == TracedKind::Copy)
+        .count() as u64;
+    assert_eq!(copies, stats.copies);
+    let loads = trace
+        .records()
+        .iter()
+        .filter(|r| r.kind == TracedKind::Load)
+        .count() as u64;
+    assert_eq!(loads, stats.loads);
+}
+
+#[test]
+fn stage_timestamps_are_monotone() {
+    let (stats, trace) = traced_run(&SimConfig::paper_clustered(), usize::MAX);
+    let mut last_commit = 0;
+    let mut last_seq = None;
+    for r in trace.records() {
+        assert!(r.fetch_at < r.dispatch_at, "fetch strictly before dispatch");
+        if let Some(i) = r.issue_at {
+            assert!(i >= r.dispatch_at, "issue not before dispatch");
+            assert!(r.complete_at >= i, "complete not before issue");
+        }
+        assert!(r.commit_at >= r.complete_at, "commit not before complete");
+        assert!(r.commit_at <= stats.cycles);
+        // Commit order == ROB order.
+        assert!(r.commit_at >= last_commit);
+        last_commit = r.commit_at;
+        if let Some(s) = last_seq {
+            assert_eq!(r.seq, s + 1, "ROB sequence is dense in commit order");
+        }
+        last_seq = Some(r.seq);
+    }
+}
+
+#[test]
+fn tracing_does_not_change_timing() {
+    let prog = chain_loop();
+    let cfg = SimConfig::paper_clustered();
+    let mut plain = RoundRobin::new();
+    let a = Simulator::new(&cfg, &prog, Memory::new()).run(&mut plain, 10_000);
+    let (b, _) = traced_run(&cfg, 16); // tiny capacity, heavy dropping
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed_uops, b.committed_uops);
+    assert_eq!(a.copies, b.copies);
+}
+
+#[test]
+fn copies_sit_in_the_source_cluster_and_precede_their_consumer() {
+    let (_, trace) = traced_run(&SimConfig::paper_clustered(), usize::MAX);
+    let records = trace.records();
+    let mut saw_copy = false;
+    for (i, r) in records.iter().enumerate() {
+        if r.kind != TracedKind::Copy {
+            continue;
+        }
+        saw_copy = true;
+        // The consumer is the next µop with the same dynamic seq.
+        let consumer = records[i + 1..]
+            .iter()
+            .find(|c| c.dyn_seq == r.dyn_seq && c.kind != TracedKind::Copy)
+            .expect("copy has a consumer");
+        assert_ne!(
+            consumer.cluster, r.cluster,
+            "copy drives the bus from the cluster opposite its consumer"
+        );
+        assert!(r.seq < consumer.seq, "copy allocated before its consumer");
+    }
+    assert!(saw_copy, "modulo steering on a chain must insert copies");
+}
+
+#[test]
+fn renderers_cover_the_run() {
+    let (stats, trace) = traced_run(&SimConfig::paper_clustered(), 64);
+    let table = trace.render_table();
+    assert_eq!(table.lines().count(), 64 + 2 + 1, "header + rows + dropped");
+    let pipe = trace.render_pipe(0, 40);
+    assert!(pipe.lines().count() > 1);
+    assert!(pipe.contains('C'), "some µop commits inside the window");
+    // Mean queue wait is defined for both clusters on this workload.
+    let _ = stats;
+    assert!(trace.mean_queue_wait(ClusterId::Int) >= 0.0);
+}
+
+#[test]
+fn take_trace_is_one_shot() {
+    let prog = chain_loop();
+    let mut sim = Simulator::new(&SimConfig::paper_clustered(), &prog, Memory::new());
+    assert!(sim.take_trace().is_none(), "no trace unless enabled");
+    sim.enable_trace(8);
+    let mut scheme = RoundRobin::new();
+    let _ = sim.run_mut(&mut scheme, 1_000);
+    assert!(sim.take_trace().is_some());
+    assert!(sim.take_trace().is_none(), "taking twice yields nothing");
+}

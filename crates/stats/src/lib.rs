@@ -1,0 +1,25 @@
+//! # dca-stats — deterministic randomness, summaries and rendering
+//!
+//! Support crate for the experiment harness:
+//!
+//! * [`rng`] — a from-scratch xoshiro256\*\* PRNG seeded via SplitMix64.
+//!   The workload generators must emit bit-identical programs on every
+//!   platform and toolchain, which rules out depending on `rand`'s
+//!   evolving algorithms for *library* code (`rand` remains a
+//!   dev-dependency for property tests).
+//! * [`summary`] — geometric/harmonic means and friends. The paper
+//!   reports G-means (Figure 3) and H-means (Figures 4–16) over
+//!   per-benchmark speed-ups.
+//! * [`render`] — markdown tables, aligned text tables, CSV and ASCII
+//!   bar/series charts used to regenerate every figure as text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod rng;
+pub mod summary;
+
+pub use render::{ascii_bars, ascii_series, Table};
+pub use rng::Rng64;
+pub use summary::{geometric_mean, harmonic_mean, mean, percent_change};

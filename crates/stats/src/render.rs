@@ -1,0 +1,292 @@
+//! Plain-text rendering: tables (markdown/CSV/aligned) and ASCII charts.
+//!
+//! Every figure of the paper is regenerated as a text artefact: bar
+//! charts (speed-up figures) and line series (the workload-balance
+//! distribution figures) printed to stdout and to `results/*.md`.
+
+use std::fmt::Write as _;
+
+/// A column-typed table builder.
+///
+/// # Example
+///
+/// ```
+/// use dca_stats::Table;
+/// let mut t = Table::new(&["bench", "speedup %"]);
+/// t.row(&["go".into(), format!("{:.1}", 31.4)]);
+/// t.row(&["gcc".into(), format!("{:.1}", 28.9)]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| go"));
+/// assert!(t.to_csv().starts_with("bench,speedup %"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "| {} |", r.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting: cells must not contain commas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell contains a comma or newline.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for c in cells {
+                assert!(
+                    !c.contains(',') && !c.contains('\n'),
+                    "CSV cells must not contain commas or newlines: {c:?}"
+                );
+            }
+            let _ = writeln!(out, "{}", cells.join(","));
+        };
+        emit(&mut out, &self.headers);
+        for r in &self.rows {
+            emit(&mut out, r);
+        }
+        out
+    }
+
+    /// Renders as an aligned monospace table for terminals.
+    pub fn to_aligned(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                let pad = widths[i] - cells[i].chars().count();
+                let _ = write!(out, "{}{}", cells[i], " ".repeat(pad));
+                if i + 1 < cols {
+                    let _ = write!(out, "  ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        emit(&mut out, &self.headers);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        emit(&mut out, &rule);
+        for r in &self.rows {
+            emit(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Renders labelled values as a horizontal ASCII bar chart, the text
+/// stand-in for the paper's speed-up bar figures.
+///
+/// # Example
+///
+/// ```
+/// use dca_stats::ascii_bars;
+/// let chart = ascii_bars(&[("go".into(), 31.0), ("li".into(), 12.5)], 40);
+/// assert!(chart.contains("go"));
+/// assert!(chart.lines().count() >= 2);
+/// ```
+pub fn ascii_bars(items: &[(String, f64)], width: usize) -> String {
+    let max = items
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let n = ((v.abs() / max) * width as f64).round() as usize;
+        let bar: String = std::iter::repeat_n('█', n).collect();
+        let sign = if *v < 0.0 { "-" } else { "" };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$}  {sign}{bar} {v:.1}",
+            label = label,
+            label_w = label_w
+        );
+    }
+    out
+}
+
+/// Renders one or more named series over a shared integer x-axis as an
+/// ASCII chart with one column per x value — used for the
+/// workload-balance distribution figures (x = `#ready FP − #ready INT`,
+/// y = % of cycles). Values are printed row-wise (one row per series)
+/// plus a sparkline-style profile per series.
+pub fn ascii_series(xs: &[i64], series: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>18}", "x:");
+    for x in xs {
+        let _ = write!(out, "{x:>6}");
+    }
+    let _ = writeln!(out);
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series `{name}` length mismatch");
+        let _ = write!(out, "{name:>17}:");
+        for y in ys {
+            let _ = write!(out, "{y:>6.1}");
+        }
+        let _ = writeln!(out);
+    }
+    // Profile lines (8 shades).
+    const SHADES: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    for (name, ys) in series {
+        let profile: String = ys
+            .iter()
+            .map(|y| SHADES[((y / max) * 8.0).round().clamp(0.0, 8.0) as usize])
+            .collect();
+        let _ = writeln!(out, "{name:>17}: [{profile}]");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["yy".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        let lines: Vec<_> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("---"));
+        assert!(lines[3].starts_with("| yy"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "a,b");
+    }
+
+    #[test]
+    fn aligned_pads_columns() {
+        let txt = sample().to_aligned();
+        let lines: Vec<_> = txt.lines().collect();
+        // header, rule, 2 rows
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("--"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CSV cells")]
+    fn csv_rejects_commas() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["x,y".into()]);
+        let _ = t.to_csv();
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let chart = ascii_bars(&[("big".into(), 100.0), ("half".into(), 50.0)], 10);
+        let lines: Vec<_> = chart.lines().collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert_eq!(bars[0], 10);
+        assert_eq!(bars[1], 5);
+    }
+
+    #[test]
+    fn series_renders_all_rows() {
+        let xs: Vec<i64> = (-2..=2).collect();
+        let out = ascii_series(
+            &xs,
+            &[
+                ("modulo".into(), vec![1.0, 2.0, 30.0, 2.0, 1.0]),
+                ("slice".into(), vec![5.0, 10.0, 15.0, 10.0, 5.0]),
+            ],
+        );
+        assert!(out.contains("modulo"));
+        assert!(out.contains("slice"));
+        assert!(out.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_checked() {
+        ascii_series(&[0, 1], &[("s".into(), vec![1.0])]);
+    }
+}

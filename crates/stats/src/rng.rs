@@ -1,0 +1,190 @@
+//! Deterministic pseudo-random numbers (xoshiro256\*\* + SplitMix64).
+//!
+//! Implemented from the public-domain reference algorithms by Blackman
+//! & Vigna. Chosen over the `rand` crate for *library* code because the
+//! synthetic workloads must be bit-reproducible forever: the programs
+//! they generate are part of the experimental setup, exactly like the
+//! fixed SpecInt95 binaries the paper used.
+
+/// A xoshiro256\*\* generator.
+///
+/// # Example
+///
+/// ```
+/// use dca_stats::Rng64;
+/// let mut a = Rng64::seeded(42);
+/// let mut b = Rng64::seeded(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// let r = a.range(10, 20);
+/// assert!((10..20).contains(&r));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64,
+    /// per the xoshiro authors' recommendation).
+    pub fn seeded(seed: u64) -> Rng64 {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[lo, hi)` (unbiased via rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Rejection sampling over the biased zone.
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.range(0, items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_from_splitmix_seed_zero() {
+        // First outputs for seed 0 must stay frozen forever: the
+        // workloads depend on them.
+        let mut r = Rng64::seeded(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = Rng64::seeded(0);
+        let again: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Rng64::seeded(1).next_u64();
+        let b = Rng64::seeded(2).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut r = Rng64::seeded(7);
+        for _ in 0..10_000 {
+            let v = r.range(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng64::seeded(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.range(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = Rng64::seeded(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut r = Rng64::seeded(4);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::seeded(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng64::seeded(0).range(5, 5);
+    }
+}

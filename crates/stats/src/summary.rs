@@ -1,0 +1,111 @@
+//! Statistical summaries used by the paper's figures.
+//!
+//! Figure 3 reports the **geometric mean** of per-benchmark
+//! improvements; Figures 4 onwards report **harmonic means** (labelled
+//! "H-mean" on the x-axes). Both operate on speed-up *ratios* (e.g.
+//! 1.16 for +16%), so the helpers here take ratios and the percent
+//! conversion is explicit.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of positive values; 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive (a speed-up ratio must be > 0).
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Harmonic mean of positive values; 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let recip_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "harmonic mean requires positive values, got {x}");
+            1.0 / x
+        })
+        .sum();
+    xs.len() as f64 / recip_sum
+}
+
+/// Converts a ratio (`new / old`) into a percentage change
+/// (`1.36 → 36.0`).
+pub fn percent_change(ratio: f64) -> f64 {
+    (ratio - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_of_known_values() {
+        let xs = [1.0, 2.0, 4.0];
+        assert!((mean(&xs) - 7.0 / 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&xs) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&xs) - 3.0 / 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ordering_inequality() {
+        // HM <= GM <= AM for positive, non-constant data.
+        let xs = [1.1, 1.3, 1.02, 2.4];
+        let h = harmonic_mean(&xs);
+        let g = geometric_mean(&xs);
+        let a = mean(&xs);
+        assert!(h < g && g < a);
+    }
+
+    #[test]
+    fn constant_data_all_means_agree() {
+        let xs = [1.36; 8];
+        for m in [mean(&xs), geometric_mean(&xs), harmonic_mean(&xs)] {
+            assert!((m - 1.36).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_slices_yield_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percent_change_round_trip() {
+        assert!((percent_change(1.36) - 36.0).abs() < 1e-12);
+        assert!((percent_change(1.0)).abs() < 1e-12);
+        assert!((percent_change(0.9) + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geometric_mean_rejects_zero() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Non-slice balance steering (§3.5).
+//!
+//! Slice instructions still go to the integer cluster, but instructions
+//! *outside* the slice are used to balance the workload: under strong
+//! imbalance they go to the least-loaded cluster, otherwise to the
+//! cluster where their operands reside.
+
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+
+use crate::imbalance::{ImbalanceConfig, ImbalanceMonitor};
+use crate::slice_steer::SliceKind;
+use crate::tables::SliceFlags;
+
+/// Steers a *free* (non-slice) instruction by balance and operand
+/// locality — the §3.5 policy, shared by several schemes.
+pub(crate) fn steer_free_instruction(
+    d: &DecodedView<'_>,
+    ctx: &SteerCtx,
+    monitor: &ImbalanceMonitor,
+) -> ClusterId {
+    let fallback = ctx.less_occupied();
+    if monitor.is_strong() {
+        return monitor.less_loaded().unwrap_or(fallback);
+    }
+    let n_int = d.operands_in(ClusterId::Int);
+    let n_fp = d.operands_in(ClusterId::Fp);
+    match n_int.cmp(&n_fp) {
+        std::cmp::Ordering::Greater => ClusterId::Int,
+        std::cmp::Ordering::Less => ClusterId::Fp,
+        std::cmp::Ordering::Equal => monitor.less_loaded().unwrap_or(fallback),
+    }
+}
+
+/// Non-slice balance steering.
+///
+/// # Example
+///
+/// ```
+/// use dca_steer::{NonSliceBalance, SliceKind};
+/// use dca_sim::Steering;
+/// let s = NonSliceBalance::new(SliceKind::LdSt);
+/// assert_eq!(s.name(), "ldst-non-slice-balance");
+/// ```
+#[derive(Clone, Debug)]
+pub struct NonSliceBalance {
+    kind: SliceKind,
+    flags: SliceFlags,
+    monitor: ImbalanceMonitor,
+}
+
+impl NonSliceBalance {
+    /// Creates the scheme with the paper's imbalance parameters.
+    pub fn new(kind: SliceKind) -> NonSliceBalance {
+        NonSliceBalance::with_config(kind, ImbalanceConfig::default())
+    }
+
+    /// Creates the scheme with explicit imbalance parameters (used by
+    /// the metric-ablation bench).
+    pub fn with_config(kind: SliceKind, cfg: ImbalanceConfig) -> NonSliceBalance {
+        NonSliceBalance {
+            kind,
+            flags: SliceFlags::new(),
+            monitor: ImbalanceMonitor::new(cfg),
+        }
+    }
+}
+
+impl Steering for NonSliceBalance {
+    fn name(&self) -> String {
+        format!("{}-non-slice-balance", self.kind.label())
+    }
+
+    fn steer(
+        &mut self,
+        d: &DecodedView<'_>,
+        allowed: Allowed,
+        ctx: &SteerCtx,
+    ) -> Option<ClusterId> {
+        if let Some(f) = allowed.forced() {
+            return Some(f);
+        }
+        Some(if self.flags.contains(d.sidx) || self.kind.defines(d.inst) {
+            ClusterId::Int
+        } else {
+            steer_free_instruction(d, ctx, &self.monitor)
+        })
+    }
+
+    fn on_steered(&mut self, d: &DecodedView<'_>, cluster: ClusterId, _ctx: &SteerCtx) {
+        self.flags.observe(d.sidx, d.inst, self.kind);
+        self.monitor.on_steered(cluster);
+    }
+
+    fn on_cycle(&mut self, ctx: &SteerCtx) {
+        self.monitor.on_cycle(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_prog::{parse_asm, Memory};
+    use dca_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn runs_and_balances() {
+        let p = parse_asm(
+            "e:
+                li r1, #200
+                li r2, #4096
+             l:
+                ld r3, 0(r2)
+                add r4, r4, r3
+                xor r5, r5, r4
+                and r6, r5, r3
+                or r7, r6, r4
+                add r2, r2, #8
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap();
+        let mut scheme = NonSliceBalance::new(SliceKind::LdSt);
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        assert!(stats.steered[0] > 0 && stats.steered[1] > 0);
+        // The value chain (add/xor/and/or) should mostly follow its
+        // operands; with balance overrides both clusters see work.
+        assert!(stats.comms_per_inst() < 0.6);
+    }
+
+    #[test]
+    fn free_steering_prefers_operand_locality() {
+        use dca_isa::{Inst, Reg};
+        use dca_sim::SrcView;
+        let monitor = ImbalanceMonitor::paper();
+        let inst = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
+        let mk = |m2: [bool; 2], m3: [bool; 2]| DecodedView {
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            inst: &inst,
+            class: dca_isa::ExecClass::IntAlu,
+            srcs: [
+                Some(SrcView { reg: Reg::int(2), mapped: m2 }),
+                Some(SrcView { reg: Reg::int(3), mapped: m3 }),
+            ],
+        };
+        let ctx = SteerCtx {
+            now: 0,
+            ready: [0, 0],
+            iq_len: [0, 0],
+            issue_width: [4, 4],
+        };
+        // Both operands in FP cluster -> FP.
+        let d = mk([false, true], [false, true]);
+        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Fp);
+        // Both in INT -> INT.
+        let d = mk([true, false], [true, false]);
+        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Int);
+        // Replicated everywhere -> tie -> falls back to occupancy (INT
+        // wins ties with equal queues).
+        let d = mk([true, true], [true, true]);
+        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Int);
+    }
+
+    #[test]
+    fn strong_imbalance_overrides_locality() {
+        use dca_isa::{Inst, Reg};
+        use dca_sim::SrcView;
+        let mut monitor = ImbalanceMonitor::paper();
+        for _ in 0..50 {
+            monitor.on_steered(ClusterId::Int); // INT overloaded
+        }
+        let inst = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
+        let d = DecodedView {
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            inst: &inst,
+            class: dca_isa::ExecClass::IntAlu,
+            srcs: [
+                Some(SrcView { reg: Reg::int(2), mapped: [true, false] }),
+                Some(SrcView { reg: Reg::int(3), mapped: [true, false] }),
+            ],
+        };
+        let ctx = SteerCtx::default();
+        // Operands say INT, but the strong imbalance forces FP.
+        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Fp);
+    }
+}

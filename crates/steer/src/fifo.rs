@@ -1,0 +1,300 @@
+//! FIFO-based steering (§3.9), after Palacharla, Jouppi & Smith,
+//! *Complexity-Effective Superscalar Processors* \[15\].
+//!
+//! Each cluster's instruction queue is modelled as 8 FIFOs, each 8
+//! deep. The steering heuristic chains dependences: an instruction is
+//! appended to a FIFO whose **tail** produces one of its source
+//! operands; failing that it needs an **empty** FIFO; failing that,
+//! dispatch stalls. Following the paper's note, instructions may issue
+//! from *any* slot of a FIFO, so the FIFOs constrain steering and
+//! capacity, not wake-up.
+
+use std::collections::HashMap;
+
+use dca_isa::Reg;
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+
+/// FIFO geometry (defaults: 8 FIFOs × 8 deep per cluster, as simulated
+/// in the paper).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FifoConfig {
+    /// FIFOs per cluster.
+    pub fifos_per_cluster: usize,
+    /// Capacity of each FIFO.
+    pub depth: usize,
+}
+
+impl Default for FifoConfig {
+    fn default() -> FifoConfig {
+        FifoConfig {
+            fifos_per_cluster: 8,
+            depth: 8,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Fifo {
+    /// Occupants, oldest first (µop seq, destination register).
+    slots: Vec<(u64, Option<Reg>)>,
+}
+
+/// FIFO-based steering.
+///
+/// # Example
+///
+/// ```
+/// use dca_steer::{FifoConfig, FifoSteering};
+/// use dca_sim::Steering;
+/// let s = FifoSteering::new(FifoConfig::default());
+/// assert_eq!(s.name(), "fifo");
+/// ```
+#[derive(Clone, Debug)]
+pub struct FifoSteering {
+    cfg: FifoConfig,
+    fifos: [Vec<Fifo>; 2],
+    /// Where each in-flight µop sits: seq → (cluster, fifo index).
+    placement: HashMap<u64, (usize, usize)>,
+    /// Decision computed by `steer`, committed by `on_steered`.
+    pending: Option<(u64, usize, usize)>,
+    /// Round-robin preference for empty-FIFO placement.
+    prefer_fp: bool,
+    /// Dispatch stalls requested (diagnostics).
+    stalls: u64,
+}
+
+impl FifoSteering {
+    /// Creates the scheme.
+    pub fn new(cfg: FifoConfig) -> FifoSteering {
+        FifoSteering {
+            fifos: [
+                (0..cfg.fifos_per_cluster).map(|_| Fifo::default()).collect(),
+                (0..cfg.fifos_per_cluster).map(|_| Fifo::default()).collect(),
+            ],
+            placement: HashMap::new(),
+            pending: None,
+            prefer_fp: false,
+            stalls: 0,
+            cfg,
+        }
+    }
+
+    /// Paper-default geometry.
+    pub fn paper() -> FifoSteering {
+        FifoSteering::new(FifoConfig::default())
+    }
+
+    /// Dispatch stalls caused by FIFO exhaustion so far.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Finds a FIFO whose tail produces one of `d`'s sources.
+    fn chain_target(&self, d: &DecodedView<'_>, allowed: Allowed) -> Option<(usize, usize)> {
+        for src in d.src_views() {
+            for c in 0..2 {
+                if !allowed.contains(ClusterId::from_index(c)) {
+                    continue;
+                }
+                for (fi, f) in self.fifos[c].iter().enumerate() {
+                    if f.slots.len() >= self.cfg.depth {
+                        continue;
+                    }
+                    if let Some((_, Some(dst))) = f.slots.last() {
+                        if *dst == src.reg {
+                            return Some((c, fi));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds an empty FIFO, preferring the round-robin cluster.
+    fn empty_target(&self, allowed: Allowed) -> Option<(usize, usize)> {
+        let order = if self.prefer_fp { [1, 0] } else { [0, 1] };
+        for c in order {
+            if !allowed.contains(ClusterId::from_index(c)) {
+                continue;
+            }
+            if let Some(fi) = self.fifos[c].iter().position(|f| f.slots.is_empty()) {
+                return Some((c, fi));
+            }
+        }
+        None
+    }
+
+    /// Any FIFO with room (last resort before stalling: the original
+    /// heuristic prefers dependence chains and empty FIFOs, but a
+    /// two-cluster machine with busy queues would stall excessively
+    /// without this fallback — the paper's simulated variant issues
+    /// from any slot, so partial sharing is harmless).
+    fn any_target(&self, allowed: Allowed) -> Option<(usize, usize)> {
+        let order = if self.prefer_fp { [1, 0] } else { [0, 1] };
+        for c in order {
+            if !allowed.contains(ClusterId::from_index(c)) {
+                continue;
+            }
+            if let Some(fi) = self.fifos[c]
+                .iter()
+                .position(|f| f.slots.len() < self.cfg.depth)
+            {
+                return Some((c, fi));
+            }
+        }
+        None
+    }
+}
+
+impl Steering for FifoSteering {
+    fn name(&self) -> String {
+        "fifo".into()
+    }
+
+    fn steer(
+        &mut self,
+        d: &DecodedView<'_>,
+        allowed: Allowed,
+        _ctx: &SteerCtx,
+    ) -> Option<ClusterId> {
+        let target = self
+            .chain_target(d, allowed)
+            .or_else(|| self.empty_target(allowed))
+            .or_else(|| self.any_target(allowed));
+        match target {
+            Some((c, fi)) => {
+                self.pending = Some((d.seq, c, fi));
+                Some(ClusterId::from_index(c))
+            }
+            None => {
+                self.stalls += 1;
+                None
+            }
+        }
+    }
+
+    fn on_steered(&mut self, d: &DecodedView<'_>, cluster: ClusterId, _ctx: &SteerCtx) {
+        let (seq, c, fi) = match self.pending.take() {
+            Some(p) if p.0 == d.seq && p.1 == cluster.index() => p,
+            // The simulator clamped our choice (forced cluster) or the
+            // decision went stale: fall back to any slot in the actual
+            // cluster so the books stay consistent.
+            _ => {
+                let c = cluster.index();
+                let fi = self.fifos[c]
+                    .iter()
+                    .position(|f| f.slots.len() < self.cfg.depth)
+                    .unwrap_or(0);
+                (d.seq, c, fi)
+            }
+        };
+        self.fifos[c][fi]
+            .slots
+            .push((seq, d.inst.effective_dst()));
+        self.placement.insert(seq, (c, fi));
+        self.prefer_fp = !self.prefer_fp;
+    }
+
+    fn on_issued(&mut self, seq: u64, _cluster: ClusterId) {
+        if let Some((c, fi)) = self.placement.remove(&seq) {
+            // Issue from any slot (the paper's relaxed variant).
+            self.fifos[c][fi].slots.retain(|(s, _)| *s != seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_prog::{parse_asm, Interp, Memory};
+    use dca_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn dependent_chain_shares_one_fifo() {
+        let mut s = FifoSteering::paper();
+        let i1 = dca_isa::Inst::li(Reg::int(1), 0);
+        let i2 = dca_isa::Inst::addi(Reg::int(2), Reg::int(1), 1);
+        let ctx = SteerCtx::default();
+        let v1 = DecodedView {
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            inst: &i1,
+            class: dca_isa::ExecClass::IntAlu,
+            srcs: [None, None],
+        };
+        let c1 = s.steer(&v1, Allowed::both(), &ctx).unwrap();
+        s.on_steered(&v1, c1, &ctx);
+        let v2 = DecodedView {
+            seq: 1,
+            sidx: 1,
+            pc: 4,
+            inst: &i2,
+            class: dca_isa::ExecClass::IntAlu,
+            srcs: [
+                Some(dca_sim::SrcView { reg: Reg::int(1), mapped: [true, false] }),
+                None,
+            ],
+        };
+        let c2 = s.steer(&v2, Allowed::both(), &ctx).unwrap();
+        s.on_steered(&v2, c2, &ctx);
+        assert_eq!(c1, c2, "consumer chains behind its producer");
+        assert_eq!(s.placement[&0], s.placement[&1]);
+    }
+
+    #[test]
+    fn issue_frees_fifo_slots() {
+        let mut s = FifoSteering::new(FifoConfig {
+            fifos_per_cluster: 1,
+            depth: 1,
+        });
+        let i1 = dca_isa::Inst::li(Reg::int(1), 0);
+        let ctx = SteerCtx::default();
+        let v1 = DecodedView {
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            inst: &i1,
+            class: dca_isa::ExecClass::IntAlu,
+            srcs: [None, None],
+        };
+        let c = s.steer(&v1, Allowed::both(), &ctx).unwrap();
+        s.on_steered(&v1, c, &ctx);
+        // Both single-slot FIFOs... one per cluster; fill the other too.
+        let v2 = DecodedView { seq: 1, ..v1 };
+        let c2 = s.steer(&v2, Allowed::both(), &ctx).unwrap();
+        s.on_steered(&v2, c2, &ctx);
+        // Now everything is full: stall.
+        let v3 = DecodedView { seq: 2, ..v1 };
+        assert_eq!(s.steer(&v3, Allowed::both(), &ctx), None);
+        assert_eq!(s.stall_count(), 1);
+        // Issuing seq 0 frees one slot.
+        s.on_issued(0, c);
+        assert!(s.steer(&v3, Allowed::both(), &ctx).is_some());
+    }
+
+    #[test]
+    fn end_to_end_run_commits_everything() {
+        let p = parse_asm(
+            "e:
+                li r1, #300
+                li r2, #4096
+             l:
+                ld r3, 0(r2)
+                add r4, r4, r3
+                xor r5, r5, r4
+                add r2, r2, #8
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap();
+        let expected = Interp::new(&p, Memory::new()).count() as u64;
+        let mut scheme = FifoSteering::paper();
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        assert_eq!(stats.committed, expected);
+        assert!(stats.steered[0] > 0 && stats.steered[1] > 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The workload-imbalance monitor of §3.5.
+//!
+//! Two metrics are defined in the paper:
+//!
+//! * **I1** — "the difference in the number of instructions steered to
+//!   each cluster": a running counter, +1 for every instruction steered
+//!   to the integer cluster, −1 for the FP cluster, so "every
+//!   instruction decoded in the same cycle sees a different value".
+//! * **I2** — the difference in *ready* instructions, counted only when
+//!   the paper's imbalance condition holds (one cluster above its issue
+//!   width, the other below), averaged over the last `N` cycles.
+//!
+//! The combined counter is `I1 + avg(I2)`; "strong imbalance" is
+//! `|counter| > threshold`. The paper determined `N = 16` and
+//! `threshold = 8` empirically, and notes I1 alone performs close to
+//! the combination — exposed here as [`ImbalanceMetric`] for the
+//! ablation bench.
+
+use std::collections::VecDeque;
+
+use dca_sim::{ClusterId, SteerCtx};
+
+/// Which workload information feeds the counter.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ImbalanceMetric {
+    /// Steered-instruction difference only.
+    I1Only,
+    /// Windowed ready-difference only.
+    I2Only,
+    /// Both, as in the paper's final mechanism.
+    Combined,
+}
+
+/// Tuning knobs (defaults = the paper's values).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ImbalanceConfig {
+    /// Averaging window for I2 in cycles (paper: 16).
+    pub window: usize,
+    /// Strong-imbalance threshold (paper: 8).
+    pub threshold: i64,
+    /// Metric selection (paper: combined).
+    pub metric: ImbalanceMetric,
+}
+
+impl Default for ImbalanceConfig {
+    fn default() -> ImbalanceConfig {
+        ImbalanceConfig {
+            window: 16,
+            threshold: 8,
+            metric: ImbalanceMetric::Combined,
+        }
+    }
+}
+
+/// The single imbalance counter combining I1 and windowed I2.
+///
+/// Positive values mean the **integer cluster** is overloaded.
+///
+/// # Example
+///
+/// ```
+/// use dca_sim::ClusterId;
+/// use dca_steer::{ImbalanceConfig, ImbalanceMonitor};
+///
+/// let mut m = ImbalanceMonitor::new(ImbalanceConfig::default());
+/// for _ in 0..12 {
+///     m.on_steered(ClusterId::Int); // 12 net instructions to INT
+/// }
+/// assert_eq!(m.overloaded(), Some(ClusterId::Int));
+/// assert_eq!(m.less_loaded(), Some(ClusterId::Fp));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ImbalanceMonitor {
+    cfg: ImbalanceConfig,
+    i1: i64,
+    i2_window: VecDeque<i64>,
+    i2_sum: i64,
+}
+
+/// Bound on the running I1 term so a persistently skewed program
+/// cannot wind the counter arbitrarily far (the threshold logic only
+/// cares about small magnitudes anyway).
+const I1_CLAMP: i64 = 256;
+
+impl ImbalanceMonitor {
+    /// Creates a monitor.
+    pub fn new(cfg: ImbalanceConfig) -> ImbalanceMonitor {
+        ImbalanceMonitor {
+            cfg,
+            i1: 0,
+            i2_window: VecDeque::with_capacity(cfg.window),
+            i2_sum: 0,
+        }
+    }
+
+    /// Paper-default monitor.
+    pub fn paper() -> ImbalanceMonitor {
+        ImbalanceMonitor::new(ImbalanceConfig::default())
+    }
+
+    /// Per-cycle update with the current ready counts (feeds I2).
+    pub fn on_cycle(&mut self, ctx: &SteerCtx) {
+        let i2 = ctx.instant_i2();
+        self.i2_window.push_back(i2);
+        self.i2_sum += i2;
+        if self.i2_window.len() > self.cfg.window {
+            self.i2_sum -= self.i2_window.pop_front().expect("non-empty");
+        }
+    }
+
+    /// Per-steered-instruction update (feeds I1).
+    pub fn on_steered(&mut self, cluster: ClusterId) {
+        let delta = match cluster {
+            ClusterId::Int => 1,
+            ClusterId::Fp => -1,
+        };
+        self.i1 = (self.i1 + delta).clamp(-I1_CLAMP, I1_CLAMP);
+    }
+
+    fn i2_avg(&self) -> i64 {
+        if self.i2_window.is_empty() {
+            0
+        } else {
+            self.i2_sum / self.i2_window.len() as i64
+        }
+    }
+
+    /// The combined counter value (positive → INT overloaded).
+    pub fn counter(&self) -> i64 {
+        match self.cfg.metric {
+            ImbalanceMetric::I1Only => self.i1,
+            ImbalanceMetric::I2Only => self.i2_avg(),
+            ImbalanceMetric::Combined => self.i1 + self.i2_avg(),
+        }
+    }
+
+    /// The overloaded cluster under *strong imbalance*
+    /// (`|counter| > threshold`), else `None`.
+    pub fn overloaded(&self) -> Option<ClusterId> {
+        let c = self.counter();
+        if c > self.cfg.threshold {
+            Some(ClusterId::Int)
+        } else if c < -self.cfg.threshold {
+            Some(ClusterId::Fp)
+        } else {
+            None
+        }
+    }
+
+    /// The less-loaded cluster by counter sign (`None` when exactly
+    /// balanced — callers fall back to an instantaneous measure).
+    pub fn less_loaded(&self) -> Option<ClusterId> {
+        match self.counter() {
+            c if c > 0 => Some(ClusterId::Fp),
+            c if c < 0 => Some(ClusterId::Int),
+            _ => None,
+        }
+    }
+
+    /// `true` under strong imbalance.
+    pub fn is_strong(&self) -> bool {
+        self.overloaded().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(ready: [u32; 2]) -> SteerCtx {
+        SteerCtx {
+            now: 0,
+            ready,
+            iq_len: [0, 0],
+            issue_width: [4, 4],
+        }
+    }
+
+    #[test]
+    fn i1_counts_steering_difference() {
+        let mut m = ImbalanceMonitor::new(ImbalanceConfig {
+            metric: ImbalanceMetric::I1Only,
+            ..ImbalanceConfig::default()
+        });
+        for _ in 0..5 {
+            m.on_steered(ClusterId::Int);
+        }
+        for _ in 0..2 {
+            m.on_steered(ClusterId::Fp);
+        }
+        assert_eq!(m.counter(), 3);
+        assert!(!m.is_strong());
+        for _ in 0..6 {
+            m.on_steered(ClusterId::Int);
+        }
+        assert_eq!(m.overloaded(), Some(ClusterId::Int));
+    }
+
+    #[test]
+    fn i1_clamps() {
+        let mut m = ImbalanceMonitor::new(ImbalanceConfig {
+            metric: ImbalanceMetric::I1Only,
+            ..ImbalanceConfig::default()
+        });
+        for _ in 0..10_000 {
+            m.on_steered(ClusterId::Fp);
+        }
+        assert_eq!(m.counter(), -I1_CLAMP);
+    }
+
+    #[test]
+    fn i2_averages_over_window_and_respects_condition() {
+        let mut m = ImbalanceMonitor::new(ImbalanceConfig {
+            metric: ImbalanceMetric::I2Only,
+            window: 4,
+            threshold: 8,
+        });
+        // Balanced situations contribute zero.
+        m.on_cycle(&ctx([10, 9]));
+        assert_eq!(m.counter(), 0);
+        // INT over width, FP under: contributes ready0 - ready1.
+        for _ in 0..4 {
+            m.on_cycle(&ctx([44, 0]));
+        }
+        // Window of 4 holds the last four values: [44, 44, 44, 44].
+        assert_eq!(m.counter(), 44);
+        assert_eq!(m.overloaded(), Some(ClusterId::Int));
+        // Window slides: four balanced cycles wash it out.
+        for _ in 0..4 {
+            m.on_cycle(&ctx([2, 2]));
+        }
+        assert_eq!(m.counter(), 0);
+    }
+
+    #[test]
+    fn combined_adds_both_terms() {
+        let mut m = ImbalanceMonitor::paper();
+        for _ in 0..4 {
+            m.on_steered(ClusterId::Int);
+        }
+        m.on_cycle(&ctx([20, 1])); // i2 = +19, window len 1
+        assert_eq!(m.counter(), 4 + 19);
+        assert_eq!(m.overloaded(), Some(ClusterId::Int));
+    }
+
+    #[test]
+    fn less_loaded_none_when_balanced() {
+        let m = ImbalanceMonitor::paper();
+        assert_eq!(m.less_loaded(), None);
+        assert!(!m.is_strong());
+    }
+}

@@ -1,0 +1,81 @@
+//! # dca-steer — the paper's dynamic cluster assignment mechanisms
+//!
+//! Implements every code-partitioning scheme evaluated in *"Dynamic
+//! Cluster Assignment Mechanisms"* (HPCA 2000), §3, as plug-ins for the
+//! [`dca_sim::Steering`] interface:
+//!
+//! | scheme | paper | type |
+//! |--------|-------|------|
+//! | [`Naive`] | §2 | baseline int/FP partitioning |
+//! | [`Modulo`] | §3.6/§3.8 | alternate clusters |
+//! | [`StaticPartition`] | §3.3 (Sastry et al. \[18\]) | offline LdSt-slice partitioning |
+//! | [`SliceSteering`] (LdSt/Br) | §3.3–3.4 | dynamic slice detection |
+//! | [`NonSliceBalance`] | §3.5 | slice → INT, non-slice balances |
+//! | [`SliceBalance`] | §3.6 | per-slice cluster table with re-mapping |
+//! | [`PrioritySliceBalance`] | §3.7 | only *critical* slices stay whole |
+//! | [`GeneralBalance`] | §3.8 | operand locality + imbalance override |
+//! | [`FifoSteering`] | §3.9 (Palacharla et al. \[15\]) | dependence-chained FIFOs |
+//!
+//! The shared infrastructure mirrors the paper's hardware tables:
+//! [`tables::ParentTable`] (last decoded writer of each logical
+//! register), [`tables::SliceFlags`] (one-bit PC-indexed LdSt/Br slice
+//! membership, §3.3) and [`tables::SliceIds`]/[`tables::ClusterTable`]
+//! (slice identification and per-slice cluster assignment, Figure 10),
+//! plus the [`ImbalanceMonitor`] combining the I1/I2 workload metrics
+//! (§3.5).
+//!
+//! # Example
+//!
+//! ```
+//! use dca_prog::{parse_asm, Memory};
+//! use dca_sim::{SimConfig, Simulator};
+//! use dca_steer::{GeneralBalance, SliceKind, SliceSteering};
+//!
+//! let prog = parse_asm(
+//!     "e:
+//!         li r1, #64
+//!         li r2, #4096
+//!      l:
+//!         ld r3, 0(r2)
+//!         add r4, r4, r3
+//!         add r2, r2, #8
+//!         add r1, r1, #-1
+//!         bne r1, r0, l
+//!         halt",
+//! )?;
+//! let cfg = SimConfig::paper_clustered();
+//! let ldst = Simulator::new(&cfg, &prog, Memory::new())
+//!     .run(&mut SliceSteering::new(SliceKind::LdSt), 100_000);
+//! let general = Simulator::new(&cfg, &prog, Memory::new())
+//!     .run(&mut GeneralBalance::new(), 100_000);
+//! assert_eq!(ldst.committed, general.committed);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod balance;
+mod fifo;
+mod general;
+mod imbalance;
+mod naive;
+mod priority;
+mod slice_balance;
+mod slice_steer;
+mod static_part;
+pub mod tables;
+
+pub use balance::NonSliceBalance;
+pub use fifo::{FifoConfig, FifoSteering};
+pub use general::GeneralBalance;
+pub use imbalance::{ImbalanceConfig, ImbalanceMetric, ImbalanceMonitor};
+pub use naive::Naive;
+pub use priority::{PriorityConfig, PrioritySliceBalance};
+pub use slice_balance::SliceBalance;
+pub use slice_steer::{SliceKind, SliceSteering};
+pub use static_part::StaticPartition;
+
+/// The paper's modulo steering is the simulator's built-in
+/// [`dca_sim::steering::RoundRobin`], re-exported under its paper name.
+pub use dca_sim::steering::RoundRobin as Modulo;

@@ -1,0 +1,102 @@
+//! The conventional naive int/FP partitioning (§1/§2).
+
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+
+/// Sends every instruction the machine would *conventionally* place:
+/// integer work to the integer cluster, FP work to the FP cluster.
+///
+/// On the paper's **base** machine (no simple-int units in the FP
+/// cluster) every integer instruction is forced there anyway; this
+/// scheme makes the same assignment explicit so the clustered machine
+/// can also be run "un-steered" for comparison.
+///
+/// # Example
+///
+/// ```
+/// use dca_prog::{parse_asm, Memory};
+/// use dca_sim::{SimConfig, Simulator};
+/// use dca_steer::Naive;
+///
+/// let prog = parse_asm("e:\n li r1, #1\n halt")?;
+/// let stats = Simulator::new(&SimConfig::paper_base(), &prog, Memory::new())
+///     .run(&mut Naive::new(), 100);
+/// assert_eq!(stats.copies, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Naive;
+
+impl Naive {
+    /// Creates the scheme.
+    pub fn new() -> Naive {
+        Naive
+    }
+}
+
+impl Steering for Naive {
+    fn name(&self) -> String {
+        "naive".into()
+    }
+
+    fn steer(
+        &mut self,
+        d: &DecodedView<'_>,
+        allowed: Allowed,
+        _ctx: &SteerCtx,
+    ) -> Option<ClusterId> {
+        if let Some(f) = allowed.forced() {
+            return Some(f);
+        }
+        // FP-bank writers (FP loads) belong with the FP data-path.
+        let fp_dst = d.inst.effective_dst().is_some_and(|r| r.is_fp());
+        Some(if fp_dst { ClusterId::Fp } else { ClusterId::Int })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_isa::{ExecClass, Inst, Reg};
+
+    fn view(inst: &Inst) -> DecodedView<'_> {
+        DecodedView {
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            inst,
+            class: inst.op.class(),
+            srcs: [None, None],
+        }
+    }
+
+    #[test]
+    fn integer_work_goes_to_the_integer_cluster() {
+        let mut n = Naive::new();
+        let add = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
+        assert_eq!(
+            n.steer(&view(&add), Allowed::both(), &SteerCtx::default()),
+            Some(ClusterId::Int)
+        );
+        let _ = ExecClass::IntAlu;
+    }
+
+    #[test]
+    fn fp_loads_go_to_the_fp_cluster() {
+        let mut n = Naive::new();
+        let fld = Inst::fld(Reg::fp(1), Reg::int(2), 0);
+        assert_eq!(
+            n.steer(&view(&fld), Allowed::both(), &SteerCtx::default()),
+            Some(ClusterId::Fp)
+        );
+    }
+
+    #[test]
+    fn forced_cluster_wins() {
+        let mut n = Naive::new();
+        let add = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
+        assert_eq!(
+            n.steer(&view(&add), Allowed::only(ClusterId::Fp), &SteerCtx::default()),
+            Some(ClusterId::Fp)
+        );
+    }
+}

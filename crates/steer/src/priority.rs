@@ -1,0 +1,244 @@
+//! Priority slice balance steering (§3.7).
+//!
+//! Only *critical* slices — those defined by loads that miss often or
+//! branches that mispredict often — are kept whole; everything else is
+//! steered individually by the balance policy. The criticality
+//! threshold self-adjusts every 8192 cycles so that about 50% of
+//! instructions belong to critical slices.
+
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+
+use crate::balance::steer_free_instruction;
+use crate::imbalance::{ImbalanceConfig, ImbalanceMonitor};
+use crate::slice_balance::SliceBalance;
+use crate::slice_steer::SliceKind;
+use crate::tables::{ClusterTable, SliceIds};
+
+/// Tuning knobs of the adaptive criticality threshold (defaults = the
+/// paper's values).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PriorityConfig {
+    /// Adjustment period in cycles (paper: 8192 = 2¹³).
+    pub period: u64,
+    /// Target fraction of instructions in critical slices, in percent
+    /// (paper: 50).
+    pub target_percent: u32,
+    /// Imbalance parameters for the balance policy.
+    pub imbalance: ImbalanceConfig,
+}
+
+impl Default for PriorityConfig {
+    fn default() -> PriorityConfig {
+        PriorityConfig {
+            period: 8192,
+            target_percent: 50,
+            imbalance: ImbalanceConfig::default(),
+        }
+    }
+}
+
+/// Priority slice balance steering.
+///
+/// # Example
+///
+/// ```
+/// use dca_steer::{PrioritySliceBalance, SliceKind};
+/// use dca_sim::Steering;
+/// let s = PrioritySliceBalance::new(SliceKind::Br);
+/// assert_eq!(s.name(), "br-priority-slice-balance");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrioritySliceBalance {
+    kind: SliceKind,
+    cfg: PriorityConfig,
+    slices: SliceIds,
+    clusters: ClusterTable,
+    monitor: ImbalanceMonitor,
+    threshold: u32,
+    critical_steered: u64,
+    total_steered: u64,
+    cycles_in_window: u64,
+    remaps: u64,
+}
+
+impl PrioritySliceBalance {
+    /// Creates the scheme with the paper's parameters.
+    pub fn new(kind: SliceKind) -> PrioritySliceBalance {
+        PrioritySliceBalance::with_config(kind, PriorityConfig::default())
+    }
+
+    /// Creates the scheme with explicit parameters (threshold-adaptation
+    /// ablation).
+    pub fn with_config(kind: SliceKind, cfg: PriorityConfig) -> PrioritySliceBalance {
+        PrioritySliceBalance {
+            kind,
+            slices: SliceIds::new(),
+            clusters: ClusterTable::new(),
+            monitor: ImbalanceMonitor::new(cfg.imbalance),
+            threshold: 1,
+            critical_steered: 0,
+            total_steered: 0,
+            cycles_in_window: 0,
+            remaps: 0,
+            cfg,
+        }
+    }
+
+    /// Current criticality threshold (events needed for a slice to be
+    /// treated as critical).
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Fraction (percent) of instructions steered as critical-slice
+    /// members in the current window.
+    pub fn critical_percent(&self) -> f64 {
+        if self.total_steered == 0 {
+            0.0
+        } else {
+            self.critical_steered as f64 * 100.0 / self.total_steered as f64
+        }
+    }
+
+    fn slice_is_critical(&self, s: u32) -> bool {
+        self.clusters.crit_events(s) >= self.threshold
+    }
+}
+
+impl Steering for PrioritySliceBalance {
+    fn name(&self) -> String {
+        format!("{}-priority-slice-balance", self.kind.label())
+    }
+
+    fn steer(
+        &mut self,
+        d: &DecodedView<'_>,
+        allowed: Allowed,
+        ctx: &SteerCtx,
+    ) -> Option<ClusterId> {
+        if let Some(f) = allowed.forced() {
+            return Some(f);
+        }
+        let slice = self
+            .slices
+            .slice_of(d.sidx)
+            .or_else(|| self.kind.defines(d.inst).then_some(d.sidx));
+        Some(match slice {
+            Some(s) if self.slice_is_critical(s) => SliceBalance::steer_slice_member(
+                &mut self.clusters,
+                &self.monitor,
+                &mut self.remaps,
+                d,
+                ctx,
+                s,
+            ),
+            _ => steer_free_instruction(d, ctx, &self.monitor),
+        })
+    }
+
+    fn on_steered(&mut self, d: &DecodedView<'_>, cluster: ClusterId, _ctx: &SteerCtx) {
+        let slice = self
+            .slices
+            .slice_of(d.sidx)
+            .or_else(|| self.kind.defines(d.inst).then_some(d.sidx));
+        if let Some(s) = slice {
+            if self.slice_is_critical(s) {
+                self.critical_steered += 1;
+            }
+        }
+        self.total_steered += 1;
+        self.slices.observe(d.sidx, d.inst, self.kind);
+        self.monitor.on_steered(cluster);
+    }
+
+    fn on_cycle(&mut self, ctx: &SteerCtx) {
+        self.monitor.on_cycle(ctx);
+        self.cycles_in_window += 1;
+        if self.cycles_in_window >= self.cfg.period {
+            // "If this number is higher than half of the executed
+            // instructions, the threshold is increased; otherwise it is
+            // decreased."
+            let above_target = self.critical_steered * 100
+                > self.total_steered * u64::from(self.cfg.target_percent);
+            if above_target {
+                self.threshold = self.threshold.saturating_add(1);
+            } else {
+                self.threshold = self.threshold.max(2) - 1;
+            }
+            self.critical_steered = 0;
+            self.total_steered = 0;
+            self.cycles_in_window = 0;
+        }
+    }
+
+    fn on_load_miss(&mut self, sidx: u32) {
+        if self.kind == SliceKind::LdSt {
+            self.clusters.record_crit_event(sidx);
+        }
+    }
+
+    fn on_mispredict(&mut self, sidx: u32) {
+        if self.kind == SliceKind::Br {
+            self.clusters.record_crit_event(sidx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_prog::{parse_asm, Interp, Memory};
+    use dca_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn threshold_adapts_with_small_period() {
+        // With a tiny period the threshold must move; every slice is
+        // critical at threshold 1 once its defining load misses.
+        let p = parse_asm(
+            "e:
+                li r1, #2000
+                li r2, #4096
+             l:
+                ld r3, 0(r2)
+                add r4, r4, r3
+                add r2, r2, #512    ; stride large enough to miss often
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap();
+        let mut scheme = PrioritySliceBalance::with_config(
+            SliceKind::LdSt,
+            PriorityConfig {
+                period: 64,
+                ..PriorityConfig::default()
+            },
+        );
+        let expected = Interp::new(&p, Memory::new()).count() as u64;
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        assert_eq!(stats.committed, expected);
+        assert!(scheme.threshold() >= 1);
+    }
+
+    #[test]
+    fn ldst_kind_ignores_mispredicts_and_vice_versa() {
+        let mut ldst = PrioritySliceBalance::new(SliceKind::LdSt);
+        ldst.on_mispredict(3);
+        assert_eq!(ldst.clusters.crit_events(3), 0);
+        ldst.on_load_miss(3);
+        assert_eq!(ldst.clusters.crit_events(3), 1);
+
+        let mut br = PrioritySliceBalance::new(SliceKind::Br);
+        br.on_load_miss(4);
+        assert_eq!(br.clusters.crit_events(4), 0);
+        br.on_mispredict(4);
+        assert_eq!(br.clusters.crit_events(4), 1);
+    }
+
+    #[test]
+    fn critical_percent_reports_window_fraction() {
+        let s = PrioritySliceBalance::new(SliceKind::LdSt);
+        assert_eq!(s.critical_percent(), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Slice balance steering (§3.6).
+//!
+//! Instructions are classified into individual backward slices at run
+//! time (slice table + parent table); each slice is mapped to a cluster
+//! by the cluster table. Instructions follow their slice's cluster,
+//! but when that cluster is strongly overloaded the **whole slice is
+//! re-assigned** to the other cluster. Non-slice instructions follow
+//! the §3.5 balance policy.
+
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+
+use crate::balance::steer_free_instruction;
+use crate::imbalance::{ImbalanceConfig, ImbalanceMonitor};
+use crate::slice_steer::SliceKind;
+use crate::tables::{ClusterTable, SliceIds};
+
+/// Slice balance steering.
+///
+/// # Example
+///
+/// ```
+/// use dca_steer::{SliceBalance, SliceKind};
+/// use dca_sim::Steering;
+/// let s = SliceBalance::new(SliceKind::LdSt);
+/// assert_eq!(s.name(), "ldst-slice-balance");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SliceBalance {
+    kind: SliceKind,
+    slices: SliceIds,
+    clusters: ClusterTable,
+    monitor: ImbalanceMonitor,
+    /// Whole-slice re-assignments performed (diagnostics; §3.7 argues
+    /// these cause intra-slice communications).
+    remaps: u64,
+}
+
+impl SliceBalance {
+    /// Creates the scheme with the paper's imbalance parameters.
+    pub fn new(kind: SliceKind) -> SliceBalance {
+        SliceBalance::with_config(kind, ImbalanceConfig::default())
+    }
+
+    /// Creates the scheme with explicit imbalance parameters.
+    pub fn with_config(kind: SliceKind, cfg: ImbalanceConfig) -> SliceBalance {
+        SliceBalance {
+            kind,
+            slices: SliceIds::new(),
+            clusters: ClusterTable::new(),
+            monitor: ImbalanceMonitor::new(cfg),
+            remaps: 0,
+        }
+    }
+
+    /// Number of whole-slice re-mappings performed so far.
+    pub fn remap_count(&self) -> u64 {
+        self.remaps
+    }
+
+    /// Shared steering core, reused by the priority scheme: steer an
+    /// instruction that belongs to slice `s`.
+    pub(crate) fn steer_slice_member(
+        clusters: &mut ClusterTable,
+        monitor: &ImbalanceMonitor,
+        remaps: &mut u64,
+        d: &DecodedView<'_>,
+        ctx: &SteerCtx,
+        s: u32,
+    ) -> ClusterId {
+        match clusters.assignment(s) {
+            Some(c) => {
+                // Re-assign the whole slice if its cluster is strongly
+                // overloaded.
+                if monitor.overloaded() == Some(c) {
+                    clusters.assign(s, c.other());
+                    *remaps += 1;
+                    c.other()
+                } else {
+                    c
+                }
+            }
+            None => {
+                // First time this slice is dispatched: place it like a
+                // free instruction and remember the choice.
+                let c = steer_free_instruction(d, ctx, monitor);
+                clusters.assign(s, c);
+                c
+            }
+        }
+    }
+}
+
+impl Steering for SliceBalance {
+    fn name(&self) -> String {
+        format!("{}-slice-balance", self.kind.label())
+    }
+
+    fn steer(
+        &mut self,
+        d: &DecodedView<'_>,
+        allowed: Allowed,
+        ctx: &SteerCtx,
+    ) -> Option<ClusterId> {
+        if let Some(f) = allowed.forced() {
+            return Some(f);
+        }
+        let slice = self
+            .slices
+            .slice_of(d.sidx)
+            .or_else(|| self.kind.defines(d.inst).then_some(d.sidx));
+        Some(match slice {
+            Some(s) => Self::steer_slice_member(
+                &mut self.clusters,
+                &self.monitor,
+                &mut self.remaps,
+                d,
+                ctx,
+                s,
+            ),
+            None => steer_free_instruction(d, ctx, &self.monitor),
+        })
+    }
+
+    fn on_steered(&mut self, d: &DecodedView<'_>, cluster: ClusterId, _ctx: &SteerCtx) {
+        self.slices.observe(d.sidx, d.inst, self.kind);
+        self.monitor.on_steered(cluster);
+    }
+
+    fn on_cycle(&mut self, ctx: &SteerCtx) {
+        self.monitor.on_cycle(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_prog::{parse_asm, Interp, Memory};
+    use dca_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn two_independent_slices_can_land_in_different_clusters() {
+        // Two interleaved, independent pointer chases: the whole point
+        // of slice balance is that each backward slice can live in its
+        // own cluster.
+        let p = parse_asm(
+            "e:
+                li r1, #300
+                li r2, #4096
+                li r3, #65536
+             l:
+                ld r4, 0(r2)
+                add r2, r2, #8
+                ld r5, 0(r3)
+                add r3, r3, #8
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap();
+        let expected = Interp::new(&p, Memory::new()).count() as u64;
+        let mut scheme = SliceBalance::new(SliceKind::LdSt);
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        assert_eq!(stats.committed, expected);
+        assert!(stats.steered[0] > 0 && stats.steered[1] > 0);
+        // Slices keep their instructions together: communications stay
+        // well below one per instruction.
+        assert!(stats.comms_per_inst() < 0.3, "{}", stats.comms_per_inst());
+    }
+
+    #[test]
+    fn remaps_happen_under_sustained_imbalance() {
+        // A single hot slice plus lots of free instructions pushes the
+        // imbalance counter around; remaps should occur but stay rare.
+        let p = parse_asm(
+            "e:
+                li r1, #500
+                li r2, #4096
+             l:
+                ld r3, 0(r2)
+                add r2, r2, #8
+                add r4, r4, #1
+                add r5, r5, #2
+                add r6, r6, #3
+                add r7, r7, #4
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap();
+        let mut scheme = SliceBalance::new(SliceKind::LdSt);
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        assert!(stats.committed > 0);
+        // Not asserting a count: just exercise the path and expose the
+        // diagnostic.
+        let _ = scheme.remap_count();
+    }
+}

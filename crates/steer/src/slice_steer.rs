@@ -1,0 +1,174 @@
+//! LdSt / Br slice steering (§3.3–§3.4).
+//!
+//! "A simple dynamic partitioning that tries to dispatch all
+//! instructions in the LdSt slice to the integer cluster and the
+//! remaining instructions to the FP cluster (excepting complex integer
+//! instructions)." The Br variant uses branch backward slices instead.
+
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+
+use crate::tables::SliceFlags;
+
+/// Which backward slices define the partition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SliceKind {
+    /// Backward slices of load/store address calculations (§3.3).
+    LdSt,
+    /// Backward slices of branches (§3.4).
+    Br,
+}
+
+impl SliceKind {
+    /// `true` if `inst` defines a slice of this kind.
+    pub fn defines(self, inst: &dca_isa::Inst) -> bool {
+        match self {
+            SliceKind::LdSt => inst.op.is_mem(),
+            SliceKind::Br => inst.op.is_branch(),
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SliceKind::LdSt => "ldst",
+            SliceKind::Br => "br",
+        }
+    }
+}
+
+/// The slice steering scheme: slice members → integer cluster,
+/// everything else → FP cluster.
+///
+/// Slice membership is detected at run time with the one-bit flag table
+/// and parent table of §3.3 ([`SliceFlags`]); it converges towards the
+/// static slice as the program re-executes its code.
+///
+/// # Example
+///
+/// ```
+/// use dca_steer::{SliceKind, SliceSteering};
+/// use dca_sim::Steering;
+/// let s = SliceSteering::new(SliceKind::Br);
+/// assert_eq!(s.name(), "br-slice");
+/// ```
+#[derive(Clone, Debug)]
+pub struct SliceSteering {
+    kind: SliceKind,
+    flags: SliceFlags,
+}
+
+impl SliceSteering {
+    /// Creates the scheme for the given slice kind.
+    pub fn new(kind: SliceKind) -> SliceSteering {
+        SliceSteering {
+            kind,
+            flags: SliceFlags::new(),
+        }
+    }
+
+    /// Read access to the flag table (for tests and diagnostics).
+    pub fn flags(&self) -> &SliceFlags {
+        &self.flags
+    }
+}
+
+impl Steering for SliceSteering {
+    fn name(&self) -> String {
+        format!("{}-slice", self.kind.label())
+    }
+
+    fn steer(
+        &mut self,
+        d: &DecodedView<'_>,
+        allowed: Allowed,
+        _ctx: &SteerCtx,
+    ) -> Option<ClusterId> {
+        if let Some(f) = allowed.forced() {
+            return Some(f);
+        }
+        Some(if self.flags.contains(d.sidx) || self.kind.defines(d.inst) {
+            ClusterId::Int
+        } else {
+            ClusterId::Fp
+        })
+    }
+
+    fn on_steered(&mut self, d: &DecodedView<'_>, _cluster: ClusterId, _ctx: &SteerCtx) {
+        self.flags.observe(d.sidx, d.inst, self.kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_prog::{parse_asm, Interp, Memory, Program, Rdg};
+    use dca_sim::{SimConfig, Simulator};
+
+    fn pointer_loop() -> Program {
+        parse_asm(
+            "e:
+                li r1, #64
+                li r2, #4096
+             l:
+                ld r3, 0(r2)        ; address chain: r2
+                add r4, r4, r3      ; value chain: not in LdSt slice
+                xor r5, r4, r3      ; value chain
+                add r2, r2, #8      ; address chain
+                add r1, r1, #-1     ; loop counter (Br slice)
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dynamic_flags_converge_to_static_slice() {
+        let p = pointer_loop();
+        let rdg = Rdg::build(&p);
+        let static_slice = dca_prog::ldst_slice(&p, &rdg);
+        let mut scheme = SliceSteering::new(SliceKind::LdSt);
+        let _ = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        for si in p.static_insts() {
+            if si.inst.op == dca_isa::Opcode::Halt {
+                continue;
+            }
+            // After many iterations the dynamic table must agree with
+            // the static analysis on every executed instruction.
+            assert_eq!(
+                scheme.flags().contains(si.sidx),
+                static_slice.contains_sidx(si.sidx),
+                "sidx {} `{}` dynamic != static",
+                si.sidx,
+                si.inst
+            );
+        }
+    }
+
+    #[test]
+    fn ldst_slice_splits_address_and_value_chains() {
+        let p = pointer_loop();
+        let mut scheme = SliceSteering::new(SliceKind::LdSt);
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        let expected = Interp::new(&p, Memory::new()).count() as u64;
+        assert_eq!(stats.committed, expected);
+        // Both clusters must have received work.
+        assert!(stats.steered[0] > 0 && stats.steered[1] > 0);
+    }
+
+    #[test]
+    fn br_slice_sends_counter_chain_to_int() {
+        let p = pointer_loop();
+        let mut scheme = SliceSteering::new(SliceKind::Br);
+        let stats = Simulator::new(&SimConfig::paper_clustered(), &p, Memory::new())
+            .run(&mut scheme, 100_000);
+        assert!(stats.steered[0] > 0 && stats.steered[1] > 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(SliceSteering::new(SliceKind::LdSt).name(), "ldst-slice");
+        assert_eq!(SliceSteering::new(SliceKind::Br).name(), "br-slice");
+    }
+}

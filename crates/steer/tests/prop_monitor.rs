@@ -1,0 +1,116 @@
+//! Property tests for the steering infrastructure: the imbalance
+//! monitor stays bounded and sign-correct under arbitrary event
+//! sequences, and the FIFO scheme's occupancy bookkeeping never
+//! overflows its configured geometry.
+
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+use dca_steer::{FifoConfig, FifoSteering, ImbalanceConfig, ImbalanceMetric, ImbalanceMonitor};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Event {
+    Steer(bool), // true -> INT
+    Cycle { ready0: u32, ready1: u32 },
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<bool>().prop_map(Event::Steer),
+            (0u32..40, 0u32..40).prop_map(|(a, b)| Event::Cycle { ready0: a, ready1: b }),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn monitor_is_bounded_and_sign_correct(events in arb_events()) {
+        let mut m = ImbalanceMonitor::paper();
+        for e in &events {
+            match *e {
+                Event::Steer(int) => m.on_steered(if int { ClusterId::Int } else { ClusterId::Fp }),
+                Event::Cycle { ready0, ready1 } => m.on_cycle(&SteerCtx {
+                    now: 0,
+                    ready: [ready0, ready1],
+                    iq_len: [0, 0],
+                    issue_width: [4, 4],
+                }),
+            }
+        }
+        // Bounded: I1 clamps at 256, windowed I2 at 40 (max ready).
+        prop_assert!(m.counter().abs() <= 256 + 40);
+        // Sign correctness: the overloaded cluster is on the positive
+        // side iff it is INT.
+        match m.overloaded() {
+            Some(ClusterId::Int) => prop_assert!(m.counter() > 0),
+            Some(ClusterId::Fp) => prop_assert!(m.counter() < 0),
+            None => prop_assert!(m.counter().abs() <= 8),
+        }
+        // less_loaded is always the opposite side of the counter sign.
+        if let Some(c) = m.less_loaded() {
+            prop_assert_ne!(Some(c), m.overloaded());
+        }
+    }
+
+    #[test]
+    fn i1_only_monitor_equals_running_difference(flips in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut m = ImbalanceMonitor::new(ImbalanceConfig {
+            metric: ImbalanceMetric::I1Only,
+            ..ImbalanceConfig::default()
+        });
+        let mut expected: i64 = 0;
+        for &int in &flips {
+            m.on_steered(if int { ClusterId::Int } else { ClusterId::Fp });
+            expected = (expected + if int { 1 } else { -1 }).clamp(-256, 256);
+        }
+        prop_assert_eq!(m.counter(), expected);
+    }
+
+    #[test]
+    fn fifo_occupancy_never_exceeds_geometry(
+        seq in proptest::collection::vec((any::<bool>(), 0u64..64), 1..200),
+        fifos in 1usize..4,
+        depth in 1usize..4,
+    ) {
+        let cfg = FifoConfig { fifos_per_cluster: fifos, depth };
+        let mut s = FifoSteering::new(cfg);
+        let inst = dca_isa::Inst::li(dca_isa::Reg::int(1), 0);
+        let ctx = SteerCtx::default();
+        let mut in_flight: Vec<u64> = Vec::new();
+        let mut next_seq = 0u64;
+        let capacity = 2 * fifos * depth;
+        for &(do_issue, pick) in &seq {
+            if do_issue && !in_flight.is_empty() {
+                // Issue (retire from FIFO bookkeeping) a random inflight op.
+                let idx = (pick as usize) % in_flight.len();
+                let victim = in_flight.swap_remove(idx);
+                s.on_issued(victim, ClusterId::Int);
+            } else {
+                let d = DecodedView {
+                    seq: next_seq,
+                    sidx: 0,
+                    pc: 0,
+                    inst: &inst,
+                    class: dca_isa::ExecClass::IntAlu,
+                    srcs: [None, None],
+                };
+                match s.steer(&d, Allowed::both(), &ctx) {
+                    Some(c) => {
+                        s.on_steered(&d, c, &ctx);
+                        in_flight.push(next_seq);
+                        next_seq += 1;
+                    }
+                    None => {
+                        // Stall is only legitimate when everything is full.
+                        prop_assert_eq!(in_flight.len(), capacity,
+                            "stalled with {} of {} slots used", in_flight.len(), capacity);
+                    }
+                }
+            }
+            prop_assert!(in_flight.len() <= capacity);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Behavioural contracts of the steering schemes, exercised through
+//! the full simulator on crafted kernels: each scheme must display its
+//! *defining* behaviour, not merely run.
+
+use dca_prog::{parse_asm, Memory, Program};
+use dca_sim::{SimConfig, SimStats, Simulator, Steering};
+use dca_steer::{
+    GeneralBalance, Modulo, Naive, PrioritySliceBalance, SliceBalance, SliceKind, SliceSteering,
+    StaticPartition,
+};
+
+const FUEL: u64 = 120_000;
+
+fn run(prog: &Program, scheme: &mut dyn Steering) -> SimStats {
+    Simulator::new(&SimConfig::paper_clustered(), prog, Memory::new()).run(scheme, FUEL)
+}
+
+/// Two fully independent strands: an address strand (loads) and a pure
+/// value strand. The canonical separable workload.
+fn separable_kernel() -> Program {
+    parse_asm(
+        "e:
+            li r1, #4000
+            li r2, #65536
+         l:
+            ld r3, 0(r2)      ; address strand
+            add r2, r2, #8
+            add r4, r4, #1    ; value strand (no loads, no branches)
+            xor r5, r5, r4
+            add r6, r6, r5
+            add r1, r1, #-1
+            bne r1, r0, l
+            halt",
+    )
+    .unwrap()
+}
+
+#[test]
+fn ldst_slice_steering_separates_the_strands() {
+    let prog = separable_kernel();
+    let mut scheme = SliceSteering::new(SliceKind::LdSt);
+    let s = run(&prog, &mut scheme);
+    // Address strand (ld + pointer bump + loop counter? counter feeds a
+    // branch, not an address) goes INT; value strand goes FP. Both
+    // clusters see substantial work and almost nothing crosses.
+    assert!(s.steered[0] > s.committed / 5);
+    assert!(s.steered[1] > s.committed / 5);
+    assert!(
+        s.comms_per_inst() < 0.02,
+        "separable kernel needs almost no copies, got {}",
+        s.comms_per_inst()
+    );
+}
+
+#[test]
+fn naive_on_clustered_machine_wastes_the_fp_cluster() {
+    let prog = separable_kernel();
+    let s = run(&prog, &mut Naive::new());
+    assert_eq!(s.steered[1], 0, "naive keeps integer code in C1");
+    let mut gb = GeneralBalance::new();
+    let g = run(&prog, &mut gb);
+    assert!(
+        g.ipc() > s.ipc(),
+        "general balance {} must beat naive {} on separable work",
+        g.ipc(),
+        s.ipc()
+    );
+}
+
+#[test]
+fn modulo_pays_for_cutting_the_chain() {
+    // One serial chain: modulo must generate roughly one copy per two
+    // instructions, general balance almost none.
+    let prog = parse_asm(
+        "e:
+            li r1, #4000
+         l:
+            add r2, r2, #1
+            add r2, r2, #2
+            add r2, r2, #3
+            add r2, r2, #4
+            add r1, r1, #-1
+            bne r1, r0, l
+            halt",
+    )
+    .unwrap();
+    let m = run(&prog, &mut Modulo::new());
+    let g = run(&prog, &mut GeneralBalance::new());
+    assert!(m.comms_per_inst() > 0.25, "modulo comms {}", m.comms_per_inst());
+    assert!(g.comms_per_inst() < 0.05, "general comms {}", g.comms_per_inst());
+    assert!(g.ipc() > m.ipc());
+}
+
+#[test]
+fn slice_balance_distributes_two_equal_slices() {
+    // Two symmetric pointer-walk slices; slice balance should put them
+    // on different clusters (low comms, both clusters busy).
+    let prog = parse_asm(
+        "e:
+            li r1, #4000
+            li r2, #65536
+            li r3, #262144
+         l:
+            ld r4, 0(r2)
+            add r2, r2, #8
+            ld r5, 0(r3)
+            add r3, r3, #8
+            add r1, r1, #-1
+            bne r1, r0, l
+            halt",
+    )
+    .unwrap();
+    let mut scheme = SliceBalance::new(SliceKind::LdSt);
+    let s = run(&prog, &mut scheme);
+    assert!(s.steered[0] > s.committed / 5);
+    assert!(s.steered[1] > s.committed / 5);
+    assert!(s.comms_per_inst() < 0.25, "comms {}", s.comms_per_inst());
+}
+
+#[test]
+fn priority_scheme_reacts_to_cache_misses() {
+    // A striding load that misses constantly: its slice must become
+    // critical (threshold 1 is reached immediately), which the scheme
+    // observes through on_load_miss.
+    let prog = parse_asm(
+        "e:
+            li r1, #3000
+            li r2, #1048576
+         l:
+            ld r3, 0(r2)
+            add r2, r2, #4096   ; new page every access: misses
+            add r4, r4, #1
+            add r1, r1, #-1
+            bne r1, r0, l
+            halt",
+    )
+    .unwrap();
+    let mut scheme = PrioritySliceBalance::new(SliceKind::LdSt);
+    let s = run(&prog, &mut scheme);
+    assert!(s.l1d.miss_ratio() > 0.5, "strided loads must miss");
+    assert_eq!(s.committed, FUEL.min(s.committed), "run completed");
+    // After this run the scheme must have accumulated criticality
+    // events (its threshold logic had material to work with).
+    assert!(scheme.threshold() >= 1);
+}
+
+#[test]
+fn static_partition_matches_converged_dynamic_flags_on_loops() {
+    let prog = separable_kernel();
+    let static_part = StaticPartition::analyze_with(&prog, 0.0);
+    let mut dynamic = SliceSteering::new(SliceKind::LdSt);
+    let _ = run(&prog, &mut dynamic);
+    for si in prog.static_insts() {
+        if si.inst.op == dca_isa::Opcode::Halt {
+            continue;
+        }
+        let statically_int = static_part.assignment(si.sidx) == dca_sim::ClusterId::Int;
+        let dynamically_flagged = dynamic.flags().contains(si.sidx);
+        assert_eq!(
+            statically_int, dynamically_flagged,
+            "sidx {} `{}`: static and converged dynamic disagree",
+            si.sidx, si.inst
+        );
+    }
+}

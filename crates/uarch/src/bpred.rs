@@ -1,0 +1,386 @@
+//! Branch direction predictors.
+//!
+//! The paper's Table 2 configuration is a *combined* predictor: a
+//! 1K-entry selector choosing between a gshare with 64K 2-bit counters
+//! (16-bit global history) and a bimodal predictor with 2K 2-bit
+//! counters. All three predictors are available individually so the
+//! benches can compare them.
+//!
+//! PCs are byte addresses; the low two bits are dropped before
+//! indexing, as instructions are 4-byte aligned.
+
+/// Saturating 2-bit counter, initialised weakly not-taken (1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct TwoBit(u8);
+
+impl TwoBit {
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+impl Default for TwoBit {
+    fn default() -> TwoBit {
+        TwoBit(1)
+    }
+}
+
+/// Aggregate accuracy counters kept by every predictor.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Number of predictions made.
+    pub lookups: u64,
+    /// Number of correct predictions.
+    pub correct: u64,
+}
+
+impl PredictorStats {
+    /// Fraction of correct predictions (1.0 when no lookups yet).
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.lookups as f64
+        }
+    }
+
+    /// Number of mispredictions.
+    pub fn mispredicts(&self) -> u64 {
+        self.lookups - self.correct
+    }
+}
+
+/// A branch direction predictor: look up a prediction at fetch, then
+/// train with the resolved outcome.
+///
+/// `update` must be called exactly once per predicted branch, in
+/// program order (the trace-driven simulator resolves branches on the
+/// committed path only, so this is naturally satisfied).
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    fn predict(&self, pc: u64) -> bool;
+
+    /// Trains the predictor with the resolved direction and records
+    /// accuracy for the prediction made at `pc`.
+    fn update(&mut self, pc: u64, taken: bool);
+
+    /// Accuracy counters.
+    fn stats(&self) -> PredictorStats;
+}
+
+fn pc_index(pc: u64, entries: usize) -> usize {
+    ((pc >> 2) as usize) & (entries - 1)
+}
+
+/// Classic per-PC 2-bit counter table.
+///
+/// # Example
+///
+/// ```
+/// use dca_uarch::{Bimodal, BranchPredictor};
+/// let mut p = Bimodal::new(2048);
+/// for _ in 0..4 {
+///     let pred = p.predict(0x1000);
+///     p.update(0x1000, true);
+///     let _ = pred;
+/// }
+/// assert!(p.predict(0x1000)); // learned always-taken
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<TwoBit>,
+    stats: PredictorStats,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` 2-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Bimodal {
+            table: vec![TwoBit::default(); entries],
+            stats: PredictorStats::default(),
+        }
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[pc_index(pc, self.table.len())].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = pc_index(pc, self.table.len());
+        self.stats.lookups += 1;
+        if self.table[i].predict() == taken {
+            self.stats.correct += 1;
+        }
+        self.table[i].update(taken);
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+/// Gshare: global history XOR-ed with the PC indexes a counter table.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    table: Vec<TwoBit>,
+    history: u64,
+    history_bits: u32,
+    stats: PredictorStats,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `entries` counters and
+    /// `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `history_bits`
+    /// exceeds 63.
+    pub fn new(entries: usize, history_bits: u32) -> Gshare {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(history_bits < 64);
+        Gshare {
+            table: vec![TwoBit::default(); entries],
+            history: 0,
+            history_bits,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let h = self.history & ((1 << self.history_bits) - 1);
+        (((pc >> 2) ^ h) as usize) & (self.table.len() - 1)
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.stats.lookups += 1;
+        if self.table[i].predict() == taken {
+            self.stats.correct += 1;
+        }
+        self.table[i].update(taken);
+        self.history = (self.history << 1) | u64::from(taken);
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+/// Geometry of the [`Combined`] predictor; defaults to the paper's
+/// Table 2 values.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CombinedConfig {
+    /// Entries in the selector table (paper: 1K).
+    pub selector_entries: usize,
+    /// Entries in the gshare table (paper: 64K).
+    pub gshare_entries: usize,
+    /// Global history length (paper: 16).
+    pub history_bits: u32,
+    /// Entries in the bimodal table (paper: 2K).
+    pub bimodal_entries: usize,
+}
+
+impl Default for CombinedConfig {
+    fn default() -> CombinedConfig {
+        CombinedConfig {
+            selector_entries: 1024,
+            gshare_entries: 64 * 1024,
+            history_bits: 16,
+            bimodal_entries: 2048,
+        }
+    }
+}
+
+/// McFarling-style tournament predictor: a per-PC selector of 2-bit
+/// counters arbitrates between [`Gshare`] and [`Bimodal`].
+///
+/// The selector trains towards whichever component was correct when
+/// they disagree; both components always train.
+///
+/// # Example
+///
+/// ```
+/// use dca_uarch::{BranchPredictor, Combined, CombinedConfig};
+/// let mut p = Combined::new(CombinedConfig::default());
+/// p.update(0x1000, true);
+/// assert_eq!(p.stats().lookups, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Combined {
+    selector: Vec<TwoBit>,
+    gshare: Gshare,
+    bimodal: Bimodal,
+    stats: PredictorStats,
+}
+
+impl Combined {
+    /// Creates a combined predictor with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is not a power of two.
+    pub fn new(cfg: CombinedConfig) -> Combined {
+        assert!(cfg.selector_entries.is_power_of_two());
+        Combined {
+            selector: vec![TwoBit::default(); cfg.selector_entries],
+            gshare: Gshare::new(cfg.gshare_entries, cfg.history_bits),
+            bimodal: Bimodal::new(cfg.bimodal_entries),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    /// The paper's Table 2 predictor.
+    pub fn paper() -> Combined {
+        Combined::new(CombinedConfig::default())
+    }
+}
+
+impl BranchPredictor for Combined {
+    fn predict(&self, pc: u64) -> bool {
+        let use_gshare = self.selector[pc_index(pc, self.selector.len())].predict();
+        if use_gshare {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let si = pc_index(pc, self.selector.len());
+        let g = self.gshare.predict(pc);
+        let b = self.bimodal.predict(pc);
+        let overall = if self.selector[si].predict() { g } else { b };
+        self.stats.lookups += 1;
+        if overall == taken {
+            self.stats.correct += 1;
+        }
+        // Selector trains only on disagreement; counts gshare as "taken".
+        if g != b {
+            self.selector[si].update(g == taken);
+        }
+        self.gshare.update(pc, taken);
+        self.bimodal.update(pc, taken);
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_saturates() {
+        let mut c = TwoBit::default();
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert_eq!(c.0, 3);
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branch() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..100 {
+            p.update(0x1000, true);
+        }
+        assert!(p.predict(0x1000));
+        assert!(p.stats().accuracy() > 0.95);
+    }
+
+    #[test]
+    fn bimodal_aliases_by_table_size() {
+        let mut p = Bimodal::new(4);
+        // PCs 0x1000 and 0x1010 differ by 4 slots -> same entry in a
+        // 4-entry table.
+        p.update(0x1000, true);
+        p.update(0x1000, true);
+        assert!(p.predict(0x1010));
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern_bimodal_cannot() {
+        let mut g = Gshare::new(1024, 8);
+        let mut b = Bimodal::new(1024);
+        // Strict alternation: gshare's history disambiguates, bimodal
+        // oscillates between weak states.
+        let mut taken = false;
+        for _ in 0..2000 {
+            g.update(0x4000, taken);
+            b.update(0x4000, taken);
+            taken = !taken;
+        }
+        assert!(g.stats().accuracy() > 0.95, "gshare {:?}", g.stats());
+        assert!(b.stats().accuracy() < 0.7, "bimodal {:?}", b.stats());
+    }
+
+    #[test]
+    fn combined_tracks_best_component() {
+        let mut c = Combined::new(CombinedConfig {
+            selector_entries: 256,
+            gshare_entries: 1024,
+            history_bits: 8,
+            bimodal_entries: 256,
+        });
+        let mut taken = false;
+        for _ in 0..4000 {
+            c.update(0x4000, taken);
+            taken = !taken;
+        }
+        assert!(c.stats().accuracy() > 0.9, "combined {:?}", c.stats());
+    }
+
+    #[test]
+    fn paper_geometry_constructs() {
+        let p = Combined::paper();
+        assert_eq!(p.selector.len(), 1024);
+        assert_eq!(p.gshare.table.len(), 65536);
+        assert_eq!(p.bimodal.table.len(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Bimodal::new(1000);
+    }
+
+    #[test]
+    fn update_counts_accuracy_of_prediction_time_state() {
+        let mut p = Bimodal::new(16);
+        // Default state is weakly not-taken: first update with taken
+        // counts as a miss.
+        p.update(0x1000, true);
+        assert_eq!(p.stats().correct, 0);
+        p.update(0x1000, true); // now weakly taken -> correct
+        assert_eq!(p.stats().correct, 1);
+        assert_eq!(p.stats().mispredicts(), 1);
+    }
+}

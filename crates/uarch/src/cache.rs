@@ -1,0 +1,409 @@
+//! Set-associative caches and the two-level memory hierarchy.
+//!
+//! Latency model (Table 2 of the paper):
+//!
+//! * L1 I/D: 64 KB, 2-way, 32-byte lines, 1-cycle hit, 6-cycle miss
+//!   penalty into the L2;
+//! * L2 (shared): 256 KB, 4-way, 64-byte lines, 6-cycle hit;
+//! * main memory: 16-byte bus, 16 cycles for the first chunk and 2 per
+//!   additional chunk (a 64-byte L2 line costs 16 + 3·2 = 22 cycles).
+//!
+//! Misses are blocking from the perspective of the requesting
+//! instruction (latency is charged up front); the simulator overlaps
+//! them with independent work through out-of-order issue, which is the
+//! same simplification SimpleScalar's default `cache_access` makes.
+
+/// Geometry of one cache level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration (both I and D).
+    pub fn paper_l1() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            line_bytes: 32,
+        }
+    }
+
+    /// The paper's shared L2 configuration.
+    pub fn paper_l2() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters of one cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Number of misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio (0.0 when no accesses yet).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement and
+/// write-allocate behaviour.
+///
+/// Only tags are modelled (data values live in the functional
+/// interpreter's memory).
+///
+/// # Example
+///
+/// ```
+/// use dca_uarch::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 32 });
+/// assert!(!c.access(0x1000));     // cold miss
+/// assert!(c.access(0x1004));      // same line
+/// assert!(!c.access(0x2000));     // different set? no: maps per geometry
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps, larger = more recent.
+    stamps: Vec<u64>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, non-power-of-two
+    /// line size, or a capacity not divisible into sets).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.ways > 0, "cache needs at least one way");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            cfg.size_bytes.is_multiple_of(cfg.ways * cfg.line_bytes) && cfg.sets() > 0,
+            "capacity must divide into whole sets"
+        );
+        assert!(cfg.sets().is_power_of_two(), "set count must be a power of two");
+        let slots = cfg.sets() * cfg.ways;
+        Cache {
+            cfg,
+            tags: vec![u64::MAX; slots],
+            stamps: vec![0; slots],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line as usize) & (self.cfg.sets() - 1);
+        (set, line)
+    }
+
+    /// Accesses `addr`; returns `true` on hit. On a miss the line is
+    /// allocated, evicting the LRU way (write-allocate: reads and
+    /// writes behave identically for tag state).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.tags[base..base + self.cfg.ways];
+        if let Some(w) = ways.iter().position(|&t| t == tag) {
+            self.stamps[base + w] = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        // Miss: fill LRU way.
+        let lru = (0..self.cfg.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + lru] = tag;
+        self.stamps[base + lru] = self.tick;
+        false
+    }
+
+    /// Probes without updating LRU or stats (for tests/diagnostics).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.cfg.ways;
+        self.tags[base..base + self.cfg.ways].contains(&tag)
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+}
+
+/// Which level served an access (for statistics and tests).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Served by the L1 (hit).
+    L1,
+    /// L1 miss, L2 hit.
+    L2,
+    /// Missed both caches; served by main memory.
+    Memory,
+}
+
+/// Latency parameters of the hierarchy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 hit time in cycles (paper: 1).
+    pub l1_hit: u32,
+    /// Additional penalty for an L1 miss that hits in L2 (paper: 6).
+    pub l1_miss_penalty: u32,
+    /// Memory bus width in bytes (paper: 16).
+    pub bus_bytes: u32,
+    /// Cycles for the first chunk from memory (paper: 16).
+    pub mem_first_chunk: u32,
+    /// Cycles per additional chunk (paper: 2).
+    pub mem_inter_chunk: u32,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig::paper_l1(),
+            l1d: CacheConfig::paper_l1(),
+            l2: CacheConfig::paper_l2(),
+            l1_hit: 1,
+            l1_miss_penalty: 6,
+            bus_bytes: 16,
+            mem_first_chunk: 16,
+            mem_inter_chunk: 2,
+        }
+    }
+}
+
+/// The full memory hierarchy: split L1s over a shared L2 over a
+/// chunked memory bus.
+///
+/// # Example
+///
+/// ```
+/// use dca_uarch::{HierarchyConfig, MemHierarchy, MemLevel};
+/// let mut m = MemHierarchy::new(HierarchyConfig::default());
+/// let (lat, lvl) = m.access_data(0x8000);
+/// assert_eq!(lvl, MemLevel::Memory);    // cold miss
+/// assert_eq!(lat, 1 + 6 + 16 + 3 * 2);  // L1 + L2 lookup + 4 chunks
+/// let (lat, lvl) = m.access_data(0x8000);
+/// assert_eq!((lat, lvl), (1, MemLevel::L1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemHierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+}
+
+impl MemHierarchy {
+    /// Builds an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> MemHierarchy {
+        MemHierarchy {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            cfg,
+        }
+    }
+
+    fn mem_latency(&self) -> u32 {
+        let line = self.cfg.l2.line_bytes as u32;
+        let chunks = line.div_ceil(self.cfg.bus_bytes).max(1);
+        self.cfg.mem_first_chunk + (chunks - 1) * self.cfg.mem_inter_chunk
+    }
+
+    fn access(l1: &mut Cache, l2: &mut Cache, cfg: &HierarchyConfig, mem_lat: u32, addr: u64) -> (u32, MemLevel) {
+        if l1.access(addr) {
+            return (cfg.l1_hit, MemLevel::L1);
+        }
+        if l2.access(addr) {
+            return (cfg.l1_hit + cfg.l1_miss_penalty, MemLevel::L2);
+        }
+        (cfg.l1_hit + cfg.l1_miss_penalty + mem_lat, MemLevel::Memory)
+    }
+
+    /// Instruction-fetch access: returns `(latency, serving level)`.
+    pub fn access_inst(&mut self, addr: u64) -> (u32, MemLevel) {
+        let m = self.mem_latency();
+        Self::access(&mut self.l1i, &mut self.l2, &self.cfg, m, addr)
+    }
+
+    /// Data access (loads and committed stores): returns
+    /// `(latency, serving level)`.
+    pub fn access_data(&mut self, addr: u64) -> (u32, MemLevel) {
+        let m = self.mem_latency();
+        Self::access(&mut self.l1d, &mut self.l2, &self.cfg, m, addr)
+    }
+
+    /// L1 instruction-cache counters.
+    pub fn l1i_stats(&self) -> CacheStats {
+        self.l1i.stats()
+    }
+
+    /// L1 data-cache counters.
+    pub fn l1d_stats(&self) -> CacheStats {
+        self.l1d.stats()
+    }
+
+    /// Shared L2 counters.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// The configuration used to build the hierarchy.
+    pub fn config(&self) -> HierarchyConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 32B lines = 128 B
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn same_line_hits_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x11f)); // last byte of the same 32B line
+        assert!(!c.access(0x120)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 64 bytes).
+        let a = 0x000;
+        let b = 0x040;
+        let d = 0x080;
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a)); // a is now MRU
+        assert!(!c.access(d)); // evicts b (LRU)
+        assert!(c.access(a), "a must survive");
+        assert!(!c.access(b), "b must have been evicted");
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.access(64);
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 2);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny();
+        c.access(0);
+        let s = c.stats();
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert_eq!(c.stats(), s);
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        let c = Cache::new(CacheConfig::paper_l1());
+        assert_eq!(c.config().sets(), 1024);
+    }
+
+    #[test]
+    fn hierarchy_latencies_match_table2() {
+        let mut m = MemHierarchy::new(HierarchyConfig::default());
+        // Cold: L1 miss + L2 miss -> 1 + 6 + (16 + 3*2) = 29
+        let (lat, lvl) = m.access_data(0x4000);
+        assert_eq!((lat, lvl), (29, MemLevel::Memory));
+        // Now in both caches.
+        assert_eq!(m.access_data(0x4000), (1, MemLevel::L1));
+        // A different L1 line within the same (already fetched) 64B L2
+        // line: L1 misses, L2 hits -> 1 + 6.
+        let (lat, lvl) = m.access_data(0x4020);
+        assert_eq!((lat, lvl), (7, MemLevel::L2));
+    }
+
+    #[test]
+    fn split_l1s_share_l2() {
+        let mut m = MemHierarchy::new(HierarchyConfig::default());
+        let (_, lvl) = m.access_inst(0x9000);
+        assert_eq!(lvl, MemLevel::Memory);
+        // Same line through the *data* path: L1D misses but L2 has it.
+        let (_, lvl) = m.access_data(0x9000);
+        assert_eq!(lvl, MemLevel::L2);
+        assert_eq!(m.l1i_stats().accesses, 1);
+        assert_eq!(m.l1d_stats().accesses, 1);
+        assert_eq!(m.l2_stats().accesses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 96,
+            ways: 1,
+            line_bytes: 24,
+        });
+    }
+}

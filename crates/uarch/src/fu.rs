@@ -1,0 +1,380 @@
+//! Functional units: kinds, latencies, pools and port arbitration.
+//!
+//! The paper's Table 2 gives per-cluster unit counts (3 simple integer
+//! ALUs in each cluster; 1 integer mul/div in the integer cluster;
+//! 3 FP ALUs and 1 FP mul/div in the FP cluster) but no latencies, so
+//! SimpleScalar v3.0 defaults are used:
+//!
+//! | class   | latency | pipelined |
+//! |---------|---------|-----------|
+//! | IntAlu  | 1       | yes       |
+//! | IntMul  | 3       | yes       |
+//! | IntDiv  | 20      | no        |
+//! | FpAlu   | 2       | yes       |
+//! | FpMul   | 4       | yes       |
+//! | FpDiv   | 12      | no        |
+//!
+//! Integer multiply and divide share the single "int mul/div" unit, as
+//! do FP multiply and divide — modelled by mapping both classes onto
+//! one unit pool.
+
+use dca_isa::ExecClass;
+
+/// Functional-unit kind. Multiple [`ExecClass`]es can map to the same
+/// kind (mul and div share hardware).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Simple integer ALU (also executes branches and EA adds).
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// FP adder/comparator/converter.
+    FpAlu,
+    /// FP multiply/divide unit.
+    FpMulDiv,
+}
+
+/// Execution latency in cycles for an [`ExecClass`].
+///
+/// Loads and stores return the latency of their *effective address*
+/// computation (1 cycle); the memory access itself is timed by the
+/// cache hierarchy.
+pub fn latency_of(class: ExecClass) -> u32 {
+    match class {
+        ExecClass::IntAlu | ExecClass::Ctrl | ExecClass::Nop => 1,
+        ExecClass::IntMul => 3,
+        ExecClass::IntDiv => 20,
+        ExecClass::FpAlu => 2,
+        ExecClass::FpMul => 4,
+        ExecClass::FpDiv => 12,
+        ExecClass::Load | ExecClass::Store => 1,
+    }
+}
+
+/// `true` if instructions of this class occupy their unit until
+/// completion (unpipelined).
+pub fn is_unpipelined(class: ExecClass) -> bool {
+    matches!(class, ExecClass::IntDiv | ExecClass::FpDiv)
+}
+
+/// Maps an execution class to the unit kind that executes it.
+///
+/// # Panics
+///
+/// Panics for [`ExecClass::Load`]/[`ExecClass::Store`]: memory
+/// accesses go through the disambiguation logic and D-cache ports, not
+/// an FU pool (their EA micro-op issues as [`ExecClass::IntAlu`]).
+pub fn fu_kind_of(class: ExecClass) -> FuKind {
+    match class {
+        ExecClass::IntAlu | ExecClass::Ctrl | ExecClass::Nop => FuKind::IntAlu,
+        ExecClass::IntMul | ExecClass::IntDiv => FuKind::IntMulDiv,
+        ExecClass::FpAlu => FuKind::FpAlu,
+        ExecClass::FpMul | ExecClass::FpDiv => FuKind::FpMulDiv,
+        ExecClass::Load | ExecClass::Store => {
+            panic!("memory accesses are not issued to an FU pool")
+        }
+    }
+}
+
+/// Unit counts of one cluster's pool.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FuPoolConfig {
+    /// Simple integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_muldiv: u32,
+    /// FP ALUs.
+    pub fp_alu: u32,
+    /// FP multiply/divide units.
+    pub fp_muldiv: u32,
+}
+
+impl FuPoolConfig {
+    /// Cluster 1 of the paper: 3 int ALUs + 1 int mul/div.
+    pub fn paper_int_cluster() -> FuPoolConfig {
+        FuPoolConfig {
+            int_alu: 3,
+            int_muldiv: 1,
+            fp_alu: 0,
+            fp_muldiv: 0,
+        }
+    }
+
+    /// Cluster 2 of the paper: 3 simple int ALUs + 3 FP ALUs + 1 FP
+    /// mul/div.
+    pub fn paper_fp_cluster() -> FuPoolConfig {
+        FuPoolConfig {
+            int_alu: 3,
+            int_muldiv: 0,
+            fp_alu: 3,
+            fp_muldiv: 1,
+        }
+    }
+
+    /// The FP cluster of the *base* (conventional) machine: no simple
+    /// integer capability.
+    pub fn base_fp_cluster() -> FuPoolConfig {
+        FuPoolConfig {
+            int_alu: 0,
+            int_muldiv: 0,
+            fp_alu: 3,
+            fp_muldiv: 1,
+        }
+    }
+
+    /// The unified upper-bound machine ("UB arch"): the union of both
+    /// clusters' units.
+    pub fn paper_unified() -> FuPoolConfig {
+        FuPoolConfig {
+            int_alu: 6,
+            int_muldiv: 1,
+            fp_alu: 3,
+            fp_muldiv: 1,
+        }
+    }
+
+    fn count(&self, kind: FuKind) -> u32 {
+        match kind {
+            FuKind::IntAlu => self.int_alu,
+            FuKind::IntMulDiv => self.int_muldiv,
+            FuKind::FpAlu => self.fp_alu,
+            FuKind::FpMulDiv => self.fp_muldiv,
+        }
+    }
+}
+
+/// Per-cycle functional-unit arbitration for one cluster.
+///
+/// Pipelined units accept one new instruction per unit per cycle;
+/// unpipelined units (divides) block their unit until the result is
+/// produced.
+///
+/// # Example
+///
+/// ```
+/// use dca_isa::ExecClass;
+/// use dca_uarch::{FuPool, FuPoolConfig};
+///
+/// let mut pool = FuPool::new(FuPoolConfig::paper_int_cluster());
+/// pool.begin_cycle(0);
+/// assert!(pool.try_issue(ExecClass::IntAlu, 0));
+/// assert!(pool.try_issue(ExecClass::IntAlu, 0));
+/// assert!(pool.try_issue(ExecClass::IntAlu, 0));
+/// assert!(!pool.try_issue(ExecClass::IntAlu, 0)); // only 3 ALUs
+/// assert!(pool.try_issue(ExecClass::IntDiv, 0));
+/// pool.begin_cycle(1);
+/// assert!(!pool.try_issue(ExecClass::IntDiv, 1)); // divider busy 20 cycles
+/// ```
+#[derive(Clone, Debug)]
+pub struct FuPool {
+    cfg: FuPoolConfig,
+    /// Issues granted this cycle, per kind.
+    used_this_cycle: [u32; 4],
+    /// For unpipelined units: cycle at which each unit frees up.
+    muldiv_busy_until: Vec<u64>,
+    fp_muldiv_busy_until: Vec<u64>,
+}
+
+fn kind_index(kind: FuKind) -> usize {
+    match kind {
+        FuKind::IntAlu => 0,
+        FuKind::IntMulDiv => 1,
+        FuKind::FpAlu => 2,
+        FuKind::FpMulDiv => 3,
+    }
+}
+
+impl FuPool {
+    /// Creates a pool with the given unit counts.
+    pub fn new(cfg: FuPoolConfig) -> FuPool {
+        FuPool {
+            cfg,
+            used_this_cycle: [0; 4],
+            muldiv_busy_until: vec![0; cfg.int_muldiv as usize],
+            fp_muldiv_busy_until: vec![0; cfg.fp_muldiv as usize],
+        }
+    }
+
+    /// Resets the per-cycle issue counters; call once at the start of
+    /// every simulated cycle.
+    pub fn begin_cycle(&mut self, _now: u64) {
+        self.used_this_cycle = [0; 4];
+    }
+
+    /// `true` if this pool has at least one unit of the kind required
+    /// by `class` (capability, not availability).
+    pub fn supports(&self, class: ExecClass) -> bool {
+        self.cfg.count(fu_kind_of(class)) > 0
+    }
+
+    /// Attempts to issue an instruction of `class` at cycle `now`.
+    /// On success the unit is reserved (for this cycle if pipelined,
+    /// until completion if not).
+    pub fn try_issue(&mut self, class: ExecClass, now: u64) -> bool {
+        let kind = fu_kind_of(class);
+        let ki = kind_index(kind);
+        if self.used_this_cycle[ki] >= self.cfg.count(kind) {
+            return false;
+        }
+        match kind {
+            FuKind::IntMulDiv | FuKind::FpMulDiv => {
+                let busy = if kind == FuKind::IntMulDiv {
+                    &mut self.muldiv_busy_until
+                } else {
+                    &mut self.fp_muldiv_busy_until
+                };
+                match busy.iter_mut().find(|b| **b <= now) {
+                    Some(slot) => {
+                        if is_unpipelined(class) {
+                            *slot = now + u64::from(latency_of(class));
+                        }
+                        self.used_this_cycle[ki] += 1;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            FuKind::IntAlu | FuKind::FpAlu => {
+                self.used_this_cycle[ki] += 1;
+                true
+            }
+        }
+    }
+
+    /// Unit counts configured for this pool.
+    pub fn config(&self) -> FuPoolConfig {
+        self.cfg
+    }
+}
+
+/// Per-cycle counter for a shared multi-ported resource (the paper's
+/// 3 R/W-ported D-cache).
+///
+/// # Example
+///
+/// ```
+/// use dca_uarch::PortMeter;
+/// let mut ports = PortMeter::new(3);
+/// ports.begin_cycle();
+/// assert!(ports.try_acquire());
+/// assert!(ports.try_acquire());
+/// assert!(ports.try_acquire());
+/// assert!(!ports.try_acquire());
+/// ports.begin_cycle();
+/// assert!(ports.try_acquire());
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct PortMeter {
+    limit: u32,
+    used: u32,
+}
+
+impl PortMeter {
+    /// Creates a meter with `limit` ports per cycle.
+    pub fn new(limit: u32) -> PortMeter {
+        PortMeter { limit, used: 0 }
+    }
+
+    /// Resets the per-cycle count; call at the start of each cycle.
+    pub fn begin_cycle(&mut self) {
+        self.used = 0;
+    }
+
+    /// Acquires one port if available.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.used < self.limit {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ports still free this cycle.
+    pub fn free(&self) -> u32 {
+        self.limit - self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_simplescalar_defaults() {
+        assert_eq!(latency_of(ExecClass::IntAlu), 1);
+        assert_eq!(latency_of(ExecClass::IntMul), 3);
+        assert_eq!(latency_of(ExecClass::IntDiv), 20);
+        assert_eq!(latency_of(ExecClass::FpAlu), 2);
+        assert_eq!(latency_of(ExecClass::FpMul), 4);
+        assert_eq!(latency_of(ExecClass::FpDiv), 12);
+    }
+
+    #[test]
+    fn alu_throughput_is_per_cycle() {
+        let mut p = FuPool::new(FuPoolConfig::paper_int_cluster());
+        for cycle in 0..3u64 {
+            p.begin_cycle(cycle);
+            assert!(p.try_issue(ExecClass::IntAlu, cycle));
+            assert!(p.try_issue(ExecClass::Ctrl, cycle)); // branches share ALUs
+            assert!(p.try_issue(ExecClass::IntAlu, cycle));
+            assert!(!p.try_issue(ExecClass::IntAlu, cycle));
+        }
+    }
+
+    #[test]
+    fn multiplier_is_pipelined_divider_is_not() {
+        let mut p = FuPool::new(FuPoolConfig::paper_int_cluster());
+        p.begin_cycle(0);
+        assert!(p.try_issue(ExecClass::IntMul, 0));
+        p.begin_cycle(1);
+        assert!(p.try_issue(ExecClass::IntMul, 1), "mul pipelined");
+        p.begin_cycle(2);
+        assert!(p.try_issue(ExecClass::IntDiv, 2));
+        p.begin_cycle(3);
+        assert!(!p.try_issue(ExecClass::IntDiv, 3), "div blocks the unit");
+        assert!(!p.try_issue(ExecClass::IntMul, 3), "mul shares the unit");
+        p.begin_cycle(22);
+        assert!(p.try_issue(ExecClass::IntMul, 22), "free after 20 cycles");
+    }
+
+    #[test]
+    fn capability_checks() {
+        let int = FuPool::new(FuPoolConfig::paper_int_cluster());
+        let fp = FuPool::new(FuPoolConfig::paper_fp_cluster());
+        let base_fp = FuPool::new(FuPoolConfig::base_fp_cluster());
+        assert!(int.supports(ExecClass::IntDiv));
+        assert!(!int.supports(ExecClass::FpAlu));
+        assert!(fp.supports(ExecClass::IntAlu));
+        assert!(fp.supports(ExecClass::FpDiv));
+        assert!(!fp.supports(ExecClass::IntMul));
+        assert!(!base_fp.supports(ExecClass::IntAlu), "base FP cluster has no int units");
+    }
+
+    #[test]
+    fn fp_cluster_issues_simple_int() {
+        let mut p = FuPool::new(FuPoolConfig::paper_fp_cluster());
+        p.begin_cycle(0);
+        assert!(p.try_issue(ExecClass::IntAlu, 0));
+        assert!(p.try_issue(ExecClass::FpAlu, 0));
+        assert!(p.try_issue(ExecClass::FpMul, 0));
+    }
+
+    #[test]
+    fn port_meter_caps_per_cycle() {
+        let mut m = PortMeter::new(2);
+        m.begin_cycle();
+        assert!(m.try_acquire());
+        assert_eq!(m.free(), 1);
+        assert!(m.try_acquire());
+        assert!(!m.try_acquire());
+        m.begin_cycle();
+        assert_eq!(m.free(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not issued to an FU pool")]
+    fn loads_do_not_map_to_fus() {
+        let _ = fu_kind_of(ExecClass::Load);
+    }
+}

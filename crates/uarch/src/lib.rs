@@ -1,0 +1,30 @@
+//! # dca-uarch — microarchitecture substrates
+//!
+//! The timing building blocks underneath the clustered pipeline of
+//! `dca-sim`, reimplemented from scratch in the spirit of the
+//! SimpleScalar v3.0 models the paper extended:
+//!
+//! * [`bpred`] — bimodal, gshare and combined (tournament) branch
+//!   predictors with the exact Table 2 geometry (1K-entry selector,
+//!   gshare with 64K 2-bit counters and 16-bit global history, 2K-entry
+//!   bimodal).
+//! * [`cache`] — set-associative LRU caches and the two-level
+//!   hierarchy: split 64 KB L1s, a shared 256 KB L2 and a chunked main
+//!   memory bus (16 cycles for the first 16-byte chunk, 2 per chunk
+//!   after).
+//! * [`fu`] — functional-unit pools with per-class latencies and
+//!   pipelining behaviour (divides are unpipelined), plus the shared
+//!   D-cache port meter.
+//!
+//! Everything is deterministic and has no dependency besides `dca-isa`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpred;
+pub mod cache;
+pub mod fu;
+
+pub use bpred::{Bimodal, BranchPredictor, Combined, CombinedConfig, Gshare, PredictorStats};
+pub use cache::{Cache, CacheConfig, CacheStats, HierarchyConfig, MemHierarchy, MemLevel};
+pub use fu::{latency_of, FuKind, FuPool, FuPoolConfig, PortMeter};

@@ -1,0 +1,134 @@
+//! Behavioural tests of the three predictors against the patterns they
+//! are *designed* to capture — the same arguments the original papers
+//! (bimodal: Smith; gshare: McFarling; combined: the paper's Table 2
+//! configuration) make qualitatively.
+
+use dca_uarch::{Bimodal, BranchPredictor, Combined, CombinedConfig, Gshare};
+
+/// Runs `pattern` in a loop through the predictor at one PC and returns
+/// the accuracy over the last `measure` outcomes (after warm-up).
+fn accuracy_on(p: &mut dyn BranchPredictor, pattern: &[bool], rounds: usize, skip: usize) -> f64 {
+    let pc = 0x4000;
+    let mut seen = 0u64;
+    let mut correct = 0u64;
+    for round in 0..rounds {
+        for &taken in pattern {
+            let pred = p.predict(pc);
+            p.update(pc, taken);
+            if round >= skip {
+                seen += 1;
+                correct += u64::from(pred == taken);
+            }
+        }
+    }
+    correct as f64 / seen as f64
+}
+
+#[test]
+fn bimodal_learns_biased_branches() {
+    let mut p = Bimodal::new(2048);
+    let acc = accuracy_on(&mut p, &[true], 100, 4);
+    assert_eq!(acc, 1.0, "always-taken must be perfect after warm-up");
+    let mut p = Bimodal::new(2048);
+    // 7-of-8 taken: a 2-bit counter mispredicts (at most) the odd one
+    // out and one recovery slot.
+    let pattern = [true, true, true, true, true, true, true, false];
+    let acc = accuracy_on(&mut p, &pattern, 50, 4);
+    assert!(acc >= 0.75, "biased branch accuracy {acc}");
+}
+
+#[test]
+fn bimodal_cannot_learn_alternation_gshare_can() {
+    // T,N,T,N...: the 2-bit counter oscillates; global history nails it.
+    let pattern = [true, false];
+    let mut bi = Bimodal::new(2048);
+    let bi_acc = accuracy_on(&mut bi, &pattern, 200, 20);
+    assert!(
+        bi_acc <= 0.55,
+        "bimodal should be near-chance on alternation, got {bi_acc}"
+    );
+    let mut gs = Gshare::new(1 << 16, 16);
+    let gs_acc = accuracy_on(&mut gs, &pattern, 200, 20);
+    assert_eq!(gs_acc, 1.0, "gshare must lock onto the alternation");
+}
+
+#[test]
+fn gshare_learns_short_loop_exits() {
+    // A 4-iteration inner loop: T,T,T,N repeating. History length 16
+    // covers it easily.
+    let pattern = [true, true, true, false];
+    let mut gs = Gshare::new(1 << 16, 16);
+    let acc = accuracy_on(&mut gs, &pattern, 200, 30);
+    assert_eq!(acc, 1.0, "loop-exit pattern is fully history-determined");
+}
+
+#[test]
+fn combined_tracks_the_better_component() {
+    // Pattern A (alternation) favours gshare; a biased pattern favours
+    // neither strongly. The combined predictor must be at least as good
+    // as the *worse* component on both and close to the better one.
+    for pattern in [&[true, false][..], &[true, true, true, false][..]] {
+        let mut c = Combined::new(CombinedConfig::default());
+        let acc = accuracy_on(&mut c, pattern, 200, 40);
+        assert!(
+            acc >= 0.95,
+            "combined predictor should defer to gshare on {pattern:?}, got {acc}"
+        );
+    }
+}
+
+#[test]
+fn combined_paper_geometry() {
+    // Table 2: 1K selector, gshare 64K counters / 16-bit history,
+    // bimodal 2K entries.
+    let cfg = CombinedConfig::default();
+    assert_eq!(cfg.selector_entries, 1024);
+    assert_eq!(cfg.gshare_entries, 1 << 16);
+    assert_eq!(cfg.history_bits, 16);
+    assert_eq!(cfg.bimodal_entries, 2048);
+}
+
+#[test]
+fn stats_count_every_update() {
+    let mut p = Combined::new(CombinedConfig::default());
+    for k in 0..100u64 {
+        let pc = 0x1000 + (k % 7) * 4;
+        let _ = p.predict(pc);
+        p.update(pc, k % 3 == 0);
+    }
+    let s = p.stats();
+    assert_eq!(s.lookups, 100);
+    assert_eq!(s.correct + s.mispredicts(), 100);
+}
+
+#[test]
+fn distinct_pcs_do_not_interfere_in_bimodal() {
+    let mut p = Bimodal::new(2048);
+    // Two branches with opposite bias at non-aliasing PCs.
+    for _ in 0..50 {
+        let _ = p.predict(0x1000);
+        p.update(0x1000, true);
+        let _ = p.predict(0x2000);
+        p.update(0x2000, false);
+    }
+    assert!(p.predict(0x1000));
+    assert!(!p.predict(0x2000));
+}
+
+#[test]
+fn aliasing_pcs_do_interfere_in_bimodal() {
+    // Entries = 16 → PCs 16*4 apart share a counter; opposite biases
+    // fight and at least one side must suffer.
+    let mut p = Bimodal::new(16);
+    let (a, b) = (0x1000, 0x1000 + 16 * 4);
+    let mut wrong = 0;
+    for _ in 0..50 {
+        let pa = p.predict(a);
+        p.update(a, true);
+        wrong += u64::from(!pa);
+        let pb = p.predict(b);
+        p.update(b, false);
+        wrong += u64::from(pb);
+    }
+    assert!(wrong > 30, "destructive aliasing expected, wrong={wrong}");
+}

@@ -1,0 +1,101 @@
+//! Golden timing tests of the memory hierarchy against Table 2:
+//! 1-cycle L1 hit, 6-cycle penalty to L2, and a 16-byte memory bus with
+//! 16-cycle first chunk + 2 cycles per further chunk filling a 64-byte
+//! L2 line.
+
+use dca_uarch::{CacheConfig, FuPoolConfig, HierarchyConfig, MemHierarchy, MemLevel};
+
+const L1_HIT: u32 = 1;
+const L2_HIT: u32 = 1 + 6;
+const MEM: u32 = 1 + 6 + 16 + 3 * 2; // 64B line / 16B bus = 4 chunks
+
+#[test]
+fn cold_warm_and_l2_latencies_match_table2() {
+    let mut m = MemHierarchy::new(HierarchyConfig::default());
+    assert_eq!(m.access_data(0x10_000), (MEM, MemLevel::Memory));
+    assert_eq!(m.access_data(0x10_000), (L1_HIT, MemLevel::L1));
+    // Another word in the same 32-byte L1 line: still an L1 hit.
+    assert_eq!(m.access_data(0x10_018), (L1_HIT, MemLevel::L1));
+    // Next 32B line of the same 64B L2 line: L1 miss, L2 hit.
+    assert_eq!(m.access_data(0x10_020), (L2_HIT, MemLevel::L2));
+}
+
+#[test]
+fn l1_capacity_eviction_falls_back_to_l2() {
+    let mut m = MemHierarchy::new(HierarchyConfig::default());
+    // L1D is 64KB 2-way with 32B lines -> 1024 sets. Touch three lines
+    // mapping to set 0 (stride = 32KB way size): two fill the ways, the
+    // third evicts the LRU.
+    let way = 64 * 1024 / 2;
+    m.access_data(0);
+    m.access_data(way as u64);
+    m.access_data(2 * way as u64); // evicts line 0 from L1 (LRU)
+    let (lat, lvl) = m.access_data(0);
+    assert_eq!(lvl, MemLevel::L2, "L1 victim must still hit in L2");
+    assert_eq!(lat, L2_HIT);
+    // Refilling line 0 evicted the then-LRU line (way); the set now
+    // holds {2·way, 0} and line 2·way stays resident.
+    assert_eq!(m.access_data(2 * way as u64), (L1_HIT, MemLevel::L1));
+    assert_eq!(m.access_data(way as u64).1, MemLevel::L2);
+}
+
+#[test]
+fn lru_replacement_is_exact_within_a_set() {
+    let mut m = MemHierarchy::new(HierarchyConfig::default());
+    let way = 64 * 1024 / 2;
+    m.access_data(0); // A
+    m.access_data(way as u64); // B — set is {A, B}, LRU = A
+    m.access_data(0); // touch A — LRU = B
+    m.access_data(2 * way as u64); // C evicts B
+    assert_eq!(m.access_data(0).1, MemLevel::L1, "A survived");
+    assert_eq!(m.access_data(way as u64).1, MemLevel::L2, "B evicted");
+}
+
+#[test]
+fn instruction_and_data_streams_are_split_but_share_l2() {
+    let mut m = MemHierarchy::new(HierarchyConfig::default());
+    let (_, lvl) = m.access_inst(0x40_000);
+    assert_eq!(lvl, MemLevel::Memory);
+    // The same line through the *data* port: L1D misses but L2 has it.
+    let (_, lvl) = m.access_data(0x40_000);
+    assert_eq!(lvl, MemLevel::L2, "L2 is unified");
+    assert_eq!(m.l1i_stats().accesses, 1);
+    assert_eq!(m.l1d_stats().accesses, 1);
+    assert_eq!(m.l2_stats().accesses, 2);
+    assert_eq!(m.l2_stats().hits, 1);
+}
+
+#[test]
+fn wider_bus_cuts_the_memory_latency() {
+    let cfg = HierarchyConfig {
+        bus_bytes: 64,
+        ..HierarchyConfig::default()
+    };
+    let mut m = MemHierarchy::new(cfg);
+    let (lat, lvl) = m.access_data(0x10_000);
+    assert_eq!(lvl, MemLevel::Memory);
+    assert_eq!(lat, 1 + 6 + 16, "single chunk: no inter-chunk cycles");
+}
+
+#[test]
+fn paper_geometries() {
+    let l1 = CacheConfig::paper_l1();
+    assert_eq!(
+        (l1.size_bytes, l1.ways, l1.line_bytes),
+        (64 * 1024, 2, 32)
+    );
+    let l2 = CacheConfig::paper_l2();
+    assert_eq!(
+        (l2.size_bytes, l2.ways, l2.line_bytes),
+        (256 * 1024, 4, 64)
+    );
+    // Table 2 FU mixes.
+    let c1 = FuPoolConfig::paper_int_cluster();
+    assert_eq!((c1.int_alu, c1.int_muldiv, c1.fp_alu, c1.fp_muldiv), (3, 1, 0, 0));
+    let c2 = FuPoolConfig::paper_fp_cluster();
+    assert_eq!((c2.int_alu, c2.int_muldiv, c2.fp_alu, c2.fp_muldiv), (3, 0, 3, 1));
+    let base_fp = FuPoolConfig::base_fp_cluster();
+    assert_eq!(base_fp.int_alu, 0, "base machine: no simple-int units in C2");
+    let ub = FuPoolConfig::paper_unified();
+    assert!(ub.int_alu >= c1.int_alu + c2.int_alu, "UB has the union");
+}

@@ -1,0 +1,91 @@
+//! Property test: the set-associative cache agrees with an executable
+//! reference model (per-set LRU lists) on arbitrary access traces.
+
+use dca_uarch::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// Straightforward reference: one LRU vector of line tags per set.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // most-recent first
+    ways: usize,
+    line: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        let nsets = cfg.size_bytes / (cfg.ways * cfg.line_bytes);
+        RefCache {
+            sets: vec![Vec::new(); nsets],
+            ways: cfg.ways,
+            line: cfg.line_bytes as u64,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let tag = addr / self.line;
+        let nsets = self.sets.len() as u64;
+        let set = &mut self.sets[(tag % nsets) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            set.remove(pos);
+            set.insert(0, tag);
+            true
+        } else {
+            set.insert(0, tag);
+            set.truncate(self.ways);
+            false
+        }
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (1usize..4, 0usize..3, 0usize..3).prop_map(|(ways_pow, line_pow, sets_pow)| {
+        let ways = 1 << (ways_pow - 1); // 1, 2, 4
+        let line_bytes = 16 << line_pow; // 16, 32, 64
+        let sets = 4 << sets_pow; // 4, 8, 16
+        CacheConfig {
+            size_bytes: sets * ways * line_bytes,
+            ways,
+            line_bytes,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        cfg in arb_config(),
+        trace in proptest::collection::vec(0u64..0x8000, 1..400),
+    ) {
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for (i, &addr) in trace.iter().enumerate() {
+            let got = dut.access(addr);
+            let want = reference.access(addr);
+            prop_assert_eq!(got, want, "divergence at access {} (addr {:#x})", i, addr);
+        }
+        // Stats are consistent with the trace.
+        prop_assert_eq!(dut.stats().accesses, trace.len() as u64);
+        prop_assert!(dut.stats().hits <= dut.stats().accesses);
+    }
+
+    #[test]
+    fn probe_agrees_with_access_history(
+        cfg in arb_config(),
+        trace in proptest::collection::vec(0u64..0x2000, 1..200),
+    ) {
+        let mut dut = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for &addr in &trace {
+            dut.access(addr);
+            reference.access(addr);
+        }
+        for &addr in &trace {
+            let tag = addr / cfg.line_bytes as u64;
+            let nsets = reference.sets.len() as u64;
+            let resident = reference.sets[(tag % nsets) as usize].contains(&tag);
+            prop_assert_eq!(dut.probe(addr), resident);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Shared infrastructure for the workload generators.
+
+use dca_prog::Memory;
+use dca_stats::Rng64;
+
+/// How much dynamic work a workload performs.
+///
+/// The paper simulates 100M instructions per benchmark; that is not
+/// practical for a per-figure × per-scheme sweep on one machine, so the
+/// default scale targets several hundred thousand dynamic instructions
+/// — past all cache/predictor warm-up, and enough for the scheme
+/// ranking to be stable (the experiment harness exposes `--scale full`
+/// for longer runs).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// A few thousand dynamic instructions; unit tests.
+    Smoke,
+    /// Hundreds of thousands of dynamic instructions; the default for
+    /// all figures.
+    Default,
+    /// Several million dynamic instructions; closest to the paper's
+    /// runs.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to each benchmark's base iteration count.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Default => 24,
+            Scale::Full => 192,
+        }
+    }
+}
+
+/// Fills `count` consecutive 64-bit words starting at `base` with
+/// values drawn by `f`.
+pub fn fill_words(mem: &mut Memory, base: u64, count: u64, mut f: impl FnMut(u64) -> i64) {
+    for i in 0..count {
+        mem.write_i64(base + i * 8, f(i));
+    }
+}
+
+/// Fills an array with uniformly random values in `[0, bound)`.
+pub fn fill_random(mem: &mut Memory, base: u64, count: u64, bound: u64, rng: &mut Rng64) {
+    fill_words(mem, base, count, |_| rng.range(0, bound) as i64);
+}
+
+/// Builds a singly linked list of `nodes` nodes starting at `base`
+/// (kept as a public-style utility; the `li` analogue uses a
+/// specialised variant with wider cells).
+///
+/// Node layout: `[next_ptr, payload]`, 16 bytes per node. Nodes are
+/// placed in a shuffled order so successive pointer dereferences jump
+/// around memory like a real heap (this is what makes the `li`
+/// analogue's loads miss and chain). The list terminates with a null
+/// (0) next pointer. Returns the address of the head node.
+#[allow(dead_code)] // generic utility, exercised by unit tests
+pub fn build_linked_list(
+    mem: &mut Memory,
+    base: u64,
+    nodes: u64,
+    rng: &mut Rng64,
+    payload: impl Fn(u64, &mut Rng64) -> i64,
+) -> u64 {
+    assert!(nodes > 0, "list needs at least one node");
+    let mut order: Vec<u64> = (0..nodes).collect();
+    rng.shuffle(&mut order);
+    let addr_of = |slot: u64| base + slot * 16;
+    for w in 0..nodes {
+        let this = addr_of(order[w as usize]);
+        let next = if w + 1 < nodes {
+            addr_of(order[(w + 1) as usize])
+        } else {
+            0
+        };
+        mem.write_u64(this, next);
+        let p = payload(w, rng);
+        mem.write_i64(this + 8, p);
+    }
+    addr_of(order[0])
+}
+
+/// Emits a balanced branch tree dispatching on `val` ∈ `[0, n)` where
+/// `n == targets.len()`: the interpreter-style decode structure of the
+/// `m88ksim` and `perl` analogues. Each tree node compares `val`
+/// against a split constant with an immediate-form branch. Returns the
+/// label of the tree's root block; the builder's current block is left
+/// at the root's *parent* unchanged (callers jump to the root).
+///
+/// # Panics
+///
+/// Panics if `targets` is empty.
+pub fn emit_dispatch_tree(
+    b: &mut dca_prog::ProgramBuilder,
+    val: dca_isa::Reg,
+    targets: &[dca_isa::Label],
+) -> dca_isa::Label {
+    use dca_isa::Inst;
+    assert!(!targets.is_empty(), "dispatch tree needs targets");
+    fn node(
+        b: &mut dca_prog::ProgramBuilder,
+        val: dca_isa::Reg,
+        lo: i64,
+        targets: &[dca_isa::Label],
+        depth: usize,
+    ) -> dca_isa::Label {
+        if targets.len() == 1 {
+            return targets[0];
+        }
+        let mid = targets.len() / 2;
+        let split = lo + mid as i64;
+        let right = node(b, val, split, &targets[mid..], depth + 1);
+        let left = node(b, val, lo, &targets[..mid], depth + 1);
+        let this = b.block(format!("dispatch_{lo}_{}_{depth}", targets.len()));
+        b.push(Inst::bgei(val, split, right));
+        b.push(Inst::j(left));
+        this
+    }
+    node(b, val, 0, targets, 0)
+}
+
+/// Heap layout constants shared by the generators: each workload gets
+/// disjoint regions so memory behaviour is easy to reason about in
+/// tests.
+pub mod layout {
+    /// First heap address (past the text segment).
+    pub const HEAP_BASE: u64 = 0x0010_0000;
+    /// A second region, far enough to live in different cache sets.
+    pub const HEAP_ALT: u64 = 0x0080_0000;
+    /// A third region for output buffers.
+    pub const HEAP_OUT: u64 = 0x00F0_0000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors_increase() {
+        assert!(Scale::Smoke.factor() < Scale::Default.factor());
+        assert!(Scale::Default.factor() < Scale::Full.factor());
+    }
+
+    #[test]
+    fn fill_words_writes_expected_values() {
+        let mut m = Memory::new();
+        fill_words(&mut m, 0x1000, 4, |i| i as i64 * 10);
+        assert_eq!(m.read_i64(0x1000), 0);
+        assert_eq!(m.read_i64(0x1018), 30);
+    }
+
+    #[test]
+    fn linked_list_reaches_every_node_once() {
+        let mut m = Memory::new();
+        let mut rng = Rng64::seeded(11);
+        let head = build_linked_list(&mut m, 0x2000, 50, &mut rng, |i, _| i as i64);
+        let mut seen = 0;
+        let mut cur = head;
+        let mut payload_sum = 0i64;
+        while cur != 0 {
+            payload_sum += m.read_i64(cur + 8);
+            cur = m.read_u64(cur);
+            seen += 1;
+            assert!(seen <= 50, "cycle detected");
+        }
+        assert_eq!(seen, 50);
+        assert_eq!(payload_sum, (0..50).sum::<i64>());
+    }
+
+    #[test]
+    fn linked_list_is_scrambled() {
+        let mut m = Memory::new();
+        let mut rng = Rng64::seeded(11);
+        let head = build_linked_list(&mut m, 0x2000, 64, &mut rng, |_, _| 0);
+        // At least one hop must go "backwards" in address space,
+        // otherwise the shuffle did nothing.
+        let mut cur = head;
+        let mut backwards = 0;
+        while cur != 0 {
+            let next = m.read_u64(cur);
+            if next != 0 && next < cur {
+                backwards += 1;
+            }
+            cur = next;
+        }
+        assert!(backwards > 5);
+    }
+}

@@ -1,0 +1,464 @@
+//! Parameterised micro-kernels — the distilled structures the steering
+//! literature reasons about, as reusable [`Workload`]s.
+//!
+//! The SpecInt95 analogues in [`crate::build`] mix many behaviours;
+//! each kernel here isolates exactly one, so tests, ablations and
+//! examples can make pointed statements ("modulo steering halves the
+//! throughput of a serial chain", "slice balance separates two
+//! independent pointer walks") without hand-writing assembly each time.
+//!
+//! | kernel | structure | what it stresses |
+//! |--------|-----------|------------------|
+//! | [`serial_chain`] | one ALU-carried recurrence | communication criticality |
+//! | [`parallel_chains`] | k independent recurrences | workload balance / issue width |
+//! | [`pointer_chase`] | load-to-load dependence | critical loads, LdSt slices |
+//! | [`twin_walks`] | two independent pointer walks | whole-slice migration |
+//! | [`branchy`] | data-dependent branch per element | Br slices, mispredict recovery |
+//! | [`streaming`] | strided loads + accumulation | D-cache ports and locality |
+//!
+//! # Example
+//!
+//! ```
+//! use dca_workloads::kernels;
+//! let k = kernels::serial_chain(100, 4);
+//! let s = k.execute_functional();
+//! assert!(s.halted);
+//! ```
+
+use dca_isa::{Inst, Reg};
+use dca_prog::{Memory, ProgramBuilder};
+use dca_stats::Rng64;
+
+use crate::common::{build_linked_list, fill_words, layout};
+use crate::Workload;
+
+/// Kernel names accepted by [`by_name`], in gallery order.
+pub const NAMES: [&str; 6] = [
+    "serial-chain",
+    "parallel-chains",
+    "pointer-chase",
+    "twin-walks",
+    "branchy",
+    "streaming",
+];
+
+/// Builds a kernel by name with its gallery-default parameters
+/// (moderate sizes: a few hundred thousand dynamic instructions).
+/// Returns `None` for unknown names; the valid ones are in [`NAMES`].
+pub fn by_name(name: &str) -> Option<Workload> {
+    Some(match name {
+        "serial-chain" => serial_chain(20_000, 6),
+        "parallel-chains" => parallel_chains(20_000, 6),
+        "pointer-chase" => pointer_chase(512, 96),
+        "twin-walks" => twin_walks(512, 64),
+        "branchy" => branchy(2048, 32, 50),
+        "streaming" => streaming(16_384, 12, 1),
+        _ => return None,
+    })
+}
+
+fn workload(
+    name: &'static str,
+    description: &'static str,
+    b: ProgramBuilder,
+    memory: Memory,
+) -> Workload {
+    Workload {
+        name,
+        paper_input: "-",
+        description,
+        program: b.build().expect("kernel builds"),
+        memory,
+    }
+}
+
+/// One serial ALU recurrence of `chain_len` additions per iteration —
+/// the structure on which any steering scheme that cuts the chain pays
+/// a copy latency per cut.
+///
+/// # Panics
+///
+/// Panics if `chain_len` is 0.
+pub fn serial_chain(iters: u64, chain_len: usize) -> Workload {
+    assert!(chain_len > 0, "chain needs at least one link");
+    let i = Reg::int(1);
+    let acc = Reg::int(2);
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("loop");
+    let fin = b.block("fin");
+    b.select(entry);
+    b.push(Inst::li(i, iters as i64));
+    b.select(lp);
+    for k in 0..chain_len {
+        b.push(Inst::addi(acc, acc, (k + 1) as i64));
+    }
+    b.push(Inst::addi(i, i, -1));
+    b.push(Inst::bne(i, Reg::ZERO, lp));
+    b.select(fin);
+    b.push(Inst::halt());
+    workload(
+        "serial-chain",
+        "one ALU-carried recurrence; every inter-cluster cut is critical",
+        b,
+        Memory::new(),
+    )
+}
+
+/// `k` independent ALU recurrences per iteration — embarrassingly
+/// balanceable work whose IPC is bounded by issue width, not
+/// dependences.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 10` (register budget).
+pub fn parallel_chains(iters: u64, k: usize) -> Workload {
+    assert!((1..=10).contains(&k), "1..=10 chains supported");
+    let i = Reg::int(1);
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("loop");
+    let fin = b.block("fin");
+    b.select(entry);
+    b.push(Inst::li(i, iters as i64));
+    b.select(lp);
+    for c in 0..k {
+        let r = Reg::int(2 + c as u8);
+        b.push(Inst::addi(r, r, (c + 1) as i64));
+    }
+    b.push(Inst::addi(i, i, -1));
+    b.push(Inst::bne(i, Reg::ZERO, lp));
+    b.select(fin);
+    b.push(Inst::halt());
+    workload(
+        "parallel-chains",
+        "independent recurrences; upper bound fodder, trivially balanceable",
+        b,
+        Memory::new(),
+    )
+}
+
+/// A circular linked-list walk: each load's address is the previous
+/// load's value (the paper's critical-load motif, the heart of `li`).
+pub fn pointer_chase(nodes: u64, laps: u64) -> Workload {
+    let mut mem = Memory::new();
+    let mut rng = Rng64::seeded(0xC0FFEE);
+    let head = build_linked_list(&mut mem, layout::HEAP_BASE, nodes, &mut rng, |k, _| k as i64);
+    let i = Reg::int(1);
+    let p = Reg::int(2);
+    let sum = Reg::int(3);
+    let val = Reg::int(4);
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("loop");
+    let fin = b.block("fin");
+    b.select(entry);
+    b.push(Inst::li(i, (nodes * laps) as i64));
+    b.push(Inst::li(p, head as i64));
+    b.select(lp);
+    b.push(Inst::ld(val, p, 8)); // payload
+    b.push(Inst::add(sum, sum, val));
+    b.push(Inst::ld(p, p, 0)); // next pointer: load feeds next address
+    b.push(Inst::addi(i, i, -1));
+    b.push(Inst::bne(i, Reg::ZERO, lp));
+    b.select(fin);
+    b.push(Inst::halt());
+    workload(
+        "pointer-chase",
+        "load-to-load recurrence; the LdSt slice is the whole program",
+        b,
+        mem,
+    )
+}
+
+/// Two *independent* pointer walks interleaved in one loop — the
+/// smallest program where whole-slice migration (slice balance) beats
+/// both plain slice steering and per-instruction balance.
+pub fn twin_walks(nodes: u64, laps: u64) -> Workload {
+    let mut mem = Memory::new();
+    let mut rng = Rng64::seeded(0x7EA_C01D);
+    let head_a = build_linked_list(&mut mem, layout::HEAP_BASE, nodes, &mut rng, |k, _| k as i64);
+    let head_b = build_linked_list(&mut mem, layout::HEAP_ALT, nodes, &mut rng, |k, _| -(k as i64));
+    let i = Reg::int(1);
+    let pa = Reg::int(2);
+    let pb = Reg::int(3);
+    let sa = Reg::int(4);
+    let sb = Reg::int(5);
+    let va = Reg::int(6);
+    let vb = Reg::int(7);
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("loop");
+    let fin = b.block("fin");
+    b.select(entry);
+    b.push(Inst::li(i, (nodes * laps) as i64));
+    b.push(Inst::li(pa, head_a as i64));
+    b.push(Inst::li(pb, head_b as i64));
+    b.select(lp);
+    b.push(Inst::ld(va, pa, 8));
+    b.push(Inst::add(sa, sa, va));
+    b.push(Inst::ld(pa, pa, 0));
+    b.push(Inst::ld(vb, pb, 8));
+    b.push(Inst::add(sb, sb, vb));
+    b.push(Inst::ld(pb, pb, 0));
+    b.push(Inst::addi(i, i, -1));
+    b.push(Inst::bne(i, Reg::ZERO, lp));
+    b.select(fin);
+    b.push(Inst::halt());
+    workload(
+        "twin-walks",
+        "two independent pointer walks; one backward-slice family per cluster is optimal",
+        b,
+        mem,
+    )
+}
+
+/// A data-dependent branch per element over a circular table:
+/// `taken_pct` percent of the *data* branches are taken
+/// (pseudo-random placement) — Br-slice material with controllable
+/// predictability. The loop back-edge adds one (almost always taken)
+/// branch per element on top.
+///
+/// # Panics
+///
+/// Panics if `taken_pct > 100` or `elems` is not a power of two (the
+/// wrap-around uses a mask).
+pub fn branchy(elems: u64, laps: u64, taken_pct: u8) -> Workload {
+    assert!(taken_pct <= 100, "a percentage");
+    assert!(elems.is_power_of_two(), "elems must be a power of two");
+    let mut mem = Memory::new();
+    let mut rng = Rng64::seeded(0xB4A2C4);
+    // The data branch is `beq flag, r0` (taken when flag == 0), so a
+    // zero word with probability taken_pct/100 realises the rate.
+    fill_words(&mut mem, layout::HEAP_BASE, elems, |_| {
+        i64::from(!rng.chance(f64::from(taken_pct) / 100.0))
+    });
+    let i = Reg::int(1);
+    let cur = Reg::int(2);
+    let flag = Reg::int(3);
+    let hits = Reg::int(4);
+    let base = Reg::int(5);
+    let off = Reg::int(6);
+    let mask = Reg::int(7);
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("loop");
+    let skip = b.block("skip");
+    let fin = b.block("fin");
+    b.select(entry);
+    b.push(Inst::li(i, (elems * laps) as i64));
+    b.push(Inst::li(base, layout::HEAP_BASE as i64));
+    b.push(Inst::li(mask, (elems - 1) as i64));
+    b.push(Inst::li(cur, 0));
+    b.select(lp);
+    b.push(Inst::and(off, cur, mask)); // circular index
+    b.push(Inst::slli(off, off, 3));
+    b.push(Inst::add(off, off, base));
+    b.push(Inst::ld(flag, off, 0));
+    b.push(Inst::beq(flag, Reg::ZERO, skip));
+    b.push(Inst::addi(hits, hits, 1));
+    b.select(skip);
+    b.push(Inst::addi(cur, cur, 1));
+    b.push(Inst::addi(i, i, -1));
+    b.push(Inst::bne(i, Reg::ZERO, lp));
+    b.select(fin);
+    b.push(Inst::halt());
+    workload(
+        "branchy",
+        "data-dependent branch per element with tunable taken rate",
+        b,
+        mem,
+    )
+}
+
+/// Strided streaming loads with a dependent reduction: D-cache port and
+/// spatial-locality stress (`stride_words = 1` streams lines, larger
+/// strides defeat them).
+///
+/// # Panics
+///
+/// Panics if `stride_words == 0`.
+pub fn streaming(words: u64, laps: u64, stride_words: u64) -> Workload {
+    assert!(stride_words > 0, "stride must advance");
+    let mut mem = Memory::new();
+    fill_words(&mut mem, layout::HEAP_BASE, words, |k| k as i64);
+    let i = Reg::int(1);
+    let p = Reg::int(2);
+    let sum = Reg::int(3);
+    let v0 = Reg::int(4);
+    let v1 = Reg::int(5);
+    let v2 = Reg::int(6);
+    let end = Reg::int(7);
+    let lap = Reg::int(8);
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let outer = b.block("outer");
+    let lp = b.block("loop");
+    let fin = b.block("fin");
+    b.select(entry);
+    b.push(Inst::li(lap, laps as i64));
+    b.select(outer);
+    b.push(Inst::li(p, layout::HEAP_BASE as i64));
+    b.push(Inst::li(end, (layout::HEAP_BASE + words * 8) as i64));
+    b.push(Inst::li(i, (words / (3 * stride_words)).max(1) as i64));
+    b.select(lp);
+    b.push(Inst::ld(v0, p, 0));
+    b.push(Inst::ld(v1, p, (stride_words * 8) as i64));
+    b.push(Inst::ld(v2, p, (2 * stride_words * 8) as i64));
+    b.push(Inst::add(sum, sum, v0));
+    b.push(Inst::add(sum, sum, v1));
+    b.push(Inst::add(sum, sum, v2));
+    b.push(Inst::addi(p, p, (3 * stride_words * 8) as i64));
+    b.push(Inst::addi(i, i, -1));
+    b.push(Inst::bne(i, Reg::ZERO, lp));
+    b.push(Inst::addi(lap, lap, -1));
+    b.push(Inst::bne(lap, Reg::ZERO, outer));
+    b.select(fin);
+    b.push(Inst::halt());
+    workload(
+        "streaming",
+        "strided loads feeding a reduction; port and locality stress",
+        b,
+        mem,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_sim::{SimConfig, Simulator};
+    use dca_steer::{GeneralBalance, Modulo, SliceBalance, SliceKind};
+
+    fn ipc(w: &Workload, scheme: &mut dyn dca_sim::Steering) -> f64 {
+        Simulator::new(&SimConfig::paper_clustered(), &w.program, w.memory.clone())
+            .run(scheme, 500_000)
+            .ipc()
+    }
+
+    #[test]
+    fn all_kernels_halt_and_are_deterministic() {
+        let builds: [fn() -> Workload; 6] = [
+            || serial_chain(50, 4),
+            || parallel_chains(50, 6),
+            || pointer_chase(32, 4),
+            || twin_walks(32, 4),
+            || branchy(64, 4, 30),
+            || streaming(256, 2, 1),
+        ];
+        for f in builds {
+            let a = f().execute_functional();
+            let b = f().execute_functional();
+            assert!(a.halted, "kernel must halt");
+            assert_eq!(a, b, "kernel must be deterministic");
+        }
+    }
+
+    #[test]
+    fn serial_chain_is_serial_parallel_is_not() {
+        let mut gb = GeneralBalance::new();
+        let serial = ipc(&serial_chain(800, 6), &mut gb);
+        let mut gb = GeneralBalance::new();
+        let parallel = ipc(&parallel_chains(800, 6), &mut gb);
+        assert!(
+            parallel > 2.0 * serial,
+            "parallel {parallel:.2} vs serial {serial:.2}"
+        );
+        assert!(serial < 1.5, "a 1-cycle ALU chain cannot exceed IPC~1");
+    }
+
+    #[test]
+    fn modulo_hurts_the_chain_general_does_not() {
+        let w = serial_chain(800, 6);
+        let mut m = Modulo::new();
+        let modulo = ipc(&w, &mut m);
+        let mut g = GeneralBalance::new();
+        let general = ipc(&w, &mut g);
+        assert!(
+            general > 1.3 * modulo,
+            "general {general:.2} vs modulo {modulo:.2}"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_is_load_latency_bound() {
+        // 5 instructions per node, and the next-pointer load cannot
+        // begin its EA before the previous one returns: the recurrence
+        // costs >= 2 cycles per node even with every load hitting L1,
+        // so IPC stays well below the 8-wide front end.
+        let mut g = GeneralBalance::new();
+        let chase = ipc(&pointer_chase(64, 12), &mut g);
+        assert!(chase < 3.0, "load-to-load chain bounds IPC, got {chase:.2}");
+        let mut g = GeneralBalance::new();
+        let free = ipc(&parallel_chains(800, 6), &mut g);
+        assert!(free > chase, "chasing {chase:.2} must trail free ILP {free:.2}");
+    }
+
+    #[test]
+    fn twin_walks_reward_slice_separation() {
+        let w = twin_walks(64, 12);
+        let mut sb = SliceBalance::new(SliceKind::LdSt);
+        let s = Simulator::new(&SimConfig::paper_clustered(), &w.program, w.memory.clone())
+            .run(&mut sb, 500_000);
+        // Slice balance must actually use both clusters on twin walks.
+        assert!(
+            s.steered[0] > 0 && s.steered[1] > 0,
+            "both walks placed: {:?}",
+            s.steered
+        );
+    }
+
+    #[test]
+    fn branchy_taken_rate_tracks_parameter() {
+        // Two conditional branches per element: the data branch (taken
+        // with probability pct) and the back-edge (always taken except
+        // the final exit), so overall taken ~= (pct + 100) / 2.
+        for pct in [10u8, 50, 90] {
+            let s = branchy(256, 2, pct).execute_functional();
+            let measured =
+                s.taken_branches as f64 / s.cond_branches.max(1) as f64 * 100.0;
+            let expect = (f64::from(pct) + 100.0) / 2.0;
+            assert!(
+                (measured - expect).abs() < 8.0,
+                "pct {pct}: measured {measured:.0}, expected ~{expect:.0}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn branchy_rejects_non_power_of_two() {
+        let _ = branchy(100, 1, 50);
+    }
+
+    #[test]
+    fn streaming_stride_defeats_locality() {
+        let near = streaming(4096, 3, 1);
+        let far = streaming(4096, 3, 16); // 128-byte jumps: new line each load
+        let run = |w: &Workload| {
+            let mut g = GeneralBalance::new();
+            Simulator::new(&SimConfig::paper_clustered(), &w.program, w.memory.clone())
+                .run(&mut g, 500_000)
+        };
+        let near_miss = run(&near).l1d.miss_ratio();
+        let far_miss = run(&far).l1d.miss_ratio();
+        assert!(
+            far_miss > 2.0 * near_miss,
+            "strided {far_miss:.3} vs unit {near_miss:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chain needs at least one link")]
+    fn zero_chain_rejected() {
+        let _ = serial_chain(10, 0);
+    }
+
+    #[test]
+    fn registry_is_complete_and_closed() {
+        for name in NAMES {
+            let w = by_name(name).expect("registered kernel");
+            assert_eq!(w.name, name, "registry name matches workload name");
+        }
+        assert!(by_name("nosuch").is_none());
+    }
+}

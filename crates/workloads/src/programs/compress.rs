@@ -1,0 +1,156 @@
+//! `compress` analogue — the SpecInt95 LZW compressor on input
+//! `50000 e 2231`.
+//!
+//! Modelled character: one tight loop over an input buffer, a shift/
+//! xor hash of each symbol, a hash-table probe whose hit/miss outcome
+//! is data-dependent (the classic compress branch that limits its
+//! predictability), a table install on miss and counters on hit. The
+//! LdSt slice (input pointer + table addressing) is cleanly separable
+//! from the value chain (checksums), which is what makes compress
+//! interesting for slice steering.
+
+use dca_isa::{Inst, Opcode, Reg};
+use dca_prog::{Memory, ProgramBuilder};
+use dca_stats::Rng64;
+
+use crate::common::{fill_words, layout, Scale};
+use crate::Workload;
+
+const TABLE_SLOTS: u64 = 4096;
+const INPUT_WORDS: u64 = 3072;
+const BASE_ITERS: u64 = 1500;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let iters = BASE_ITERS * scale.factor();
+    let mut rng = Rng64::seeded(0xC0_4B1E55);
+    let mut mem = Memory::new();
+    // Input symbols: a skewed distribution (runs of frequent symbols
+    // plus noise) so hash probes hit often but not always.
+    fill_words(&mut mem, layout::HEAP_BASE, INPUT_WORDS, |_| {
+        if rng.chance(0.55) {
+            rng.range(0, 48) as i64
+        } else {
+            rng.range(0, 1 << 20) as i64
+        }
+    });
+
+    let i = Reg::int(1); // loop counter
+    let inp = Reg::int(2); // input cursor
+    let n = Reg::int(3); // iteration bound
+    let tbl = Reg::int(4); // table base
+    let hits = Reg::int(5);
+    let csum = Reg::int(6);
+    let x = Reg::int(7);
+    let h = Reg::int(8);
+    let slot = Reg::int(9);
+    let probe = Reg::int(10);
+    let wrap = Reg::int(11);
+    let crc = Reg::int(12); // running "CRC" (ALU-carried chain)
+    let len = Reg::int(13); // statistics sink accumulator
+    let stat = Reg::int(14); // scratch for the statistics load
+
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("loop");
+    let miss = b.block("miss");
+    let hit = b.block("hit");
+    let next = b.block("next");
+    let check = b.block("check");
+    let fin = b.block("fin");
+    let rewind = b.block("rewind");
+
+    b.select(entry);
+    b.push(Inst::li(i, 0));
+    b.push(Inst::li(inp, layout::HEAP_BASE as i64));
+    b.push(Inst::li(n, iters as i64));
+    b.push(Inst::li(tbl, layout::HEAP_ALT as i64));
+    b.push(Inst::li(hits, 0));
+    b.push(Inst::li(csum, 0));
+    b.push(Inst::li(wrap, (layout::HEAP_BASE + INPUT_WORDS * 8) as i64));
+    b.push(Inst::li(crc, 0x1d0f));
+    b.push(Inst::li(len, 0));
+
+    b.select(lp);
+    b.push(Inst::ld(x, inp, 0)); // x = *in
+    b.push(Inst::slli(h, x, 4)); // h = (x << 4) ^ x, masked
+    b.push(Inst::xor(h, h, x));
+    b.push(Inst::alui(Opcode::And, h, h, (TABLE_SLOTS - 1) as i64));
+    b.push(Inst::slli(slot, h, 3)); // table byte offset
+    b.push(Inst::add(slot, slot, tbl));
+    b.push(Inst::ld(probe, slot, 0)); // probe table
+    b.push(Inst::beq(probe, x, hit)); // data-dependent hit/miss
+
+    b.select(miss);
+    b.push(Inst::st(x, slot, 0)); // install symbol
+    b.push(Inst::add(csum, csum, x)); // checksum (value chain)
+    b.push(Inst::j(next));
+
+    b.select(hit);
+    b.push(Inst::addi(hits, hits, 1));
+    b.push(Inst::xor(csum, csum, x));
+
+    b.select(next);
+    // Independent dictionary-statistics chain: ALU-carried (crc), with
+    // a table load addressed by it feeding a pure sink accumulator
+    // (len). Its loads make it a backward-slice family of its own,
+    // which the balance schemes can migrate whole — without the load
+    // latency ever entering a loop-carried dependence.
+    b.push(Inst::slli(crc, crc, 1));
+    b.push(Inst::xor(crc, crc, x));
+    b.push(Inst::alui(Opcode::And, stat, crc, 1023));
+    b.push(Inst::slli(stat, stat, 3));
+    b.push(Inst::addi(stat, stat, layout::HEAP_OUT as i64));
+    b.push(Inst::ld(stat, stat, 0));
+    b.push(Inst::add(len, len, stat));
+    b.push(Inst::addi(inp, inp, 8));
+    b.push(Inst::addi(i, i, 1));
+    b.push(Inst::bge(inp, wrap, rewind)); // wrap the input cursor
+
+    b.select(check);
+    b.push(Inst::bne(i, n, lp));
+
+    b.select(fin);
+    b.push(Inst::st(hits, tbl, -8));
+    b.push(Inst::st(csum, tbl, -16));
+    b.push(Inst::halt());
+
+    b.select(rewind);
+    b.push(Inst::li(inp, layout::HEAP_BASE as i64));
+    b.push(Inst::j(check));
+
+    let program = b.build().expect("compress generator emits a valid program");
+    Workload {
+        name: "compress",
+        paper_input: "50000 e 2231",
+        description: "LZW-style hash-probe loop with data-dependent hit/miss branches",
+        program,
+        memory: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_compress_like() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        assert!(s.halted);
+        assert!(s.load_ratio() > 0.09, "loads {}", s.load_ratio());
+        assert!(s.store_ratio() > 0.02, "stores {}", s.store_ratio());
+        assert!(s.branch_ratio() > 0.1, "branches {}", s.branch_ratio());
+        assert_eq!(s.complex_int, 0, "compress does not multiply");
+    }
+
+    #[test]
+    fn hit_and_miss_paths_both_taken() {
+        let w = build(Scale::Smoke);
+        let mut interp = w.interp();
+        while interp.next().is_some() {}
+        let hits = interp.int_reg(5);
+        assert!(hits > 0, "some probes must hit");
+        assert!((hits as u64) < BASE_ITERS, "some probes must miss");
+    }
+}

@@ -1,0 +1,151 @@
+//! `gcc` analogue — the SpecInt95 C compiler on `insn-recog.i`.
+//!
+//! Modelled character: gcc's defining feature for this study is its
+//! **instruction footprint** — far larger than the 64 KB L1I — combined
+//! with an irregular mix of short data-dependent branches. The
+//! generator stamps out several hundred distinct "pass segments"
+//! (each a few dozen unique instructions reading and writing a global
+//! table) chained into one long code path that is walked repeatedly,
+//! so every pass streams through > 64 KB of text and the I-cache
+//! misses continuously, as it does for real gcc.
+
+use dca_isa::{Inst, Opcode, Reg};
+use dca_prog::{Memory, ProgramBuilder};
+use dca_stats::Rng64;
+
+use crate::common::{fill_random, layout, Scale};
+use crate::Workload;
+
+const SEGMENTS: u64 = 1150;
+const GLOBALS: u64 = 8192;
+const BASE_PASSES: u64 = 1;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let passes = BASE_PASSES * scale.factor();
+    let mut rng = Rng64::seeded(0x6CC);
+    let mut mem = Memory::new();
+    fill_random(&mut mem, layout::HEAP_BASE, GLOBALS, 1 << 20, &mut rng);
+
+    let pass = Reg::int(1);
+    let npass = Reg::int(2);
+    let glob = Reg::int(3);
+    let acc = Reg::int(4);
+    let x = Reg::int(5);
+    let y = Reg::int(6);
+    let t = Reg::int(7);
+    let flag = Reg::int(8);
+
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    // Declare every segment's blocks up front so they can be chained.
+    let mut mains = Vec::with_capacity(SEGMENTS as usize);
+    let mut extras = Vec::with_capacity(SEGMENTS as usize);
+    for s in 0..SEGMENTS {
+        mains.push(b.block(format!("seg{s}")));
+        extras.push(b.block(format!("seg{s}x")));
+    }
+    let pass_tail = b.block("pass_tail");
+    let fin = b.block("fin");
+
+    b.select(entry);
+    b.push(Inst::li(pass, 0));
+    b.push(Inst::li(npass, passes as i64));
+    b.push(Inst::li(glob, layout::HEAP_BASE as i64));
+    b.push(Inst::li(acc, 0));
+
+    // Each segment: unique offsets/constants (so the text cannot be
+    // shared), two global loads, a handful of ALU ops, a
+    // data-dependent branch that skips the "extra" sub-block, and an
+    // occasional global store.
+    for s in 0..SEGMENTS as usize {
+        let off1 = (rng.range(0, GLOBALS) * 8) as i64;
+        let off2 = (rng.range(0, GLOBALS) * 8) as i64;
+        let k1 = rng.range(1, 4096) as i64;
+        // Two-plus set bits: the skip branch is taken ~75-90% of the
+        // time, so the hot footprint is the main path (~56 KB) with
+        // extras sprinkling I-cache misses on top.
+        let k2 = ((rng.range(1, 8) << 3) | rng.range(1, 8)) as i64;
+        let next = if s + 1 < SEGMENTS as usize {
+            mains[s + 1]
+        } else {
+            pass_tail
+        };
+        b.select(mains[s]);
+        b.push(Inst::ld(x, glob, off1));
+        b.push(Inst::ld(y, glob, off2));
+        b.push(Inst::add(t, x, y));
+        b.push(Inst::alui(Opcode::Xor, t, t, k1));
+        b.push(Inst::slli(flag, t, 1));
+        b.push(Inst::sub(flag, flag, x));
+        b.push(Inst::add(acc, acc, t));
+        b.push(Inst::alui(Opcode::And, flag, flag, k2));
+        if s % 4 == 0 {
+            b.push(Inst::st(acc, glob, off1));
+        }
+        // data-dependent skip: the extra block runs only sometimes
+        b.push(Inst::bnei(flag, 0, next));
+
+        b.select(extras[s]);
+        b.push(Inst::srli(t, acc, 3));
+        b.push(Inst::xor(acc, acc, t));
+        b.push(Inst::alui(Opcode::Add, y, y, k1));
+        if s % 3 == 0 {
+            b.push(Inst::st(y, glob, off2));
+        }
+        if s % 5 != 0 {
+            b.push(Inst::alui(Opcode::Or, acc, acc, 1));
+        }
+        b.push(Inst::j(next));
+    }
+
+    b.select(pass_tail);
+    b.push(Inst::addi(pass, pass, 1));
+    b.push(Inst::bne(pass, npass, mains[0]));
+
+    b.select(fin);
+    b.push(Inst::st(acc, glob, -8));
+    b.push(Inst::halt());
+
+    let program = b.build().expect("gcc generator emits a valid program");
+    Workload {
+        name: "gcc",
+        paper_input: "insn-recog.i",
+        description: "hundreds of unique pass segments streaming > 64 KB of text per pass",
+        program,
+        memory: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_exceeds_l1i() {
+        let w = build(Scale::Smoke);
+        assert!(
+            w.program.text_bytes() > 64 * 1024,
+            "text {} bytes",
+            w.program.text_bytes()
+        );
+    }
+
+    #[test]
+    fn mix_is_gcc_like() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        assert!(s.halted);
+        assert!(s.branch_ratio() > 0.06, "branches {}", s.branch_ratio());
+        assert!(s.load_ratio() > 0.1, "loads {}", s.load_ratio());
+        assert!(s.store_ratio() > 0.01, "stores {}", s.store_ratio());
+    }
+
+    #[test]
+    fn both_branch_outcomes_occur() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        let taken_frac = s.taken_branches as f64 / s.cond_branches as f64;
+        assert!(taken_frac > 0.2 && taken_frac < 0.95, "taken {taken_frac}");
+    }
+}

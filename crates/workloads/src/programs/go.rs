@@ -1,0 +1,188 @@
+//! `go` analogue — the SpecInt95 Go-playing program on `bigtest.in`.
+//!
+//! Modelled character: branch-dominated evaluation over a board array.
+//! Each "position evaluation" draws a pseudo-random board index with a
+//! xorshift generator (simple-integer work, like go's pattern hashing),
+//! loads the point and a neighbour, and runs a cascade of
+//! data-dependent comparisons whose outcomes are close to
+//! unpredictable — go has the worst branch behaviour of SpecInt95 and
+//! the paper's Br-slice schemes live or die on exactly this pattern.
+
+use dca_isa::{Inst, Opcode, Reg};
+use dca_prog::{Memory, ProgramBuilder};
+use dca_stats::Rng64;
+
+use crate::common::{fill_words, layout, Scale};
+use crate::Workload;
+
+const BOARD_POINTS: u64 = 1024; // power of two for cheap masking
+const BASE_ITERS: u64 = 1200;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let iters = BASE_ITERS * scale.factor();
+    let mut rng = Rng64::seeded(0x60_60);
+    let mut mem = Memory::new();
+    // Board values in *regions*: runs of 24-40 points share a colour,
+    // like stones on a real board — nearby evaluations correlate, so
+    // some (not all) of the comparison cascade becomes predictable.
+    let mut remaining = 0u64;
+    let mut colour = 0i64;
+    fill_words(&mut mem, layout::HEAP_BASE, BOARD_POINTS, |_| {
+        if remaining == 0 {
+            remaining = rng.range(24, 40);
+            colour = rng.range(0, 5) as i64 - 2;
+        }
+        remaining -= 1;
+        colour
+    });
+    // Pattern-weight table read by the influence chain.
+    fill_words(&mut mem, layout::HEAP_BASE + 8192, 512, |_| {
+        rng.range(0, 32) as i64
+    });
+
+    let i = Reg::int(1);
+    let n = Reg::int(2);
+    let board = Reg::int(3);
+    let seed = Reg::int(4); // xorshift state
+    let idx = Reg::int(5);
+    let addr = Reg::int(6);
+    let pt = Reg::int(7); // board[idx]
+    let nb = Reg::int(8); // board[idx+1]
+    let black = Reg::int(9);
+    let white = Reg::int(10);
+    let terr = Reg::int(11); // "territory" score
+    let tmp = Reg::int(12);
+    let nb2 = Reg::int(13); // second neighbour
+    let inf = Reg::int(14); // influence accumulator (independent chain)
+    let pat = Reg::int(15); // pattern hash (independent chain)
+
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("loop");
+    let is_black = b.block("is_black");
+    let is_white = b.block("is_white");
+    let empty_pt = b.block("empty_pt");
+    let nb_same = b.block("nb_same");
+    let nb_diff = b.block("nb_diff");
+    let nxt = b.block("next");
+    let fin = b.block("fin");
+
+    b.select(entry);
+    b.push(Inst::li(i, 0));
+    b.push(Inst::li(n, iters as i64));
+    b.push(Inst::li(board, layout::HEAP_BASE as i64));
+    b.push(Inst::li(seed, 0x9E37_79B9));
+    b.push(Inst::li(black, 0));
+    b.push(Inst::li(white, 0));
+    b.push(Inst::li(terr, 0));
+    b.push(Inst::li(inf, 0));
+    b.push(Inst::li(pat, 0x77));
+
+    b.select(lp);
+    // xorshift step (three shifts + xors, all simple integer)
+    b.push(Inst::slli(tmp, seed, 13));
+    b.push(Inst::xor(seed, seed, tmp));
+    b.push(Inst::srli(tmp, seed, 7));
+    b.push(Inst::xor(seed, seed, tmp));
+    b.push(Inst::slli(tmp, seed, 17));
+    b.push(Inst::xor(seed, seed, tmp));
+    // walk locally: idx += small step (1..8) — consecutive evaluations
+    // stay inside a board region, correlating the branch cascade
+    b.push(Inst::alui(Opcode::And, tmp, seed, 7));
+    b.push(Inst::addi(tmp, tmp, 1));
+    b.push(Inst::add(idx, idx, tmp));
+    b.push(Inst::alui(Opcode::And, idx, idx, (BOARD_POINTS - 2) as i64));
+    b.push(Inst::slli(addr, idx, 3));
+    b.push(Inst::add(addr, addr, board));
+    b.push(Inst::ld(pt, addr, 0));
+    b.push(Inst::ld(nb, addr, 8));
+    b.push(Inst::ld(nb2, addr, 16));
+    // Independent influence/pattern chain: pat is ALU-carried from the
+    // freshly loaded neighbour; the pattern-table load it addresses
+    // feeds only the inf sink, so the chain is a backward-slice family
+    // of its own without load latency in the carried dependence.
+    b.push(Inst::slli(tmp, nb2, 1));
+    b.push(Inst::xor(pat, pat, tmp));
+    b.push(Inst::addi(pat, pat, 13));
+    b.push(Inst::alui(Opcode::And, tmp, pat, 511));
+    b.push(Inst::slli(tmp, tmp, 3));
+    b.push(Inst::add(tmp, tmp, board));
+    b.push(Inst::ld(tmp, tmp, 8192));
+    b.push(Inst::add(inf, inf, tmp));
+    // classify the point: black (>0), white (<0), empty
+    b.push(Inst::bgei(pt, 1, is_black));
+    b.push(Inst::blti(pt, 0, is_white));
+    b.push(Inst::j(empty_pt));
+
+    b.select(empty_pt);
+    // empty point: compare neighbour ownership
+    b.push(Inst::beq(nb, Reg::ZERO, nxt));
+    b.push(Inst::bgei(nb, 1, nb_same));
+    b.push(Inst::j(nb_diff));
+
+    b.select(nb_diff);
+    b.push(Inst::addi(terr, terr, -1));
+    b.push(Inst::j(nxt));
+
+    b.select(nb_same);
+    b.push(Inst::addi(terr, terr, 1));
+    b.push(Inst::j(nxt));
+
+    b.select(is_black);
+    b.push(Inst::add(black, black, pt));
+    b.push(Inst::bne(nb, pt, nxt)); // connected stones bonus
+    b.push(Inst::addi(black, black, 2));
+    b.push(Inst::j(nxt));
+
+    b.select(is_white);
+    b.push(Inst::sub(white, white, pt));
+    b.push(Inst::beq(nb, pt, nxt));
+    b.push(Inst::addi(white, white, 1));
+    b.push(Inst::j(nxt));
+
+    b.select(nxt);
+    b.push(Inst::addi(i, i, 1));
+    b.push(Inst::bne(i, n, lp));
+
+    b.select(fin);
+    b.push(Inst::st(black, board, -8));
+    b.push(Inst::st(white, board, -16));
+    b.push(Inst::st(terr, board, -24));
+    b.push(Inst::st(inf, board, -32));
+    b.push(Inst::st(pat, board, -40));
+    b.push(Inst::halt());
+
+    let program = b.build().expect("go generator emits a valid program");
+    Workload {
+        name: "go",
+        paper_input: "bigtest.in",
+        description: "board-evaluation cascade of poorly predictable data-dependent branches",
+        program,
+        memory: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_go_like() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        assert!(s.halted);
+        assert!(s.branch_ratio() > 0.11, "branches {}", s.branch_ratio());
+        assert!(s.load_ratio() > 0.05, "loads {}", s.load_ratio());
+        assert!(s.store_ratio() < 0.05, "go stores little");
+    }
+
+    #[test]
+    fn scores_accumulate_on_both_sides() {
+        let w = build(Scale::Smoke);
+        let mut interp = w.interp();
+        while interp.next().is_some() {}
+        assert!(interp.int_reg(9) > 0, "black stones seen");
+        assert!(interp.int_reg(10) > 0, "white stones seen");
+    }
+}

@@ -1,0 +1,153 @@
+//! `ijpeg` analogue — the SpecInt95 JPEG codec on `penguin.ppm`.
+//!
+//! Modelled character: regular, loop-dominated integer signal
+//! processing. Kernel 1 is a 4-tap multiply-accumulate filter (the
+//! DCT stand-in — note the **integer multiplies**, which only the
+//! integer cluster can execute and therefore anchor part of every
+//! dependence chain there); kernel 2 is a quantisation pass (shift,
+//! mask, store). Branches are loop bounds only — highly predictable,
+//! like ijpeg's.
+
+use dca_isa::{Inst, Opcode, Reg};
+use dca_prog::{Memory, ProgramBuilder};
+use dca_stats::Rng64;
+
+use crate::common::{fill_random, layout, Scale};
+use crate::Workload;
+
+const SAMPLES: u64 = 2048;
+const BASE_PASSES: u64 = 3;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let passes = BASE_PASSES * scale.factor();
+    let mut rng = Rng64::seeded(0x1_3A6);
+    let mut mem = Memory::new();
+    fill_random(&mut mem, layout::HEAP_BASE, SAMPLES + 4, 256, &mut rng);
+
+    let pass = Reg::int(1);
+    let npass = Reg::int(2);
+    let i = Reg::int(3);
+    let src = Reg::int(4);
+    let dst = Reg::int(5);
+    let acc = Reg::int(6);
+    let s0 = Reg::int(7);
+    let s1 = Reg::int(8);
+    let s2 = Reg::int(9);
+    let s3 = Reg::int(10);
+    let c0 = Reg::int(11);
+    let c1 = Reg::int(12);
+    let c2 = Reg::int(13);
+    let c3 = Reg::int(14);
+    let t = Reg::int(15);
+    let q = Reg::int(16);
+    let bound = Reg::int(17);
+    let edge = Reg::int(18); // edge-detect chain (independent, mul-free)
+    let clip = Reg::int(19); // clipping counter (independent)
+
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let pass_head = b.block("pass_head");
+    let dct = b.block("dct");
+    let quant = b.block("quant_head");
+    let quant_lp = b.block("quant");
+    let pass_tail = b.block("pass_tail");
+    let fin = b.block("fin");
+
+    b.select(entry);
+    b.push(Inst::li(pass, 0));
+    b.push(Inst::li(npass, passes as i64));
+    b.push(Inst::li(c0, 23));
+    b.push(Inst::li(c1, -41));
+    b.push(Inst::li(c2, 17));
+    b.push(Inst::li(c3, 5));
+    b.push(Inst::li(edge, 0));
+    b.push(Inst::li(clip, 0));
+
+    b.select(pass_head);
+    b.push(Inst::li(i, 0));
+    b.push(Inst::li(src, layout::HEAP_BASE as i64));
+    b.push(Inst::li(dst, layout::HEAP_OUT as i64));
+    b.push(Inst::li(bound, SAMPLES as i64));
+
+    b.select(dct);
+    // 4-tap MAC: acc = s0*c0 + s1*c1 + s2*c2 + s3*c3
+    b.push(Inst::ld(s0, src, 0));
+    b.push(Inst::ld(s1, src, 8));
+    b.push(Inst::ld(s2, src, 16));
+    b.push(Inst::ld(s3, src, 24));
+    b.push(Inst::mul(acc, s0, c0));
+    b.push(Inst::mul(t, s1, c1));
+    b.push(Inst::add(acc, acc, t));
+    b.push(Inst::mul(t, s2, c2));
+    b.push(Inst::add(acc, acc, t));
+    b.push(Inst::mul(t, s3, c3));
+    b.push(Inst::add(acc, acc, t));
+    b.push(Inst::st(acc, dst, 0));
+    // independent, multiply-free edge/clip chains: these can live
+    // entirely in the FP cluster while the MACs anchor to the integer
+    // cluster's multiplier
+    b.push(Inst::sub(edge, s0, s3));
+    b.push(Inst::slli(edge, edge, 1));
+    b.push(Inst::add(clip, clip, edge));
+    b.push(Inst::srli(edge, clip, 6));
+    b.push(Inst::xor(clip, clip, edge));
+    b.push(Inst::addi(src, src, 8));
+    b.push(Inst::addi(dst, dst, 8));
+    b.push(Inst::addi(i, i, 1));
+    b.push(Inst::bne(i, bound, dct));
+
+    b.select(quant);
+    b.push(Inst::li(i, 0));
+    b.push(Inst::li(dst, layout::HEAP_OUT as i64));
+
+    b.select(quant_lp);
+    // q = (x >> 3) & 0xff, stored back (quantisation stand-in)
+    b.push(Inst::ld(t, dst, 0));
+    b.push(Inst::alui(Opcode::Sra, q, t, 3));
+    b.push(Inst::alui(Opcode::And, q, q, 0xff));
+    b.push(Inst::st(q, dst, 0));
+    b.push(Inst::addi(dst, dst, 8));
+    b.push(Inst::addi(i, i, 1));
+    b.push(Inst::bne(i, bound, quant_lp));
+
+    b.select(pass_tail);
+    b.push(Inst::addi(pass, pass, 1));
+    b.push(Inst::bne(pass, npass, pass_head));
+
+    b.select(fin);
+    b.push(Inst::halt());
+
+    let program = b.build().expect("ijpeg generator emits a valid program");
+    Workload {
+        name: "ijpeg",
+        paper_input: "penguin.ppm",
+        description: "regular MAC/quantisation kernels with integer multiplies",
+        program,
+        memory: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_ijpeg_like() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        assert!(s.halted);
+        assert!(s.complex_int > 0, "ijpeg multiplies");
+        assert!(s.branch_ratio() < 0.12, "branches {}", s.branch_ratio());
+        assert!(s.load_ratio() > 0.15, "loads {}", s.load_ratio());
+        assert!(s.store_ratio() > 0.05, "stores {}", s.store_ratio());
+    }
+
+    #[test]
+    fn branches_are_predictable_loop_bounds() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        // Nearly all conditional branches are taken back-edges.
+        assert!(s.taken_branches as f64 / s.cond_branches as f64 > 0.95);
+    }
+}

@@ -1,0 +1,170 @@
+//! `li` analogue — the SpecInt95 XLISP interpreter on `*.lsp`.
+//!
+//! Modelled character: pointer chasing with evaluation work at every
+//! cell. The cons-cell walk produces the load-to-load dependence chain
+//! whose latency dominates (§3.7's "critical loads"), while each visit
+//! also performs independent evaluator work (type tests, arithmetic on
+//! a second field) that the steering schemes can overlap with the
+//! chase. The heap is *mostly* allocation-ordered with a scrambled
+//! minority — like a real Lisp heap after some garbage collection —
+//! so the chase hits the L1 most of the time but not always, and the
+//! payload sign test is biased (numbers dominate) rather than random.
+
+use dca_isa::{Inst, Opcode, Reg};
+use dca_prog::{Memory, ProgramBuilder};
+use dca_stats::Rng64;
+
+use crate::common::{layout, Scale};
+use crate::Workload;
+
+const NODES: u64 = 2048; // 48 KB of 24-byte cells: mostly L1-resident
+const NODE_BYTES: u64 = 24; // [cdr, payload, aux]
+const SCRAMBLE_FRACTION: f64 = 0.15;
+const NEGATIVE_FRACTION: f64 = 0.12;
+const BASE_ROUNDS: u64 = 5;
+
+/// Builds the cons heap: allocation order with a scrambled minority.
+/// Returns the head address.
+fn build_heap(mem: &mut Memory, rng: &mut Rng64) -> u64 {
+    let mut order: Vec<u64> = (0..NODES).collect();
+    // Swap a fraction of adjacent-ish slots to model GC churn.
+    for i in 0..NODES {
+        if rng.chance(SCRAMBLE_FRACTION) {
+            let j = rng.range(0, NODES);
+            order.swap(i as usize, j as usize);
+        }
+    }
+    let addr_of = |slot: u64| layout::HEAP_BASE + slot * NODE_BYTES;
+    for w in 0..NODES {
+        let this = addr_of(order[w as usize]);
+        let next = if w + 1 < NODES {
+            addr_of(order[(w + 1) as usize])
+        } else {
+            0
+        };
+        let payload = if rng.chance(NEGATIVE_FRACTION) {
+            -(rng.range(1, 1000) as i64)
+        } else {
+            rng.range(0, 1000) as i64
+        };
+        mem.write_u64(this, next);
+        mem.write_i64(this + 8, payload);
+        mem.write_i64(this + 16, rng.range(0, 64) as i64);
+    }
+    addr_of(order[0])
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let rounds = BASE_ROUNDS * scale.factor();
+    let mut rng = Rng64::seeded(0x11_59);
+    let mut mem = Memory::new();
+    let head = build_heap(&mut mem, &mut rng);
+
+    let rcnt = Reg::int(1); // remaining rounds
+    let cur = Reg::int(2); // cons cursor
+    let hd = Reg::int(3); // saved head
+    let acc = Reg::int(4); // accumulator
+    let val = Reg::int(5); // payload
+    let neg = Reg::int(6); // negative-payload count
+    let aux = Reg::int(7); // aux field
+    let tag = Reg::int(8); // "type tag" scratch
+    let mix = Reg::int(9); // independent evaluator state
+
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let outer = b.block("outer");
+    let walk = b.block("walk");
+    let positive = b.block("positive");
+    let step = b.block("step");
+    let done_round = b.block("done_round");
+    let fin = b.block("fin");
+
+    b.select(entry);
+    b.push(Inst::li(rcnt, rounds as i64));
+    b.push(Inst::li(hd, head as i64));
+    b.push(Inst::li(acc, 0));
+    b.push(Inst::li(neg, 0));
+    b.push(Inst::li(mix, 0x5bd1));
+
+    b.select(outer);
+    b.push(Inst::mov(cur, hd));
+
+    b.select(walk);
+    b.push(Inst::ld(val, cur, 8)); // payload (car)
+    b.push(Inst::ld(aux, cur, 16)); // aux field
+    // independent evaluator work (overlappable with the chase)
+    b.push(Inst::slli(tag, aux, 2));
+    b.push(Inst::xor(mix, mix, tag));
+    b.push(Inst::addi(mix, mix, 17));
+    b.push(Inst::alui(Opcode::And, tag, val, 7));
+    b.push(Inst::add(mix, mix, tag));
+    // biased sign test: numbers dominate a Lisp heap
+    b.push(Inst::bgei(val, 0, positive));
+    b.push(Inst::addi(neg, neg, 1));
+    b.push(Inst::sub(acc, acc, val));
+    b.push(Inst::j(step));
+
+    b.select(positive);
+    b.push(Inst::add(acc, acc, val));
+
+    b.select(step);
+    b.push(Inst::ld(cur, cur, 0)); // cur = cdr(cur): the critical chain
+    b.push(Inst::bne(cur, Reg::ZERO, walk));
+
+    b.select(done_round);
+    b.push(Inst::addi(rcnt, rcnt, -1));
+    b.push(Inst::bne(rcnt, Reg::ZERO, outer));
+
+    b.select(fin);
+    b.push(Inst::st(acc, hd, 8));
+    b.push(Inst::st(neg, hd, 16));
+    b.push(Inst::st(mix, hd, 24));
+    b.push(Inst::halt());
+
+    let program = b.build().expect("li generator emits a valid program");
+    Workload {
+        name: "li",
+        paper_input: "*.lsp",
+        description: "cons-cell pointer chase with per-cell evaluator work",
+        program,
+        memory: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_li_like() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        assert!(s.halted);
+        assert!(s.load_ratio() > 0.2, "loads {}", s.load_ratio());
+        assert!(s.branch_ratio() > 0.1, "branches {}", s.branch_ratio());
+    }
+
+    #[test]
+    fn chase_reaches_every_node_each_round() {
+        let w = build(Scale::Smoke);
+        let mut interp = w.interp();
+        while interp.next().is_some() {}
+        let rounds = (BASE_ROUNDS * Scale::Smoke.factor()) as i64;
+        let neg = interp.int_reg(6);
+        assert!(neg > 0, "some payloads are negative");
+        assert_eq!(neg % rounds, 0, "same count every round");
+        // acc is the sum of |payload| over all visits.
+        assert!(interp.int_reg(4) > 0);
+    }
+
+    #[test]
+    fn sign_test_is_biased_not_random() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        // The bgei is mostly taken (positive payloads dominate), so a
+        // predictor can learn it: taken fraction way above 50%.
+        let taken = s.taken_branches as f64 / s.cond_branches as f64;
+        assert!(taken > 0.75, "taken fraction {taken}");
+    }
+}

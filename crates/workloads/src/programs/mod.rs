@@ -1,0 +1,12 @@
+//! One module per SpecInt95 analogue. Each exposes
+//! `build(scale) -> Workload`; see the crate docs for the modelling
+//! rationale and `DESIGN.md` §3 for the substitution argument.
+
+pub mod compress;
+pub mod gcc;
+pub mod go;
+pub mod ijpeg;
+pub mod li;
+pub mod m88ksim;
+pub mod perl;
+pub mod vortex;

@@ -1,0 +1,198 @@
+//! `perl` analogue — the SpecInt95 Perl interpreter on `primes.pl`.
+//!
+//! Modelled character: bytecode dispatch (like `m88ksim`, but with a
+//! flatter opcode distribution — interpreter dispatch is harder to
+//! predict), hash-table lookups for "variables" (shift/xor hashing +
+//! probe + data-dependent hit branch) and short inner string loops
+//! whose trip counts vary, giving perl its mixed branch behaviour.
+
+use dca_isa::{Inst, Opcode, Reg};
+use dca_prog::{Memory, ProgramBuilder};
+use dca_stats::Rng64;
+
+use crate::common::{emit_dispatch_tree, fill_words, layout, Scale};
+use crate::Workload;
+
+const BYTECODE: u64 = 160; // a bytecode *loop*: repeating dispatch pattern
+const HASH_SLOTS: u64 = 2048;
+const BASE_ITERS: u64 = 700;
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let iters = BASE_ITERS * scale.factor();
+    let mut rng = Rng64::seeded(0x9E_71);
+    let mut mem = Memory::new();
+    // Bytecode: a short program executed over and over, so dispatch
+    // outcomes repeat periodically (predictable), while per-op keys
+    // stay fixed — like a real interpreter running a hot loop.
+    // Variable lookups dominate real interpreter traces.
+    fill_words(&mut mem, layout::HEAP_BASE, BYTECODE, |_| {
+        let op = if rng.chance(0.38) { 0 } else { rng.range(1, 6) };
+        let key = rng.range(1, 50_000);
+        (op | (key << 8)) as i64
+    });
+    // Pre-populate half of the hash table so lookups hit and miss.
+    for _ in 0..HASH_SLOTS / 2 {
+        let key = rng.range(1, 50_000);
+        let h = ((key << 3) ^ key) & (HASH_SLOTS - 1);
+        mem.write_i64(layout::HEAP_ALT + h * 8, key as i64);
+    }
+
+    let i = Reg::int(1);
+    let n = Reg::int(2);
+    let bc = Reg::int(3); // bytecode base
+    let pc = Reg::int(4); // bytecode index
+    let w = Reg::int(5);
+    let op = Reg::int(6);
+    let key = Reg::int(7);
+    let h = Reg::int(8);
+    let slot = Reg::int(9);
+    let probe = Reg::int(10);
+    let acc = Reg::int(11);
+    let tab = Reg::int(12);
+    let cnt = Reg::int(13);
+    let t = Reg::int(14);
+    let ops = Reg::int(15); // op counter (independent chain)
+    let sal = Reg::int(16); // string-arena cursor (ALU-carried chain)
+    let strb = Reg::int(17); // string-bytes sink accumulator
+
+    let mut b = ProgramBuilder::new();
+    let entry = b.block("entry");
+    let lp = b.block("dispatch_loop");
+    let h_lookup = b.block("h_lookup");
+    let lookup_hit = b.block("lookup_hit");
+    let h_insert = b.block("h_insert");
+    let h_arith = b.block("h_arith");
+    let h_strloop = b.block("h_strloop");
+    let str_body = b.block("str_body");
+    let h_mask = b.block("h_mask");
+    let h_swap = b.block("h_swap");
+    let nxt = b.block("next");
+    let fin = b.block("fin");
+
+    b.select(entry);
+    b.push(Inst::li(i, 0));
+    b.push(Inst::li(n, iters as i64));
+    b.push(Inst::li(bc, layout::HEAP_BASE as i64));
+    b.push(Inst::li(tab, layout::HEAP_ALT as i64));
+    b.push(Inst::li(pc, 0));
+    b.push(Inst::li(acc, 0));
+    b.push(Inst::li(ops, 0));
+    b.push(Inst::li(sal, 0x51));
+    b.push(Inst::li(strb, 0));
+
+    b.select(lp);
+    b.push(Inst::slli(t, pc, 3));
+    b.push(Inst::add(t, t, bc));
+    b.push(Inst::ld(w, t, 0));
+    b.push(Inst::alui(Opcode::And, op, w, 0xff));
+    b.push(Inst::srli(key, w, 8));
+    let tree = emit_dispatch_tree(
+        &mut b,
+        op,
+        &[h_lookup, h_insert, h_arith, h_strloop, h_mask, h_swap],
+    );
+    b.select(lp);
+    b.push(Inst::j(tree));
+
+    // hash the key: h = ((key << 3) ^ key) & mask; slot = tab + h*8
+    let hash_key = |b: &mut ProgramBuilder| {
+        b.push(Inst::slli(h, key, 3));
+        b.push(Inst::xor(h, h, key));
+        b.push(Inst::alui(Opcode::And, h, h, (HASH_SLOTS - 1) as i64));
+        b.push(Inst::slli(slot, h, 3));
+        b.push(Inst::add(slot, slot, tab));
+    };
+
+    b.select(h_lookup);
+    hash_key(&mut b);
+    b.push(Inst::ld(probe, slot, 0));
+    b.push(Inst::beq(probe, key, lookup_hit));
+    b.push(Inst::addi(acc, acc, -1)); // miss path
+    b.push(Inst::j(nxt));
+
+    b.select(lookup_hit);
+    b.push(Inst::ld(t, slot, 8 * HASH_SLOTS as i64)); // value array
+    b.push(Inst::add(acc, acc, probe));
+    b.push(Inst::add(acc, acc, t));
+    b.push(Inst::j(nxt));
+
+    b.select(h_insert);
+    hash_key(&mut b);
+    b.push(Inst::st(key, slot, 0));
+    b.push(Inst::j(nxt));
+
+    b.select(h_arith);
+    b.push(Inst::add(acc, acc, key));
+    b.push(Inst::srli(t, acc, 1));
+    b.push(Inst::xor(acc, acc, t));
+    b.push(Inst::j(nxt));
+
+    b.select(h_strloop);
+    // short inner loop; the trip count mixes the evolving accumulator
+    // in, so exits stay slightly unpredictable (real perl behaviour)
+    b.push(Inst::xor(cnt, key, acc));
+    b.push(Inst::alui(Opcode::And, cnt, cnt, 3));
+    b.push(Inst::addi(cnt, cnt, 1));
+
+    b.select(str_body);
+    b.push(Inst::slli(t, cnt, 2));
+    b.push(Inst::xor(acc, acc, t));
+    b.push(Inst::addi(cnt, cnt, -1));
+    b.push(Inst::bne(cnt, Reg::ZERO, str_body));
+    b.push(Inst::j(nxt));
+
+    b.select(h_mask);
+    b.push(Inst::alui(Opcode::And, acc, acc, 0xffff_ffff));
+    b.push(Inst::addi(acc, acc, 7));
+    b.push(Inst::j(nxt));
+
+    b.select(h_swap);
+    b.push(Inst::slli(t, acc, 16));
+    b.push(Inst::srli(acc, acc, 16));
+    b.push(Inst::or(acc, acc, t));
+    b.push(Inst::j(nxt));
+
+    b.select(nxt);
+    // Independent string-arena chain: sal is ALU-carried; the arena
+    // load it addresses feeds only the strb sink accumulator.
+    b.push(Inst::addi(ops, ops, 1));
+    b.push(Inst::slli(t, ops, 3));
+    b.push(Inst::xor(sal, sal, t));
+    b.push(Inst::alui(Opcode::And, t, sal, 511));
+    b.push(Inst::slli(t, t, 3));
+    b.push(Inst::add(t, t, tab));
+    b.push(Inst::ld(t, t, 32768));
+    b.push(Inst::add(strb, strb, t));
+    b.push(Inst::addi(pc, pc, 1));
+    b.push(Inst::alui(Opcode::And, pc, pc, (BYTECODE - 1) as i64));
+    b.push(Inst::addi(i, i, 1));
+    b.push(Inst::bne(i, n, lp));
+
+    b.select(fin);
+    b.push(Inst::st(acc, tab, -8));
+    b.push(Inst::halt());
+
+    let program = b.build().expect("perl generator emits a valid program");
+    Workload {
+        name: "perl",
+        paper_input: "primes.pl",
+        description: "bytecode dispatch with hash lookups and variable-trip inner loops",
+        program,
+        memory: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_perl_like() {
+        let w = build(Scale::Smoke);
+        let s = w.execute_functional();
+        assert!(s.halted);
+        assert!(s.branch_ratio() > 0.1, "branches {}", s.branch_ratio());
+        assert!(s.load_ratio() > 0.04, "loads {}", s.load_ratio());
+    }
+}

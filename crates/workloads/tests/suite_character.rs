@@ -1,0 +1,126 @@
+//! Timing-level character of the SpecInt95 analogues: the substitution
+//! argument in DESIGN.md rests on each analogue stressing the pipeline
+//! the way its original does. These tests pin the *relative* profile of
+//! the suite on the real simulator (absolute rates are scale-dependent
+//! and covered by Table 1), so a retuned generator that flattens the
+//! suite's diversity fails loudly.
+
+use dca_sim::{SimConfig, SimStats, Simulator};
+use dca_steer::GeneralBalance;
+use dca_workloads::{build, Scale, NAMES};
+
+fn profile(name: &str) -> SimStats {
+    let w = build(name, Scale::Smoke);
+    let mut scheme = GeneralBalance::new();
+    Simulator::new(&SimConfig::paper_clustered(), &w.program, w.memory.clone())
+        .run(&mut scheme, 200_000)
+}
+
+fn all_profiles() -> Vec<(&'static str, SimStats)> {
+    NAMES.iter().map(|&n| (n, profile(n))).collect()
+}
+
+#[test]
+fn branchy_benchmarks_mispredict_most() {
+    let p = all_profiles();
+    let rate = |n: &str| {
+        let s = &p.iter().find(|(b, _)| *b == n).expect("present").1;
+        s.mispredict_ratio()
+    };
+    // go models game-tree evaluation: the worst predictor performance
+    // in SpecInt95. ijpeg's regular kernels sit at the other end.
+    assert!(
+        rate("go") > 2.0 * rate("ijpeg"),
+        "go {:.3} vs ijpeg {:.3}",
+        rate("go"),
+        rate("ijpeg")
+    );
+    assert!(
+        rate("go") >= rate("m88ksim"),
+        "go is the branchiest: {:.3} vs {:.3}",
+        rate("go"),
+        rate("m88ksim")
+    );
+}
+
+#[test]
+fn gcc_has_the_largest_instruction_footprint() {
+    let p = all_profiles();
+    let imiss = |n: &str| {
+        let s = &p.iter().find(|(b, _)| *b == n).expect("present").1;
+        s.l1i.miss_ratio()
+    };
+    for other in NAMES.iter().filter(|&&n| n != "gcc") {
+        assert!(
+            imiss("gcc") >= imiss(other),
+            "gcc I-miss {:.4} must top {} ({:.4})",
+            imiss("gcc"),
+            other,
+            imiss(other)
+        );
+    }
+}
+
+#[test]
+fn pointer_chasers_feel_the_dcache() {
+    let p = all_profiles();
+    let dmiss = |n: &str| {
+        let s = &p.iter().find(|(b, _)| *b == n).expect("present").1;
+        s.l1d.miss_ratio()
+    };
+    // li (cons-cell walks) and compress (hash probes over a large
+    // table) must both miss more than the regular-array kernel ijpeg.
+    assert!(dmiss("li") > dmiss("ijpeg"), "li {:.4} vs ijpeg {:.4}", dmiss("li"), dmiss("ijpeg"));
+    assert!(
+        dmiss("compress") > dmiss("ijpeg"),
+        "compress {:.4} vs ijpeg {:.4}",
+        dmiss("compress"),
+        dmiss("ijpeg")
+    );
+}
+
+#[test]
+fn suite_spans_a_wide_ipc_range() {
+    let p = all_profiles();
+    let min = p
+        .iter()
+        .map(|(_, s)| s.ipc())
+        .fold(f64::INFINITY, f64::min);
+    let max = p.iter().map(|(_, s)| s.ipc()).fold(0.0, f64::max);
+    assert!(
+        max / min > 1.5,
+        "suite too uniform: IPC range {min:.2}..{max:.2}"
+    );
+    // Smoke scale runs mostly cold caches, so the floor is generous.
+    assert!(min > 0.1, "every analogue must keep the pipeline busy: {min:.2}");
+    assert!(max < 8.0, "no analogue may exceed the machine width");
+}
+
+#[test]
+fn every_benchmark_exercises_both_clusters_under_steering() {
+    for (name, s) in all_profiles() {
+        assert!(
+            s.steered[0] > 0 && s.steered[1] > 0,
+            "{name}: general balance must use both clusters ({:?})",
+            s.steered
+        );
+        assert!(s.copies > 0, "{name}: clustering implies communication");
+    }
+}
+
+#[test]
+fn memory_images_differ_across_benchmarks() {
+    // The analogues must not share a data image; spot-check footprints.
+    let mut footprints: Vec<(usize, u64)> = Vec::new();
+    for name in NAMES {
+        let w = build(name, Scale::Smoke);
+        let s = w.execute_functional();
+        footprints.push((w.program.len(), s.loads + s.stores));
+    }
+    footprints.sort_unstable();
+    footprints.dedup();
+    assert!(
+        footprints.len() >= 7,
+        "benchmarks should be structurally distinct: {footprints:?}"
+    );
+}

@@ -1,0 +1,74 @@
+//! Kernel gallery: run every micro-kernel under every steering scheme
+//! and print the IPC matrix — a compact map of *which program structure
+//! rewards which steering policy*.
+//!
+//! ```text
+//! cargo run --release --example kernel_gallery
+//! ```
+
+use dca::prog::Program;
+use dca::sim::{SimConfig, Simulator};
+use dca::stats::Table;
+use dca::steer::{
+    GeneralBalance, Modulo, Naive, SliceBalance, SliceKind, SliceSteering,
+};
+use dca::workloads::kernels;
+use dca::workloads::Workload;
+
+fn schemes(prog: &Program) -> Vec<(&'static str, Box<dyn dca::sim::Steering>)> {
+    let _ = prog;
+    vec![
+        ("naive", Box::new(Naive::new())),
+        ("modulo", Box::new(Modulo::new())),
+        ("ldst-slice", Box::new(SliceSteering::new(SliceKind::LdSt))),
+        (
+            "slice-bal",
+            Box::new(SliceBalance::new(SliceKind::LdSt)),
+        ),
+        ("general", Box::new(GeneralBalance::new())),
+    ]
+}
+
+fn main() {
+    let kernels: Vec<(&str, Workload)> = vec![
+        ("serial-chain", kernels::serial_chain(4000, 6)),
+        ("parallel×6", kernels::parallel_chains(4000, 6)),
+        ("pointer-chase", kernels::pointer_chase(256, 24)),
+        ("twin-walks", kernels::twin_walks(256, 24)),
+        ("branchy-50%", kernels::branchy(1024, 8, 50)),
+        ("streaming", kernels::streaming(8192, 4, 1)),
+    ];
+    let mut headers = vec!["kernel"];
+    let names: Vec<&str> = schemes(&kernels[0].1.program)
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
+    headers.extend(names.iter().copied());
+    let mut t = Table::new(&headers);
+    for (label, w) in &kernels {
+        let mut row = vec![label.to_string()];
+        for (_, mut scheme) in schemes(&w.program) {
+            let s = Simulator::new(&SimConfig::paper_clustered(), &w.program, w.memory.clone())
+                .run(scheme.as_mut(), 2_000_000);
+            row.push(format!("{:.2}", s.ipc()));
+        }
+        t.row(&row);
+    }
+    println!("IPC by kernel × steering scheme (paper's clustered machine)\n");
+    println!("{}", t.to_aligned());
+    println!(
+        "\nReading the map: no scheme dominates — structure decides.\n\
+         * serial-chain: anything that cuts the chain pays (modulo halves\n\
+           IPC); keeping it in one cluster (naive/ldst-slice) is optimal.\n\
+         * parallel chains: pure balance problem — modulo/balance schemes\n\
+           double naive's IPC by using both clusters.\n\
+         * pointer-chase: load-latency-bound; steering barely matters, it\n\
+           can only lose by cutting the address recurrence (modulo).\n\
+         * twin-walks: two slice families — schemes that migrate a whole\n\
+           walk (ldst-slice here, modulo by accident of parity) win over\n\
+           keeping both local.\n\
+         * the balanced generalists (slice-bal/general) are never the\n\
+           worst case on any structure: exactly the paper's argument for\n\
+           them on mixed real programs."
+    );
+}

@@ -1,0 +1,64 @@
+//! Pipeline viewer: trace a small kernel cycle-by-cycle under two
+//! steering schemes and render the pipetrace diagrams side by side —
+//! the copy µops and the stalls they cause are directly visible.
+//!
+//! ```text
+//! cargo run --example pipeline_viewer
+//! ```
+
+use dca::prog::{parse_asm, Memory};
+use dca::sim::{SimConfig, Simulator, Steering, Trace};
+use dca::steer::{GeneralBalance, Modulo};
+
+fn trace_with(scheme: &mut dyn Steering) -> (dca::sim::SimStats, Trace) {
+    // A serial dependence chain crossed with an independent strand:
+    // modulo steering cuts the chain every other instruction, general
+    // balance keeps each strand in one cluster.
+    let prog = parse_asm(
+        "entry:
+            li r1, #6           ; loop counter
+         loop:
+            add r2, r2, #1      ; serial chain
+            add r2, r2, #2
+            add r2, r2, #3
+            add r3, r3, #5      ; independent strand
+            add r1, r1, #-1
+            bne r1, r0, loop
+            halt",
+    )
+    .expect("kernel assembles");
+    let mut sim = Simulator::new(&SimConfig::paper_clustered(), &prog, Memory::new());
+    sim.enable_trace(256);
+    let stats = sim.run_mut(scheme, 10_000);
+    (stats, sim.take_trace().expect("tracing enabled"))
+}
+
+fn main() {
+    for (label, scheme) in [
+        ("modulo", &mut Modulo::new() as &mut dyn Steering),
+        ("general balance", &mut GeneralBalance::new()),
+    ] {
+        let (stats, trace) = trace_with(scheme);
+        println!("==== {label} ====");
+        println!(
+            "cycles {}  IPC {:.2}  copies {} ({} critical)\n",
+            stats.cycles,
+            stats.ipc(),
+            stats.copies,
+            stats.critical_copies
+        );
+        println!("{}", trace.render_table());
+        println!("{}", trace.render_pipe(0, 64));
+        println!(
+            "mean IQ wait: INT {:.1} cycles, FP {:.1} cycles\n",
+            trace.mean_queue_wait(dca::sim::ClusterId::Int),
+            trace.mean_queue_wait(dca::sim::ClusterId::Fp),
+        );
+    }
+    println!(
+        "Every `> copy` row is an inter-cluster transfer; under modulo \
+         steering they sit on the serial chain's critical path (the `e` of \
+         the consumer starts only after the copy's `e` finishes), while \
+         general balance keeps the chain local and the copies disappear."
+    );
+}

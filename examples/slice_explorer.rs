@@ -1,0 +1,91 @@
+//! Slice explorer: the paper's running example (Figure 2) analysed by
+//! the library — build the register dependence graph, print the LdSt
+//! and Br slices, then steer the loop with both slice schemes and
+//! compare the communications each generates.
+//!
+//! ```text
+//! cargo run --example slice_explorer
+//! ```
+
+use dca::prog::{br_slice, ldst_slice, parse_asm, Memory, Rdg};
+use dca::sim::{SimConfig, Simulator};
+use dca::steer::{SliceKind, SliceSteering};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 2 of the paper:
+    //     for (i = 0; i < N; i++) {
+    //         if (C[i] != 0) A[i] = B[i] / C[i];
+    //         else A[i] = 0;
+    //     }
+    // hand-compiled like the paper's assembly (r1 = i*8, r2/r3/r4 =
+    // B/C/A base addresses, r5 = N*8).
+    let prog = parse_asm(
+        "entry:
+            li  r1, #0           ; i = 0                      [paper 1]
+            li  r2, #65536       ; B
+            li  r3, #131072      ; C
+            li  r4, #196608      ; A
+            li  r5, #512         ; N*8
+         for:
+            add r6, r2, r1       ; EA = B + i                 [paper 2]
+            ld  r7, 0(r6)        ; B[i]                       [paper 3]
+            add r8, r3, r1       ; EA = C + i                 [paper 4]
+            ld  r9, 0(r8)        ; C[i]                       [paper 5]
+            beq r9, r0, else     ; if (C[i] == 0)             [paper 6]
+            div r10, r7, r9      ; B[i] / C[i]                [paper 7]
+            j   store            ;                            [paper 8]
+         else:
+            li  r10, #0          ; A[i] = 0                   [paper 9]
+         store:
+            add r11, r4, r1      ; EA = A + i                 [paper 10]
+            st  r10, 0(r11)      ; A[i] = ...                 [paper 11]
+            add r1, r1, #8       ; i++                        [paper 12]
+            bne r1, r5, for      ;                            [paper 13]
+         exit:
+            halt",
+    )?;
+
+    let rdg = Rdg::build(&prog);
+    let ldst = ldst_slice(&prog, &rdg);
+    let br = br_slice(&prog, &rdg);
+
+    println!("inst                          | LdSt | Br");
+    println!("------------------------------+------+----");
+    for si in prog.static_insts() {
+        println!(
+            "{:2}  {:25} |  {}   |  {}",
+            si.sidx,
+            si.inst.to_string(),
+            if ldst.contains_sidx(si.sidx) { "x" } else { " " },
+            if br.contains_sidx(si.sidx) { "x" } else { " " },
+        );
+    }
+    println!(
+        "\nLdSt slice: {} instructions; Br slice: {} instructions",
+        ldst.inst_count(),
+        br.inst_count()
+    );
+    println!(
+        "The division (the store *data*) is in neither slice: store data \
+         feeds the memory-access half of the store, which the paper keeps \
+         disconnected from the address calculation (Section 3.1).\n"
+    );
+
+    // Now run the loop under both slice steerings (Section 3.3/3.4).
+    let cfg = SimConfig::paper_clustered();
+    for kind in [SliceKind::LdSt, SliceKind::Br] {
+        let mut scheme = SliceSteering::new(kind);
+        let stats = Simulator::new(&cfg, &prog, Memory::new()).run(&mut scheme, 100_000);
+        println!(
+            "{:4?} slice steering: IPC {:.2}, {} copies ({} critical), \
+             steered INT/FP = {}/{}",
+            kind,
+            stats.ipc(),
+            stats.copies,
+            stats.critical_copies,
+            stats.steered[0],
+            stats.steered[1],
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the whole DCA reproduction workspace.
+pub use dca_isa as isa;
+pub use dca_prog as prog;
+pub use dca_sim as sim;
+pub use dca_stats as stats;
+pub use dca_steer as steer;
+pub use dca_uarch as uarch;
+pub use dca_workloads as workloads;

@@ -1,0 +1,90 @@
+//! Cross-crate integration: the timing simulator must commit *exactly*
+//! the dynamic instruction stream the functional interpreter produces,
+//! for every workload, machine and steering scheme — timing never
+//! changes architecture.
+
+use dca::prog::Interp;
+use dca::sim::{SimConfig, Simulator};
+use dca::steer::{
+    FifoSteering, GeneralBalance, Modulo, Naive, NonSliceBalance, PrioritySliceBalance,
+    SliceBalance, SliceKind, SliceSteering, StaticPartition,
+};
+use dca::workloads::{build, Scale, NAMES};
+
+const FUEL: u64 = 40_000;
+
+fn stream_len(w: &dca::workloads::Workload) -> u64 {
+    Interp::new(&w.program, w.memory.clone())
+        .with_fuel(FUEL)
+        .count() as u64
+}
+
+#[test]
+fn every_scheme_commits_the_functional_stream() {
+    let cfg = SimConfig::paper_clustered();
+    for name in NAMES {
+        let w = build(name, Scale::Smoke);
+        let expected = stream_len(&w);
+        let schemes: Vec<(&str, Box<dyn dca::sim::Steering>)> = vec![
+            ("modulo", Box::new(Modulo::new())),
+            ("naive", Box::new(Naive::new())),
+            ("static", Box::new(StaticPartition::analyze(&w.program))),
+            ("ldst-slice", Box::new(SliceSteering::new(SliceKind::LdSt))),
+            ("br-slice", Box::new(SliceSteering::new(SliceKind::Br))),
+            ("ldst-nsb", Box::new(NonSliceBalance::new(SliceKind::LdSt))),
+            ("ldst-sb", Box::new(SliceBalance::new(SliceKind::LdSt))),
+            ("br-psb", Box::new(PrioritySliceBalance::new(SliceKind::Br))),
+            ("general", Box::new(GeneralBalance::new())),
+            ("fifo", Box::new(FifoSteering::paper())),
+        ];
+        for (label, mut scheme) in schemes {
+            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(scheme.as_mut(), FUEL);
+            assert_eq!(
+                stats.committed, expected,
+                "{name}/{label}: committed != functional stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn base_and_upper_bound_machines_commit_the_stream() {
+    for name in NAMES {
+        let w = build(name, Scale::Smoke);
+        let expected = stream_len(&w);
+        for cfg in [SimConfig::paper_base(), SimConfig::paper_upper_bound()] {
+            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut Naive::new(), FUEL);
+            assert_eq!(stats.committed, expected, "{name} on {:?}…", cfg.unified);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_per_scheme() {
+    let cfg = SimConfig::paper_clustered();
+    let w = build("vortex", Scale::Smoke);
+    let run = |_: u32| {
+        let mut s = GeneralBalance::new();
+        Simulator::new(&cfg, &w.program, w.memory.clone()).run(&mut s, FUEL)
+    };
+    let a = run(0);
+    let b = run(1);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.copies, b.copies);
+    assert_eq!(a.critical_copies, b.critical_copies);
+    assert_eq!(a.steered, b.steered);
+    assert_eq!(a.balance, b.balance);
+}
+
+#[test]
+fn copies_never_appear_without_bypasses() {
+    for name in NAMES {
+        let w = build(name, Scale::Smoke);
+        let stats = Simulator::new(&SimConfig::paper_base(), &w.program, w.memory.clone())
+            .run(&mut Naive::new(), FUEL);
+        assert_eq!(stats.copies, 0, "{name}: base machine must not copy");
+        assert_eq!(stats.steered[1], 0, "{name}: integer code stays in C1");
+    }
+}

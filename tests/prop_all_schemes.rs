@@ -1,0 +1,128 @@
+//! The strongest cross-cutting invariant of the reproduction: **no
+//! steering scheme may change architecture**. Every one of the 13
+//! schemes, on every machine it is legal for, must commit exactly the
+//! dynamic instruction stream the functional interpreter produces, with
+//! internally consistent statistics.
+
+use dca::prog::{Block, Interp, Memory, Program};
+use dca::isa::{Inst, Label, Opcode, Reg};
+use dca::sim::{SimConfig, Simulator};
+use dca_bench::{SchemeKind, ALL_SCHEMES};
+use proptest::prelude::*;
+
+const FUEL: u64 = 2_500;
+
+fn arb_body_inst() -> impl Strategy<Value = Inst> {
+    let reg = (1u8..12).prop_map(Reg::int);
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Inst::add(d, a, b)),
+        (reg.clone(), reg.clone(), -64i64..64).prop_map(|(d, a, i)| Inst::addi(d, a, i)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Inst::xor(d, a, b)),
+        (reg.clone(), reg.clone(), 0i64..16).prop_map(|(d, a, i)| Inst::slli(d, a, i)),
+        (reg.clone(), -512i64..512).prop_map(|(d, i)| Inst::li(d, i)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Inst::mul(d, a, b)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(d, a, b)| Inst::div(d, a, b)),
+        (reg.clone(), 0x20000i64..0x2FF00).prop_map(|(d, addr)| Inst::li(d, addr)),
+        (reg.clone(), reg.clone(), 0i64..64).prop_map(|(d, b, off)| Inst::ld(d, b, off & !7)),
+        (reg, (1u8..12).prop_map(Reg::int), 0i64..64)
+            .prop_map(|(v, b, off)| Inst::st(v, b, off & !7)),
+    ]
+}
+
+/// Multi-block looping programs with arena-confined memory accesses.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1usize..4, proptest::collection::vec(arb_body_inst(), 3..24)).prop_map(
+        |(nblocks, mut pool)| {
+            let counter = Reg::int(30);
+            let mut blocks = Vec::new();
+            let mut entry = vec![Inst::li(counter, 5)];
+            for r in 1..12u8 {
+                entry.push(Inst::li(Reg::int(r), 0x20000 + i64::from(r) * 512));
+            }
+            blocks.push(Block::new("entry", entry));
+            let per_block = (pool.len() / nblocks).max(1);
+            for bi in 0..nblocks {
+                let take = per_block.min(pool.len());
+                let mut insts: Vec<Inst> = pool.drain(..take).collect();
+                if insts.is_empty() {
+                    insts.push(Inst::nop());
+                }
+                let own = Label(bi as u32 + 1);
+                insts.push(Inst::addi(counter, counter, -1));
+                insts.push(Inst::bge(counter, Reg::ZERO, own));
+                insts.push(Inst::li(counter, 5));
+                blocks.push(Block::new(format!("b{bi}"), insts));
+            }
+            blocks.push(Block::new("exit", vec![Inst::halt()]));
+            Program::from_blocks(split_ctrl(blocks)).expect("generated program is valid")
+        },
+    )
+}
+
+/// Mirror of the builder's auto-split for hand-assembled block lists.
+fn split_ctrl(blocks: Vec<Block>) -> Vec<Block> {
+    let mut out: Vec<Block> = Vec::new();
+    let mut remap = Vec::new();
+    for b in &blocks {
+        remap.push(out.len() as u32);
+        let mut cur = Vec::new();
+        let mut part = 0;
+        for &inst in &b.insts {
+            let ctrl = inst.op.is_branch() || inst.op == Opcode::Halt;
+            cur.push(inst);
+            if ctrl {
+                out.push(Block::new(
+                    format!("{}p{part}", b.name),
+                    std::mem::take(&mut cur),
+                ));
+                part += 1;
+            }
+        }
+        if !cur.is_empty() || part == 0 {
+            out.push(Block::new(format!("{}p{part}", b.name), cur));
+        }
+    }
+    for b in &mut out {
+        for inst in &mut b.insts {
+            if let Some(l) = inst.target {
+                inst.target = Some(Label(remap[l.0 as usize]));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All 13 schemes agree with the functional stream on the clustered
+    /// machine, and their statistics are internally consistent.
+    #[test]
+    fn all_schemes_commit_the_functional_stream(prog in arb_program()) {
+        let expected = Interp::new(&prog, Memory::new()).with_fuel(FUEL).count() as u64;
+        let cfg = SimConfig::paper_clustered();
+        for kind in ALL_SCHEMES {
+            let mut scheme = kind.instantiate(&prog);
+            let s = Simulator::new(&cfg, &prog, Memory::new())
+                .run(scheme.as_mut(), FUEL);
+            prop_assert_eq!(s.committed, expected, "{:?} diverged", kind);
+            prop_assert_eq!(s.committed_uops, s.committed + s.copies, "{:?}", kind);
+            prop_assert_eq!(s.steered[0] + s.steered[1], s.committed, "{:?}", kind);
+            prop_assert!(s.critical_copies <= s.copies, "{:?}", kind);
+            prop_assert_eq!(s.balance.cycles(), s.cycles, "{:?}", kind);
+        }
+    }
+
+    /// The naive scheme on the base machine (the paper's denominator)
+    /// also matches, and never communicates.
+    #[test]
+    fn base_machine_matches_and_never_copies(prog in arb_program()) {
+        let expected = Interp::new(&prog, Memory::new()).with_fuel(FUEL).count() as u64;
+        let mut scheme = SchemeKind::Naive.instantiate(&prog);
+        let s = Simulator::new(&SimConfig::paper_base(), &prog, Memory::new())
+            .run(scheme.as_mut(), FUEL);
+        prop_assert_eq!(s.committed, expected);
+        prop_assert_eq!(s.copies, 0);
+        prop_assert_eq!(s.steered[1], 0, "integer work never reaches C2");
+    }
+}

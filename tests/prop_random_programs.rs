@@ -1,0 +1,228 @@
+//! Property-based end-to-end testing: arbitrary (valid) programs are
+//! pushed through the functional interpreter and the full clustered
+//! pipeline under several steering schemes. The invariants:
+//!
+//! 1. the simulator never panics, deadlocks or livelocks;
+//! 2. it commits exactly the functional stream (timing never changes
+//!    architecture);
+//! 3. per-scheme statistics stay internally consistent.
+
+use dca::isa::{Inst, Label, Opcode, Reg};
+use dca::prog::{Block, Interp, Memory, Program};
+use dca::sim::{SimConfig, Simulator};
+use dca::steer::{GeneralBalance, Modulo, SliceBalance, SliceKind};
+use proptest::prelude::*;
+
+const FUEL: u64 = 3_000;
+
+/// Strategy for a random (always-valid) instruction over a small
+/// register window, with memory confined to a 64 KB arena.
+fn arb_body_inst() -> impl Strategy<Value = Inst> {
+    let reg = (1u8..12).prop_map(Reg::int);
+    let arena = 0x20000i64..0x2FF00;
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(d, a, b)| Inst::add(d, a, b)),
+        (reg.clone(), reg.clone(), -64i64..64).prop_map(|(d, a, i)| Inst::addi(d, a, i)),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(d, a, b)| Inst::xor(d, a, b)),
+        (reg.clone(), reg.clone(), 0i64..16).prop_map(|(d, a, i)| Inst::slli(d, a, i)),
+        (reg.clone(), -512i64..512).prop_map(|(d, i)| Inst::li(d, i)),
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(d, a, b)| Inst::mul(d, a, b)),
+        // Memory: base register is overwritten with an arena address
+        // first, so the pair is always safe.
+        (reg.clone(), arena.clone()).prop_map(|(d, addr)| Inst::li(d, addr)),
+        (reg.clone(), reg.clone(), 0i64..64)
+            .prop_map(|(d, b, off)| Inst::ld(d, b, off & !7)),
+        (reg.clone(), reg.clone(), 0i64..64)
+            .prop_map(|(v, b, off)| Inst::st(v, b, off & !7)),
+    ]
+}
+
+/// A random program: a chain of blocks, each ending in a bounded
+/// countdown branch (guaranteeing termination) or a jump forward.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (2usize..6, proptest::collection::vec(arb_body_inst(), 3..40)).prop_map(
+        |(nblocks, mut pool)| {
+            let counter = Reg::int(30);
+            let mut blocks = Vec::new();
+            // entry: seed registers with arena addresses so loads and
+            // stores always hit the arena.
+            let mut entry = vec![Inst::li(counter, 7)];
+            for r in 1..12u8 {
+                entry.push(Inst::li(Reg::int(r), 0x20000 + i64::from(r) * 512));
+            }
+            blocks.push(Block::new("entry", entry));
+            let per_block = (pool.len() / nblocks).max(1);
+            for bi in 0..nblocks {
+                let take = per_block.min(pool.len());
+                let mut insts: Vec<Inst> = pool.drain(..take).collect();
+                if insts.is_empty() {
+                    insts.push(Inst::nop());
+                }
+                // Loop back to this block while the counter is positive:
+                // each block re-decrements, so every loop terminates.
+                let own_label = Label(bi as u32 + 1);
+                insts.push(Inst::addi(counter, counter, -1));
+                insts.push(Inst::bge(counter, Reg::ZERO, own_label));
+                insts.push(Inst::li(counter, 7));
+                blocks.push(Block::new(format!("b{bi}"), insts));
+            }
+            blocks.push(Block::new("exit", vec![Inst::halt()]));
+            // Blocks fall through in order; the per-block loops are the
+            // only back edges. Fix the last body block to fall into exit.
+            Program::from_blocks(split_ctrl(blocks)).expect("generated program is valid")
+        },
+    )
+}
+
+/// Mirror of the builder's auto-split for hand-assembled block lists.
+fn split_ctrl(blocks: Vec<Block>) -> Vec<Block> {
+    let mut out: Vec<Block> = Vec::new();
+    let mut remap = Vec::new();
+    for b in &blocks {
+        remap.push(out.len() as u32);
+        let mut cur = Vec::new();
+        let mut part = 0;
+        for &inst in &b.insts {
+            let ctrl = inst.op.is_branch() || inst.op == Opcode::Halt;
+            cur.push(inst);
+            if ctrl {
+                out.push(Block::new(
+                    format!("{}p{part}", b.name),
+                    std::mem::take(&mut cur),
+                ));
+                part += 1;
+            }
+        }
+        if !cur.is_empty() || part == 0 {
+            out.push(Block::new(format!("{}p{part}", b.name), cur));
+        }
+    }
+    for b in &mut out {
+        for inst in &mut b.insts {
+            if let Some(l) = inst.target {
+                inst.target = Some(Label(remap[l.0 as usize]));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sim_commits_functional_stream_on_random_programs(prog in arb_program()) {
+        let expected = Interp::new(&prog, Memory::new()).with_fuel(FUEL).count() as u64;
+        let cfg = SimConfig::paper_clustered();
+        // Two very different schemes; both must agree with the stream.
+        let mut modulo = Modulo::new();
+        let a = Simulator::new(&cfg, &prog, Memory::new()).run(&mut modulo, FUEL);
+        prop_assert_eq!(a.committed, expected);
+        let mut general = GeneralBalance::new();
+        let b = Simulator::new(&cfg, &prog, Memory::new()).run(&mut general, FUEL);
+        prop_assert_eq!(b.committed, expected);
+        // Internal consistency.
+        prop_assert!(a.committed_uops >= a.committed);
+        prop_assert_eq!(a.committed_uops - a.committed, a.copies);
+        prop_assert!(a.critical_copies <= a.copies);
+        prop_assert!(b.steered[0] + b.steered[1] == b.committed);
+    }
+
+    #[test]
+    fn small_machine_handles_random_programs(prog in arb_program()) {
+        let expected = Interp::new(&prog, Memory::new()).with_fuel(FUEL).count() as u64;
+        let mut scheme = SliceBalance::new(SliceKind::LdSt);
+        let s = Simulator::new(&SimConfig::small_test(), &prog, Memory::new())
+            .run(&mut scheme, FUEL);
+        prop_assert_eq!(s.committed, expected);
+    }
+
+    #[test]
+    fn upper_bound_rarely_slower_than_base(prog in arb_program()) {
+        let mut n1 = dca::steer::Naive::new();
+        let base = Simulator::new(&SimConfig::paper_base(), &prog, Memory::new())
+            .run(&mut n1, FUEL);
+        let mut n2 = dca::steer::Naive::new();
+        let ub = Simulator::new(&SimConfig::paper_upper_bound(), &prog, Memory::new())
+            .run(&mut n2, FUEL);
+        prop_assert_eq!(base.committed, ub.committed);
+        // Strict monotonicity ("more resources is never slower") is
+        // FALSE for out-of-order machines: the 16-way machine issues
+        // loads in a different order, the D-cache replaces different
+        // lines, and on adversarial address streams the wider machine
+        // takes a few extra misses (a Graham/Belady-style scheduling
+        // anomaly; see `scheduling_anomaly_regression` below for a
+        // concrete 19-instruction case, base 178 vs UB 187 cycles).
+        // What we can assert is a slack bound: the anomaly is a
+        // second-order cache effect, never a structural slowdown.
+        prop_assert!(ub.cycles <= base.cycles + base.cycles / 4 + 8,
+            "ub {} vs base {}", ub.cycles, base.cycles);
+    }
+}
+
+/// Regression for the scheduling anomaly found by fuzzing: a single
+/// loop whose loads and stores straddle enough D-cache sets that the
+/// 16-way machine's earlier (reordered) load issue evicts lines the
+/// base machine kept. Both machines must commit the same stream and
+/// stay within the documented slack; the UB machine genuinely runs a
+/// handful of cycles *slower* here, which is expected and allowed.
+#[test]
+fn scheduling_anomaly_regression() {
+    let asm = "
+        entry:
+            li r30, #7
+            li r1, #131584
+            li r2, #132096
+            li r3, #132608
+            li r5, #133632
+            li r7, #134656
+            li r8, #135168
+            li r9, #135680
+            li r10, #136192
+            li r11, #136704
+        body:
+            add r6, r9, r2
+            st r8, 32(r5)
+            add r10, r2, #-32
+            sll r11, r3, #12
+            mul r7, r5, r3
+            li r9, #152025
+            add r1, r3, #-8
+            ld r11, 56(r5)
+            xor r3, r10, r5
+            sll r7, r2, #7
+            st r2, 0(r9)
+            ld r2, 24(r7)
+            li r11, #154753
+            st r9, 32(r5)
+            st r3, 24(r11)
+            mul r5, r5, r11
+            sll r3, r10, #5
+            xor r4, r1, r10
+            add r7, r10, #-22
+            add r30, r30, #-1
+            bge r30, r0, body
+        exit:
+            halt
+    ";
+    let prog = dca::prog::parse_asm(asm).expect("valid asm");
+    let expected = Interp::new(&prog, Memory::new()).with_fuel(FUEL).count() as u64;
+    let mut n1 = dca::steer::Naive::new();
+    let base = Simulator::new(&SimConfig::paper_base(), &prog, Memory::new()).run(&mut n1, FUEL);
+    let mut n2 = dca::steer::Naive::new();
+    let ub =
+        Simulator::new(&SimConfig::paper_upper_bound(), &prog, Memory::new()).run(&mut n2, FUEL);
+    assert_eq!(base.committed, expected);
+    assert_eq!(ub.committed, expected);
+    // The anomaly shows up as extra D-cache misses on the wider
+    // machine, not as a structural stall: bounded by the slack.
+    assert!(
+        ub.cycles <= base.cycles + base.cycles / 4 + 8,
+        "ub {} vs base {}",
+        ub.cycles,
+        base.cycles
+    );
+}

@@ -1,0 +1,146 @@
+//! Property tests for the slice machinery: the run-time one-bit flag
+//! table of §3.3 must be *sound* with respect to the static analysis —
+//! it may lag (membership accrues over executions) but it must never
+//! flag an instruction outside the static backward slice.
+
+use dca::isa::{Inst, Label, Opcode, Reg};
+use dca::prog::{br_slice, ldst_slice, Block, Program, Rdg};
+use dca::steer::tables::SliceFlags;
+use dca::steer::SliceKind;
+use proptest::prelude::*;
+
+/// Single-block *loop* bodies with a random dependence structure.
+///
+/// The block branches back to itself, so the static RDG (built by
+/// reaching definitions over the CFG) contains the loop-carried edges.
+/// That matters for the multi-round observations below: observing the
+/// body k times in order is exactly the dynamic instruction stream of k
+/// loop iterations, and the parent table wraps around between rounds —
+/// the writer of a register read at the top of round 2 is an
+/// instruction from the tail of round 1. Those wrap-around edges are
+/// real dependences of the looped execution, so the body must actually
+/// loop for the static slice to be the right reference.
+fn arb_loop_body() -> impl Strategy<Value = Program> {
+    proptest::collection::vec((0u8..4, 1u8..10, 1u8..10, 1u8..10, 0i64..64), 4..40).prop_map(
+        |specs| {
+            let mut insts: Vec<Inst> = vec![Inst::li(Reg::int(10), 0x20000)];
+            for (kind, d, a, b, off) in specs {
+                let d = Reg::int(d);
+                let a = Reg::int(a);
+                let b = Reg::int(b);
+                let inst = match kind {
+                    0 => Inst::add(d, a, b),
+                    1 => Inst::xor(d, a, b),
+                    2 => Inst::ld(d, Reg::int(10), off & !7),
+                    _ => Inst::st(a, Reg::int(10), off & !7),
+                };
+                insts.push(inst);
+            }
+            insts.push(Inst::beq(Reg::int(1), Reg::int(2), Label(0)));
+            let blocks = vec![
+                Block::new("body", insts),
+                Block::new("exit", vec![Inst::halt()]),
+            ];
+            Program::from_blocks(blocks).expect("valid loop program")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: after any number of in-order observations, the
+    /// dynamic LdSt flag table is a subset of the static LdSt slice.
+    #[test]
+    fn dynamic_ldst_flags_subset_of_static(prog in arb_loop_body(), rounds in 1usize..4) {
+        let rdg = Rdg::build(&prog);
+        let static_slice = ldst_slice(&prog, &rdg);
+        let mut flags = SliceFlags::new();
+        for _ in 0..rounds {
+            for si in prog.static_insts() {
+                if si.inst.op == Opcode::Halt {
+                    continue;
+                }
+                flags.observe(si.sidx, &si.inst, SliceKind::LdSt);
+            }
+        }
+        for si in prog.static_insts() {
+            if flags.contains(si.sidx) {
+                prop_assert!(
+                    static_slice.contains_sidx(si.sidx),
+                    "sidx {} `{}` flagged but not in the static slice",
+                    si.sidx, si.inst
+                );
+            }
+        }
+    }
+
+    /// Same soundness property for the Br slice.
+    #[test]
+    fn dynamic_br_flags_subset_of_static(prog in arb_loop_body(), rounds in 1usize..4) {
+        let rdg = Rdg::build(&prog);
+        let static_slice = br_slice(&prog, &rdg);
+        let mut flags = SliceFlags::new();
+        for _ in 0..rounds {
+            for si in prog.static_insts() {
+                if si.inst.op == Opcode::Halt {
+                    continue;
+                }
+                flags.observe(si.sidx, &si.inst, SliceKind::Br);
+            }
+        }
+        for si in prog.static_insts() {
+            if flags.contains(si.sidx) {
+                prop_assert!(static_slice.contains_sidx(si.sidx));
+            }
+        }
+    }
+
+    /// Convergence: on a single-block loop (one path through the body,
+    /// so every static RDG edge is realised dynamically from the second
+    /// iteration on), enough observation rounds make the flag table
+    /// *equal* to the static slice.
+    #[test]
+    fn flags_converge_on_loops(prog in arb_loop_body()) {
+        let rdg = Rdg::build(&prog);
+        let static_slice = ldst_slice(&prog, &rdg);
+        let mut flags = SliceFlags::new();
+        // Depth of any backward chain is bounded by program length; one
+        // extra round covers the cold parent table of round 1.
+        for _ in 0..prog.len() + 1 {
+            for si in prog.static_insts() {
+                if si.inst.op == Opcode::Halt {
+                    continue;
+                }
+                flags.observe(si.sidx, &si.inst, SliceKind::LdSt);
+            }
+        }
+        for si in prog.static_insts() {
+            if si.inst.op == Opcode::Halt {
+                continue;
+            }
+            prop_assert_eq!(
+                flags.contains(si.sidx),
+                static_slice.contains_sidx(si.sidx),
+                "sidx {} `{}` dynamic != static after convergence",
+                si.sidx, si.inst
+            );
+        }
+    }
+
+    /// Static slices are closed under RDG parents (the defining
+    /// property of a backward slice).
+    #[test]
+    fn static_slices_closed_under_parents(prog in arb_loop_body()) {
+        let rdg = Rdg::build(&prog);
+        for slice in [ldst_slice(&prog, &rdg), br_slice(&prog, &rdg)] {
+            for node in rdg.nodes() {
+                if slice.contains(node) {
+                    for &p in rdg.parents(node) {
+                        prop_assert!(slice.contains(p));
+                    }
+                }
+            }
+        }
+    }
+}
