@@ -1,9 +1,22 @@
 //! Criterion end-to-end benchmarks: simulated instructions per second
-//! for the full pipeline under different steering schemes, plus the
-//! per-call cost of the steering decision itself.
+//! for the full pipeline under different steering schemes, plus a
+//! direct event-vs-scan engine comparison.
+//!
+//! The `engine` group measures the ready-list (wakeup) path explicitly
+//! on two workload characters:
+//!
+//! * **copy-heavy** — `compress` under Modulo steering, which
+//!   alternates clusters blindly and therefore maximises inter-cluster
+//!   copies and cross-cluster wakeups;
+//! * **balanced** — `compress` under GeneralBalance, which keeps
+//!   dependence chains local, so the ready lists stay short and the
+//!   wakeup-list overhead itself becomes visible.
+//!
+//! Run with `CRITERION_SHIM_JSON=BENCH_pipeline.json cargo bench
+//! --bench simulator` to record the cycles/sec trajectory (CI does).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use dca_sim::{SimConfig, Simulator};
+use dca_sim::{Engine, SimConfig, Simulator};
 use dca_steer::{FifoSteering, GeneralBalance, Modulo, SliceKind, SliceSteering};
 use dca_workloads::{build, Scale};
 
@@ -51,9 +64,50 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
+/// Event vs scan on the clustered machine: copy-heavy (Modulo) and
+/// balanced (GeneralBalance) workloads, plus a pointer-chasing stream
+/// (`li`) whose load-latency bubbles exercise the skip-ahead rule.
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let compress = build("compress", Scale::Smoke);
+    let li = build("li", Scale::Smoke);
+    g.throughput(Throughput::Elements(FUEL));
+    for (engine_name, engine) in [("event", Engine::Event), ("scan", Engine::Scan)] {
+        let cfg = SimConfig {
+            engine,
+            ..SimConfig::paper_clustered()
+        };
+        g.bench_function(format!("clustered_copyheavy_modulo_{engine_name}"), |b| {
+            b.iter(|| {
+                let mut s = Modulo::new();
+                black_box(
+                    Simulator::new(&cfg, &compress.program, compress.memory.clone())
+                        .run(&mut s, FUEL),
+                )
+            })
+        });
+        g.bench_function(format!("clustered_balanced_general_{engine_name}"), |b| {
+            b.iter(|| {
+                let mut s = GeneralBalance::new();
+                black_box(
+                    Simulator::new(&cfg, &compress.program, compress.memory.clone())
+                        .run(&mut s, FUEL),
+                )
+            })
+        });
+        g.bench_function(format!("clustered_pointer_chase_li_{engine_name}"), |b| {
+            b.iter(|| {
+                let mut s = GeneralBalance::new();
+                black_box(Simulator::new(&cfg, &li.program, li.memory.clone()).run(&mut s, FUEL))
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
+    targets = bench_pipeline, bench_engines
 }
 criterion_main!(benches);

@@ -4,15 +4,58 @@
 //! the regenerated table/series plus an ASCII rendition of the plot.
 //! The binaries print it and store it under `results/`.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use dca_sim::BalanceHistogram;
 use dca_stats::{ascii_bars, ascii_series, geometric_mean, harmonic_mean, Table};
-use dca_workloads::{FIGURE3_NAMES, NAMES};
+use dca_workloads::{Workload, FIGURE3_NAMES, NAMES};
 
 use crate::{Lab, Machine, SchemeKind};
+
+/// The full run-set of a figure over `series` × `benches` (plus the
+/// base runs every speed-up needs), handed to [`Lab::ensure`] so the
+/// whole figure simulates in parallel before any cell is rendered.
+fn ensure_series(
+    lab: &mut Lab,
+    series: &[Series<'_>],
+    benches: &[&str],
+    with_base: bool,
+) {
+    let mut runs: Vec<(&str, Machine, SchemeKind)> = Vec::new();
+    for &bench in benches {
+        if with_base {
+            runs.push((bench, Machine::Base, SchemeKind::Naive));
+        }
+        for &(_, machine, scheme) in series {
+            runs.push((bench, machine, scheme));
+        }
+    }
+    lab.ensure(&runs);
+}
+
+/// Runs `per_bench` for every suite benchmark on worker threads and
+/// returns the results in suite order. Workloads come from the lab's
+/// cache (built in parallel if missing), so ablations never rebuild
+/// what an earlier figure already constructed. Used by the ablations
+/// whose custom machine configurations fall outside the Lab's
+/// (benchmark, machine, scheme) cache.
+fn suite_parallel<R: Send>(
+    lab: &mut Lab,
+    per_bench: impl Fn(&'static str, &Workload) -> R + Sync,
+) -> Vec<(&'static str, R)> {
+    let workloads = lab.build_workloads(&NAMES);
+    let results = Lab::fan_out(&NAMES, |&bench| {
+        (bench, per_bench(bench, &workloads[bench]))
+    });
+    let mut by_name: HashMap<&'static str, R> = results.into_iter().collect();
+    NAMES
+        .iter()
+        .map(|&n| (n, by_name.remove(n).expect("every benchmark ran")))
+        .collect()
+}
 
 /// A regenerated artefact.
 #[derive(Clone, Debug)]
@@ -78,6 +121,7 @@ fn speedup_figure(
     benches: &[&str],
     mean: Mean,
 ) -> Figure {
+    ensure_series(lab, series, benches, true);
     let mut headers: Vec<&str> = vec!["benchmark"];
     headers.extend(series.iter().map(|(l, _, _)| *l));
     let mut table = Table::new(&headers);
@@ -119,6 +163,7 @@ fn comm_figure(
     benches: &[&str],
     per_benchmark: bool,
 ) -> Figure {
+    ensure_series(lab, series, benches, false);
     let mut body = String::new();
     let _ = writeln!(
         body,
@@ -175,6 +220,7 @@ fn balance_figure(
     series: &[Series<'_>],
     benches: &[&str],
 ) -> Figure {
+    ensure_series(lab, series, benches, false);
     let xs: Vec<i64> = (-10..=10).collect();
     let mut rendered = Vec::new();
     let mut table = Table::new(
@@ -222,7 +268,6 @@ fn balance_figure(
 /// Table 1: benchmarks and their inputs (plus the analogue's measured
 /// functional character, which stands in for the original binaries).
 pub fn table1(lab: &mut Lab) -> Figure {
-    let scale = lab.opts().scale;
     let mut t = Table::new(&[
         "benchmark",
         "paper input",
@@ -232,13 +277,13 @@ pub fn table1(lab: &mut Lab) -> Figure {
         "stores",
         "branches",
     ]);
-    for name in NAMES {
-        let w = dca_workloads::build(name, scale);
-        let s = w.execute_functional();
+    for (name, (paper_input, description, s)) in suite_parallel(lab, |_, w| {
+        (w.paper_input, w.description, w.execute_functional())
+    }) {
         t.row(&[
             name.to_string(),
-            w.paper_input.to_string(),
-            w.description.to_string(),
+            paper_input.to_string(),
+            description.to_string(),
             s.dyn_insts.to_string(),
             format!("{:.1}%", s.load_ratio() * 100.0),
             format!("{:.1}%", s.store_ratio() * 100.0),
@@ -519,6 +564,15 @@ pub fn fig13(lab: &mut Lab) -> Figure {
     );
     // §3.7 quotes the reduction in *critical* communications versus the
     // plain slice-balance schemes — append the measured values.
+    ensure_series(
+        lab,
+        &[
+            ("", Machine::Clustered, SchemeKind::LdStSliceBalance),
+            ("", Machine::Clustered, SchemeKind::BrSliceBalance),
+        ],
+        &NAMES,
+        false,
+    );
     let mut extra = String::new();
     for (label, plain, prio) in [
         ("LdSt", SchemeKind::LdStSliceBalance, SchemeKind::LdStPriority),
@@ -563,6 +617,12 @@ pub fn fig14(lab: &mut Lab) -> Figure {
 
 /// Figure 15: register replication under general balance steering.
 pub fn fig15(lab: &mut Lab) -> Figure {
+    ensure_series(
+        lab,
+        &[("", Machine::Clustered, SchemeKind::GeneralBalance)],
+        &NAMES,
+        false,
+    );
     let mut t = Table::new(&["benchmark", "avg replicated regs/cycle"]);
     let mut bars = Vec::new();
     let mut vals = Vec::new();
@@ -657,13 +717,10 @@ pub fn ablate_imbalance(lab: &mut Lab) -> Figure {
         ImbalanceMetric::I2Only,
         ImbalanceMetric::Combined,
     ];
-    let scale = lab.opts().scale;
     let max = lab.opts().max_insts;
-    for &bench in &NAMES {
-        let base_ipc = lab.base(bench).ipc();
-        let w = dca_workloads::build(bench, scale);
-        let mut row = vec![bench.to_string()];
-        for (k, &metric) in metrics.iter().enumerate() {
+    ensure_series(lab, &[], &NAMES, true);
+    let ipcs = suite_parallel(lab, |_, w| {
+        metrics.map(|metric| {
             let mut scheme = NonSliceBalance::with_config(
                 SliceKind::LdSt,
                 ImbalanceConfig {
@@ -671,13 +728,16 @@ pub fn ablate_imbalance(lab: &mut Lab) -> Figure {
                     ..ImbalanceConfig::default()
                 },
             );
-            let stats = Simulator::new(
-                &Machine::Clustered.config(),
-                &w.program,
-                w.memory.clone(),
-            )
-            .run(&mut scheme, max);
-            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            Simulator::new(&Machine::Clustered.config(), &w.program, w.memory.clone())
+                .run(&mut scheme, max)
+                .ipc()
+        })
+    });
+    for (bench, by_metric) in ipcs {
+        let base_ipc = lab.base(bench).ipc();
+        let mut row = vec![bench.to_string()];
+        for (k, ipc) in by_metric.into_iter().enumerate() {
+            let sp = (ipc / base_ipc - 1.0) * 100.0;
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
@@ -705,18 +765,18 @@ pub fn ablate_threshold(lab: &mut Lab) -> Figure {
     use dca_steer::{PriorityConfig, PrioritySliceBalance, SliceKind};
 
     let mut t = Table::new(&["benchmark", "final threshold", "critical fraction (window)"]);
-    let scale = lab.opts().scale;
     let max = lab.opts().max_insts;
-    for &bench in &NAMES {
-        let w = dca_workloads::build(bench, scale);
+    for (bench, (threshold, critical)) in suite_parallel(lab, |_, w| {
         let mut scheme =
             PrioritySliceBalance::with_config(SliceKind::LdSt, PriorityConfig::default());
         let _ = Simulator::new(&Machine::Clustered.config(), &w.program, w.memory.clone())
             .run(&mut scheme, max);
+        (scheme.threshold(), scheme.critical_percent())
+    }) {
         t.row(&[
             bench.to_string(),
-            scheme.threshold().to_string(),
-            format!("{:.0}%", scheme.critical_percent()),
+            threshold.to_string(),
+            format!("{critical:.0}%"),
         ]);
     }
     Figure {
@@ -739,19 +799,22 @@ pub fn ablate_copy_latency(lab: &mut Lab) -> Figure {
     let mut header = vec!["benchmark".to_string()];
     header.extend(latencies.iter().map(|l| format!("{l} cycle(s)")));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let scale = lab.opts().scale;
     let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; latencies.len()];
-    for &bench in &NAMES {
-        let base_ipc = lab.base(bench).ipc();
-        let w = dca_workloads::build(bench, scale);
-        let mut row = vec![bench.to_string()];
-        for (k, &lat) in latencies.iter().enumerate() {
+    ensure_series(lab, &[], &NAMES, true);
+    for (bench, ipcs) in suite_parallel(lab, |_, w| {
+        latencies.map(|lat| {
             let mut cfg = Machine::Clustered.config();
             cfg.copy_latency = lat;
-            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max);
-            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max)
+                .ipc()
+        })
+    }) {
+        let base_ipc = lab.base(bench).ipc();
+        let mut row = vec![bench.to_string()];
+        for (k, ipc) in ipcs.into_iter().enumerate() {
+            let sp = (ipc / base_ipc - 1.0) * 100.0;
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
@@ -787,19 +850,27 @@ pub fn ablate_issue_width(lab: &mut Lab) -> Figure {
     header.extend(widths.iter().map(|w| format!("{w}+{w} wide")));
     header.push("UB 8-wide".into());
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let scale = lab.opts().scale;
     let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; widths.len() + 1];
-    for &bench in &NAMES {
-        let base_ipc = lab.base(bench).ipc();
-        let w = dca_workloads::build(bench, scale);
-        let mut row = vec![bench.to_string()];
-        for (k, &iw) in widths.iter().enumerate() {
+    ensure_series(
+        lab,
+        &[("", Machine::UpperBound, SchemeKind::Naive)],
+        &NAMES,
+        true,
+    );
+    for (bench, ipcs) in suite_parallel(lab, |_, w| {
+        widths.map(|iw| {
             let mut cfg = Machine::Clustered.config();
             cfg.issue_width = [iw, iw];
-            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max);
-            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max)
+                .ipc()
+        })
+    }) {
+        let base_ipc = lab.base(bench).ipc();
+        let mut row = vec![bench.to_string()];
+        for (k, ipc) in ipcs.into_iter().enumerate() {
+            let sp = (ipc / base_ipc - 1.0) * 100.0;
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
@@ -839,19 +910,22 @@ pub fn ablate_window(lab: &mut Lab) -> Figure {
     let mut header = vec!["benchmark".to_string()];
     header.extend(sizes.iter().map(|s| format!("ROB {s}")));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let scale = lab.opts().scale;
     let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; sizes.len()];
-    for &bench in &NAMES {
-        let base_ipc = lab.base(bench).ipc();
-        let w = dca_workloads::build(bench, scale);
-        let mut row = vec![bench.to_string()];
-        for (k, &rob) in sizes.iter().enumerate() {
+    ensure_series(lab, &[], &NAMES, true);
+    for (bench, ipcs) in suite_parallel(lab, |_, w| {
+        sizes.map(|rob| {
             let mut cfg = Machine::Clustered.config();
             cfg.rob_size = rob;
-            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max);
-            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max)
+                .ipc()
+        })
+    }) {
+        let base_ipc = lab.base(bench).ipc();
+        let mut row = vec![bench.to_string()];
+        for (k, ipc) in ipcs.into_iter().enumerate() {
+            let sp = (ipc / base_ipc - 1.0) * 100.0;
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
@@ -888,20 +962,23 @@ pub fn ablate_rf_ports(lab: &mut Lab) -> Figure {
     let mut header = vec!["benchmark".to_string()];
     header.extend(configs.iter().map(|&(_, _, l)| l.to_string()));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let scale = lab.opts().scale;
     let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; configs.len()];
-    for &bench in &NAMES {
-        let base_ipc = lab.base(bench).ipc();
-        let w = dca_workloads::build(bench, scale);
-        let mut row = vec![bench.to_string()];
-        for (k, &(r, wr, _)) in configs.iter().enumerate() {
+    ensure_series(lab, &[], &NAMES, true);
+    for (bench, ipcs) in suite_parallel(lab, |_, w| {
+        configs.map(|(r, wr, _)| {
             let mut cfg = Machine::Clustered.config();
             cfg.rf_read_ports = [r, r];
             cfg.rf_write_ports = [wr, wr];
-            let stats = Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max);
-            let sp = (stats.ipc() / base_ipc - 1.0) * 100.0;
+            Simulator::new(&cfg, &w.program, w.memory.clone())
+                .run(&mut GeneralBalance::new(), max)
+                .ipc()
+        })
+    }) {
+        let base_ipc = lab.base(bench).ipc();
+        let mut row = vec![bench.to_string()];
+        for (k, ipc) in ipcs.into_iter().enumerate() {
+            let sp = (ipc / base_ipc - 1.0) * 100.0;
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }

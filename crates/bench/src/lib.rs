@@ -259,8 +259,18 @@ impl RunOpts {
     }
 }
 
+/// One simulation request: `(benchmark, machine, scheme)` — the unit
+/// of work [`Lab::ensure`] distributes across worker threads.
+pub type Run = (&'static str, Machine, SchemeKind);
+
 /// Memoising experiment driver: builds workloads once and simulates
 /// each (benchmark, machine, scheme) combination at most once.
+///
+/// Batch interface: [`Lab::ensure`] takes a figure's whole run-set and
+/// fans the missing combinations across `std::thread::scope` workers
+/// (simulations are independent; the memoisation cache is merged after
+/// the join), so `figures` saturates every core instead of simulating
+/// one combination at a time.
 ///
 /// # Example
 ///
@@ -297,21 +307,129 @@ impl Lab {
         self.opts
     }
 
-    fn workload(&mut self, bench: &str) -> &Workload {
-        let scale = self.opts.scale;
-        let name = dca_workloads::NAMES
+    fn bench_name(bench: &str) -> &'static str {
+        dca_workloads::NAMES
             .iter()
             .copied()
             .find(|n| *n == bench)
-            .unwrap_or_else(|| panic!("unknown benchmark `{bench}`"));
+            .unwrap_or_else(|| panic!("unknown benchmark `{bench}`"))
+    }
+
+    fn workload(&mut self, bench: &str) -> &Workload {
+        let scale = self.opts.scale;
+        let name = Self::bench_name(bench);
         self.workloads
             .entry(name)
             .or_insert_with(|| dca_workloads::build(name, scale))
     }
 
+    fn cache_key(bench: &str, machine: Machine, scheme: SchemeKind) -> (String, &'static str, String) {
+        (bench.to_owned(), machine.key(), scheme.key())
+    }
+
+    /// Runs one combination (no cache involved).
+    fn simulate(w: &Workload, machine: Machine, scheme: SchemeKind, max_insts: u64) -> SimStats {
+        let cfg = machine.config();
+        let mut steering = scheme.instantiate(&w.program);
+        Simulator::new(&cfg, &w.program, w.memory.clone()).run(steering.as_mut(), max_insts)
+    }
+
+    /// Precomputes every not-yet-cached combination of `runs` in
+    /// parallel, fanning the work across `std::thread::scope` workers
+    /// (one per core, capped by the number of missing runs). Workload
+    /// construction is parallelised the same way first. Results merge
+    /// into the memoisation cache after the join, so subsequent
+    /// [`Lab::stats`] calls are pure lookups.
+    pub fn ensure(&mut self, runs: &[(&str, Machine, SchemeKind)]) {
+        // Distinct missing combinations, first-seen order.
+        let mut todo: Vec<Run> = Vec::new();
+        for &(bench, machine, scheme) in runs {
+            let run = (Self::bench_name(bench), machine, scheme);
+            if !self.cache.contains_key(&Self::cache_key(run.0, machine, scheme))
+                && !todo.contains(&run)
+            {
+                todo.push(run);
+            }
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let benches: Vec<&'static str> = todo.iter().map(|&(b, _, _)| b).collect();
+        self.build_workloads(&benches);
+
+        if self.opts.verbose {
+            eprintln!("[lab] running {} combinations in parallel", todo.len());
+        }
+        let max_insts = self.opts.max_insts;
+        let workloads = &self.workloads;
+        let results = Self::fan_out(&todo, |&(bench, machine, scheme)| {
+            let w = &workloads[bench];
+            let stats = Self::simulate(w, machine, scheme, max_insts);
+            (Self::cache_key(bench, machine, scheme), stats)
+        });
+        self.cache.extend(results);
+    }
+
+    /// Builds (in parallel) every listed workload not yet cached and
+    /// returns the cache, so callers can hand out `&Workload`
+    /// references without rebuilding. Duplicates are fine.
+    pub(crate) fn build_workloads(
+        &mut self,
+        benches: &[&'static str],
+    ) -> &HashMap<&'static str, Workload> {
+        let scale = self.opts.scale;
+        let mut missing: Vec<&'static str> = Vec::new();
+        for &bench in benches {
+            if !self.workloads.contains_key(bench) && !missing.contains(&bench) {
+                missing.push(bench);
+            }
+        }
+        let built: Vec<(&'static str, Workload)> =
+            Self::fan_out(&missing, |&name| (name, dca_workloads::build(name, scale)));
+        self.workloads.extend(built);
+        &self.workloads
+    }
+
+    /// Maps `f` over `items` on scoped worker threads (work-stealing
+    /// via a shared atomic index) and returns the results; their order
+    /// is unspecified. Runs inline when a single worker suffices.
+    fn fan_out<T: Sync, R: Send>(
+        items: &[T],
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            out.push(f(item));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("lab worker panicked"))
+                .collect()
+        })
+    }
+
     /// Simulates (or returns the memoised result of) one combination.
     pub fn stats(&mut self, bench: &str, machine: Machine, scheme: SchemeKind) -> SimStats {
-        let key = (bench.to_owned(), machine.key(), scheme.key());
+        let key = Self::cache_key(bench, machine, scheme);
         if let Some(s) = self.cache.get(&key) {
             return s.clone();
         }
@@ -320,10 +438,7 @@ impl Lab {
         }
         let max = self.opts.max_insts;
         let w = self.workload(bench);
-        let cfg = machine.config();
-        let mut steering = scheme.instantiate(&w.program);
-        let stats =
-            Simulator::new(&cfg, &w.program, w.memory.clone()).run(steering.as_mut(), max);
+        let stats = Self::simulate(w, machine, scheme, max);
         self.cache.insert(key, stats.clone());
         stats
     }
@@ -445,6 +560,24 @@ mod tests {
         assert_eq!(o.max_insts, 1234);
         assert!(o.verbose);
         assert_eq!(rest, vec!["fig03"]);
+    }
+
+    #[test]
+    fn ensure_prefills_cache_and_matches_serial() {
+        let mut lab = Lab::new(smoke_opts());
+        lab.ensure(&[
+            ("compress", Machine::Clustered, SchemeKind::Modulo),
+            ("compress", Machine::Clustered, SchemeKind::Modulo), // duplicates collapse
+            ("li", Machine::Clustered, SchemeKind::Modulo),
+        ]);
+        assert_eq!(lab.runs(), 2, "two distinct combinations");
+        let a = lab.stats("compress", Machine::Clustered, SchemeKind::Modulo);
+        assert_eq!(lab.runs(), 2, "ensure pre-filled the cache");
+        let mut serial = Lab::new(smoke_opts());
+        let b = serial.stats("compress", Machine::Clustered, SchemeKind::Modulo);
+        assert_eq!(a.cycles, b.cycles, "parallel and serial runs are identical");
+        assert_eq!(a.copies, b.copies);
+        assert_eq!(a.balance, b.balance);
     }
 
     #[test]

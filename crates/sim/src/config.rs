@@ -57,6 +57,22 @@ impl std::fmt::Display for ClusterId {
     }
 }
 
+/// Which issue-engine implementation drives the backend. Both produce
+/// **bit-for-bit identical** [`SimStats`](crate::SimStats) (enforced by
+/// `tests/engine_equivalence.rs`); they differ only in host-side cost.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Event-driven wakeup lists: per-register waiter lists, per-cluster
+    /// ready lists, O(1) ready counts and idle-cycle skip-ahead. The
+    /// default.
+    #[default]
+    Event,
+    /// The original per-cycle linear scan over every IQ entry and
+    /// source register. Kept as the executable specification the event
+    /// engine is checked against.
+    Scan,
+}
+
 /// Full machine configuration. Public fields in the spirit of a plain
 /// parameter record; [`SimConfig::validate`] checks consistency and the
 /// presets encode the paper's machines.
@@ -108,6 +124,8 @@ pub struct SimConfig {
     pub unified: bool,
     /// Fetch-buffer capacity in instructions.
     pub fetch_buffer: u32,
+    /// Issue-engine implementation (host-side choice; no timing effect).
+    pub engine: Engine,
 }
 
 impl SimConfig {
@@ -135,6 +153,7 @@ impl SimConfig {
             intercluster: true,
             unified: false,
             fetch_buffer: 16,
+            engine: Engine::default(),
         }
     }
 

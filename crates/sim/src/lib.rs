@@ -61,7 +61,7 @@ pub mod stats;
 pub mod steering;
 pub mod trace;
 
-pub use config::{ClusterId, SimConfig};
+pub use config::{ClusterId, Engine, SimConfig};
 pub use pipeline::Simulator;
 pub use stats::{BalanceHistogram, SimStats};
 pub use steering::{Allowed, DecodedView, SrcView, SteerCtx, Steering};

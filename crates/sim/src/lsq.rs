@@ -50,12 +50,21 @@ pub struct LsqEntry {
     pub state: LoadState,
     /// Static instruction index (for steering criticality callbacks).
     pub sidx: u32,
+    /// For waiting loads: earliest cycle a disambiguation retry can
+    /// change the outcome. `u64::MAX` parks the load until a blocking
+    /// store address arrives ([`Lsq::set_addr`] resets it). Purely a
+    /// host-side retry filter — it never alters *when* a load issues,
+    /// only how often the queue is re-walked.
+    pub retry_at: u64,
 }
 
 /// The unified disambiguation queue.
 #[derive(Clone, Debug, Default)]
 pub struct Lsq {
     entries: Vec<LsqEntry>,
+    /// Loads still in [`LoadState::Waiting`] — lets the memory stage
+    /// skip its candidate scan entirely on load-free cycles.
+    waiting_loads: usize,
 }
 
 impl Lsq {
@@ -70,22 +79,69 @@ impl Lsq {
             self.entries.last().is_none_or(|last| last.seq < e.seq),
             "LSQ must be filled in program order"
         );
+        if !e.is_store && e.state == LoadState::Waiting {
+            self.waiting_loads += 1;
+        }
         self.entries.push(e);
     }
 
-    /// Records the address of the entry owned by µop `seq`.
+    /// Marks the load owned by `seq` as issued and returns its static
+    /// instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` does not own a waiting load.
+    pub fn mark_load_issued(&mut self, seq: u64) -> u32 {
+        let i = self.index_of(seq).expect("load in LSQ");
+        let e = &mut self.entries[i];
+        debug_assert!(!e.is_store && e.state == LoadState::Waiting);
+        e.state = LoadState::Issued;
+        self.waiting_loads -= 1;
+        e.sidx
+    }
+
+    /// Number of loads still awaiting disambiguation.
+    pub fn waiting_loads(&self) -> usize {
+        self.waiting_loads
+    }
+
+    /// Index of the entry owned by `seq`. The queue is in program
+    /// order, so this is a binary search.
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    /// Records the address of the entry owned by µop `seq`. Unparks
+    /// the entry itself and — for stores — **every** younger waiting
+    /// load, unconditionally: disambiguation requires *all* older
+    /// store addresses to be known, so a load parked on this store
+    /// must re-walk even when the addresses turn out not to overlap.
+    /// Filtering the unpark by address match would deadlock such
+    /// loads at `retry_at == u64::MAX`.
     pub fn set_addr(&mut self, seq: u64, addr: u64, at: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
+        if let Some(i) = self.index_of(seq) {
+            let e = &mut self.entries[i];
             e.addr = Some(addr);
             e.addr_at = at;
+            e.retry_at = 0;
+            if e.is_store {
+                for younger in &mut self.entries[i + 1..] {
+                    if !younger.is_store && younger.state == LoadState::Waiting {
+                        younger.retry_at = 0;
+                    }
+                }
+            }
         }
     }
 
     /// Removes the (necessarily oldest) entry owned by `seq` at commit.
     pub fn retire(&mut self, seq: u64) {
-        if let Some(pos) = self.entries.iter().position(|e| e.seq == seq) {
+        if let Some(pos) = self.index_of(seq) {
             debug_assert_eq!(pos, 0, "memory ops must retire in order");
-            self.entries.remove(pos);
+            let e = self.entries.remove(pos);
+            if !e.is_store && e.state == LoadState::Waiting {
+                self.waiting_loads -= 1;
+            }
         }
     }
 
@@ -108,31 +164,35 @@ impl Lsq {
 
     /// Mutable access to the entry owned by `seq`.
     pub fn entry_mut(&mut self, seq: u64) -> Option<&mut LsqEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        let i = self.index_of(seq)?;
+        Some(&mut self.entries[i])
     }
 
     /// Disambiguation check for the load owned by `seq` at cycle `now`:
     ///
-    /// * `Err(())` — not ready to access memory yet (own address
-    ///   unknown, an older store address unknown, or a matching store's
-    ///   data not ready);
+    /// * `Err(retry_at)` — not ready yet (own address unknown, an older
+    ///   store address unknown, or a matching store's data not ready).
+    ///   The payload is the earliest cycle a retry could change the
+    ///   outcome: a concrete cycle for known-but-future timers,
+    ///   `u64::MAX` when the block resolves only through a future
+    ///   [`Lsq::set_addr`] (which unparks the load), `now + 1` for
+    ///   store-data waits;
     /// * `Ok(Some(store_seq))` — may be served by forwarding from that
     ///   store;
     /// * `Ok(None)` — may access the D-cache.
-    #[allow(clippy::result_unit_err)]
-    pub fn load_disambiguate(&self, seq: u64, now: u64, store_data_ready: impl Fn(ClusterId, PhysReg) -> bool) -> Result<Option<u64>, ()> {
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.seq == seq)
-            .expect("load not in LSQ");
+    pub fn load_disambiguate(&self, seq: u64, now: u64, store_data_ready: impl Fn(ClusterId, PhysReg) -> bool) -> Result<Option<u64>, u64> {
+        let idx = self.index_of(seq).expect("load not in LSQ");
         let load = &self.entries[idx];
         debug_assert!(!load.is_store);
         let laddr = match load.addr {
             Some(a) if load.addr_at <= now => a,
-            _ => return Err(()),
+            Some(_) => return Err(load.addr_at),
+            None => return Err(u64::MAX),
         };
-        // All older stores must have known addresses.
+        // All older stores must have known, due addresses. Track the
+        // latest future timer so a blocked load sleeps until then
+        // instead of re-walking the queue every cycle.
+        let mut retry = 0u64;
         let mut forward_from: Option<&LsqEntry> = None;
         for e in &self.entries[..idx] {
             if !e.is_store {
@@ -144,8 +204,12 @@ impl Lsq {
                         forward_from = Some(e); // youngest so far wins
                     }
                 }
-                _ => return Err(()),
+                Some(_) => retry = retry.max(e.addr_at),
+                None => return Err(u64::MAX),
             }
+        }
+        if retry > now {
+            return Err(retry);
         }
         match forward_from {
             Some(st) => {
@@ -153,7 +217,7 @@ impl Lsq {
                 if store_data_ready(c, p) {
                     Ok(Some(st.seq))
                 } else {
-                    Err(())
+                    Err(now + 1)
                 }
             }
             None => Ok(None),
@@ -174,6 +238,7 @@ mod tests {
             data: None,
             state: LoadState::Waiting,
             sidx: 0,
+            retry_at: 0,
         }
     }
 

@@ -20,8 +20,48 @@
 //!   cluster (a copy is inserted if needed, per §2 of the paper); FP
 //!   store data is read from the FP register file at commit without a
 //!   copy, since FP values are never replicated.
+//!
+//! ## Performance notes (DESIGN.md §6)
+//!
+//! The backend offers two issue engines selected by
+//! [`SimConfig::engine`]; both are **bit-for-bit stat-identical**
+//! (enforced by `tests/engine_equivalence.rs` across every steering
+//! scheme):
+//!
+//! * [`Engine::Scan`] — the executable specification: every cycle
+//!   re-checks every IQ entry's every source register
+//!   ([`Simulator::entry_ready`]), both for the [`SteerCtx`] ready
+//!   counts and for the issue scan. O(IQ × sources) per cycle.
+//! * [`Engine::Event`] — the default, event-driven engine:
+//!   - each cluster's [`RegFile`] keeps a **waiter list** per physical
+//!     register; a dispatching µop whose source is still in flight
+//!     registers itself and carries a pending-operand counter;
+//!   - when `set_ready`/`set_ready_from_copy` fires (the producer's
+//!     ready cycle becomes known), waiters decrement their counter and,
+//!     at zero, push a `(cycle, seq)` event onto the cluster's
+//!     **timeline** (a min-heap) for `max(dispatch+1, max src ready)`;
+//!   - at the start of each cycle due events drain onto the cluster's
+//!     **ready list**, kept sorted by µop seq (a per-[`ExecClass`]
+//!     breakdown is derivable on demand for diagnostics), so the
+//!     [`SteerCtx`] ready counts are O(1) reads and the issue stage
+//!     pops oldest-first instead of scanning the queue;
+//!   - **skip-ahead**: when the machine is quiescent (no ready entry,
+//!     empty fetch buffer, no load awaiting disambiguation), the main
+//!     loop jumps to the next timeline / completion / fetch event,
+//!     performing only the per-cycle bookkeeping (balance sample,
+//!     replication integral, [`Steering::on_cycle`]) for the skipped
+//!     cycles — those cycles are provably no-ops in the scan engine.
+//!
+//!   The invariant that keeps the engines identical is **order
+//!   preservation**: the ready list enumerates exactly the entries the
+//!   scan would have found ready, in the same oldest-first (by µop
+//!   seq) order, so FU/bus/port arbitration sees the same request
+//!   sequence every cycle. Wakeup events never fire retroactively:
+//!   every `set_ready` cycle lies strictly in the future at the time
+//!   it is announced (latencies are ≥ 1).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use dca_isa::{ClusterNeed, ExecClass, Opcode, Reg};
 use dca_prog::{DynInst, Interp, Memory, Program};
@@ -29,9 +69,9 @@ use dca_uarch::{
     latency_of, BranchPredictor, Combined, FuPool, MemHierarchy, MemLevel, PortMeter,
 };
 
-use crate::config::{ClusterId, SimConfig};
+use crate::config::{ClusterId, Engine, SimConfig};
 use crate::lsq::{LoadState, Lsq, LsqEntry};
-use crate::rename::{PhysReg, RegFile, RenameMap};
+use crate::rename::{Displaced, PhysReg, RegFile, RenameMap, IN_FLIGHT};
 use crate::stats::SimStats;
 use crate::steering::{Allowed, DecodedView, SrcView, SteerCtx, Steering};
 
@@ -62,18 +102,19 @@ enum UopKind {
 struct RobEntry {
     seq: u64,
     dyn_seq: u64,
+    /// Static index of the program instruction (for copies: of the
+    /// consumer the copy was inserted for) — the trace resolves the
+    /// instruction text through it, keeping this entry small.
     sidx: u32,
     pc: u64,
-    /// The program instruction (for copies: the consumer the copy was
-    /// inserted for) — carried for tracing.
-    inst: dca_isa::Inst,
     cluster: ClusterId,
     kind: UopKind,
     is_program: bool,
     /// Destination mapping installed at rename.
     dst: Option<(ClusterId, PhysReg)>,
-    /// Mappings displaced at rename, freed at commit.
-    displaced: Vec<(ClusterId, PhysReg)>,
+    /// Mappings displaced at rename (at most one per cluster, held
+    /// inline), freed at commit.
+    displaced: Displaced,
     /// Cycle the instruction entered the fetch buffer.
     fetch_at: u64,
     /// Cycle the µop was dispatched.
@@ -105,6 +146,141 @@ struct IqEntry {
     ea: Option<u64>,
     dispatched_at: u64,
     mispredicted: bool,
+    /// Event engine: source operands whose ready cycle is still
+    /// unknown (producer not yet issued). The entry is scheduled onto
+    /// the timeline when this reaches zero.
+    pending: u8,
+    /// Event engine: latest known source-ready cycle.
+    ready_cycle: u64,
+}
+
+/// Dense index for the per-[`ExecClass`] ready counters.
+fn class_index(c: ExecClass) -> usize {
+    match c {
+        ExecClass::IntAlu => 0,
+        ExecClass::IntMul => 1,
+        ExecClass::IntDiv => 2,
+        ExecClass::FpAlu => 3,
+        ExecClass::FpMul => 4,
+        ExecClass::FpDiv => 5,
+        ExecClass::Load => 6,
+        ExecClass::Store => 7,
+        ExecClass::Ctrl => 8,
+        ExecClass::Nop => 9,
+    }
+}
+
+/// Number of [`ExecClass`] slots tracked by [`IqBuf::ready_by_class`].
+const N_CLASSES: usize = 10;
+
+/// One cluster's instruction queue plus the event-engine wakeup
+/// structures.
+///
+/// Entries live in a sequence-indexed ring: every queued µop is also
+/// in the ROB, so in-flight sequence numbers span less than `rob_size`
+/// and `seq & mask` (capacity rounded up to a power of two) can never
+/// collide. All queue operations are O(1); program-order iteration
+/// walks the ROB's sequence window.
+struct IqBuf {
+    /// Ring of queued entries, indexed by `seq & mask`.
+    slots: Box<[Option<IqEntry>]>,
+    mask: usize,
+    len: usize,
+    /// Sequences of entries with all operands ready, sorted oldest
+    /// first. The issue stage pops from the front; [`SteerCtx::ready`]
+    /// is this list's length (event engine).
+    ready: Vec<u64>,
+    /// Future wakeups as `(cycle, seq)` in a min-heap: entries whose
+    /// operands are all known move here until their ready cycle is due.
+    timeline: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl IqBuf {
+    /// A queue able to hold every µop of a `rob_size`-entry window.
+    fn for_rob(rob_size: u32) -> IqBuf {
+        let cap = (rob_size as usize).next_power_of_two();
+        IqBuf {
+            slots: (0..cap).map(|_| None).collect(),
+            mask: cap - 1,
+            len: 0,
+            ready: Vec::with_capacity(cap),
+            timeline: BinaryHeap::with_capacity(cap),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, seq: u64) -> Option<&IqEntry> {
+        self.slots[seq as usize & self.mask]
+            .as_ref()
+            .filter(|e| e.seq == seq)
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut IqEntry> {
+        self.slots[seq as usize & self.mask]
+            .as_mut()
+            .filter(|e| e.seq == seq)
+    }
+
+    fn insert(&mut self, e: IqEntry) {
+        let slot = &mut self.slots[e.seq as usize & self.mask];
+        debug_assert!(slot.is_none(), "IQ ring slot collision");
+        *slot = Some(e);
+        self.len += 1;
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<IqEntry> {
+        let slot = &mut self.slots[seq as usize & self.mask];
+        if slot.as_ref().is_some_and(|e| e.seq == seq) {
+            self.len -= 1;
+            slot.take()
+        } else {
+            None
+        }
+    }
+
+    /// Moves every timeline event due at or before `now` onto the
+    /// ready list, restoring oldest-first order.
+    fn drain_due(&mut self, now: u64) {
+        let before = self.ready.len();
+        while let Some(&Reverse((cycle, seq))) = self.timeline.peek() {
+            if cycle > now {
+                break;
+            }
+            self.timeline.pop();
+            debug_assert!(self.get(seq).is_some(), "scheduled entry is queued");
+            self.ready.push(seq);
+        }
+        if self.ready.len() > before {
+            self.ready.sort_unstable();
+        }
+    }
+
+    /// Removes the `i`-th ready entry (by position) from both the
+    /// ready list and the queue.
+    fn take_ready(&mut self, i: usize) -> IqEntry {
+        let seq = self.ready.remove(i);
+        self.remove(seq).expect("ready entry is queued")
+    }
+
+    /// Cycle of the earliest pending timeline event.
+    fn next_event(&self) -> Option<u64> {
+        self.timeline.peek().map(|&Reverse((cycle, _))| cycle)
+    }
+
+    /// Ready-entry counts per execution class, computed on demand
+    /// (diagnostics only — the hot path carries no per-class state).
+    fn ready_class_histogram(&self) -> [u32; N_CLASSES] {
+        let mut counts = [0u32; N_CLASSES];
+        for &seq in &self.ready {
+            if let Some(e) = self.get(seq) {
+                counts[class_index(e.issue_class)] += 1;
+            }
+        }
+        counts
+    }
 }
 
 /// Fetch-stall state while a mispredicted branch is in flight. Only one
@@ -125,6 +301,7 @@ enum BranchWait {
 /// See the crate-level docs for an end-to-end example.
 pub struct Simulator<'p> {
     cfg: SimConfig,
+    prog: &'p Program,
     interp: Option<Interp<'p>>,
     // frontend
     fetch_buf: VecDeque<Fetched>,
@@ -137,7 +314,7 @@ pub struct Simulator<'p> {
     // backend
     rob: VecDeque<RobEntry>,
     rob_head_seq: u64,
-    iq: [Vec<IqEntry>; 2],
+    iq: [IqBuf; 2],
     regs: [RegFile; 2],
     map: RenameMap,
     lsq: Lsq,
@@ -151,6 +328,12 @@ pub struct Simulator<'p> {
     last_progress_cycle: u64,
     uop_seq: u64,
     copy_critical: Vec<bool>,
+    /// Reused buffer of candidate load sequences (memory stage).
+    load_scratch: Vec<u64>,
+    /// Reused buffer of woken waiter sequences (event engine).
+    wake_scratch: Vec<u64>,
+    /// Reused buffer of I-cache lines touched by one fetch group.
+    fetch_lines: Vec<u64>,
     /// Steering decision for the instruction at the head of the fetch
     /// buffer, kept across resource-stall retries so [`Steering::steer`]
     /// is called exactly once per decoded instruction (the documented
@@ -196,6 +379,7 @@ impl<'p> Simulator<'p> {
             regs[fp_cluster.index()].set_ready(p, 0);
         }
         Simulator {
+            prog,
             interp: Some(Interp::new(prog, mem)),
             fetch_buf: VecDeque::with_capacity(cfg.fetch_buffer as usize),
             pending: None,
@@ -206,7 +390,7 @@ impl<'p> Simulator<'p> {
             bpred: Combined::new(cfg.bpred),
             rob: VecDeque::with_capacity(cfg.rob_size as usize),
             rob_head_seq: 0,
-            iq: [Vec::new(), Vec::new()],
+            iq: [IqBuf::for_rob(cfg.rob_size), IqBuf::for_rob(cfg.rob_size)],
             regs,
             map,
             lsq: Lsq::new(),
@@ -220,6 +404,9 @@ impl<'p> Simulator<'p> {
             last_progress_cycle: 0,
             uop_seq: 0,
             copy_critical: Vec::new(),
+            load_scratch: Vec::new(),
+            wake_scratch: Vec::new(),
+            fetch_lines: Vec::new(),
             steer_cache: None,
             trace: None,
             stats: SimStats::default(),
@@ -261,13 +448,19 @@ impl<'p> Simulator<'p> {
             assert!(
                 self.now < self.last_progress_cycle + NO_PROGRESS_LIMIT,
                 "pipeline livelock: cycle {} ({} max instructions)\n\
-                 rob head: {:?}\niq0: {:?}\niq1: {:?}\nlsq: {:?}\nbranch_wait: {:?} resume_at {}\n\
+                 rob head: {:?}\niq0: {:?}\niq1: {:?}\n\
+                 ready: {:?}/{:?} by class {:?}/{:?}\n\
+                 lsq: {:?}\nbranch_wait: {:?} resume_at {}\n\
                  fetch_buf {} pending {:?} stream_done {}",
                 self.now,
                 max_insts,
                 self.rob.front(),
-                self.iq[0].first(),
-                self.iq[1].first(),
+                self.iq_first(ClusterId::Int),
+                self.iq_first(ClusterId::Fp),
+                self.iq[0].ready,
+                self.iq[1].ready,
+                self.iq[0].ready_class_histogram(),
+                self.iq[1].ready_class_histogram(),
                 self.lsq.entries().first(),
                 self.branch_wait,
                 self.resume_at,
@@ -311,6 +504,11 @@ impl<'p> Simulator<'p> {
         (idx < self.rob.len()).then_some(idx)
     }
 
+    /// Oldest entry queued in cluster `c` (diagnostics).
+    fn iq_first(&self, c: ClusterId) -> Option<&IqEntry> {
+        (self.rob_head_seq..self.uop_seq).find_map(|seq| self.iq[c.index()].get(seq))
+    }
+
     // ------------------------------------------------------------------
     // cycle
     // ------------------------------------------------------------------
@@ -338,13 +536,142 @@ impl<'p> Simulator<'p> {
         self.fetch();
 
         self.now += 1;
+        self.skip_ahead(steering);
     }
 
-    fn make_ctx(&self) -> SteerCtx {
-        let mut ready = [0u32; 2];
-        for (queue, slot) in self.iq.iter().zip(ready.iter_mut()) {
-            *slot = queue.iter().filter(|e| self.entry_ready(e)).count() as u32;
+    /// Fast-forwards `now` to the next cycle at which any stage can
+    /// make progress, performing only the per-cycle bookkeeping
+    /// (balance sample, replication integral, [`Steering::on_cycle`])
+    /// for the skipped cycles. Only legal when the machine is
+    /// *quiescent* — no ready IQ entry, an empty fetch buffer and no
+    /// load awaiting disambiguation — because then commit, memory,
+    /// issue, dispatch and fetch all provably no-op until the next
+    /// timeline / completion / fetch event, making the skipped cycles
+    /// bit-identical to stepping through them.
+    fn skip_ahead(&mut self, steering: &mut dyn Steering) {
+        if self.cfg.engine != Engine::Event {
+            return;
         }
+        if !self.iq[0].ready.is_empty() || !self.iq[1].ready.is_empty() {
+            return;
+        }
+        if !self.fetch_buf.is_empty() {
+            return;
+        }
+        if self.done() {
+            return;
+        }
+        fn consider(wake: &mut Option<u64>, t: u64) {
+            *wake = Some(wake.map_or(t, |w| w.min(t)));
+        }
+        let mut wake: Option<u64> = None;
+        if let Some(t) = self.iq[0].next_event() {
+            consider(&mut wake, t);
+        }
+        if let Some(t) = self.iq[1].next_event() {
+            consider(&mut wake, t);
+        }
+        // Memory gate: a waiting load could first act (disambiguate)
+        // once its own and every older store's address timer is due —
+        // all known cycles. Unknown addresses resolve only through an
+        // EA issue, which can only happen at a non-skipped cycle, so
+        // loads behind one add no candidate. The candidate may be
+        // earlier than the true action cycle (store-data forwarding
+        // delays, D-port contention); waking early merely shortens the
+        // skip and the real step re-arbitrates.
+        if self.lsq.waiting_loads() > 0 {
+            let mut older_store_addrs_known = true;
+            let mut older_store_addr_at = 0u64;
+            for en in self.lsq.entries() {
+                if en.is_store {
+                    match en.addr {
+                        Some(_) => older_store_addr_at = older_store_addr_at.max(en.addr_at),
+                        None => older_store_addrs_known = false,
+                    }
+                    continue;
+                }
+                if en.state != LoadState::Waiting {
+                    continue;
+                }
+                if en.addr.is_some() && older_store_addrs_known {
+                    consider(&mut wake, en.addr_at.max(older_store_addr_at));
+                }
+            }
+        }
+        // Commit gate: the earliest cycle the ROB head could retire.
+        // Gates that are still event-driven (un-issued EA µop, in-flight
+        // store data) contribute nothing — they resolve via an issue,
+        // which can only happen at a non-skipped cycle.
+        if let Some(head) = self.rob.front() {
+            let gate = match head.kind {
+                UopKind::Store => {
+                    let entry = self.lsq.entries().first();
+                    match (head.complete_at, entry) {
+                        (Some(c), Some(en)) if en.addr.is_some() => {
+                            debug_assert_eq!(en.seq, head.seq);
+                            let data_known = en.data.map_or(Some(0), |(dc, dp)| {
+                                let at = self.regs[dc.index()].ready_at(dp);
+                                (at != IN_FLIGHT).then_some(at)
+                            });
+                            data_known.map(|d| c.max(en.addr_at).max(d))
+                        }
+                        _ => None,
+                    }
+                }
+                _ => head.complete_at,
+            };
+            if let Some(t) = gate {
+                consider(&mut wake, t);
+            }
+        }
+        // Fetch gate: only when fetch is waiting on a timer (I-cache
+        // fill or mispredict redirect). While a mispredicted branch is
+        // unresolved, resolution itself is an issue event.
+        if !(self.stream_done && self.pending.is_none())
+            && self.branch_wait == BranchWait::None
+        {
+            consider(&mut wake, self.icache_ready_at.max(self.resume_at));
+        }
+        let Some(wake) = wake else { return };
+        if wake <= self.now {
+            return;
+        }
+        let iq_len = [self.iq[0].len() as u32, self.iq[1].len() as u32];
+        for cycle in self.now..wake {
+            // Mirrors the bookkeeping prefix of `step` for a cycle in
+            // which every stage no-ops: zero entries are ready in
+            // either cluster and the rename map is untouched.
+            self.stats.balance.record(0);
+            self.stats.replication_reg_cycles += u64::from(self.map.replication_count());
+            steering.on_cycle(&SteerCtx {
+                now: cycle,
+                ready: [0, 0],
+                iq_len,
+                issue_width: self.cfg.issue_width,
+            });
+        }
+        self.now = wake;
+    }
+
+    fn make_ctx(&mut self) -> SteerCtx {
+        let ready = match self.cfg.engine {
+            Engine::Event => {
+                let now = self.now;
+                self.iq[0].drain_due(now);
+                self.iq[1].drain_due(now);
+                [self.iq[0].ready.len() as u32, self.iq[1].ready.len() as u32]
+            }
+            Engine::Scan => {
+                let mut ready = [0u32; 2];
+                for (k, slot) in ready.iter_mut().enumerate() {
+                    *slot = (self.rob_head_seq..self.uop_seq)
+                        .filter_map(|seq| self.iq[k].get(seq))
+                        .filter(|e| self.entry_ready(e))
+                        .count() as u32;
+                }
+                ready
+            }
+        };
         SteerCtx {
             now: self.now,
             ready,
@@ -425,7 +752,7 @@ impl<'p> Simulator<'p> {
                     dyn_seq: head.dyn_seq,
                     sidx: head.sidx,
                     pc: head.pc,
-                    text: crate::trace::record_text(&head.inst),
+                    text: crate::trace::record_text(&self.prog.static_insts()[head.sidx as usize].inst),
                     cluster: head.cluster,
                     kind: match head.kind {
                         UopKind::Normal => crate::TracedKind::Normal,
@@ -443,7 +770,7 @@ impl<'p> Simulator<'p> {
             }
             self.rob_head_seq = head.seq + 1;
             self.last_progress_cycle = self.now;
-            for (c, p) in head.displaced {
+            for (c, p) in head.displaced.iter() {
                 self.regs[c.index()].release(p);
             }
             self.stats.committed_uops += 1;
@@ -470,22 +797,38 @@ impl<'p> Simulator<'p> {
     // ------------------------------------------------------------------
 
     fn memory_stage(&mut self, steering: &mut dyn Steering) {
-        // Collect candidate loads in program order; issue while ports
-        // remain.
+        // Collect candidate loads in program order (into a reused
+        // buffer); issue while ports remain.
+        if self.lsq.waiting_loads() == 0 {
+            return;
+        }
         let now = self.now;
-        let candidates: Vec<u64> = self
-            .lsq
-            .entries()
-            .iter()
-            .filter(|e| !e.is_store && e.state == LoadState::Waiting)
-            .map(|e| e.seq)
-            .collect();
-        for seq in candidates {
+        let mut candidates = std::mem::take(&mut self.load_scratch);
+        candidates.clear();
+        candidates.extend(
+            self.lsq
+                .entries()
+                .iter()
+                .filter(|e| {
+                    !e.is_store && e.state == LoadState::Waiting && e.retry_at <= now
+                })
+                .map(|e| e.seq),
+        );
+        for &seq in &candidates {
             let regs = &self.regs;
             let verdict = self.lsq.load_disambiguate(seq, now, |c, p| {
                 regs[c.index()].is_ready(p, now)
             });
-            let Ok(forward) = verdict else { continue };
+            let forward = match verdict {
+                Ok(f) => f,
+                Err(retry_at) => {
+                    // Sleep until the blocking timer (or parked until
+                    // the blocking store address arrives).
+                    let e = self.lsq.entry_mut(seq).expect("entry exists");
+                    e.retry_at = retry_at;
+                    continue;
+                }
+            };
             let (done_at, missed) = match forward {
                 Some(_store_seq) => {
                     self.stats.forwarded_loads += 1;
@@ -500,33 +843,37 @@ impl<'p> Simulator<'p> {
                     (now + u64::from(lat), lvl != MemLevel::L1)
                 }
             };
-            let entry = self.lsq.entry_mut(seq).expect("entry exists");
-            entry.state = LoadState::Issued;
-            let sidx = entry.sidx;
+            let sidx = self.lsq.mark_load_issued(seq);
             let rob_idx = self.rob_index_of(seq).expect("load in ROB");
             let (dc, dp) = self.rob[rob_idx].dst.expect("loads have destinations");
-            self.regs[dc.index()].set_ready(dp, done_at);
             self.rob[rob_idx].complete_at = Some(done_at);
+            self.announce_ready(dc, dp, done_at, None);
             if missed {
                 steering.on_load_miss(sidx);
             }
         }
+        self.load_scratch = candidates;
     }
 
     // ------------------------------------------------------------------
     // issue / execute
     // ------------------------------------------------------------------
 
-    /// Register-file ports an issuing µop needs: reads in its own
-    /// cluster, the write in the destination's cluster (for copies,
-    /// the remote one). Returns `None` when a port limit is exceeded;
-    /// otherwise reserves the ports.
-    fn try_rf_ports(&mut self, e: &IqEntry, cluster: ClusterId) -> bool {
+    /// The register-file port demand of an IQ entry issuing from
+    /// `cluster`: reads in its own cluster, the write in the
+    /// destination's cluster (for copies, the remote one).
+    fn rf_port_demand(e: &IqEntry, cluster: ClusterId) -> (u32, Option<ClusterId>) {
         let reads = e.srcs.iter().flatten().count() as u32;
         let write_cluster = match e.kind {
             UopKind::Copy { .. } => e.copy_dst.map(|(dc, _)| dc),
             _ => e.dst.map(|_| cluster),
         };
+        (reads, write_cluster)
+    }
+
+    /// Register-file port arbitration at issue. Returns `false` when a
+    /// port limit is exceeded; otherwise reserves the ports.
+    fn try_rf_ports(&mut self, reads: u32, write_cluster: Option<ClusterId>, cluster: ClusterId) -> bool {
         let read_cap = self.cfg.rf_read_ports[cluster.index()];
         if read_cap != 0 && self.rf_reads_used[cluster.index()] + reads > read_cap {
             return false;
@@ -542,37 +889,51 @@ impl<'p> Simulator<'p> {
         true
     }
 
+    /// Structural-resource gauntlet shared by both engines: bus slot
+    /// for copies, FU slot otherwise. Reservations stick for the cycle
+    /// even if the µop is later port-rejected (see `try_rf_ports`).
+    fn try_structural(&mut self, kind: UopKind, issue_class: ExecClass, c: ClusterId) -> bool {
+        match kind {
+            UopKind::Copy { .. } => {
+                let dir = c.index(); // 0: INT->FP, 1: FP->INT
+                if self.bus_used[dir] < self.cfg.buses_per_dir {
+                    self.bus_used[dir] += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => self.fus[c.index()].try_issue(issue_class, self.now),
+        }
+    }
+
     fn issue(&mut self, steering: &mut dyn Steering) {
-        let now = self.now;
+        match self.cfg.engine {
+            Engine::Event => self.issue_event(steering),
+            Engine::Scan => self.issue_scan(steering),
+        }
+    }
+
+    /// Event-engine issue: pops oldest-first from the ready list. The
+    /// list holds exactly the entries the scan would have found ready,
+    /// in the same seq order, so arbitration behaves identically.
+    fn issue_event(&mut self, steering: &mut dyn Steering) {
         for c in ClusterId::BOTH {
             let mut budget = self.cfg.issue_width[c.index()];
             let mut i = 0;
-            while budget > 0 && i < self.iq[c.index()].len() {
-                let e = &self.iq[c.index()][i];
-                if !self.entry_ready(e) {
-                    i += 1;
-                    continue;
-                }
-                // Structural resources.
-                let accepted = match e.kind {
-                    UopKind::Copy { .. } => {
-                        let dir = c.index(); // 0: INT->FP, 1: FP->INT
-                        if self.bus_used[dir] < self.cfg.buses_per_dir {
-                            self.bus_used[dir] += 1;
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                    _ => self.fus[c.index()].try_issue(e.issue_class, now),
+            while budget > 0 && i < self.iq[c.index()].ready.len() {
+                let seq = self.iq[c.index()].ready[i];
+                let (kind, issue_class, reads, write_cluster) = {
+                    let e = self.iq[c.index()].get(seq).expect("ready entry is queued");
+                    debug_assert!(self.entry_ready(e), "ready list ahead of operands");
+                    let (reads, wc) = Self::rf_port_demand(e, c);
+                    (e.kind, e.issue_class, reads, wc)
                 };
-                if !accepted {
+                if !self.try_structural(kind, issue_class, c) {
                     i += 1;
                     continue;
                 }
-                let e_ref = &self.iq[c.index()][i];
-                let e_snapshot = e_ref.clone();
-                if !self.try_rf_ports(&e_snapshot, c) {
+                if !self.try_rf_ports(reads, write_cluster, c) {
                     // FU/bus reservations for this µop are only logical
                     // within the cycle; skipping it leaves them charged,
                     // which conservatively models a port-starved issue
@@ -580,7 +941,7 @@ impl<'p> Simulator<'p> {
                     i += 1;
                     continue;
                 }
-                let e = self.iq[c.index()].remove(i);
+                let e = self.iq[c.index()].take_ready(i);
                 debug_assert_eq!(e.cluster, c, "IQ entry in the wrong queue");
                 self.execute_uop(&e, c, steering);
                 budget -= 1;
@@ -588,28 +949,104 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// Scan-engine issue: the original full walk of the queue in
+    /// program order, re-checking operand readiness per entry.
+    fn issue_scan(&mut self, steering: &mut dyn Steering) {
+        for c in ClusterId::BOTH {
+            let mut budget = self.cfg.issue_width[c.index()];
+            if budget == 0 {
+                continue;
+            }
+            for seq in self.rob_head_seq..self.uop_seq {
+                if budget == 0 {
+                    break;
+                }
+                let Some(e) = self.iq[c.index()].get(seq) else { continue };
+                let (ready, kind, issue_class) = (self.entry_ready(e), e.kind, e.issue_class);
+                let (reads, write_cluster) = Self::rf_port_demand(e, c);
+                if !ready {
+                    continue;
+                }
+                if !self.try_structural(kind, issue_class, c) {
+                    continue;
+                }
+                if !self.try_rf_ports(reads, write_cluster, c) {
+                    continue;
+                }
+                let e = self
+                    .iq[c.index()]
+                    .remove(seq)
+                    .expect("scanned entry is queued");
+                debug_assert_eq!(e.cluster, c, "IQ entry in the wrong queue");
+                self.execute_uop(&e, c, steering);
+                budget -= 1;
+            }
+        }
+    }
+
+    /// Announces that register `p` of `cluster` becomes readable at
+    /// `at` (with copy provenance when `copy` is set) and, under the
+    /// event engine, wakes its waiters: each waiter's pending-operand
+    /// counter drops and, at zero, the entry is scheduled on its
+    /// cluster's timeline for `max(dispatch+1, max src ready)`. The
+    /// waiter lists drain through a reused scratch buffer, so the
+    /// steady state allocates nothing.
+    fn announce_ready(&mut self, cluster: ClusterId, p: PhysReg, at: u64, copy: Option<u32>) {
+        let rf = &mut self.regs[cluster.index()];
+        match copy {
+            Some(id) => rf.set_ready_from_copy(p, at, id),
+            None => rf.set_ready(p, at),
+        }
+        if !rf.has_waiters(p) {
+            return;
+        }
+        debug_assert_eq!(self.cfg.engine, Engine::Event, "scan engine registers no waiters");
+        let mut woken = std::mem::take(&mut self.wake_scratch);
+        woken.clear();
+        self.regs[cluster.index()].drain_waiters_into(p, &mut woken);
+        let buf = &mut self.iq[cluster.index()];
+        for &seq in &woken {
+            let e = buf.get_mut(seq).expect("waiting µop is queued");
+            debug_assert!(e.pending > 0);
+            e.pending -= 1;
+            e.ready_cycle = e.ready_cycle.max(at);
+            if e.pending == 0 {
+                let when = e.ready_cycle.max(e.dispatched_at + 1);
+                debug_assert!(when > self.now, "wakeups never fire retroactively");
+                buf.timeline.push(Reverse((when, seq)));
+            }
+        }
+        self.wake_scratch = woken;
+    }
+
     /// Detects whether the last-arriving source of an issuing consumer
     /// was delivered by a copy that actually delayed it (the paper's
     /// critical-communication definition).
     fn note_critical_sources(&mut self, e: &IqEntry, cluster: ClusterId) {
         let rf = &self.regs[cluster.index()];
-        let mut times: Vec<(u64, Option<u32>)> = e
-            .srcs
-            .iter()
-            .flatten()
-            .map(|&p| (rf.ready_at(p), rf.copy_id(p)))
-            .collect();
-        if times.is_empty() {
+        // Track the last-arriving source (ties resolved in favour of
+        // the later operand slot, matching the stable order the former
+        // sort produced) and the runner-up arrival time.
+        let mut any = false;
+        let mut last_t = 0u64;
+        let mut last_copy: Option<u32> = None;
+        let mut second_t = 0u64;
+        for &p in e.srcs.iter().flatten() {
+            let t = rf.ready_at(p);
+            let copy = rf.copy_id(p);
+            if !any || t >= last_t {
+                second_t = if any { last_t } else { 0 };
+                last_t = t;
+                last_copy = copy;
+            } else if t > second_t {
+                second_t = t;
+            }
+            any = true;
+        }
+        if !any {
             return;
         }
-        times.sort_unstable_by_key(|&(t, _)| t);
-        let (last_t, last_copy) = *times.last().expect("non-empty");
         let Some(copy_id) = last_copy else { return };
-        let second_t = if times.len() >= 2 {
-            times[times.len() - 2].0
-        } else {
-            0
-        };
         let earliest_otherwise = second_t.max(e.dispatched_at + 1);
         if last_t > earliest_otherwise {
             self.copy_critical[copy_id as usize] = true;
@@ -633,8 +1070,8 @@ impl<'p> Simulator<'p> {
                 // one could have.
                 let (dst_cluster, dst) = e.copy_dst.expect("copies have destinations");
                 let at = now + u64::from(self.cfg.copy_latency.max(1));
-                self.regs[dst_cluster.index()].set_ready_from_copy(dst, at, id);
                 self.rob[rob_idx].complete_at = Some(at);
+                self.announce_ready(dst_cluster, dst, at, Some(id));
             }
             UopKind::Load | UopKind::Store => {
                 // EA micro-op: the address becomes usable next cycle.
@@ -653,7 +1090,7 @@ impl<'p> Simulator<'p> {
                         .dst
                         .map(|(c, _)| c)
                         .unwrap_or(cluster);
-                    self.regs[dst_cluster.index()].set_ready(p, done);
+                    self.announce_ready(dst_cluster, p, done, None);
                 }
                 self.rob[rob_idx].complete_at = Some(done);
                 if e.mispredicted && self.branch_wait == BranchWait::Dispatched(e.seq) {
@@ -691,19 +1128,18 @@ impl<'p> Simulator<'p> {
 
     /// Integer source registers that participate in renaming for the
     /// *cluster-local* part of the instruction (EA base and integer
-    /// store data; FP operands are never replicated).
-    fn renamed_srcs(inst: &dca_isa::Inst) -> Vec<Reg> {
-        let mut v = Vec::with_capacity(2);
+    /// store data; FP operands are never replicated). At most two,
+    /// returned inline and densely from slot 0.
+    fn renamed_srcs(inst: &dca_isa::Inst) -> [Option<Reg>; 2] {
+        let mut v = [None, None];
         match inst.op {
             Opcode::FSt => {
                 // base (int) renames locally; FP data read at commit.
-                if let Some(b) = inst.src1.filter(|r| !r.is_zero()) {
-                    v.push(b);
-                }
+                v[0] = inst.src1.filter(|r| !r.is_zero());
             }
             _ => {
-                for r in inst.srcs() {
-                    v.push(r);
+                for (k, r) in inst.srcs().take(2).enumerate() {
+                    v[k] = Some(r);
                 }
             }
         }
@@ -759,18 +1195,21 @@ impl<'p> Simulator<'p> {
             };
 
             // ---- resource accounting -------------------------------
-            let needs_copy: Vec<Reg> = Self::renamed_srcs(&inst)
-                .into_iter()
-                .filter(|&r| self.map.lookup(r, cluster).is_none())
-                .collect();
-            if !needs_copy.is_empty() && !self.cfg.intercluster {
+            let mut needs_copy: [Option<Reg>; 2] = [None, None];
+            let mut n_copies = 0u32;
+            for r in Self::renamed_srcs(&inst).into_iter().flatten() {
+                if self.map.lookup(r, cluster).is_none() {
+                    needs_copy[n_copies as usize] = Some(r);
+                    n_copies += 1;
+                }
+            }
+            if n_copies > 0 && !self.cfg.intercluster {
                 panic!(
                     "machine without inter-cluster bypasses needs a copy of {:?} \
                      for `{inst}` — workload and configuration are inconsistent",
                     needs_copy
                 );
             }
-            let n_copies = needs_copy.len() as u32;
             let dst_cluster = inst.effective_dst().map(|r| {
                 if r.is_fp() {
                     self.fp_cluster
@@ -799,17 +1238,16 @@ impl<'p> Simulator<'p> {
             }
 
             // ---- allocate copies -----------------------------------
-            for r in needs_copy {
+            for r in needs_copy.into_iter().flatten() {
                 let src_preg = self
                     .map
                     .lookup(r, other)
                     .expect("operand is mapped in the other cluster");
                 let q = self.regs[cluster.index()].alloc().expect("checked");
-                let displaced = self
-                    .map
-                    .replicate(r, cluster, q)
-                    .map(|d| vec![d])
-                    .unwrap_or_default();
+                let mut displaced = Displaced::default();
+                if let Some((dc, dp)) = self.map.replicate(r, cluster, q) {
+                    displaced.push(dc, dp);
+                }
                 let id = self.copy_critical.len() as u32;
                 self.copy_critical.push(false);
                 let seq = self.next_uop_seq();
@@ -818,7 +1256,6 @@ impl<'p> Simulator<'p> {
                     dyn_seq: d.seq,
                     sidx: d.sidx,
                     pc: d.pc,
-                    inst,
                     cluster: other,
                     kind: UopKind::Copy { id },
                     is_program: false,
@@ -831,7 +1268,7 @@ impl<'p> Simulator<'p> {
                     mispredicted: false,
                     is_cond_branch: false,
                 });
-                self.iq[other.index()].push(IqEntry {
+                self.iq_insert(IqEntry {
                     seq,
                     dyn_seq: d.seq,
                     sidx: d.sidx,
@@ -844,6 +1281,8 @@ impl<'p> Simulator<'p> {
                     ea: None,
                     dispatched_at: self.now,
                     mispredicted: false,
+                    pending: 0,
+                    ready_cycle: 0,
                 });
                 self.stats.copies += 1;
                 self.stats.copies_by_dir[other.index()] += 1;
@@ -870,7 +1309,7 @@ impl<'p> Simulator<'p> {
                     );
                 }
             } else {
-                for (k, r) in Self::renamed_srcs(&inst).into_iter().take(2).enumerate() {
+                for (k, r) in Self::renamed_srcs(&inst).into_iter().flatten().enumerate() {
                     iq_srcs[k] = Some(
                         self.map
                             .lookup(r, cluster)
@@ -927,7 +1366,7 @@ impl<'p> Simulator<'p> {
                     let p = self.regs[dc.index()].alloc().expect("checked");
                     (Some((dc, p)), self.map.define(r, dc, p))
                 }
-                _ => (None, Vec::new()),
+                _ => (None, Displaced::default()),
             };
             let issue_class = if inst.op.is_mem() {
                 ExecClass::IntAlu
@@ -939,7 +1378,6 @@ impl<'p> Simulator<'p> {
                 dyn_seq: d.seq,
                 sidx: d.sidx,
                 pc: d.pc,
-                inst,
                 cluster,
                 kind,
                 is_program: true,
@@ -965,10 +1403,11 @@ impl<'p> Simulator<'p> {
                     data: store_data,
                     state: LoadState::Waiting,
                     sidx: d.sidx,
+                    retry_at: 0,
                 });
             }
             if inst.op.class() != ExecClass::Nop {
-                self.iq[cluster.index()].push(IqEntry {
+                self.iq_insert(IqEntry {
                     seq,
                     dyn_seq: d.seq,
                     sidx: d.sidx,
@@ -981,6 +1420,8 @@ impl<'p> Simulator<'p> {
                     ea: d.ea,
                     dispatched_at: self.now,
                     mispredicted: f.mispredicted,
+                    pending: 0,
+                    ready_cycle: 0,
                 });
             }
             if f.mispredicted {
@@ -1011,6 +1452,35 @@ impl<'p> Simulator<'p> {
         s
     }
 
+    /// Inserts a freshly dispatched entry into its cluster's queue.
+    /// Under the event engine this also takes the wakeup census:
+    /// sources with a known ready cycle fold into `ready_cycle`,
+    /// in-flight sources register the entry on the producer register's
+    /// waiter list, and an entry with no outstanding operands goes
+    /// straight onto the timeline (earliest issue is dispatch + 1).
+    fn iq_insert(&mut self, mut e: IqEntry) {
+        let c = e.cluster.index();
+        if self.cfg.engine == Engine::Event {
+            e.pending = 0;
+            e.ready_cycle = 0;
+            for k in 0..e.srcs.len() {
+                let Some(p) = e.srcs[k] else { continue };
+                let at = self.regs[c].ready_at(p);
+                if at == IN_FLIGHT {
+                    self.regs[c].add_waiter(p, e.seq);
+                    e.pending += 1;
+                } else {
+                    e.ready_cycle = e.ready_cycle.max(at);
+                }
+            }
+            if e.pending == 0 {
+                let when = e.ready_cycle.max(e.dispatched_at + 1);
+                self.iq[c].timeline.push(Reverse((when, e.seq)));
+            }
+        }
+        self.iq[c].insert(e);
+    }
+
     // ------------------------------------------------------------------
     // fetch
     // ------------------------------------------------------------------
@@ -1029,7 +1499,11 @@ impl<'p> Simulator<'p> {
         }
         let line_mask = !(self.cfg.hierarchy.l1i.line_bytes as u64 - 1);
         let mut fetched = 0usize;
-        let mut lines_touched: Vec<u64> = Vec::with_capacity(2);
+        // Reused line-tracking buffer: a fetch group touches at most
+        // `fetch_width` I-cache lines, so the capacity stabilises and
+        // the steady state allocates nothing.
+        let mut lines_touched = std::mem::take(&mut self.fetch_lines);
+        lines_touched.clear();
         while fetched < width {
             let d = match self
                 .pending
@@ -1082,6 +1556,7 @@ impl<'p> Simulator<'p> {
                 break;
             }
         }
+        self.fetch_lines = lines_touched;
     }
 }
 

@@ -22,15 +22,66 @@ use crate::ClusterId;
 pub struct PhysReg(pub u16);
 
 /// Cycle at which an in-flight physical register becomes readable.
-const IN_FLIGHT: u64 = u64::MAX;
+pub const IN_FLIGHT: u64 = u64::MAX;
 
-/// One cluster's physical register file: readiness, free list, and
-/// copy provenance (for critical-communication accounting).
+/// Up to two displaced (cluster, register) mappings, stored inline:
+/// a definition displaces at most one mapping per cluster, so a ROB
+/// entry never needs a heap allocation to remember what to free.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Displaced {
+    slots: [Option<(ClusterId, PhysReg)>; 2],
+    len: u8,
+}
+
+impl Displaced {
+    /// Records a displaced mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both slots are already occupied (a µop can displace
+    /// at most one mapping per cluster).
+    pub fn push(&mut self, cluster: ClusterId, p: PhysReg) {
+        assert!((self.len as usize) < self.slots.len(), "more than 2 displaced mappings");
+        self.slots[self.len as usize] = Some((cluster, p));
+        self.len += 1;
+    }
+
+    /// Number of displaced mappings recorded.
+    #[allow(dead_code)] // diagnostic accessor, exercised by tests
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` if nothing was displaced.
+    #[allow(dead_code)] // diagnostic accessor, exercised by tests
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if the given mapping was displaced.
+    #[allow(dead_code)] // diagnostic accessor, exercised by tests
+    pub fn contains(&self, x: &(ClusterId, PhysReg)) -> bool {
+        self.iter().any(|d| d == *x)
+    }
+
+    /// Iterates over the displaced mappings.
+    pub fn iter(&self) -> impl Iterator<Item = (ClusterId, PhysReg)> + '_ {
+        self.slots.iter().take(self.len as usize).flatten().copied()
+    }
+}
+
+/// One cluster's physical register file: readiness, free list, copy
+/// provenance (for critical-communication accounting) and — for the
+/// event-driven issue engine — per-register waiter lists of IQ entries
+/// to wake when the register's ready cycle becomes known.
 #[derive(Clone, Debug)]
 pub struct RegFile {
     ready_at: Vec<u64>,
     /// Dense copy id when the value was produced by a copy instruction.
     copy_id: Vec<Option<u32>>,
+    /// Per register: µop sequence numbers of IQ entries waiting for
+    /// [`RegFile::set_ready`] on it (empty under the scan engine).
+    waiters: Vec<Vec<u64>>,
     free: Vec<PhysReg>,
     total: usize,
 }
@@ -41,6 +92,7 @@ impl RegFile {
         RegFile {
             ready_at: vec![IN_FLIGHT; total],
             copy_id: vec![None; total],
+            waiters: vec![Vec::new(); total],
             free: (0..total as u16).rev().map(PhysReg).collect(),
             total,
         }
@@ -52,6 +104,7 @@ impl RegFile {
         let p = self.free.pop()?;
         self.ready_at[p.0 as usize] = IN_FLIGHT;
         self.copy_id[p.0 as usize] = None;
+        debug_assert!(self.waiters[p.0 as usize].is_empty());
         Some(p)
     }
 
@@ -64,6 +117,10 @@ impl RegFile {
         debug_assert!(
             !self.free.contains(&p),
             "double free of physical register {p:?}"
+        );
+        debug_assert!(
+            self.waiters[p.0 as usize].is_empty(),
+            "released register {p:?} still has waiters"
         );
         self.free.push(p);
     }
@@ -79,15 +136,38 @@ impl RegFile {
         self.total
     }
 
+    /// Registers the IQ entry with µop sequence `seq` to be woken when
+    /// `p`'s ready cycle becomes known (event engine only). An entry
+    /// waiting on the same register through both source slots registers
+    /// twice and is decremented twice, which keeps the pending-operand
+    /// count exact.
+    pub fn add_waiter(&mut self, p: PhysReg, seq: u64) {
+        debug_assert_eq!(self.ready_at[p.0 as usize], IN_FLIGHT);
+        self.waiters[p.0 as usize].push(seq);
+    }
+
     /// Marks `p` readable by consumers issuing at cycle `at` or later.
+    /// Under the event engine, follow with
+    /// [`RegFile::drain_waiters_into`] to collect the woken entries.
     pub fn set_ready(&mut self, p: PhysReg, at: u64) {
         self.ready_at[p.0 as usize] = at;
     }
 
     /// Marks `p` as produced by copy number `id` (and readable at `at`).
     pub fn set_ready_from_copy(&mut self, p: PhysReg, at: u64, id: u32) {
-        self.ready_at[p.0 as usize] = at;
         self.copy_id[p.0 as usize] = Some(id);
+        self.set_ready(p, at);
+    }
+
+    /// `true` if any IQ entry is registered on `p`'s waiter list.
+    pub fn has_waiters(&self, p: PhysReg) -> bool {
+        !self.waiters[p.0 as usize].is_empty()
+    }
+
+    /// Drains `p`'s waiter list into `out` (the per-register buffer
+    /// keeps its capacity, so steady-state wakeups allocate nothing).
+    pub fn drain_waiters_into(&mut self, p: PhysReg, out: &mut Vec<u64>) {
+        out.append(&mut self.waiters[p.0 as usize]);
     }
 
     /// The cycle at which `p` becomes readable (`u64::MAX` while the
@@ -115,6 +195,9 @@ pub struct RenameMap {
     int: [[Option<PhysReg>; 2]; NUM_INT_REGS],
     fp: [Option<PhysReg>; NUM_FP_REGS],
     fp_cluster: ClusterId,
+    /// Cached count of integer registers mapped in both clusters, so
+    /// the per-cycle replication sample is O(1) instead of a walk.
+    both_mapped: u32,
 }
 
 impl RenameMap {
@@ -124,6 +207,7 @@ impl RenameMap {
             int: [[None; 2]; NUM_INT_REGS],
             fp: [None; NUM_FP_REGS],
             fp_cluster,
+            both_mapped: 0,
         }
     }
 
@@ -159,29 +243,28 @@ impl RenameMap {
     /// Installs a *definition* of `reg` in `cluster`: sets the new
     /// mapping there and invalidates the other cluster's mapping.
     /// Returns the displaced physical registers (up to one per
-    /// cluster) to be freed when the defining instruction commits.
+    /// cluster, held inline) to be freed when the defining instruction
+    /// commits.
     ///
     /// # Panics
     ///
     /// Panics if an FP register is defined outside the FP cluster, or
     /// on an attempt to rename `r0`.
-    pub fn define(
-        &mut self,
-        reg: Reg,
-        cluster: ClusterId,
-        p: PhysReg,
-    ) -> Vec<(ClusterId, PhysReg)> {
-        let mut displaced = Vec::with_capacity(2);
+    pub fn define(&mut self, reg: Reg, cluster: ClusterId, p: PhysReg) -> Displaced {
+        let mut displaced = Displaced::default();
         match reg {
             Reg::Int(0) => panic!("r0 is never renamed"),
             Reg::Int(n) => {
                 let entry = &mut self.int[n as usize];
+                let was_both = entry[0].is_some() && entry[1].is_some();
                 if let Some(old) = entry[cluster.index()].replace(p) {
-                    displaced.push((cluster, old));
+                    displaced.push(cluster, old);
                 }
                 if let Some(old) = entry[cluster.other().index()].take() {
-                    displaced.push((cluster.other(), old));
+                    displaced.push(cluster.other(), old);
                 }
+                // After a definition exactly one cluster is mapped.
+                self.both_mapped -= u32::from(was_both);
             }
             Reg::Fp(n) => {
                 assert_eq!(
@@ -189,7 +272,7 @@ impl RenameMap {
                     "FP registers live in the FP cluster"
                 );
                 if let Some(old) = self.fp[n as usize].replace(p) {
-                    displaced.push((cluster, old));
+                    displaced.push(cluster, old);
                 }
             }
         }
@@ -215,20 +298,27 @@ impl RenameMap {
     ) -> Option<(ClusterId, PhysReg)> {
         match reg {
             Reg::Int(0) => panic!("r0 is never renamed"),
-            Reg::Int(n) => self.int[n as usize][cluster.index()]
-                .replace(p)
-                .map(|old| (cluster, old)),
+            Reg::Int(n) => {
+                let entry = &mut self.int[n as usize];
+                let was_both = entry[0].is_some() && entry[1].is_some();
+                let old = entry[cluster.index()].replace(p).map(|old| (cluster, old));
+                let is_both = entry[0].is_some() && entry[1].is_some();
+                self.both_mapped += u32::from(is_both) - u32::from(was_both);
+                old
+            }
             Reg::Fp(_) => panic!("FP registers are never replicated"),
         }
     }
 
     /// Number of integer logical registers currently mapped in *both*
     /// clusters — the paper's register-replication measure (Figure 15).
+    /// O(1): maintained incrementally by `define`/`replicate`.
     pub fn replication_count(&self) -> u32 {
-        self.int
-            .iter()
-            .filter(|e| e[0].is_some() && e[1].is_some())
-            .count() as u32
+        debug_assert_eq!(
+            self.both_mapped,
+            self.int.iter().filter(|e| e[0].is_some() && e[1].is_some()).count() as u32
+        );
+        self.both_mapped
     }
 
     /// Total live mappings (for free-list conservation tests).
@@ -309,7 +399,43 @@ mod tests {
         assert_eq!(m.lookup(f, ClusterId::Fp), Some(PhysReg(9)));
         assert_eq!(m.lookup(f, ClusterId::Int), None);
         let displaced = m.define(f, ClusterId::Fp, PhysReg(10));
-        assert_eq!(displaced, vec![(ClusterId::Fp, PhysReg(9))]);
+        assert_eq!(displaced.iter().collect::<Vec<_>>(), vec![(ClusterId::Fp, PhysReg(9))]);
+    }
+
+    #[test]
+    fn waiters_drain_on_set_ready() {
+        let mut rf = RegFile::new(4);
+        let a = rf.alloc().unwrap();
+        rf.add_waiter(a, 7);
+        rf.add_waiter(a, 7); // both source slots read the same register
+        rf.add_waiter(a, 9);
+        assert!(rf.has_waiters(a));
+        rf.set_ready(a, 3);
+        let mut woken = Vec::new();
+        rf.drain_waiters_into(a, &mut woken);
+        assert_eq!(woken, vec![7, 7, 9]);
+        assert!(!rf.has_waiters(a), "drained once");
+    }
+
+    #[test]
+    fn displaced_inline_storage() {
+        let mut d = Displaced::default();
+        assert!(d.is_empty());
+        d.push(ClusterId::Int, PhysReg(1));
+        d.push(ClusterId::Fp, PhysReg(2));
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&(ClusterId::Int, PhysReg(1))));
+        assert!(d.contains(&(ClusterId::Fp, PhysReg(2))));
+        assert!(!d.contains(&(ClusterId::Fp, PhysReg(3))));
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 2 displaced mappings")]
+    fn displaced_overflow_panics() {
+        let mut d = Displaced::default();
+        d.push(ClusterId::Int, PhysReg(1));
+        d.push(ClusterId::Fp, PhysReg(2));
+        d.push(ClusterId::Int, PhysReg(3));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The event-driven issue engine must be **bit-for-bit stat-identical**
+//! to the scan engine it replaced: same cycle counts, same copies, same
+//! issue distribution, same balance histogram — for *every* steering
+//! scheme, because schemes observe the machine through `SteerCtx` ready
+//! counts and per-cycle callbacks, and any divergence there compounds.
+//!
+//! This is the acceptance gate of the event-engine work (ISSUE 1): the
+//! scan engine stays in the tree as the executable specification
+//! ([`dca::sim::Engine::Scan`]) precisely so this test can hold forever.
+
+use dca::sim::{Engine, SimConfig, SimStats, Simulator};
+use dca_bench::{Machine, SchemeKind, ALL_SCHEMES};
+use dca_workloads::{build, Scale};
+
+const FUEL: u64 = 120_000;
+
+fn run(cfg: &SimConfig, bench: &str, scheme: SchemeKind) -> SimStats {
+    let w = build(bench, Scale::Smoke);
+    let mut steering = scheme.instantiate(&w.program);
+    Simulator::new(cfg, &w.program, w.memory.clone()).run(steering.as_mut(), FUEL)
+}
+
+fn assert_identical(a: &SimStats, b: &SimStats, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles diverge");
+    assert_eq!(a.committed, b.committed, "{what}: committed diverge");
+    assert_eq!(a.committed_uops, b.committed_uops, "{what}: µops diverge");
+    assert_eq!(a.copies, b.copies, "{what}: copies diverge");
+    assert_eq!(a.critical_copies, b.critical_copies, "{what}: critical copies diverge");
+    assert_eq!(a.copies_by_dir, b.copies_by_dir, "{what}: copy directions diverge");
+    assert_eq!(a.steered, b.steered, "{what}: issue distribution diverges");
+    assert_eq!(a.balance, b.balance, "{what}: balance histogram diverges");
+    assert_eq!(
+        a.replication_reg_cycles, b.replication_reg_cycles,
+        "{what}: replication integral diverges"
+    );
+    assert_eq!(a.loads, b.loads, "{what}: loads diverge");
+    assert_eq!(a.stores, b.stores, "{what}: stores diverge");
+    assert_eq!(a.forwarded_loads, b.forwarded_loads, "{what}: forwarding diverges");
+    assert_eq!(a.branches, b.branches, "{what}: branches diverge");
+    assert_eq!(a.mispredicts, b.mispredicts, "{what}: mispredicts diverge");
+    assert_eq!(a.l1i, b.l1i, "{what}: L1I diverges");
+    assert_eq!(a.l1d, b.l1d, "{what}: L1D diverges");
+    assert_eq!(a.l2, b.l2, "{what}: L2 diverges");
+    assert_eq!(a.bpred, b.bpred, "{what}: predictor diverges");
+    assert_eq!(
+        a.dispatch_stall_cycles, b.dispatch_stall_cycles,
+        "{what}: dispatch stalls diverge"
+    );
+    assert_eq!(a.slice_hits, b.slice_hits, "{what}: slice hits diverge");
+}
+
+/// Every scheme, on the clustered machine, on two workloads with very
+/// different characters (`compress`: tight loop; `li`: pointer chasing
+/// with critical loads).
+#[test]
+fn all_schemes_identical_on_clustered_machine() {
+    for bench in ["compress", "li"] {
+        for scheme in ALL_SCHEMES {
+            let event = run(&SimConfig::paper_clustered(), bench, scheme);
+            let scan_cfg = SimConfig {
+                engine: Engine::Scan,
+                ..SimConfig::paper_clustered()
+            };
+            let scan = run(&scan_cfg, bench, scheme);
+            assert_identical(&event, &scan, &format!("{bench}/{scheme:?}"));
+            assert!(event.committed > 0, "{bench}/{scheme:?} ran no instructions");
+        }
+    }
+}
+
+/// The other machine models exercise different backend paths: no
+/// copies (base), unified issue (UB), bus starvation (one-bus), and a
+/// structurally starved small machine.
+#[test]
+fn other_machines_identical() {
+    let configs = [
+        Machine::Base.config(),
+        Machine::UpperBound.config(),
+        Machine::OneBus.config(),
+        SimConfig::small_test(),
+    ];
+    for cfg in configs {
+        for scheme in [SchemeKind::Naive, SchemeKind::GeneralBalance, SchemeKind::Fifo] {
+            let event = run(&cfg, "go", scheme);
+            let scan = run(&SimConfig { engine: Engine::Scan, ..cfg.clone() }, "go", scheme);
+            assert_identical(&event, &scan, &format!("{:?}/{scheme:?}", cfg.fus[1]));
+        }
+    }
+}

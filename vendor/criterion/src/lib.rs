@@ -1,0 +1,306 @@
+//! A tiny, dependency-free stand-in for the [criterion] benchmark
+//! harness.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! implements the subset this workspace's benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `throughput` / `finish`,
+//! `Bencher::iter`, `black_box`, `Throughput::Elements` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then takes
+//! `sample_size` samples (each a timed batch of iterations sized to
+//! ~5 ms) and reports the **median** ns/iteration, plus elements/s
+//! when a throughput was declared. No statistical analysis, plots or
+//! baselines.
+//!
+//! Machine-readable output: when the environment variable
+//! `CRITERION_SHIM_JSON` names a path, the final summary is also
+//! written there as JSON (used by CI to record `BENCH_pipeline.json`).
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, used to derive a rate.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured in total.
+    pub iterations: u64,
+    /// Declared per-iteration workload, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements (or bytes) per second, when a throughput was declared.
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        let n = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        if self.ns_per_iter <= 0.0 {
+            return None;
+        }
+        Some(n as f64 * 1e9 / self.ns_per_iter)
+    }
+}
+
+/// Runs closures under timing (the argument of `bench_function`).
+pub struct Bencher<'m> {
+    samples: &'m mut Vec<f64>,
+    iters_done: &'m mut u64,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until one batch
+        // takes ≥ ~5 ms (or 1<<20 iterations, whichever first).
+        let mut batch: u64 = 1;
+        let target = Duration::from_millis(5);
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            *self.iters_done += batch;
+            if dt >= target || batch >= 1 << 20 {
+                self.samples
+                    .push(dt.as_nanos() as f64 / batch as f64);
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 1..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            *self.iters_done += batch;
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent functions.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = name.as_ref();
+        let mut samples = Vec::new();
+        let mut iters = 0u64;
+        {
+            let mut b = Bencher {
+                samples: &mut samples,
+                iters_done: &mut iters,
+                sample_size: self.criterion.sample_size,
+            };
+            f(&mut b);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = if samples.is_empty() {
+            0.0
+        } else {
+            samples[samples.len() / 2]
+        };
+        let m = Measurement {
+            id: format!("{}/{}", self.name, name),
+            ns_per_iter: median,
+            iterations: iters,
+            throughput: self.throughput,
+        };
+        report(&m);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(m: &Measurement) {
+    match m.rate_per_sec() {
+        Some(rate) => println!(
+            "{:<44} time: {:>12}   thrpt: {:.3} Melem/s",
+            m.id,
+            human_time(m.ns_per_iter),
+            rate / 1e6
+        ),
+        None => println!("{:<44} time: {:>12}", m.id, human_time(m.ns_per_iter)),
+    }
+}
+
+/// The harness entry point: holds configuration and collected results.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Writes the JSON summary if `CRITERION_SHIM_JSON` is set.
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn write_json_summary(&self) {
+        let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            let rate = m
+                .rate_per_sec()
+                .map_or("null".to_string(), |r| format!("{r:.1}"));
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_sec\": {}}}{}\n",
+                m.id, m.ns_per_iter, rate, sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(&path, out) {
+            Ok(()) => eprintln!("[criterion-shim] wrote {path}"),
+            Err(e) => eprintln!("[criterion-shim] could not write {path}: {e}"),
+        }
+    }
+}
+
+/// Declares a benchmark group function (criterion's `name`/`config`/
+/// `targets` form and the positional form are both accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() -> $crate::Criterion {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main`, running each group and emitting the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filters) to
+            // harness-less bench binaries; this shim runs everything.
+            $(
+                let criterion = $group();
+                criterion.write_json_summary();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        work(&mut c);
+        assert_eq!(c.results().len(), 1);
+        let m = &c.results()[0];
+        assert_eq!(m.id, "shim/sum");
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.rate_per_sec().expect("throughput declared") > 0.0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_time(2e9).ends_with(" s"));
+    }
+}
