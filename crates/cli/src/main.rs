@@ -27,12 +27,18 @@ fn usage() -> &'static str {
 
 USAGE:
     dca run     [--bench NAME | --kernel NAME | --asm FILE] [--scheme NAME]
-                [--machine NAME] [--scale smoke|default|full] [--max-insts N]
+                [--machine NAME] [--scale smoke|default|full|paper] [--max-insts N]
                 [--trace N] [--pipe FROM:TO]
     dca compare [--bench NAME|all] [--schemes a,b,...] [--scale ...]
     dca slices  [--bench NAME | --kernel NAME | --asm FILE]
     dca list
     dca figures [ID ...]          (no ID: regenerate everything)
+
+`--scale paper` runs the paper's 100M-instruction window per benchmark
+via checkpointed sampled simulation (compare/figures only; tune with
+--sample-period N, --sample-warmup N, --sample-interval N — the flags
+also enable sampling at other scales). `figures sampling` regenerates
+the sampling methodology report.
 
 Machines: base | clustered | one-bus | ub
 Run `dca list` for benchmark and scheme names."

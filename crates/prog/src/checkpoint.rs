@@ -1,0 +1,171 @@
+//! Interpreter checkpoints and functional fast-forward.
+//!
+//! The paper simulates 100M instructions per benchmark — far too much
+//! to run through the detailed timing model for every (benchmark,
+//! machine, scheme) combination. The sampled-simulation subsystem
+//! (DESIGN.md §7) instead fast-forwards the *functional* interpreter
+//! over the whole window, snapshotting the architectural state every
+//! `K` instructions; the timing simulator later warm-starts from any
+//! snapshot and measures a short detailed interval. Snapshots are cheap
+//! because [`Memory`](crate::Memory) pages are copy-on-write: a
+//! [`Checkpoint`] holds the register file by value and shares every
+//! memory page with its neighbours until one of them diverges.
+
+use crate::interp::{Interp, Memory};
+use crate::Program;
+
+/// A complete architectural snapshot of an [`Interp`]: registers,
+/// memory (shared pages), PC cursor and dynamic-instruction count.
+///
+/// Restoring via [`Interp::resume`] reproduces the remaining dynamic
+/// stream bit-for-bit (property-tested in `tests/prop_checkpoint.rs`).
+///
+/// # Example
+///
+/// ```
+/// use dca_prog::{parse_asm, Interp, Memory};
+/// let p = parse_asm("e:\n li r1, #3\nl:\n add r1, r1, #-1\n bne r1, r0, l\n halt")?;
+/// let mut a = Interp::new(&p, Memory::new());
+/// a.next(); // execute `li`
+/// let ckpt = a.checkpoint();
+/// let rest_a: Vec<_> = a.collect();
+/// let rest_b: Vec<_> = Interp::resume(&p, &ckpt).collect();
+/// assert_eq!(rest_a, rest_b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub(crate) int_regs: [i64; 32],
+    pub(crate) fp_regs: [f64; 32],
+    pub(crate) mem: Memory,
+    pub(crate) cursor: Option<u32>,
+    pub(crate) seq: u64,
+    pub(crate) halted: bool,
+}
+
+impl Checkpoint {
+    /// Dynamic instructions executed before this snapshot was taken.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The memory image at the snapshot (shared copy-on-write pages).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// `true` if the program had already reached `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+/// Result of a [`fast_forward`] pass over a program.
+#[derive(Clone, Debug)]
+pub struct FastForward {
+    /// Snapshots at dynamic-instruction counts `0, K, 2K, …` (the first
+    /// entry is always the initial state).
+    pub checkpoints: Vec<Checkpoint>,
+    /// Total dynamic instructions executed (≤ `max`).
+    pub total_insts: u64,
+    /// Whether the program reached `halt` within the budget.
+    pub halted: bool,
+}
+
+/// Executes `prog` functionally for at most `max` dynamic instructions,
+/// snapshotting every `every` instructions. A final checkpoint exactly
+/// at the end of the stream is *not* recorded (there would be nothing
+/// left to simulate from it).
+///
+/// # Panics
+///
+/// Panics if `every == 0`.
+pub fn fast_forward(prog: &Program, mem: Memory, every: u64, max: u64) -> FastForward {
+    assert!(every > 0, "checkpoint interval must be non-zero");
+    let mut it = Interp::new(prog, mem).with_fuel(max);
+    let mut checkpoints = vec![it.checkpoint()];
+    let mut next_ckpt = every;
+    while it.next().is_some() {
+        if it.seq() == next_ckpt && it.seq() < max {
+            checkpoints.push(it.checkpoint());
+            next_ckpt += every;
+        }
+    }
+    FastForward {
+        checkpoints,
+        total_insts: it.seq(),
+        halted: it.halted(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_asm;
+
+    fn countdown(n: i64) -> Program {
+        parse_asm(&format!(
+            "e:\n li r1, #{n}\n li r2, #8192\nl:\n st r1, 0(r2)\n ld r3, 0(r2)\n add r2, r2, #8\n add r1, r1, #-1\n bne r1, r0, l\n halt"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_forward_places_checkpoints_on_the_grid() {
+        let p = countdown(100);
+        let ff = fast_forward(&p, Memory::new(), 50, u64::MAX);
+        assert!(ff.halted);
+        assert_eq!(ff.total_insts, 2 + 100 * 5);
+        assert_eq!(ff.checkpoints.len(), 1 + (ff.total_insts - 1) as usize / 50);
+        for (k, c) in ff.checkpoints.iter().enumerate() {
+            assert_eq!(c.seq(), k as u64 * 50);
+        }
+    }
+
+    #[test]
+    fn resume_reproduces_the_tail_of_the_stream() {
+        let p = countdown(40);
+        let full: Vec<_> = Interp::new(&p, Memory::new()).collect();
+        let ff = fast_forward(&p, Memory::new(), 64, u64::MAX);
+        for c in &ff.checkpoints {
+            let tail: Vec<_> = Interp::resume(&p, c).collect();
+            assert_eq!(tail.as_slice(), &full[c.seq() as usize..]);
+        }
+    }
+
+    #[test]
+    fn resume_respects_absolute_fuel() {
+        let p = countdown(40);
+        let ff = fast_forward(&p, Memory::new(), 64, u64::MAX);
+        let c = &ff.checkpoints[1];
+        let n = Interp::resume(&p, c).with_fuel(c.seq() + 10).count();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn fuel_caps_fast_forward() {
+        let p = countdown(1000);
+        let ff = fast_forward(&p, Memory::new(), 100, 350);
+        assert_eq!(ff.total_insts, 350);
+        assert!(!ff.halted);
+        // Checkpoints at 0, 100, 200, 300 — none at the 350 cut.
+        assert_eq!(ff.checkpoints.len(), 4);
+    }
+
+    #[test]
+    fn checkpoints_share_untouched_pages() {
+        let p = countdown(16);
+        let mut it = Interp::new(&p, Memory::new());
+        for _ in 0..20 {
+            it.next();
+        }
+        let ckpt = it.checkpoint();
+        let pages_at_snapshot = ckpt.memory().page_count();
+        while it.next().is_some() {}
+        // The snapshot still sees the memory as it was: the live image
+        // diverged on its own copies of the written pages.
+        assert_eq!(ckpt.memory().page_count(), pages_at_snapshot);
+        let tail: Vec<_> = Interp::resume(&p, &ckpt).collect();
+        assert!(!tail.is_empty());
+    }
+}

@@ -7,15 +7,23 @@
 //! the timing core charges cycles to them.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dca_isa::{ExecClass, Inst, Opcode, Reg};
 
+use crate::checkpoint::Checkpoint;
 use crate::Program;
 
-const PAGE_SHIFT: u64 = 12;
-const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_SHIFT: u64 = 12;
+pub(crate) const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 
 /// Sparse byte-addressable memory. Uninitialised bytes read as zero.
+///
+/// Pages are reference-counted and copied on write, so cloning a
+/// `Memory` is O(pages) pointer copies — this is what makes interpreter
+/// [`Checkpoint`]s cheap: a snapshot shares every page with the live
+/// image and only diverging pages are ever duplicated (the "memory
+/// delta" of the sampled-simulation design, DESIGN.md §7).
 ///
 /// # Example
 ///
@@ -28,7 +36,7 @@ const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: HashMap<u64, Arc<[u8; PAGE_BYTES]>>,
 }
 
 impl Memory {
@@ -38,9 +46,11 @@ impl Memory {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+        Arc::make_mut(
+            self.pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Arc::new([0u8; PAGE_BYTES])),
+        )
     }
 
     /// Reads one byte.
@@ -58,17 +68,33 @@ impl Memory {
 
     /// Reads a little-endian 64-bit word (may straddle pages).
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let mut bytes = [0u8; 8];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u64));
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off <= PAGE_BYTES - 8 {
+            // Word within one page: a single lookup.
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+                None => 0,
+            }
+        } else {
+            let mut bytes = [0u8; 8];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u64));
+            }
+            u64::from_le_bytes(bytes)
         }
-        u64::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian 64-bit word (may straddle pages).
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), *b);
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off <= PAGE_BYTES - 8 {
+            // Word within one page: one lookup and one copy-on-write
+            // check, instead of eight of each.
+            self.page_mut(addr)[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u64), *b);
+            }
         }
     }
 
@@ -237,6 +263,46 @@ impl<'p> Interp<'p> {
     /// `true` once `halt` has been reached.
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// Dynamic instructions executed so far. Note that [`Interp::with_fuel`]
+    /// compares against this *absolute* count, so an interpreter resumed
+    /// from a [`Checkpoint`] at N instructions needs `with_fuel(N + k)`
+    /// to run `k` further instructions.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Takes a cheap architectural snapshot: registers, memory (shared
+    /// copy-on-write pages), the PC cursor and the dynamic-instruction
+    /// count. Resuming from it reproduces the remaining stream exactly
+    /// (see `tests/prop_checkpoint.rs`).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            int_regs: self.int_regs,
+            fp_regs: self.fp_regs,
+            mem: self.mem.clone(),
+            cursor: self.cursor,
+            seq: self.seq,
+            halted: self.halted,
+        }
+    }
+
+    /// Rebuilds an interpreter from a snapshot of `prog`. The restored
+    /// interpreter has no fuel limit; callers wanting a bounded interval
+    /// chain [`Interp::with_fuel`] with an absolute budget
+    /// (`ckpt.seq() + interval`).
+    pub fn resume(prog: &'p Program, ckpt: &Checkpoint) -> Interp<'p> {
+        Interp {
+            prog,
+            int_regs: ckpt.int_regs,
+            fp_regs: ckpt.fp_regs,
+            mem: ckpt.mem.clone(),
+            cursor: ckpt.cursor,
+            seq: ckpt.seq,
+            fuel: None,
+            halted: ckpt.halted,
+        }
     }
 
     fn read_int(&self, r: Option<Reg>) -> i64 {

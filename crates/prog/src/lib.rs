@@ -18,6 +18,11 @@
 //! * [`Interp`]: a functional (architecturally correct) interpreter that
 //!   turns a program plus initial memory into the dynamic instruction
 //!   stream ([`DynInst`]) consumed by the cycle-level simulator.
+//! * [`Checkpoint`] / [`fast_forward`]: cheap architectural snapshots
+//!   (copy-on-write memory pages) taken every K instructions during a
+//!   functional fast-forward — the substrate of the sampled-simulation
+//!   harness (DESIGN.md §7) that makes paper-scale (100M-instruction)
+//!   runs affordable.
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@
 
 mod asm;
 mod builder;
+mod checkpoint;
 mod interp;
 mod program;
 mod rdg;
@@ -51,6 +57,7 @@ mod slice;
 
 pub use asm::{disassemble, parse_asm, AsmError};
 pub use builder::ProgramBuilder;
+pub use checkpoint::{fast_forward, Checkpoint, FastForward};
 pub use interp::{DynInst, ExecSummary, Interp, Memory};
 pub use program::{Block, Program, ProgramError, StaticInst};
 pub use rdg::{NodeId, NodePart, Rdg};

@@ -78,7 +78,7 @@ impl Displaced {
 pub struct RegFile {
     ready_at: Vec<u64>,
     /// Dense copy id when the value was produced by a copy instruction.
-    copy_id: Vec<Option<u32>>,
+    copy_id: Vec<Option<u64>>,
     /// Per register: µop sequence numbers of IQ entries waiting for
     /// [`RegFile::set_ready`] on it (empty under the scan engine).
     waiters: Vec<Vec<u64>>,
@@ -154,7 +154,7 @@ impl RegFile {
     }
 
     /// Marks `p` as produced by copy number `id` (and readable at `at`).
-    pub fn set_ready_from_copy(&mut self, p: PhysReg, at: u64, id: u32) {
+    pub fn set_ready_from_copy(&mut self, p: PhysReg, at: u64, id: u64) {
         self.copy_id[p.0 as usize] = Some(id);
         self.set_ready(p, at);
     }
@@ -182,7 +182,7 @@ impl RegFile {
     }
 
     /// The copy that produced `p`, if any.
-    pub fn copy_id(&self, p: PhysReg) -> Option<u32> {
+    pub fn copy_id(&self, p: PhysReg) -> Option<u64> {
         self.copy_id[p.0 as usize]
     }
 }

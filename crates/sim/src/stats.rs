@@ -186,6 +186,42 @@ impl SimStats {
     pub fn speedup_over(&self, base: &SimStats) -> f64 {
         (self.ipc() / base.ipc() - 1.0) * 100.0
     }
+
+    /// Accumulates another run's counters into this one — the
+    /// per-interval combination step of the sampled-simulation harness
+    /// (DESIGN.md §7). Ratio metrics ([`SimStats::ipc`],
+    /// [`SimStats::comms_per_inst`], …) then report the
+    /// ratio-of-sums over all merged intervals.
+    ///
+    /// Every counter is `u64` precisely so this sum stays exact at
+    /// paper scale (100M instructions per benchmark) and beyond; see
+    /// the `counters_survive_paper_scale` regression test.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.committed_uops += other.committed_uops;
+        self.copies += other.copies;
+        self.critical_copies += other.critical_copies;
+        for (a, b) in self.copies_by_dir.iter_mut().zip(&other.copies_by_dir) {
+            *a += b;
+        }
+        for (a, b) in self.steered.iter_mut().zip(&other.steered) {
+            *a += b;
+        }
+        self.balance.merge(&other.balance);
+        self.replication_reg_cycles += other.replication_reg_cycles;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.forwarded_loads += other.forwarded_loads;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.l1i.merge(&other.l1i);
+        self.l1d.merge(&other.l1d);
+        self.l2.merge(&other.l2);
+        self.bpred.merge(&other.bpred);
+        self.dispatch_stall_cycles += other.dispatch_stall_cycles;
+        self.slice_hits += other.slice_hits;
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +282,69 @@ mod tests {
     fn histogram_bucket_bounds_checked() {
         let h = BalanceHistogram::new();
         let _ = h.count(11);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = SimStats {
+            cycles: 10,
+            committed: 7,
+            committed_uops: 9,
+            copies: 2,
+            critical_copies: 1,
+            copies_by_dir: [1, 1],
+            steered: [4, 3],
+            replication_reg_cycles: 5,
+            loads: 3,
+            stores: 1,
+            forwarded_loads: 1,
+            branches: 2,
+            mispredicts: 1,
+            dispatch_stall_cycles: 4,
+            slice_hits: 6,
+            ..SimStats::default()
+        };
+        a.balance.record(2);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.committed, 14);
+        assert_eq!(a.copies_by_dir, [2, 2]);
+        assert_eq!(a.steered, [8, 6]);
+        assert_eq!(a.balance.cycles(), 2);
+        assert_eq!(a.dispatch_stall_cycles, 8);
+        assert_eq!(a.slice_hits, 12);
+        assert!((a.ipc() - b.ipc()).abs() < 1e-12, "ratio of sums is scale-free");
+    }
+
+    /// Overflow-audit regression (ISSUE 2): a paper-scale run — and the
+    /// merge of many such runs — pushes instruction and cycle counters
+    /// past 2^32. Every accumulating counter must be 64-bit and every
+    /// derived metric must stay exact/finite there.
+    #[test]
+    fn counters_survive_paper_scale() {
+        let over_u32 = (u32::MAX as u64) + 5_000_000_000;
+        let mut s = SimStats {
+            cycles: over_u32,
+            committed: over_u32,
+            committed_uops: over_u32 + over_u32 / 4,
+            copies: over_u32 / 4,
+            critical_copies: over_u32 / 8,
+            copies_by_dir: [over_u32 / 8, over_u32 / 8],
+            steered: [over_u32 / 2, over_u32 / 2],
+            replication_reg_cycles: over_u32 * 3,
+            loads: over_u32 / 4,
+            stores: over_u32 / 8,
+            branches: over_u32 / 6,
+            mispredicts: over_u32 / 60,
+            ..SimStats::default()
+        };
+        let snapshot = s.clone();
+        s.merge(&snapshot);
+        assert_eq!(s.cycles, 2 * over_u32, "no wrap on merge");
+        assert!((s.ipc() - 1.0).abs() < 1e-9);
+        assert!(s.comms_per_inst() > 0.0 && s.comms_per_inst().is_finite());
+        assert!(s.avg_replication() > 2.9 && s.avg_replication().is_finite());
+        assert!(s.mispredict_ratio() < 0.2);
     }
 }

@@ -56,6 +56,27 @@ impl PredictorStats {
     pub fn mispredicts(&self) -> u64 {
         self.lookups - self.correct
     }
+
+    /// Accumulates `other` (used when merging per-interval statistics
+    /// of a sampled run).
+    pub fn merge(&mut self, other: &PredictorStats) {
+        self.lookups += other.lookups;
+        self.correct += other.correct;
+    }
+
+    /// Counters accumulated since `baseline` was captured (used to
+    /// exclude functional-warming updates from a measured interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `baseline` is not a prefix of `self`.
+    pub fn since(&self, baseline: &PredictorStats) -> PredictorStats {
+        debug_assert!(self.lookups >= baseline.lookups && self.correct >= baseline.correct);
+        PredictorStats {
+            lookups: self.lookups - baseline.lookups,
+            correct: self.correct - baseline.correct,
+        }
+    }
 }
 
 /// A branch direction predictor: look up a prediction at fetch, then

@@ -71,6 +71,27 @@ impl CacheStats {
             self.misses() as f64 / self.accesses as f64
         }
     }
+
+    /// Accumulates `other` (used when merging per-interval statistics
+    /// of a sampled run).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+    }
+
+    /// Counters accumulated since `baseline` was captured (used to
+    /// exclude functional-warming accesses from a measured interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `baseline` is not a prefix of `self`.
+    pub fn since(&self, baseline: &CacheStats) -> CacheStats {
+        debug_assert!(self.accesses >= baseline.accesses && self.hits >= baseline.hits);
+        CacheStats {
+            accesses: self.accesses - baseline.accesses,
+            hits: self.hits - baseline.hits,
+        }
+    }
 }
 
 /// A set-associative cache with true-LRU replacement and

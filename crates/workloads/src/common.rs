@@ -9,8 +9,9 @@ use dca_stats::Rng64;
 /// practical for a per-figure × per-scheme sweep on one machine, so the
 /// default scale targets several hundred thousand dynamic instructions
 /// — past all cache/predictor warm-up, and enough for the scheme
-/// ranking to be stable (the experiment harness exposes `--scale full`
-/// for longer runs).
+/// ranking to be stable. The experiment harness exposes `--scale full`
+/// for longer runs and `--scale paper` for the paper's full operating
+/// point via sampled simulation (DESIGN.md §7).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// A few thousand dynamic instructions; unit tests.
@@ -18,18 +19,32 @@ pub enum Scale {
     /// Hundreds of thousands of dynamic instructions; the default for
     /// all figures.
     Default,
-    /// Several million dynamic instructions; closest to the paper's
-    /// runs.
+    /// Several million dynamic instructions; detailed simulation is
+    /// still affordable end-to-end.
     Full,
+    /// The paper's operating point: every analogue executes at least
+    /// 100M dynamic instructions (the harness caps the simulation
+    /// window at [`Scale::PAPER_INSTS`]). Only practical through the
+    /// checkpointed sampling harness in `dca-bench`.
+    Paper,
 }
 
 impl Scale {
+    /// The paper's per-benchmark simulation window (100M dynamic
+    /// instructions).
+    pub const PAPER_INSTS: u64 = 100_000_000;
+
     /// Multiplier applied to each benchmark's base iteration count.
+    ///
+    /// The `Paper` factor is sized so that the *smallest* analogue
+    /// (`gcc`, ≈11.2K dynamic instructions per factor unit) still
+    /// exceeds the 100M-instruction window.
     pub fn factor(self) -> u64 {
         match self {
             Scale::Smoke => 1,
             Scale::Default => 24,
             Scale::Full => 192,
+            Scale::Paper => 9216,
         }
     }
 }

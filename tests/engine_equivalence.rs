@@ -68,6 +68,61 @@ fn all_schemes_identical_on_clustered_machine() {
     }
 }
 
+/// The skip-ahead fast path must replay `Steering::on_cycle` into
+/// windowed imbalance state exactly as stepped cycles would: the
+/// I2 `VecDeque` window of the `ImbalanceMonitor` ages once per
+/// (skipped or real) cycle, and a divergence there changes steering
+/// decisions and therefore every downstream statistic. The pointer-
+/// chasing `li` analogue is the quiescent-heavy stressor — its
+/// load-to-load dependence chains leave the machine idle for long
+/// spans, so the event engine spends most cycles inside skip-ahead —
+/// and each `ImbalanceMetric` variant weights the windowed term
+/// differently (I2-only being the pure-window worst case).
+#[test]
+fn imbalance_metric_variants_identical_on_quiescent_workload() {
+    use dca::sim::Simulator;
+    use dca_steer::{ImbalanceConfig, ImbalanceMetric, NonSliceBalance, SliceBalance, SliceKind};
+
+    let w = build("li", Scale::Smoke);
+    for metric in [
+        ImbalanceMetric::I1Only,
+        ImbalanceMetric::I2Only,
+        ImbalanceMetric::Combined,
+    ] {
+        let cfg_of = |engine| SimConfig {
+            engine,
+            ..SimConfig::paper_clustered()
+        };
+        let imb = ImbalanceConfig {
+            metric,
+            ..ImbalanceConfig::default()
+        };
+        // Both monitor-driven scheme families, so the window is
+        // exercised through every call pattern.
+        for slice in [false, true] {
+            let run_engine = |engine| {
+                if slice {
+                    let mut s = SliceBalance::with_config(SliceKind::LdSt, imb);
+                    Simulator::new(&cfg_of(engine), &w.program, w.memory.clone())
+                        .run(&mut s, FUEL)
+                } else {
+                    let mut s = NonSliceBalance::with_config(SliceKind::LdSt, imb);
+                    Simulator::new(&cfg_of(engine), &w.program, w.memory.clone())
+                        .run(&mut s, FUEL)
+                }
+            };
+            let event = run_engine(Engine::Event);
+            let scan = run_engine(Engine::Scan);
+            assert_identical(
+                &event,
+                &scan,
+                &format!("li/{metric:?}/{}", if slice { "slice-bal" } else { "non-slice" }),
+            );
+            assert!(event.committed > 0);
+        }
+    }
+}
+
 /// The other machine models exercise different backend paths: no
 /// copies (base), unified issue (UB), bus starvation (one-bus), and a
 /// structurally starved small machine.

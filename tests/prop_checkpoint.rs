@@ -1,0 +1,116 @@
+//! Property tests of the checkpoint/restore subsystem (ISSUE 2): for
+//! any program and any snapshot point, resuming an interpreter from a
+//! checkpoint must reproduce *exactly* what straight-line execution
+//! would have produced — the dynamic stream, the final architectural
+//! registers, and memory. The sampled-simulation harness leans on this
+//! equivalence for every measured interval.
+
+use dca::prog::{fast_forward, Interp, Memory, ProgramBuilder};
+use dca::prog::Program;
+use dca_isa::{Inst, Reg};
+use proptest::prelude::*;
+
+const FUEL: u64 = 4_000;
+
+/// A random always-terminating program: a few blocks of arithmetic and
+/// arena-confined memory traffic, each looping on its own bounded
+/// countdown so control flow (taken/not-taken mixes) varies by case.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let body_inst = prop_oneof![
+        (1u8..10, 1u8..10, 1u8..10).prop_map(|(d, a, b)| Inst::add(Reg::int(d), Reg::int(a), Reg::int(b))),
+        (1u8..10, 1u8..10, -50i64..50).prop_map(|(d, a, i)| Inst::addi(Reg::int(d), Reg::int(a), i)),
+        (1u8..10, 1u8..10, 1u8..10).prop_map(|(d, a, b)| Inst::mul(Reg::int(d), Reg::int(a), Reg::int(b))),
+        (1u8..10, 1u8..10, 1u8..10).prop_map(|(d, a, b)| Inst::xor(Reg::int(d), Reg::int(a), Reg::int(b))),
+        (1u8..10, -400i64..400).prop_map(|(d, i)| Inst::li(Reg::int(d), i)),
+        // Arena-confined memory ops: r12/r13 always hold arena bases.
+        (1u8..10, 12u8..14, 0i64..96).prop_map(|(d, b, off)| Inst::ld(Reg::int(d), Reg::int(b), off & !7)),
+        (1u8..10, 12u8..14, 0i64..96).prop_map(|(v, b, off)| Inst::st(Reg::int(v), Reg::int(b), off & !7)),
+    ];
+    (
+        2usize..5,
+        2i64..6,
+        proptest::collection::vec(body_inst, 4..28),
+    )
+        .prop_map(|(nblocks, loops, mut pool)| {
+            let counter = Reg::int(30);
+            let mut b = ProgramBuilder::new();
+            b.block("entry");
+            b.push(Inst::li(Reg::int(12), 0x30000));
+            b.push(Inst::li(Reg::int(13), 0x31000));
+            let per_block = (pool.len() / nblocks).max(1);
+            for bi in 0..nblocks {
+                let l = b.block(format!("b{bi}"));
+                b.push(Inst::li(counter, loops));
+                let body = b.block(format!("b{bi}_body"));
+                let _ = l;
+                let take = per_block.min(pool.len());
+                b.extend(pool.drain(..take));
+                b.push(Inst::addi(counter, counter, -1));
+                b.push(Inst::bge(counter, Reg::ZERO, body));
+            }
+            b.block("exit");
+            b.push(Inst::halt());
+            b.build().expect("generated program is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Resuming at checkpoint N is indistinguishable from having run
+    /// straight through: identical remaining stream, identical final
+    /// register file, identical memory.
+    #[test]
+    fn resume_equals_straight_line_execution(
+        prog in arb_program(),
+        cut in 1u64..200,
+    ) {
+        let mut straight = Interp::new(&prog, Memory::new()).with_fuel(FUEL);
+        let mut prefix = 0u64;
+        while prefix < cut && straight.next().is_some() {
+            prefix += 1;
+        }
+        let ckpt = straight.checkpoint();
+        prop_assert_eq!(ckpt.seq(), prefix);
+        let tail_straight: Vec<_> = straight.by_ref().collect();
+
+        let mut resumed = Interp::resume(&prog, &ckpt).with_fuel(FUEL);
+        let tail_resumed: Vec<_> = resumed.by_ref().collect();
+        prop_assert_eq!(&tail_resumed, &tail_straight);
+        prop_assert_eq!(resumed.halted(), straight.halted());
+        for r in 0..32u8 {
+            prop_assert_eq!(resumed.int_reg(r), straight.int_reg(r), "r{} diverged", r);
+        }
+        // The arena is where every store landed.
+        for addr in (0x30000u64..0x31800).step_by(8) {
+            prop_assert_eq!(
+                resumed.memory().read_u64(addr),
+                straight.memory().read_u64(addr),
+                "memory diverged at {:#x}", addr
+            );
+        }
+    }
+
+    /// The checkpoints of one fast-forward pass tile the stream: the
+    /// concatenated per-interval streams equal the full stream, and
+    /// each checkpoint's snapshot is isolated from execution continuing
+    /// past it (copy-on-write pages must not alias mutably).
+    #[test]
+    fn fast_forward_checkpoints_tile_the_stream(
+        prog in arb_program(),
+        every in 16u64..120,
+    ) {
+        let full: Vec<_> = Interp::new(&prog, Memory::new()).with_fuel(FUEL).collect();
+        let ff = fast_forward(&prog, Memory::new(), every, FUEL);
+        prop_assert_eq!(ff.total_insts, full.len() as u64);
+        let mut rebuilt = Vec::new();
+        for (k, c) in ff.checkpoints.iter().enumerate() {
+            let end = ff
+                .checkpoints
+                .get(k + 1)
+                .map_or(FUEL, |n| n.seq());
+            rebuilt.extend(Interp::resume(&prog, c).with_fuel(end));
+        }
+        prop_assert_eq!(&rebuilt, &full);
+    }
+}
