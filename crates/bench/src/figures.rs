@@ -58,26 +58,44 @@ fn suite_parallel<R: Send>(
 }
 
 /// A regenerated artefact.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Figure {
     /// Stable identifier (`fig03`, `table1`, `ablate_buses`, …).
     pub id: &'static str,
     /// Title, matching the paper's caption.
     pub title: String,
-    /// Markdown body.
+    /// Markdown body. Byte-identical across invocations for the same
+    /// inputs (asserted by `figures::tests`): anything wall-clock-
+    /// dependent belongs in [`Figure::timing`].
     pub body: String,
+    /// Optional wall-clock footer (simulation rates, end-to-end
+    /// speed-ups). Saved separately as `<id>.timing` so the report
+    /// itself stays reproducible byte for byte.
+    pub timing: Option<String>,
 }
 
 impl Figure {
-    /// Writes the figure to `<dir>/<id>.md` and returns the path.
+    /// Writes the figure to `<dir>/<id>.md` (and any timing footer to
+    /// `<dir>/<id>.timing`) and returns the report path.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from creating the directory or file.
+    /// Propagates I/O errors from creating the directory or files.
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.md", self.id));
         std::fs::write(&path, format!("# {}\n\n{}", self.title, self.body))?;
+        let timing_path = dir.join(format!("{}.timing", self.id));
+        match &self.timing {
+            Some(timing) => std::fs::write(timing_path, timing)?,
+            // A regeneration without a footer must not leave a stale
+            // one beside the fresh report.
+            None => match std::fs::remove_file(timing_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            },
+        }
         Ok(path)
     }
 }
@@ -152,6 +170,7 @@ fn speedup_figure(
         id,
         title: title.to_string(),
         body,
+        timing: None,
     }
 }
 
@@ -210,6 +229,7 @@ fn comm_figure(
         id,
         title: title.to_string(),
         body,
+        timing: None,
     }
 }
 
@@ -258,6 +278,7 @@ fn balance_figure(
         id,
         title: title.to_string(),
         body,
+        timing: None,
     }
 }
 
@@ -294,6 +315,7 @@ pub fn table1(lab: &mut Lab) -> Figure {
         id: "table1",
         title: "Table 1: Benchmarks and their inputs (SpecInt95 analogues)".into(),
         body: t.to_markdown(),
+        timing: None,
     }
 }
 
@@ -399,6 +421,7 @@ pub fn table2(_lab: &mut Lab) -> Figure {
         id: "table2",
         title: "Table 2: Machine parameters".into(),
         body: t.to_markdown(),
+        timing: None,
     }
 }
 
@@ -648,6 +671,7 @@ pub fn fig15(lab: &mut Lab) -> Figure {
         id: "fig15",
         title: "Figure 15: Register replication (general balance steering)".into(),
         body,
+        timing: None,
     }
 }
 
@@ -755,6 +779,7 @@ pub fn ablate_imbalance(lab: &mut Lab) -> Figure {
             "Speed-up (%) of LdSt non-slice balance steering by imbalance metric.\n\n{}",
             t.to_markdown()
         ),
+        timing: None,
     }
 }
 
@@ -783,6 +808,7 @@ pub fn ablate_threshold(lab: &mut Lab) -> Figure {
         id: "ablate_threshold",
         title: "Ablation: adaptive criticality threshold (§3.7)".into(),
         body: t.to_markdown(),
+        timing: None,
     }
 }
 
@@ -836,6 +862,7 @@ pub fn ablate_copy_latency(lab: &mut Lab) -> Figure {
              communications are rare enough.\n\n{}",
             t.to_markdown()
         ),
+        timing: None,
     }
 }
 
@@ -898,6 +925,7 @@ pub fn ablate_issue_width(lab: &mut Lab) -> Figure {
              communication penalty (not just adding width) buys.\n\n{}",
             t.to_markdown()
         ),
+        timing: None,
     }
 }
 
@@ -945,6 +973,7 @@ pub fn ablate_window(lab: &mut Lab) -> Figure {
              it at 64 in-flight instructions.\n\n{}",
             t.to_markdown()
         ),
+        timing: None,
     }
 }
 
@@ -1000,6 +1029,7 @@ pub fn ablate_rf_ports(lab: &mut Lab) -> Figure {
              tighter configurations throttle copies and computation alike.\n\n{}",
             t.to_markdown()
         ),
+        timing: None,
     }
 }
 
@@ -1018,10 +1048,20 @@ const SAMPLING_SERIES: [(&str, Machine, SchemeKind); 4] = [
     ("Clustered / general bal.", Machine::Clustered, SchemeKind::GeneralBalance),
 ];
 
+/// The stateful scheme whose steering-state warm-up delta the report
+/// quantifies (slice-id tables rebuilt at decode time).
+const WARM_STEERING_SCHEME: SchemeKind = SchemeKind::LdStSliceBalance;
+
 /// Sampling methodology report: sampled IPC with interval count and
-/// standard error for the acceptance quartet, plus fast-forward /
-/// detailed-simulation rates and the end-to-end speed-up over an
-/// (extrapolated) straight detailed run of the same window.
+/// standard error for the acceptance quartet, the adaptive-budget
+/// outcome per combination, and the steering-state warm-up delta for
+/// one stateful scheme.
+///
+/// Everything in the report body is deterministic — byte-identical
+/// across invocations, worker schedules and store temperature. The
+/// wall-clock rate lines (fast-forward/detailed rates, store hits and
+/// the end-to-end speed-up over an extrapolated straight pass) go into
+/// the `results/sampling.timing` footer instead.
 ///
 /// At `--scale paper` this is the paper's full 100M-instruction
 /// operating point; at other scales (or without sampling) it reports
@@ -1030,7 +1070,8 @@ const SAMPLING_SERIES: [(&str, Machine, SchemeKind); 4] = [
 /// there (CI records it as `BENCH_sampling.json`).
 pub fn sampling(lab: &mut Lab) -> Figure {
     ensure_series(lab, &SAMPLING_SERIES, &[SAMPLING_BENCH], true);
-    let sampled = lab.opts().sampling.is_some();
+    let opts = lab.opts();
+    let sampled = opts.sampling.is_some();
 
     let mut t = Table::new(&[
         "machine / scheme",
@@ -1043,7 +1084,15 @@ pub fn sampling(lab: &mut Lab) -> Figure {
     for &(label, machine, scheme) in &SAMPLING_SERIES {
         let s = lab.stats(SAMPLING_BENCH, machine, scheme);
         let (intervals, interval_ipc) = match lab.sample_info(SAMPLING_BENCH, machine, scheme) {
-            Some(info) => (info.intervals.to_string(), info.ipc_text()),
+            Some(info) => (
+                format!(
+                    "{}/{}{}",
+                    info.intervals,
+                    info.budget,
+                    if info.early_stop { " (early stop)" } else { "" }
+                ),
+                info.ipc_text(),
+            ),
             None => ("1 (unsampled)".into(), format!("{:.3}", s.ipc())),
         };
         t.row(&[
@@ -1058,34 +1107,86 @@ pub fn sampling(lab: &mut Lab) -> Figure {
     let mut body = String::new();
     let _ = writeln!(
         body,
-        "Checkpointed sampled simulation of `{SAMPLING_BENCH}` (DESIGN.md §7):\n\
+        "Checkpointed sampled simulation of `{SAMPLING_BENCH}` (DESIGN.md §7/§8):\n\
          the dynamic window is fast-forwarded functionally with a checkpoint\n\
          every `period` instructions; each checkpoint seeds one measured\n\
          interval (functional cache/predictor warming, then detailed\n\
          simulation), and intervals of all combinations fan across the\n\
          worker pool. Reported IPC is the ratio of summed committed\n\
-         instructions to summed cycles over all intervals.\n"
+         instructions to summed cycles over the merged intervals.\n"
     );
-    if let Some(s) = lab.opts().sampling {
+    if let Some(s) = opts.sampling {
+        let stop = match s.target_stderr {
+            Some(t) => format!(
+                "adaptive early exit at 95% CI half-width ≤ {t} IPC (min 2 intervals)"
+            ),
+            None => "fixed full-budget intervals".to_string(),
+        };
         let _ = writeln!(
             body,
-            "Parameters: window {} insts, period {}, warmup {}, detailed interval {}.\n",
-            lab.opts().max_insts,
-            s.period,
-            s.warmup,
-            s.interval
+            "Parameters: window {} insts, period {}, warmup {}, detailed interval {},\n{stop}.\n",
+            opts.max_insts, s.period, s.warmup, s.interval
         );
     } else {
         let _ = writeln!(
             body,
             "Sampling inactive at this scale — straight detailed runs of at\n\
              most {} instructions are reported.\n",
-            lab.opts().max_insts
+            opts.max_insts
         );
     }
     let _ = writeln!(body, "{}", t.to_markdown());
 
-    // Rates and the end-to-end economics (sampled mode only).
+    // Steering-state warm-up delta (ROADMAP item): one stateful scheme
+    // measured with cold versus functionally warmed slice tables. Both
+    // sides run the full fixed interval budget — never the adaptive
+    // early exit — so the delta compares identical measured windows
+    // and is purely the table-warmth effect. Deterministic, so it
+    // lives in the report body.
+    let mut warm_json = String::new();
+    if sampled {
+        let side = |warm_steering: bool, parent: &Lab| {
+            let mut o = opts.clone();
+            o.warm_steering = warm_steering;
+            if let Some(s) = o.sampling.as_mut() {
+                s.target_stderr = None;
+            }
+            let mut l = Lab::new(o);
+            // Reuse the parent's workloads and checkpoint stream: the
+            // side measurement must never pay a second fast-forward,
+            // store or no store.
+            l.adopt_from(parent);
+            l.stats(SAMPLING_BENCH, Machine::Clustered, WARM_STEERING_SCHEME)
+        };
+        let (cold, warm) = (side(false, lab), side(true, lab));
+        let delta = (warm.ipc() / cold.ipc() - 1.0) * 100.0;
+        let _ = writeln!(
+            body,
+            "Steering-state warm-up (`--warm-steering`): {} with cold slice\n\
+             tables {:.3} IPC, with tables rebuilt during functional warming\n\
+             {:.3} IPC ({:+.2}%). Slice tables relearn within an interval, so\n\
+             the delta bounds the per-interval cold-table transient; FIFO\n\
+             occupancy and imbalance windows are issue-/cycle-coupled timing\n\
+             state and cannot be reconstructed from the functional stream\n\
+             (DESIGN.md §8).\n",
+            WARM_STEERING_SCHEME.label(),
+            cold.ipc(),
+            warm.ipc(),
+            delta,
+        );
+        let _ = write!(
+            warm_json,
+            ",\n  \"warm_steering\": {{\"scheme\": \"{}\", \"cold_ipc\": {:.4}, \"warm_ipc\": {:.4}, \"delta_pct\": {:.3}}}",
+            WARM_STEERING_SCHEME.name(),
+            cold.ipc(),
+            warm.ipc(),
+            delta,
+        );
+    }
+
+    // Wall-clock rates and end-to-end economics: nondeterministic by
+    // nature, so they go to the `.timing` footer, never the report.
+    let mut timing = None;
     let mut json_extra = String::new();
     if sampled {
         let ff = lab
@@ -1093,6 +1194,7 @@ pub fn sampling(lab: &mut Lab) -> Figure {
             .expect("sampled run fast-forwarded");
         let (mut det_insts, mut det_secs, mut warm_insts, mut warm_secs) =
             (0u64, 0.0f64, 0u64, 0.0f64);
+        let mut stored_intervals = 0u64;
         for &(_, machine, scheme) in &SAMPLING_SERIES {
             let info = lab
                 .sample_info(SAMPLING_BENCH, machine, scheme)
@@ -1101,56 +1203,101 @@ pub fn sampling(lab: &mut Lab) -> Figure {
             det_secs += info.detailed_secs;
             warm_insts += info.warmed_insts;
             warm_secs += info.warm_secs;
+            stored_intervals += info.from_store;
         }
         let ff_rate = ff.insts as f64 / ff.secs.max(1e-9);
-        let det_rate = det_insts as f64 / det_secs.max(1e-9);
-        // A straight detailed pass would simulate the whole window for
-        // every combination at the measured detailed rate. Compare
-        // against the *recorded serial-equivalent* cost of the sampled
-        // runs (fast-forward + warming + detailed, summed over
-        // workers) — not this invocation's wall clock, which is ~0
-        // whenever earlier figures already ensured these combinations.
-        let extrapolated = SAMPLING_SERIES.len() as f64 * ff.insts as f64 / det_rate;
-        let sampled_secs = ff.secs + warm_secs + det_secs;
-        let speedup = extrapolated / sampled_secs.max(1e-9);
+        let mut foot = String::new();
+        let _ = writeln!(
+            foot,
+            "Wall-clock footer of results/sampling.md (regenerated every run;\n\
+             deliberately outside the byte-identical report).\n"
+        );
         let mut rates = Table::new(&["stage", "instructions", "seconds", "insts/sec"]);
         rates.row(&[
-            "functional fast-forward".into(),
-            ff.insts.to_string(),
+            format!(
+                "functional fast-forward{}",
+                if ff.from_store { " (store hit)" } else { "" }
+            ),
+            ff.executed_insts().to_string(),
             format!("{:.2}", ff.secs),
-            format!("{:.2e}", ff_rate),
+            if ff.from_store {
+                "-".into()
+            } else {
+                format!("{ff_rate:.2e}")
+            },
         ]);
         rates.row(&[
             "functional warming".into(),
             warm_insts.to_string(),
-            format!("{:.2}", warm_secs),
+            format!("{warm_secs:.2}"),
             "-".into(),
         ]);
+        let det_rate = det_insts as f64 / det_secs.max(1e-9);
         rates.row(&[
             "detailed (measured)".into(),
             det_insts.to_string(),
-            format!("{:.2}", det_secs),
-            format!("{:.2e}", det_rate),
+            format!("{det_secs:.2}"),
+            if det_secs > 0.0 {
+                format!("{det_rate:.2e}")
+            } else {
+                "-".into()
+            },
         ]);
-        let _ = writeln!(body, "{}", rates.to_markdown());
-        let _ = writeln!(
-            body,
-            "Sampled cost (serial-equivalent): {sampled_secs:.1}s for {} combinations; a\n\
-             straight detailed pass over the same windows extrapolates to\n\
-             {extrapolated:.0}s (×{speedup:.0} speed-up).",
-            SAMPLING_SERIES.len()
-        );
+        let _ = writeln!(foot, "{}", rates.to_markdown());
+        if stored_intervals > 0 {
+            let _ = writeln!(
+                foot,
+                "{stored_intervals} merged intervals were served from the store \
+                 ({}).",
+                opts.store_dir
+                    .as_deref()
+                    .map_or("store dir unknown".into(), |p| p.display().to_string())
+            );
+        }
+        if det_secs > 0.0 {
+            // A straight detailed pass would simulate the whole window
+            // for every combination at the measured detailed rate;
+            // compare against the recorded serial-equivalent cost of
+            // the sampled runs (fast-forward + warming + detailed,
+            // summed over workers) — not this invocation's wall clock,
+            // which is ~0 whenever earlier figures already ensured
+            // these combinations.
+            let extrapolated = SAMPLING_SERIES.len() as f64 * ff.insts as f64 / det_rate;
+            let sampled_secs = ff.secs + warm_secs + det_secs;
+            let speedup = extrapolated / sampled_secs.max(1e-9);
+            let _ = writeln!(
+                foot,
+                "Sampled cost (serial-equivalent): {sampled_secs:.1}s for {} combinations; a\n\
+                 straight detailed pass over the same windows extrapolates to\n\
+                 {extrapolated:.0}s (×{speedup:.0} speed-up).",
+                SAMPLING_SERIES.len()
+            );
+            let _ = write!(
+                json_extra,
+                ",\n  \"detailed\": {{\"insts\": {det_insts}, \"secs\": {det_secs:.3}, \"per_sec\": {det_rate:.1}}},\n  \
+                 \"warm_secs\": {warm_secs:.3},\n  \
+                 \"sampled_serial_secs\": {sampled_secs:.3},\n  \
+                 \"extrapolated_full_secs\": {extrapolated:.1},\n  \
+                 \"speedup_vs_full\": {speedup:.1}",
+            );
+        } else {
+            let _ = writeln!(
+                foot,
+                "No detailed simulation ran this invocation — every merged\n\
+                 interval came from the warm store."
+            );
+        }
         let _ = write!(
             json_extra,
-            ",\n  \"fast_forward\": {{\"insts\": {ff_insts}, \"secs\": {ff_secs:.3}, \"per_sec\": {ff_rate:.1}}},\n  \
-             \"detailed\": {{\"insts\": {det_insts}, \"secs\": {det_secs:.3}, \"per_sec\": {det_rate:.1}}},\n  \
-             \"warm_secs\": {warm_secs:.3},\n  \
-             \"sampled_serial_secs\": {sampled_secs:.3},\n  \
-             \"extrapolated_full_secs\": {extrapolated:.1},\n  \
-             \"speedup_vs_full\": {speedup:.1}",
-            ff_insts = ff.insts,
-            ff_secs = ff.secs,
+            ",\n  \"fast_forward\": {{\"insts\": {}, \"executed_insts\": {}, \"from_store\": {}, \"secs\": {:.3}}},\n  \
+             \"store\": {{\"enabled\": {}, \"intervals_from_store\": {stored_intervals}}}",
+            ff.insts,
+            ff.executed_insts(),
+            ff.from_store,
+            ff.secs,
+            opts.store_dir.is_some(),
         );
+        timing = Some(foot);
     }
 
     if let Ok(path) = std::env::var("SAMPLING_JSON") {
@@ -1158,20 +1305,28 @@ pub fn sampling(lab: &mut Lab) -> Figure {
             let mut combos = String::new();
             for (k, &(label, machine, scheme)) in SAMPLING_SERIES.iter().enumerate() {
                 let s = lab.stats(SAMPLING_BENCH, machine, scheme);
-                let (n, stderr) = lab
+                let (n, budget, early, stderr) = lab
                     .sample_info(SAMPLING_BENCH, machine, scheme)
-                    .map_or((1, 0.0), |i| (i.intervals, i.ipc_stderr));
+                    .map_or((1, 1, false, 0.0), |i| {
+                        (i.intervals, i.budget, i.early_stop, i.ipc_stderr)
+                    });
                 let _ = write!(
                     combos,
-                    "{}\n    {{\"label\": \"{label}\", \"ipc\": {:.4}, \"intervals\": {n}, \"ipc_stderr\": {stderr:.4}}}",
+                    "{}\n    {{\"label\": \"{label}\", \"ipc\": {:.4}, \"intervals\": {n}, \
+                     \"budget\": {budget}, \"early_stop\": {early}, \"ipc_stderr\": {stderr:.4}}}",
                     if k == 0 { "" } else { "," },
                     s.ipc()
                 );
             }
+            let target = opts
+                .sampling
+                .and_then(|s| s.target_stderr)
+                .map_or("null".to_string(), |t| format!("{t}"));
             let json = format!(
                 "{{\n  \"benchmark\": \"{SAMPLING_BENCH}\",\n  \"sampled\": {sampled},\n  \
-                 \"window_insts\": {},\n  \"combos\": [{combos}\n  ]{json_extra}\n}}\n",
-                lab.opts().max_insts
+                 \"window_insts\": {},\n  \"target_stderr\": {target},\n  \
+                 \"combos\": [{combos}\n  ]{json_extra}{warm_json}\n}}\n",
+                opts.max_insts
             );
             match std::fs::write(&path, json) {
                 Ok(()) => eprintln!("[lab] wrote {path}"),
@@ -1184,6 +1339,7 @@ pub fn sampling(lab: &mut Lab) -> Figure {
         id: "sampling",
         title: "Sampled simulation at the paper's operating point (DESIGN.md §7)".into(),
         body,
+        timing,
     }
 }
 
@@ -1256,8 +1412,8 @@ mod tests {
         Lab::new(RunOpts {
             scale: Scale::Smoke,
             max_insts: 25_000,
-            verbose: false,
             sampling: None,
+            ..RunOpts::default()
         })
     }
 
@@ -1312,10 +1468,14 @@ mod tests {
             id: "table2",
             title: "t".into(),
             body: "b".into(),
+            timing: Some("wall clock".into()),
         };
         let p = f.save(&dir).unwrap();
         assert!(p.exists());
+        let t = dir.join("table2.timing");
+        assert_eq!(std::fs::read_to_string(&t).unwrap(), "wall clock");
         std::fs::remove_file(p).ok();
+        std::fs::remove_file(t).ok();
     }
 
     /// ISSUE 2: `results/*.md` must not depend on map iteration order
@@ -1341,34 +1501,37 @@ mod tests {
         };
         assert_eq!(render(), render(), "comm figure must render identically");
 
+        // ISSUE 3: the whole sampling report body is byte-identical —
+        // the wall-clock rate lines moved to the `.timing` footer, so
+        // no filtering is needed any more.
         let render_sampled = || {
             let mut lab = Lab::new(RunOpts {
                 scale: Scale::Smoke,
                 max_insts: 40_000,
-                verbose: false,
                 sampling: Some(crate::SampleOpts {
                     period: 10_000,
                     warmup: 1_000,
                     interval: 2_000,
+                    target_stderr: None,
                 }),
+                ..RunOpts::default()
             });
             let f = sampling(&mut lab);
-            // Wall-clock rate lines vary run to run; the table of
-            // sampled results must not.
-            let table: String = f
-                .body
-                .lines()
-                .filter(|l| l.starts_with('|'))
-                .take(7)
-                .collect::<Vec<_>>()
-                .join("\n");
-            assert!(table.contains("Clustered / general bal."));
-            table
+            assert!(f.body.contains("Clustered / general bal."));
+            assert!(
+                f.timing.as_deref().is_some_and(|t| t.contains("insts/sec")),
+                "wall-clock rates live in the timing footer"
+            );
+            assert!(
+                !f.body.contains("insts/sec"),
+                "no wall-clock rates in the report body"
+            );
+            format!("# {}\n\n{}", f.title, f.body)
         };
         assert_eq!(
             render_sampled(),
             render_sampled(),
-            "sampling report rows must render identically"
+            "sampling report must render identically, whole body"
         );
     }
 

@@ -17,10 +17,12 @@
 pub mod figures;
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::time::Instant;
 
 use dca_prog::{fast_forward, FastForward, Program};
 use dca_sim::{SimConfig, SimStats, Simulator, Steering};
+use dca_store::{CheckpointKey, IntervalRecord, ResultKey, Store};
 use dca_steer::{
     FifoSteering, GeneralBalance, Modulo, Naive, NonSliceBalance, PrioritySliceBalance,
     SliceBalance, SliceKind, SliceSteering, StaticPartition,
@@ -205,7 +207,7 @@ impl SchemeKind {
 /// instructions, and each checkpoint seeds one measured interval —
 /// `warmup` instructions of functional cache/predictor warming followed
 /// by `interval` instructions of detailed simulation.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct SampleOpts {
     /// Distance between interval starts, in dynamic instructions.
     pub period: u64,
@@ -217,23 +219,34 @@ pub struct SampleOpts {
     /// `period`, or successive measured windows would overlap and the
     /// merged counters would multiply-count instructions.
     pub interval: u64,
+    /// Confidence-driven early exit (DESIGN.md §8): a combination
+    /// stops drawing intervals once the 95% confidence half-width
+    /// (Student-t quantile × standard error) of its per-interval IPC
+    /// mean falls to or below this value (in IPC). The decision is
+    /// evaluated deterministically on checkpoint-ordered prefixes with
+    /// at least 2 measured intervals; the t factor keeps a lucky
+    /// 2-sample variance estimate from stopping a run prematurely.
+    /// `None` runs the full checkpoint budget.
+    pub target_stderr: Option<f64>,
 }
 
 impl Default for SampleOpts {
-    /// 100M instructions → 50 intervals of 100K detailed instructions
-    /// each, 100K warming ahead of every interval (5% detailed
-    /// coverage).
+    /// 100M instructions → up to 50 intervals of 100K detailed
+    /// instructions each, 100K warming ahead of every interval (≤5%
+    /// detailed coverage), adaptive early exit at 0.01 IPC standard
+    /// error.
     fn default() -> SampleOpts {
         SampleOpts {
             period: 2_000_000,
             warmup: 100_000,
             interval: 100_000,
+            target_stderr: Some(0.01),
         }
     }
 }
 
-/// Harness options (scale, instruction budget, sampling).
-#[derive(Copy, Clone, Debug)]
+/// Harness options (scale, instruction budget, sampling, store).
+#[derive(Clone, Debug)]
 pub struct RunOpts {
     /// Workload scale.
     pub scale: Scale,
@@ -245,6 +258,15 @@ pub struct RunOpts {
     /// When set, every [`Lab`] run is simulated by checkpointed
     /// sampling instead of one straight detailed pass.
     pub sampling: Option<SampleOpts>,
+    /// Directory of the persistent checkpoint/result store
+    /// (`dca-store`; DESIGN.md §8). `None` disables persistence.
+    /// Sampled CLI invocations default to `.dca-store` unless
+    /// `--no-store` is given; the library default is off.
+    pub store_dir: Option<PathBuf>,
+    /// Warm steering decode-time state (slice tables) during the
+    /// functional warming of every sampled interval
+    /// (`--warm-steering`; ROADMAP "steering-state warm-up").
+    pub warm_steering: bool,
 }
 
 impl Default for RunOpts {
@@ -254,6 +276,8 @@ impl Default for RunOpts {
             max_insts: 5_000_000,
             verbose: false,
             sampling: None,
+            store_dir: None,
+            warm_steering: false,
         }
     }
 }
@@ -262,13 +286,18 @@ impl RunOpts {
     /// Parses harness options from command-line arguments
     /// (`--scale smoke|default|full|paper`, `--max-insts N`,
     /// `--sample-period N`, `--sample-warmup N`, `--sample-interval N`,
-    /// `--verbose`). Unrecognised arguments are returned for the
-    /// caller.
+    /// `--target-stderr X`, `--store-dir DIR`, `--no-store`,
+    /// `--warm-steering`, `--verbose`). Unrecognised arguments are
+    /// returned for the caller.
     ///
     /// `--scale paper` selects [`Scale::Paper`], widens the default
     /// instruction budget to the paper's 100M window and turns on
-    /// sampling with the [`SampleOpts`] defaults; the `--sample-*`
-    /// flags tune (or, at other scales, enable) sampling explicitly.
+    /// sampling with the [`SampleOpts`] defaults; the `--sample-*` and
+    /// `--target-stderr` flags tune (or, at other scales, enable)
+    /// sampling explicitly (`--target-stderr 0` disables the adaptive
+    /// early exit). Sampled invocations use the persistent store at
+    /// `.dca-store` unless `--store-dir` chooses another directory or
+    /// `--no-store` disables it.
     ///
     /// # Panics
     ///
@@ -279,17 +308,12 @@ impl RunOpts {
         let mut rest = Vec::new();
         let mut args = args.peekable();
         let mut explicit_max = false;
+        let mut no_store = false;
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--scale" => {
                     let v = args.next().unwrap_or_default();
-                    opts.scale = match v.as_str() {
-                        "smoke" => Scale::Smoke,
-                        "default" => Scale::Default,
-                        "full" => Scale::Full,
-                        "paper" => Scale::Paper,
-                        other => panic!("unknown scale `{other}` (smoke|default|full|paper)"),
-                    };
+                    opts.scale = Scale::from_name(&v).unwrap_or_else(|e| panic!("{e}"));
                 }
                 "--max-insts" => {
                     opts.max_insts = args
@@ -316,6 +340,21 @@ impl RunOpts {
                         }
                     }
                 }
+                "--target-stderr" => {
+                    let v: f64 = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--target-stderr needs a number (IPC; 0 disables)");
+                    assert!(v >= 0.0, "--target-stderr must be non-negative");
+                    let s = opts.sampling.get_or_insert_with(SampleOpts::default);
+                    s.target_stderr = (v > 0.0).then_some(v);
+                }
+                "--store-dir" => {
+                    let v = args.next().expect("--store-dir needs a directory");
+                    opts.store_dir = Some(PathBuf::from(v));
+                }
+                "--no-store" => no_store = true,
+                "--warm-steering" => opts.warm_steering = true,
                 "--verbose" => opts.verbose = true,
                 _ => rest.push(a),
             }
@@ -325,6 +364,11 @@ impl RunOpts {
                 opts.max_insts = Scale::PAPER_INSTS;
             }
             let _ = opts.sampling.get_or_insert_with(SampleOpts::default);
+        }
+        if no_store {
+            opts.store_dir = None;
+        } else if opts.store_dir.is_none() && opts.sampling.is_some() {
+            opts.store_dir = Some(PathBuf::from(".dca-store"));
         }
         (opts, rest)
     }
@@ -341,6 +385,16 @@ pub type Run = (&'static str, Machine, SchemeKind);
 pub struct SampleInfo {
     /// Measured intervals merged into the reported statistics.
     pub intervals: u64,
+    /// Checkpoints available to this combination (the full interval
+    /// budget; `intervals < budget` when the adaptive early exit
+    /// stopped first or trailing intervals were empty).
+    pub budget: u64,
+    /// `true` when the confidence-driven early exit stopped the
+    /// combination before its checkpoint budget was exhausted.
+    pub early_stop: bool,
+    /// Intervals of the merged prefix that were served from the
+    /// persistent store instead of being simulated in this process.
+    pub from_store: u64,
     /// Detailed (measured) dynamic instructions across all intervals.
     pub detailed_insts: u64,
     /// Detailed cycles across all intervals.
@@ -353,10 +407,12 @@ pub struct SampleInfo {
     /// than `intervals × warmup` where the stream ended mid-warming).
     pub warmed_insts: u64,
     /// Wall-clock seconds spent functionally warming, summed over the
-    /// workers that ran this combination's intervals.
+    /// workers that ran this combination's intervals (0 for
+    /// store-served intervals).
     pub warm_secs: f64,
     /// Wall-clock seconds spent in detailed simulation, summed over
-    /// workers (≈ the serial cost of the measured intervals).
+    /// workers (≈ the serial cost of the measured intervals; 0 for
+    /// store-served intervals).
     pub detailed_secs: f64,
 }
 
@@ -370,12 +426,150 @@ impl SampleInfo {
 /// Diagnostics of one benchmark's functional fast-forward pass.
 #[derive(Clone, Debug)]
 pub struct FastForwardInfo {
-    /// Dynamic instructions fast-forwarded (the whole sampled window).
+    /// Dynamic instructions the checkpoint stream covers (the whole
+    /// sampled window).
     pub insts: u64,
     /// Checkpoints recorded.
     pub checkpoints: u64,
-    /// Wall-clock seconds of the pass.
+    /// Wall-clock seconds of the pass (load time when the stream came
+    /// from the store).
     pub secs: f64,
+    /// `true` when the stream was loaded from the persistent store
+    /// instead of being recomputed.
+    pub from_store: bool,
+}
+
+impl FastForwardInfo {
+    /// Fast-forward instructions actually *executed* by this process —
+    /// 0 on a store hit (the warm-store acceptance criterion of
+    /// ISSUE 3).
+    pub fn executed_insts(&self) -> u64 {
+        if self.from_store {
+            0
+        } else {
+            self.insts
+        }
+    }
+}
+
+/// Intervals requested per combination per adaptive scheduling round.
+/// Small enough that an early-stopping combination wastes at most a
+/// chunk of intervals, large enough that a 50-interval budget needs
+/// only a handful of rounds.
+const INTERVAL_CHUNK: usize = 8;
+
+/// One interval of a sampled run: its detailed statistics plus
+/// bookkeeping. Store-served intervals carry zero wall-clock.
+#[derive(Clone, Debug)]
+struct IntervalOutcome {
+    stats: SimStats,
+    /// Functional-warming instructions actually executed.
+    warmed: u64,
+    warm_secs: f64,
+    detailed_secs: f64,
+    from_store: bool,
+}
+
+/// Standard error of the mean of `xs` (0 with fewer than two samples).
+fn stderr_of(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (var / n).sqrt()
+}
+
+/// Two-sided 95% Student-t quantiles by degrees of freedom (index =
+/// df − 1); beyond the table the normal quantile is close enough.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// 95% confidence half-width of the mean of `xs`: Student-t quantile ×
+/// standard error. The t factor is what keeps a lucky 2-sample
+/// variance estimate from stopping a combination prematurely (t₁ ≈
+/// 12.7); infinite below two samples.
+fn confidence_half_width(xs: &[f64]) -> f64 {
+    match xs.len() {
+        0 | 1 => f64::INFINITY,
+        n if n - 1 <= T95.len() => T95[n - 2] * stderr_of(xs),
+        _ => 1.96 * stderr_of(xs),
+    }
+}
+
+/// The deterministic early-exit rule of adaptive sampling (DESIGN.md
+/// §8): the prefix used for a combination is the **shortest
+/// checkpoint-ordered prefix** containing at least 2 measured
+/// (non-empty) intervals whose 95% confidence half-width
+/// ([`confidence_half_width`]) is ≤ `target`; without such a prefix,
+/// the full budget.
+///
+/// Returns `Some(prefix_len)` once the decision is possible from the
+/// available prefix — either the rule fired, or all `budget` intervals
+/// are present — and `None` when more intervals are needed. Because
+/// the rule scans prefixes from the front, its answer never changes
+/// when *more* intervals become available beyond the stopping point:
+/// the merged statistics are independent of worker completion order,
+/// chunk sizes, and how many extra intervals a previous run left in
+/// the store.
+fn adaptive_prefix(
+    outcomes: &[IntervalOutcome],
+    budget: usize,
+    target: Option<f64>,
+) -> Option<usize> {
+    if let Some(target) = target {
+        let mut ipcs: Vec<f64> = Vec::new();
+        for (i, o) in outcomes.iter().enumerate() {
+            if o.stats.committed == 0 {
+                continue;
+            }
+            ipcs.push(o.stats.ipc());
+            if ipcs.len() >= 2 && confidence_half_width(&ipcs) <= target {
+                return Some(i + 1);
+            }
+        }
+    }
+    (outcomes.len() >= budget).then_some(budget)
+}
+
+/// Merges the decided prefix `outcomes[..used]` into one `SimStats`
+/// plus sampling diagnostics. Checkpoints whose stream ended before
+/// the measured window opened contribute warming cost but no
+/// statistics, exactly as in the non-adaptive harness.
+fn merge_outcomes(outcomes: &[IntervalOutcome], used: usize, budget: u64) -> (SimStats, SampleInfo) {
+    let mut merged = SimStats::default();
+    let mut info = SampleInfo {
+        budget,
+        early_stop: (used as u64) < budget,
+        ..SampleInfo::default()
+    };
+    let mut ipcs: Vec<f64> = Vec::new();
+    for o in &outcomes[..used] {
+        info.warmed_insts += o.warmed;
+        info.warm_secs += o.warm_secs;
+        if o.from_store {
+            info.from_store += 1;
+        }
+        if o.stats.committed == 0 {
+            continue;
+        }
+        ipcs.push(o.stats.ipc());
+        merged.merge(&o.stats);
+        info.intervals += 1;
+        info.detailed_insts += o.stats.committed;
+        info.detailed_cycles += o.stats.cycles;
+        info.detailed_secs += o.detailed_secs;
+    }
+    let n = ipcs.len() as f64;
+    if n > 0.0 {
+        info.ipc_mean = ipcs.iter().sum::<f64>() / n;
+    }
+    info.ipc_stderr = stderr_of(&ipcs);
+    (merged, info)
 }
 
 /// Memoising experiment driver: builds workloads once and simulates
@@ -424,11 +618,14 @@ pub struct Lab {
     ffs: HashMap<&'static str, FastForward>,
     ff_info: BTreeMap<&'static str, FastForwardInfo>,
     sample_info: BTreeMap<(String, &'static str, String), SampleInfo>,
+    /// Persistent checkpoint/result store ([`RunOpts::store_dir`]).
+    store: Option<Store>,
 }
 
 impl Lab {
     /// Creates a lab.
     pub fn new(opts: RunOpts) -> Lab {
+        let store = opts.store_dir.as_ref().map(Store::open);
         Lab {
             opts,
             workloads: HashMap::new(),
@@ -436,12 +633,39 @@ impl Lab {
             ffs: HashMap::new(),
             ff_info: BTreeMap::new(),
             sample_info: BTreeMap::new(),
+            store,
         }
     }
 
     /// The options in use.
     pub fn opts(&self) -> RunOpts {
-        self.opts
+        self.opts.clone()
+    }
+
+    /// Shares another lab's built workloads and checkpoint streams
+    /// with this one (cheap: programs and copy-on-write memory pages
+    /// clone by reference). Short-lived side measurements — the
+    /// sampling report's warm-steering delta — use this to skip
+    /// workload construction and the functional fast-forward even
+    /// when no store is configured. Only valid between labs with the
+    /// same scale, window and checkpoint period.
+    pub(crate) fn adopt_from(&mut self, other: &Lab) {
+        assert_eq!(self.opts.scale, other.opts.scale, "adopting across scales");
+        assert_eq!(self.opts.max_insts, other.opts.max_insts, "adopting across windows");
+        assert_eq!(
+            self.opts.sampling.map(|s| s.period),
+            other.opts.sampling.map(|s| s.period),
+            "adopting across checkpoint grids"
+        );
+        for (&bench, w) in &other.workloads {
+            self.workloads.entry(bench).or_insert_with(|| w.clone());
+        }
+        for (&bench, ff) in &other.ffs {
+            self.ffs.entry(bench).or_insert_with(|| ff.clone());
+        }
+        for (&bench, info) in &other.ff_info {
+            self.ff_info.entry(bench).or_insert_with(|| info.clone());
+        }
     }
 
     fn bench_name(bench: &str) -> &'static str {
@@ -515,15 +739,21 @@ impl Lab {
         self.cache.extend(results);
     }
 
-    /// Sampled-mode batch driver: fast-forwards each distinct benchmark
-    /// once (recording a checkpoint every `sampling.period`
-    /// instructions), then schedules **every sample interval of every
-    /// missing combination** across the worker pool — the intervals of
-    /// one run are independent once its checkpoints exist, so a single
-    /// (benchmark, machine, scheme) run saturates all cores instead of
-    /// occupying one. Interval results are merged per combination in
-    /// checkpoint order, which keeps the cached statistics (and every
-    /// artefact rendered from them) deterministic.
+    /// Sampled-mode batch driver: obtains each distinct benchmark's
+    /// checkpoint stream — from the persistent store when one is
+    /// configured and holds a current entry, otherwise by
+    /// fast-forwarding once (and saving) — then schedules the sample
+    /// intervals of every missing combination across the worker pool.
+    ///
+    /// With [`SampleOpts::target_stderr`] set, intervals are drawn in
+    /// checkpoint-order **chunks** per combination and a combination
+    /// stops as soon as the deterministic prefix rule
+    /// ([`adaptive_prefix`]) fires — so a low-variance combination
+    /// costs a handful of intervals, not the full budget. The rule is
+    /// evaluated on checkpoint-ordered prefixes only, which makes the
+    /// merged statistics (and every artefact rendered from them)
+    /// independent of worker completion order and of whether intervals
+    /// came from the store or from fresh simulation.
     fn ensure_sampled(&mut self, todo: &[Run], sampling: SampleOpts) {
         assert!(
             sampling.interval <= sampling.period,
@@ -533,7 +763,20 @@ impl Lab {
             sampling.period
         );
         let max_insts = self.opts.max_insts;
-        // Checkpoint passes for benchmarks not yet fast-forwarded.
+        let scale = self.opts.scale.name();
+        let warm_steering = self.opts.warm_steering;
+
+        // Workload fingerprints for the store keys, once per benchmark.
+        let mut fingerprints: HashMap<&'static str, u64> = HashMap::new();
+        if self.store.is_some() {
+            for &(bench, _, _) in todo {
+                let w = &self.workloads[bench];
+                fingerprints.entry(bench).or_insert_with(|| w.fingerprint());
+            }
+        }
+
+        // Checkpoint streams for benchmarks not yet fast-forwarded:
+        // consult the store first, recompute (and save) on a miss.
         let mut missing: Vec<&'static str> = Vec::new();
         for &(bench, _, _) in todo {
             if !self.ffs.contains_key(bench) && !missing.contains(&bench) {
@@ -550,106 +793,209 @@ impl Lab {
                 );
             }
             let workloads = &self.workloads;
+            let store = self.store.as_ref();
+            let fps = &fingerprints;
             let passes = Self::fan_out(&missing, |&bench| {
                 let w = &workloads[bench];
+                let key = store.map(|_| CheckpointKey {
+                    workload: bench,
+                    scale,
+                    period: sampling.period,
+                    max_insts,
+                    fingerprint: fps[bench],
+                });
                 let t0 = Instant::now();
+                if let (Some(store), Some(key)) = (store, key.as_ref()) {
+                    match store.load_checkpoints(key) {
+                        Ok(ff) => return (bench, ff, t0.elapsed().as_secs_f64(), true),
+                        Err(e) if e.is_not_found() => {}
+                        Err(e) => eprintln!("[lab] store: {e}; recomputing"),
+                    }
+                }
                 let ff = fast_forward(&w.program, w.memory.clone(), sampling.period, max_insts);
-                (bench, ff, t0.elapsed().as_secs_f64())
+                let secs = t0.elapsed().as_secs_f64();
+                if let (Some(store), Some(key)) = (store, key.as_ref()) {
+                    if let Err(e) = store.save_checkpoints(key, &ff) {
+                        eprintln!("[lab] store: could not save checkpoints for {bench}: {e}");
+                    }
+                }
+                (bench, ff, secs, false)
             });
-            for (bench, ff, secs) in passes {
+            for (bench, ff, secs, from_store) in passes {
                 self.ff_info.insert(
                     bench,
                     FastForwardInfo {
                         insts: ff.total_insts,
                         checkpoints: ff.checkpoints.len() as u64,
                         secs,
+                        from_store,
                     },
                 );
                 self.ffs.insert(bench, ff);
             }
         }
 
-        // One work item per (combination, checkpoint).
-        let items: Vec<(Run, usize)> = todo
+        // Per-run interval state, prefilled from the store. Outcomes
+        // always form a contiguous checkpoint-order prefix.
+        struct RunState {
+            outcomes: Vec<IntervalOutcome>,
+            /// Decided prefix length, once the rule fires.
+            used: Option<usize>,
+            /// Outcomes that came from the store (a prefix).
+            prefilled: usize,
+        }
+        let budgets: Vec<usize> = todo
             .iter()
-            .flat_map(|&run| {
-                (0..self.ffs[run.0].checkpoints.len()).map(move |idx| (run, idx))
-            })
+            .map(|&(bench, _, _)| self.ffs[bench].checkpoints.len())
             .collect();
-        if self.opts.verbose {
-            eprintln!(
-                "[lab] sampling {} combinations × intervals = {} detailed runs",
-                todo.len(),
-                items.len()
-            );
+        let mut states: Vec<RunState> = Vec::with_capacity(todo.len());
+        for (i, &(bench, machine, scheme)) in todo.iter().enumerate() {
+            let mut outcomes: Vec<IntervalOutcome> = Vec::new();
+            if let Some(store) = &self.store {
+                let scheme_key = scheme.key();
+                let key = ResultKey {
+                    workload: bench,
+                    scale,
+                    machine: machine.key(),
+                    scheme: &scheme_key,
+                    period: sampling.period,
+                    warmup: sampling.warmup,
+                    interval: sampling.interval,
+                    max_insts,
+                    warm_steering,
+                    fingerprint: fingerprints[bench],
+                };
+                match store.load_intervals(&key) {
+                    Ok(records) => {
+                        outcomes = records
+                            .into_iter()
+                            .take(budgets[i])
+                            .map(|r| IntervalOutcome {
+                                stats: r.stats,
+                                warmed: r.warmed_insts,
+                                warm_secs: 0.0,
+                                detailed_secs: 0.0,
+                                from_store: true,
+                            })
+                            .collect();
+                    }
+                    Err(e) if e.is_not_found() => {}
+                    Err(e) => eprintln!("[lab] store: {e}; recomputing"),
+                }
+            }
+            let used = adaptive_prefix(&outcomes, budgets[i], sampling.target_stderr);
+            states.push(RunState {
+                prefilled: outcomes.len(),
+                outcomes,
+                used,
+            });
         }
-        let workloads = &self.workloads;
-        let ffs = &self.ffs;
-        let results = Self::fan_out(&items, |&((bench, machine, scheme), idx)| {
-            let w = &workloads[bench];
-            let ckpt = &ffs[bench].checkpoints[idx];
-            let cfg = machine.config();
-            let mut steering = scheme.instantiate(&w.program);
-            let mut sim = Simulator::resume_from(&cfg, &w.program, ckpt);
-            let t0 = Instant::now();
-            let warmed = sim.warm_functional(sampling.warmup);
-            let warm_secs = t0.elapsed().as_secs_f64();
-            let budget = (ckpt.seq() + warmed + sampling.interval).min(max_insts);
-            let t1 = Instant::now();
-            let stats = sim.run_mut(steering.as_mut(), budget);
-            let detailed_secs = t1.elapsed().as_secs_f64();
-            (
-                Self::cache_key(bench, machine, scheme),
-                idx,
-                stats,
-                warmed,
-                warm_secs,
-                detailed_secs,
-            )
-        });
 
-        // Deterministic merge: per combination, in checkpoint order.
-        let mut by_run: BTreeMap<_, Vec<_>> = BTreeMap::new();
-        for (key, idx, stats, warmed, warm_secs, detailed_secs) in results {
-            by_run
-                .entry(key)
-                .or_default()
-                .push((idx, stats, warmed, warm_secs, detailed_secs));
-        }
-        for (key, mut intervals) in by_run {
-            intervals.sort_by_key(|&(idx, ..)| idx);
-            let mut merged = SimStats::default();
-            let mut info = SampleInfo::default();
-            let mut ipcs: Vec<f64> = Vec::new();
-            for (_, stats, warmed, warm_secs, detailed_secs) in &intervals {
-                // Warming cost is real even when the stream ends before
-                // the measured window opens.
-                info.warmed_insts += warmed;
-                info.warm_secs += warm_secs;
-                // A checkpoint taken right where the stream ended
-                // contributes an empty interval; skip it.
-                if stats.committed == 0 {
+        // Chunked scheduling rounds: every undecided run contributes
+        // its next chunk of checkpoint indices; all chunks of a round
+        // fan out together. Without a stderr target a run's first
+        // chunk is its whole budget (no adaptivity — one round).
+        loop {
+            let mut batch: Vec<(usize, usize)> = Vec::new();
+            for (i, st) in states.iter().enumerate() {
+                if st.used.is_some() {
                     continue;
                 }
-                ipcs.push(stats.ipc());
-                merged.merge(stats);
-                info.intervals += 1;
-                info.detailed_insts += stats.committed;
-                info.detailed_cycles += stats.cycles;
-                info.detailed_secs += detailed_secs;
+                let have = st.outcomes.len();
+                let until = if sampling.target_stderr.is_some() {
+                    (have + INTERVAL_CHUNK).min(budgets[i])
+                } else {
+                    budgets[i]
+                };
+                batch.extend((have..until).map(|idx| (i, idx)));
             }
-            let n = ipcs.len() as f64;
-            if n > 0.0 {
-                info.ipc_mean = ipcs.iter().sum::<f64>() / n;
+            if batch.is_empty() {
+                break;
             }
-            if n > 1.0 {
-                let var = ipcs
-                    .iter()
-                    .map(|x| (x - info.ipc_mean).powi(2))
-                    .sum::<f64>()
-                    / (n - 1.0);
-                info.ipc_stderr = (var / n).sqrt();
+            if self.opts.verbose {
+                eprintln!("[lab] sampling round: {} intervals", batch.len());
             }
+            let workloads = &self.workloads;
+            let ffs = &self.ffs;
+            let results = Self::fan_out(&batch, |&(i, idx)| {
+                let (bench, machine, scheme) = todo[i];
+                let w = &workloads[bench];
+                let ckpt = &ffs[bench].checkpoints[idx];
+                let cfg = machine.config();
+                let mut steering = scheme.instantiate(&w.program);
+                let mut sim = Simulator::resume_from(&cfg, &w.program, ckpt);
+                let t0 = Instant::now();
+                let warmed = if warm_steering {
+                    sim.warm_functional_steered(sampling.warmup, steering.as_mut())
+                } else {
+                    sim.warm_functional(sampling.warmup)
+                };
+                let warm_secs = t0.elapsed().as_secs_f64();
+                let budget = (ckpt.seq() + warmed + sampling.interval).min(max_insts);
+                let t1 = Instant::now();
+                let stats = sim.run_mut(steering.as_mut(), budget);
+                let detailed_secs = t1.elapsed().as_secs_f64();
+                (
+                    (i, idx),
+                    IntervalOutcome {
+                        stats,
+                        warmed,
+                        warm_secs,
+                        detailed_secs,
+                        from_store: false,
+                    },
+                )
+            });
+            // Deterministic append: checkpoint order per run, whatever
+            // order the workers finished in.
+            let ordered: BTreeMap<(usize, usize), IntervalOutcome> =
+                results.into_iter().collect();
+            for ((i, idx), outcome) in ordered {
+                debug_assert_eq!(states[i].outcomes.len(), idx, "contiguous prefix");
+                states[i].outcomes.push(outcome);
+            }
+            for (i, st) in states.iter_mut().enumerate() {
+                if st.used.is_none() {
+                    st.used = adaptive_prefix(&st.outcomes, budgets[i], sampling.target_stderr);
+                }
+            }
+        }
+
+        // Merge each run's decided prefix, persist newly computed
+        // intervals, and fill the caches.
+        for (i, &(bench, machine, scheme)) in todo.iter().enumerate() {
+            let st = &states[i];
+            let used = st.used.expect("scheduling loop decides every run");
+            let (merged, info) = merge_outcomes(&st.outcomes, used, budgets[i] as u64);
+            if let Some(store) = &self.store {
+                if st.outcomes.len() > st.prefilled {
+                    let scheme_key = scheme.key();
+                    let key = ResultKey {
+                        workload: bench,
+                        scale,
+                        machine: machine.key(),
+                        scheme: &scheme_key,
+                        period: sampling.period,
+                        warmup: sampling.warmup,
+                        interval: sampling.interval,
+                        max_insts,
+                        warm_steering,
+                        fingerprint: fingerprints[bench],
+                    };
+                    let records: Vec<IntervalRecord> = st
+                        .outcomes
+                        .iter()
+                        .map(|o| IntervalRecord {
+                            stats: o.stats.clone(),
+                            warmed_insts: o.warmed,
+                        })
+                        .collect();
+                    if let Err(e) = store.save_intervals(&key, &records) {
+                        eprintln!("[lab] store: could not save intervals: {e}");
+                    }
+                }
+            }
+            let key = Self::cache_key(bench, machine, scheme);
             self.sample_info.insert(key.clone(), info);
             self.cache.insert(key, merged);
         }
@@ -814,6 +1160,9 @@ pub fn run_cli_with(args: impl Iterator<Item = String>, fixed: Option<&'static s
 
 fn emit(fig: &figures::Figure, out: &std::path::Path) {
     println!("# {}\n\n{}", fig.title, fig.body);
+    if let Some(timing) = &fig.timing {
+        eprintln!("{timing}");
+    }
     match fig.save(out) {
         Ok(p) => eprintln!("[lab] wrote {}", p.display()),
         Err(e) => eprintln!("[lab] could not write {}: {e}", fig.id),
@@ -828,8 +1177,8 @@ mod tests {
         RunOpts {
             scale: Scale::Smoke,
             max_insts: 60_000,
-            verbose: false,
             sampling: None,
+            ..RunOpts::default()
         }
     }
 
@@ -885,7 +1234,12 @@ mod tests {
         assert_eq!(o.max_insts, 500_000, "explicit budget wins");
         assert_eq!(
             o.sampling,
-            Some(SampleOpts { period: 50_000, warmup: 0, interval: 10_000 })
+            Some(SampleOpts {
+                period: 50_000,
+                warmup: 0,
+                interval: 10_000,
+                target_stderr: Some(0.01),
+            })
         );
     }
 
@@ -911,7 +1265,9 @@ mod tests {
                 period: 10_000,
                 warmup: 8_000,
                 interval: 6_000,
+                target_stderr: None,
             }),
+            ..RunOpts::default()
         }
     }
 
@@ -923,6 +1279,7 @@ mod tests {
                 period: 1_000,
                 warmup: 0,
                 interval: 2_000,
+                target_stderr: None,
             }),
             ..smoke_opts()
         });
@@ -977,14 +1334,14 @@ mod tests {
         let full_opts = RunOpts {
             scale: Scale::Smoke,
             max_insts: 60_000,
-            verbose: false,
             sampling: None,
+            ..RunOpts::default()
         };
         for (machine, scheme) in [
             (Machine::Base, SchemeKind::Naive),
             (Machine::Clustered, SchemeKind::GeneralBalance),
         ] {
-            let full = Lab::new(full_opts).stats("compress", machine, scheme);
+            let full = Lab::new(full_opts.clone()).stats("compress", machine, scheme);
             let sampled = Lab::new(sampled_opts()).stats("compress", machine, scheme);
             let rel = (sampled.ipc() - full.ipc()).abs() / full.ipc();
             assert!(
@@ -995,6 +1352,250 @@ mod tests {
                 (rel * 100.0).round()
             );
         }
+    }
+
+    #[test]
+    fn opts_parse_store_and_adaptive_flags() {
+        // --target-stderr enables sampling, and a sampled CLI run gets
+        // the default store directory.
+        let (o, _) = RunOpts::from_args(
+            ["--target-stderr", "0.05"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(o.sampling.expect("enabled").target_stderr, Some(0.05));
+        assert_eq!(o.store_dir.as_deref(), Some(std::path::Path::new(".dca-store")));
+
+        // 0 disables the early exit; explicit dir and warm-steering.
+        let (o, _) = RunOpts::from_args(
+            ["--scale", "paper", "--target-stderr", "0", "--store-dir", "/tmp/s", "--warm-steering"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.sampling.expect("enabled").target_stderr, None);
+        assert_eq!(o.store_dir.as_deref(), Some(std::path::Path::new("/tmp/s")));
+        assert!(o.warm_steering);
+
+        // --no-store wins over the sampled default.
+        let (o, _) = RunOpts::from_args(
+            ["--scale", "paper", "--no-store"].iter().map(|s| s.to_string()),
+        );
+        assert!(o.store_dir.is_none());
+
+        // Unsampled runs never get a store by default.
+        let (o, _) = RunOpts::from_args(std::iter::empty());
+        assert!(o.store_dir.is_none());
+    }
+
+    /// ISSUE 3: the early exit stops at the 2-interval floor with a
+    /// loose target — and never below it.
+    #[test]
+    fn adaptive_early_exit_stops_at_the_two_interval_floor() {
+        let mut opts = sampled_opts();
+        opts.sampling.as_mut().expect("sampled").target_stderr = Some(1000.0);
+        let mut lab = Lab::new(opts);
+        let s = lab.stats("compress", Machine::Clustered, SchemeKind::Modulo);
+        let info = lab
+            .sample_info("compress", Machine::Clustered, SchemeKind::Modulo)
+            .expect("sampled");
+        assert_eq!(info.intervals, 2, "loose target stops at the floor");
+        assert!(info.early_stop);
+        assert!(info.intervals < info.budget, "budget {} left unused", info.budget);
+        assert_eq!(info.detailed_insts, s.committed, "stats cover exactly the prefix");
+
+        // The full-budget run of the same combination merges more.
+        let full = Lab::new(sampled_opts()).stats("compress", Machine::Clustered, SchemeKind::Modulo);
+        assert!(full.committed > s.committed);
+    }
+
+    fn synthetic_outcome(committed: u64, cycles: u64) -> IntervalOutcome {
+        IntervalOutcome {
+            stats: SimStats {
+                committed,
+                cycles,
+                ..SimStats::default()
+            },
+            warmed: 0,
+            warm_secs: 0.0,
+            detailed_secs: 0.0,
+            from_store: false,
+        }
+    }
+
+    /// ISSUE 3 determinism: once the prefix rule can decide, its answer
+    /// never changes when more intervals become available — which is
+    /// exactly why figures are identical whether workers finish in
+    /// forward, reverse or shuffled order, and whatever overshoot a
+    /// previous run left in the store.
+    #[test]
+    fn adaptive_prefix_decision_is_stable_under_longer_prefixes() {
+        // IPCs: 1.0, 1.0, then noise — the rule fires at n = 2.
+        let outcomes: Vec<IntervalOutcome> = [1.0f64, 1.0, 1.4, 0.6, 1.2, 0.8, 1.1, 0.9]
+            .iter()
+            .map(|ipc| synthetic_outcome((ipc * 1000.0) as u64, 1000))
+            .collect();
+        let budget = outcomes.len();
+        let target = Some(0.01);
+        assert_eq!(adaptive_prefix(&outcomes[..0], budget, target), None);
+        assert_eq!(adaptive_prefix(&outcomes[..1], budget, target), None);
+        for have in 2..=budget {
+            assert_eq!(
+                adaptive_prefix(&outcomes[..have], budget, target),
+                Some(2),
+                "decision must not drift with {have} intervals available"
+            );
+        }
+        // Merges over any availability ≥ the decision are identical.
+        let (m2, i2) = merge_outcomes(&outcomes[..2], 2, budget as u64);
+        let (m8, i8) = merge_outcomes(&outcomes, 2, budget as u64);
+        assert_eq!(m2.committed, m8.committed);
+        assert_eq!(m2.cycles, m8.cycles);
+        assert_eq!(i2.intervals, i8.intervals);
+        assert!(i2.early_stop);
+
+        // High variance: no early stop, full budget once available.
+        let noisy: Vec<IntervalOutcome> = [2.0f64, 0.5, 3.0, 0.2, 2.5, 0.4]
+            .iter()
+            .map(|ipc| synthetic_outcome((ipc * 1000.0) as u64, 1000))
+            .collect();
+        assert_eq!(adaptive_prefix(&noisy[..4], noisy.len(), target), None);
+        assert_eq!(adaptive_prefix(&noisy, noisy.len(), target), Some(noisy.len()));
+        // Without a target the rule always wants the full budget.
+        assert_eq!(adaptive_prefix(&noisy[..4], noisy.len(), None), None);
+        assert_eq!(adaptive_prefix(&noisy, noisy.len(), None), Some(noisy.len()));
+    }
+
+    fn store_opts(tag: &str) -> (RunOpts, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("dca-bench-store-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut opts = sampled_opts();
+        opts.store_dir = Some(dir.clone());
+        (opts, dir)
+    }
+
+    /// ISSUE 3 acceptance (smoke-scale twin of the CI benchmark): a
+    /// second lab over a warm store executes zero fast-forward
+    /// instructions and zero detailed simulation, yet reproduces the
+    /// cold run's statistics exactly.
+    #[test]
+    fn warm_store_reproduces_cold_results_with_zero_fast_forward() {
+        let (opts, dir) = store_opts("warm");
+        let run = ("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+
+        let mut cold = Lab::new(opts.clone());
+        let sc = cold.stats(run.0, run.1, run.2);
+        let ffc = cold.fast_forward_info(run.0).expect("fast-forwarded");
+        assert!(!ffc.from_store);
+        assert!(ffc.executed_insts() > 0);
+
+        let mut warm = Lab::new(opts.clone());
+        let sw = warm.stats(run.0, run.1, run.2);
+        let ffw = warm.fast_forward_info(run.0).expect("loaded");
+        assert!(ffw.from_store, "second lab must hit the store");
+        assert_eq!(ffw.executed_insts(), 0, "zero fast-forward instructions");
+        assert_eq!(ffw.insts, ffc.insts, "stream covers the same window");
+
+        assert_eq!(sc.cycles, sw.cycles);
+        assert_eq!(sc.committed, sw.committed);
+        assert_eq!(sc.copies, sw.copies);
+        assert_eq!(sc.balance, sw.balance);
+        assert_eq!(sc.l1d.hits, sw.l1d.hits);
+        let iw = warm.sample_info(run.0, run.1, run.2).expect("sampled");
+        let ic = cold.sample_info(run.0, run.1, run.2).expect("sampled");
+        assert!(iw.from_store > 0, "intervals served from the store");
+        assert_eq!(ic.from_store, 0);
+        assert_eq!(iw.intervals, ic.intervals);
+        assert_eq!(iw.detailed_secs, 0.0, "no detailed simulation on the warm path");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// ISSUE 3: a corrupt store entry produces a warning and a clean
+    /// fall back to recomputation — and the recomputed entry heals the
+    /// store.
+    #[test]
+    fn corrupt_store_falls_back_to_recomputation() {
+        let (opts, dir) = store_opts("corrupt");
+        let run = ("compress", Machine::Clustered, SchemeKind::Modulo);
+        let baseline = Lab::new(opts.clone()).stats(run.0, run.1, run.2);
+
+        // Flip a byte in the middle of every store file.
+        let mut flipped = 0;
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let path = entry.path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, bytes).unwrap();
+            flipped += 1;
+        }
+        assert!(flipped >= 2, "checkpoints + results were persisted");
+
+        let mut healed = Lab::new(opts.clone());
+        let s = healed.stats(run.0, run.1, run.2);
+        assert_eq!(s.cycles, baseline.cycles, "recomputation matches");
+        assert!(!healed.fast_forward_info(run.0).unwrap().from_store);
+
+        // The store was rewritten: a third lab hits it again.
+        let mut third = Lab::new(opts.clone());
+        let s3 = third.stats(run.0, run.1, run.2);
+        assert_eq!(s3.cycles, baseline.cycles);
+        assert!(third.fast_forward_info(run.0).unwrap().from_store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// ISSUE 3: a warm store whose result prefix is shorter than the
+    /// current request (tighter target ⇒ more intervals) is *extended*,
+    /// and the merge over mixed store/fresh intervals is identical to
+    /// an all-cold run.
+    #[test]
+    fn adaptive_results_extend_a_stored_prefix() {
+        let (mut opts, dir) = store_opts("extend");
+        // Many checkpoints, so the first adaptive chunk does not cover
+        // the whole budget.
+        opts.sampling = Some(SampleOpts {
+            period: 2_000,
+            warmup: 1_500,
+            interval: 1_000,
+            target_stderr: Some(1000.0), // stops at 2, stores one chunk
+        });
+        let run = ("compress", Machine::Clustered, SchemeKind::Modulo);
+        let _ = Lab::new(opts.clone()).stats(run.0, run.1, run.2);
+
+        // Same key, but now the full budget is required.
+        let mut full_opts = opts.clone();
+        full_opts.sampling.as_mut().unwrap().target_stderr = None;
+        let mut warm = Lab::new(full_opts.clone());
+        let sw = warm.stats(run.0, run.1, run.2);
+        let iw = warm.sample_info(run.0, run.1, run.2).expect("sampled");
+        assert!(iw.budget > INTERVAL_CHUNK as u64, "scenario exercises extension");
+        assert!(iw.from_store > 0, "stored prefix reused");
+        assert!(
+            iw.from_store < iw.budget,
+            "extension actually simulated new intervals"
+        );
+
+        // All-cold reference with the same (full-budget) parameters.
+        let mut cold_opts = full_opts.clone();
+        cold_opts.store_dir = None;
+        let sc = Lab::new(cold_opts).stats(run.0, run.1, run.2);
+        assert_eq!(sw.cycles, sc.cycles, "mixed store/fresh merge is exact");
+        assert_eq!(sw.committed, sc.committed);
+        assert_eq!(sw.balance, sc.balance);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Steering-state warm-up (`--warm-steering`) changes only
+    /// decode-time tables: the measured windows are identical, so
+    /// committed counts match; results are keyed separately in the
+    /// store and deterministic per flag value.
+    #[test]
+    fn warm_steering_is_deterministic_and_preserves_windows() {
+        let run = ("compress", Machine::Clustered, SchemeKind::LdStSliceBalance);
+        let mut warm_opts = sampled_opts();
+        warm_opts.warm_steering = true;
+        let a = Lab::new(warm_opts.clone()).stats(run.0, run.1, run.2);
+        let b = Lab::new(warm_opts).stats(run.0, run.1, run.2);
+        assert_eq!(a.cycles, b.cycles, "warm-steering runs are deterministic");
+        let cold = Lab::new(sampled_opts()).stats(run.0, run.1, run.2);
+        assert_eq!(a.committed, cold.committed, "same measured windows");
     }
 
     #[test]

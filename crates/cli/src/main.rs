@@ -33,12 +33,23 @@ USAGE:
     dca slices  [--bench NAME | --kernel NAME | --asm FILE]
     dca list
     dca figures [ID ...]          (no ID: regenerate everything)
+    dca store   stat|verify|gc [--store-dir DIR]
 
 `--scale paper` runs the paper's 100M-instruction window per benchmark
 via checkpointed sampled simulation (compare/figures only; tune with
 --sample-period N, --sample-warmup N, --sample-interval N — the flags
-also enable sampling at other scales). `figures sampling` regenerates
-the sampling methodology report.
+also enable sampling at other scales). Intervals stop early once the
+IPC standard error reaches --target-stderr X (default 0.01; 0 runs the
+full budget), and --warm-steering additionally rebuilds steering slice
+tables during functional warming. `figures sampling` regenerates the
+sampling methodology report.
+
+Sampled runs persist checkpoint streams and per-interval results in a
+store directory (default .dca-store; --store-dir DIR overrides,
+--no-store disables), so repeated invocations skip the fast-forward
+and finished intervals. `dca store stat` summarises the directory,
+`verify` checksums every file, `gc` deletes corrupt or stale-version
+entries.
 
 Machines: base | clustered | one-bus | ub
 Run `dca list` for benchmark and scheme names."
@@ -56,6 +67,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(args),
         "slices" => cmd_slices(args),
         "list" => cmd_list(),
+        "store" => cmd_store(args),
         "figures" => {
             // Delegate to the bench harness (same artefacts as the
             // fig*/table*/ablate_* binaries).
@@ -260,6 +272,93 @@ fn cmd_slices(args: Vec<String>) -> Result<(), String> {
         load_program(bench.as_deref(), kernel.as_deref(), asm.as_deref(), opts.scale)?;
     println!("{}", report::slice_report(&name, &prog));
     Ok(())
+}
+
+fn cmd_store(args: Vec<String>) -> Result<(), String> {
+    use dca_store::{FileStatus, Store};
+
+    let mut flags = Flags(args);
+    let dir = match flags.take("--store-dir") {
+        Some(d) if d.is_empty() => return Err("--store-dir needs a directory".into()),
+        Some(d) => d,
+        None => ".dca-store".into(),
+    };
+    let sub = if flags.0.is_empty() {
+        "stat".to_string()
+    } else {
+        flags.0.remove(0)
+    };
+    flags.finish("store")?;
+    let store = Store::open(&dir);
+    match sub.as_str() {
+        "stat" => {
+            let s = store.stat();
+            println!("store {dir}");
+            println!(
+                "  checkpoint streams: {:>4} files, {:>10} bytes",
+                s.checkpoint_files.0, s.checkpoint_files.1
+            );
+            println!(
+                "  interval results:   {:>4} files, {:>10} bytes",
+                s.result_files.0, s.result_files.1
+            );
+            if s.stale_files > 0 {
+                println!("  stale-version files: {} (run `dca store gc`)", s.stale_files);
+            }
+            if s.unreadable_files > 0 {
+                println!("  unreadable files:    {} (run `dca store gc`)", s.unreadable_files);
+            }
+            println!(
+                "  versions: interpreter {}, timing model {}, container {}",
+                dca_prog::INTERP_VERSION,
+                dca_sim::TIMING_VERSION,
+                dca_store::file::FORMAT_VERSION
+            );
+            Ok(())
+        }
+        "verify" => {
+            let reports = store.verify();
+            if reports.is_empty() {
+                println!("store {dir}: empty");
+                return Ok(());
+            }
+            let mut bad = 0u64;
+            for r in &reports {
+                let name = r
+                    .path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                match &r.status {
+                    FileStatus::Ok { records } => {
+                        println!("ok      {name} ({} bytes, {records} records)", r.bytes);
+                    }
+                    FileStatus::StaleVersion { what, found, expected } => {
+                        bad += 1;
+                        println!("stale   {name} ({what} version {found}, current {expected})");
+                    }
+                    FileStatus::Corrupt { reason } => {
+                        bad += 1;
+                        println!("corrupt {name} ({reason})");
+                    }
+                }
+            }
+            if bad > 0 {
+                Err(format!("{bad} file(s) failed verification (run `dca store gc`)"))
+            } else {
+                Ok(())
+            }
+        }
+        "gc" => {
+            let r = store.gc();
+            println!(
+                "store {dir}: removed {} file(s), freed {} bytes, kept {}",
+                r.removed, r.freed_bytes, r.kept
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown store subcommand `{other}` (stat|verify|gc)")),
+    }
 }
 
 fn cmd_list() -> Result<(), String> {

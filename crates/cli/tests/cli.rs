@@ -164,3 +164,63 @@ fn figures_subcommand_writes_artefacts() {
     let body = std::fs::read_to_string(written).unwrap();
     assert!(body.contains("Fetch width"), "Table 2 content present");
 }
+
+#[test]
+fn store_lifecycle_stat_verify_gc() {
+    let dir = std::env::temp_dir().join("dca-cli-store");
+    std::fs::remove_dir_all(&dir).ok();
+    let store_dir = dir.join("store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_arg = store_dir.to_str().unwrap();
+
+    // Empty store: stat works, verify reports empty.
+    let o = dca(&["store", "stat", "--store-dir", store_arg]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("checkpoint streams"));
+    let o = dca(&["store", "verify", "--store-dir", store_arg]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("empty"));
+
+    // A sampled figures run fills the store.
+    let o = Command::new(env!("CARGO_BIN_EXE_dca"))
+        .args([
+            "figures", "sampling", "--scale", "smoke", "--max-insts", "40000",
+            "--sample-period", "10000", "--sample-warmup", "1000",
+            "--sample-interval", "2000", "--store-dir", store_arg,
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let o = dca(&["store", "verify", "--store-dir", store_arg]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("ok      ck_compress_smoke"));
+
+    // Corrupt one file: verify fails, gc heals, verify passes again.
+    let victim = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "dcr"))
+        .expect("result file persisted");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&victim, bytes).unwrap();
+    let o = dca(&["store", "verify", "--store-dir", store_arg]);
+    assert!(!o.status.success());
+    assert!(stdout(&o).contains("corrupt"));
+    let o = dca(&["store", "gc", "--store-dir", store_arg]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("removed 1"));
+    let o = dca(&["store", "verify", "--store-dir", store_arg]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Unknown subcommand is a clean error.
+    let o = dca(&["store", "frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown store subcommand"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

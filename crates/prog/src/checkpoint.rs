@@ -98,6 +98,300 @@ pub fn fast_forward(prog: &Program, mem: Memory, every: u64, max: u64) -> FastFo
     }
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint serialization (the record payloads of `dca-store`)
+// ---------------------------------------------------------------------
+
+/// Version of the functional interpreter's observable semantics.
+///
+/// Bump this whenever a change alters the dynamic instruction stream a
+/// program produces (new opcodes, changed arithmetic, different memory
+/// semantics, checkpoint grid placement). The persistent checkpoint
+/// store records it in every file header; a mismatch invalidates the
+/// file (it decodes state the current interpreter would never have
+/// produced).
+pub const INTERP_VERSION: u32 = 1;
+
+/// Malformed checkpoint/page record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::interp::PAGE_BYTES;
+
+const PAGE_WORDS: usize = PAGE_BYTES / 8;
+const PAGE_BITMAP_BYTES: usize = PAGE_WORDS / 8;
+
+fn err(msg: &str) -> CodecError {
+    CodecError(msg.to_string())
+}
+
+/// Little-endian reader over a record payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| err("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(err("record truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(err("trailing bytes in record"))
+        }
+    }
+}
+
+/// Encodes one 4 KiB page as a nonzero-word bitmap followed by the
+/// nonzero 64-bit words in order — compact for the sparse pages of the
+/// mini-ISA workloads, at most `PAGE_BYTES + 64` bytes for dense ones.
+fn encode_page(page: &[u8; PAGE_BYTES]) -> Vec<u8> {
+    let mut bitmap = [0u8; PAGE_BITMAP_BYTES];
+    let mut words: Vec<u8> = Vec::new();
+    for w in 0..PAGE_WORDS {
+        let bytes = &page[w * 8..w * 8 + 8];
+        if bytes != [0u8; 8] {
+            bitmap[w / 8] |= 1 << (w % 8);
+            words.extend_from_slice(bytes);
+        }
+    }
+    let mut out = Vec::with_capacity(PAGE_BITMAP_BYTES + words.len());
+    out.extend_from_slice(&bitmap);
+    out.extend_from_slice(&words);
+    out
+}
+
+fn decode_page(rec: &[u8]) -> Result<[u8; PAGE_BYTES], CodecError> {
+    if rec.len() < PAGE_BITMAP_BYTES {
+        return Err(err("page record shorter than its bitmap"));
+    }
+    let (bitmap, mut words) = rec.split_at(PAGE_BITMAP_BYTES);
+    let mut page = [0u8; PAGE_BYTES];
+    for w in 0..PAGE_WORDS {
+        if bitmap[w / 8] & (1 << (w % 8)) != 0 {
+            if words.len() < 8 {
+                return Err(err("page record missing words"));
+            }
+            page[w * 8..w * 8 + 8].copy_from_slice(&words[..8]);
+            words = &words[8..];
+        }
+    }
+    if !words.is_empty() {
+        return Err(err("trailing bytes in page record"));
+    }
+    Ok(page)
+}
+
+/// Streaming encoder for a checkpoint sequence with **page
+/// deduplication**: `Memory` pages are `Arc`-shared between successive
+/// checkpoints (copy-on-write), so each distinct page is emitted once
+/// and later checkpoints reference it by id. Pages are matched first
+/// by `Arc` identity and then by content, so a page rewritten with its
+/// previous bytes also dedupes.
+///
+/// The encoder produces raw record payloads; framing, versioning and
+/// checksumming are the store's job (`dca-store`).
+#[derive(Default)]
+pub struct CheckpointEncoder {
+    /// `Arc` pointer → page id (fast path). Every key is kept alive by
+    /// [`CheckpointEncoder::retained`], so an address can never be
+    /// freed and reused by a different page mid-stream.
+    by_ptr: HashMap<usize, u32>,
+    /// Page content hash → candidate ids (content dedup).
+    by_hash: HashMap<u64, Vec<u32>>,
+    /// Every emitted page, by id, for content comparison.
+    pages: Vec<Arc<[u8; PAGE_BYTES]>>,
+    /// Clones of every `Arc` recorded in `by_ptr` (including content
+    /// duplicates that never got their own id).
+    retained: Vec<Arc<[u8; PAGE_BYTES]>>,
+}
+
+impl CheckpointEncoder {
+    /// Creates an encoder with an empty page table.
+    pub fn new() -> CheckpointEncoder {
+        CheckpointEncoder::default()
+    }
+
+    /// Number of distinct pages emitted so far.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_id(&mut self, page: &Arc<[u8; PAGE_BYTES]>, new_pages: &mut Vec<(u32, Vec<u8>)>) -> u32 {
+        let ptr = Arc::as_ptr(page) as *const u8 as usize;
+        if let Some(&id) = self.by_ptr.get(&ptr) {
+            return id;
+        }
+        // First sighting of this allocation: keep it alive for the
+        // encoder's lifetime, or a dropped page could be reallocated
+        // at the same address with different content and `by_ptr`
+        // would hand out a stale id.
+        self.retained.push(Arc::clone(page));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in page.iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let candidates = self.by_hash.entry(h).or_default();
+        for &id in candidates.iter() {
+            if self.pages[id as usize].as_ref() == page.as_ref() {
+                self.by_ptr.insert(ptr, id);
+                return id;
+            }
+        }
+        let id = u32::try_from(self.pages.len()).expect("page table fits u32");
+        candidates.push(id);
+        self.by_ptr.insert(ptr, id);
+        self.pages.push(Arc::clone(page));
+        new_pages.push((id, encode_page(page)));
+        id
+    }
+
+    /// Encodes `ckpt`. Returns the page records that have not appeared
+    /// earlier in the stream (each `(id, payload)`; ids are dense and
+    /// issued in first-use order) and the checkpoint record itself,
+    /// which references pages by id.
+    pub fn encode(&mut self, ckpt: &Checkpoint) -> (Vec<(u32, Vec<u8>)>, Vec<u8>) {
+        let mut new_pages = Vec::new();
+        let entries = ckpt.mem.page_entries();
+        let refs: Vec<(u64, u32)> = entries
+            .iter()
+            .map(|(idx, page)| (*idx, self.page_id(page, &mut new_pages)))
+            .collect();
+        let mut out = Vec::with_capacity(8 + 1 + 4 + 64 * 8 + 4 + refs.len() * 12);
+        out.extend_from_slice(&ckpt.seq.to_le_bytes());
+        let flags = u8::from(ckpt.halted) | (u8::from(ckpt.cursor.is_some()) << 1);
+        out.push(flags);
+        out.extend_from_slice(&ckpt.cursor.unwrap_or(0).to_le_bytes());
+        for r in ckpt.int_regs {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for r in ckpt.fp_regs {
+            out.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(refs.len() as u32).to_le_bytes());
+        for (idx, id) in refs {
+            out.extend_from_slice(&idx.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        (new_pages, out)
+    }
+}
+
+/// Decoder counterpart of [`CheckpointEncoder`]: feed it page records
+/// in stream order, then decode checkpoint records against the
+/// accumulated page table. Decoded checkpoints share one `Arc` per
+/// page id, so the copy-on-write structure of the original stream is
+/// restored.
+#[derive(Default)]
+pub struct CheckpointDecoder {
+    pages: Vec<Arc<[u8; PAGE_BYTES]>>,
+}
+
+impl CheckpointDecoder {
+    /// Creates a decoder with an empty page table.
+    pub fn new() -> CheckpointDecoder {
+        CheckpointDecoder::default()
+    }
+
+    /// Number of pages inserted so far.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Registers the page record with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-order ids (they must arrive densely, in emission
+    /// order) and malformed payloads.
+    pub fn insert_page(&mut self, id: u32, payload: &[u8]) -> Result<(), CodecError> {
+        if id as usize != self.pages.len() {
+            return Err(err("page id out of order"));
+        }
+        self.pages.push(Arc::new(decode_page(payload)?));
+        Ok(())
+    }
+
+    /// Decodes one checkpoint record against the pages seen so far.
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncated records, unknown page ids and trailing bytes.
+    pub fn decode(&self, payload: &[u8]) -> Result<Checkpoint, CodecError> {
+        let mut r = Reader::new(payload);
+        let seq = r.u64()?;
+        let flags = r.u8()?;
+        if flags & !0b11 != 0 {
+            return Err(err("unknown checkpoint flags"));
+        }
+        let halted = flags & 1 != 0;
+        let cursor_raw = r.u32()?;
+        let cursor = (flags & 2 != 0).then_some(cursor_raw);
+        let mut int_regs = [0i64; 32];
+        for reg in &mut int_regs {
+            *reg = r.u64()? as i64;
+        }
+        let mut fp_regs = [0f64; 32];
+        for reg in &mut fp_regs {
+            *reg = f64::from_bits(r.u64()?);
+        }
+        let npages = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            let idx = r.u64()?;
+            let id = r.u32()? as usize;
+            let page = self.pages.get(id).ok_or_else(|| err("unknown page id"))?;
+            entries.push((idx, Arc::clone(page)));
+        }
+        r.finish()?;
+        Ok(Checkpoint {
+            int_regs,
+            fp_regs,
+            mem: Memory::from_page_entries(entries),
+            cursor,
+            seq,
+            halted,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +444,108 @@ mod tests {
         assert!(!ff.halted);
         // Checkpoints at 0, 100, 200, 300 — none at the 350 cut.
         assert_eq!(ff.checkpoints.len(), 4);
+    }
+
+    #[test]
+    fn codec_round_trips_a_stream_and_preserves_page_sharing() {
+        // Prelude fills one page that the loop never touches again, so
+        // every later checkpoint shares that page's Arc; the loop keeps
+        // writing a second page, which diverges at every snapshot.
+        let p = parse_asm(
+            "e:
+                li r1, #64
+                li r2, #4096
+            fill:
+                st r1, 0(r2)
+                add r2, r2, #8
+                add r1, r1, #-1
+                bne r1, r0, fill
+                li r1, #200
+                li r2, #16384
+            l:
+                st r1, 0(r2)
+                ld r3, 0(r2)
+                add r2, r2, #8
+                add r1, r1, #-1
+                bne r1, r0, l
+                halt",
+        )
+        .unwrap();
+        let ff = fast_forward(&p, Memory::new(), 100, u64::MAX);
+        type PageRecords = Vec<(u32, Vec<u8>)>;
+        let mut enc = CheckpointEncoder::new();
+        let mut records: Vec<(PageRecords, Vec<u8>)> = Vec::new();
+        for c in &ff.checkpoints {
+            records.push(enc.encode(c));
+        }
+        // Dedup works: far fewer page records than checkpoints × pages.
+        let total_refs: usize = ff.checkpoints.iter().map(|c| c.memory().page_count()).sum();
+        assert!(enc.page_count() < total_refs, "{} < {total_refs}", enc.page_count());
+
+        let mut dec = CheckpointDecoder::new();
+        let full: Vec<_> = Interp::new(&p, Memory::new()).collect();
+        for ((pages, ckpt_rec), orig) in records.iter().zip(&ff.checkpoints) {
+            for (id, payload) in pages {
+                dec.insert_page(*id, payload).unwrap();
+            }
+            let restored = dec.decode(ckpt_rec).unwrap();
+            assert_eq!(restored.seq(), orig.seq());
+            assert_eq!(restored.halted(), orig.halted());
+            let tail: Vec<_> = Interp::resume(&p, &restored).collect();
+            assert_eq!(tail.as_slice(), &full[orig.seq() as usize..]);
+        }
+        // Re-encoding the decoded stream is byte-identical (ids are
+        // assigned in first-use order on both sides).
+        let mut dec2 = CheckpointDecoder::new();
+        let mut enc2 = CheckpointEncoder::new();
+        for (pages, ckpt_rec) in &records {
+            for (id, payload) in pages {
+                dec2.insert_page(*id, payload).unwrap();
+            }
+            let restored = dec2.decode(ckpt_rec).unwrap();
+            let (pages2, rec2) = enc2.encode(&restored);
+            assert_eq!(&pages2, pages);
+            assert_eq!(&rec2, ckpt_rec);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_malformed_records() {
+        let p = countdown(10);
+        let ff = fast_forward(&p, Memory::new(), 8, u64::MAX);
+        let mut enc = CheckpointEncoder::new();
+        let (pages, rec) = enc.encode(&ff.checkpoints[1]);
+        let mut dec = CheckpointDecoder::new();
+        // Page ids must be dense and in order.
+        assert!(dec.insert_page(3, &pages[0].1).is_err());
+        for (id, payload) in &pages {
+            dec.insert_page(*id, payload).unwrap();
+        }
+        // Truncation and trailing garbage are both rejected.
+        assert!(dec.decode(&rec[..rec.len() - 1]).is_err());
+        let mut long = rec.clone();
+        long.push(0);
+        assert!(dec.decode(&long).is_err());
+        // Unknown page id: empty decoder.
+        let empty = CheckpointDecoder::new();
+        if !pages.is_empty() {
+            assert!(empty.decode(&rec).is_err());
+        }
+    }
+
+    #[test]
+    fn page_codec_handles_sparse_and_dense_pages() {
+        let mut sparse = [0u8; PAGE_BYTES];
+        sparse[8] = 7;
+        sparse[PAGE_BYTES - 1] = 9;
+        let enc = encode_page(&sparse);
+        assert!(enc.len() <= PAGE_BITMAP_BYTES + 16);
+        assert_eq!(decode_page(&enc).unwrap(), sparse);
+        let dense = [0xabu8; PAGE_BYTES];
+        let enc = encode_page(&dense);
+        assert_eq!(enc.len(), PAGE_BITMAP_BYTES + PAGE_BYTES);
+        assert_eq!(decode_page(&enc).unwrap(), dense);
+        assert!(decode_page(&enc[..10]).is_err());
     }
 
     #[test]

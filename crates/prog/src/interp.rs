@@ -122,6 +122,41 @@ impl Memory {
     pub fn page_count(&self) -> usize {
         self.pages.len()
     }
+
+    /// The page table, sorted by page index — the deterministic
+    /// iteration order the checkpoint codec serializes in.
+    pub(crate) fn page_entries(&self) -> Vec<(u64, &Arc<[u8; PAGE_BYTES]>)> {
+        let mut v: Vec<_> = self.pages.iter().map(|(k, p)| (*k, p)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Rebuilds a memory image from `(page_index, page)` pairs,
+    /// sharing the given `Arc`s (the decode half of the codec).
+    pub(crate) fn from_page_entries(
+        entries: impl IntoIterator<Item = (u64, Arc<[u8; PAGE_BYTES]>)>,
+    ) -> Memory {
+        Memory {
+            pages: entries.into_iter().collect(),
+        }
+    }
+
+    /// FNV-1a hash of the full memory content (page indices and
+    /// bytes, in page-index order). Deterministic across runs; used as
+    /// part of the workload fingerprint that keys the persistent
+    /// checkpoint store.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (idx, page) in self.page_entries() {
+            h ^= idx;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            for &b in page.iter() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 /// One instruction of the dynamic (committed-path) stream.

@@ -57,7 +57,10 @@ mod slice;
 
 pub use asm::{disassemble, parse_asm, AsmError};
 pub use builder::ProgramBuilder;
-pub use checkpoint::{fast_forward, Checkpoint, FastForward};
+pub use checkpoint::{
+    fast_forward, Checkpoint, CheckpointDecoder, CheckpointEncoder, CodecError, FastForward,
+    INTERP_VERSION,
+};
 pub use interp::{DynInst, ExecSummary, Interp, Memory};
 pub use program::{Block, Program, ProgramError, StaticInst};
 pub use rdg::{NodeId, NodePart, Rdg};

@@ -299,6 +299,30 @@ impl Program {
     pub fn text_bytes(&self) -> u64 {
         self.layout.len() as u64 * INST_BYTES
     }
+
+    /// Deterministic FNV-1a hash of the laid-out program (every static
+    /// instruction's rendering plus its control-flow edges). Any change
+    /// to the instruction sequence, layout or CFG changes the hash;
+    /// used as part of the workload fingerprint keying the persistent
+    /// checkpoint store.
+    pub fn content_hash(&self) -> u64 {
+        fn mix_bytes(h: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+            for b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for si in &self.layout {
+            mix_bytes(&mut h, si.pc.to_le_bytes());
+            mix_bytes(&mut h, format!("{:?}", si.inst).bytes());
+            let ft = u64::from(si.fallthrough.map_or(u32::MAX, |t| t));
+            mix_bytes(&mut h, ft.to_le_bytes());
+            let tg = u64::from(si.target.map_or(u32::MAX, |t| t));
+            mix_bytes(&mut h, tg.to_le_bytes());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

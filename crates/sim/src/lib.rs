@@ -62,6 +62,17 @@ pub mod steering;
 pub mod trace;
 
 pub use config::{ClusterId, Engine, SimConfig};
+
+/// Version of the timing model's observable behaviour.
+///
+/// Bump this whenever a change alters the statistics a simulation run
+/// reports for the same functional stream (pipeline timing, cache or
+/// predictor geometry/policy, steering semantics, statistics
+/// definitions). The persistent result store records it with every
+/// per-interval result file; a mismatch invalidates the file. The
+/// functional interpreter has its own `dca_prog::INTERP_VERSION`,
+/// which additionally invalidates checkpoint streams.
+pub const TIMING_VERSION: u32 = 1;
 pub use pipeline::Simulator;
 pub use stats::{BalanceHistogram, SimStats};
 pub use steering::{Allowed, DecodedView, SrcView, SteerCtx, Steering};

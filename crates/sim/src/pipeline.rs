@@ -462,6 +462,24 @@ impl<'p> Simulator<'p> {
     /// Call before [`Simulator::run_mut`]; the warmed instructions
     /// still count against that call's absolute `max_insts` budget.
     pub fn warm_functional(&mut self, insts: u64) -> u64 {
+        self.warm_functional_inner(insts, None)
+    }
+
+    /// Like [`Simulator::warm_functional`], but additionally presents
+    /// every warmed instruction to `steering` through
+    /// [`Steering::warm_observe`], so schemes with decode-time state
+    /// (slice tables) start the measured interval warm. The steering
+    /// scheme's *decisions* are not consulted — warming only replays
+    /// the committed-path stream.
+    pub fn warm_functional_steered(&mut self, insts: u64, steering: &mut dyn Steering) -> u64 {
+        self.warm_functional_inner(insts, Some(steering))
+    }
+
+    fn warm_functional_inner(
+        &mut self,
+        insts: u64,
+        mut steering: Option<&mut dyn Steering>,
+    ) -> u64 {
         let interp = self.interp.as_mut().expect("interpreter present");
         let mut done = 0;
         while done < insts {
@@ -473,6 +491,9 @@ impl<'p> Simulator<'p> {
             if d.inst.op.is_cond_branch() {
                 self.bpred
                     .update(d.pc, d.taken.expect("cond branches have outcomes"));
+            }
+            if let Some(s) = steering.as_deref_mut() {
+                s.warm_observe(d.sidx, &d.inst);
             }
             done += 1;
         }

@@ -72,6 +72,21 @@ impl BalanceHistogram {
         self.total += other.total;
     }
 
+    /// The raw bucket counts for −10..=10 in order — the serialized
+    /// form used by the persistent result store.
+    pub fn bucket_counts(&self) -> [u64; 21] {
+        self.buckets
+    }
+
+    /// Rebuilds a histogram from raw bucket counts (the inverse of
+    /// [`BalanceHistogram::bucket_counts`]).
+    pub fn from_bucket_counts(buckets: [u64; 21]) -> BalanceHistogram {
+        BalanceHistogram {
+            buckets,
+            total: buckets.iter().sum(),
+        }
+    }
+
     /// The percentage series for the buckets −10..=10 in order — the
     /// exact series the paper's balance figures plot.
     pub fn percent_series(&self) -> [f64; 21] {

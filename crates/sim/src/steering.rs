@@ -223,6 +223,19 @@ pub trait Steering {
     fn on_mispredict(&mut self, sidx: u32) {
         let _ = sidx;
     }
+
+    /// Functional-warming observation (DESIGN.md §8): called once per
+    /// instruction of the committed-path stream consumed during
+    /// `Simulator::warm_functional_steered`, in program order, before
+    /// the measured interval opens. Schemes with *decode-time* state —
+    /// the slice tables built by `observe` in `dca-steer` — rebuild it
+    /// here so intervals start with warm tables instead of relearning
+    /// slices from scratch. Timing-coupled state (FIFO occupancy,
+    /// imbalance windows) cannot be reconstructed from the functional
+    /// stream and keeps the default no-op.
+    fn warm_observe(&mut self, sidx: u32, inst: &Inst) {
+        let _ = (sidx, inst);
+    }
 }
 
 /// Trivial reference scheme: alternates free instructions between the

@@ -91,6 +91,10 @@ impl Steering for NonSliceBalance {
         self.monitor.on_steered(cluster);
     }
 
+    fn warm_observe(&mut self, sidx: u32, inst: &dca_isa::Inst) {
+        self.flags.observe(sidx, inst, self.kind);
+    }
+
     fn on_cycle(&mut self, ctx: &SteerCtx) {
         self.monitor.on_cycle(ctx);
     }

@@ -151,6 +151,13 @@ impl Steering for PrioritySliceBalance {
         self.monitor.on_steered(cluster);
     }
 
+    fn warm_observe(&mut self, sidx: u32, inst: &dca_isa::Inst) {
+        // Slice-id tables only: the criticality counters and the
+        // adaptive threshold react to cache-miss/mispredict events,
+        // which functional warming does not model.
+        self.slices.observe(sidx, inst, self.kind);
+    }
+
     fn on_cycle(&mut self, ctx: &SteerCtx) {
         self.monitor.on_cycle(ctx);
         self.cycles_in_window += 1;

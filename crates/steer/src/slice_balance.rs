@@ -126,6 +126,10 @@ impl Steering for SliceBalance {
         self.monitor.on_steered(cluster);
     }
 
+    fn warm_observe(&mut self, sidx: u32, inst: &dca_isa::Inst) {
+        self.slices.observe(sidx, inst, self.kind);
+    }
+
     fn on_cycle(&mut self, ctx: &SteerCtx) {
         self.monitor.on_cycle(ctx);
     }

@@ -96,6 +96,10 @@ impl Steering for SliceSteering {
     fn on_steered(&mut self, d: &DecodedView<'_>, _cluster: ClusterId, _ctx: &SteerCtx) {
         self.flags.observe(d.sidx, d.inst, self.kind);
     }
+
+    fn warm_observe(&mut self, sidx: u32, inst: &dca_isa::Inst) {
+        self.flags.observe(sidx, inst, self.kind);
+    }
 }
 
 #[cfg(test)]

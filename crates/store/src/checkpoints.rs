@@ -1,0 +1,164 @@
+//! Persisted per-benchmark checkpoint streams.
+//!
+//! One `.dcc` file holds the result of one functional fast-forward
+//! pass: a meta record (the key echoed back, plus stream totals)
+//! followed by interleaved page and checkpoint records, in stream
+//! order. Pages are the deduplicated copy-on-write pages of
+//! `dca_prog::Memory` — each distinct page appears once, and every
+//! checkpoint references pages by id (`dca_prog::CheckpointEncoder`),
+//! so the file is roughly "initial image + touched pages per period",
+//! not "full image × checkpoints".
+
+use dca_prog::{CheckpointDecoder, CheckpointEncoder, FastForward};
+
+use crate::file::{put_str, Reader};
+use crate::StoreError;
+
+/// Key of a checkpoint stream: everything that determines the dynamic
+/// stream and the snapshot grid. `fingerprint` is
+/// `Workload::fingerprint` — it invalidates entries when a workload
+/// generator changes; the interpreter version lives in the file header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointKey<'a> {
+    /// Benchmark name (`"compress"`, …).
+    pub workload: &'a str,
+    /// Workload scale name (`"paper"`, …).
+    pub scale: &'a str,
+    /// Checkpoint period in dynamic instructions.
+    pub period: u64,
+    /// Instruction budget of the fast-forward pass.
+    pub max_insts: u64,
+    /// Deterministic fingerprint of the generated program + memory.
+    pub fingerprint: u64,
+}
+
+impl CheckpointKey<'_> {
+    /// The store file name for this key.
+    pub fn file_name(&self) -> String {
+        format!(
+            "ck_{}_{}_p{}_m{}.dcc",
+            self.workload, self.scale, self.period, self.max_insts
+        )
+    }
+}
+
+const REC_META: u8 = 0;
+const REC_PAGE: u8 = 1;
+const REC_CHECKPOINT: u8 = 2;
+
+/// Encodes a fast-forward pass into store records.
+pub(crate) fn encode(key: &CheckpointKey<'_>, ff: &FastForward) -> Vec<Vec<u8>> {
+    let mut records = Vec::new();
+    let mut meta = vec![REC_META];
+    meta.extend_from_slice(&key.period.to_le_bytes());
+    meta.extend_from_slice(&key.max_insts.to_le_bytes());
+    meta.extend_from_slice(&key.fingerprint.to_le_bytes());
+    meta.extend_from_slice(&ff.total_insts.to_le_bytes());
+    meta.push(u8::from(ff.halted));
+    meta.extend_from_slice(&(ff.checkpoints.len() as u32).to_le_bytes());
+    put_str(&mut meta, key.workload);
+    put_str(&mut meta, key.scale);
+    records.push(meta);
+
+    let mut enc = CheckpointEncoder::new();
+    for ckpt in &ff.checkpoints {
+        let (pages, ckpt_rec) = enc.encode(ckpt);
+        for (id, payload) in pages {
+            let mut rec = Vec::with_capacity(5 + payload.len());
+            rec.push(REC_PAGE);
+            rec.extend_from_slice(&id.to_le_bytes());
+            rec.extend_from_slice(&payload);
+            records.push(rec);
+        }
+        let mut rec = Vec::with_capacity(1 + ckpt_rec.len());
+        rec.push(REC_CHECKPOINT);
+        rec.extend_from_slice(&ckpt_rec);
+        records.push(rec);
+    }
+    records
+}
+
+fn corrupt(path: &std::path::Path, reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: path.to_path_buf(),
+        reason: reason.into(),
+    }
+}
+
+/// Decodes store records back into a fast-forward pass, verifying the
+/// meta record against `key`.
+pub(crate) fn decode(
+    path: &std::path::Path,
+    key: &CheckpointKey<'_>,
+    records: &[Vec<u8>],
+) -> Result<FastForward, StoreError> {
+    let meta = records.first().ok_or_else(|| corrupt(path, "no meta record"))?;
+    if meta.first() != Some(&REC_META) {
+        return Err(corrupt(path, "first record is not meta"));
+    }
+    let mut r = Reader::new(&meta[1..]);
+    let parse = (|| -> Result<_, String> {
+        let period = r.u64()?;
+        let max_insts = r.u64()?;
+        let fingerprint = r.u64()?;
+        let total_insts = r.u64()?;
+        let halted = r.u8()? != 0;
+        let count = r.u32()? as usize;
+        let workload = r.str()?.to_owned();
+        let scale = r.str()?.to_owned();
+        r.finish()?;
+        Ok((period, max_insts, fingerprint, total_insts, halted, count, workload, scale))
+    })();
+    let (period, max_insts, fingerprint, total_insts, halted, count, workload, scale) =
+        parse.map_err(|e| corrupt(path, format!("meta record: {e}")))?;
+    if (workload.as_str(), scale.as_str(), period, max_insts)
+        != (key.workload, key.scale, key.period, key.max_insts)
+    {
+        return Err(corrupt(
+            path,
+            format!("meta key ({workload}/{scale}/p{period}/m{max_insts}) does not match the file name"),
+        ));
+    }
+    if fingerprint != key.fingerprint {
+        return Err(StoreError::Stale {
+            path: path.to_path_buf(),
+            reason: format!(
+                "workload fingerprint changed ({fingerprint:#018x} → {:#018x})",
+                key.fingerprint
+            ),
+        });
+    }
+
+    let mut dec = CheckpointDecoder::new();
+    let mut checkpoints = Vec::with_capacity(count);
+    for rec in &records[1..] {
+        match rec.first() {
+            Some(&REC_PAGE) => {
+                if rec.len() < 5 {
+                    return Err(corrupt(path, "short page record"));
+                }
+                let id = u32::from_le_bytes(rec[1..5].try_into().expect("4 bytes"));
+                dec.insert_page(id, &rec[5..])
+                    .map_err(|e| corrupt(path, e.to_string()))?;
+            }
+            Some(&REC_CHECKPOINT) => {
+                checkpoints.push(
+                    dec.decode(&rec[1..])
+                        .map_err(|e| corrupt(path, e.to_string()))?,
+                );
+            }
+            _ => return Err(corrupt(path, "unknown record tag")),
+        }
+    }
+    if checkpoints.len() != count {
+        return Err(corrupt(
+            path,
+            format!("meta promises {count} checkpoints, file holds {}", checkpoints.len()),
+        ));
+    }
+    Ok(FastForward {
+        checkpoints,
+        total_insts,
+        halted,
+    })
+}

@@ -1,0 +1,411 @@
+//! The on-disk container every store entry uses: a fixed header
+//! (magic, format version, payload kind, semantic versions), a
+//! sequence of length-framed records, and a whole-file FNV-1a
+//! checksum. A file that is truncated, bit-flipped or written by a
+//! different format version is rejected as a unit — readers never see
+//! half a stream.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"DCASTORE"
+//! 8       4     format_version (u32 LE) — file *structure*
+//! 12      4     kind           (u32 LE) — 1 checkpoints, 2 results
+//! 16      4     interp_version (u32 LE) — dca_prog::INTERP_VERSION
+//! 20      4     timing_version (u32 LE) — dca_sim::TIMING_VERSION
+//!                                         (0 for checkpoint files)
+//! 24      …     records: [len: u32 LE][len bytes] …
+//! end-8   8     FNV-1a 64 checksum of every preceding byte (u64 LE)
+//! ```
+
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use crate::StoreError;
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"DCASTORE";
+
+/// Version of the container structure itself (header layout, framing,
+/// checksum). Bump on any change to this module's byte layout.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header length in bytes.
+pub const HEADER_BYTES: usize = 24;
+
+/// Trailing checksum length in bytes.
+pub const TRAILER_BYTES: usize = 8;
+
+/// What a store file contains.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A per-benchmark checkpoint stream (`.dcc`).
+    Checkpoints,
+    /// Per-interval simulation results of one combination (`.dcr`).
+    Results,
+}
+
+impl FileKind {
+    /// The header tag.
+    pub fn tag(self) -> u32 {
+        match self {
+            FileKind::Checkpoints => 1,
+            FileKind::Results => 2,
+        }
+    }
+
+    /// Parses a header tag.
+    pub fn from_tag(tag: u32) -> Option<FileKind> {
+        match tag {
+            1 => Some(FileKind::Checkpoints),
+            2 => Some(FileKind::Results),
+            _ => None,
+        }
+    }
+
+    /// The file extension used in the store directory.
+    pub fn extension(self) -> &'static str {
+        match self {
+            FileKind::Checkpoints => "dcc",
+            FileKind::Results => "dcr",
+        }
+    }
+}
+
+/// Parsed header of a store file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Payload kind.
+    pub kind: FileKind,
+    /// Container format version ([`FORMAT_VERSION`] at write time).
+    pub format_version: u32,
+    /// Functional-interpreter version the payload was produced under.
+    pub interp_version: u32,
+    /// Timing-model version (0 in checkpoint files, where timing does
+    /// not apply).
+    pub timing_version: u32,
+}
+
+/// FNV-1a 64-bit hash — the whole-file checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: path.to_path_buf(),
+        reason: reason.into(),
+    }
+}
+
+/// Serializes header + records + checksum into one buffer.
+pub fn encode_file(header: &FileHeader, records: &[Vec<u8>]) -> Vec<u8> {
+    let body: usize = records.iter().map(|r| 4 + r.len()).sum();
+    let mut out = Vec::with_capacity(HEADER_BYTES + body + TRAILER_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&header.format_version.to_le_bytes());
+    out.extend_from_slice(&header.kind.tag().to_le_bytes());
+    out.extend_from_slice(&header.interp_version.to_le_bytes());
+    out.extend_from_slice(&header.timing_version.to_le_bytes());
+    for r in records {
+        out.extend_from_slice(&(u32::try_from(r.len()).expect("record fits u32")).to_le_bytes());
+        out.extend_from_slice(r);
+    }
+    let sum = fnv64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Writes a record file atomically (temp file + rename), returning the
+/// byte count.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_records(
+    path: &Path,
+    header: &FileHeader,
+    records: &[Vec<u8>],
+) -> io::Result<u64> {
+    let bytes = encode_file(header, records);
+    let tmp = match (path.parent(), path.file_name()) {
+        (Some(dir), Some(name)) => {
+            let mut n = std::ffi::OsString::from(".tmp-");
+            n.push(name);
+            dir.join(n)
+        }
+        _ => return Err(io::Error::other("store path has no parent/file name")),
+    };
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Validates and splits a whole store file: magic, container version,
+/// checksum, then record framing. Semantic version checks
+/// (interpreter/timing) are the caller's responsibility — a structurally
+/// sound file with stale versions is *stale*, not corrupt.
+///
+/// # Errors
+///
+/// [`StoreError::NotFound`] when the file does not exist;
+/// [`StoreError::Corrupt`] on any structural violation;
+/// [`StoreError::Version`] when the container format is unknown.
+pub fn read_records(path: &Path) -> Result<(FileHeader, Vec<Vec<u8>>), StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    if bytes.len() < HEADER_BYTES + TRAILER_BYTES {
+        return Err(corrupt(path, "shorter than header + checksum"));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(corrupt(path, "bad magic"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - TRAILER_BYTES);
+    let expect = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let actual = fnv64(body);
+    if expect != actual {
+        return Err(corrupt(
+            path,
+            format!("checksum mismatch (stored {expect:#018x}, computed {actual:#018x})"),
+        ));
+    }
+    let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+    let format_version = word(8);
+    if format_version != FORMAT_VERSION {
+        return Err(StoreError::Version {
+            path: path.to_path_buf(),
+            what: "container format",
+            found: format_version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let kind = FileKind::from_tag(word(12)).ok_or_else(|| corrupt(path, "unknown file kind"))?;
+    let header = FileHeader {
+        kind,
+        format_version,
+        interp_version: word(16),
+        timing_version: word(20),
+    };
+    let mut records = Vec::new();
+    let mut rest = &body[HEADER_BYTES..];
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return Err(corrupt(path, "dangling record length"));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return Err(corrupt(path, "record overruns file"));
+        }
+        records.push(rest[..len].to_vec());
+        rest = &rest[len..];
+    }
+    Ok((header, records))
+}
+
+/// Reads and validates only the header (magic and structure of the
+/// first [`HEADER_BYTES`]; no checksum) — the cheap path `stat` uses.
+///
+/// # Errors
+///
+/// Same classes as [`read_records`], without corruption checks beyond
+/// the header itself.
+pub fn read_header(path: &Path) -> Result<FileHeader, StoreError> {
+    use std::io::Read as _;
+    let mut f = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let mut head = [0u8; HEADER_BYTES];
+    f.read_exact(&mut head)
+        .map_err(|_| corrupt(path, "shorter than header"))?;
+    if head[..8] != MAGIC {
+        return Err(corrupt(path, "bad magic"));
+    }
+    let word = |i: usize| u32::from_le_bytes(head[i..i + 4].try_into().expect("4 bytes"));
+    let format_version = word(8);
+    if format_version != FORMAT_VERSION {
+        return Err(StoreError::Version {
+            path: path.to_path_buf(),
+            what: "container format",
+            found: format_version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let kind = FileKind::from_tag(word(12)).ok_or_else(|| corrupt(path, "unknown file kind"))?;
+    Ok(FileHeader {
+        kind,
+        format_version,
+        interp_version: word(16),
+        timing_version: word(20),
+    })
+}
+
+/// Little-endian reader over one record payload, shared by the typed
+/// codecs.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| "length overflow".to_string())?;
+        if end > self.buf.len() {
+            return Err("record truncated".into());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<&'a str, String> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.bytes(len)?).map_err(|_| "invalid utf-8".to_string())
+    }
+
+    pub(crate) fn finish(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes in record".into())
+        }
+    }
+}
+
+/// Appends a length-prefixed string.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(u32::try_from(s.len()).expect("string fits u32")).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("dca-store-file-tests");
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn header() -> FileHeader {
+        FileHeader {
+            kind: FileKind::Checkpoints,
+            format_version: FORMAT_VERSION,
+            interp_version: 7,
+            timing_version: 0,
+        }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let p = tmp("roundtrip.dcc");
+        let records = vec![vec![1, 2, 3], vec![], vec![0xff; 1000]];
+        write_records(&p, &header(), &records).unwrap();
+        let (h, got) = read_records(&p).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(got, records);
+        assert_eq!(read_header(&p).unwrap(), header());
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        assert!(matches!(
+            read_records(&tmp("nope.dcc")),
+            Err(StoreError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn truncation_and_bitflips_are_corrupt() {
+        let p = tmp("corrupt.dcc");
+        write_records(&p, &header(), &[vec![9u8; 64]]).unwrap();
+        let good = std::fs::read(&p).unwrap();
+        // Truncated: checksum cannot match.
+        std::fs::write(&p, &good[..good.len() - 3]).unwrap();
+        assert!(matches!(read_records(&p), Err(StoreError::Corrupt { .. })));
+        // One flipped bit mid-file.
+        let mut flipped = good.clone();
+        flipped[HEADER_BYTES + 10] ^= 0x20;
+        std::fs::write(&p, &flipped).unwrap();
+        assert!(matches!(read_records(&p), Err(StoreError::Corrupt { .. })));
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&p, &bad).unwrap();
+        assert!(matches!(read_records(&p), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn unknown_container_version_is_a_version_error() {
+        let p = tmp("version.dcc");
+        let h = FileHeader {
+            format_version: FORMAT_VERSION + 1,
+            ..header()
+        };
+        write_records(&p, &h, &[vec![1]]).unwrap();
+        match read_records(&p) {
+            Err(StoreError::Version { found, expected, .. }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framing_overrun_is_corrupt() {
+        let p = tmp("frame.dcc");
+        // Hand-craft: valid checksum but a record length pointing past
+        // the end of the body.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&FileKind::Checkpoints.tag().to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&100u32.to_le_bytes()); // record of 100 bytes…
+        bytes.extend_from_slice(&[1, 2, 3]); // …but only 3 present
+        let sum = fnv64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        match read_records(&p) {
+            Err(StoreError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("overruns"), "{reason}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+}

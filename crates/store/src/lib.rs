@@ -1,0 +1,649 @@
+//! # dca-store — persistent checkpoint & result store
+//!
+//! PR 2's sampled-simulation harness (DESIGN.md §7) made paper-scale
+//! runs affordable *within one process*; this crate makes them cheap
+//! **across** processes. It persists, as versioned binary files in one
+//! flat directory:
+//!
+//! * **checkpoint streams** (`ck_*.dcc`) — the per-benchmark functional
+//!   fast-forward output, keyed by `(workload, scale, period,
+//!   max_insts)` plus the workload fingerprint and the interpreter
+//!   version, with copy-on-write pages deduplicated; and
+//! * **interval results** (`rs_*.dcr`) — the per-interval `SimStats`
+//!   of one `(workload, scale, machine, scheme, sampling parameters)`
+//!   combination, in checkpoint order, exact to the counter.
+//!
+//! Serialization is hand-rolled little-endian (the build environment
+//! has no crates.io access): every file carries a magic/version header,
+//! length-framed records and a whole-file FNV-1a checksum, so a
+//! truncated or bit-flipped file is rejected as a unit — callers fall
+//! back to recomputation, never to half a stream (see
+//! `tests/store_robustness.rs`).
+//!
+//! Invalidation is by *versions in the header* plus *fingerprints in
+//! the meta record* (DESIGN.md §8): `dca_prog::INTERP_VERSION` guards
+//! the functional semantics both file kinds depend on,
+//! `dca_sim::TIMING_VERSION` guards result files, and the workload
+//! fingerprint guards against generator changes. [`Store::gc`] deletes
+//! whatever no longer matches.
+//!
+//! # Example
+//!
+//! ```
+//! use dca_prog::{fast_forward, parse_asm, Memory};
+//! use dca_store::{CheckpointKey, Store};
+//!
+//! let dir = std::env::temp_dir().join("dca-store-doc");
+//! let store = Store::open(&dir);
+//! let prog = parse_asm("e:\n li r1, #9\nl:\n add r1, r1, #-1\n bne r1, r0, l\n halt")?;
+//! let ff = fast_forward(&prog, Memory::new(), 5, u64::MAX);
+//! let key = CheckpointKey {
+//!     workload: "doc", scale: "smoke", period: 5, max_insts: u64::MAX, fingerprint: 42,
+//! };
+//! store.save_checkpoints(&key, &ff)?;
+//! let restored = store.load_checkpoints(&key)?;
+//! assert_eq!(restored.checkpoints.len(), ff.checkpoints.len());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoints;
+pub mod file;
+mod results;
+
+use std::path::{Path, PathBuf};
+
+use dca_prog::FastForward;
+
+pub use checkpoints::CheckpointKey;
+pub use results::{IntervalRecord, ResultKey};
+
+use file::{FileHeader, FileKind};
+
+/// Why a store entry could not be used.
+#[derive(Debug)]
+pub enum StoreError {
+    /// No entry for the key — the ordinary cold-store case.
+    NotFound,
+    /// The filesystem failed underneath the store.
+    Io(std::io::Error),
+    /// The file is structurally damaged (bad magic, checksum mismatch,
+    /// truncated record, malformed payload). Never partially decoded.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What failed.
+        reason: String,
+    },
+    /// The file was produced by a different code version (container
+    /// format, interpreter or timing model).
+    Version {
+        /// Offending file.
+        path: PathBuf,
+        /// Which version field mismatched.
+        what: &'static str,
+        /// Version recorded in the file.
+        found: u32,
+        /// Version the running code expects.
+        expected: u32,
+    },
+    /// The file is structurally sound but keyed to content that no
+    /// longer exists (e.g. a workload generator changed its output).
+    Stale {
+        /// Offending file.
+        path: PathBuf,
+        /// What went stale.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound => write!(f, "no store entry"),
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt store file {}: {reason}", path.display())
+            }
+            StoreError::Version {
+                path,
+                what,
+                found,
+                expected,
+            } => write!(
+                f,
+                "store file {} has {what} version {found}, current is {expected}",
+                path.display()
+            ),
+            StoreError::Stale { path, reason } => {
+                write!(f, "stale store file {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// `true` for the ordinary miss (no entry yet) — callers recompute
+    /// silently; every other variant is worth a warning.
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, StoreError::NotFound)
+    }
+}
+
+/// Health of one store file, as reported by [`Store::verify`].
+#[derive(Debug)]
+pub enum FileStatus {
+    /// Structurally sound and current.
+    Ok {
+        /// Number of records in the file.
+        records: usize,
+    },
+    /// Structurally sound but produced under other code versions; GC
+    /// removes it.
+    StaleVersion {
+        /// Which version field mismatched.
+        what: &'static str,
+        /// Version recorded in the file.
+        found: u32,
+        /// Version the running code expects.
+        expected: u32,
+    },
+    /// Structural damage; GC removes it.
+    Corrupt {
+        /// What failed.
+        reason: String,
+    },
+}
+
+/// One store file with its health.
+#[derive(Debug)]
+pub struct FileReport {
+    /// Path of the file.
+    pub path: PathBuf,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Payload kind, when the header was readable.
+    pub kind: Option<FileKind>,
+    /// Verification outcome.
+    pub status: FileStatus,
+}
+
+/// Aggregate directory statistics, as reported by [`Store::stat`].
+#[derive(Debug, Default)]
+pub struct StoreStat {
+    /// Checkpoint-stream files (count, total bytes).
+    pub checkpoint_files: (u64, u64),
+    /// Result files (count, total bytes).
+    pub result_files: (u64, u64),
+    /// Files whose header carries a non-current version.
+    pub stale_files: u64,
+    /// Files whose header could not be read at all.
+    pub unreadable_files: u64,
+}
+
+/// Result of a [`Store::gc`] pass.
+#[derive(Debug, Default)]
+pub struct GcReport {
+    /// Files removed (corrupt or stale-version).
+    pub removed: u64,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Healthy files kept.
+    pub kept: u64,
+}
+
+/// Handle on a store directory. Cheap to clone conceptually (it is a
+/// path); all methods take `&self`, so a `Store` can be shared across
+/// the Lab's worker threads.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (without touching the filesystem) a store rooted at
+    /// `root`. The directory is created on first write.
+    pub fn open(root: impl Into<PathBuf>) -> Store {
+        Store { root: root.into() }
+    }
+
+    /// The store directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn header_for(&self, kind: FileKind) -> FileHeader {
+        FileHeader {
+            kind,
+            format_version: file::FORMAT_VERSION,
+            interp_version: dca_prog::INTERP_VERSION,
+            timing_version: match kind {
+                FileKind::Checkpoints => 0,
+                FileKind::Results => dca_sim::TIMING_VERSION,
+            },
+        }
+    }
+
+    fn check_versions(path: &Path, header: &FileHeader) -> Result<(), StoreError> {
+        if header.interp_version != dca_prog::INTERP_VERSION {
+            return Err(StoreError::Version {
+                path: path.to_path_buf(),
+                what: "interpreter",
+                found: header.interp_version,
+                expected: dca_prog::INTERP_VERSION,
+            });
+        }
+        if header.kind == FileKind::Results && header.timing_version != dca_sim::TIMING_VERSION {
+            return Err(StoreError::Version {
+                path: path.to_path_buf(),
+                what: "timing model",
+                found: header.timing_version,
+                expected: dca_sim::TIMING_VERSION,
+            });
+        }
+        Ok(())
+    }
+
+    fn save(&self, name: &str, kind: FileKind, records: &[Vec<u8>]) -> Result<u64, StoreError> {
+        std::fs::create_dir_all(&self.root).map_err(StoreError::Io)?;
+        file::write_records(&self.root.join(name), &self.header_for(kind), records)
+            .map_err(StoreError::Io)
+    }
+
+    fn load(&self, name: &str, kind: FileKind) -> Result<Vec<Vec<u8>>, StoreError> {
+        let path = self.root.join(name);
+        let (header, records) = file::read_records(&path)?;
+        Self::check_versions(&path, &header)?;
+        if header.kind != kind {
+            return Err(StoreError::Corrupt {
+                path,
+                reason: "file kind does not match its extension".into(),
+            });
+        }
+        Ok(records)
+    }
+
+    /// Persists a checkpoint stream, returning the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only ([`StoreError::Io`]).
+    pub fn save_checkpoints(
+        &self,
+        key: &CheckpointKey<'_>,
+        ff: &FastForward,
+    ) -> Result<u64, StoreError> {
+        self.save(&key.file_name(), FileKind::Checkpoints, &checkpoints::encode(key, ff))
+    }
+
+    /// Loads the checkpoint stream for `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] on a cold store; [`StoreError::Corrupt`] /
+    /// [`StoreError::Version`] / [`StoreError::Stale`] when the entry
+    /// cannot be used (callers recompute and overwrite).
+    pub fn load_checkpoints(&self, key: &CheckpointKey<'_>) -> Result<FastForward, StoreError> {
+        let name = key.file_name();
+        let records = self.load(&name, FileKind::Checkpoints)?;
+        checkpoints::decode(&self.root.join(&name), key, &records)
+    }
+
+    /// Persists a combination's per-interval results (a contiguous
+    /// checkpoint-order prefix), returning the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only ([`StoreError::Io`]).
+    pub fn save_intervals(
+        &self,
+        key: &ResultKey<'_>,
+        intervals: &[IntervalRecord],
+    ) -> Result<u64, StoreError> {
+        self.save(&key.file_name(), FileKind::Results, &results::encode(key, intervals))
+    }
+
+    /// Loads a combination's per-interval results.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Store::load_checkpoints`].
+    pub fn load_intervals(&self, key: &ResultKey<'_>) -> Result<Vec<IntervalRecord>, StoreError> {
+        let name = key.file_name();
+        let records = self.load(&name, FileKind::Results)?;
+        results::decode(&self.root.join(&name), key, &records)
+    }
+
+    /// Store files in deterministic (name) order. Missing directory ⇒
+    /// empty.
+    fn entries(&self) -> Vec<(PathBuf, u64)> {
+        let Ok(rd) = std::fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut v: Vec<(PathBuf, u64)> = rd
+            .flatten()
+            .filter(|e| {
+                let p = e.path();
+                // `.tmp-*` are in-flight (or orphaned) atomic-write
+                // temporaries — never store entries, whatever their
+                // extension; `gc` sweeps them.
+                if e.file_name().to_string_lossy().starts_with(".tmp-") {
+                    return false;
+                }
+                matches!(
+                    p.extension().and_then(|x| x.to_str()),
+                    Some("dcc") | Some("dcr")
+                )
+            })
+            .map(|e| {
+                let bytes = e.metadata().map(|m| m.len()).unwrap_or(0);
+                (e.path(), bytes)
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Cheap directory summary (header reads only, no checksums).
+    pub fn stat(&self) -> StoreStat {
+        let mut s = StoreStat::default();
+        for (path, bytes) in self.entries() {
+            match file::read_header(&path) {
+                Ok(h) => {
+                    match h.kind {
+                        FileKind::Checkpoints => {
+                            s.checkpoint_files.0 += 1;
+                            s.checkpoint_files.1 += bytes;
+                        }
+                        FileKind::Results => {
+                            s.result_files.0 += 1;
+                            s.result_files.1 += bytes;
+                        }
+                    }
+                    if Self::check_versions(&path, &h).is_err() {
+                        s.stale_files += 1;
+                    }
+                }
+                Err(_) => s.unreadable_files += 1,
+            }
+        }
+        s
+    }
+
+    /// Full validation of every file: checksum, framing and version
+    /// currency. Does not modify anything.
+    pub fn verify(&self) -> Vec<FileReport> {
+        self.entries()
+            .into_iter()
+            .map(|(path, bytes)| {
+                let (kind, status) = match file::read_records(&path) {
+                    Ok((header, records)) => match Self::check_versions(&path, &header) {
+                        Ok(()) => (
+                            Some(header.kind),
+                            FileStatus::Ok {
+                                records: records.len(),
+                            },
+                        ),
+                        Err(StoreError::Version {
+                            what,
+                            found,
+                            expected,
+                            ..
+                        }) => (
+                            Some(header.kind),
+                            FileStatus::StaleVersion {
+                                what,
+                                found,
+                                expected,
+                            },
+                        ),
+                        Err(e) => (
+                            Some(header.kind),
+                            FileStatus::Corrupt {
+                                reason: e.to_string(),
+                            },
+                        ),
+                    },
+                    Err(StoreError::Version {
+                        what,
+                        found,
+                        expected,
+                        ..
+                    }) => (
+                        None,
+                        FileStatus::StaleVersion {
+                            what,
+                            found,
+                            expected,
+                        },
+                    ),
+                    Err(e) => (
+                        None,
+                        FileStatus::Corrupt {
+                            reason: e.to_string(),
+                        },
+                    ),
+                };
+                FileReport {
+                    path,
+                    bytes,
+                    kind,
+                    status,
+                }
+            })
+            .collect()
+    }
+
+    /// Deletes every file [`Store::verify`] flags as corrupt or
+    /// stale-version, plus orphaned `.tmp-*` atomic-write temporaries
+    /// (left by a process killed mid-save; no load path ever reads
+    /// them). Fingerprint staleness is *not* detected here (it needs
+    /// the workload built); those entries are overwritten the next
+    /// time their key is computed.
+    pub fn gc(&self) -> GcReport {
+        let mut report = GcReport::default();
+        for fr in self.verify() {
+            match fr.status {
+                FileStatus::Ok { .. } => report.kept += 1,
+                FileStatus::StaleVersion { .. } | FileStatus::Corrupt { .. } => {
+                    if std::fs::remove_file(&fr.path).is_ok() {
+                        report.removed += 1;
+                        report.freed_bytes += fr.bytes;
+                    }
+                }
+            }
+        }
+        if let Ok(rd) = std::fs::read_dir(&self.root) {
+            for e in rd.flatten() {
+                if e.file_name().to_string_lossy().starts_with(".tmp-") {
+                    let bytes = e.metadata().map(|m| m.len()).unwrap_or(0);
+                    if std::fs::remove_file(e.path()).is_ok() {
+                        report.removed += 1;
+                        report.freed_bytes += bytes;
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dca_prog::{fast_forward, parse_asm, Memory};
+
+    fn tmp_store(name: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("dca-store-lib-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        Store::open(dir)
+    }
+
+    fn sample_ff() -> dca_prog::FastForward {
+        let p = parse_asm(
+            "e:\n li r1, #50\n li r2, #8192\nl:\n st r1, 0(r2)\n add r2, r2, #8\n add r1, r1, #-1\n bne r1, r0, l\n halt",
+        )
+        .unwrap();
+        fast_forward(&p, Memory::new(), 40, u64::MAX)
+    }
+
+    fn key() -> CheckpointKey<'static> {
+        CheckpointKey {
+            workload: "compress",
+            scale: "smoke",
+            period: 40,
+            max_insts: u64::MAX,
+            fingerprint: 0xfeed,
+        }
+    }
+
+    #[test]
+    fn checkpoint_save_load_roundtrip() {
+        let store = tmp_store("ck-roundtrip");
+        let ff = sample_ff();
+        store.save_checkpoints(&key(), &ff).unwrap();
+        let back = store.load_checkpoints(&key()).unwrap();
+        assert_eq!(back.total_insts, ff.total_insts);
+        assert_eq!(back.halted, ff.halted);
+        assert_eq!(back.checkpoints.len(), ff.checkpoints.len());
+        for (a, b) in back.checkpoints.iter().zip(&ff.checkpoints) {
+            assert_eq!(a.seq(), b.seq());
+            assert_eq!(a.memory().page_count(), b.memory().page_count());
+        }
+    }
+
+    #[test]
+    fn missing_entry_is_not_found() {
+        let store = tmp_store("ck-missing");
+        assert!(store.load_checkpoints(&key()).unwrap_err().is_not_found());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_stale() {
+        let store = tmp_store("ck-stale");
+        store.save_checkpoints(&key(), &sample_ff()).unwrap();
+        let other = CheckpointKey {
+            fingerprint: 0xdead,
+            ..key()
+        };
+        assert!(matches!(
+            store.load_checkpoints(&other),
+            Err(StoreError::Stale { .. })
+        ));
+    }
+
+    #[test]
+    fn stat_verify_gc_lifecycle() {
+        let store = tmp_store("lifecycle");
+        store.save_checkpoints(&key(), &sample_ff()).unwrap();
+        let rkey = ResultKey {
+            workload: "compress",
+            scale: "smoke",
+            machine: "clustered",
+            scheme: "Modulo",
+            period: 40,
+            warmup: 10,
+            interval: 10,
+            max_insts: 1000,
+            warm_steering: false,
+            fingerprint: 0xfeed,
+        };
+        store
+            .save_intervals(&rkey, &[IntervalRecord::default(), IntervalRecord::default()])
+            .unwrap();
+        let s = store.stat();
+        assert_eq!(s.checkpoint_files.0, 1);
+        assert_eq!(s.result_files.0, 1);
+        assert_eq!(s.stale_files, 0);
+        assert!(s.checkpoint_files.1 > 0 && s.result_files.1 > 0);
+
+        let loaded = store.load_intervals(&rkey).unwrap();
+        assert_eq!(loaded.len(), 2);
+
+        // An orphaned atomic-write temporary is never an entry (even
+        // with a store extension in its name) but gc sweeps it.
+        let orphan = store.root().join(".tmp-ck_orphan.dcc");
+        std::fs::write(&orphan, b"half-written").unwrap();
+        assert_eq!(store.stat().checkpoint_files.0, 1, "tmp file is not an entry");
+        assert_eq!(store.verify().len(), 2, "tmp file is not verified");
+
+        // Corrupt the result file: verify flags it, gc removes it
+        // (plus the orphan).
+        let rs_path = store.root().join(rkey.file_name());
+        let mut bytes = std::fs::read(&rs_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&rs_path, &bytes).unwrap();
+        let reports = store.verify();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().any(|r| matches!(r.status, FileStatus::Corrupt { .. })));
+        let gc = store.gc();
+        assert_eq!(gc.removed, 2, "corrupt file + tmp orphan");
+        assert_eq!(gc.kept, 1);
+        assert!(gc.freed_bytes > 0);
+        assert!(!orphan.exists());
+        assert!(store.load_intervals(&rkey).unwrap_err().is_not_found());
+        assert!(store.load_checkpoints(&key()).is_ok(), "healthy file survives gc");
+    }
+
+    #[test]
+    fn interval_records_roundtrip_exactly() {
+        let store = tmp_store("rs-roundtrip");
+        let mut stats = dca_sim::SimStats {
+            cycles: 123,
+            committed: 456,
+            committed_uops: 500,
+            copies: 7,
+            critical_copies: 3,
+            copies_by_dir: [4, 3],
+            steered: [300, 156],
+            replication_reg_cycles: 99,
+            loads: 50,
+            stores: 20,
+            forwarded_loads: 5,
+            branches: 60,
+            mispredicts: 6,
+            dispatch_stall_cycles: 11,
+            slice_hits: 13,
+            ..dca_sim::SimStats::default()
+        };
+        stats.balance.record(3);
+        stats.balance.record(-2);
+        stats.l1d.accesses = 70;
+        stats.l1d.hits = 65;
+        stats.bpred.lookups = 60;
+        stats.bpred.correct = 54;
+        let rkey = ResultKey {
+            workload: "li",
+            scale: "smoke",
+            machine: "base",
+            scheme: "Naive",
+            period: 10,
+            warmup: 2,
+            interval: 5,
+            max_insts: 100,
+            warm_steering: true,
+            fingerprint: 1,
+        };
+        store
+            .save_intervals(&rkey, &[IntervalRecord { stats: stats.clone(), warmed_insts: 17 }])
+            .unwrap();
+        let back = store.load_intervals(&rkey).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].warmed_insts, 17);
+        let b = &back[0].stats;
+        assert_eq!(b.cycles, stats.cycles);
+        assert_eq!(b.committed, stats.committed);
+        assert_eq!(b.copies_by_dir, stats.copies_by_dir);
+        assert_eq!(b.steered, stats.steered);
+        assert_eq!(b.balance, stats.balance);
+        assert_eq!(b.l1d.hits, stats.l1d.hits);
+        assert_eq!(b.bpred.correct, stats.bpred.correct);
+        assert_eq!(b.slice_hits, stats.slice_hits);
+    }
+}

@@ -1,0 +1,260 @@
+//! Persisted per-combination interval results.
+//!
+//! One `.dcr` file holds the per-interval measurements of one
+//! `(workload, scale, machine, scheme, sampling parameters)`
+//! combination: a meta record echoing the key, then one record per
+//! measured interval, **in checkpoint order** — record `k` is the
+//! interval seeded by checkpoint `k`. Intervals always form a
+//! contiguous prefix of the checkpoint grid (the adaptive scheduler
+//! extends a combination chunk by chunk), so a warm reader can replay
+//! the deterministic early-exit decision on exactly the data a cold
+//! run would have produced.
+//!
+//! Every `SimStats` counter is a `u64` serialized exactly, so a merge
+//! over stored intervals is bit-identical to a merge over freshly
+//! simulated ones.
+
+use dca_sim::{BalanceHistogram, SimStats};
+
+use crate::file::{put_str, Reader};
+use crate::StoreError;
+
+/// Key of a result file: the full run identity. The interpreter and
+/// timing-model versions live in the file header; `fingerprint` is
+/// `Workload::fingerprint`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ResultKey<'a> {
+    /// Benchmark name.
+    pub workload: &'a str,
+    /// Workload scale name.
+    pub scale: &'a str,
+    /// Machine key (`"base"`, `"clustered"`, …).
+    pub machine: &'a str,
+    /// Scheme key (`"GeneralBalance"`, …).
+    pub scheme: &'a str,
+    /// Checkpoint period (dynamic instructions).
+    pub period: u64,
+    /// Functional warming per interval.
+    pub warmup: u64,
+    /// Detailed instructions per interval.
+    pub interval: u64,
+    /// Window budget of the run.
+    pub max_insts: u64,
+    /// Whether steering tables were warmed during functional warming.
+    pub warm_steering: bool,
+    /// Deterministic fingerprint of the generated program + memory.
+    pub fingerprint: u64,
+}
+
+impl ResultKey<'_> {
+    /// The store file name for this key.
+    pub fn file_name(&self) -> String {
+        format!(
+            "rs_{}_{}_{}_{}_p{}_w{}_i{}_m{}{}.dcr",
+            self.workload,
+            self.scale,
+            self.machine,
+            self.scheme,
+            self.period,
+            self.warmup,
+            self.interval,
+            self.max_insts,
+            if self.warm_steering { "_ws" } else { "" },
+        )
+    }
+}
+
+/// One measured interval: the detailed statistics plus how many
+/// functional-warming instructions preceded it (less than the
+/// configured warmup only where the stream ended mid-warming). An
+/// interval whose stream ended before the measured window opened has
+/// `stats.committed == 0`.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalRecord {
+    /// Detailed statistics of the interval.
+    pub stats: SimStats,
+    /// Functional-warming instructions actually executed.
+    pub warmed_insts: u64,
+}
+
+fn encode_stats(s: &SimStats, out: &mut Vec<u8>) {
+    let mut u = |v: u64| out.extend_from_slice(&v.to_le_bytes());
+    u(s.cycles);
+    u(s.committed);
+    u(s.committed_uops);
+    u(s.copies);
+    u(s.critical_copies);
+    u(s.copies_by_dir[0]);
+    u(s.copies_by_dir[1]);
+    u(s.steered[0]);
+    u(s.steered[1]);
+    for b in s.balance.bucket_counts() {
+        u(b);
+    }
+    u(s.replication_reg_cycles);
+    u(s.loads);
+    u(s.stores);
+    u(s.forwarded_loads);
+    u(s.branches);
+    u(s.mispredicts);
+    u(s.l1i.accesses);
+    u(s.l1i.hits);
+    u(s.l1d.accesses);
+    u(s.l1d.hits);
+    u(s.l2.accesses);
+    u(s.l2.hits);
+    u(s.bpred.lookups);
+    u(s.bpred.correct);
+    u(s.dispatch_stall_cycles);
+    u(s.slice_hits);
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<SimStats, String> {
+    let mut s = SimStats {
+        cycles: r.u64()?,
+        committed: r.u64()?,
+        committed_uops: r.u64()?,
+        copies: r.u64()?,
+        critical_copies: r.u64()?,
+        copies_by_dir: [r.u64()?, r.u64()?],
+        steered: [r.u64()?, r.u64()?],
+        ..SimStats::default()
+    };
+    let mut buckets = [0u64; 21];
+    for b in &mut buckets {
+        *b = r.u64()?;
+    }
+    s.balance = BalanceHistogram::from_bucket_counts(buckets);
+    s.replication_reg_cycles = r.u64()?;
+    s.loads = r.u64()?;
+    s.stores = r.u64()?;
+    s.forwarded_loads = r.u64()?;
+    s.branches = r.u64()?;
+    s.mispredicts = r.u64()?;
+    s.l1i.accesses = r.u64()?;
+    s.l1i.hits = r.u64()?;
+    s.l1d.accesses = r.u64()?;
+    s.l1d.hits = r.u64()?;
+    s.l2.accesses = r.u64()?;
+    s.l2.hits = r.u64()?;
+    s.bpred.lookups = r.u64()?;
+    s.bpred.correct = r.u64()?;
+    s.dispatch_stall_cycles = r.u64()?;
+    s.slice_hits = r.u64()?;
+    Ok(s)
+}
+
+/// Encodes a result set into store records.
+pub(crate) fn encode(key: &ResultKey<'_>, intervals: &[IntervalRecord]) -> Vec<Vec<u8>> {
+    let mut records = Vec::with_capacity(1 + intervals.len());
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&key.period.to_le_bytes());
+    meta.extend_from_slice(&key.warmup.to_le_bytes());
+    meta.extend_from_slice(&key.interval.to_le_bytes());
+    meta.extend_from_slice(&key.max_insts.to_le_bytes());
+    meta.push(u8::from(key.warm_steering));
+    meta.extend_from_slice(&key.fingerprint.to_le_bytes());
+    meta.extend_from_slice(&(intervals.len() as u32).to_le_bytes());
+    put_str(&mut meta, key.workload);
+    put_str(&mut meta, key.scale);
+    put_str(&mut meta, key.machine);
+    put_str(&mut meta, key.scheme);
+    records.push(meta);
+    for iv in intervals {
+        let mut rec = Vec::with_capacity(8 + 47 * 8);
+        rec.extend_from_slice(&iv.warmed_insts.to_le_bytes());
+        encode_stats(&iv.stats, &mut rec);
+        records.push(rec);
+    }
+    records
+}
+
+fn corrupt(path: &std::path::Path, reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        path: path.to_path_buf(),
+        reason: reason.into(),
+    }
+}
+
+/// Decodes store records back into a result set, verifying the meta
+/// record against `key`.
+pub(crate) fn decode(
+    path: &std::path::Path,
+    key: &ResultKey<'_>,
+    records: &[Vec<u8>],
+) -> Result<Vec<IntervalRecord>, StoreError> {
+    let meta = records.first().ok_or_else(|| corrupt(path, "no meta record"))?;
+    let mut r = Reader::new(meta);
+    let parse = (|| -> Result<_, String> {
+        let period = r.u64()?;
+        let warmup = r.u64()?;
+        let interval = r.u64()?;
+        let max_insts = r.u64()?;
+        let warm_steering = r.u8()? != 0;
+        let fingerprint = r.u64()?;
+        let count = r.u32()? as usize;
+        let workload = r.str()?.to_owned();
+        let scale = r.str()?.to_owned();
+        let machine = r.str()?.to_owned();
+        let scheme = r.str()?.to_owned();
+        r.finish()?;
+        Ok((
+            period, warmup, interval, max_insts, warm_steering, fingerprint, count, workload,
+            scale, machine, scheme,
+        ))
+    })();
+    let (period, warmup, interval, max_insts, warm_steering, fingerprint, count, workload, scale, machine, scheme) =
+        parse.map_err(|e| corrupt(path, format!("meta record: {e}")))?;
+    let meta_key = (
+        workload.as_str(),
+        scale.as_str(),
+        machine.as_str(),
+        scheme.as_str(),
+        period,
+        warmup,
+        interval,
+        max_insts,
+        warm_steering,
+    );
+    let want = (
+        key.workload,
+        key.scale,
+        key.machine,
+        key.scheme,
+        key.period,
+        key.warmup,
+        key.interval,
+        key.max_insts,
+        key.warm_steering,
+    );
+    if meta_key != want {
+        return Err(corrupt(path, "meta key does not match the file name"));
+    }
+    if fingerprint != key.fingerprint {
+        return Err(StoreError::Stale {
+            path: path.to_path_buf(),
+            reason: format!(
+                "workload fingerprint changed ({fingerprint:#018x} → {:#018x})",
+                key.fingerprint
+            ),
+        });
+    }
+    if records.len() - 1 != count {
+        return Err(corrupt(
+            path,
+            format!("meta promises {count} intervals, file holds {}", records.len() - 1),
+        ));
+    }
+    let mut intervals = Vec::with_capacity(count);
+    for rec in &records[1..] {
+        let mut r = Reader::new(rec);
+        let one = (|| -> Result<IntervalRecord, String> {
+            let warmed_insts = r.u64()?;
+            let stats = decode_stats(&mut r)?;
+            r.finish()?;
+            Ok(IntervalRecord { stats, warmed_insts })
+        })();
+        intervals.push(one.map_err(|e| corrupt(path, format!("interval record: {e}")))?);
+    }
+    Ok(intervals)
+}

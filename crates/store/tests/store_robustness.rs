@@ -1,0 +1,170 @@
+//! Store robustness (ISSUE 3 satellite): round-trip property test over
+//! random checkpoint streams, plus corruption tests — truncation, a
+//! flipped byte, a wrong version header — asserting a clean
+//! [`StoreError`] in every case (the Lab's fall-back-to-recomputation
+//! path is covered in `dca-bench`'s tests).
+
+use dca_prog::{fast_forward, parse_asm, Interp, Memory, Program};
+use dca_store::{file, CheckpointKey, Store};
+use proptest::prelude::*;
+
+fn tmp_store(name: &str) -> Store {
+    let dir = std::env::temp_dir().join(format!("dca-store-robustness-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    Store::open(dir)
+}
+
+/// Random little programs mixing register traffic, loads/stores over
+/// several pages, and a loop — enough to produce checkpoint streams
+/// with shared *and* diverging memory pages.
+fn arb_program() -> impl Strategy<Value = (String, Program)> {
+    let line = prop_oneof![
+        (1u8..12, 1u8..12, -99i64..100).prop_map(|(d, a, i)| format!("add r{d}, r{a}, #{i}")),
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, a, b)| format!("xor r{d}, r{a}, r{b}")),
+        (1u8..12, -512i64..512).prop_map(|(d, i)| format!("li r{d}, #{i}")),
+        (1u8..12, 0i64..4096).prop_map(|(d, off)| format!("ld r{d}, {}(r15)", off & !7)),
+        (1u8..12, 0i64..4096).prop_map(|(v, off)| format!("st r{v}, {}(r15)", off & !7)),
+        (1u8..12, 0i64..4096).prop_map(|(v, off)| format!("st r{v}, {}(r14)", off & !7)),
+    ];
+    (proptest::collection::vec(line, 4..40), 2i64..40).prop_map(|(lines, iters)| {
+        let mut src = String::from("entry:\n    li r15, #65536\n    li r14, #131072\n");
+        src.push_str(&format!("    li r20, #{iters}\nloop:\n"));
+        for l in &lines {
+            src.push_str("    ");
+            src.push_str(l);
+            src.push('\n');
+        }
+        src.push_str("    add r20, r20, #-1\n    bne r20, r0, loop\n    halt\n");
+        let p = parse_asm(&src).expect("generated source is valid");
+        (src, p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Save → load reproduces the stream *semantically*: every restored
+    /// checkpoint resumes to exactly the dynamic instruction tail the
+    /// original produces.
+    #[test]
+    fn random_streams_round_trip(prog in arb_program(), period in 16u64..200) {
+        let (src, p) = prog;
+        let store = tmp_store("prop");
+        let ff = fast_forward(&p, Memory::new(), period, 20_000);
+        let key = CheckpointKey {
+            workload: "prop",
+            scale: "smoke",
+            period,
+            max_insts: 20_000,
+            fingerprint: p.content_hash(),
+        };
+        store.save_checkpoints(&key, &ff).expect("save");
+        let back = store.load_checkpoints(&key).unwrap_or_else(|e| {
+            panic!("load failed: {e}\nprogram:\n{src}")
+        });
+        prop_assert_eq!(back.total_insts, ff.total_insts);
+        prop_assert_eq!(back.halted, ff.halted);
+        prop_assert_eq!(back.checkpoints.len(), ff.checkpoints.len());
+        let full: Vec<_> = Interp::new(&p, Memory::new()).with_fuel(20_000).collect();
+        for (orig, restored) in ff.checkpoints.iter().zip(&back.checkpoints) {
+            prop_assert_eq!(restored.seq(), orig.seq());
+            let tail: Vec<_> = Interp::resume(&p, restored)
+                .with_fuel(20_000)
+                .collect();
+            prop_assert_eq!(tail.as_slice(), &full[orig.seq() as usize..]);
+        }
+    }
+}
+
+fn saved_fixture(name: &str) -> (Store, CheckpointKey<'static>, std::path::PathBuf) {
+    let store = tmp_store(name);
+    let p = parse_asm(
+        "e:\n li r1, #80\n li r2, #8192\nl:\n st r1, 0(r2)\n add r2, r2, #8\n add r1, r1, #-1\n bne r1, r0, l\n halt",
+    )
+    .unwrap();
+    let ff = fast_forward(&p, Memory::new(), 50, u64::MAX);
+    let key = CheckpointKey {
+        workload: "fixture",
+        scale: "smoke",
+        period: 50,
+        max_insts: u64::MAX,
+        fingerprint: 7,
+    };
+    store.save_checkpoints(&key, &ff).unwrap();
+    let path = store.root().join(key.file_name());
+    (store, key, path)
+}
+
+#[test]
+fn truncated_file_yields_clean_corrupt_error() {
+    let (store, key, path) = saved_fixture("truncate");
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [bytes.len() - 1, bytes.len() / 2, file::HEADER_BYTES, 3] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = store.load_checkpoints(&key).unwrap_err();
+        assert!(
+            matches!(err, dca_store::StoreError::Corrupt { .. }),
+            "cut at {cut}: expected Corrupt, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn every_flipped_byte_is_detected() {
+    let (store, key, path) = saved_fixture("flip");
+    let bytes = std::fs::read(&path).unwrap();
+    // Sample positions across the whole file, including header and
+    // trailer; the whole-file checksum (or magic/framing check) must
+    // catch each one.
+    let step = (bytes.len() / 97).max(1);
+    for pos in (0..bytes.len()).step_by(step) {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(
+            store.load_checkpoints(&key).is_err(),
+            "flip at byte {pos} went undetected"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_headers_are_clean_errors() {
+    let (store, key, path) = saved_fixture("version");
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Wrong *container format* version at offset 8 (checksum fixed up
+    // so only the version differs).
+    let mut wrong = bytes.clone();
+    wrong[8..12].copy_from_slice(&(file::FORMAT_VERSION + 9).to_le_bytes());
+    let body_len = wrong.len() - file::TRAILER_BYTES;
+    let sum = file::fnv64(&wrong[..body_len]);
+    wrong[body_len..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &wrong).unwrap();
+    match store.load_checkpoints(&key).unwrap_err() {
+        dca_store::StoreError::Version { what, found, expected, .. } => {
+            assert_eq!(what, "container format");
+            assert_eq!(found, file::FORMAT_VERSION + 9);
+            assert_eq!(expected, file::FORMAT_VERSION);
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+
+    // Wrong *interpreter* version at offset 16.
+    let mut wrong = bytes.clone();
+    wrong[16..20].copy_from_slice(&(dca_prog::INTERP_VERSION + 1).to_le_bytes());
+    let sum = file::fnv64(&wrong[..body_len]);
+    wrong[body_len..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &wrong).unwrap();
+    match store.load_checkpoints(&key).unwrap_err() {
+        dca_store::StoreError::Version { what, found, .. } => {
+            assert_eq!(what, "interpreter");
+            assert_eq!(found, dca_prog::INTERP_VERSION + 1);
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+
+    // GC clears both classes of bad file.
+    assert_eq!(store.gc().removed, 1);
+    assert!(store.load_checkpoints(&key).unwrap_err().is_not_found());
+}

@@ -47,6 +47,32 @@ impl Scale {
             Scale::Paper => 9216,
         }
     }
+
+    /// Stable machine-readable name, used on the command line and in
+    /// the persistent store's file keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Full => "full",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses a scale name (the inverse of [`Scale::name`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of valid names on an unknown input.
+    pub fn from_name(name: &str) -> Result<Scale, String> {
+        Ok(match name {
+            "smoke" => Scale::Smoke,
+            "default" => Scale::Default,
+            "full" => Scale::Full,
+            "paper" => Scale::Paper,
+            other => return Err(format!("unknown scale `{other}` (smoke|default|full|paper)")),
+        })
+    }
 }
 
 /// Fills `count` consecutive 64-bit words starting at `base` with

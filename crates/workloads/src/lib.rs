@@ -75,6 +75,19 @@ impl Workload {
     pub fn interp(&self) -> Interp<'_> {
         Interp::new(&self.program, self.memory.clone())
     }
+
+    /// Deterministic fingerprint of the generated program and initial
+    /// memory image. The persistent checkpoint/result store records it
+    /// in every file keyed by this workload, so a change to a workload
+    /// generator invalidates stale store entries instead of silently
+    /// decoding state the current generator would never produce.
+    pub fn fingerprint(&self) -> u64 {
+        self.program
+            .content_hash()
+            .rotate_left(32)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ self.memory.content_hash()
+    }
 }
 
 /// Benchmark names in the paper's Table 1 order.

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Cold-versus-warm-store benchmark of the sampling quartet (ISSUE 3
+# acceptance): runs `figures sampling --scale paper` twice against the
+# same store directory — first cold (fresh directory), then warm — and
+# records both wall-clocks in BENCH_store.json.
+#
+# Asserts that the warm run (a) executed zero fast-forward
+# instructions, (b) produced a byte-identical results/sampling.md, and
+# (c) was at least MIN_SPEEDUP× faster than the cold run.
+#
+# Usage: scripts/bench_store.sh [output.json]
+#   FIGURES_BIN  figures binary       (default target/release/figures)
+#   STORE_DIR    store directory      (default .dca-store-bench, wiped)
+#   MIN_SPEEDUP  acceptance threshold (default 5)
+set -euo pipefail
+
+OUT="${1:-BENCH_store.json}"
+BIN="${FIGURES_BIN:-target/release/figures}"
+STORE_DIR="${STORE_DIR:-.dca-store-bench}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-5}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+[ -x "$BIN" ] || { echo "error: $BIN not built (cargo build --release -p dca-bench --bin figures)" >&2; exit 1; }
+
+rm -rf "$STORE_DIR"
+
+run() { # label
+  local label="$1" t0 t1
+  t0=$(date +%s%N)
+  SAMPLING_JSON="$TMP/$label.json" "$BIN" sampling --scale paper \
+    --store-dir "$STORE_DIR" >"$TMP/$label.out" 2>"$TMP/$label.err"
+  t1=$(date +%s%N)
+  cp results/sampling.md "$TMP/$label.md"
+  echo $((t1 - t0))
+}
+
+COLD_NS=$(run cold)
+WARM_NS=$(run warm)
+
+# (b) byte-identical measurement report.
+if ! cmp -s "$TMP/cold.md" "$TMP/warm.md"; then
+  echo "FAIL: results/sampling.md differs between cold and warm runs" >&2
+  diff "$TMP/cold.md" "$TMP/warm.md" >&2 || true
+  exit 1
+fi
+
+# (a) zero fast-forward instructions on the warm run.
+WARM_FF=$(grep -o '"executed_insts": [0-9]*' "$TMP/warm.json" | head -1 | grep -o '[0-9]*$')
+COLD_FF=$(grep -o '"executed_insts": [0-9]*' "$TMP/cold.json" | head -1 | grep -o '[0-9]*$')
+if [ "$WARM_FF" != "0" ]; then
+  echo "FAIL: warm run executed $WARM_FF fast-forward instructions (want 0)" >&2
+  exit 1
+fi
+
+# (c) wall-clock speed-up.
+read -r COLD_S WARM_S SPEEDUP OK <<<"$(awk -v c="$COLD_NS" -v w="$WARM_NS" -v m="$MIN_SPEEDUP" \
+  'BEGIN { cs=c/1e9; ws=w/1e9; sp=cs/(ws>0?ws:1e-9); printf "%.3f %.3f %.1f %d", cs, ws, sp, (sp>=m) }')"
+
+cat >"$OUT" <<JSON
+{
+  "benchmark": "sampling quartet (figures sampling --scale paper)",
+  "cold_secs": $COLD_S,
+  "warm_secs": $WARM_S,
+  "speedup_warm_vs_cold": $SPEEDUP,
+  "min_speedup_required": $MIN_SPEEDUP,
+  "cold_fast_forward_insts": $COLD_FF,
+  "warm_fast_forward_insts": $WARM_FF,
+  "report_byte_identical": true
+}
+JSON
+cat "$OUT"
+
+if [ "$OK" != "1" ]; then
+  echo "FAIL: warm-store speed-up ${SPEEDUP}x below required ${MIN_SPEEDUP}x" >&2
+  exit 1
+fi
+echo "OK: warm store ${SPEEDUP}x faster, zero fast-forward instructions, byte-identical report"
