@@ -20,8 +20,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::time::Instant;
 
-use dca_prog::{fast_forward, FastForward, Program};
-use dca_sim::{SimConfig, SimStats, Simulator, Steering};
+use dca_prog::{fast_forward_with, FastForward, Program};
+use dca_sim::{ContinuousWarmer, SimConfig, SimStats, Simulator, Steering};
+use dca_uarch::UarchSnapshot;
 use dca_store::{CheckpointKey, IntervalRecord, ResultKey, Store};
 use dca_steer::{
     FifoSteering, GeneralBalance, Modulo, Naive, NonSliceBalance, PrioritySliceBalance,
@@ -202,11 +203,52 @@ impl SchemeKind {
     }
 }
 
+/// How a sampled interval's caches and branch predictor get warm
+/// before measurement starts (DESIGN.md §9).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Warming {
+    /// Detached functional warming: each interval replays `warmup`
+    /// instructions through cold cache/predictor models before
+    /// measuring (the PR 2 behaviour). Bounded warmth — state older
+    /// than the warmup window is lost.
+    Detached,
+    /// Continuous (SMARTS-style) warming: the fast-forward pass streams
+    /// every retired instruction through live cache/predictor models
+    /// and each checkpoint carries a [`UarchSnapshot`]; intervals
+    /// restore it and execute **zero** detached-warming instructions.
+    /// The paper-scale default.
+    #[default]
+    Continuous,
+}
+
+impl Warming {
+    /// Stable machine-readable name (the `--warming` argument).
+    pub fn name(self) -> &'static str {
+        match self {
+            Warming::Detached => "detached",
+            Warming::Continuous => "continuous",
+        }
+    }
+
+    /// Parses a warming-mode name (the inverse of [`Warming::name`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of valid names on an unknown input.
+    pub fn from_name(name: &str) -> Result<Warming, String> {
+        Ok(match name {
+            "detached" => Warming::Detached,
+            "continuous" => Warming::Continuous,
+            other => return Err(format!("unknown warming mode `{other}` (detached|continuous)")),
+        })
+    }
+}
+
 /// Sampled-simulation parameters (DESIGN.md §7): the run's dynamic
 /// window is fast-forwarded functionally, checkpointed every `period`
 /// instructions, and each checkpoint seeds one measured interval —
-/// `warmup` instructions of functional cache/predictor warming followed
-/// by `interval` instructions of detailed simulation.
+/// warmed per [`Warming`], then `interval` instructions of detailed
+/// simulation.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct SampleOpts {
     /// Distance between interval starts, in dynamic instructions.
@@ -228,19 +270,25 @@ pub struct SampleOpts {
     /// 2-sample variance estimate from stopping a run prematurely.
     /// `None` runs the full checkpoint budget.
     pub target_stderr: Option<f64>,
+    /// Interval warming scheme. With [`Warming::Continuous`] the
+    /// `warmup` budget is irrelevant — intervals start from restored
+    /// snapshots and execute zero detached-warming instructions.
+    pub warming: Warming,
 }
 
 impl Default for SampleOpts {
     /// 100M instructions → up to 50 intervals of 100K detailed
-    /// instructions each, 100K warming ahead of every interval (≤5%
-    /// detailed coverage), adaptive early exit at 0.01 IPC standard
-    /// error.
+    /// instructions each, continuous warming (each interval starts
+    /// from the restored steady-state snapshot of its checkpoint;
+    /// `warmup` applies only under `--warming detached`), adaptive
+    /// early exit at 0.01 IPC standard error.
     fn default() -> SampleOpts {
         SampleOpts {
             period: 2_000_000,
             warmup: 100_000,
             interval: 100_000,
             target_stderr: Some(0.01),
+            warming: Warming::Continuous,
         }
     }
 }
@@ -286,9 +334,10 @@ impl RunOpts {
     /// Parses harness options from command-line arguments
     /// (`--scale smoke|default|full|paper`, `--max-insts N`,
     /// `--sample-period N`, `--sample-warmup N`, `--sample-interval N`,
-    /// `--target-stderr X`, `--store-dir DIR`, `--no-store`,
-    /// `--warm-steering`, `--verbose`). Unrecognised arguments are
-    /// returned for the caller.
+    /// `--target-stderr X`, `--warming detached|continuous`,
+    /// `--store-dir DIR`, `--no-store`, `--warm-steering`,
+    /// `--verbose`). Unrecognised arguments are returned for the
+    /// caller.
     ///
     /// `--scale paper` selects [`Scale::Paper`], widens the default
     /// instruction budget to the paper's 100M window and turns on
@@ -349,6 +398,11 @@ impl RunOpts {
                     let s = opts.sampling.get_or_insert_with(SampleOpts::default);
                     s.target_stderr = (v > 0.0).then_some(v);
                 }
+                "--warming" => {
+                    let v = args.next().unwrap_or_default();
+                    let w = Warming::from_name(&v).unwrap_or_else(|e| panic!("{e}"));
+                    opts.sampling.get_or_insert_with(SampleOpts::default).warming = w;
+                }
                 "--store-dir" => {
                     let v = args.next().expect("--store-dir needs a directory");
                     opts.store_dir = Some(PathBuf::from(v));
@@ -395,6 +449,11 @@ pub struct SampleInfo {
     /// Intervals of the merged prefix that were served from the
     /// persistent store instead of being simulated in this process.
     pub from_store: u64,
+    /// Outcomes of the merged prefix (measured or empty) that started
+    /// from a restored continuously-warmed [`UarchSnapshot`] — covers
+    /// every merged interval (and pairs with `warmed_insts == 0`)
+    /// under [`Warming::Continuous`], 0 under [`Warming::Detached`].
+    pub restored_snapshots: u64,
     /// Detailed (measured) dynamic instructions across all intervals.
     pub detailed_insts: u64,
     /// Detailed cycles across all intervals.
@@ -463,8 +522,11 @@ const INTERVAL_CHUNK: usize = 8;
 #[derive(Clone, Debug)]
 struct IntervalOutcome {
     stats: SimStats,
-    /// Functional-warming instructions actually executed.
+    /// Detached functional-warming instructions actually executed
+    /// (always 0 under continuous warming).
     warmed: u64,
+    /// Whether the interval started from a restored [`UarchSnapshot`].
+    restored: bool,
     warm_secs: f64,
     detailed_secs: f64,
     from_store: bool,
@@ -553,6 +615,9 @@ fn merge_outcomes(outcomes: &[IntervalOutcome], used: usize, budget: u64) -> (Si
         info.warm_secs += o.warm_secs;
         if o.from_store {
             info.from_store += 1;
+        }
+        if o.restored {
+            info.restored_snapshots += 1;
         }
         if o.stats.committed == 0 {
             continue;
@@ -764,7 +829,17 @@ impl Lab {
         );
         let max_insts = self.opts.max_insts;
         let scale = self.opts.scale.name();
-        let warm_steering = self.opts.warm_steering;
+        let warming = sampling.warming;
+        // Steering-table warm-up rides on the detached warming window;
+        // under continuous warming there is no such window to replay,
+        // so the flag is inert (and excluded from the result keys).
+        let warm_steering = self.opts.warm_steering && warming == Warming::Detached;
+        let continuous = warming == Warming::Continuous;
+        // The warmup budget is equally inert under continuous warming
+        // (zero detached-warming instructions run): normalise it out
+        // of the result keys so a warm store survives `--sample-warmup`
+        // changes that cannot affect the stored intervals.
+        let key_warmup = if continuous { 0 } else { sampling.warmup };
 
         // Workload fingerprints for the store keys, once per benchmark.
         let mut fingerprints: HashMap<&'static str, u64> = HashMap::new();
@@ -776,7 +851,14 @@ impl Lab {
         }
 
         // Checkpoint streams for benchmarks not yet fast-forwarded:
-        // consult the store first, recompute (and save) on a miss.
+        // consult the store first (a shorter window may be served from
+        // the prefix of a longer stored stream — cross-scale reuse,
+        // DESIGN.md §9), recompute (and save) on a miss. The pass
+        // always streams through a [`ContinuousWarmer`], so every
+        // stream carries per-checkpoint `UarchSnapshot`s whichever
+        // warming mode this invocation uses — both modes then share
+        // one stream file per benchmark. All machine presets share the
+        // Table 2 front end, so one warmed stream serves them all.
         let mut missing: Vec<&'static str> = Vec::new();
         for &(bench, _, _) in todo {
             if !self.ffs.contains_key(bench) && !missing.contains(&bench) {
@@ -806,13 +888,20 @@ impl Lab {
                 });
                 let t0 = Instant::now();
                 if let (Some(store), Some(key)) = (store, key.as_ref()) {
-                    match store.load_checkpoints(key) {
+                    match store.load_checkpoints_covering(key) {
                         Ok(ff) => return (bench, ff, t0.elapsed().as_secs_f64(), true),
                         Err(e) if e.is_not_found() => {}
                         Err(e) => eprintln!("[lab] store: {e}; recomputing"),
                     }
                 }
-                let ff = fast_forward(&w.program, w.memory.clone(), sampling.period, max_insts);
+                let mut hook = ContinuousWarmer::new(&SimConfig::default());
+                let ff = fast_forward_with(
+                    &w.program,
+                    w.memory.clone(),
+                    sampling.period,
+                    max_insts,
+                    &mut hook,
+                );
                 let secs = t0.elapsed().as_secs_f64();
                 if let (Some(store), Some(key)) = (store, key.as_ref()) {
                     if let Err(e) = store.save_checkpoints(key, &ff) {
@@ -859,10 +948,11 @@ impl Lab {
                     machine: machine.key(),
                     scheme: &scheme_key,
                     period: sampling.period,
-                    warmup: sampling.warmup,
+                    warmup: key_warmup,
                     interval: sampling.interval,
                     max_insts,
                     warm_steering,
+                    continuous_warming: continuous,
                     fingerprint: fingerprints[bench],
                 };
                 match store.load_intervals(&key) {
@@ -873,6 +963,7 @@ impl Lab {
                             .map(|r| IntervalOutcome {
                                 stats: r.stats,
                                 warmed: r.warmed_insts,
+                                restored: continuous,
                                 warm_secs: 0.0,
                                 detailed_secs: 0.0,
                                 from_store: true,
@@ -925,10 +1016,35 @@ impl Lab {
                 let mut steering = scheme.instantiate(&w.program);
                 let mut sim = Simulator::resume_from(&cfg, &w.program, ckpt);
                 let t0 = Instant::now();
-                let warmed = if warm_steering {
-                    sim.warm_functional_steered(sampling.warmup, steering.as_mut())
-                } else {
-                    sim.warm_functional(sampling.warmup)
+                // Continuous warming restores the checkpoint's carried
+                // snapshot — zero detached-warming instructions (the
+                // acceptance counter of the warming work); detached
+                // warming replays `warmup` instructions as before.
+                let warmed = match warming {
+                    Warming::Continuous => {
+                        let blob = ckpt.uarch().unwrap_or_else(|| {
+                            panic!(
+                                "continuous warming: checkpoint at {} of {bench} carries no \
+                                 uarch snapshot (stream computed without a warm hook?)",
+                                ckpt.seq()
+                            )
+                        });
+                        let snap = UarchSnapshot::decode(blob).unwrap_or_else(|e| {
+                            panic!("continuous warming: {bench} @ {}: {e}", ckpt.seq())
+                        });
+                        sim.restore_uarch(&snap).unwrap_or_else(|e| {
+                            panic!(
+                                "continuous warming: {bench} @ {} on {}: {e}",
+                                ckpt.seq(),
+                                machine.key()
+                            )
+                        });
+                        0
+                    }
+                    Warming::Detached if warm_steering => {
+                        sim.warm_functional_steered(sampling.warmup, steering.as_mut())
+                    }
+                    Warming::Detached => sim.warm_functional(sampling.warmup),
                 };
                 let warm_secs = t0.elapsed().as_secs_f64();
                 let budget = (ckpt.seq() + warmed + sampling.interval).min(max_insts);
@@ -940,6 +1056,7 @@ impl Lab {
                     IntervalOutcome {
                         stats,
                         warmed,
+                        restored: warming == Warming::Continuous,
                         warm_secs,
                         detailed_secs,
                         from_store: false,
@@ -976,10 +1093,11 @@ impl Lab {
                         machine: machine.key(),
                         scheme: &scheme_key,
                         period: sampling.period,
-                        warmup: sampling.warmup,
+                        warmup: key_warmup,
                         interval: sampling.interval,
                         max_insts,
                         warm_steering,
+                        continuous_warming: continuous,
                         fingerprint: fingerprints[bench],
                     };
                     let records: Vec<IntervalRecord> = st
@@ -1239,6 +1357,7 @@ mod tests {
                 warmup: 0,
                 interval: 10_000,
                 target_stderr: Some(0.01),
+                warming: Warming::Continuous,
             })
         );
     }
@@ -1252,10 +1371,12 @@ mod tests {
         assert_eq!(o.sampling.expect("enabled").period, 8_000);
     }
 
-    /// Smoke-scale sampling: the window is tiny, so warming must cover
-    /// the workload's cache footprint for the IPC estimate to converge
-    /// (detached warming rebuilds cache/predictor state per interval —
-    /// DESIGN.md §7 discusses the bias).
+    /// Smoke-scale *detached* sampling: the window is tiny, so warming
+    /// must cover the workload's cache footprint for the IPC estimate
+    /// to converge (detached warming rebuilds cache/predictor state
+    /// per interval — DESIGN.md §7 discusses the bias; §9 removes it).
+    /// Tests that pin the PR 2/3 detached behaviour use these options;
+    /// continuous-warming behaviour has its own tests below.
     fn sampled_opts() -> RunOpts {
         RunOpts {
             scale: Scale::Smoke,
@@ -1266,9 +1387,17 @@ mod tests {
                 warmup: 8_000,
                 interval: 6_000,
                 target_stderr: None,
+                warming: Warming::Detached,
             }),
             ..RunOpts::default()
         }
+    }
+
+    /// The continuous-warming twin of [`sampled_opts`].
+    fn continuous_opts() -> RunOpts {
+        let mut opts = sampled_opts();
+        opts.sampling.as_mut().expect("sampled").warming = Warming::Continuous;
+        opts
     }
 
     #[test]
@@ -1280,6 +1409,7 @@ mod tests {
                 warmup: 0,
                 interval: 2_000,
                 target_stderr: None,
+                warming: Warming::Detached,
             }),
             ..smoke_opts()
         });
@@ -1414,6 +1544,7 @@ mod tests {
                 ..SimStats::default()
             },
             warmed: 0,
+            restored: false,
             warm_secs: 0.0,
             detailed_secs: 0.0,
             from_store: false,
@@ -1555,6 +1686,7 @@ mod tests {
             warmup: 1_500,
             interval: 1_000,
             target_stderr: Some(1000.0), // stops at 2, stores one chunk
+            warming: Warming::Detached,
         });
         let run = ("compress", Machine::Clustered, SchemeKind::Modulo);
         let _ = Lab::new(opts.clone()).stats(run.0, run.1, run.2);
@@ -1596,6 +1728,204 @@ mod tests {
         assert_eq!(a.cycles, b.cycles, "warm-steering runs are deterministic");
         let cold = Lab::new(sampled_opts()).stats(run.0, run.1, run.2);
         assert_eq!(a.committed, cold.committed, "same measured windows");
+    }
+
+    /// Continuous-warming acceptance (the counter test of the ISSUE 4
+    /// criterion): every interval of a `--warming continuous` run
+    /// starts from a restored `UarchSnapshot` and executes **zero**
+    /// detached-warming instructions.
+    #[test]
+    fn continuous_warming_restores_snapshots_and_runs_zero_detached_warming() {
+        let run = ("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+        let mut lab = Lab::new(continuous_opts());
+        let s = lab.stats(run.0, run.1, run.2);
+        assert!(s.committed > 0);
+        let info = lab.sample_info(run.0, run.1, run.2).expect("sampled");
+        assert_eq!(info.warmed_insts, 0, "zero detached-warming instructions");
+        assert!(info.intervals > 1, "smoke window yields several intervals");
+        assert!(
+            info.restored_snapshots >= info.intervals,
+            "every merged interval started from a restored snapshot \
+             ({} restored, {} intervals)",
+            info.restored_snapshots,
+            info.intervals
+        );
+
+        // Deterministic, like every other sampled mode.
+        let s2 = Lab::new(continuous_opts()).stats(run.0, run.1, run.2);
+        assert_eq!(s.cycles, s2.cycles);
+        assert_eq!(s.committed, s2.committed);
+        assert_eq!(s.balance, s2.balance);
+
+        // And genuinely warmer than detached warming: the detached run
+        // pays a cold-start transient that continuous warming removes,
+        // so the two modes must not be accidentally wired to the same
+        // path (their stats differ).
+        let mut det = Lab::new(sampled_opts());
+        let sd = det.stats(run.0, run.1, run.2);
+        let id = det.sample_info(run.0, run.1, run.2).expect("sampled");
+        assert!(id.warmed_insts > 0, "detached mode still warms functionally");
+        assert_eq!(id.restored_snapshots, 0);
+        assert_ne!(
+            (s.cycles, s.l1d.hits),
+            (sd.cycles, sd.l1d.hits),
+            "continuous and detached warming measure different microarchitectural state"
+        );
+    }
+
+    /// Continuous sampled IPC tracks the full detailed run at least as
+    /// well as the detached harness does (same bound as
+    /// `sampled_ipc_converges_to_the_full_run`).
+    #[test]
+    fn continuous_sampling_converges_to_the_full_run() {
+        let full_opts = RunOpts {
+            scale: Scale::Smoke,
+            max_insts: 60_000,
+            sampling: None,
+            ..RunOpts::default()
+        };
+        for (machine, scheme) in [
+            (Machine::Base, SchemeKind::Naive),
+            (Machine::Clustered, SchemeKind::GeneralBalance),
+        ] {
+            let full = Lab::new(full_opts.clone()).stats("compress", machine, scheme);
+            let sampled = Lab::new(continuous_opts()).stats("compress", machine, scheme);
+            let rel = (sampled.ipc() - full.ipc()).abs() / full.ipc();
+            assert!(
+                rel < 0.10,
+                "{machine:?}/{scheme:?}: sampled {} vs full {} ({}% off)",
+                sampled.ipc(),
+                full.ipc(),
+                (rel * 100.0).round()
+            );
+        }
+    }
+
+    /// The continuous-warming twin of
+    /// `warm_store_reproduces_cold_results_with_zero_fast_forward`:
+    /// snapshots survive the store and the warm run still executes
+    /// zero fast-forward and zero detached-warming instructions.
+    #[test]
+    fn continuous_warm_store_reproduces_cold_results() {
+        let (mut opts, dir) = store_opts("warm-continuous");
+        opts.sampling.as_mut().expect("sampled").warming = Warming::Continuous;
+        let run = ("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+
+        let mut cold = Lab::new(opts.clone());
+        let sc = cold.stats(run.0, run.1, run.2);
+        assert!(!cold.fast_forward_info(run.0).expect("ran").from_store);
+
+        let mut warm = Lab::new(opts.clone());
+        let sw = warm.stats(run.0, run.1, run.2);
+        let ffw = warm.fast_forward_info(run.0).expect("loaded");
+        assert!(ffw.from_store, "second lab must hit the store");
+        assert_eq!(ffw.executed_insts(), 0, "zero fast-forward instructions");
+
+        assert_eq!(sc.cycles, sw.cycles);
+        assert_eq!(sc.committed, sw.committed);
+        assert_eq!(sc.balance, sw.balance);
+        assert_eq!(sc.l1d.hits, sw.l1d.hits);
+        let iw = warm.sample_info(run.0, run.1, run.2).expect("sampled");
+        assert!(iw.from_store > 0, "intervals served from the store");
+        assert_eq!(iw.warmed_insts, 0, "still zero detached warming");
+        assert!(iw.restored_snapshots >= iw.intervals);
+
+        // The warmup budget is inert under continuous warming, so a
+        // different `--sample-warmup` must still hit the same result
+        // entries (warmup is normalised out of the key).
+        let mut rewarm_opts = opts.clone();
+        rewarm_opts.sampling.as_mut().expect("sampled").warmup = 123;
+        let mut rewarm = Lab::new(rewarm_opts);
+        let sr = rewarm.stats(run.0, run.1, run.2);
+        assert_eq!(sr.cycles, sc.cycles);
+        let ir = rewarm.sample_info(run.0, run.1, run.2).expect("sampled");
+        assert!(
+            ir.from_store > 0,
+            "changed warmup must not invalidate continuous-warming results"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Cross-scale checkpoint reuse at the Lab level (ROADMAP item): a
+    /// request for a shorter window is served from the prefix of the
+    /// longer stored stream — zero fast-forward instructions executed —
+    /// and reproduces a cold shorter run exactly.
+    #[test]
+    fn shorter_window_request_reuses_the_longer_stored_stream() {
+        let (mut opts, dir) = store_opts("window-prefix");
+        opts.sampling.as_mut().expect("sampled").warming = Warming::Continuous;
+        let run = ("compress", Machine::Clustered, SchemeKind::Modulo);
+
+        // Long window populates the store.
+        let _ = Lab::new(opts.clone()).stats(run.0, run.1, run.2);
+
+        // Shorter window over the same stream: served from the prefix.
+        let mut short_opts = opts.clone();
+        short_opts.max_insts = 30_000;
+        let mut short = Lab::new(short_opts.clone());
+        let s = short.stats(run.0, run.1, run.2);
+        let ff = short.fast_forward_info(run.0).expect("served");
+        assert!(ff.from_store, "prefix of the longer stream serves the request");
+        assert_eq!(ff.executed_insts(), 0, "zero fast-forward instructions");
+        assert_eq!(ff.insts, 30_000, "stream truncated to the requested window");
+
+        // Identical to a cold run of the short window without a store.
+        let mut cold_opts = short_opts;
+        cold_opts.store_dir = None;
+        let sc = Lab::new(cold_opts).stats(run.0, run.1, run.2);
+        assert_eq!(s.cycles, sc.cycles, "prefix-served run is exact");
+        assert_eq!(s.committed, sc.committed);
+        assert_eq!(s.balance, sc.balance);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Version-invalidation satellite, Lab side: store files whose
+    /// headers carry older interpreter/timing versions are rejected as
+    /// a unit and transparently recomputed (the store-level error
+    /// classes are pinned in `dca-store`'s tests).
+    #[test]
+    fn stale_version_store_entries_are_recomputed() {
+        use dca_store::file::{fnv64, TRAILER_BYTES};
+        let (opts, dir) = store_opts("stale-version");
+        let run = ("compress", Machine::Clustered, SchemeKind::Modulo);
+        let baseline = Lab::new(opts.clone()).stats(run.0, run.1, run.2);
+
+        // Age every file: checkpoint streams get an older interpreter
+        // version, result files an older timing version; checksums are
+        // fixed up so *only* the version field is stale.
+        let mut aged = 0;
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let path = entry.path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("dcc") => bytes[16..20]
+                    .copy_from_slice(&(dca_prog::INTERP_VERSION - 1).to_le_bytes()),
+                Some("dcr") => bytes[20..24]
+                    .copy_from_slice(&(dca_sim::TIMING_VERSION - 1).to_le_bytes()),
+                _ => continue,
+            }
+            let body = bytes.len() - TRAILER_BYTES;
+            let sum = fnv64(&bytes[..body]);
+            let len = bytes.len();
+            bytes[body..len].copy_from_slice(&sum.to_le_bytes());
+            std::fs::write(&path, &bytes).unwrap();
+            aged += 1;
+        }
+        assert!(aged >= 2, "checkpoints + results were persisted");
+
+        let mut healed = Lab::new(opts.clone());
+        let s = healed.stats(run.0, run.1, run.2);
+        assert_eq!(s.cycles, baseline.cycles, "recomputation matches");
+        assert!(
+            !healed.fast_forward_info(run.0).expect("ran").from_store,
+            "stale stream was rejected, not half-read"
+        );
+
+        // The rewritten entries serve the next lab again.
+        let mut third = Lab::new(opts.clone());
+        assert_eq!(third.stats(run.0, run.1, run.2).cycles, baseline.cycles);
+        assert!(third.fast_forward_info(run.0).expect("hit").from_store);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

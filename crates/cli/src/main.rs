@@ -40,9 +40,13 @@ via checkpointed sampled simulation (compare/figures only; tune with
 --sample-period N, --sample-warmup N, --sample-interval N — the flags
 also enable sampling at other scales). Intervals stop early once the
 IPC standard error reaches --target-stderr X (default 0.01; 0 runs the
-full budget), and --warm-steering additionally rebuilds steering slice
-tables during functional warming. `figures sampling` regenerates the
-sampling methodology report.
+full budget). --warming continuous (the default) starts every interval
+from the restored cache/predictor snapshot its checkpoint carries
+(SMARTS-style continuous warming, zero detached-warming instructions);
+--warming detached replays --sample-warmup instructions into cold
+structures instead, and --warm-steering then additionally rebuilds
+steering slice tables during that replay. `figures sampling`
+regenerates the sampling methodology report.
 
 Sampled runs persist checkpoint streams and per-interval results in a
 store directory (default .dca-store; --store-dir DIR overrides,

@@ -41,6 +41,13 @@ pub struct Checkpoint {
     pub(crate) cursor: Option<u32>,
     pub(crate) seq: u64,
     pub(crate) halted: bool,
+    /// Opaque encoded microarchitectural snapshot attached by a
+    /// [`WarmHook`] during [`fast_forward_with`] (continuous warming,
+    /// DESIGN.md §9). `dca-prog` never interprets the bytes — the
+    /// codec lives in `dca-uarch` and the consumer in `dca-sim` —
+    /// which keeps this crate free of timing-model dependencies.
+    /// `Arc`-shared so cloning a checkpoint stays cheap.
+    pub(crate) uarch: Option<Arc<Vec<u8>>>,
 }
 
 impl Checkpoint {
@@ -57,6 +64,53 @@ impl Checkpoint {
     /// `true` if the program had already reached `halt`.
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// The encoded microarchitectural snapshot attached during a warmed
+    /// fast-forward, if any.
+    pub fn uarch(&self) -> Option<&[u8]> {
+        self.uarch.as_ref().map(|b| b.as_slice())
+    }
+
+    /// Attaches an encoded microarchitectural snapshot.
+    pub fn with_uarch(mut self, blob: Vec<u8>) -> Checkpoint {
+        self.uarch = Some(Arc::new(blob));
+        self
+    }
+
+    fn with_uarch_opt(mut self, blob: Option<Vec<u8>>) -> Checkpoint {
+        self.uarch = blob.map(Arc::new);
+        self
+    }
+}
+
+/// Observer of the functional fast-forward stream: [`fast_forward_with`]
+/// feeds it every retired instruction and asks it for an (opaque,
+/// already-encoded) microarchitectural snapshot at each checkpoint.
+///
+/// The hook never influences execution — the dynamic stream and the
+/// checkpoint grid are bit-identical with or without one. `dca-sim`'s
+/// `ContinuousWarmer` is the canonical implementation: it streams the
+/// accesses through live cache/branch-predictor models so every
+/// checkpoint carries SMARTS-style continuously-warmed state.
+pub trait WarmHook {
+    /// Observes one retired instruction of the functional stream.
+    fn observe(&mut self, d: &crate::DynInst);
+
+    /// Produces the encoded snapshot to attach to a checkpoint taken at
+    /// the current stream position (`None` attaches nothing).
+    fn snapshot(&mut self) -> Option<Vec<u8>>;
+}
+
+/// The no-op hook: plain architectural checkpoints, exactly the
+/// pre-continuous-warming behaviour of [`fast_forward`].
+pub struct NoWarmHook;
+
+impl WarmHook for NoWarmHook {
+    fn observe(&mut self, _d: &crate::DynInst) {}
+
+    fn snapshot(&mut self) -> Option<Vec<u8>> {
+        None
     }
 }
 
@@ -81,13 +135,33 @@ pub struct FastForward {
 ///
 /// Panics if `every == 0`.
 pub fn fast_forward(prog: &Program, mem: Memory, every: u64, max: u64) -> FastForward {
+    fast_forward_with(prog, mem, every, max, &mut NoWarmHook)
+}
+
+/// [`fast_forward`] with a pluggable [`WarmHook`]: the hook observes
+/// every retired instruction and its encoded snapshot is attached to
+/// each checkpoint (including the initial, cold one at sequence 0).
+/// The dynamic stream and the checkpoint grid are identical to the
+/// hook-free pass — a hook only *adds* microarchitectural state.
+///
+/// # Panics
+///
+/// Panics if `every == 0`.
+pub fn fast_forward_with(
+    prog: &Program,
+    mem: Memory,
+    every: u64,
+    max: u64,
+    hook: &mut dyn WarmHook,
+) -> FastForward {
     assert!(every > 0, "checkpoint interval must be non-zero");
     let mut it = Interp::new(prog, mem).with_fuel(max);
-    let mut checkpoints = vec![it.checkpoint()];
+    let mut checkpoints = vec![it.checkpoint().with_uarch_opt(hook.snapshot())];
     let mut next_ckpt = every;
-    while it.next().is_some() {
+    while let Some(d) = it.next() {
+        hook.observe(&d);
         if it.seq() == next_ckpt && it.seq() < max {
-            checkpoints.push(it.checkpoint());
+            checkpoints.push(it.checkpoint().with_uarch_opt(hook.snapshot()));
             next_ckpt += every;
         }
     }
@@ -388,6 +462,10 @@ impl CheckpointDecoder {
             cursor,
             seq,
             halted,
+            // The architectural codec does not carry the uarch blob;
+            // the store persists it as its own record kind and
+            // reattaches it after decoding (`dca-store`).
+            uarch: None,
         })
     }
 }

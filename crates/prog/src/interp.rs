@@ -320,6 +320,7 @@ impl<'p> Interp<'p> {
             cursor: self.cursor,
             seq: self.seq,
             halted: self.halted,
+            uarch: None,
         }
     }
 

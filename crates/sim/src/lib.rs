@@ -60,6 +60,7 @@ mod rename;
 pub mod stats;
 pub mod steering;
 pub mod trace;
+pub mod warm;
 
 pub use config::{ClusterId, Engine, SimConfig};
 
@@ -72,8 +73,14 @@ pub use config::{ClusterId, Engine, SimConfig};
 /// per-interval result file; a mismatch invalidates the file. The
 /// functional interpreter has its own `dca_prog::INTERP_VERSION`,
 /// which additionally invalidates checkpoint streams.
-pub const TIMING_VERSION: u32 = 1;
+///
+/// History: 2 — continuous (SMARTS-style) warming: sampled intervals
+/// can start from a restored [`UarchSnapshot`](dca_uarch::UarchSnapshot)
+/// instead of detached functional warming, which changes the measured
+/// windows and the reported per-interval statistics of sampled runs.
+pub const TIMING_VERSION: u32 = 2;
 pub use pipeline::Simulator;
 pub use stats::{BalanceHistogram, SimStats};
 pub use steering::{Allowed, DecodedView, SrcView, SteerCtx, Steering};
 pub use trace::{Trace, TracedKind, UopRecord};
+pub use warm::ContinuousWarmer;

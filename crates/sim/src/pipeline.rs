@@ -67,7 +67,7 @@ use dca_isa::{ClusterNeed, ExecClass, Opcode, Reg};
 use dca_prog::{Checkpoint, DynInst, Interp, Memory, Program};
 use dca_uarch::{
     latency_of, BranchPredictor, CacheStats, Combined, FuPool, MemHierarchy, MemLevel,
-    PortMeter, PredictorStats,
+    PortMeter, PredictorStats, SnapshotError, UarchSnapshot,
 };
 
 use crate::config::{ClusterId, Engine, SimConfig};
@@ -448,6 +448,33 @@ impl<'p> Simulator<'p> {
         let mut sim = Simulator::new(cfg, prog, Memory::new());
         sim.interp = Some(Interp::resume(prog, ckpt));
         sim
+    }
+
+    /// Captures the simulator's current cache-hierarchy and
+    /// branch-predictor state (e.g. right after
+    /// [`Simulator::warm_functional`], to compare detached and
+    /// continuous warming — `tests/warming_equivalence.rs`).
+    pub fn uarch_snapshot(&self) -> UarchSnapshot {
+        UarchSnapshot::capture(&self.hierarchy, &self.bpred)
+    }
+
+    /// Restores a continuously-warmed [`UarchSnapshot`] into the
+    /// machine and makes its counters the warming baseline, so the
+    /// reported statistics cover only the measured interval — the
+    /// continuous-warming replacement for [`Simulator::warm_functional`]
+    /// (DESIGN.md §9). Call right after [`Simulator::resume_from`],
+    /// before any detailed cycle runs.
+    ///
+    /// # Errors
+    ///
+    /// Fails, leaving the machine untouched, when the snapshot's cache
+    /// or predictor geometry does not match this machine's
+    /// configuration.
+    pub fn restore_uarch(&mut self, snap: &UarchSnapshot) -> Result<(), SnapshotError> {
+        snap.restore(&mut self.hierarchy, &mut self.bpred)?;
+        let (l1i, l1d, l2, bpred) = snap.counters();
+        self.warm_baseline = WarmBaseline { l1i, l1d, l2, bpred };
+        Ok(())
     }
 
     /// Functional-warming mode of the sampled-simulation harness

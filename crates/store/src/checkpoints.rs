@@ -40,11 +40,55 @@ impl CheckpointKey<'_> {
             self.workload, self.scale, self.period, self.max_insts
         )
     }
+
+    /// Parses a [`CheckpointKey::file_name`] back into
+    /// `(workload, scale, period, max_insts)`. Used by the cross-scale
+    /// prefix scan ([`Store::load_checkpoints_covering`]) to discover
+    /// donor streams; a misparse (or an adversarial name) is harmless
+    /// because every load re-verifies the key against the file's meta
+    /// record.
+    ///
+    /// [`Store::load_checkpoints_covering`]: crate::Store::load_checkpoints_covering
+    pub(crate) fn parse_file_name(name: &str) -> Option<(&str, &str, u64, u64)> {
+        let rest = name.strip_prefix("ck_")?.strip_suffix(".dcc")?;
+        let (rest, max) = rest.rsplit_once("_m")?;
+        let (rest, period) = rest.rsplit_once("_p")?;
+        let (workload, scale) = rest.rsplit_once('_')?;
+        Some((workload, scale, period.parse().ok()?, max.parse().ok()?))
+    }
+}
+
+/// Cuts a stream down to the window `max_insts` would have produced:
+/// the checkpoint grid keeps every snapshot strictly inside the
+/// shorter window, and the totals are re-derived exactly as a fresh
+/// `fast_forward(…, max_insts)` over the same program would report
+/// them (a fuel-capped pass never observes a `halt` sitting exactly on
+/// the cut).
+pub(crate) fn truncate_to_window(ff: FastForward, max_insts: u64) -> FastForward {
+    let (total_insts, halted) = if ff.total_insts >= max_insts {
+        (max_insts, false)
+    } else {
+        (ff.total_insts, ff.halted)
+    };
+    FastForward {
+        checkpoints: ff
+            .checkpoints
+            .into_iter()
+            .filter(|c| c.seq() < max_insts)
+            .collect(),
+        total_insts,
+        halted,
+    }
 }
 
 const REC_META: u8 = 0;
 const REC_PAGE: u8 = 1;
 const REC_CHECKPOINT: u8 = 2;
+/// Encoded `dca_uarch::UarchSnapshot` of the checkpoint that the
+/// immediately preceding [`REC_CHECKPOINT`] record decoded (continuous
+/// warming, DESIGN.md §9). The store treats the payload as opaque
+/// bytes — the snapshot codec carries its own version and checksum.
+const REC_UARCH: u8 = 3;
 
 /// Encodes a fast-forward pass into store records.
 pub(crate) fn encode(key: &CheckpointKey<'_>, ff: &FastForward) -> Vec<Vec<u8>> {
@@ -74,6 +118,12 @@ pub(crate) fn encode(key: &CheckpointKey<'_>, ff: &FastForward) -> Vec<Vec<u8>> 
         rec.push(REC_CHECKPOINT);
         rec.extend_from_slice(&ckpt_rec);
         records.push(rec);
+        if let Some(blob) = ckpt.uarch() {
+            let mut rec = Vec::with_capacity(1 + blob.len());
+            rec.push(REC_UARCH);
+            rec.extend_from_slice(blob);
+            records.push(rec);
+        }
     }
     records
 }
@@ -146,6 +196,15 @@ pub(crate) fn decode(
                     dec.decode(&rec[1..])
                         .map_err(|e| corrupt(path, e.to_string()))?,
                 );
+            }
+            Some(&REC_UARCH) => {
+                let Some(last) = checkpoints.pop() else {
+                    return Err(corrupt(path, "uarch record precedes any checkpoint"));
+                };
+                if last.uarch().is_some() {
+                    return Err(corrupt(path, "checkpoint carries two uarch records"));
+                }
+                checkpoints.push(last.with_uarch(rec[1..].to_vec()));
             }
             _ => return Err(corrupt(path, "unknown record tag")),
         }

@@ -26,8 +26,14 @@ use crate::StoreError;
 pub const MAGIC: [u8; 8] = *b"DCASTORE";
 
 /// Version of the container structure itself (header layout, framing,
-/// checksum). Bump on any change to this module's byte layout.
-pub const FORMAT_VERSION: u32 = 1;
+/// checksum) *and* of the typed record layouts inside it. Bump on any
+/// change to this module's byte layout or to a record codec.
+///
+/// History: 2 — checkpoint streams gained the microarchitectural
+/// snapshot record kind (continuous warming) and result metas the
+/// warming-mode flag; pre-snapshot (v1) files are rejected as a unit
+/// and recomputed.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Header length in bytes.
 pub const HEADER_BYTES: usize = 24;

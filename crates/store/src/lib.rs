@@ -294,6 +294,61 @@ impl Store {
         checkpoints::decode(&self.root.join(&name), key, &records)
     }
 
+    /// Like [`Store::load_checkpoints`], but an exact-key miss may be
+    /// served from the **prefix of a longer stored stream**: any entry
+    /// with the same workload, period and fingerprint whose window
+    /// covers `key.max_insts` — whatever scale name it was stored
+    /// under — is truncated to the requested window (cross-scale
+    /// checkpoint reuse, DESIGN.md §9). Sound because the fingerprint
+    /// pins the exact program and initial memory, so the donor's
+    /// dynamic stream *is* the requested stream continued; scales that
+    /// generate different programs have different fingerprints and
+    /// never alias. Donors are tried smallest covering window first
+    /// (deterministic); unusable donors (corrupt, stale, other
+    /// fingerprint) are skipped, never surfaced.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Store::load_checkpoints`];
+    /// [`StoreError::NotFound`] when neither the exact key nor any
+    /// covering prefix can serve it.
+    pub fn load_checkpoints_covering(
+        &self,
+        key: &CheckpointKey<'_>,
+    ) -> Result<FastForward, StoreError> {
+        match self.load_checkpoints(key) {
+            Err(e) if e.is_not_found() => {}
+            other => return other,
+        }
+        let mut donors: Vec<(u64, String)> = Vec::new();
+        for (path, _) in self.entries() {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some((workload, scale, period, max)) = CheckpointKey::parse_file_name(name)
+            else {
+                continue;
+            };
+            // `>=`, not `>`: an equal window stored under a different
+            // scale *name* (same fingerprint) serves the request as-is.
+            if workload == key.workload && period == key.period && max >= key.max_insts {
+                donors.push((max, scale.to_owned()));
+            }
+        }
+        donors.sort();
+        for (max_insts, scale) in &donors {
+            let donor = CheckpointKey {
+                scale,
+                max_insts: *max_insts,
+                ..*key
+            };
+            if let Ok(ff) = self.load_checkpoints(&donor) {
+                return Ok(checkpoints::truncate_to_window(ff, key.max_insts));
+            }
+        }
+        Err(StoreError::NotFound)
+    }
+
     /// Persists a combination's per-interval results (a contiguous
     /// checkpoint-order prefix), returning the bytes written.
     ///
@@ -551,6 +606,7 @@ mod tests {
             interval: 10,
             max_insts: 1000,
             warm_steering: false,
+            continuous_warming: false,
             fingerprint: 0xfeed,
         };
         store
@@ -628,6 +684,7 @@ mod tests {
             interval: 5,
             max_insts: 100,
             warm_steering: true,
+            continuous_warming: true,
             fingerprint: 1,
         };
         store

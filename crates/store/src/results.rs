@@ -42,6 +42,11 @@ pub struct ResultKey<'a> {
     pub max_insts: u64,
     /// Whether steering tables were warmed during functional warming.
     pub warm_steering: bool,
+    /// Whether intervals started from restored continuously-warmed
+    /// microarchitectural snapshots instead of detached functional
+    /// warming (DESIGN.md §9). Changes the measured windows, so the
+    /// two modes never share a result file.
+    pub continuous_warming: bool,
     /// Deterministic fingerprint of the generated program + memory.
     pub fingerprint: u64,
 }
@@ -50,7 +55,7 @@ impl ResultKey<'_> {
     /// The store file name for this key.
     pub fn file_name(&self) -> String {
         format!(
-            "rs_{}_{}_{}_{}_p{}_w{}_i{}_m{}{}.dcr",
+            "rs_{}_{}_{}_{}_p{}_w{}_i{}_m{}{}{}.dcr",
             self.workload,
             self.scale,
             self.machine,
@@ -60,6 +65,7 @@ impl ResultKey<'_> {
             self.interval,
             self.max_insts,
             if self.warm_steering { "_ws" } else { "" },
+            if self.continuous_warming { "_cw" } else { "" },
         )
     }
 }
@@ -153,6 +159,7 @@ pub(crate) fn encode(key: &ResultKey<'_>, intervals: &[IntervalRecord]) -> Vec<V
     meta.extend_from_slice(&key.interval.to_le_bytes());
     meta.extend_from_slice(&key.max_insts.to_le_bytes());
     meta.push(u8::from(key.warm_steering));
+    meta.push(u8::from(key.continuous_warming));
     meta.extend_from_slice(&key.fingerprint.to_le_bytes());
     meta.extend_from_slice(&(intervals.len() as u32).to_le_bytes());
     put_str(&mut meta, key.workload);
@@ -191,6 +198,7 @@ pub(crate) fn decode(
         let interval = r.u64()?;
         let max_insts = r.u64()?;
         let warm_steering = r.u8()? != 0;
+        let continuous_warming = r.u8()? != 0;
         let fingerprint = r.u64()?;
         let count = r.u32()? as usize;
         let workload = r.str()?.to_owned();
@@ -199,11 +207,11 @@ pub(crate) fn decode(
         let scheme = r.str()?.to_owned();
         r.finish()?;
         Ok((
-            period, warmup, interval, max_insts, warm_steering, fingerprint, count, workload,
-            scale, machine, scheme,
+            period, warmup, interval, max_insts, warm_steering, continuous_warming, fingerprint,
+            count, workload, scale, machine, scheme,
         ))
     })();
-    let (period, warmup, interval, max_insts, warm_steering, fingerprint, count, workload, scale, machine, scheme) =
+    let (period, warmup, interval, max_insts, warm_steering, continuous_warming, fingerprint, count, workload, scale, machine, scheme) =
         parse.map_err(|e| corrupt(path, format!("meta record: {e}")))?;
     let meta_key = (
         workload.as_str(),
@@ -215,6 +223,7 @@ pub(crate) fn decode(
         interval,
         max_insts,
         warm_steering,
+        continuous_warming,
     );
     let want = (
         key.workload,
@@ -226,6 +235,7 @@ pub(crate) fn decode(
         key.interval,
         key.max_insts,
         key.warm_steering,
+        key.continuous_warming,
     );
     if meta_key != want {
         return Err(corrupt(path, "meta key does not match the file name"));

@@ -1,12 +1,35 @@
-//! Store robustness (ISSUE 3 satellite): round-trip property test over
-//! random checkpoint streams, plus corruption tests — truncation, a
-//! flipped byte, a wrong version header — asserting a clean
-//! [`StoreError`] in every case (the Lab's fall-back-to-recomputation
-//! path is covered in `dca-bench`'s tests).
+//! Store robustness (ISSUE 3 satellite, extended by the
+//! continuous-warming work): round-trip property tests over random
+//! checkpoint streams — with and without per-checkpoint uarch-snapshot
+//! records — plus corruption tests (truncation, a flipped byte, wrong
+//! version headers for the container format *and* the timing model)
+//! asserting a clean [`StoreError`] in every case (the Lab's
+//! fall-back-to-recomputation path is covered in `dca-bench`'s tests).
 
-use dca_prog::{fast_forward, parse_asm, Interp, Memory, Program};
-use dca_store::{file, CheckpointKey, Store};
+use dca_prog::{fast_forward, fast_forward_with, parse_asm, Interp, Memory, Program};
+use dca_sim::ContinuousWarmer;
+use dca_store::{file, CheckpointKey, IntervalRecord, ResultKey, Store, StoreError};
+use dca_uarch::{CacheConfig, CombinedConfig, HierarchyConfig, UarchSnapshot};
 use proptest::prelude::*;
+
+/// A small continuous warmer (tiny caches/predictor keep the proptest
+/// streams compact and fast).
+fn small_warmer() -> ContinuousWarmer {
+    ContinuousWarmer::with_geometry(
+        HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 32 },
+            l1d: CacheConfig { size_bytes: 512, ways: 2, line_bytes: 32 },
+            l2: CacheConfig { size_bytes: 2048, ways: 4, line_bytes: 64 },
+            ..HierarchyConfig::default()
+        },
+        CombinedConfig {
+            selector_entries: 32,
+            gshare_entries: 128,
+            history_bits: 8,
+            bimodal_entries: 32,
+        },
+    )
+}
 
 fn tmp_store(name: &str) -> Store {
     let dir = std::env::temp_dir().join(format!("dca-store-robustness-{name}"));
@@ -72,6 +95,59 @@ proptest! {
                 .with_fuel(20_000)
                 .collect();
             prop_assert_eq!(tail.as_slice(), &full[orig.seq() as usize..]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot-bearing streams (the continuous-warming record kind):
+    /// save → load round-trips every per-checkpoint uarch blob
+    /// byte-identically *and* semantically (the blob still decodes to
+    /// the warmer's state), and every sampled byte flip of the file is
+    /// rejected as a unit.
+    #[test]
+    fn warmed_streams_round_trip_with_their_snapshots(
+        prog in arb_program(),
+        period in 32u64..200,
+    ) {
+        let (src, p) = prog;
+        let store = tmp_store("prop-uarch");
+        let mut hook = small_warmer();
+        let ff = fast_forward_with(&p, Memory::new(), period, 10_000, &mut hook);
+        prop_assert!(ff.checkpoints.iter().all(|c| c.uarch().is_some()));
+        let key = CheckpointKey {
+            workload: "prop",
+            scale: "smoke",
+            period,
+            max_insts: 10_000,
+            fingerprint: p.content_hash(),
+        };
+        store.save_checkpoints(&key, &ff).expect("save");
+        let back = store.load_checkpoints(&key).unwrap_or_else(|e| {
+            panic!("load failed: {e}\nprogram:\n{src}")
+        });
+        prop_assert_eq!(back.checkpoints.len(), ff.checkpoints.len());
+        for (orig, restored) in ff.checkpoints.iter().zip(&back.checkpoints) {
+            let (a, b) = (orig.uarch().expect("saved"), restored.uarch().expect("loaded"));
+            prop_assert_eq!(a, b, "snapshot blob must round-trip byte-identically");
+            prop_assert!(UarchSnapshot::decode(b).is_ok(), "blob still decodes");
+        }
+
+        // Byte flips anywhere in the file — header, pages, checkpoint
+        // or snapshot records, trailer — are rejected as a unit.
+        let path = store.root().join(key.file_name());
+        let bytes = std::fs::read(&path).unwrap();
+        let step = (bytes.len() / 61).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x10;
+            std::fs::write(&path, &flipped).unwrap();
+            prop_assert!(
+                store.load_checkpoints(&key).is_err(),
+                "flip at byte {} went undetected", pos
+            );
         }
     }
 }
@@ -167,4 +243,161 @@ fn wrong_version_headers_are_clean_errors() {
     // GC clears both classes of bad file.
     assert_eq!(store.gc().removed, 1);
     assert!(store.load_checkpoints(&key).unwrap_err().is_not_found());
+}
+
+/// Continuous-warming satellite: a checkpoint file written under the
+/// **pre-snapshot container format** (`FORMAT_VERSION - 1`, before the
+/// uarch record kind existed) is rejected as a unit with a clean
+/// version error — never half-read into a stream missing its
+/// snapshots.
+#[test]
+fn pre_snapshot_format_version_is_rejected_as_a_unit() {
+    let (store, key, path) = saved_fixture("pre-snapshot");
+    let bytes = std::fs::read(&path).unwrap();
+    let mut old = bytes.clone();
+    old[8..12].copy_from_slice(&(file::FORMAT_VERSION - 1).to_le_bytes());
+    let body_len = old.len() - file::TRAILER_BYTES;
+    let sum = file::fnv64(&old[..body_len]);
+    old[body_len..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &old).unwrap();
+    match store.load_checkpoints(&key).unwrap_err() {
+        StoreError::Version { what, found, expected, .. } => {
+            assert_eq!(what, "container format");
+            assert_eq!(found, file::FORMAT_VERSION - 1);
+            assert_eq!(expected, file::FORMAT_VERSION);
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+    // Header-only readers agree, and gc sweeps the file.
+    assert!(matches!(
+        file::read_header(&path),
+        Err(StoreError::Version { .. })
+    ));
+    assert_eq!(store.gc().removed, 1);
+    assert!(store.load_checkpoints(&key).unwrap_err().is_not_found());
+}
+
+/// The `TIMING_VERSION` bump path: a result file whose header carries
+/// the previous timing-model version (the pre-continuous-warming
+/// semantics) is rejected with a clean version error, as a unit.
+#[test]
+fn stale_timing_version_results_are_rejected_as_a_unit() {
+    let store = tmp_store("timing-version");
+    let rkey = ResultKey {
+        workload: "fixture",
+        scale: "smoke",
+        machine: "clustered",
+        scheme: "Naive",
+        period: 50,
+        warmup: 10,
+        interval: 10,
+        max_insts: 1000,
+        warm_steering: false,
+        continuous_warming: true,
+        fingerprint: 7,
+    };
+    store
+        .save_intervals(&rkey, &[IntervalRecord::default(), IntervalRecord::default()])
+        .unwrap();
+    let path = store.root().join(rkey.file_name());
+    let bytes = std::fs::read(&path).unwrap();
+    let mut old = bytes.clone();
+    old[20..24].copy_from_slice(&(dca_sim::TIMING_VERSION - 1).to_le_bytes());
+    let body_len = old.len() - file::TRAILER_BYTES;
+    let sum = file::fnv64(&old[..body_len]);
+    old[body_len..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &old).unwrap();
+    match store.load_intervals(&rkey).unwrap_err() {
+        StoreError::Version { what, found, expected, .. } => {
+            assert_eq!(what, "timing model");
+            assert_eq!(found, dca_sim::TIMING_VERSION - 1);
+            assert_eq!(expected, dca_sim::TIMING_VERSION);
+        }
+        other => panic!("expected Version error, got {other:?}"),
+    }
+    assert_eq!(store.gc().removed, 1);
+    assert!(store.load_intervals(&rkey).unwrap_err().is_not_found());
+}
+
+/// Cross-scale checkpoint reuse (ROADMAP item): a `full`-scale request
+/// is served from the prefix of a `paper`-scale stream of the same
+/// program — same period grid, same fingerprint — and the derived
+/// stream is indistinguishable from a fresh fast-forward over the
+/// shorter window, snapshots included.
+#[test]
+fn shorter_window_is_served_from_a_longer_streams_prefix() {
+    let store = tmp_store("cross-scale");
+    let p = parse_asm(
+        "e:\n li r1, #400\n li r2, #8192\nl:\n st r1, 0(r2)\n add r2, r2, #8\n add r1, r1, #-1\n bne r1, r0, l\n halt",
+    )
+    .unwrap();
+    let fingerprint = p.content_hash();
+    let period = 100;
+
+    // A long ("paper") stream in the store…
+    let mut hook = small_warmer();
+    let long = fast_forward_with(&p, Memory::new(), period, 1_500, &mut hook);
+    let paper_key = CheckpointKey {
+        workload: "xs",
+        scale: "paper",
+        period,
+        max_insts: 1_500,
+        fingerprint,
+    };
+    store.save_checkpoints(&paper_key, &long).unwrap();
+
+    // …serves a short ("full") request without any recomputation.
+    let full_key = CheckpointKey {
+        workload: "xs",
+        scale: "full",
+        period,
+        max_insts: 600,
+        fingerprint,
+    };
+    assert!(
+        store.load_checkpoints(&full_key).unwrap_err().is_not_found(),
+        "exact key is a miss"
+    );
+    let served = store.load_checkpoints_covering(&full_key).unwrap();
+
+    // Bit-for-bit the stream a fresh fast-forward would produce.
+    let mut hook = small_warmer();
+    let fresh = fast_forward_with(&p, Memory::new(), period, 600, &mut hook);
+    assert_eq!(served.total_insts, fresh.total_insts);
+    assert_eq!(served.halted, fresh.halted);
+    assert_eq!(served.checkpoints.len(), fresh.checkpoints.len());
+    for (a, b) in served.checkpoints.iter().zip(&fresh.checkpoints) {
+        assert_eq!(a.seq(), b.seq());
+        assert_eq!(a.uarch().expect("served"), b.uarch().expect("fresh"));
+        let ta: Vec<_> = Interp::resume(&p, a).with_fuel(600).collect();
+        let tb: Vec<_> = Interp::resume(&p, b).with_fuel(600).collect();
+        assert_eq!(ta, tb);
+    }
+
+    // A different fingerprint (another program behind the same label)
+    // never aliases into the prefix.
+    let other = CheckpointKey {
+        fingerprint: fingerprint ^ 1,
+        ..full_key
+    };
+    assert!(store.load_checkpoints_covering(&other).unwrap_err().is_not_found());
+
+    // An *equal* window stored under a different scale name is served
+    // as-is (no truncation needed).
+    let equal = CheckpointKey {
+        scale: "full",
+        max_insts: 1_500,
+        ..full_key
+    };
+    let same = store.load_checkpoints_covering(&equal).unwrap();
+    assert_eq!(same.total_insts, long.total_insts);
+    assert_eq!(same.checkpoints.len(), long.checkpoints.len());
+
+    // A request *longer* than anything stored is still a miss.
+    let too_long = CheckpointKey {
+        scale: "paper",
+        max_insts: 2_000,
+        ..full_key
+    };
+    assert!(store.load_checkpoints_covering(&too_long).unwrap_err().is_not_found());
 }

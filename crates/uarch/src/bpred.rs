@@ -276,6 +276,79 @@ impl Combined {
     pub fn paper() -> Combined {
         Combined::new(CombinedConfig::default())
     }
+
+    /// The geometry this predictor was built with.
+    pub fn config(&self) -> CombinedConfig {
+        CombinedConfig {
+            selector_entries: self.selector.len(),
+            gshare_entries: self.gshare.table.len(),
+            history_bits: self.gshare.history_bits,
+            bimodal_entries: self.bimodal.table.len(),
+        }
+    }
+
+    /// Raw predictor state for the snapshot codec: every 2-bit counter
+    /// table (values 0..=3), the global history, and the accuracy
+    /// counters of the tournament plus both components.
+    pub(crate) fn raw_state(&self) -> CombinedState {
+        CombinedState {
+            selector: self.selector.iter().map(|c| c.0).collect(),
+            gshare: self.gshare.table.iter().map(|c| c.0).collect(),
+            bimodal: self.bimodal.table.iter().map(|c| c.0).collect(),
+            history: self.gshare.history,
+            stats: self.stats,
+            gshare_stats: self.gshare.stats,
+            bimodal_stats: self.bimodal.stats,
+        }
+    }
+
+    /// Restores state captured by [`Combined::raw_state`].
+    pub(crate) fn restore_state(&mut self, s: &CombinedState) -> Result<(), String> {
+        if s.selector.len() != self.selector.len()
+            || s.gshare.len() != self.gshare.table.len()
+            || s.bimodal.len() != self.bimodal.table.len()
+        {
+            return Err(format!(
+                "predictor snapshot geometry {}/{}/{} does not match {}/{}/{}",
+                s.selector.len(),
+                s.gshare.len(),
+                s.bimodal.len(),
+                self.selector.len(),
+                self.gshare.table.len(),
+                self.bimodal.table.len()
+            ));
+        }
+        let load = |dst: &mut [TwoBit], src: &[u8]| -> Result<(), String> {
+            for (d, &v) in dst.iter_mut().zip(src) {
+                if v > 3 {
+                    return Err(format!("2-bit counter value {v} out of range"));
+                }
+                d.0 = v;
+            }
+            Ok(())
+        };
+        load(&mut self.selector, &s.selector)?;
+        load(&mut self.gshare.table, &s.gshare)?;
+        load(&mut self.bimodal.table, &s.bimodal)?;
+        self.gshare.history = s.history;
+        self.stats = s.stats;
+        self.gshare.stats = s.gshare_stats;
+        self.bimodal.stats = s.bimodal_stats;
+        Ok(())
+    }
+}
+
+/// Raw [`Combined`] state moved in and out by the snapshot codec
+/// (`snapshot.rs`); one byte per 2-bit counter, packed on encode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct CombinedState {
+    pub(crate) selector: Vec<u8>,
+    pub(crate) gshare: Vec<u8>,
+    pub(crate) bimodal: Vec<u8>,
+    pub(crate) history: u64,
+    pub(crate) stats: PredictorStats,
+    pub(crate) gshare_stats: PredictorStats,
+    pub(crate) bimodal_stats: PredictorStats,
 }
 
 impl BranchPredictor for Combined {

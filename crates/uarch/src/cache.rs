@@ -193,6 +193,66 @@ impl Cache {
     pub fn config(&self) -> CacheConfig {
         self.cfg
     }
+
+    /// Per-slot (`set * ways + way`) LRU ranks: 0 for an invalid way,
+    /// 1..=ways for valid ways in ascending recency (1 = LRU). Ranks
+    /// are the *normalised* form of the internal stamps — replacement
+    /// compares stamps only within a set, so relative order is all a
+    /// snapshot must preserve (see `snapshot.rs`).
+    pub(crate) fn lru_ranks(&self) -> Vec<u8> {
+        let ways = self.cfg.ways;
+        let mut ranks = vec![0u8; self.tags.len()];
+        let mut order: Vec<usize> = Vec::with_capacity(ways);
+        for set in 0..self.cfg.sets() {
+            let base = set * ways;
+            order.clear();
+            order.extend((0..ways).filter(|&w| self.tags[base + w] != u64::MAX));
+            order.sort_by_key(|&w| self.stamps[base + w]);
+            for (r, &w) in order.iter().enumerate() {
+                ranks[base + w] = u8::try_from(r + 1).expect("ways fit u8");
+            }
+        }
+        ranks
+    }
+
+    /// Per-slot tags (`u64::MAX` = invalid way).
+    pub(crate) fn tag_slots(&self) -> &[u64] {
+        &self.tags
+    }
+
+    /// Restores tag/LRU/counter state captured by [`Cache::lru_ranks`]
+    /// and [`Cache::tag_slots`]. Stamps become the ranks themselves and
+    /// the tick restarts just above them — future accesses are stamped
+    /// strictly newer, so every subsequent replacement decision is
+    /// identical to the pre-snapshot machine's (stamps are only ever
+    /// compared within a set).
+    pub(crate) fn restore_state(
+        &mut self,
+        tags: &[u64],
+        ranks: &[u8],
+        stats: CacheStats,
+    ) -> Result<(), String> {
+        if tags.len() != self.tags.len() || ranks.len() != self.tags.len() {
+            return Err(format!(
+                "cache snapshot has {} slots, geometry needs {}",
+                tags.len(),
+                self.tags.len()
+            ));
+        }
+        for (slot, (&t, &r)) in tags.iter().zip(ranks).enumerate() {
+            let valid = t != u64::MAX;
+            if valid != (r > 0) || usize::from(r) > self.cfg.ways {
+                return Err(format!("inconsistent snapshot slot {slot} (tag {t:#x}, rank {r})"));
+            }
+        }
+        self.tags.copy_from_slice(tags);
+        for (s, &r) in self.stamps.iter_mut().zip(ranks) {
+            *s = u64::from(r);
+        }
+        self.tick = self.cfg.ways as u64;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 /// Which level served an access (for statistics and tests).
@@ -322,6 +382,16 @@ impl MemHierarchy {
     /// The configuration used to build the hierarchy.
     pub fn config(&self) -> HierarchyConfig {
         self.cfg
+    }
+
+    /// The three caches, for the snapshot codec.
+    pub(crate) fn caches(&self) -> [&Cache; 3] {
+        [&self.l1i, &self.l1d, &self.l2]
+    }
+
+    /// Mutable access to the three caches, for snapshot restore.
+    pub(crate) fn caches_mut(&mut self) -> [&mut Cache; 3] {
+        [&mut self.l1i, &mut self.l1d, &mut self.l2]
     }
 }
 

@@ -15,6 +15,9 @@
 //! * [`fu`] — functional-unit pools with per-class latencies and
 //!   pipelining behaviour (divides are unpipelined), plus the shared
 //!   D-cache port meter.
+//! * [`snapshot`] — compact versioned codecs for cache/predictor state
+//!   ([`UarchSnapshot`]), the substrate of the continuous-warming
+//!   sampling pipeline (DESIGN.md §9).
 //!
 //! Everything is deterministic and has no dependency besides `dca-isa`.
 
@@ -24,7 +27,9 @@
 pub mod bpred;
 pub mod cache;
 pub mod fu;
+pub mod snapshot;
 
 pub use bpred::{Bimodal, BranchPredictor, Combined, CombinedConfig, Gshare, PredictorStats};
 pub use cache::{Cache, CacheConfig, CacheStats, HierarchyConfig, MemHierarchy, MemLevel};
 pub use fu::{latency_of, FuKind, FuPool, FuPoolConfig, PortMeter};
+pub use snapshot::{SnapshotError, UarchSnapshot, UARCH_SNAPSHOT_VERSION};

@@ -1,0 +1,549 @@
+//! Microarchitectural snapshots: cache + branch-predictor state with a
+//! compact, versioned, checksummed byte codec.
+//!
+//! The sampled-simulation harness (DESIGN.md §9) carries live cache and
+//! predictor models through the functional fast-forward (SMARTS-style
+//! *continuous warming*) and attaches one [`UarchSnapshot`] to every
+//! interpreter checkpoint; the timing simulator later restores it so a
+//! measured interval starts from steady-state microarchitectural state
+//! instead of paying a detached-warming transient.
+//!
+//! ## What is captured
+//!
+//! * per cache (L1I, L1D, L2): geometry, hit/miss counters, per-way
+//!   tags and the LRU order of every set;
+//! * the combined predictor: geometry, every 2-bit counter (selector,
+//!   gshare, bimodal), the global history and all accuracy counters.
+//!
+//! ## Codec layout (little-endian)
+//!
+//! ```text
+//! u32   UARCH_SNAPSHOT_VERSION
+//! 3 × cache section (L1I, L1D, L2):
+//!   u32 size_bytes, u32 ways, u32 line_bytes
+//!   u64 accesses, u64 hits
+//!   u8  rank per slot (set-major; 0 = invalid, 1..=ways = LRU→MRU)
+//!   u64 tag per *valid* slot, in slot order
+//! predictor section:
+//!   u32 selector_entries, u32 gshare_entries, u32 history_bits,
+//!   u32 bimodal_entries
+//!   u64 global history
+//!   3 × (u64 lookups, u64 correct)   combined, gshare, bimodal
+//!   2-bit counters packed 4 per byte: selector, gshare, bimodal
+//! u64   FNV-1a checksum of every preceding byte
+//! ```
+//!
+//! LRU state is serialized as per-set **ranks**, not raw stamps:
+//! replacement only ever compares stamps within one set, so the rank
+//! order is the entire observable LRU state — 1 byte per way instead
+//! of 8, and the restored machine behaves bit-identically (pinned by
+//! `tests/warming_equivalence.rs` at the simulator level). The
+//! trailing whole-snapshot checksum means any single-byte corruption
+//! of an encoded snapshot is rejected as a unit (pinned by
+//! `tests/prop_snapshot.rs`).
+
+use crate::bpred::{Combined, CombinedConfig, CombinedState};
+use crate::cache::{Cache, CacheConfig, CacheStats, MemHierarchy};
+use crate::PredictorStats;
+
+/// Version of the snapshot codec *and* of the captured state's
+/// semantics. Bump whenever the byte layout changes or when the cache /
+/// predictor models change such that an old snapshot would no longer
+/// reproduce the current models' behaviour.
+pub const UARCH_SNAPSHOT_VERSION: u32 = 1;
+
+/// Malformed or incompatible snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "uarch snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn err(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError(msg.into())
+}
+
+/// FNV-1a 64-bit hash (the snapshot's own checksum; independent of the
+/// store's whole-file checksum so a snapshot blob is self-validating
+/// wherever it travels).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cache's captured state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CacheSnap {
+    cfg: CacheConfig,
+    stats: CacheStats,
+    /// Per-slot LRU rank (0 = invalid way).
+    ranks: Vec<u8>,
+    /// Per-slot tag (`u64::MAX` on invalid ways).
+    tags: Vec<u64>,
+}
+
+impl CacheSnap {
+    fn capture(c: &Cache) -> CacheSnap {
+        CacheSnap {
+            cfg: c.config(),
+            stats: c.stats(),
+            ranks: c.lru_ranks(),
+            tags: c.tag_slots().to_vec(),
+        }
+    }
+
+    fn restore(&self, c: &mut Cache) -> Result<(), SnapshotError> {
+        if c.config() != self.cfg {
+            return Err(err(format!(
+                "cache geometry mismatch: snapshot {:?}, machine {:?}",
+                self.cfg,
+                c.config()
+            )));
+        }
+        c.restore_state(&self.tags, &self.ranks, self.stats)
+            .map_err(err)
+    }
+}
+
+/// A complete microarchitectural snapshot: the three caches of a
+/// [`MemHierarchy`] plus a [`Combined`] branch predictor.
+///
+/// Captured either from a live [`Simulator`] (after inline warming) or
+/// by the continuous-warming hook during functional fast-forward;
+/// restored into a simulator resumed from the matching architectural
+/// checkpoint.
+///
+/// [`Simulator`]: ../dca_sim/struct.Simulator.html
+#[derive(Clone, Debug, PartialEq)]
+pub struct UarchSnapshot {
+    caches: [CacheSnap; 3],
+    bpred_cfg: CombinedConfig,
+    bpred: CombinedState,
+}
+
+impl UarchSnapshot {
+    /// Captures the current state of `hierarchy` and `bpred`.
+    pub fn capture(hierarchy: &MemHierarchy, bpred: &Combined) -> UarchSnapshot {
+        let [l1i, l1d, l2] = hierarchy.caches();
+        UarchSnapshot {
+            caches: [
+                CacheSnap::capture(l1i),
+                CacheSnap::capture(l1d),
+                CacheSnap::capture(l2),
+            ],
+            bpred_cfg: bpred.config(),
+            bpred: bpred.raw_state(),
+        }
+    }
+
+    /// Restores the snapshot into `hierarchy` and `bpred`.
+    ///
+    /// # Errors
+    ///
+    /// Fails (without modifying anything) when the snapshot's cache or
+    /// predictor geometry does not match the targets'.
+    pub fn restore(
+        &self,
+        hierarchy: &mut MemHierarchy,
+        bpred: &mut Combined,
+    ) -> Result<(), SnapshotError> {
+        // Validate everything up front so a mismatch never leaves the
+        // machine half-restored.
+        let checks = hierarchy.caches();
+        for (snap, cache) in self.caches.iter().zip(checks) {
+            if cache.config() != snap.cfg {
+                return Err(err(format!(
+                    "cache geometry mismatch: snapshot {:?}, machine {:?}",
+                    snap.cfg,
+                    cache.config()
+                )));
+            }
+        }
+        if bpred.config() != self.bpred_cfg {
+            return Err(err(format!(
+                "predictor geometry mismatch: snapshot {:?}, machine {:?}",
+                self.bpred_cfg,
+                bpred.config()
+            )));
+        }
+        for (snap, cache) in self.caches.iter().zip(hierarchy.caches_mut()) {
+            snap.restore(cache)?;
+        }
+        bpred.restore_state(&self.bpred).map_err(err)
+    }
+
+    /// Cache and predictor counters at capture time, in the order
+    /// `(l1i, l1d, l2, bpred)` — what a simulator subtracts as its
+    /// warming baseline after a restore.
+    pub fn counters(&self) -> (CacheStats, CacheStats, CacheStats, PredictorStats) {
+        (
+            self.caches[0].stats,
+            self.caches[1].stats,
+            self.caches[2].stats,
+            self.bpred.stats,
+        )
+    }
+
+    /// Serializes the snapshot (see the module docs for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_size_hint());
+        out.extend_from_slice(&UARCH_SNAPSHOT_VERSION.to_le_bytes());
+        for c in &self.caches {
+            out.extend_from_slice(&(c.cfg.size_bytes as u32).to_le_bytes());
+            out.extend_from_slice(&(c.cfg.ways as u32).to_le_bytes());
+            out.extend_from_slice(&(c.cfg.line_bytes as u32).to_le_bytes());
+            out.extend_from_slice(&c.stats.accesses.to_le_bytes());
+            out.extend_from_slice(&c.stats.hits.to_le_bytes());
+            out.extend_from_slice(&c.ranks);
+            for (slot, &tag) in c.tags.iter().enumerate() {
+                if c.ranks[slot] > 0 {
+                    out.extend_from_slice(&tag.to_le_bytes());
+                }
+            }
+        }
+        let b = &self.bpred_cfg;
+        out.extend_from_slice(&(b.selector_entries as u32).to_le_bytes());
+        out.extend_from_slice(&(b.gshare_entries as u32).to_le_bytes());
+        out.extend_from_slice(&b.history_bits.to_le_bytes());
+        out.extend_from_slice(&(b.bimodal_entries as u32).to_le_bytes());
+        out.extend_from_slice(&self.bpred.history.to_le_bytes());
+        for s in [
+            self.bpred.stats,
+            self.bpred.gshare_stats,
+            self.bpred.bimodal_stats,
+        ] {
+            out.extend_from_slice(&s.lookups.to_le_bytes());
+            out.extend_from_slice(&s.correct.to_le_bytes());
+        }
+        for table in [&self.bpred.selector, &self.bpred.gshare, &self.bpred.bimodal] {
+            out.extend(pack_two_bit(table));
+        }
+        let sum = fnv64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    fn encoded_size_hint(&self) -> usize {
+        let cache_bytes: usize = self
+            .caches
+            .iter()
+            .map(|c| 12 + 16 + c.ranks.len() * 9)
+            .sum();
+        let bpred_bytes = 16
+            + 8
+            + 48
+            + (self.bpred.selector.len() + self.bpred.gshare.len() + self.bpred.bimodal.len())
+                / 4
+            + 3;
+        4 + cache_bytes + bpred_bytes + 8
+    }
+
+    /// Deserializes a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects, as a unit: a wrong codec version, any checksum mismatch
+    /// (every single-byte corruption of an encoded snapshot is caught),
+    /// truncation, trailing bytes, degenerate geometry, out-of-range
+    /// ranks and invalid tags.
+    pub fn decode(bytes: &[u8]) -> Result<UarchSnapshot, SnapshotError> {
+        if bytes.len() < 4 + 8 {
+            return Err(err("shorter than version + checksum"));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let expect = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let actual = fnv64(body);
+        if expect != actual {
+            return Err(err(format!(
+                "checksum mismatch (stored {expect:#018x}, computed {actual:#018x})"
+            )));
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        let version = r.u32()?;
+        if version != UARCH_SNAPSHOT_VERSION {
+            return Err(err(format!(
+                "snapshot codec version {version}, current is {UARCH_SNAPSHOT_VERSION}"
+            )));
+        }
+        let mut caches = Vec::with_capacity(3);
+        for _ in 0..3 {
+            caches.push(Self::decode_cache(&mut r)?);
+        }
+        let bpred_cfg = CombinedConfig {
+            selector_entries: r.u32()? as usize,
+            gshare_entries: r.u32()? as usize,
+            history_bits: r.u32()?,
+            bimodal_entries: r.u32()? as usize,
+        };
+        for (name, n) in [
+            ("selector", bpred_cfg.selector_entries),
+            ("gshare", bpred_cfg.gshare_entries),
+            ("bimodal", bpred_cfg.bimodal_entries),
+        ] {
+            if n == 0 || !n.is_power_of_two() {
+                return Err(err(format!("{name} table size {n} is not a power of two")));
+            }
+        }
+        if bpred_cfg.history_bits >= 64 {
+            return Err(err("history length exceeds 63 bits"));
+        }
+        let history = r.u64()?;
+        let mut stats = [PredictorStats::default(); 3];
+        for s in &mut stats {
+            s.lookups = r.u64()?;
+            s.correct = r.u64()?;
+        }
+        let selector = unpack_two_bit(&mut r, bpred_cfg.selector_entries)?;
+        let gshare = unpack_two_bit(&mut r, bpred_cfg.gshare_entries)?;
+        let bimodal = unpack_two_bit(&mut r, bpred_cfg.bimodal_entries)?;
+        r.finish()?;
+        Ok(UarchSnapshot {
+            caches: caches.try_into().expect("three caches decoded"),
+            bpred_cfg,
+            bpred: CombinedState {
+                selector,
+                gshare,
+                bimodal,
+                history,
+                stats: stats[0],
+                gshare_stats: stats[1],
+                bimodal_stats: stats[2],
+            },
+        })
+    }
+
+    fn decode_cache(r: &mut Reader<'_>) -> Result<CacheSnap, SnapshotError> {
+        let cfg = CacheConfig {
+            size_bytes: r.u32()? as usize,
+            ways: r.u32()? as usize,
+            line_bytes: r.u32()? as usize,
+        };
+        if cfg.ways == 0
+            || cfg.line_bytes == 0
+            || !cfg.line_bytes.is_power_of_two()
+            || cfg.size_bytes == 0
+            || !cfg.size_bytes.is_multiple_of(cfg.ways * cfg.line_bytes)
+            || !(cfg.size_bytes / (cfg.ways * cfg.line_bytes)).is_power_of_two()
+        {
+            return Err(err(format!("degenerate cache geometry {cfg:?}")));
+        }
+        let stats = CacheStats {
+            accesses: r.u64()?,
+            hits: r.u64()?,
+        };
+        if stats.hits > stats.accesses {
+            return Err(err("more hits than accesses"));
+        }
+        let slots = cfg.size_bytes / cfg.line_bytes;
+        let ranks = r.bytes(slots)?.to_vec();
+        if ranks.iter().any(|&rk| usize::from(rk) > cfg.ways) {
+            return Err(err("LRU rank exceeds associativity"));
+        }
+        let mut tags = vec![u64::MAX; slots];
+        for (slot, tag) in tags.iter_mut().enumerate() {
+            if ranks[slot] > 0 {
+                let t = r.u64()?;
+                if t == u64::MAX {
+                    return Err(err("valid way carries the invalid-tag sentinel"));
+                }
+                *tag = t;
+            }
+        }
+        Ok(CacheSnap {
+            cfg,
+            stats,
+            ranks,
+            tags,
+        })
+    }
+}
+
+/// Packs 2-bit counter values (0..=3 each) four per byte,
+/// little-end-first within the byte.
+fn pack_two_bit(values: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; values.len().div_ceil(4)];
+    for (i, &v) in values.iter().enumerate() {
+        debug_assert!(v <= 3, "2-bit counter out of range");
+        out[i / 4] |= (v & 3) << ((i % 4) * 2);
+    }
+    out
+}
+
+fn unpack_two_bit(r: &mut Reader<'_>, n: usize) -> Result<Vec<u8>, SnapshotError> {
+    let packed = r.bytes(n.div_ceil(4))?;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push((packed[i / 4] >> ((i % 4) * 2)) & 3);
+    }
+    // Unused trailing lanes of the last byte must be zero, or two
+    // distinct byte strings could decode to the same snapshot and the
+    // re-encode-identical property would not hold.
+    if !n.is_multiple_of(4) {
+        let last = packed[n.div_ceil(4) - 1];
+        if last >> ((n % 4) * 2) != 0 {
+            return Err(err("nonzero padding in packed counter table"));
+        }
+    }
+    Ok(out)
+}
+
+/// Little-endian reader over the snapshot body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| err("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(err("snapshot truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn finish(self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(err("trailing bytes in snapshot"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchPredictor, HierarchyConfig};
+
+    fn tiny_hierarchy() -> MemHierarchy {
+        MemHierarchy::new(HierarchyConfig {
+            l1i: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 32 },
+            l1d: CacheConfig { size_bytes: 256, ways: 2, line_bytes: 32 },
+            l2: CacheConfig { size_bytes: 1024, ways: 4, line_bytes: 64 },
+            ..HierarchyConfig::default()
+        })
+    }
+
+    fn tiny_bpred() -> Combined {
+        Combined::new(CombinedConfig {
+            selector_entries: 16,
+            gshare_entries: 64,
+            history_bits: 6,
+            bimodal_entries: 16,
+        })
+    }
+
+    fn warm_pair() -> (MemHierarchy, Combined) {
+        let mut h = tiny_hierarchy();
+        let mut p = tiny_bpred();
+        for i in 0..200u64 {
+            h.access_inst(i * 4 % 4096);
+            h.access_data(i * 24 % 8192);
+            p.update(i * 4 % 256, i % 3 == 0);
+        }
+        (h, p)
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let (h, p) = warm_pair();
+        let snap = UarchSnapshot::capture(&h, &p);
+        let bytes = snap.encode();
+        let back = UarchSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.encode(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn restore_reproduces_future_behaviour() {
+        let (h, p) = warm_pair();
+        let snap = UarchSnapshot::capture(&h, &p);
+        let mut h2 = tiny_hierarchy();
+        let mut p2 = tiny_bpred();
+        snap.restore(&mut h2, &mut p2).unwrap();
+        // Same counters immediately after restore…
+        assert_eq!(h2.l1d_stats(), h.l1d_stats());
+        assert_eq!(p2.stats(), p.stats());
+        // …and identical behaviour afterwards, including LRU victim
+        // choice and predictor training.
+        let (mut ha, mut hb) = (h, h2);
+        let (mut pa, mut pb) = (p, p2);
+        for i in 0..400u64 {
+            let a = i.wrapping_mul(0x9e37_79b9) % 16384;
+            assert_eq!(ha.access_data(a), hb.access_data(a), "access {i}");
+            assert_eq!(ha.access_inst(a / 2), hb.access_inst(a / 2));
+            let pc = (i % 64) * 4;
+            assert_eq!(pa.predict(pc), pb.predict(pc), "predict {i}");
+            pa.update(pc, i % 5 < 2);
+            pb.update(pc, i % 5 < 2);
+        }
+        assert_eq!(ha.l1d_stats(), hb.l1d_stats());
+        assert_eq!(ha.l2_stats(), hb.l2_stats());
+        assert_eq!(pa.stats(), pb.stats());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        let (h, p) = warm_pair();
+        let snap = UarchSnapshot::capture(&h, &p);
+        let mut other = MemHierarchy::new(HierarchyConfig::default());
+        let mut p2 = tiny_bpred();
+        assert!(snap.restore(&mut other, &mut p2).is_err());
+        let mut h2 = tiny_hierarchy();
+        let mut big = Combined::paper();
+        assert!(snap.restore(&mut h2, &mut big).is_err());
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected() {
+        let (h, p) = warm_pair();
+        let bytes = UarchSnapshot::capture(&h, &p).encode();
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x01;
+            assert!(
+                UarchSnapshot::decode(&flipped).is_err(),
+                "flip at byte {pos}/{} went undetected",
+                bytes.len()
+            );
+        }
+        assert!(UarchSnapshot::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(UarchSnapshot::decode(&long).is_err());
+    }
+
+    #[test]
+    fn wrong_codec_version_is_rejected() {
+        let (h, p) = warm_pair();
+        let mut bytes = UarchSnapshot::capture(&h, &p).encode();
+        bytes[0..4].copy_from_slice(&(UARCH_SNAPSHOT_VERSION + 1).to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv64(&bytes[..body_len]);
+        let (body, trailer) = bytes.split_at_mut(body_len);
+        let _ = body;
+        trailer.copy_from_slice(&sum.to_le_bytes());
+        let e = UarchSnapshot::decode(&bytes).unwrap_err();
+        assert!(e.to_string().contains("version"), "{e}");
+    }
+}

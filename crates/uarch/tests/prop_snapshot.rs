@@ -1,0 +1,109 @@
+//! Snapshot-codec robustness (continuous-warming satellite): arbitrary
+//! cache/predictor states encode → decode **bit-identically** (the
+//! decoded snapshot re-encodes to the same bytes, and restoring it
+//! reproduces the captured state exactly), and **every single-byte
+//! flip** of an encoded snapshot is rejected as a unit — the codec
+//! carries its own whole-snapshot checksum, so a blob is
+//! self-validating wherever it travels (store files, caches, the
+//! network of a future distributed harness).
+
+use dca_uarch::{
+    BranchPredictor, CacheConfig, Combined, CombinedConfig, HierarchyConfig, MemHierarchy,
+    UarchSnapshot,
+};
+use proptest::prelude::*;
+
+/// Arbitrary small-but-varied machine front ends: three cache
+/// geometries and a predictor geometry drawn from power-of-two menus.
+fn arb_geometry() -> impl Strategy<Value = (HierarchyConfig, CombinedConfig)> {
+    (
+        (0usize..3, 1usize..4, 0usize..2),
+        (0usize..3, 0usize..3, 1u32..9, 0usize..3),
+    )
+        .prop_map(|((sets_pick, ways, line_pick), (sel, gsh, hist, bim))| {
+            let sets = [4usize, 8, 16][sets_pick];
+            let line = [16usize, 32][line_pick];
+            let mk = |sets: usize, ways: usize, line: usize| CacheConfig {
+                size_bytes: sets * ways * line,
+                ways,
+                line_bytes: line,
+            };
+            let h = HierarchyConfig {
+                l1i: mk(sets, ways, line),
+                l1d: mk(sets, ways, line),
+                l2: mk(sets * 2, ways, line * 2),
+                ..HierarchyConfig::default()
+            };
+            let b = CombinedConfig {
+                selector_entries: [8usize, 16, 32][sel],
+                gshare_entries: [32usize, 64, 128][gsh],
+                history_bits: hist,
+                bimodal_entries: [8usize, 16, 32][bim],
+            };
+            (h, b)
+        })
+}
+
+/// A warm state: the geometry plus a random access/branch history
+/// driven through live models.
+fn arb_state() -> impl Strategy<Value = (MemHierarchy, Combined)> {
+    (
+        arb_geometry(),
+        proptest::collection::vec((0u64..16_384, any::<bool>()), 0..400),
+    )
+        .prop_map(|((h_cfg, b_cfg), trace)| {
+            let mut h = MemHierarchy::new(h_cfg);
+            let mut p = Combined::new(b_cfg);
+            for (i, &(addr, taken)) in trace.iter().enumerate() {
+                h.access_inst(addr & !3);
+                if i % 3 != 0 {
+                    h.access_data(addr.wrapping_mul(37) & 0x3fff);
+                }
+                if i % 2 == 0 {
+                    p.update(addr & !3, taken);
+                }
+            }
+            (h, p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode → decode → re-encode is byte-identical, and a restore
+    /// into a fresh machine reproduces the captured state (captured
+    /// again, it yields the same snapshot — counters, tags, LRU order,
+    /// history, every 2-bit counter).
+    #[test]
+    fn snapshots_round_trip_bit_identically(state in arb_state()) {
+        let (h, p) = state;
+        let snap = UarchSnapshot::capture(&h, &p);
+        let bytes = snap.encode();
+        let back = UarchSnapshot::decode(&bytes).expect("decode");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.encode(), bytes.clone());
+
+        let mut h2 = MemHierarchy::new(h.config());
+        let mut p2 = Combined::new(p.config());
+        back.restore(&mut h2, &mut p2).expect("restore");
+        prop_assert_eq!(UarchSnapshot::capture(&h2, &p2), snap);
+    }
+
+    /// Every single-byte flip of an encoded snapshot is rejected.
+    #[test]
+    fn every_byte_flip_is_rejected(state in arb_state(), bit in 0u8..8) {
+        let (h, p) = state;
+        let bytes = UarchSnapshot::capture(&h, &p).encode();
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 1 << (bit % 8);
+            prop_assert!(
+                UarchSnapshot::decode(&flipped).is_err(),
+                "flip of bit {} at byte {}/{} went undetected",
+                bit % 8,
+                pos,
+                bytes.len()
+            );
+        }
+    }
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Cold-versus-warm-store benchmark of the sampling quartet (ISSUE 3
-# acceptance): runs `figures sampling --scale paper` twice against the
-# same store directory — first cold (fresh directory), then warm — and
-# records both wall-clocks in BENCH_store.json.
+# acceptance, extended by the continuous-warming work): runs
+# `figures sampling --scale paper` three times against the same store
+# directory — cold (fresh directory), then twice warm — and records
+# the cold/warm wall-clocks in BENCH_store.json.
 #
 # Asserts that the warm run (a) executed zero fast-forward
-# instructions, (b) produced a byte-identical results/sampling.md, and
-# (c) was at least MIN_SPEEDUP× faster than the cold run.
+# instructions, (b) produced a byte-identical results/sampling.md —
+# including across the two back-to-back warm invocations (the
+# continuous-warming paper run must be stable under a warm store) —
+# and (c) was at least MIN_SPEEDUP× faster than the cold run.
 #
 # Usage: scripts/bench_store.sh [output.json]
 #   FIGURES_BIN  figures binary       (default target/release/figures)
@@ -37,13 +40,28 @@ run() { # label
 
 COLD_NS=$(run cold)
 WARM_NS=$(run warm)
+WARM2_NS=$(run warm2)
 
-# (b) byte-identical measurement report.
+# (b) byte-identical measurement report — cold vs warm, and across two
+# back-to-back warm-store invocations.
 if ! cmp -s "$TMP/cold.md" "$TMP/warm.md"; then
   echo "FAIL: results/sampling.md differs between cold and warm runs" >&2
   diff "$TMP/cold.md" "$TMP/warm.md" >&2 || true
   exit 1
 fi
+if ! cmp -s "$TMP/warm.md" "$TMP/warm2.md"; then
+  echo "FAIL: results/sampling.md differs between back-to-back warm runs" >&2
+  diff "$TMP/warm.md" "$TMP/warm2.md" >&2 || true
+  exit 1
+fi
+
+# The sampling summary must carry the detached-vs-continuous warming
+# transient delta (cold-vs-continuous bias measurement, DESIGN.md §9).
+if ! grep -q '"warming_transient"' "$TMP/warm.json"; then
+  echo "FAIL: BENCH_sampling summary lacks the warming_transient block" >&2
+  exit 1
+fi
+TRANSIENT=$(grep -o '"warming_transient": {[^}]*}' "$TMP/warm.json" | head -1)
 
 # (a) zero fast-forward instructions on the warm run.
 WARM_FF=$(grep -o '"executed_insts": [0-9]*' "$TMP/warm.json" | head -1 | grep -o '[0-9]*$')
@@ -57,16 +75,20 @@ fi
 read -r COLD_S WARM_S SPEEDUP OK <<<"$(awk -v c="$COLD_NS" -v w="$WARM_NS" -v m="$MIN_SPEEDUP" \
   'BEGIN { cs=c/1e9; ws=w/1e9; sp=cs/(ws>0?ws:1e-9); printf "%.3f %.3f %.1f %d", cs, ws, sp, (sp>=m) }')"
 
+WARM2_S=$(awk -v w="$WARM2_NS" 'BEGIN { printf "%.3f", w/1e9 }')
 cat >"$OUT" <<JSON
 {
   "benchmark": "sampling quartet (figures sampling --scale paper)",
   "cold_secs": $COLD_S,
   "warm_secs": $WARM_S,
+  "warm2_secs": $WARM2_S,
   "speedup_warm_vs_cold": $SPEEDUP,
   "min_speedup_required": $MIN_SPEEDUP,
   "cold_fast_forward_insts": $COLD_FF,
   "warm_fast_forward_insts": $WARM_FF,
-  "report_byte_identical": true
+  "report_byte_identical": true,
+  "warm_runs_byte_identical": true,
+  $TRANSIENT
 }
 JSON
 cat "$OUT"
