@@ -33,7 +33,7 @@ USAGE:
     dca slices  [--bench NAME | --kernel NAME | --asm FILE]
     dca list
     dca figures [ID ...]          (no ID: regenerate everything)
-    dca store   stat|verify|gc [--store-dir DIR]
+    dca store   stat|verify|gc|fsck [--repair] [--store-dir DIR]
 
 `--scale paper` runs the paper's 100M-instruction window per benchmark
 via checkpointed sampled simulation (compare/figures only; tune with
@@ -51,9 +51,14 @@ regenerates the sampling methodology report.
 Sampled runs persist checkpoint streams and per-interval results in a
 store directory (default .dca-store; --store-dir DIR overrides,
 --no-store disables), so repeated invocations skip the fast-forward
-and finished intervals. `dca store stat` summarises the directory,
-`verify` checksums every file, `gc` deletes corrupt or stale-version
-entries.
+and finished intervals. Shards carry per-shard checksums, writes are
+temp+atomic-rename, and concurrent processes coordinate through
+advisory shard locks, so several runs may share one --store-dir.
+`dca store stat` summarises the directory, `verify` checksums every
+shard (exit 0 clean, 1 corrupt/stale, 2 I/O error), `gc` deletes
+corrupt or stale-version entries (skipping shards a live writer
+holds locked), `fsck` additionally sweeps orphaned temp files and
+dead-owner locks (--repair also deletes damaged shards).
 
 Machines: base | clustered | one-bus | ub
 Run `dca list` for benchmark and scheme names."
@@ -71,7 +76,17 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(args),
         "slices" => cmd_slices(args),
         "list" => cmd_list(),
-        "store" => cmd_store(args),
+        // `store` owns its exit code (verify: 0 clean, 1 corrupt,
+        // 2 I/O error) rather than the shared ok/fail mapping.
+        "store" => {
+            return match cmd_store(args) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "figures" => {
             // Delegate to the bench harness (same artefacts as the
             // fig*/table*/ablate_* binaries).
@@ -278,8 +293,37 @@ fn cmd_slices(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_store(args: Vec<String>) -> Result<(), String> {
-    use dca_store::{FileStatus, Store};
+/// Prints one `verify`/`fsck`-style status line and returns the exit
+/// code the report implies (0 clean, 1 corrupt/stale, 2 I/O error).
+fn print_file_report(r: &dca_store::FileReport) -> u8 {
+    use dca_store::FileStatus;
+    let name = r
+        .path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    match &r.status {
+        FileStatus::Ok { records } => {
+            println!("ok       {name} ({} bytes, {records} records)", r.bytes);
+            0
+        }
+        FileStatus::StaleVersion { what, found, expected } => {
+            println!("stale    {name} ({what} version {found}, current {expected})");
+            1
+        }
+        FileStatus::Corrupt { reason } => {
+            println!("corrupt  {name} ({reason})");
+            1
+        }
+        FileStatus::IoError { reason } => {
+            println!("io-error {name} ({reason})");
+            2
+        }
+    }
+}
+
+fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
+    use dca_store::Store;
 
     let mut flags = Flags(args);
     let dir = match flags.take("--store-dir") {
@@ -292,25 +336,43 @@ fn cmd_store(args: Vec<String>) -> Result<(), String> {
     } else {
         flags.0.remove(0)
     };
+    let repair = flags.0.iter().position(|a| a == "--repair").map(|i| {
+        flags.0.remove(i);
+    });
     flags.finish("store")?;
+    if repair.is_some() && sub != "fsck" {
+        return Err("--repair only applies to `dca store fsck`".into());
+    }
     let store = Store::open(&dir);
     match sub.as_str() {
         "stat" => {
             let s = store.stat();
             println!("store {dir}");
             println!(
-                "  checkpoint streams: {:>4} files, {:>10} bytes",
+                "  checkpoint shards:  {:>4} files, {:>10} bytes",
                 s.checkpoint_files.0, s.checkpoint_files.1
             );
             println!(
-                "  interval results:   {:>4} files, {:>10} bytes",
+                "  result shards:      {:>4} files, {:>10} bytes",
                 s.result_files.0, s.result_files.1
             );
             if s.stale_files > 0 {
-                println!("  stale-version files: {} (run `dca store gc`)", s.stale_files);
+                println!("  stale-version shards: {} (run `dca store gc`)", s.stale_files);
             }
             if s.unreadable_files > 0 {
-                println!("  unreadable files:    {} (run `dca store gc`)", s.unreadable_files);
+                println!("  unreadable shards:  {} (run `dca store gc`)", s.unreadable_files);
+            }
+            if s.legacy_files > 0 {
+                println!(
+                    "  legacy (v2) files:  {} (unmigratable; run `dca store gc`)",
+                    s.legacy_files
+                );
+            }
+            if s.live_locks > 0 {
+                println!("  live shard locks:   {} (writers in flight)", s.live_locks);
+            }
+            if s.stale_locks > 0 {
+                println!("  stale shard locks:  {} (run `dca store fsck`)", s.stale_locks);
             }
             println!(
                 "  versions: interpreter {}, timing model {}, container {}",
@@ -318,40 +380,27 @@ fn cmd_store(args: Vec<String>) -> Result<(), String> {
                 dca_sim::TIMING_VERSION,
                 dca_store::file::FORMAT_VERSION
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "verify" => {
             let reports = store.verify();
             if reports.is_empty() {
                 println!("store {dir}: empty");
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
+            // Full sweep, no first-bad bail; the worst status wins the
+            // exit code (0 clean, 1 corrupt/stale, 2 I/O error).
+            let mut code = 0u8;
             let mut bad = 0u64;
             for r in &reports {
-                let name = r
-                    .path
-                    .file_name()
-                    .map(|n| n.to_string_lossy().into_owned())
-                    .unwrap_or_default();
-                match &r.status {
-                    FileStatus::Ok { records } => {
-                        println!("ok      {name} ({} bytes, {records} records)", r.bytes);
-                    }
-                    FileStatus::StaleVersion { what, found, expected } => {
-                        bad += 1;
-                        println!("stale   {name} ({what} version {found}, current {expected})");
-                    }
-                    FileStatus::Corrupt { reason } => {
-                        bad += 1;
-                        println!("corrupt {name} ({reason})");
-                    }
-                }
+                let c = print_file_report(r);
+                code = code.max(c);
+                bad += u64::from(c != 0);
             }
             if bad > 0 {
-                Err(format!("{bad} file(s) failed verification (run `dca store gc`)"))
-            } else {
-                Ok(())
+                eprintln!("{bad} file(s) failed verification (run `dca store gc`)");
             }
+            Ok(ExitCode::from(code))
         }
         "gc" => {
             let r = store.gc();
@@ -359,9 +408,43 @@ fn cmd_store(args: Vec<String>) -> Result<(), String> {
                 "store {dir}: removed {} file(s), freed {} bytes, kept {}",
                 r.removed, r.freed_bytes, r.kept
             );
-            Ok(())
+            if r.skipped_locked > 0 {
+                println!(
+                    "  skipped {} damaged shard(s) under a live writer lock",
+                    r.skipped_locked
+                );
+            }
+            Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown store subcommand `{other}` (stat|verify|gc)")),
+        "fsck" => {
+            let r = store.fsck(repair.is_some());
+            let mut code = 0u8;
+            for file in &r.reports {
+                code = code.max(print_file_report(file));
+            }
+            println!(
+                "store {dir}: swept {} temp file(s), {} stale lock(s)",
+                r.temps_removed, r.stale_locks_removed
+            );
+            if repair.is_some() {
+                println!("  repaired (removed) {} damaged shard(s)", r.repaired);
+            }
+            if r.skipped_locked > 0 {
+                println!(
+                    "  skipped {} damaged shard(s) under a live writer lock",
+                    r.skipped_locked
+                );
+            }
+            // Repair clears damage, so only I/O errors — or damage
+            // left behind under a live lock — keep a non-zero exit.
+            if repair.is_some() && r.skipped_locked == 0 && code == 1 {
+                code = 0;
+            }
+            Ok(ExitCode::from(code))
+        }
+        other => Err(format!(
+            "unknown store subcommand `{other}` (stat|verify|gc|fsck)"
+        )),
     }
 }
 

@@ -176,7 +176,7 @@ fn store_lifecycle_stat_verify_gc() {
     // Empty store: stat works, verify reports empty.
     let o = dca(&["store", "stat", "--store-dir", store_arg]);
     assert!(o.status.success(), "{}", stderr(&o));
-    assert!(stdout(&o).contains("checkpoint streams"));
+    assert!(stdout(&o).contains("checkpoint shards"));
     let o = dca(&["store", "verify", "--store-dir", store_arg]);
     assert!(o.status.success());
     assert!(stdout(&o).contains("empty"));
@@ -195,32 +195,69 @@ fn store_lifecycle_stat_verify_gc() {
 
     let o = dca(&["store", "verify", "--store-dir", store_arg]);
     assert!(o.status.success(), "{}", stderr(&o));
-    assert!(stdout(&o).contains("ok      ck_compress_smoke"));
+    assert!(stdout(&o).contains("ck_compress_smoke"), "{}", stdout(&o));
 
-    // Corrupt one file: verify fails, gc heals, verify passes again.
-    let victim = std::fs::read_dir(&store_dir)
+    // Corrupt one shard (the v3 layout keeps results under rs/):
+    // verify fails with exit 1 and reports *every* shard — no
+    // first-bad bail — then gc heals and verify passes again.
+    let victim = std::fs::read_dir(store_dir.join("rs"))
         .unwrap()
         .flatten()
         .map(|e| e.path())
         .find(|p| p.extension().is_some_and(|x| x == "dcr"))
-        .expect("result file persisted");
+        .expect("result shard persisted");
     let mut bytes = std::fs::read(&victim).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x55;
     std::fs::write(&victim, bytes).unwrap();
     let o = dca(&["store", "verify", "--store-dir", store_arg]);
-    assert!(!o.status.success());
+    assert_eq!(o.status.code(), Some(1), "corrupt shard exits 1");
     assert!(stdout(&o).contains("corrupt"));
+    assert!(
+        stdout(&o).contains("ck_compress_smoke"),
+        "full sweep still lists the healthy shards: {}",
+        stdout(&o)
+    );
     let o = dca(&["store", "gc", "--store-dir", store_arg]);
     assert!(o.status.success());
     assert!(stdout(&o).contains("removed 1"));
     let o = dca(&["store", "verify", "--store-dir", store_arg]);
-    assert!(o.status.success(), "{}", stderr(&o));
+    assert_eq!(o.status.code(), Some(0), "{}", stderr(&o));
 
-    // Unknown subcommand is a clean error.
+    // An unreadable entry (a directory posing as a shard) is an I/O
+    // error: exit 2, and gc leaves it alone (removal could lose data).
+    let imposter = store_dir.join("rs").join("imposter.dcr");
+    std::fs::create_dir_all(&imposter).unwrap();
+    let o = dca(&["store", "verify", "--store-dir", store_arg]);
+    assert_eq!(o.status.code(), Some(2), "I/O error exits 2");
+    assert!(stdout(&o).contains("io-error"));
+    std::fs::remove_dir_all(&imposter).unwrap();
+
+    // fsck sweeps an orphaned temp and a dead-owner lock.
+    let temp = store_dir.join("ck").join(".tmp-999999999-0-ck_orphan.dcc");
+    std::fs::write(&temp, b"half-written").unwrap();
+    let locks = store_dir.join("locks");
+    std::fs::create_dir_all(&locks).unwrap();
+    std::fs::write(
+        locks.join("ck_orphan.dcc.lock"),
+        b"DCALOCK1 pid=999999999 ts=0 seq=0\n",
+    )
+    .unwrap();
+    let o = dca(&["store", "fsck", "--store-dir", store_arg]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    // The dead-owner temp may already fall to the startup sweep that
+    // `Store::open` runs; either way it is gone and the stale lock is
+    // fsck's to reap.
+    assert!(stdout(&o).contains("1 stale lock(s)"), "{}", stdout(&o));
+    assert!(!temp.exists(), "orphaned temp removed");
+
+    // Unknown subcommand is a clean error; --repair needs fsck.
     let o = dca(&["store", "frobnicate"]);
     assert!(!o.status.success());
     assert!(stderr(&o).contains("unknown store subcommand"));
+    let o = dca(&["store", "verify", "--repair", "--store-dir", store_arg]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--repair only applies"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,23 +1,24 @@
-//! The on-disk container every store entry uses: a fixed header
-//! (magic, format version, payload kind, semantic versions), a
-//! sequence of length-framed records, and a whole-file FNV-1a
-//! checksum. A file that is truncated, bit-flipped or written by a
-//! different format version is rejected as a unit — readers never see
-//! half a stream.
+//! Shared container primitives: magic, format version, file kinds,
+//! header fields, the FNV-1a checksum, and little-endian record
+//! readers. The current (v3) shard layout lives in [`crate::shard`];
+//! this module also keeps the **legacy v2** monolith codec, used only
+//! to migrate pre-shard stores in place (and to verify the migrated
+//! content against the old file's checksum).
+//!
+//! Legacy v2 layout (one flat file per entry, no header checksum, no
+//! per-record checksums):
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"DCASTORE"
-//! 8       4     format_version (u32 LE) — file *structure*
+//! 8       4     format_version (u32 LE) — 2
 //! 12      4     kind           (u32 LE) — 1 checkpoints, 2 results
-//! 16      4     interp_version (u32 LE) — dca_prog::INTERP_VERSION
-//! 20      4     timing_version (u32 LE) — dca_sim::TIMING_VERSION
-//!                                         (0 for checkpoint files)
+//! 16      4     interp_version (u32 LE)
+//! 20      4     timing_version (u32 LE)
 //! 24      …     records: [len: u32 LE][len bytes] …
 //! end-8   8     FNV-1a 64 checksum of every preceding byte (u64 LE)
 //! ```
 
-use std::io::{self, Write as _};
 use std::path::Path;
 
 use crate::StoreError;
@@ -26,19 +27,25 @@ use crate::StoreError;
 pub const MAGIC: [u8; 8] = *b"DCASTORE";
 
 /// Version of the container structure itself (header layout, framing,
-/// checksum) *and* of the typed record layouts inside it. Bump on any
-/// change to this module's byte layout or to a record codec.
+/// checksums) *and* of the typed record layouts inside it. Bump on any
+/// change to the shard byte layout or to a record codec.
 ///
 /// History: 2 — checkpoint streams gained the microarchitectural
 /// snapshot record kind (continuous warming) and result metas the
-/// warming-mode flag; pre-snapshot (v1) files are rejected as a unit
-/// and recomputed.
-pub const FORMAT_VERSION: u32 = 2;
+/// warming-mode flag. 3 — sharded store: per-kind subdirectories,
+/// checksummed 40-byte header with record count, per-record checksums
+/// (v2 monoliths are migrated in place at open; v1 files are rejected
+/// and recomputed).
+pub const FORMAT_VERSION: u32 = 3;
 
-/// Header length in bytes.
-pub const HEADER_BYTES: usize = 24;
+/// The previous (monolithic, flat-directory) container version, still
+/// readable by the migration path.
+pub const LEGACY_FORMAT_VERSION: u32 = 2;
 
-/// Trailing checksum length in bytes.
+/// Legacy v2 header length in bytes.
+pub const LEGACY_HEADER_BYTES: usize = 24;
+
+/// Trailing whole-file checksum length in bytes (same in v2 and v3).
 pub const TRAILER_BYTES: usize = 8;
 
 /// What a store file contains.
@@ -75,6 +82,14 @@ impl FileKind {
             FileKind::Results => "dcr",
         }
     }
+
+    /// The per-kind shard subdirectory under the store root.
+    pub fn dir(self) -> &'static str {
+        match self {
+            FileKind::Checkpoints => "ck",
+            FileKind::Results => "rs",
+        }
+    }
 }
 
 /// Parsed header of a store file.
@@ -91,7 +106,8 @@ pub struct FileHeader {
     pub timing_version: u32,
 }
 
-/// FNV-1a 64-bit hash — the whole-file checksum.
+/// FNV-1a 64-bit hash — the store's checksum everywhere (headers,
+/// records, whole files).
 pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -108,10 +124,12 @@ fn corrupt(path: &Path, reason: impl Into<String>) -> StoreError {
     }
 }
 
-/// Serializes header + records + checksum into one buffer.
-pub fn encode_file(header: &FileHeader, records: &[Vec<u8>]) -> Vec<u8> {
+/// Serializes header + records + checksum in the **legacy v2** layout.
+/// Only the migration path uses this, to re-derive the checksum a v2
+/// file *should* have had for given content.
+pub fn encode_file_v2(header: &FileHeader, records: &[Vec<u8>]) -> Vec<u8> {
     let body: usize = records.iter().map(|r| 4 + r.len()).sum();
-    let mut out = Vec::with_capacity(HEADER_BYTES + body + TRAILER_BYTES);
+    let mut out = Vec::with_capacity(LEGACY_HEADER_BYTES + body + TRAILER_BYTES);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&header.format_version.to_le_bytes());
     out.extend_from_slice(&header.kind.tag().to_le_bytes());
@@ -126,52 +144,17 @@ pub fn encode_file(header: &FileHeader, records: &[Vec<u8>]) -> Vec<u8> {
     out
 }
 
-/// Writes a record file atomically (temp file + rename), returning the
-/// byte count.
+/// Validates and splits a **legacy v2** monolith image: magic,
+/// container version (must be exactly [`LEGACY_FORMAT_VERSION`]),
+/// whole-file checksum, then record framing.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the filesystem.
-pub fn write_records(
-    path: &Path,
-    header: &FileHeader,
-    records: &[Vec<u8>],
-) -> io::Result<u64> {
-    let bytes = encode_file(header, records);
-    let tmp = match (path.parent(), path.file_name()) {
-        (Some(dir), Some(name)) => {
-            let mut n = std::ffi::OsString::from(".tmp-");
-            n.push(name);
-            dir.join(n)
-        }
-        _ => return Err(io::Error::other("store path has no parent/file name")),
-    };
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    Ok(bytes.len() as u64)
-}
-
-/// Validates and splits a whole store file: magic, container version,
-/// checksum, then record framing. Semantic version checks
-/// (interpreter/timing) are the caller's responsibility — a structurally
-/// sound file with stale versions is *stale*, not corrupt.
-///
-/// # Errors
-///
-/// [`StoreError::NotFound`] when the file does not exist;
 /// [`StoreError::Corrupt`] on any structural violation;
-/// [`StoreError::Version`] when the container format is unknown.
-pub fn read_records(path: &Path) -> Result<(FileHeader, Vec<Vec<u8>>), StoreError> {
-    let bytes = match std::fs::read(path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound),
-        Err(e) => return Err(StoreError::Io(e)),
-    };
-    if bytes.len() < HEADER_BYTES + TRAILER_BYTES {
+/// [`StoreError::Version`] when the container format is not v2 (v1
+/// files are unmigratable and get recomputed).
+pub fn read_records_v2(bytes: &[u8], path: &Path) -> Result<(FileHeader, Vec<Vec<u8>>), StoreError> {
+    if bytes.len() < LEGACY_HEADER_BYTES + TRAILER_BYTES {
         return Err(corrupt(path, "shorter than header + checksum"));
     }
     if bytes[..8] != MAGIC {
@@ -188,12 +171,12 @@ pub fn read_records(path: &Path) -> Result<(FileHeader, Vec<Vec<u8>>), StoreErro
     }
     let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
     let format_version = word(8);
-    if format_version != FORMAT_VERSION {
+    if format_version != LEGACY_FORMAT_VERSION {
         return Err(StoreError::Version {
             path: path.to_path_buf(),
             what: "container format",
             found: format_version,
-            expected: FORMAT_VERSION,
+            expected: LEGACY_FORMAT_VERSION,
         });
     }
     let kind = FileKind::from_tag(word(12)).ok_or_else(|| corrupt(path, "unknown file kind"))?;
@@ -204,7 +187,7 @@ pub fn read_records(path: &Path) -> Result<(FileHeader, Vec<Vec<u8>>), StoreErro
         timing_version: word(20),
     };
     let mut records = Vec::new();
-    let mut rest = &body[HEADER_BYTES..];
+    let mut rest = &body[LEGACY_HEADER_BYTES..];
     while !rest.is_empty() {
         if rest.len() < 4 {
             return Err(corrupt(path, "dangling record length"));
@@ -218,45 +201,6 @@ pub fn read_records(path: &Path) -> Result<(FileHeader, Vec<Vec<u8>>), StoreErro
         rest = &rest[len..];
     }
     Ok((header, records))
-}
-
-/// Reads and validates only the header (magic and structure of the
-/// first [`HEADER_BYTES`]; no checksum) — the cheap path `stat` uses.
-///
-/// # Errors
-///
-/// Same classes as [`read_records`], without corruption checks beyond
-/// the header itself.
-pub fn read_header(path: &Path) -> Result<FileHeader, StoreError> {
-    use std::io::Read as _;
-    let mut f = match std::fs::File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound),
-        Err(e) => return Err(StoreError::Io(e)),
-    };
-    let mut head = [0u8; HEADER_BYTES];
-    f.read_exact(&mut head)
-        .map_err(|_| corrupt(path, "shorter than header"))?;
-    if head[..8] != MAGIC {
-        return Err(corrupt(path, "bad magic"));
-    }
-    let word = |i: usize| u32::from_le_bytes(head[i..i + 4].try_into().expect("4 bytes"));
-    let format_version = word(8);
-    if format_version != FORMAT_VERSION {
-        return Err(StoreError::Version {
-            path: path.to_path_buf(),
-            what: "container format",
-            found: format_version,
-            expected: FORMAT_VERSION,
-        });
-    }
-    let kind = FileKind::from_tag(word(12)).ok_or_else(|| corrupt(path, "unknown file kind"))?;
-    Ok(FileHeader {
-        kind,
-        format_version,
-        interp_version: word(16),
-        timing_version: word(20),
-    })
 }
 
 /// Little-endian reader over one record payload, shared by the typed
@@ -320,98 +264,71 @@ pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
 mod tests {
     use super::*;
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join("dca-store-file-tests");
-        std::fs::create_dir_all(&d).unwrap();
-        d.join(name)
-    }
-
     fn header() -> FileHeader {
         FileHeader {
             kind: FileKind::Checkpoints,
-            format_version: FORMAT_VERSION,
+            format_version: LEGACY_FORMAT_VERSION,
             interp_version: 7,
             timing_version: 0,
         }
     }
 
     #[test]
-    fn round_trips_records() {
-        let p = tmp("roundtrip.dcc");
+    fn legacy_codec_round_trips() {
         let records = vec![vec![1, 2, 3], vec![], vec![0xff; 1000]];
-        write_records(&p, &header(), &records).unwrap();
-        let (h, got) = read_records(&p).unwrap();
+        let bytes = encode_file_v2(&header(), &records);
+        let (h, got) = read_records_v2(&bytes, Path::new("x.dcc")).unwrap();
         assert_eq!(h, header());
         assert_eq!(got, records);
-        assert_eq!(read_header(&p).unwrap(), header());
     }
 
     #[test]
-    fn missing_file_is_not_found() {
+    fn legacy_truncation_and_bitflips_are_corrupt() {
+        let good = encode_file_v2(&header(), &[vec![9u8; 64]]);
+        let p = Path::new("c.dcc");
         assert!(matches!(
-            read_records(&tmp("nope.dcc")),
-            Err(StoreError::NotFound)
+            read_records_v2(&good[..good.len() - 3], p),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let mut flipped = good.clone();
+        flipped[LEGACY_HEADER_BYTES + 10] ^= 0x20;
+        assert!(matches!(
+            read_records_v2(&flipped, p),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_records_v2(&bad, p),
+            Err(StoreError::Corrupt { .. })
         ));
     }
 
     #[test]
-    fn truncation_and_bitflips_are_corrupt() {
-        let p = tmp("corrupt.dcc");
-        write_records(&p, &header(), &[vec![9u8; 64]]).unwrap();
-        let good = std::fs::read(&p).unwrap();
-        // Truncated: checksum cannot match.
-        std::fs::write(&p, &good[..good.len() - 3]).unwrap();
-        assert!(matches!(read_records(&p), Err(StoreError::Corrupt { .. })));
-        // One flipped bit mid-file.
-        let mut flipped = good.clone();
-        flipped[HEADER_BYTES + 10] ^= 0x20;
-        std::fs::write(&p, &flipped).unwrap();
-        assert!(matches!(read_records(&p), Err(StoreError::Corrupt { .. })));
-        // Bad magic.
-        let mut bad = good.clone();
-        bad[0] = b'X';
-        std::fs::write(&p, &bad).unwrap();
-        assert!(matches!(read_records(&p), Err(StoreError::Corrupt { .. })));
-    }
-
-    #[test]
-    fn unknown_container_version_is_a_version_error() {
-        let p = tmp("version.dcc");
+    fn legacy_reader_only_accepts_v2() {
+        // A v1-shaped file (same layout, older version tag): version
+        // error, so migration skips it and recompute takes over.
         let h = FileHeader {
-            format_version: FORMAT_VERSION + 1,
+            format_version: 1,
             ..header()
         };
-        write_records(&p, &h, &[vec![1]]).unwrap();
-        match read_records(&p) {
+        let bytes = encode_file_v2(&h, &[vec![1]]);
+        match read_records_v2(&bytes, Path::new("v1.dcc")) {
             Err(StoreError::Version { found, expected, .. }) => {
-                assert_eq!(found, FORMAT_VERSION + 1);
-                assert_eq!(expected, FORMAT_VERSION);
+                assert_eq!(found, 1);
+                assert_eq!(expected, LEGACY_FORMAT_VERSION);
             }
             other => panic!("expected version error, got {other:?}"),
         }
     }
 
     #[test]
-    fn framing_overrun_is_corrupt() {
-        let p = tmp("frame.dcc");
-        // Hand-craft: valid checksum but a record length pointing past
-        // the end of the body.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC);
-        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        bytes.extend_from_slice(&FileKind::Checkpoints.tag().to_le_bytes());
-        bytes.extend_from_slice(&1u32.to_le_bytes());
-        bytes.extend_from_slice(&0u32.to_le_bytes());
-        bytes.extend_from_slice(&100u32.to_le_bytes()); // record of 100 bytes…
-        bytes.extend_from_slice(&[1, 2, 3]); // …but only 3 present
-        let sum = fnv64(&bytes);
-        bytes.extend_from_slice(&sum.to_le_bytes());
-        std::fs::write(&p, &bytes).unwrap();
-        match read_records(&p) {
-            Err(StoreError::Corrupt { reason, .. }) => {
-                assert!(reason.contains("overruns"), "{reason}");
-            }
-            other => panic!("expected corrupt, got {other:?}"),
+    fn kind_round_trips() {
+        for k in [FileKind::Checkpoints, FileKind::Results] {
+            assert_eq!(FileKind::from_tag(k.tag()), Some(k));
         }
+        assert_eq!(FileKind::from_tag(9), None);
+        assert_eq!(FileKind::Checkpoints.dir(), "ck");
+        assert_eq!(FileKind::Results.dir(), "rs");
     }
 }

@@ -1,31 +1,50 @@
-//! # dca-store — persistent checkpoint & result store
+//! # dca-store — crash-safe concurrent checkpoint & result store
 //!
 //! PR 2's sampled-simulation harness (DESIGN.md §7) made paper-scale
 //! runs affordable *within one process*; this crate makes them cheap
-//! **across** processes. It persists, as versioned binary files in one
-//! flat directory:
+//! **across** processes — and, since the sharded rebuild (DESIGN.md
+//! §10), safe across *concurrent* processes and crashes. It persists,
+//! as versioned binary shard files under per-kind subdirectories:
 //!
-//! * **checkpoint streams** (`ck_*.dcc`) — the per-benchmark functional
-//!   fast-forward output, keyed by `(workload, scale, period,
-//!   max_insts)` plus the workload fingerprint and the interpreter
-//!   version, with copy-on-write pages deduplicated; and
-//! * **interval results** (`rs_*.dcr`) — the per-interval `SimStats`
-//!   of one `(workload, scale, machine, scheme, sampling parameters)`
-//!   combination, in checkpoint order, exact to the counter.
+//! * **checkpoint streams** (`ck/ck_*.dcc`) — the per-benchmark
+//!   functional fast-forward output, keyed by `(workload, scale,
+//!   period, max_insts)` plus the workload fingerprint and the
+//!   interpreter version, with copy-on-write pages deduplicated; and
+//! * **interval results** (`rs/rs_*.dcr`) — the per-interval
+//!   `SimStats` of one `(workload, scale, machine, scheme, sampling
+//!   parameters)` combination, in checkpoint order, exact to the
+//!   counter.
 //!
 //! Serialization is hand-rolled little-endian (the build environment
-//! has no crates.io access): every file carries a magic/version header,
-//! length-framed records and a whole-file FNV-1a checksum, so a
-//! truncated or bit-flipped file is rejected as a unit — callers fall
-//! back to recomputation, never to half a stream (see
-//! `tests/store_robustness.rs`).
+//! has no crates.io access): every shard carries a checksummed header,
+//! checksummed length-framed records and a whole-file FNV-1a checksum,
+//! so a truncated or bit-flipped shard is rejected as a unit — callers
+//! fall back to recomputation for *that shard only*, never to half a
+//! stream and never at the cost of its neighbours (see
+//! `tests/store_robustness.rs` and `tests/crash_recovery.rs`).
+//!
+//! Durability and concurrency (DESIGN.md §10):
+//!
+//! * all filesystem access goes through an injectable [`io::StoreIo`]
+//!   — tests drive deterministic fault plans ([`io::FaultIo`]) through
+//!   every write to prove each crash point recovers;
+//! * writes are crash-atomic (unique temp sibling + fsync + rename);
+//!   orphaned temps are swept at [`Store::open`];
+//! * writers coordinate through advisory per-shard lock files
+//!   ([`Store::try_lock`]) with dead-owner takeover, so N concurrent
+//!   `Lab`/CLI processes against one store directory are safe and
+//!   elect one computer per shard;
+//! * a full disk surfaces as [`StoreError::Full`], a damaged shard as
+//!   [`StoreError::Corrupt`] — both degrade to in-memory recompute in
+//!   callers, never into a failed run.
 //!
 //! Invalidation is by *versions in the header* plus *fingerprints in
 //! the meta record* (DESIGN.md §8): `dca_prog::INTERP_VERSION` guards
 //! the functional semantics both file kinds depend on,
 //! `dca_sim::TIMING_VERSION` guards result files, and the workload
 //! fingerprint guards against generator changes. [`Store::gc`] deletes
-//! whatever no longer matches.
+//! whatever no longer matches; legacy v2 monoliths are migrated to
+//! shards in place at open, verified against their old checksum.
 //!
 //! # Example
 //!
@@ -52,16 +71,24 @@
 
 mod checkpoints;
 pub mod file;
+pub mod io;
+pub mod lock;
 mod results;
+pub mod shard;
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use dca_prog::FastForward;
 
 pub use checkpoints::CheckpointKey;
+pub use file::FileKind;
+pub use lock::{LockAttempt, StoreLock};
 pub use results::{IntervalRecord, ResultKey};
 
-use file::{FileHeader, FileKind};
+use file::FileHeader;
+use io::{RealIo, StoreIo};
 
 /// Why a store entry could not be used.
 #[derive(Debug)]
@@ -70,6 +97,13 @@ pub enum StoreError {
     NotFound,
     /// The filesystem failed underneath the store.
     Io(std::io::Error),
+    /// The device is out of space (`ENOSPC`). The atomic write path
+    /// guarantees no partial destination file exists; callers keep the
+    /// computed value in memory and carry on.
+    Full {
+        /// Destination that could not be written.
+        path: PathBuf,
+    },
     /// The file is structurally damaged (bad magic, checksum mismatch,
     /// truncated record, malformed payload). Never partially decoded.
     Corrupt {
@@ -105,6 +139,9 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::NotFound => write!(f, "no store entry"),
             StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Full { path } => {
+                write!(f, "store device full (ENOSPC) writing {}", path.display())
+            }
             StoreError::Corrupt { path, reason } => {
                 write!(f, "corrupt store file {}: {reason}", path.display())
             }
@@ -143,8 +180,8 @@ pub enum FileStatus {
         /// Number of records in the file.
         records: usize,
     },
-    /// Structurally sound but produced under other code versions; GC
-    /// removes it.
+    /// Structurally sound but produced under other code versions
+    /// (including unmigrated legacy containers); GC removes it.
     StaleVersion {
         /// Which version field mismatched.
         what: &'static str,
@@ -156,6 +193,12 @@ pub enum FileStatus {
     /// Structural damage; GC removes it.
     Corrupt {
         /// What failed.
+        reason: String,
+    },
+    /// The file could not be read at all (permissions, dying disk) —
+    /// its health is unknown, so GC leaves it alone.
+    IoError {
+        /// The I/O failure.
         reason: String,
     },
 }
@@ -176,45 +219,155 @@ pub struct FileReport {
 /// Aggregate directory statistics, as reported by [`Store::stat`].
 #[derive(Debug, Default)]
 pub struct StoreStat {
-    /// Checkpoint-stream files (count, total bytes).
+    /// Checkpoint-stream shards (count, total bytes).
     pub checkpoint_files: (u64, u64),
-    /// Result files (count, total bytes).
+    /// Result shards (count, total bytes).
     pub result_files: (u64, u64),
-    /// Files whose header carries a non-current version.
+    /// Shards whose header carries a non-current version.
     pub stale_files: u64,
-    /// Files whose header could not be read at all.
+    /// Shards whose header could not be read at all.
     pub unreadable_files: u64,
+    /// Unmigrated legacy (flat v2) files still in the store root.
+    pub legacy_files: u64,
+    /// Advisory locks currently held by live owners.
+    pub live_locks: u64,
+    /// Advisory locks whose owner is dead (swept by gc/fsck).
+    pub stale_locks: u64,
 }
 
 /// Result of a [`Store::gc`] pass.
 #[derive(Debug, Default)]
 pub struct GcReport {
-    /// Files removed (corrupt or stale-version).
+    /// Files removed (corrupt, stale-version or orphaned temps).
     pub removed: u64,
     /// Bytes freed.
     pub freed_bytes: u64,
     /// Healthy files kept.
     pub kept: u64,
+    /// Damaged shards *not* removed because a live writer holds their
+    /// lock (its in-flight rename may already have healed them).
+    pub skipped_locked: u64,
 }
 
-/// Handle on a store directory. Cheap to clone conceptually (it is a
-/// path); all methods take `&self`, so a `Store` can be shared across
-/// the Lab's worker threads.
+/// Result of a [`Store::fsck`] pass.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Per-file deep-check outcomes (shards and legacy leftovers).
+    pub reports: Vec<FileReport>,
+    /// Orphaned temp files swept.
+    pub temps_removed: u64,
+    /// Stale (dead-owner) locks removed.
+    pub stale_locks_removed: u64,
+    /// Damaged shards deleted (repair mode only).
+    pub repaired: u64,
+    /// Damaged shards left in place because a live lock protects them.
+    pub skipped_locked: u64,
+}
+
+/// Handle on a store directory. All methods take `&self` and the
+/// handle is `Send + Sync`, so one `Store` can be shared across the
+/// Lab's worker threads; independent `Store`s (and processes) sharing
+/// one directory coordinate through shard locks and atomic renames.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
+    io: Arc<dyn StoreIo>,
+    lock_wait: Duration,
 }
 
 impl Store {
-    /// Opens (without touching the filesystem) a store rooted at
-    /// `root`. The directory is created on first write.
+    /// Opens a store rooted at `root` on the real filesystem. Startup
+    /// housekeeping (best-effort, silent on a missing directory):
+    /// sweeps orphaned temp files and migrates legacy v2 monoliths to
+    /// the sharded layout. The directory is created on first write.
     pub fn open(root: impl Into<PathBuf>) -> Store {
-        Store { root: root.into() }
+        Self::open_with_io(root, Arc::new(RealIo))
+    }
+
+    /// Opens a store whose every filesystem operation goes through
+    /// `io` — the fault-injection entry point (see [`io::FaultIo`]).
+    pub fn open_with_io(root: impl Into<PathBuf>, io: Arc<dyn StoreIo>) -> Store {
+        let store = Store {
+            root: root.into(),
+            io,
+            lock_wait: Duration::from_secs(120),
+        };
+        store.startup();
+        store
+    }
+
+    /// Sets how long lock-aware callers ([`Store::lock_wait`] readers,
+    /// i.e. the Lab's bounded retry loop) should keep waiting on a
+    /// contended shard before degrading to in-memory recompute.
+    pub fn with_lock_wait(mut self, wait: Duration) -> Store {
+        self.lock_wait = wait;
+        self
+    }
+
+    /// The bound for lock-contention retry loops (see
+    /// [`Store::with_lock_wait`]).
+    pub fn lock_wait(&self) -> Duration {
+        self.lock_wait
     }
 
     /// The store directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Where the shard for `name` of `kind` lives:
+    /// `<root>/<ck|rs>/<name>`.
+    pub fn shard_path(&self, kind: FileKind, name: &str) -> PathBuf {
+        self.root.join(kind.dir()).join(name)
+    }
+
+    fn lock_path(&self, name: &str) -> PathBuf {
+        self.root.join("locks").join(format!("{name}.lock"))
+    }
+
+    /// Best-effort open-time housekeeping: sweep orphaned temps
+    /// everywhere we write them, then migrate legacy v2 monoliths.
+    fn startup(&self) {
+        if self.io.metadata(&self.root).is_err() {
+            return; // nothing on disk yet
+        }
+        for dir in [
+            self.root.clone(),
+            self.root.join(FileKind::Checkpoints.dir()),
+            self.root.join(FileKind::Results.dir()),
+        ] {
+            shard::sweep_temps(&self.io, &dir);
+        }
+        let rep = shard::migrate_legacy(&self.io, &self.root);
+        if rep.migrated > 0 || rep.skipped > 0 {
+            eprintln!(
+                "dca-store: migrated {} legacy store file(s) to sharded layout ({} left in place)",
+                rep.migrated, rep.skipped
+            );
+        }
+    }
+
+    /// One non-blocking attempt to take the writer lock for the shard
+    /// `name` of `kind`. [`LockAttempt::Busy`] means a live writer is
+    /// ahead — poll the entry and retry with backoff, bounded by
+    /// [`Store::lock_wait`]; [`LockAttempt::Unavailable`] means the
+    /// lock directory itself cannot be used (read-only store) — waiting
+    /// will not help, degrade immediately.
+    pub fn try_lock(&self, _kind: FileKind, name: &str) -> LockAttempt {
+        let path = self.lock_path(name);
+        if let Some(dir) = path.parent() {
+            if let Err(e) = self.io.create_dir_all(dir) {
+                return LockAttempt::Unavailable(e.to_string());
+            }
+        }
+        lock::try_acquire(&self.io, &path, lock::DEFAULT_STALE_AFTER)
+    }
+
+    /// `true` when a live process holds the writer lock for `name`.
+    fn live_locked(&self, name: &str) -> bool {
+        lock::holder(&self.io, &self.lock_path(name), lock::DEFAULT_STALE_AFTER)
+            .map(|(_, live)| live)
+            .unwrap_or(false)
     }
 
     fn header_for(&self, kind: FileKind) -> FileHeader {
@@ -250,14 +403,28 @@ impl Store {
     }
 
     fn save(&self, name: &str, kind: FileKind, records: &[Vec<u8>]) -> Result<u64, StoreError> {
-        std::fs::create_dir_all(&self.root).map_err(StoreError::Io)?;
-        file::write_records(&self.root.join(name), &self.header_for(kind), records)
-            .map_err(StoreError::Io)
+        let path = self.shard_path(kind, name);
+        let dir = self.root.join(kind.dir());
+        if let Err(e) = self.io.create_dir_all(&dir) {
+            return Err(if io::is_enospc(&e) {
+                StoreError::Full { path }
+            } else {
+                StoreError::Io(e)
+            });
+        }
+        shard::write_shard(&self.io, &path, &self.header_for(kind), records)
     }
 
     fn load(&self, name: &str, kind: FileKind) -> Result<Vec<Vec<u8>>, StoreError> {
-        let path = self.root.join(name);
-        let (header, records) = file::read_records(&path)?;
+        let path = self.shard_path(kind, name);
+        let bytes = match self.io.read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound)
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let (header, records) = shard::read_shard(&bytes, &path)?;
         Self::check_versions(&path, &header)?;
         if header.kind != kind {
             return Err(StoreError::Corrupt {
@@ -272,7 +439,8 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// I/O failures only ([`StoreError::Io`]).
+    /// [`StoreError::Io`] on filesystem failure, [`StoreError::Full`]
+    /// on `ENOSPC` — in both cases no partial shard is left behind.
     pub fn save_checkpoints(
         &self,
         key: &CheckpointKey<'_>,
@@ -291,7 +459,7 @@ impl Store {
     pub fn load_checkpoints(&self, key: &CheckpointKey<'_>) -> Result<FastForward, StoreError> {
         let name = key.file_name();
         let records = self.load(&name, FileKind::Checkpoints)?;
-        checkpoints::decode(&self.root.join(&name), key, &records)
+        checkpoints::decode(&self.shard_path(FileKind::Checkpoints, &name), key, &records)
     }
 
     /// Like [`Store::load_checkpoints`], but an exact-key miss may be
@@ -321,7 +489,7 @@ impl Store {
             other => return other,
         }
         let mut donors: Vec<(u64, String)> = Vec::new();
-        for (path, _) in self.entries() {
+        for (path, _) in self.kind_entries(FileKind::Checkpoints) {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
@@ -354,7 +522,7 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// I/O failures only ([`StoreError::Io`]).
+    /// Same classes as [`Store::save_checkpoints`].
     pub fn save_intervals(
         &self,
         key: &ResultKey<'_>,
@@ -371,44 +539,65 @@ impl Store {
     pub fn load_intervals(&self, key: &ResultKey<'_>) -> Result<Vec<IntervalRecord>, StoreError> {
         let name = key.file_name();
         let records = self.load(&name, FileKind::Results)?;
-        results::decode(&self.root.join(&name), key, &records)
+        results::decode(&self.shard_path(FileKind::Results, &name), key, &records)
     }
 
-    /// Store files in deterministic (name) order. Missing directory ⇒
-    /// empty.
-    fn entries(&self) -> Vec<(PathBuf, u64)> {
-        let Ok(rd) = std::fs::read_dir(&self.root) else {
+    /// Shard files of one kind in deterministic (name) order. Missing
+    /// directory ⇒ empty.
+    fn kind_entries(&self, kind: FileKind) -> Vec<(PathBuf, u64)> {
+        let Ok(entries) = self.io.read_dir(&self.root.join(kind.dir())) else {
             return Vec::new();
         };
-        let mut v: Vec<(PathBuf, u64)> = rd
-            .flatten()
-            .filter(|e| {
-                let p = e.path();
+        entries
+            .into_iter()
+            .filter(|(p, _)| {
+                let name = p.file_name().map(|n| n.to_string_lossy().into_owned());
+                let Some(name) = name else { return false };
                 // `.tmp-*` are in-flight (or orphaned) atomic-write
-                // temporaries — never store entries, whatever their
-                // extension; `gc` sweeps them.
-                if e.file_name().to_string_lossy().starts_with(".tmp-") {
-                    return false;
-                }
-                matches!(
-                    p.extension().and_then(|x| x.to_str()),
-                    Some("dcc") | Some("dcr")
-                )
+                // temporaries — never store entries.
+                !name.starts_with(".tmp-")
+                    && Path::new(&name)
+                        .extension()
+                        .and_then(|x| x.to_str())
+                        .is_some_and(|x| x == kind.extension())
             })
-            .map(|e| {
-                let bytes = e.metadata().map(|m| m.len()).unwrap_or(0);
-                (e.path(), bytes)
-            })
-            .collect();
-        v.sort();
+            .collect()
+    }
+
+    /// All shard files, checkpoints then results, each name-sorted.
+    fn entries(&self) -> Vec<(PathBuf, u64)> {
+        let mut v = self.kind_entries(FileKind::Checkpoints);
+        v.extend(self.kind_entries(FileKind::Results));
         v
     }
 
-    /// Cheap directory summary (header reads only, no checksums).
+    /// Unmigrated legacy (flat v2) store files still in the root.
+    fn legacy_entries(&self) -> Vec<(PathBuf, u64)> {
+        let Ok(entries) = self.io.read_dir(&self.root) else {
+            return Vec::new();
+        };
+        entries
+            .into_iter()
+            .filter(|(p, _)| {
+                let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+                    return false;
+                };
+                !name.starts_with(".tmp-") && shard::kind_of_name(name).is_some()
+            })
+            .collect()
+    }
+
+    /// Cheap directory summary (header reads only, no full-file
+    /// checksum validation beyond the header's own).
     pub fn stat(&self) -> StoreStat {
         let mut s = StoreStat::default();
         for (path, bytes) in self.entries() {
-            match file::read_header(&path) {
+            match self
+                .io
+                .read(&path)
+                .map_err(StoreError::Io)
+                .and_then(|b| shard::read_shard_header(&b, &path))
+            {
                 Ok(h) => {
                     match h.kind {
                         FileKind::Checkpoints => {
@@ -424,53 +613,47 @@ impl Store {
                         s.stale_files += 1;
                     }
                 }
+                Err(StoreError::Version { .. }) => s.stale_files += 1,
                 Err(_) => s.unreadable_files += 1,
+            }
+        }
+        s.legacy_files = self.legacy_entries().len() as u64;
+        if let Ok(locks) = self.io.read_dir(&self.root.join("locks")) {
+            for (path, _) in locks {
+                match lock::holder(&self.io, &path, lock::DEFAULT_STALE_AFTER) {
+                    Some((_, true)) => s.live_locks += 1,
+                    _ => s.stale_locks += 1,
+                }
             }
         }
         s
     }
 
-    /// Full validation of every file: checksum, framing and version
-    /// currency. Does not modify anything.
-    pub fn verify(&self) -> Vec<FileReport> {
-        self.entries()
-            .into_iter()
-            .map(|(path, bytes)| {
-                let (kind, status) = match file::read_records(&path) {
-                    Ok((header, records)) => match Self::check_versions(&path, &header) {
-                        Ok(()) => (
-                            Some(header.kind),
-                            FileStatus::Ok {
-                                records: records.len(),
-                            },
-                        ),
-                        Err(StoreError::Version {
-                            what,
-                            found,
-                            expected,
-                            ..
-                        }) => (
-                            Some(header.kind),
-                            FileStatus::StaleVersion {
-                                what,
-                                found,
-                                expected,
-                            },
-                        ),
-                        Err(e) => (
-                            Some(header.kind),
-                            FileStatus::Corrupt {
-                                reason: e.to_string(),
-                            },
-                        ),
-                    },
+    fn report_shard(&self, path: PathBuf, bytes: u64) -> FileReport {
+        let (kind, status) = match self.io.read(&path) {
+            Err(e) => (
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(shard::kind_of_name),
+                FileStatus::IoError {
+                    reason: e.to_string(),
+                },
+            ),
+            Ok(b) => match shard::read_shard(&b, &path) {
+                Ok((header, records)) => match Self::check_versions(&path, &header) {
+                    Ok(()) => (
+                        Some(header.kind),
+                        FileStatus::Ok {
+                            records: records.len(),
+                        },
+                    ),
                     Err(StoreError::Version {
                         what,
                         found,
                         expected,
                         ..
                     }) => (
-                        None,
+                        Some(header.kind),
                         FileStatus::StaleVersion {
                             what,
                             found,
@@ -478,48 +661,189 @@ impl Store {
                         },
                     ),
                     Err(e) => (
-                        None,
+                        Some(header.kind),
                         FileStatus::Corrupt {
                             reason: e.to_string(),
                         },
                     ),
-                };
-                FileReport {
-                    path,
-                    bytes,
-                    kind,
-                    status,
+                },
+                Err(StoreError::Version {
+                    what,
+                    found,
+                    expected,
+                    ..
+                }) => (
+                    None,
+                    FileStatus::StaleVersion {
+                        what,
+                        found,
+                        expected,
+                    },
+                ),
+                Err(e) => {
+                    // Deep per-record sweep so the report says how much
+                    // of the shard is still intact, not just "bad".
+                    let (intact, first_bad) = shard::deep_check_records(&b);
+                    let detail = match first_bad {
+                        Some(i) => format!("; {intact} record(s) intact, damage at record {i}"),
+                        None => format!("; all {intact} record(s) intact"),
+                    };
+                    (
+                        path.file_name()
+                            .and_then(|n| n.to_str())
+                            .and_then(shard::kind_of_name),
+                        FileStatus::Corrupt {
+                            reason: format!("{e}{detail}"),
+                        },
+                    )
                 }
-            })
-            .collect()
+            },
+        };
+        FileReport {
+            path,
+            bytes,
+            kind,
+            status,
+        }
+    }
+
+    fn report_legacy(&self, path: PathBuf, bytes: u64) -> FileReport {
+        let kind = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(shard::kind_of_name);
+        let status = match self.io.read(&path) {
+            Err(e) => FileStatus::IoError {
+                reason: e.to_string(),
+            },
+            // A readable legacy container (any vintage) is a stale
+            // *format*: open migrates what it can, so whatever is left
+            // here is GC fodder, not data.
+            Ok(b) => match file::read_records_v2(&b, &path) {
+                Ok(_) => FileStatus::StaleVersion {
+                    what: "container format",
+                    found: file::LEGACY_FORMAT_VERSION,
+                    expected: file::FORMAT_VERSION,
+                },
+                Err(StoreError::Version { found, .. }) => FileStatus::StaleVersion {
+                    what: "container format",
+                    found,
+                    expected: file::FORMAT_VERSION,
+                },
+                Err(e) => FileStatus::Corrupt {
+                    reason: format!("unmigratable legacy file: {e}"),
+                },
+            },
+        };
+        FileReport {
+            path,
+            bytes,
+            kind,
+            status,
+        }
+    }
+
+    /// Full validation of every file — shards first (checkpoints then
+    /// results, name order), then unmigrated legacy leftovers. Checks
+    /// checksums, framing, per-record integrity and version currency;
+    /// never bails early and does not modify anything.
+    pub fn verify(&self) -> Vec<FileReport> {
+        let mut reports: Vec<FileReport> = self
+            .entries()
+            .into_iter()
+            .map(|(path, bytes)| self.report_shard(path, bytes))
+            .collect();
+        reports.extend(
+            self.legacy_entries()
+                .into_iter()
+                .map(|(path, bytes)| self.report_legacy(path, bytes)),
+        );
+        reports
     }
 
     /// Deletes every file [`Store::verify`] flags as corrupt or
-    /// stale-version, plus orphaned `.tmp-*` atomic-write temporaries
-    /// (left by a process killed mid-save; no load path ever reads
-    /// them). Fingerprint staleness is *not* detected here (it needs
-    /// the workload built); those entries are overwritten the next
-    /// time their key is computed.
+    /// stale-version — except shards whose writer lock is held by a
+    /// live process (their damage may be an in-flight write about to be
+    /// healed by rename) — plus orphaned temp files and stale locks.
+    /// Unreadable ([`FileStatus::IoError`]) files are left alone: their
+    /// health is unknown. Fingerprint staleness is *not* detected here
+    /// (it needs the workload built); those entries are overwritten the
+    /// next time their key is computed.
     pub fn gc(&self) -> GcReport {
         let mut report = GcReport::default();
         for fr in self.verify() {
             match fr.status {
-                FileStatus::Ok { .. } => report.kept += 1,
+                FileStatus::Ok { .. } | FileStatus::IoError { .. } => report.kept += 1,
                 FileStatus::StaleVersion { .. } | FileStatus::Corrupt { .. } => {
-                    if std::fs::remove_file(&fr.path).is_ok() {
+                    let name = fr.path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                    if self.live_locked(name) {
+                        report.skipped_locked += 1;
+                        continue;
+                    }
+                    if self.io.remove_file(&fr.path).is_ok() {
                         report.removed += 1;
                         report.freed_bytes += fr.bytes;
                     }
                 }
             }
         }
-        if let Ok(rd) = std::fs::read_dir(&self.root) {
-            for e in rd.flatten() {
-                if e.file_name().to_string_lossy().starts_with(".tmp-") {
-                    let bytes = e.metadata().map(|m| m.len()).unwrap_or(0);
-                    if std::fs::remove_file(e.path()).is_ok() {
-                        report.removed += 1;
-                        report.freed_bytes += bytes;
+        for dir in [
+            self.root.clone(),
+            self.root.join(FileKind::Checkpoints.dir()),
+            self.root.join(FileKind::Results.dir()),
+        ] {
+            let (n, bytes) = shard::sweep_temps(&self.io, &dir);
+            report.removed += n;
+            report.freed_bytes += bytes;
+        }
+        report.removed += self.sweep_stale_locks();
+        report
+    }
+
+    /// Removes dead-owner lock files; returns how many.
+    fn sweep_stale_locks(&self) -> u64 {
+        let Ok(locks) = self.io.read_dir(&self.root.join("locks")) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for (path, _) in locks {
+            let live = lock::holder(&self.io, &path, lock::DEFAULT_STALE_AFTER)
+                .map(|(_, live)| live)
+                .unwrap_or(false);
+            if !live && self.io.remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Filesystem check: sweeps orphaned temps and stale locks, then
+    /// deep-verifies every shard (per-record checksums, so the report
+    /// names the first damaged record). With `repair`, damaged and
+    /// version-stale shards are deleted — except under a live lock —
+    /// so the next run recomputes them.
+    pub fn fsck(&self, repair: bool) -> FsckReport {
+        let mut report = FsckReport::default();
+        for dir in [
+            self.root.clone(),
+            self.root.join(FileKind::Checkpoints.dir()),
+            self.root.join(FileKind::Results.dir()),
+        ] {
+            report.temps_removed += shard::sweep_temps(&self.io, &dir).0;
+        }
+        report.stale_locks_removed = self.sweep_stale_locks();
+        report.reports = self.verify();
+        if repair {
+            for fr in &report.reports {
+                if matches!(
+                    fr.status,
+                    FileStatus::Corrupt { .. } | FileStatus::StaleVersion { .. }
+                ) {
+                    let name = fr.path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                    if self.live_locked(name) {
+                        report.skipped_locked += 1;
+                    } else if self.io.remove_file(&fr.path).is_ok() {
+                        report.repaired += 1;
                     }
                 }
             }
@@ -557,11 +881,31 @@ mod tests {
         }
     }
 
+    fn rkey() -> ResultKey<'static> {
+        ResultKey {
+            workload: "compress",
+            scale: "smoke",
+            machine: "clustered",
+            scheme: "Modulo",
+            period: 40,
+            warmup: 10,
+            interval: 10,
+            max_insts: 1000,
+            warm_steering: false,
+            continuous_warming: false,
+            fingerprint: 0xfeed,
+        }
+    }
+
     #[test]
     fn checkpoint_save_load_roundtrip() {
         let store = tmp_store("ck-roundtrip");
         let ff = sample_ff();
         store.save_checkpoints(&key(), &ff).unwrap();
+        assert!(
+            store.shard_path(FileKind::Checkpoints, &key().file_name()).exists(),
+            "shard lives under the ck/ subdirectory"
+        );
         let back = store.load_checkpoints(&key()).unwrap();
         assert_eq!(back.total_insts, ff.total_insts);
         assert_eq!(back.halted, ff.halted);
@@ -596,41 +940,30 @@ mod tests {
     fn stat_verify_gc_lifecycle() {
         let store = tmp_store("lifecycle");
         store.save_checkpoints(&key(), &sample_ff()).unwrap();
-        let rkey = ResultKey {
-            workload: "compress",
-            scale: "smoke",
-            machine: "clustered",
-            scheme: "Modulo",
-            period: 40,
-            warmup: 10,
-            interval: 10,
-            max_insts: 1000,
-            warm_steering: false,
-            continuous_warming: false,
-            fingerprint: 0xfeed,
-        };
         store
-            .save_intervals(&rkey, &[IntervalRecord::default(), IntervalRecord::default()])
+            .save_intervals(&rkey(), &[IntervalRecord::default(), IntervalRecord::default()])
             .unwrap();
         let s = store.stat();
         assert_eq!(s.checkpoint_files.0, 1);
         assert_eq!(s.result_files.0, 1);
         assert_eq!(s.stale_files, 0);
+        assert_eq!(s.legacy_files, 0);
         assert!(s.checkpoint_files.1 > 0 && s.result_files.1 > 0);
 
-        let loaded = store.load_intervals(&rkey).unwrap();
+        let loaded = store.load_intervals(&rkey()).unwrap();
         assert_eq!(loaded.len(), 2);
 
         // An orphaned atomic-write temporary is never an entry (even
         // with a store extension in its name) but gc sweeps it.
-        let orphan = store.root().join(".tmp-ck_orphan.dcc");
+        let orphan = store.root().join("ck").join(".tmp-ck_orphan.dcc");
         std::fs::write(&orphan, b"half-written").unwrap();
         assert_eq!(store.stat().checkpoint_files.0, 1, "tmp file is not an entry");
         assert_eq!(store.verify().len(), 2, "tmp file is not verified");
 
-        // Corrupt the result file: verify flags it, gc removes it
-        // (plus the orphan).
-        let rs_path = store.root().join(rkey.file_name());
+        // Corrupt the result shard: verify flags it (quarantined to
+        // the shard), gc removes it (plus the orphan); the checkpoint
+        // shard is untouched.
+        let rs_path = store.shard_path(FileKind::Results, &rkey().file_name());
         let mut bytes = std::fs::read(&rs_path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
@@ -639,12 +972,113 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().any(|r| matches!(r.status, FileStatus::Corrupt { .. })));
         let gc = store.gc();
-        assert_eq!(gc.removed, 2, "corrupt file + tmp orphan");
+        assert_eq!(gc.removed, 2, "corrupt shard + tmp orphan");
         assert_eq!(gc.kept, 1);
+        assert_eq!(gc.skipped_locked, 0);
         assert!(gc.freed_bytes > 0);
         assert!(!orphan.exists());
-        assert!(store.load_intervals(&rkey).unwrap_err().is_not_found());
-        assert!(store.load_checkpoints(&key()).is_ok(), "healthy file survives gc");
+        assert!(store.load_intervals(&rkey()).unwrap_err().is_not_found());
+        assert!(store.load_checkpoints(&key()).is_ok(), "healthy shard survives gc");
+    }
+
+    #[test]
+    fn gc_skips_shards_under_a_live_lock() {
+        let store = tmp_store("gc-locked");
+        store.save_checkpoints(&key(), &sample_ff()).unwrap();
+        let name = key().file_name();
+        let path = store.shard_path(FileKind::Checkpoints, &name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        // We (a live process) hold the shard's writer lock.
+        let _guard = match store.try_lock(FileKind::Checkpoints, &name) {
+            LockAttempt::Acquired(g) => g,
+            other => panic!("expected lock, got {other:?}"),
+        };
+        let gc = store.gc();
+        assert_eq!(gc.skipped_locked, 1);
+        assert_eq!(gc.removed, 0);
+        assert!(path.exists(), "locked shard survives gc");
+        drop(_guard);
+        let gc = store.gc();
+        assert_eq!(gc.removed, 1, "unlocked damaged shard is reaped");
+    }
+
+    #[test]
+    fn fsck_sweeps_and_repairs() {
+        let store = tmp_store("fsck");
+        store.save_checkpoints(&key(), &sample_ff()).unwrap();
+        store.save_intervals(&rkey(), &[IntervalRecord::default()]).unwrap();
+        // A stale lock (dead owner), an orphan temp, a damaged shard.
+        let locks = store.root().join("locks");
+        std::fs::create_dir_all(&locks).unwrap();
+        std::fs::write(locks.join("x.lock"), b"DCALOCK1 pid=999999999 ts=0 seq=0\n").unwrap();
+        std::fs::write(store.root().join("rs").join(".tmp-dead"), b"x").unwrap();
+        let rs_path = store.shard_path(FileKind::Results, &rkey().file_name());
+        let mut bytes = std::fs::read(&rs_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&rs_path, &bytes).unwrap();
+
+        let dry = store.fsck(false);
+        assert_eq!(dry.temps_removed, 1);
+        assert_eq!(dry.stale_locks_removed, 1);
+        assert_eq!(dry.repaired, 0);
+        assert!(rs_path.exists(), "no repair without --repair");
+
+        let fix = store.fsck(true);
+        assert_eq!(fix.repaired, 1);
+        assert!(!rs_path.exists());
+        assert!(store.load_checkpoints(&key()).is_ok(), "healthy shard untouched");
+    }
+
+    #[test]
+    fn enospc_surfaces_as_full_with_no_partial_shard() {
+        use crate::io::{FaultIo, FaultKind, FaultPlan};
+        let dir = std::env::temp_dir().join("dca-store-lib-full");
+        std::fs::remove_dir_all(&dir).ok();
+        // Opening on an empty dir costs 1 op (the root metadata probe);
+        // the save then does create_dir_all, write, rename. Fail the
+        // write with ENOSPC.
+        let io = Arc::new(FaultIo::new(FaultPlan::fail_at(2, FaultKind::Enospc)));
+        let store = Store::open_with_io(&dir, io);
+        match store.save_checkpoints(&key(), &sample_ff()) {
+            Err(StoreError::Full { .. }) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        let name = key().file_name();
+        assert!(!store.shard_path(FileKind::Checkpoints, &name).exists());
+        assert!(
+            !std::fs::read_dir(dir.join("ck")).map(|d| d.count() > 0).unwrap_or(false),
+            "no partial file or temp left behind"
+        );
+    }
+
+    #[test]
+    fn legacy_v2_store_migrates_in_place_on_open() {
+        let dir = std::env::temp_dir().join("dca-store-lib-migrate");
+        std::fs::remove_dir_all(&dir).ok();
+        // Build a store in the legacy flat-v2 layout by hand.
+        std::fs::create_dir_all(&dir).unwrap();
+        let k = key();
+        let ff = sample_ff();
+        let header = FileHeader {
+            kind: FileKind::Checkpoints,
+            format_version: file::LEGACY_FORMAT_VERSION,
+            interp_version: dca_prog::INTERP_VERSION,
+            timing_version: 0,
+        };
+        let legacy = file::encode_file_v2(&header, &checkpoints::encode(&k, &ff));
+        let flat = dir.join(k.file_name());
+        std::fs::write(&flat, &legacy).unwrap();
+
+        let store = Store::open(&dir);
+        assert!(!flat.exists(), "legacy monolith deleted after verified migration");
+        let back = store.load_checkpoints(&k).unwrap();
+        assert_eq!(back.total_insts, ff.total_insts);
+        assert_eq!(back.checkpoints.len(), ff.checkpoints.len());
+        assert_eq!(store.stat().legacy_files, 0);
     }
 
     #[test]

@@ -8,9 +8,20 @@
 
 use dca_prog::{fast_forward, fast_forward_with, parse_asm, Interp, Memory, Program};
 use dca_sim::ContinuousWarmer;
-use dca_store::{file, CheckpointKey, IntervalRecord, ResultKey, Store, StoreError};
+use dca_store::{file, shard, CheckpointKey, FileKind, IntervalRecord, ResultKey, Store, StoreError};
 use dca_uarch::{CacheConfig, CombinedConfig, HierarchyConfig, UarchSnapshot};
 use proptest::prelude::*;
+
+/// Recomputes the v3 header checksum and whole-file checksum after a
+/// test mutates header bytes in place (so only the mutated field, not
+/// the checksums, differs from a well-formed shard).
+fn fix_sums(bytes: &mut [u8]) {
+    let hsum = file::fnv64(&bytes[..shard::HEADER_SUM_OFFSET]);
+    bytes[shard::HEADER_SUM_OFFSET..shard::HEADER_BYTES].copy_from_slice(&hsum.to_le_bytes());
+    let body = bytes.len() - file::TRAILER_BYTES;
+    let sum = file::fnv64(&bytes[..body]);
+    bytes[body..].copy_from_slice(&sum.to_le_bytes());
+}
 
 /// A small continuous warmer (tiny caches/predictor keep the proptest
 /// streams compact and fast).
@@ -137,7 +148,7 @@ proptest! {
 
         // Byte flips anywhere in the file — header, pages, checkpoint
         // or snapshot records, trailer — are rejected as a unit.
-        let path = store.root().join(key.file_name());
+        let path = store.shard_path(FileKind::Checkpoints, &key.file_name());
         let bytes = std::fs::read(&path).unwrap();
         let step = (bytes.len() / 61).max(1);
         for pos in (0..bytes.len()).step_by(step) {
@@ -167,7 +178,7 @@ fn saved_fixture(name: &str) -> (Store, CheckpointKey<'static>, std::path::PathB
         fingerprint: 7,
     };
     store.save_checkpoints(&key, &ff).unwrap();
-    let path = store.root().join(key.file_name());
+    let path = store.shard_path(FileKind::Checkpoints, &key.file_name());
     (store, key, path)
 }
 
@@ -175,7 +186,7 @@ fn saved_fixture(name: &str) -> (Store, CheckpointKey<'static>, std::path::PathB
 fn truncated_file_yields_clean_corrupt_error() {
     let (store, key, path) = saved_fixture("truncate");
     let bytes = std::fs::read(&path).unwrap();
-    for cut in [bytes.len() - 1, bytes.len() / 2, file::HEADER_BYTES, 3] {
+    for cut in [bytes.len() - 1, bytes.len() / 2, shard::HEADER_BYTES, 3] {
         std::fs::write(&path, &bytes[..cut]).unwrap();
         let err = store.load_checkpoints(&key).unwrap_err();
         assert!(
@@ -209,13 +220,11 @@ fn wrong_version_headers_are_clean_errors() {
     let (store, key, path) = saved_fixture("version");
     let bytes = std::fs::read(&path).unwrap();
 
-    // Wrong *container format* version at offset 8 (checksum fixed up
+    // Wrong *container format* version at offset 8 (checksums fixed up
     // so only the version differs).
     let mut wrong = bytes.clone();
     wrong[8..12].copy_from_slice(&(file::FORMAT_VERSION + 9).to_le_bytes());
-    let body_len = wrong.len() - file::TRAILER_BYTES;
-    let sum = file::fnv64(&wrong[..body_len]);
-    wrong[body_len..].copy_from_slice(&sum.to_le_bytes());
+    fix_sums(&mut wrong);
     std::fs::write(&path, &wrong).unwrap();
     match store.load_checkpoints(&key).unwrap_err() {
         dca_store::StoreError::Version { what, found, expected, .. } => {
@@ -229,8 +238,7 @@ fn wrong_version_headers_are_clean_errors() {
     // Wrong *interpreter* version at offset 16.
     let mut wrong = bytes.clone();
     wrong[16..20].copy_from_slice(&(dca_prog::INTERP_VERSION + 1).to_le_bytes());
-    let sum = file::fnv64(&wrong[..body_len]);
-    wrong[body_len..].copy_from_slice(&sum.to_le_bytes());
+    fix_sums(&mut wrong);
     std::fs::write(&path, &wrong).unwrap();
     match store.load_checkpoints(&key).unwrap_err() {
         dca_store::StoreError::Version { what, found, .. } => {
@@ -245,20 +253,17 @@ fn wrong_version_headers_are_clean_errors() {
     assert!(store.load_checkpoints(&key).unwrap_err().is_not_found());
 }
 
-/// Continuous-warming satellite: a checkpoint file written under the
-/// **pre-snapshot container format** (`FORMAT_VERSION - 1`, before the
-/// uarch record kind existed) is rejected as a unit with a clean
-/// version error — never half-read into a stream missing its
-/// snapshots.
+/// A checkpoint **shard** tagged with the previous container format
+/// (`FORMAT_VERSION - 1`, the pre-shard monolith era) is rejected as a
+/// unit with a clean version error — never half-read into a stream
+/// missing its snapshots.
 #[test]
-fn pre_snapshot_format_version_is_rejected_as_a_unit() {
-    let (store, key, path) = saved_fixture("pre-snapshot");
+fn pre_shard_format_version_is_rejected_as_a_unit() {
+    let (store, key, path) = saved_fixture("pre-shard");
     let bytes = std::fs::read(&path).unwrap();
     let mut old = bytes.clone();
     old[8..12].copy_from_slice(&(file::FORMAT_VERSION - 1).to_le_bytes());
-    let body_len = old.len() - file::TRAILER_BYTES;
-    let sum = file::fnv64(&old[..body_len]);
-    old[body_len..].copy_from_slice(&sum.to_le_bytes());
+    fix_sums(&mut old);
     std::fs::write(&path, &old).unwrap();
     match store.load_checkpoints(&key).unwrap_err() {
         StoreError::Version { what, found, expected, .. } => {
@@ -270,7 +275,7 @@ fn pre_snapshot_format_version_is_rejected_as_a_unit() {
     }
     // Header-only readers agree, and gc sweeps the file.
     assert!(matches!(
-        file::read_header(&path),
+        shard::read_shard_header(&std::fs::read(&path).unwrap(), &path),
         Err(StoreError::Version { .. })
     ));
     assert_eq!(store.gc().removed, 1);
@@ -299,13 +304,11 @@ fn stale_timing_version_results_are_rejected_as_a_unit() {
     store
         .save_intervals(&rkey, &[IntervalRecord::default(), IntervalRecord::default()])
         .unwrap();
-    let path = store.root().join(rkey.file_name());
+    let path = store.shard_path(FileKind::Results, &rkey.file_name());
     let bytes = std::fs::read(&path).unwrap();
     let mut old = bytes.clone();
     old[20..24].copy_from_slice(&(dca_sim::TIMING_VERSION - 1).to_le_bytes());
-    let body_len = old.len() - file::TRAILER_BYTES;
-    let sum = file::fnv64(&old[..body_len]);
-    old[body_len..].copy_from_slice(&sum.to_le_bytes());
+    fix_sums(&mut old);
     std::fs::write(&path, &old).unwrap();
     match store.load_intervals(&rkey).unwrap_err() {
         StoreError::Version { what, found, expected, .. } => {

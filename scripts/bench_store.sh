@@ -55,6 +55,16 @@ if ! cmp -s "$TMP/warm.md" "$TMP/warm2.md"; then
   exit 1
 fi
 
+# The store uses the sharded v3 layout (ISSUE 6): checkpoint streams
+# under ck/, interval results under rs/, both populated by the runs.
+for sub in ck rs; do
+  n=$(find "$STORE_DIR/$sub" -type f 2>/dev/null | wc -l)
+  if [ "$n" -eq 0 ]; then
+    echo "FAIL: sharded store layout missing a populated $STORE_DIR/$sub/" >&2
+    exit 1
+  fi
+done
+
 # The sampling summary must carry the detached-vs-continuous warming
 # transient delta (cold-vs-continuous bias measurement, DESIGN.md §9).
 if ! grep -q '"warming_transient"' "$TMP/warm.json"; then

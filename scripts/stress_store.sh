@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Multi-process store stress (ISSUE 6 acceptance): N `figures sampling`
+# processes race on one shared --store-dir. The shard locks must elect
+# one writer per shard and everyone else must be served from the store,
+# so every worker's report is byte-identical to a cold single-process
+# reference; afterwards the shared store must verify clean (exit 0),
+# hold the sharded ck/ + rs/ layout, and leave no locks behind.
+#
+# Usage: scripts/stress_store.sh [N]
+#   FIGURES_BIN  figures binary  (default target/release/figures)
+#   DCA_BIN      dca binary      (default target/release/dca)
+set -euo pipefail
+
+N="${1:-4}"
+FIGURES_BIN="${FIGURES_BIN:-$PWD/target/release/figures}"
+DCA_BIN="${DCA_BIN:-$PWD/target/release/dca}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bin in "$FIGURES_BIN" "$DCA_BIN"; do
+  [ -x "$bin" ] || { echo "error: $bin not built (cargo build --release)" >&2; exit 1; }
+done
+
+# Small sampled run: big enough to persist checkpoint and result
+# shards, small enough that N copies finish in seconds.
+ARGS=(sampling --scale smoke --max-insts 40000 --sample-period 10000
+      --sample-warmup 1000 --sample-interval 2000)
+
+# Cold single-process reference against its own store.
+mkdir -p "$TMP/ref"
+(cd "$TMP/ref" && "$FIGURES_BIN" "${ARGS[@]}" --store-dir "$TMP/ref-store" >log 2>&1)
+
+# N workers, each in its own working directory, share one cold store.
+STORE="$TMP/shared-store"
+pids=()
+for i in $(seq 1 "$N"); do
+  mkdir -p "$TMP/w$i"
+  (cd "$TMP/w$i" && "$FIGURES_BIN" "${ARGS[@]}" --store-dir "$STORE" >log 2>&1) &
+  pids+=($!)
+done
+fail=0
+for p in "${pids[@]}"; do wait "$p" || fail=1; done
+if [ "$fail" != 0 ]; then
+  echo "FAIL: a concurrent worker exited non-zero" >&2
+  tail -n 20 "$TMP"/w*/log >&2
+  exit 1
+fi
+
+for i in $(seq 1 "$N"); do
+  if ! cmp -s "$TMP/ref/results/sampling.md" "$TMP/w$i/results/sampling.md"; then
+    echo "FAIL: worker $i report differs from the single-process reference" >&2
+    diff "$TMP/ref/results/sampling.md" "$TMP/w$i/results/sampling.md" >&2 || true
+    exit 1
+  fi
+done
+
+# The shared store verifies clean (exit 0) with the sharded layout.
+"$DCA_BIN" store verify --store-dir "$STORE"
+for sub in ck rs; do
+  n=$(find "$STORE/$sub" -type f | wc -l)
+  [ "$n" -gt 0 ] || { echo "FAIL: $STORE/$sub is empty (sharded layout missing)" >&2; exit 1; }
+done
+left=$(find "$STORE/locks" -name '*.lock' 2>/dev/null | wc -l)
+[ "$left" -eq 0 ] || { echo "FAIL: $left shard lock(s) left behind" >&2; exit 1; }
+
+echo "OK: $N concurrent workers, byte-identical reports, store verifies clean"
