@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the N-way cluster geometry: simulated
+//! instructions per second at N ∈ {2, 4} (plus the `hetero4` preset),
+//! so the N-cluster generalisation's cost on the hot issue/steer path
+//! is tracked against the two-cluster baseline.
+//!
+//! Run with `CRITERION_SHIM_JSON=BENCH_nclusters.json cargo bench
+//! --bench nclusters` to record the trajectory (CI does).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dca_sim::{MachineDesc, SimConfig, Simulator};
+use dca_steer::GeneralBalance;
+use dca_workloads::{build, Scale};
+
+const FUEL: u64 = 20_000;
+
+fn bench_nclusters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nclusters");
+    let w = build("compress", Scale::Smoke);
+    g.throughput(Throughput::Elements(FUEL));
+    let machines = [
+        ("homo2_general_balance", SimConfig::n_clustered(2).unwrap()),
+        ("homo4_general_balance", SimConfig::n_clustered(4).unwrap()),
+        (
+            "hetero4_general_balance",
+            MachineDesc::hetero4()
+                .apply(&SimConfig::paper_clustered())
+                .unwrap(),
+        ),
+    ];
+    for (name, cfg) in &machines {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut s = GeneralBalance::new();
+                black_box(Simulator::new(cfg, &w.program, w.memory.clone()).run(&mut s, FUEL))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nclusters
+}
+criterion_main!(benches);

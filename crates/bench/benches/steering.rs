@@ -42,10 +42,10 @@ fn drive(scheme: &mut dyn Steering, prog: &Program, rounds: usize) -> u64 {
             seq += 1;
             let c = scheme
                 .steer(&view, Allowed::both(), &ctx)
-                .unwrap_or(ClusterId::Int);
+                .unwrap_or(ClusterId::INT);
             scheme.on_steered(&view, c, &ctx);
             scheme.on_issued(view.seq, c);
-            int_count += u64::from(c == ClusterId::Int);
+            int_count += u64::from(c == ClusterId::INT);
         }
     }
     int_count

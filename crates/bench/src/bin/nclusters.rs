@@ -1,0 +1,5 @@
+//! Regenerates the cluster-count scaling artefact `nclusters`
+//! (homogeneous N ∈ {2, 4, 8} plus the `hetero4` preset).
+fn main() {
+    dca_bench::run_cli(Some("nclusters"));
+}

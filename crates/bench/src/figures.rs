@@ -57,6 +57,38 @@ fn suite_parallel<R: Send>(
         .collect()
 }
 
+/// Speed-ups (%) over the base machine for a sweep of custom-registered
+/// machines under one scheme, ensured as a single parallel batch and
+/// returned in suite order. This is how the `ablate_*` configuration
+/// sweeps route through the Lab's cache, sampling and persistent store:
+/// each sweep point's results are keyed by its geometry
+/// ([`dca_sim::SimConfig::config_hash`]), so ablated configs never
+/// collide with each other or with the presets.
+fn custom_speedups(
+    lab: &mut Lab,
+    machines: &[Machine],
+    scheme: SchemeKind,
+) -> Vec<(&'static str, Vec<f64>)> {
+    let mut runs: Vec<(&str, Machine, SchemeKind)> = Vec::new();
+    for &bench in &NAMES {
+        runs.push((bench, Machine::Base, SchemeKind::Naive));
+        for &m in machines {
+            runs.push((bench, m, scheme));
+        }
+    }
+    lab.ensure(&runs);
+    NAMES
+        .iter()
+        .map(|&bench| {
+            let sps = machines
+                .iter()
+                .map(|&m| lab.speedup(bench, m, scheme))
+                .collect();
+            (bench, sps)
+        })
+        .collect()
+}
+
 /// A regenerated artefact.
 #[derive(Clone, Debug, Default)]
 pub struct Figure {
@@ -818,29 +850,22 @@ pub fn ablate_threshold(lab: &mut Lab) -> Figure {
 /// and that the naive partitioning is insensitive (it never
 /// communicates).
 pub fn ablate_copy_latency(lab: &mut Lab) -> Figure {
-    use dca_sim::Simulator;
-    use dca_steer::GeneralBalance;
-
     let latencies = [1u32, 2, 4, 8];
+    let machines: Vec<Machine> = latencies
+        .iter()
+        .map(|&lat| {
+            let mut cfg = Machine::Clustered.config();
+            cfg.copy_latency = lat;
+            lab.register_machine(cfg)
+        })
+        .collect();
     let mut header = vec!["benchmark".to_string()];
     header.extend(latencies.iter().map(|l| format!("{l} cycle(s)")));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; latencies.len()];
-    ensure_series(lab, &[], &NAMES, true);
-    for (bench, ipcs) in suite_parallel(lab, |_, w| {
-        latencies.map(|lat| {
-            let mut cfg = Machine::Clustered.config();
-            cfg.copy_latency = lat;
-            Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max)
-                .ipc()
-        })
-    }) {
-        let base_ipc = lab.base(bench).ipc();
+    for (bench, sps) in custom_speedups(lab, &machines, SchemeKind::GeneralBalance) {
         let mut row = vec![bench.to_string()];
-        for (k, ipc) in ipcs.into_iter().enumerate() {
-            let sp = (ipc / base_ipc - 1.0) * 100.0;
+        for (k, sp) in sps.into_iter().enumerate() {
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
@@ -869,15 +894,19 @@ pub fn ablate_copy_latency(lab: &mut Lab) -> Figure {
 /// Per-cluster issue width sweep: how much of the upper bound's
 /// advantage is raw width versus the absence of communication.
 pub fn ablate_issue_width(lab: &mut Lab) -> Figure {
-    use dca_sim::Simulator;
-    use dca_steer::GeneralBalance;
-
     let widths = [2u32, 4, 8];
+    let machines: Vec<Machine> = widths
+        .iter()
+        .map(|&iw| {
+            let mut cfg = Machine::Clustered.config();
+            cfg.issue_width = dca_sim::per_cluster(&[iw, iw]);
+            lab.register_machine(cfg)
+        })
+        .collect();
     let mut header = vec!["benchmark".to_string()];
     header.extend(widths.iter().map(|w| format!("{w}+{w} wide")));
     header.push("UB 8-wide".into());
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; widths.len() + 1];
     ensure_series(
         lab,
@@ -885,28 +914,13 @@ pub fn ablate_issue_width(lab: &mut Lab) -> Figure {
         &NAMES,
         true,
     );
-    for (bench, ipcs) in suite_parallel(lab, |_, w| {
-        widths.map(|iw| {
-            let mut cfg = Machine::Clustered.config();
-            cfg.issue_width = [iw, iw];
-            Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max)
-                .ipc()
-        })
-    }) {
-        let base_ipc = lab.base(bench).ipc();
+    for (bench, sps) in custom_speedups(lab, &machines, SchemeKind::GeneralBalance) {
         let mut row = vec![bench.to_string()];
-        for (k, ipc) in ipcs.into_iter().enumerate() {
-            let sp = (ipc / base_ipc - 1.0) * 100.0;
+        for (k, sp) in sps.into_iter().enumerate() {
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
-        let ub = (lab
-            .stats(bench, Machine::UpperBound, SchemeKind::Naive)
-            .ipc()
-            / base_ipc
-            - 1.0)
-            * 100.0;
+        let ub = lab.speedup(bench, Machine::UpperBound, SchemeKind::Naive);
         sums[widths.len()] += ub;
         row.push(format!("{ub:.1}"));
         t.row(&row);
@@ -931,29 +945,22 @@ pub fn ablate_issue_width(lab: &mut Lab) -> Figure {
 
 /// Instruction-window (ROB) sweep on the paper's clustered machine.
 pub fn ablate_window(lab: &mut Lab) -> Figure {
-    use dca_sim::Simulator;
-    use dca_steer::GeneralBalance;
-
     let sizes = [32u32, 64, 128];
+    let machines: Vec<Machine> = sizes
+        .iter()
+        .map(|&rob| {
+            let mut cfg = Machine::Clustered.config();
+            cfg.rob_size = rob;
+            lab.register_machine(cfg)
+        })
+        .collect();
     let mut header = vec!["benchmark".to_string()];
     header.extend(sizes.iter().map(|s| format!("ROB {s}")));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; sizes.len()];
-    ensure_series(lab, &[], &NAMES, true);
-    for (bench, ipcs) in suite_parallel(lab, |_, w| {
-        sizes.map(|rob| {
-            let mut cfg = Machine::Clustered.config();
-            cfg.rob_size = rob;
-            Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max)
-                .ipc()
-        })
-    }) {
-        let base_ipc = lab.base(bench).ipc();
+    for (bench, sps) in custom_speedups(lab, &machines, SchemeKind::GeneralBalance) {
         let mut row = vec![bench.to_string()];
-        for (k, ipc) in ipcs.into_iter().enumerate() {
-            let sp = (ipc / base_ipc - 1.0) * 100.0;
+        for (k, sp) in sps.into_iter().enumerate() {
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
@@ -982,32 +989,25 @@ pub fn ablate_window(lab: &mut Lab) -> Figure {
 /// the reproduction defaults to unconstrained ports. This sweep shows
 /// what the claim costs if ports are scarce.
 pub fn ablate_rf_ports(lab: &mut Lab) -> Figure {
-    use dca_sim::Simulator;
-    use dca_steer::GeneralBalance;
-
     // (read, write) ports per cluster; 0 = unconstrained.
     let configs: [(u32, u32, &str); 4] =
         [(0, 0, "unconstrained"), (8, 4, "8r4w"), (6, 3, "6r3w"), (4, 2, "4r2w")];
+    let machines: Vec<Machine> = configs
+        .iter()
+        .map(|&(r, wr, _)| {
+            let mut cfg = Machine::Clustered.config();
+            cfg.rf_read_ports = dca_sim::per_cluster(&[r, r]);
+            cfg.rf_write_ports = dca_sim::per_cluster(&[wr, wr]);
+            lab.register_machine(cfg)
+        })
+        .collect();
     let mut header = vec!["benchmark".to_string()];
     header.extend(configs.iter().map(|&(_, _, l)| l.to_string()));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
-    let max = lab.opts().max_insts;
     let mut sums = vec![0.0f64; configs.len()];
-    ensure_series(lab, &[], &NAMES, true);
-    for (bench, ipcs) in suite_parallel(lab, |_, w| {
-        configs.map(|(r, wr, _)| {
-            let mut cfg = Machine::Clustered.config();
-            cfg.rf_read_ports = [r, r];
-            cfg.rf_write_ports = [wr, wr];
-            Simulator::new(&cfg, &w.program, w.memory.clone())
-                .run(&mut GeneralBalance::new(), max)
-                .ipc()
-        })
-    }) {
-        let base_ipc = lab.base(bench).ipc();
+    for (bench, sps) in custom_speedups(lab, &machines, SchemeKind::GeneralBalance) {
         let mut row = vec![bench.to_string()];
-        for (k, ipc) in ipcs.into_iter().enumerate() {
-            let sp = (ipc / base_ipc - 1.0) * 100.0;
+        for (k, sp) in sps.into_iter().enumerate() {
             sums[k] += sp;
             row.push(format!("{sp:.1}"));
         }
@@ -1411,6 +1411,116 @@ pub fn sampling(lab: &mut Lab) -> Figure {
     }
 }
 
+/// Scaling sweep beyond the paper's two-cluster machine: homogeneous
+/// N ∈ {2, 4, 8} plus the `hetero4` preset (the paper pair flanked by
+/// two narrow satellites on a line topology).
+///
+/// Deliberately *not* part of [`all`]: the default `figures` run
+/// reproduces the paper's two-cluster evaluation, and this sweep
+/// multiplies the run-set by 4 machines × 3 schemes. It is its own
+/// artefact (`figures nclusters`), exercised by the CI `nclusters`
+/// smoke job.
+pub fn nclusters(lab: &mut Lab) -> Figure {
+    let machines: [(&str, Machine); 4] = [
+        ("homo2", Machine::NClusters(2)),
+        ("homo4", Machine::NClusters(4)),
+        ("homo8", Machine::NClusters(8)),
+        ("hetero4", Machine::Hetero4),
+    ];
+    let schemes: [(&str, SchemeKind); 3] = [
+        ("modulo", SchemeKind::Modulo),
+        ("balance", SchemeKind::GeneralBalance),
+        ("fifo", SchemeKind::Fifo),
+    ];
+    let mut runs: Vec<(&str, Machine, SchemeKind)> = Vec::new();
+    for &bench in &NAMES {
+        for &(_, m) in &machines {
+            for &(_, s) in &schemes {
+                runs.push((bench, m, s));
+            }
+        }
+    }
+    lab.ensure(&runs);
+
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "IPC scaling as clusters are added while the paper's Table 2 front\n\
+         end is held fixed. `homoN` is N copies of the paper's cluster on a\n\
+         line topology; `hetero4` flanks the paper pair with two narrow\n\
+         satellites. Speed-ups are % over the two-cluster machine under the\n\
+         *same* scheme, so each column isolates what the extra clusters buy\n\
+         (or cost, once communication outweighs the added issue slots).\n"
+    );
+
+    // Per-benchmark detail under the balance scheme.
+    let mut headers = vec!["benchmark".to_string(), "homo2 IPC".to_string()];
+    headers.extend(machines.iter().skip(1).map(|&(l, _)| format!("{l} (%)")));
+    let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for &bench in &NAMES {
+        let base = lab.stats(bench, machines[0].1, SchemeKind::GeneralBalance);
+        let mut row = vec![bench.to_string(), format!("{:.3}", base.ipc())];
+        for &(_, m) in machines.iter().skip(1) {
+            let s = lab.stats(bench, m, SchemeKind::GeneralBalance);
+            row.push(format!("{:.1}", s.speedup_over(&base)));
+        }
+        t.row(&row);
+    }
+    let _ = writeln!(body, "Per benchmark, balance scheme:\n\n{}", t.to_markdown());
+
+    // Scheme × machine summary: suite H-mean speed-up over homo2 under
+    // the same scheme, plus communications per instruction.
+    let mut headers = vec!["scheme".to_string()];
+    headers.extend(machines.iter().skip(1).map(|&(l, _)| format!("{l} (%)")));
+    headers.push("homo2 comm/i".into());
+    headers.push("homo8 comm/i".into());
+    let mut summary = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut bars = Vec::new();
+    for &(label, scheme) in &schemes {
+        let mut row = vec![label.to_string()];
+        for &(mlabel, m) in machines.iter().skip(1) {
+            let sps: Vec<f64> = NAMES
+                .iter()
+                .map(|&bench| {
+                    let base = lab.stats(bench, machines[0].1, scheme);
+                    lab.stats(bench, m, scheme).speedup_over(&base)
+                })
+                .collect();
+            let mean = Mean::Harmonic.of_percents(&sps);
+            row.push(format!("{mean:.1}"));
+            if scheme == SchemeKind::GeneralBalance {
+                bars.push((mlabel.to_string(), mean));
+            }
+        }
+        for &m in &[machines[0].1, machines[2].1] {
+            let mean: f64 = NAMES
+                .iter()
+                .map(|&bench| lab.stats(bench, m, scheme).comms_per_inst())
+                .sum::<f64>()
+                / NAMES.len() as f64;
+            row.push(format!("{mean:.3}"));
+        }
+        summary.row(&row);
+    }
+    let _ = writeln!(
+        body,
+        "Suite H-mean speed-up over homo2, same scheme:\n\n{}",
+        summary.to_markdown()
+    );
+    let _ = writeln!(
+        body,
+        "```\nbalance H-mean over homo2:\n{}```",
+        ascii_bars(&bars, 40)
+    );
+
+    Figure {
+        id: "nclusters",
+        title: "Cluster-count scaling beyond the paper's two-cluster machine".into(),
+        body,
+        timing: None,
+    }
+}
+
 /// Looks up a figure generator by its artefact id.
 pub fn by_name(name: &str) -> Option<fn(&mut Lab) -> Figure> {
     Some(match name {
@@ -1437,6 +1547,7 @@ pub fn by_name(name: &str) -> Option<fn(&mut Lab) -> Figure> {
         "ablate_window" => ablate_window,
         "ablate_rf_ports" => ablate_rf_ports,
         "sampling" => sampling,
+        "nclusters" => nclusters,
         _ => return None,
     })
 }

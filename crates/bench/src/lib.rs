@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use dca_prog::{fast_forward_with, FastForward, Program};
-use dca_sim::{ContinuousWarmer, SimConfig, SimStats, Simulator, Steering};
+use dca_sim::{ContinuousWarmer, MachineDesc, SimConfig, SimStats, Simulator, Steering};
 use dca_uarch::UarchSnapshot;
 use dca_store::{CheckpointKey, FileKind, IntervalRecord, LockAttempt, ResultKey, Store, StoreError};
 use dca_steer::{
@@ -42,16 +42,42 @@ pub enum Machine {
     OneBus,
     /// The 16-way upper bound ("UB arch").
     UpperBound,
+    /// Homogeneous N-cluster extension of the paper machine
+    /// ([`SimConfig::n_clustered`]). `NClusters(2)` is the paper's
+    /// clustered machine geometry, cached/stored under its own key.
+    NClusters(u8),
+    /// The heterogeneous 4-cluster preset
+    /// ([`dca_sim::MachineDesc::hetero4`]): the two paper clusters
+    /// plus two narrow satellites on a linear topology.
+    Hetero4,
+    /// A custom geometry registered with [`Lab::register_machine`].
+    /// The payload is the config's [`SimConfig::config_hash`]; only
+    /// the registering lab can resolve it.
+    Custom(u64),
 }
 
 impl Machine {
     /// The corresponding configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Machine::Custom`] (resolved through the [`Lab`]
+    /// that registered it) and on an out-of-range cluster count.
     pub fn config(self) -> SimConfig {
         match self {
             Machine::Base => SimConfig::paper_base(),
             Machine::Clustered => SimConfig::paper_clustered(),
             Machine::OneBus => SimConfig::one_bus(),
             Machine::UpperBound => SimConfig::paper_upper_bound(),
+            Machine::NClusters(n) => {
+                SimConfig::n_clustered(usize::from(n)).unwrap_or_else(|e| panic!("{e}"))
+            }
+            Machine::Hetero4 => MachineDesc::hetero4()
+                .apply(&SimConfig::paper_clustered())
+                .expect("hetero4 preset validates"),
+            Machine::Custom(h) => panic!(
+                "custom machine {h:#018x} has no preset config; use the Lab that registered it"
+            ),
         }
     }
 
@@ -61,26 +87,36 @@ impl Machine {
     ///
     /// Returns the list of valid names on an unknown input.
     pub fn from_name(name: &str) -> Result<Machine, String> {
+        if let Some(n) = name.strip_prefix("homo") {
+            let n: u8 = n
+                .parse()
+                .map_err(|_| format!("bad cluster count in `{name}`"))?;
+            return Ok(Machine::NClusters(n));
+        }
         Ok(match name {
             "base" => Machine::Base,
             "clustered" => Machine::Clustered,
             "one-bus" | "onebus" => Machine::OneBus,
             "ub" | "upper-bound" => Machine::UpperBound,
+            "hetero4" => Machine::Hetero4,
             other => {
                 return Err(format!(
-                    "unknown machine `{other}` (base|clustered|one-bus|ub)"
+                    "unknown machine `{other}` (base|clustered|one-bus|ub|homo<N>|hetero4)"
                 ))
             }
         })
     }
 
-    /// Stable key for memoisation.
-    fn key(self) -> &'static str {
+    /// Stable key for memoisation and result-store file names.
+    fn key(self) -> String {
         match self {
-            Machine::Base => "base",
-            Machine::Clustered => "clustered",
-            Machine::OneBus => "onebus",
-            Machine::UpperBound => "ub",
+            Machine::Base => "base".into(),
+            Machine::Clustered => "clustered".into(),
+            Machine::OneBus => "onebus".into(),
+            Machine::UpperBound => "ub".into(),
+            Machine::NClusters(n) => format!("homo{n}"),
+            Machine::Hetero4 => "hetero4".into(),
+            Machine::Custom(h) => format!("custom{h:016x}"),
         }
     }
 }
@@ -315,6 +351,11 @@ pub struct RunOpts {
     /// functional warming of every sampled interval
     /// (`--warm-steering`; ROADMAP "steering-state warm-up").
     pub warm_steering: bool,
+    /// How long the Lab waits for another process's shard lock before
+    /// degrading to storeless computation (`--lock-wait-secs`; `None`
+    /// keeps the store default of 120 s). CI and tests set this low so
+    /// a wedged peer cannot stall a run for minutes.
+    pub lock_wait_secs: Option<u64>,
 }
 
 impl Default for RunOpts {
@@ -326,6 +367,7 @@ impl Default for RunOpts {
             sampling: None,
             store_dir: None,
             warm_steering: false,
+            lock_wait_secs: None,
         }
     }
 }
@@ -335,9 +377,9 @@ impl RunOpts {
     /// (`--scale smoke|default|full|paper`, `--max-insts N`,
     /// `--sample-period N`, `--sample-warmup N`, `--sample-interval N`,
     /// `--target-stderr X`, `--warming detached|continuous`,
-    /// `--store-dir DIR`, `--no-store`, `--warm-steering`,
-    /// `--verbose`). Unrecognised arguments are returned for the
-    /// caller.
+    /// `--store-dir DIR`, `--no-store`, `--lock-wait-secs N`,
+    /// `--warm-steering`, `--verbose`). Unrecognised arguments are
+    /// returned for the caller.
     ///
     /// `--scale paper` selects [`Scale::Paper`], widens the default
     /// instruction budget to the paper's 100M window and turns on
@@ -406,6 +448,13 @@ impl RunOpts {
                 "--store-dir" => {
                     let v = args.next().expect("--store-dir needs a directory");
                     opts.store_dir = Some(PathBuf::from(v));
+                }
+                "--lock-wait-secs" => {
+                    opts.lock_wait_secs = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--lock-wait-secs needs a number of seconds"),
+                    );
                 }
                 "--no-store" => no_store = true,
                 "--warm-steering" => opts.warm_steering = true,
@@ -678,11 +727,14 @@ fn merge_outcomes(outcomes: &[IntervalOutcome], used: usize, budget: u64) -> (Si
 pub struct Lab {
     opts: RunOpts,
     workloads: HashMap<&'static str, Workload>,
-    cache: BTreeMap<(String, &'static str, String), SimStats>,
+    cache: BTreeMap<(String, String, String), SimStats>,
     /// Per-benchmark checkpoint streams (sampled mode only).
     ffs: HashMap<&'static str, FastForward>,
     ff_info: BTreeMap<&'static str, FastForwardInfo>,
-    sample_info: BTreeMap<(String, &'static str, String), SampleInfo>,
+    sample_info: BTreeMap<(String, String, String), SampleInfo>,
+    /// Custom machine geometries ([`Lab::register_machine`]), keyed by
+    /// [`SimConfig::config_hash`].
+    custom: HashMap<u64, SimConfig>,
     /// Persistent checkpoint/result store ([`RunOpts::store_dir`]).
     store: Option<Store>,
 }
@@ -690,7 +742,13 @@ pub struct Lab {
 impl Lab {
     /// Creates a lab.
     pub fn new(opts: RunOpts) -> Lab {
-        let store = opts.store_dir.as_ref().map(Store::open);
+        let store = opts.store_dir.as_ref().map(|dir| {
+            let s = Store::open(dir);
+            match opts.lock_wait_secs {
+                Some(secs) => s.with_lock_wait(Duration::from_secs(secs)),
+                None => s,
+            }
+        });
         Lab {
             opts,
             workloads: HashMap::new(),
@@ -698,7 +756,43 @@ impl Lab {
             ffs: HashMap::new(),
             ff_info: BTreeMap::new(),
             sample_info: BTreeMap::new(),
+            custom: HashMap::new(),
             store,
+        }
+    }
+
+    /// Registers a custom machine geometry and returns the
+    /// [`Machine::Custom`] selector to use with [`Lab::stats`] /
+    /// [`Lab::ensure`]. Custom runs go through the same memoisation,
+    /// sampling and persistent-store paths as the presets — results
+    /// are keyed by the config's [`SimConfig::config_hash`], so two
+    /// ablated configs can never collide in the store. Registering the
+    /// same config twice is idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config fails [`SimConfig::validate`].
+    pub fn register_machine(&mut self, cfg: SimConfig) -> Machine {
+        cfg.validate().unwrap_or_else(|e| panic!("custom machine: {e}"));
+        let h = cfg.config_hash();
+        self.custom.insert(h, cfg);
+        Machine::Custom(h)
+    }
+
+    /// Resolves a selector to its configuration (presets directly,
+    /// custom machines through the registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`Machine::Custom`] this lab never registered.
+    fn config_of(&self, machine: Machine) -> SimConfig {
+        match machine {
+            Machine::Custom(h) => self
+                .custom
+                .get(&h)
+                .unwrap_or_else(|| panic!("machine {h:#018x} was never registered"))
+                .clone(),
+            preset => preset.config(),
         }
     }
 
@@ -833,15 +927,14 @@ impl Lab {
             .or_insert_with(|| dca_workloads::build(name, scale))
     }
 
-    fn cache_key(bench: &str, machine: Machine, scheme: SchemeKind) -> (String, &'static str, String) {
+    fn cache_key(bench: &str, machine: Machine, scheme: SchemeKind) -> (String, String, String) {
         (bench.to_owned(), machine.key(), scheme.key())
     }
 
     /// Runs one combination (no cache involved).
-    fn simulate(w: &Workload, machine: Machine, scheme: SchemeKind, max_insts: u64) -> SimStats {
-        let cfg = machine.config();
+    fn simulate(w: &Workload, cfg: &SimConfig, scheme: SchemeKind, max_insts: u64) -> SimStats {
         let mut steering = scheme.instantiate(&w.program);
-        Simulator::new(&cfg, &w.program, w.memory.clone()).run(steering.as_mut(), max_insts)
+        Simulator::new(cfg, &w.program, w.memory.clone()).run(steering.as_mut(), max_insts)
     }
 
     /// Precomputes every not-yet-cached combination of `runs` in
@@ -879,10 +972,13 @@ impl Lab {
             eprintln!("[lab] running {} combinations in parallel", todo.len());
         }
         let max_insts = self.opts.max_insts;
+        let cfgs: Vec<SimConfig> = todo.iter().map(|&(_, m, _)| self.config_of(m)).collect();
         let workloads = &self.workloads;
-        let results = Self::fan_out(&todo, |&(bench, machine, scheme)| {
+        let jobs: Vec<usize> = (0..todo.len()).collect();
+        let results = Self::fan_out(&jobs, |&i| {
+            let (bench, machine, scheme) = todo[i];
             let w = &workloads[bench];
-            let stats = Self::simulate(w, machine, scheme, max_insts);
+            let stats = Self::simulate(w, &cfgs[i], scheme, max_insts);
             (Self::cache_key(bench, machine, scheme), stats)
         });
         self.cache.extend(results);
@@ -924,6 +1020,13 @@ impl Lab {
         // of the result keys so a warm store survives `--sample-warmup`
         // changes that cannot affect the stored intervals.
         let key_warmup = if continuous { 0 } else { sampling.warmup };
+        // Resolved machine configs, one per run: the store keys carry
+        // their `config_hash` (results) so ablated/custom geometries
+        // never collide, and the warming substrate's `uarch_hash`
+        // (checkpoint streams) so snapshots only restore onto the
+        // geometry that produced them.
+        let cfgs: Vec<SimConfig> = todo.iter().map(|&(_, m, _)| self.config_of(m)).collect();
+        let warm_uarch = SimConfig::default().uarch_hash();
 
         // Workload fingerprints for the store keys, once per benchmark.
         let mut fingerprints: HashMap<&'static str, u64> = HashMap::new();
@@ -969,6 +1072,7 @@ impl Lab {
                     period: sampling.period,
                     max_insts,
                     fingerprint: fps[bench],
+                    uarch: warm_uarch,
                 });
                 let t0 = Instant::now();
                 let compute = || {
@@ -1029,10 +1133,12 @@ impl Lab {
             let mut outcomes: Vec<IntervalOutcome> = Vec::new();
             if let Some(store) = &self.store {
                 let scheme_key = scheme.key();
+                let machine_key = machine.key();
                 let key = ResultKey {
                     workload: bench,
                     scale,
-                    machine: machine.key(),
+                    machine: &machine_key,
+                    geometry: cfgs[i].config_hash(),
                     scheme: &scheme_key,
                     period: sampling.period,
                     warmup: key_warmup,
@@ -1099,9 +1205,9 @@ impl Lab {
                 let (bench, machine, scheme) = todo[i];
                 let w = &workloads[bench];
                 let ckpt = &ffs[bench].checkpoints[idx];
-                let cfg = machine.config();
+                let cfg = &cfgs[i];
                 let mut steering = scheme.instantiate(&w.program);
-                let mut sim = Simulator::resume_from(&cfg, &w.program, ckpt);
+                let mut sim = Simulator::resume_from(cfg, &w.program, ckpt);
                 let t0 = Instant::now();
                 // Continuous warming restores the checkpoint's carried
                 // snapshot — zero detached-warming instructions (the
@@ -1174,10 +1280,12 @@ impl Lab {
             if let Some(store) = &self.store {
                 if st.outcomes.len() > st.prefilled {
                     let scheme_key = scheme.key();
+                    let machine_key = machine.key();
                     let key = ResultKey {
                         workload: bench,
                         scale,
-                        machine: machine.key(),
+                        machine: &machine_key,
+                        geometry: cfgs[i].config_hash(),
                         scheme: &scheme_key,
                         period: sampling.period,
                         warmup: key_warmup,
@@ -1311,8 +1419,9 @@ impl Lab {
             return self.cache[&key].clone();
         }
         let max = self.opts.max_insts;
+        let cfg = self.config_of(machine);
         let w = self.workload(bench);
-        let stats = Self::simulate(w, machine, scheme, max);
+        let stats = Self::simulate(w, &cfg, scheme, max);
         self.cache.insert(key, stats.clone());
         stats
     }
@@ -2171,5 +2280,50 @@ mod tests {
             assert!(!s.name().is_empty());
             assert!(!k.label().is_empty());
         }
+    }
+
+    #[test]
+    fn lock_wait_secs_flag_reaches_the_store() {
+        let dir = std::env::temp_dir().join("dca-bench-lockwait");
+        let argv = ["--lock-wait-secs", "3", "--store-dir"]
+            .iter()
+            .map(ToString::to_string)
+            .chain(std::iter::once(dir.display().to_string()));
+        let (opts, rest) = RunOpts::from_args(argv);
+        assert!(rest.is_empty());
+        assert_eq!(opts.lock_wait_secs, Some(3));
+        let lab = Lab::new(opts);
+        assert_eq!(
+            lab.store.as_ref().expect("store configured").lock_wait(),
+            Duration::from_secs(3),
+            "--lock-wait-secs overrides the store's lock patience"
+        );
+        // Without the flag the store keeps its default.
+        let lab = Lab::new(RunOpts {
+            store_dir: Some(dir.clone()),
+            ..RunOpts::default()
+        });
+        assert_eq!(
+            lab.store.as_ref().expect("store configured").lock_wait(),
+            Duration::from_secs(120)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn custom_machines_register_idempotently() {
+        let mut lab = Lab::new(smoke_opts());
+        let mut cfg = Machine::Clustered.config();
+        cfg.copy_latency = 4;
+        let a = lab.register_machine(cfg.clone());
+        let b = lab.register_machine(cfg.clone());
+        assert_eq!(a, b, "same config registers to the same machine");
+        assert_eq!(a.key(), format!("custom{:016x}", cfg.config_hash()));
+        // The registered machine simulates under its own key and its
+        // stats differ from the preset it was derived from.
+        let s = lab.stats("compress", a, SchemeKind::GeneralBalance);
+        let preset = lab.stats("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+        assert!(s.committed > 0);
+        assert_ne!(s.cycles, preset.cycles, "copy latency 4 changes timing");
     }
 }

@@ -27,7 +27,8 @@ fn usage() -> &'static str {
 
 USAGE:
     dca run     [--bench NAME | --kernel NAME | --asm FILE] [--scheme NAME]
-                [--machine NAME] [--scale smoke|default|full|paper] [--max-insts N]
+                [--machine NAME] [--clusters N | --geometry SPEC]
+                [--scale smoke|default|full|paper] [--max-insts N]
                 [--trace N] [--pipe FROM:TO]
     dca compare [--bench NAME|all] [--schemes a,b,...] [--scale ...]
     dca slices  [--bench NAME | --kernel NAME | --asm FILE]
@@ -60,7 +61,13 @@ corrupt or stale-version entries (skipping shards a live writer
 holds locked), `fsck` additionally sweeps orphaned temp files and
 dead-owner locks (--repair also deletes damaged shards).
 
-Machines: base | clustered | one-bus | ub
+Machines: base | clustered | one-bus | ub | homo<N> | hetero4
+`--clusters N` simulates N copies of the paper's cluster (shorthand for
+--machine homoN). `--geometry SPEC` builds an arbitrary machine: a
+preset (homo2|homo4|homo8|hetero4) or comma-separated cluster specs
+`i<issue>q<iq>r<regs>[a<alus>][m][f]` (m = load/store pipe, f = FP
+units), with an optional `@line` suffix for a line topology, e.g.
+`--geometry i4q64r96a3mf,i2q32r48a2,i2q32r48a2@line`.
 Run `dca list` for benchmark and scheme names."
 }
 
@@ -190,6 +197,8 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
     let asm = flags.take("--asm");
     let scheme = SchemeKind::from_name(&flags.take("--scheme").unwrap_or_else(|| "general".into()))?;
     let machine = Machine::from_name(&flags.take("--machine").unwrap_or_else(|| "clustered".into()))?;
+    let clusters = flags.take("--clusters");
+    let geometry = flags.take("--geometry");
     let trace_cap: usize = match flags.take("--trace") {
         Some(v) => v.parse().map_err(|_| "--trace needs a number")?,
         None => 0,
@@ -197,10 +206,23 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
     let pipe = flags.take("--pipe");
     flags.finish("run")?;
 
+    let cfg = match (clusters, geometry) {
+        (Some(_), Some(_)) => {
+            return Err("--clusters and --geometry are mutually exclusive".into())
+        }
+        (Some(n), None) => {
+            let n: usize = n.parse().map_err(|_| "--clusters needs a number")?;
+            dca_sim::SimConfig::n_clustered(n)?
+        }
+        // The spec's substrates (caches, predictor, front end) come
+        // from the selected --machine preset.
+        (None, Some(spec)) => dca_sim::MachineDesc::parse(&spec)?.apply(&machine.config())?,
+        (None, None) => machine.config(),
+    };
     let (name, prog, mem) =
         load_program(bench.as_deref(), kernel.as_deref(), asm.as_deref(), opts.scale)?;
     let mut steering = scheme.instantiate(&prog);
-    let mut sim = Simulator::new(&machine.config(), &prog, mem);
+    let mut sim = Simulator::new(&cfg, &prog, mem);
     if trace_cap > 0 {
         sim.enable_trace(trace_cap);
     }
@@ -463,6 +485,6 @@ fn cmd_list() -> Result<(), String> {
     for s in ALL_SCHEMES {
         println!("  {:15} {}", s.name(), s.label());
     }
-    println!("\nmachines: base | clustered | one-bus | ub");
+    println!("\nmachines: base | clustered | one-bus | ub | homo<N> | hetero4");
     Ok(())
 }

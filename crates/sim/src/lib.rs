@@ -62,7 +62,10 @@ pub mod steering;
 pub mod trace;
 pub mod warm;
 
-pub use config::{ClusterId, Engine, SimConfig};
+pub use config::{
+    per_cluster, ClusterDesc, ClusterId, ClusterSet, Engine, MachineDesc, SimConfig,
+    MAX_CLUSTERS,
+};
 
 /// Version of the timing model's observable behaviour.
 ///
@@ -81,6 +84,6 @@ pub use config::{ClusterId, Engine, SimConfig};
 pub const TIMING_VERSION: u32 = 2;
 pub use pipeline::Simulator;
 pub use stats::{BalanceHistogram, SimStats};
-pub use steering::{Allowed, DecodedView, SrcView, SteerCtx, Steering};
+pub use steering::{rank_clusters, Allowed, DecodedView, SrcView, SteerCtx, Steering};
 pub use trace::{Trace, TracedKind, UopRecord};
 pub use warm::ContinuousWarmer;

@@ -245,7 +245,7 @@ mod tests {
     fn store(seq: u64) -> LsqEntry {
         LsqEntry {
             is_store: true,
-            data: Some((ClusterId::Int, PhysReg(1))),
+            data: Some((ClusterId::INT, PhysReg(1))),
             ..load(seq)
         }
     }

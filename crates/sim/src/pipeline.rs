@@ -66,15 +66,15 @@ use std::collections::{BinaryHeap, VecDeque};
 use dca_isa::{ClusterNeed, ExecClass, Opcode, Reg};
 use dca_prog::{Checkpoint, DynInst, Interp, Memory, Program};
 use dca_uarch::{
-    latency_of, BranchPredictor, CacheStats, Combined, FuPool, MemHierarchy, MemLevel,
-    PortMeter, PredictorStats, SnapshotError, UarchSnapshot,
+    latency_of, BranchPredictor, CacheStats, Combined, FuPool, FuPoolConfig, MemHierarchy,
+    MemLevel, PortMeter, PredictorStats, SnapshotError, UarchSnapshot,
 };
 
-use crate::config::{ClusterId, Engine, SimConfig};
+use crate::config::{ClusterId, ClusterSet, Engine, SimConfig, MAX_CLUSTERS};
 use crate::lsq::{LoadState, Lsq, LsqEntry};
 use crate::rename::{Displaced, PhysReg, RegFile, RenameMap, IN_FLIGHT};
 use crate::stats::SimStats;
-use crate::steering::{Allowed, DecodedView, SrcView, SteerCtx, Steering};
+use crate::steering::{rank_clusters, Allowed, DecodedView, SrcView, SteerCtx, Steering};
 
 /// Cycles without a single commit (with work in flight) after which the
 /// simulator declares a livelock (a model bug, not a program property).
@@ -317,16 +317,20 @@ pub struct Simulator<'p> {
     // backend
     rob: VecDeque<RobEntry>,
     rob_head_seq: u64,
-    iq: [IqBuf; 2],
-    regs: [RegFile; 2],
+    /// Per-cluster backend state, stored inline so the hot loops index
+    /// at fixed offsets with no heap indirection (and, with
+    /// [`ClusterId::index`]'s mask, no bounds checks). Entries past
+    /// `n` are empty placeholders; live loops slice to `[..self.n]`.
+    iq: [IqBuf; MAX_CLUSTERS],
+    regs: [RegFile; MAX_CLUSTERS],
     map: RenameMap,
     lsq: Lsq,
-    fus: [FuPool; 2],
+    fus: [FuPool; MAX_CLUSTERS],
     hierarchy: MemHierarchy,
     dports: PortMeter,
-    bus_used: [u32; 2],
-    rf_reads_used: [u32; 2],
-    rf_writes_used: [u32; 2],
+    bus_used: [u32; MAX_CLUSTERS],
+    rf_reads_used: [u32; MAX_CLUSTERS],
+    rf_writes_used: [u32; MAX_CLUSTERS],
     now: u64,
     last_progress_cycle: u64,
     uop_seq: u64,
@@ -346,7 +350,16 @@ pub struct Simulator<'p> {
     /// Per-µop pipeline trace, collected only when enabled.
     trace: Option<crate::Trace>,
     stats: SimStats,
+    /// Number of live clusters (`cfg.n()`, cached for the hot loops).
+    n: usize,
     fp_cluster: ClusterId,
+    /// Clusters able to execute complex integer work (mul/div units).
+    int_complex_set: ClusterSet,
+    /// FP-capable clusters.
+    fp_set: ClusterSet,
+    /// Clusters with simple integer ALUs (candidates for free
+    /// instructions).
+    simple_set: ClusterSet,
     /// Cache/predictor counter snapshot taken at the end of
     /// [`Simulator::warm_functional`], so the reported statistics cover
     /// only the measured (detailed) part of the run.
@@ -372,26 +385,45 @@ impl<'p> Simulator<'p> {
         if let Err(e) = cfg.validate() {
             panic!("invalid simulator configuration: {e}");
         }
-        let fp_cluster = if cfg.unified { ClusterId::Int } else { ClusterId::Fp };
-        let mut regs = [
-            RegFile::new(cfg.phys_regs[0] as usize),
-            RegFile::new(cfg.phys_regs[1] as usize),
-        ];
+        let n = cfg.n();
+        let fp_cluster = cfg.fp_cluster();
+        // Capability masks steering decisions are clamped to: which
+        // clusters hold the FU kind an instruction needs. On the paper
+        // machines these reduce to the original rules (complex integer
+        // → cluster 0, FP → cluster 1, free → both — or cluster 0 only
+        // on the base machine, whose FP cluster has no simple ALUs).
+        let mut int_complex_set = ClusterSet::EMPTY;
+        let mut fp_set = ClusterSet::EMPTY;
+        let mut simple_set = ClusterSet::EMPTY;
+        for c in cfg.clusters() {
+            let f = &cfg.fus[c.index()];
+            if f.int_muldiv > 0 {
+                int_complex_set.insert(c);
+            }
+            if f.fp_alu > 0 || f.fp_muldiv > 0 {
+                fp_set.insert(c);
+            }
+            if f.int_alu > 0 {
+                simple_set.insert(c);
+            }
+        }
+        let mut regs: [RegFile; MAX_CLUSTERS] =
+            std::array::from_fn(|c| RegFile::new(if c < n { cfg.phys_regs[c] as usize } else { 0 }));
         let mut map = RenameMap::new(fp_cluster);
         // Architectural state: integer registers live in the integer
         // cluster, FP registers in the FP cluster; everything ready.
-        for n in 1..32u8 {
-            let p = regs[ClusterId::Int.index()]
+        for r in 1..32u8 {
+            let p = regs[ClusterId::INT.index()]
                 .alloc()
                 .expect("config validated: enough int registers");
-            map.define(Reg::int(n), ClusterId::Int, p);
-            regs[ClusterId::Int.index()].set_ready(p, 0);
+            map.define(Reg::int(r), ClusterId::INT, p);
+            regs[ClusterId::INT.index()].set_ready(p, 0);
         }
-        for n in 0..32u8 {
+        for r in 0..32u8 {
             let p = regs[fp_cluster.index()]
                 .alloc()
                 .expect("config validated: enough fp registers");
-            map.define(Reg::fp(n), fp_cluster, p);
+            map.define(Reg::fp(r), fp_cluster, p);
             regs[fp_cluster.index()].set_ready(p, 0);
         }
         Simulator {
@@ -406,16 +438,27 @@ impl<'p> Simulator<'p> {
             bpred: Combined::new(cfg.bpred),
             rob: VecDeque::with_capacity(cfg.rob_size as usize),
             rob_head_seq: 0,
-            iq: [IqBuf::for_rob(cfg.rob_size), IqBuf::for_rob(cfg.rob_size)],
+            iq: std::array::from_fn(|c| IqBuf::for_rob(if c < n { cfg.rob_size } else { 1 })),
             regs,
             map,
             lsq: Lsq::new(),
-            fus: [FuPool::new(cfg.fus[0]), FuPool::new(cfg.fus[1])],
+            fus: std::array::from_fn(|c| {
+                FuPool::new(if c < n {
+                    cfg.fus[c]
+                } else {
+                    FuPoolConfig {
+                        int_alu: 0,
+                        int_muldiv: 0,
+                        fp_alu: 0,
+                        fp_muldiv: 0,
+                    }
+                })
+            }),
             hierarchy: MemHierarchy::new(cfg.hierarchy),
             dports: PortMeter::new(cfg.dcache_ports),
-            bus_used: [0, 0],
-            rf_reads_used: [0, 0],
-            rf_writes_used: [0, 0],
+            bus_used: [0; MAX_CLUSTERS],
+            rf_reads_used: [0; MAX_CLUSTERS],
+            rf_writes_used: [0; MAX_CLUSTERS],
             now: 0,
             last_progress_cycle: 0,
             uop_seq: 0,
@@ -426,7 +469,11 @@ impl<'p> Simulator<'p> {
             steer_cache: None,
             trace: None,
             stats: SimStats::default(),
+            n,
             fp_cluster,
+            int_complex_set,
+            fp_set,
+            simple_set,
             warm_baseline: WarmBaseline::default(),
             cfg: cfg.clone(),
         }
@@ -566,19 +613,16 @@ impl<'p> Simulator<'p> {
             assert!(
                 self.now < self.last_progress_cycle + NO_PROGRESS_LIMIT,
                 "pipeline livelock: cycle {} ({} max instructions)\n\
-                 rob head: {:?}\niq0: {:?}\niq1: {:?}\n\
-                 ready: {:?}/{:?} by class {:?}/{:?}\n\
+                 rob head: {:?}\niq heads: {:?}\n\
+                 ready: {:?} by class {:?}\n\
                  lsq: {:?}\nbranch_wait: {:?} resume_at {}\n\
                  fetch_buf {} pending {:?} stream_done {}",
                 self.now,
                 max_insts,
                 self.rob.front(),
-                self.iq_first(ClusterId::Int),
-                self.iq_first(ClusterId::Fp),
-                self.iq[0].ready,
-                self.iq[1].ready,
-                self.iq[0].ready_class_histogram(),
-                self.iq[1].ready_class_histogram(),
+                self.cfg.clusters().map(|c| self.iq_first(c)).collect::<Vec<_>>(),
+                self.iq[..self.n].iter().map(|q| &q.ready).collect::<Vec<_>>(),
+                self.iq[..self.n].iter().map(IqBuf::ready_class_histogram).collect::<Vec<_>>(),
                 self.lsq.entries().first(),
                 self.branch_wait,
                 self.resume_at,
@@ -628,13 +672,16 @@ impl<'p> Simulator<'p> {
     /// by run length, so paper-scale (100M-instruction) runs cannot
     /// overflow it. Counters that do grow with run length
     /// (cycles, committed, copy ids) are all 64-bit.
-    fn iq_lens(&self) -> [u32; 2] {
-        debug_assert!(
-            self.iq[0].len() <= self.cfg.iq_size[0] as usize
-                && self.iq[1].len() <= self.cfg.iq_size[1] as usize,
-            "IQ occupancy exceeds the configured queue size"
-        );
-        [self.iq[0].len() as u32, self.iq[1].len() as u32]
+    fn iq_lens(&self) -> [u32; MAX_CLUSTERS] {
+        let mut lens = [0u32; MAX_CLUSTERS];
+        for (c, q) in self.iq[..self.n].iter().enumerate() {
+            debug_assert!(
+                q.len() <= self.cfg.iq_size[c] as usize,
+                "IQ occupancy exceeds the configured queue size"
+            );
+            lens[c] = q.len() as u32;
+        }
+        lens
     }
 
     /// Oldest entry queued in cluster `c` (diagnostics).
@@ -648,17 +695,16 @@ impl<'p> Simulator<'p> {
 
     fn step(&mut self, steering: &mut dyn Steering) {
         let now = self.now;
-        self.fus[0].begin_cycle(now);
-        self.fus[1].begin_cycle(now);
+        for f in &mut self.fus[..self.n] {
+            f.begin_cycle(now);
+        }
         self.dports.begin_cycle();
-        self.bus_used = [0, 0];
-        self.rf_reads_used = [0, 0];
-        self.rf_writes_used = [0, 0];
+        self.bus_used.fill(0);
+        self.rf_reads_used.fill(0);
+        self.rf_writes_used.fill(0);
 
         let ctx = self.make_ctx();
-        self.stats
-            .balance
-            .record(i64::from(ctx.ready[1]) - i64::from(ctx.ready[0]));
+        self.stats.balance.record(self.balance_sample(&ctx.ready));
         self.stats.replication_reg_cycles += u64::from(self.map.replication_count());
         steering.on_cycle(&ctx);
 
@@ -685,7 +731,7 @@ impl<'p> Simulator<'p> {
         if self.cfg.engine != Engine::Event {
             return;
         }
-        if !self.iq[0].ready.is_empty() || !self.iq[1].ready.is_empty() {
+        if self.iq[..self.n].iter().any(|q| !q.ready.is_empty()) {
             return;
         }
         if !self.fetch_buf.is_empty() {
@@ -698,11 +744,10 @@ impl<'p> Simulator<'p> {
             *wake = Some(wake.map_or(t, |w| w.min(t)));
         }
         let mut wake: Option<u64> = None;
-        if let Some(t) = self.iq[0].next_event() {
-            consider(&mut wake, t);
-        }
-        if let Some(t) = self.iq[1].next_event() {
-            consider(&mut wake, t);
+        for q in &self.iq[..self.n] {
+            if let Some(t) = q.next_event() {
+                consider(&mut wake, t);
+            }
         }
         // Memory gate: a waiting load could first act (disambiguate)
         // once its own and every older store's address timer is due —
@@ -773,12 +818,13 @@ impl<'p> Simulator<'p> {
         for cycle in self.now..wake {
             // Mirrors the bookkeeping prefix of `step` for a cycle in
             // which every stage no-ops: zero entries are ready in
-            // either cluster and the rename map is untouched.
+            // any cluster and the rename map is untouched.
             self.stats.balance.record(0);
             self.stats.replication_reg_cycles += u64::from(self.map.replication_count());
             steering.on_cycle(&SteerCtx {
                 now: cycle,
-                ready: [0, 0],
+                n: self.cfg.n_clusters,
+                ready: [0; MAX_CLUSTERS],
                 iq_len,
                 issue_width: self.cfg.issue_width,
             });
@@ -786,27 +832,42 @@ impl<'p> Simulator<'p> {
         self.now = wake;
     }
 
+    /// The balance-histogram sample for this cycle's ready counts: the
+    /// paper's signed FP−INT difference on 2-cluster machines, the
+    /// max−min spread (always ≥ 0) on wider ones.
+    fn balance_sample(&self, ready: &[u32; MAX_CLUSTERS]) -> i64 {
+        if self.n == 2 {
+            i64::from(ready[1]) - i64::from(ready[0])
+        } else {
+            let live = &ready[..self.n];
+            let max = live.iter().max().copied().unwrap_or(0);
+            let min = live.iter().min().copied().unwrap_or(0);
+            i64::from(max) - i64::from(min)
+        }
+    }
+
     fn make_ctx(&mut self) -> SteerCtx {
-        let ready = match self.cfg.engine {
+        let mut ready = [0u32; MAX_CLUSTERS];
+        match self.cfg.engine {
             Engine::Event => {
                 let now = self.now;
-                self.iq[0].drain_due(now);
-                self.iq[1].drain_due(now);
-                [self.iq[0].ready.len() as u32, self.iq[1].ready.len() as u32]
+                for (k, q) in self.iq[..self.n].iter_mut().enumerate() {
+                    q.drain_due(now);
+                    ready[k] = q.ready.len() as u32;
+                }
             }
             Engine::Scan => {
-                let mut ready = [0u32; 2];
-                for (k, slot) in ready.iter_mut().enumerate() {
-                    *slot = (self.rob_head_seq..self.uop_seq)
-                        .filter_map(|seq| self.iq[k].get(seq))
+                for (k, q) in self.iq[..self.n].iter().enumerate() {
+                    ready[k] = (self.rob_head_seq..self.uop_seq)
+                        .filter_map(|seq| q.get(seq))
                         .filter(|e| self.entry_ready(e))
                         .count() as u32;
                 }
-                ready
             }
-        };
+        }
         SteerCtx {
             now: self.now,
+            n: self.cfg.n_clusters,
             ready,
             iq_len: self.iq_lens(),
             issue_width: self.cfg.issue_width,
@@ -876,7 +937,7 @@ impl<'p> Simulator<'p> {
             }
             let head = self.rob.pop_front().expect("checked non-empty");
             debug_assert!(
-                head.sidx as usize * 2 < usize::MAX && head.cluster.index() < 2,
+                head.sidx as usize * 2 < usize::MAX && head.cluster.index() < self.n,
                 "ROB entry metadata intact"
             );
             if let Some(tr) = self.trace.as_mut() {
@@ -1028,7 +1089,9 @@ impl<'p> Simulator<'p> {
     fn try_structural(&mut self, kind: UopKind, issue_class: ExecClass, c: ClusterId) -> bool {
         match kind {
             UopKind::Copy { .. } => {
-                let dir = c.index(); // 0: INT->FP, 1: FP->INT
+                // Buses are provisioned per *source* cluster; a copy
+                // issues from the cluster whose queue holds it.
+                let dir = c.index();
                 if self.bus_used[dir] < self.cfg.buses_per_dir {
                     self.bus_used[dir] += 1;
                     true
@@ -1051,7 +1114,8 @@ impl<'p> Simulator<'p> {
     /// list holds exactly the entries the scan would have found ready,
     /// in the same seq order, so arbitration behaves identically.
     fn issue_event(&mut self, steering: &mut dyn Steering) {
-        for c in ClusterId::BOTH {
+        for ci in 0..self.n {
+            let c = ClusterId::from_index_unchecked(ci);
             let mut budget = self.cfg.issue_width[c.index()];
             let mut i = 0;
             while budget > 0 && i < self.iq[c.index()].ready.len() {
@@ -1085,7 +1149,8 @@ impl<'p> Simulator<'p> {
     /// Scan-engine issue: the original full walk of the queue in
     /// program order, re-checking operand readiness per entry.
     fn issue_scan(&mut self, steering: &mut dyn Steering) {
-        for c in ClusterId::BOTH {
+        for ci in 0..self.n {
+            let c = ClusterId::from_index_unchecked(ci);
             let mut budget = self.cfg.issue_width[c.index()];
             if budget == 0 {
                 continue;
@@ -1198,11 +1263,13 @@ impl<'p> Simulator<'p> {
             UopKind::Copy { id } => {
                 // The copy reads its source through the local bypass
                 // (0 cycles, like any FU) and drives the inter-cluster
-                // bus for `copy_latency` cycles: a remote consumer
-                // issues exactly `copy_latency` cycles after a local
-                // one could have.
+                // bus for `copy_latency` cycles (plus the pair's extra
+                // distance on non-flat topologies): a remote consumer
+                // issues exactly that many cycles after a local one
+                // could have.
                 let (dst_cluster, dst) = e.copy_dst.expect("copies have destinations");
-                let at = now + u64::from(self.cfg.copy_latency.max(1));
+                let dist = self.cfg.extra_distance[cluster.index()][dst_cluster.index()];
+                let at = now + u64::from(self.cfg.copy_latency.max(1)) + u64::from(dist);
                 self.rob[rob_idx].complete_at = Some(at);
                 self.announce_ready(dst_cluster, dst, at, Some(id));
             }
@@ -1241,21 +1308,16 @@ impl<'p> Simulator<'p> {
 
     fn allowed_clusters(&self, op: Opcode) -> Allowed {
         if self.cfg.unified {
-            return Allowed::only(ClusterId::Int);
+            return Allowed::only(ClusterId::INT);
         }
+        // Capability masks, precomputed from the FU mix at
+        // construction. On the base machine the FP cluster has no
+        // simple ALUs, so `simple_set` collapses to cluster 0 — the
+        // naive partitioning falls out of the mask rule.
         match op.cluster_need() {
-            ClusterNeed::IntOnly => Allowed::only(ClusterId::Int),
-            ClusterNeed::FpOnly => Allowed::only(self.fp_cluster),
-            ClusterNeed::Either => {
-                // The base machine removes the FP cluster's simple
-                // integer ALUs, which forces everything integer into
-                // cluster 1 — the naive partitioning.
-                if self.cfg.fus[ClusterId::Fp.index()].int_alu == 0 {
-                    Allowed::only(ClusterId::Int)
-                } else {
-                    Allowed::both()
-                }
-            }
+            ClusterNeed::IntOnly => Allowed::from_set(self.int_complex_set),
+            ClusterNeed::FpOnly => Allowed::from_set(self.fp_set),
+            ClusterNeed::Either => Allowed::from_set(self.simple_set),
         }
     }
 
@@ -1295,7 +1357,7 @@ impl<'p> Simulator<'p> {
             for (k, r) in inst.srcs().take(2).enumerate() {
                 srcs[k] = Some(SrcView {
                     reg: r,
-                    mapped: self.map.mapped_mask(r),
+                    mapped: self.map.mapped_set(r),
                 });
             }
             let view = DecodedView {
@@ -1308,7 +1370,7 @@ impl<'p> Simulator<'p> {
             };
             let allowed = self.allowed_clusters(inst.op);
             let cluster = if self.cfg.unified {
-                ClusterId::Int
+                ClusterId::INT
             } else if let Some((_, c)) = self.steer_cache.filter(|&(s, _)| s == d.seq) {
                 // Decision already made when this instruction first
                 // reached dispatch; a resource stall must not re-steer.
@@ -1328,11 +1390,20 @@ impl<'p> Simulator<'p> {
             };
 
             // ---- resource accounting -------------------------------
-            let mut needs_copy: [Option<Reg>; 2] = [None, None];
+            // A copy is sourced from the mapped cluster *closest* to
+            // the consumer (smallest extra distance, ties towards the
+            // lowest index) — on 2-cluster machines necessarily the
+            // other cluster. The copy µop occupies the source cluster's
+            // queue and allocates its destination register locally.
+            let mut needs_copy: [Option<(Reg, ClusterId)>; 2] = [None, None];
             let mut n_copies = 0u32;
             for r in Self::renamed_srcs(&inst).into_iter().flatten() {
                 if self.map.lookup(r, cluster).is_none() {
-                    needs_copy[n_copies as usize] = Some(r);
+                    let src = rank_clusters(self.map.mapped_set(r), |s| {
+                        -i64::from(self.cfg.extra_distance[s.index()][cluster.index()])
+                    })
+                    .expect("a live operand is mapped in some cluster");
+                    needs_copy[n_copies as usize] = Some((r, src));
                     n_copies += 1;
                 }
             }
@@ -1351,31 +1422,32 @@ impl<'p> Simulator<'p> {
                 }
             });
             let rob_free = self.cfg.rob_size - self.rob.len() as u32;
-            let iq_local_free =
-                self.cfg.iq_size[cluster.index()] - self.iq[cluster.index()].len() as u32;
-            let other = cluster.other();
-            let iq_remote_free =
-                self.cfg.iq_size[other.index()] - self.iq[other.index()].len() as u32;
-            let mut regs_needed = [0u32; 2];
+            let mut iq_needed = [0u32; MAX_CLUSTERS];
+            iq_needed[cluster.index()] += 1;
+            for &(_, src) in needs_copy.iter().flatten() {
+                iq_needed[src.index()] += 1;
+            }
+            let mut regs_needed = [0u32; MAX_CLUSTERS];
             regs_needed[cluster.index()] += n_copies; // copy destinations are local
             if let Some(dc) = dst_cluster {
                 regs_needed[dc.index()] += 1;
             }
             let enough = rob_free > n_copies
-                && iq_local_free >= 1
-                && iq_remote_free >= n_copies
-                && (0..2).all(|k| self.regs[k].free_count() >= regs_needed[k] as usize);
+                && (0..self.n).all(|k| {
+                    self.cfg.iq_size[k] - self.iq[k].len() as u32 >= iq_needed[k]
+                        && self.regs[k].free_count() >= regs_needed[k] as usize
+                });
             if !enough {
                 stalled = true;
                 break;
             }
 
             // ---- allocate copies -----------------------------------
-            for r in needs_copy.into_iter().flatten() {
+            for (r, src) in needs_copy.into_iter().flatten() {
                 let src_preg = self
                     .map
-                    .lookup(r, other)
-                    .expect("operand is mapped in the other cluster");
+                    .lookup(r, src)
+                    .expect("operand is mapped in the source cluster");
                 let q = self.regs[cluster.index()].alloc().expect("checked");
                 let mut displaced = Displaced::default();
                 if let Some((dc, dp)) = self.map.replicate(r, cluster, q) {
@@ -1389,7 +1461,7 @@ impl<'p> Simulator<'p> {
                     dyn_seq: d.seq,
                     sidx: d.sidx,
                     pc: d.pc,
-                    cluster: other,
+                    cluster: src,
                     kind: UopKind::Copy { id },
                     is_program: false,
                     dst: Some((cluster, q)),
@@ -1405,7 +1477,7 @@ impl<'p> Simulator<'p> {
                     seq,
                     dyn_seq: d.seq,
                     sidx: d.sidx,
-                    cluster: other,
+                    cluster: src,
                     issue_class: ExecClass::IntAlu,
                     kind: UopKind::Copy { id },
                     srcs: [Some(src_preg), None],
@@ -1418,7 +1490,7 @@ impl<'p> Simulator<'p> {
                     ready_cycle: 0,
                 });
                 self.stats.copies += 1;
-                self.stats.copies_by_dir[other.index()] += 1;
+                self.stats.copies_by_dir[src.index()] += 1;
             }
 
             // ---- main µop -------------------------------------------

@@ -1,4 +1,4 @@
-//! Register renaming with the paper's dual-mapped integer registers.
+//! Register renaming with the paper's multi-mapped integer registers.
 //!
 //! > "Dynamic register renaming is performed by means of a physical
 //! > register file in each cluster and a single register map table.
@@ -6,16 +6,19 @@
 //! > entries of the map table for integer registers contain two fields
 //! > that identify the mapping in each cluster."
 //!
-//! A new definition of logical register `r` in cluster `c` installs a
-//! fresh mapping in `c` and **invalidates** any mapping of `r` in the
-//! other cluster (the old value there is stale). A copy instruction
-//! installs a *replica* mapping of `r` in the consumer's cluster.
-//! Physical registers displaced by a definition are freed when that
-//! definition commits — by then every older reader has committed.
+//! Generalised to N clusters: the map-table entry for an integer
+//! register holds one mapping field per cluster. A new definition of
+//! logical register `r` in cluster `c` installs a fresh mapping in `c`
+//! and **invalidates** any mapping of `r` in every other cluster (the
+//! old values there are stale). A copy instruction installs a *replica*
+//! mapping of `r` in the consumer's cluster. Physical registers
+//! displaced by a definition are freed when that definition commits —
+//! by then every older reader has committed.
 
 use dca_isa::{Reg, NUM_FP_REGS, NUM_INT_REGS};
 
-use crate::ClusterId;
+use crate::config::MAX_CLUSTERS;
+use crate::{ClusterId, ClusterSet};
 
 /// A physical register index within one cluster's register file.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -24,13 +27,24 @@ pub struct PhysReg(pub u16);
 /// Cycle at which an in-flight physical register becomes readable.
 pub const IN_FLIGHT: u64 = u64::MAX;
 
-/// Up to two displaced (cluster, register) mappings, stored inline:
-/// a definition displaces at most one mapping per cluster, so a ROB
-/// entry never needs a heap allocation to remember what to free.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+/// Displaced (cluster, register) mappings, stored inline: a definition
+/// displaces at most one mapping per cluster, so a ROB entry never
+/// needs a heap allocation to remember what to free. Slots past `len`
+/// are padding, not options — this sits in every ROB entry, so it is
+/// kept as small as a fixed `MAX_CLUSTERS`-slot record can be.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Displaced {
-    slots: [Option<(ClusterId, PhysReg)>; 2],
+    slots: [(ClusterId, PhysReg); MAX_CLUSTERS],
     len: u8,
+}
+
+impl Default for Displaced {
+    fn default() -> Displaced {
+        Displaced {
+            slots: [(ClusterId::INT, PhysReg(0)); MAX_CLUSTERS],
+            len: 0,
+        }
+    }
 }
 
 impl Displaced {
@@ -38,11 +52,14 @@ impl Displaced {
     ///
     /// # Panics
     ///
-    /// Panics if both slots are already occupied (a µop can displace
+    /// Panics if all slots are already occupied (a µop can displace
     /// at most one mapping per cluster).
     pub fn push(&mut self, cluster: ClusterId, p: PhysReg) {
-        assert!((self.len as usize) < self.slots.len(), "more than 2 displaced mappings");
-        self.slots[self.len as usize] = Some((cluster, p));
+        assert!(
+            (self.len as usize) < self.slots.len(),
+            "more than {MAX_CLUSTERS} displaced mappings"
+        );
+        self.slots[self.len as usize] = (cluster, p);
         self.len += 1;
     }
 
@@ -66,7 +83,7 @@ impl Displaced {
 
     /// Iterates over the displaced mappings.
     pub fn iter(&self) -> impl Iterator<Item = (ClusterId, PhysReg)> + '_ {
-        self.slots.iter().take(self.len as usize).flatten().copied()
+        self.slots[..self.len as usize].iter().copied()
     }
 }
 
@@ -192,22 +209,42 @@ impl RegFile {
 /// (or in cluster 0 on the unified machine).
 #[derive(Clone, Debug)]
 pub struct RenameMap {
-    int: [[Option<PhysReg>; 2]; NUM_INT_REGS],
+    int: [IntRow; NUM_INT_REGS],
     fp: [Option<PhysReg>; NUM_FP_REGS],
     fp_cluster: ClusterId,
-    /// Cached count of integer registers mapped in both clusters, so
-    /// the per-cycle replication sample is O(1) instead of a walk.
-    both_mapped: u32,
+    /// Cached count of integer registers mapped in two or more
+    /// clusters, so the per-cycle replication sample is O(1) instead
+    /// of a walk.
+    replicated: u32,
+}
+
+/// One integer register's map-table row: the set of clusters holding a
+/// valid mapping plus the physical register in each. The mask makes
+/// `mapped_set` a load and lets `define` visit only live mappings
+/// instead of walking all `MAX_CLUSTERS` fields per rename.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct IntRow {
+    mask: ClusterSet,
+    regs: [PhysReg; MAX_CLUSTERS],
+}
+
+impl Default for IntRow {
+    fn default() -> IntRow {
+        IntRow {
+            mask: ClusterSet::EMPTY,
+            regs: [PhysReg(0); MAX_CLUSTERS],
+        }
+    }
 }
 
 impl RenameMap {
     /// Creates an empty map whose FP bank lives in `fp_cluster`.
     pub fn new(fp_cluster: ClusterId) -> RenameMap {
         RenameMap {
-            int: [[None; 2]; NUM_INT_REGS],
+            int: [IntRow::default(); NUM_INT_REGS],
             fp: [None; NUM_FP_REGS],
             fp_cluster,
-            both_mapped: 0,
+            replicated: 0,
         }
     }
 
@@ -218,10 +255,17 @@ impl RenameMap {
     }
 
     /// Current mapping of `reg` in `cluster` (FP registers report
-    /// `None` for the non-FP cluster).
+    /// `None` for the non-FP clusters).
     pub fn lookup(&self, reg: Reg, cluster: ClusterId) -> Option<PhysReg> {
         match reg {
-            Reg::Int(n) => self.int[n as usize][cluster.index()],
+            Reg::Int(n) => {
+                let row = &self.int[n as usize];
+                if row.mask.contains(cluster) {
+                    Some(row.regs[cluster.index()])
+                } else {
+                    None
+                }
+            }
             Reg::Fp(n) => {
                 if cluster == self.fp_cluster {
                     self.fp[n as usize]
@@ -233,15 +277,21 @@ impl RenameMap {
     }
 
     /// Which clusters currently hold a valid mapping of `reg`.
-    pub fn mapped_mask(&self, reg: Reg) -> [bool; 2] {
-        [
-            self.lookup(reg, ClusterId::Int).is_some(),
-            self.lookup(reg, ClusterId::Fp).is_some(),
-        ]
+    pub fn mapped_set(&self, reg: Reg) -> ClusterSet {
+        match reg {
+            Reg::Int(n) => self.int[n as usize].mask,
+            Reg::Fp(n) => {
+                if self.fp[n as usize].is_some() {
+                    ClusterSet::only(self.fp_cluster)
+                } else {
+                    ClusterSet::EMPTY
+                }
+            }
+        }
     }
 
     /// Installs a *definition* of `reg` in `cluster`: sets the new
-    /// mapping there and invalidates the other cluster's mapping.
+    /// mapping there and invalidates every other cluster's mapping.
     /// Returns the displaced physical registers (up to one per
     /// cluster, held inline) to be freed when the defining instruction
     /// commits.
@@ -256,15 +306,22 @@ impl RenameMap {
             Reg::Int(0) => panic!("r0 is never renamed"),
             Reg::Int(n) => {
                 let entry = &mut self.int[n as usize];
-                let was_both = entry[0].is_some() && entry[1].is_some();
-                if let Some(old) = entry[cluster.index()].replace(p) {
-                    displaced.push(cluster, old);
+                let was_multi = entry.mask.len() >= 2;
+                // Own cluster's stale mapping first, then the other
+                // clusters in ascending index order (the commit-time
+                // free order depends on it).
+                if entry.mask.contains(cluster) {
+                    displaced.push(cluster, entry.regs[cluster.index()]);
                 }
-                if let Some(old) = entry[cluster.other().index()].take() {
-                    displaced.push(cluster.other(), old);
+                let mut others = entry.mask;
+                others.remove(cluster);
+                for c in others.iter() {
+                    displaced.push(c, entry.regs[c.index()]);
                 }
+                entry.mask = ClusterSet::only(cluster);
+                entry.regs[cluster.index()] = p;
                 // After a definition exactly one cluster is mapped.
-                self.both_mapped -= u32::from(was_both);
+                self.replicated -= u32::from(was_multi);
             }
             Reg::Fp(n) => {
                 assert_eq!(
@@ -280,8 +337,8 @@ impl RenameMap {
     }
 
     /// Installs a *replica* mapping created by a copy of `reg` into
-    /// `cluster`. Unlike [`RenameMap::define`], the other cluster's
-    /// mapping stays valid. Returns a displaced stale replica if one
+    /// `cluster`. Unlike [`RenameMap::define`], the other clusters'
+    /// mappings stay valid. Returns a displaced stale replica if one
     /// existed (possible when a copy overwrites an older replica that
     /// was never invalidated by a redefinition — it is freed when the
     /// copy commits).
@@ -300,35 +357,37 @@ impl RenameMap {
             Reg::Int(0) => panic!("r0 is never renamed"),
             Reg::Int(n) => {
                 let entry = &mut self.int[n as usize];
-                let was_both = entry[0].is_some() && entry[1].is_some();
-                let old = entry[cluster.index()].replace(p).map(|old| (cluster, old));
-                let is_both = entry[0].is_some() && entry[1].is_some();
-                self.both_mapped += u32::from(is_both) - u32::from(was_both);
+                let was_multi = entry.mask.len() >= 2;
+                let old = entry
+                    .mask
+                    .contains(cluster)
+                    .then(|| (cluster, entry.regs[cluster.index()]));
+                entry.mask.insert(cluster);
+                entry.regs[cluster.index()] = p;
+                let is_multi = entry.mask.len() >= 2;
+                self.replicated += u32::from(is_multi) - u32::from(was_multi);
                 old
             }
             Reg::Fp(_) => panic!("FP registers are never replicated"),
         }
     }
 
-    /// Number of integer logical registers currently mapped in *both*
-    /// clusters — the paper's register-replication measure (Figure 15).
-    /// O(1): maintained incrementally by `define`/`replicate`.
+    /// Number of integer logical registers currently mapped in *two or
+    /// more* clusters — the paper's register-replication measure
+    /// (Figure 15). O(1): maintained incrementally by
+    /// `define`/`replicate`.
     pub fn replication_count(&self) -> u32 {
         debug_assert_eq!(
-            self.both_mapped,
-            self.int.iter().filter(|e| e[0].is_some() && e[1].is_some()).count() as u32
+            self.replicated,
+            self.int.iter().filter(|e| e.mask.len() >= 2).count() as u32
         );
-        self.both_mapped
+        self.replicated
     }
 
     /// Total live mappings (for free-list conservation tests).
     #[allow(dead_code)] // conservation checks in tests
     pub fn live_mappings(&self) -> usize {
-        let ints: usize = self
-            .int
-            .iter()
-            .map(|e| usize::from(e[0].is_some()) + usize::from(e[1].is_some()))
-            .sum();
+        let ints: usize = self.int.iter().map(|e| e.mask.len()).sum();
         ints + self.fp.iter().filter(|m| m.is_some()).count()
     }
 }
@@ -374,32 +433,52 @@ mod tests {
     }
 
     #[test]
-    fn define_invalidates_other_cluster() {
-        let mut m = RenameMap::new(ClusterId::Fp);
+    fn define_invalidates_other_clusters() {
+        let mut m = RenameMap::new(ClusterId::FP);
         let r = Reg::int(5);
-        assert!(m.define(r, ClusterId::Int, PhysReg(1)).is_empty());
+        assert!(m.define(r, ClusterId::INT, PhysReg(1)).is_empty());
         // Replicate into FP cluster.
-        assert!(m.replicate(r, ClusterId::Fp, PhysReg(2)).is_none());
-        assert_eq!(m.mapped_mask(r), [true, true]);
+        assert!(m.replicate(r, ClusterId::FP, PhysReg(2)).is_none());
+        let mut both = ClusterSet::EMPTY;
+        both.insert(ClusterId::INT);
+        both.insert(ClusterId::FP);
+        assert_eq!(m.mapped_set(r), both);
         assert_eq!(m.replication_count(), 1);
         // New definition in FP cluster displaces both old mappings.
-        let displaced = m.define(r, ClusterId::Fp, PhysReg(3));
+        let displaced = m.define(r, ClusterId::FP, PhysReg(3));
         assert_eq!(displaced.len(), 2);
-        assert!(displaced.contains(&(ClusterId::Fp, PhysReg(2))));
-        assert!(displaced.contains(&(ClusterId::Int, PhysReg(1))));
-        assert_eq!(m.mapped_mask(r), [false, true]);
+        assert!(displaced.contains(&(ClusterId::FP, PhysReg(2))));
+        assert!(displaced.contains(&(ClusterId::INT, PhysReg(1))));
+        assert_eq!(m.mapped_set(r), ClusterSet::only(ClusterId::FP));
+        assert_eq!(m.replication_count(), 0);
+    }
+
+    #[test]
+    fn define_invalidates_all_n_clusters() {
+        let mut m = RenameMap::new(ClusterId::FP);
+        let r = Reg::int(7);
+        m.define(r, ClusterId::INT, PhysReg(1));
+        for c in 1..4 {
+            m.replicate(r, ClusterId::from_index(c).unwrap(), PhysReg(c as u16 + 1));
+        }
+        assert_eq!(m.mapped_set(r).len(), 4);
+        assert_eq!(m.replication_count(), 1);
+        let c2 = ClusterId::from_index(2).unwrap();
+        let displaced = m.define(r, c2, PhysReg(9));
+        assert_eq!(displaced.len(), 4, "all four old mappings displaced");
+        assert_eq!(m.mapped_set(r), ClusterSet::only(c2));
         assert_eq!(m.replication_count(), 0);
     }
 
     #[test]
     fn fp_registers_single_mapping() {
-        let mut m = RenameMap::new(ClusterId::Fp);
+        let mut m = RenameMap::new(ClusterId::FP);
         let f = Reg::fp(3);
-        assert!(m.define(f, ClusterId::Fp, PhysReg(9)).is_empty());
-        assert_eq!(m.lookup(f, ClusterId::Fp), Some(PhysReg(9)));
-        assert_eq!(m.lookup(f, ClusterId::Int), None);
-        let displaced = m.define(f, ClusterId::Fp, PhysReg(10));
-        assert_eq!(displaced.iter().collect::<Vec<_>>(), vec![(ClusterId::Fp, PhysReg(9))]);
+        assert!(m.define(f, ClusterId::FP, PhysReg(9)).is_empty());
+        assert_eq!(m.lookup(f, ClusterId::FP), Some(PhysReg(9)));
+        assert_eq!(m.lookup(f, ClusterId::INT), None);
+        let displaced = m.define(f, ClusterId::FP, PhysReg(10));
+        assert_eq!(displaced.iter().collect::<Vec<_>>(), vec![(ClusterId::FP, PhysReg(9))]);
     }
 
     #[test]
@@ -421,52 +500,55 @@ mod tests {
     fn displaced_inline_storage() {
         let mut d = Displaced::default();
         assert!(d.is_empty());
-        d.push(ClusterId::Int, PhysReg(1));
-        d.push(ClusterId::Fp, PhysReg(2));
+        d.push(ClusterId::INT, PhysReg(1));
+        d.push(ClusterId::FP, PhysReg(2));
         assert_eq!(d.len(), 2);
-        assert!(d.contains(&(ClusterId::Int, PhysReg(1))));
-        assert!(d.contains(&(ClusterId::Fp, PhysReg(2))));
-        assert!(!d.contains(&(ClusterId::Fp, PhysReg(3))));
+        assert!(d.contains(&(ClusterId::INT, PhysReg(1))));
+        assert!(d.contains(&(ClusterId::FP, PhysReg(2))));
+        assert!(!d.contains(&(ClusterId::FP, PhysReg(3))));
     }
 
     #[test]
-    #[should_panic(expected = "more than 2 displaced mappings")]
+    #[should_panic(expected = "displaced mappings")]
     fn displaced_overflow_panics() {
         let mut d = Displaced::default();
-        d.push(ClusterId::Int, PhysReg(1));
-        d.push(ClusterId::Fp, PhysReg(2));
-        d.push(ClusterId::Int, PhysReg(3));
+        for i in 0..=MAX_CLUSTERS {
+            d.push(
+                ClusterId::from_index(i % MAX_CLUSTERS).unwrap(),
+                PhysReg(i as u16),
+            );
+        }
     }
 
     #[test]
     fn unified_machine_hosts_fp_in_cluster0() {
-        let mut m = RenameMap::new(ClusterId::Int);
+        let mut m = RenameMap::new(ClusterId::INT);
         let f = Reg::fp(0);
-        m.define(f, ClusterId::Int, PhysReg(4));
-        assert_eq!(m.lookup(f, ClusterId::Int), Some(PhysReg(4)));
+        m.define(f, ClusterId::INT, PhysReg(4));
+        assert_eq!(m.lookup(f, ClusterId::INT), Some(PhysReg(4)));
     }
 
     #[test]
     fn live_mapping_accounting() {
-        let mut m = RenameMap::new(ClusterId::Fp);
+        let mut m = RenameMap::new(ClusterId::FP);
         assert_eq!(m.live_mappings(), 0);
-        m.define(Reg::int(1), ClusterId::Int, PhysReg(0));
-        m.replicate(Reg::int(1), ClusterId::Fp, PhysReg(1));
-        m.define(Reg::fp(0), ClusterId::Fp, PhysReg(2));
+        m.define(Reg::int(1), ClusterId::INT, PhysReg(0));
+        m.replicate(Reg::int(1), ClusterId::FP, PhysReg(1));
+        m.define(Reg::fp(0), ClusterId::FP, PhysReg(2));
         assert_eq!(m.live_mappings(), 3);
     }
 
     #[test]
     #[should_panic(expected = "r0 is never renamed")]
     fn zero_register_is_not_renamable() {
-        let mut m = RenameMap::new(ClusterId::Fp);
-        m.define(Reg::int(0), ClusterId::Int, PhysReg(0));
+        let mut m = RenameMap::new(ClusterId::FP);
+        m.define(Reg::int(0), ClusterId::INT, PhysReg(0));
     }
 
     #[test]
     #[should_panic(expected = "FP registers live in the FP cluster")]
     fn fp_define_in_int_cluster_panics() {
-        let mut m = RenameMap::new(ClusterId::Fp);
-        m.define(Reg::fp(1), ClusterId::Int, PhysReg(0));
+        let mut m = RenameMap::new(ClusterId::FP);
+        m.define(Reg::fp(1), ClusterId::INT, PhysReg(0));
     }
 }

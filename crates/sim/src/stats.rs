@@ -2,9 +2,12 @@
 
 use dca_uarch::{CacheStats, PredictorStats};
 
+use crate::config::MAX_CLUSTERS;
+
 /// Histogram of the per-cycle workload-balance measure the paper plots
-/// in Figures 6, 9 and 12: `#ready FP − #ready INT`, clamped to
-/// `[-10, +10]`.
+/// in Figures 6, 9 and 12: `#ready FP − #ready INT` on the 2-cluster
+/// machines (N-way machines record the max−min ready spread instead),
+/// clamped to `[-10, +10]`.
 ///
 /// # Example
 ///
@@ -112,14 +115,18 @@ pub struct SimStats {
     /// Copies whose arrival delayed at least one consumer in the
     /// destination cluster (the paper's "critical" communications).
     pub critical_copies: u64,
-    /// Copies by direction: `[INT→FP, FP→INT]`.
-    pub copies_by_dir: [u64; 2],
-    /// Program instructions steered to each cluster.
-    pub steered: [u64; 2],
+    /// Copies by *source* cluster (entry `c` counts copies sent out of
+    /// cluster `c`; on the 2-cluster machines this is `[INT→FP,
+    /// FP→INT]`). Entries past the machine's cluster count stay 0.
+    pub copies_by_dir: [u64; MAX_CLUSTERS],
+    /// Program instructions steered to each cluster. Entries past the
+    /// machine's cluster count stay 0.
+    pub steered: [u64; MAX_CLUSTERS],
     /// Workload-balance histogram (Figures 6/9/12).
     pub balance: BalanceHistogram,
     /// Sum over cycles of the number of integer logical registers
-    /// holding a physical register in *both* clusters (Figure 15).
+    /// holding a physical register in *two or more* clusters
+    /// (Figure 15).
     pub replication_reg_cycles: u64,
     /// Committed loads.
     pub loads: u64,
@@ -243,6 +250,14 @@ impl SimStats {
 mod tests {
     use super::*;
 
+    /// Per-cluster vector with the first two entries set (the rest 0).
+    fn pc2(a: u64, b: u64) -> [u64; MAX_CLUSTERS] {
+        let mut v = [0; MAX_CLUSTERS];
+        v[0] = a;
+        v[1] = b;
+        v
+    }
+
     #[test]
     fn histogram_percentages_sum_to_100() {
         let mut h = BalanceHistogram::new();
@@ -307,8 +322,8 @@ mod tests {
             committed_uops: 9,
             copies: 2,
             critical_copies: 1,
-            copies_by_dir: [1, 1],
-            steered: [4, 3],
+            copies_by_dir: pc2(1, 1),
+            steered: pc2(4, 3),
             replication_reg_cycles: 5,
             loads: 3,
             stores: 1,
@@ -324,8 +339,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.cycles, 20);
         assert_eq!(a.committed, 14);
-        assert_eq!(a.copies_by_dir, [2, 2]);
-        assert_eq!(a.steered, [8, 6]);
+        assert_eq!(a.copies_by_dir, pc2(2, 2));
+        assert_eq!(a.steered, pc2(8, 6));
         assert_eq!(a.balance.cycles(), 2);
         assert_eq!(a.dispatch_stall_cycles, 8);
         assert_eq!(a.slice_hits, 12);
@@ -345,8 +360,8 @@ mod tests {
             committed_uops: over_u32 + over_u32 / 4,
             copies: over_u32 / 4,
             critical_copies: over_u32 / 8,
-            copies_by_dir: [over_u32 / 8, over_u32 / 8],
-            steered: [over_u32 / 2, over_u32 / 2],
+            copies_by_dir: pc2(over_u32 / 8, over_u32 / 8),
+            steered: pc2(over_u32 / 2, over_u32 / 2),
             replication_reg_cycles: over_u32 * 3,
             loads: over_u32 / 4,
             stores: over_u32 / 8,

@@ -7,64 +7,108 @@
 //! counts and queue occupancies ([`SteerCtx`]), and which clusters are
 //! architecturally allowed ([`Allowed`]).
 //!
+//! With N-way machines the schemes *rank* candidate clusters rather
+//! than picking a side: [`rank_clusters`] is the shared argmax over an
+//! allowed set with deterministic lowest-index tie-breaking, and every
+//! scheme expresses its policy as a (possibly lexicographic) score.
+//!
 //! The scheme implementations live in the `dca-steer` crate; a trivial
 //! [`RoundRobin`] is provided here so the simulator can be exercised
 //! without it.
 
 use dca_isa::{ExecClass, Inst, Reg};
 
-use crate::ClusterId;
+use crate::config::MAX_CLUSTERS;
+use crate::{ClusterId, ClusterSet};
 
 /// Which clusters may execute an instruction: the machine-capability
-/// mask the steering logic must respect (complex integer → integer
-/// cluster, FP → FP cluster, simple integer → both — unless the
-/// configuration removed the FP cluster's integer ALUs).
+/// mask the steering logic must respect (complex integer → clusters
+/// with integer mul/div units, FP → FP-capable clusters, simple
+/// integer → every cluster with simple ALUs).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Allowed {
-    mask: [bool; 2],
+    set: ClusterSet,
 }
 
 impl Allowed {
-    /// Both clusters allowed.
+    /// Both paper clusters allowed (2-cluster machines and tests; use
+    /// [`Allowed::first_n`] for N-way machines).
     pub fn both() -> Allowed {
-        Allowed { mask: [true, true] }
+        Allowed::first_n(2)
+    }
+
+    /// Clusters `0..n` allowed.
+    pub fn first_n(n: usize) -> Allowed {
+        Allowed {
+            set: ClusterSet::first_n(n),
+        }
+    }
+
+    /// Exactly the given set allowed.
+    pub fn from_set(set: ClusterSet) -> Allowed {
+        Allowed { set }
     }
 
     /// Only `c` allowed.
     pub fn only(c: ClusterId) -> Allowed {
-        let mut mask = [false, false];
-        mask[c.index()] = true;
-        Allowed { mask }
+        Allowed {
+            set: ClusterSet::only(c),
+        }
+    }
+
+    /// The allowed set.
+    pub fn set(&self) -> ClusterSet {
+        self.set
     }
 
     /// `true` if `c` is allowed.
     pub fn contains(&self, c: ClusterId) -> bool {
-        self.mask[c.index()]
+        self.set.contains(c)
     }
 
     /// `true` if the steering logic actually has a choice.
     pub fn is_free(&self) -> bool {
-        self.mask[0] && self.mask[1]
+        self.set.len() > 1
     }
 
     /// If exactly one cluster is allowed, returns it.
     pub fn forced(&self) -> Option<ClusterId> {
-        match self.mask {
-            [true, false] => Some(ClusterId::Int),
-            [false, true] => Some(ClusterId::Fp),
-            _ => None,
+        if self.set.len() == 1 {
+            self.set.first()
+        } else {
+            None
         }
     }
 
     /// Restricts `preferred` to the allowed set, falling back to the
-    /// forced cluster when `preferred` is not allowed.
+    /// lowest-index allowed cluster when `preferred` is not allowed.
     pub fn clamp(&self, preferred: ClusterId) -> ClusterId {
         if self.contains(preferred) {
             preferred
         } else {
-            self.forced().unwrap_or(preferred)
+            self.set.first().unwrap_or(preferred)
         }
     }
+}
+
+/// The shared ranking primitive of the N-way steering interface: the
+/// allowed cluster with the **highest** `score`, ties broken towards
+/// the lowest index (iteration is in ascending index order and only a
+/// strictly greater score displaces the incumbent). Schemes encode
+/// lexicographic policies by returning tuples.
+pub fn rank_clusters<K: Ord>(
+    allowed: ClusterSet,
+    mut score: impl FnMut(ClusterId) -> K,
+) -> Option<ClusterId> {
+    let mut best: Option<(ClusterId, K)> = None;
+    for c in allowed.iter() {
+        let k = score(c);
+        match &best {
+            Some((_, bk)) if k <= *bk => {}
+            _ => best = Some((c, k)),
+        }
+    }
+    best.map(|(c, _)| c)
 }
 
 /// Where one source operand currently resides.
@@ -72,17 +116,16 @@ impl Allowed {
 pub struct SrcView {
     /// The logical register read.
     pub reg: Reg,
-    /// `mapped[k]` is `true` if the register has a valid (current)
-    /// physical mapping in cluster `k` — i.e. using it there needs no
-    /// copy.
-    pub mapped: [bool; 2],
+    /// Clusters in which the register has a valid (current) physical
+    /// mapping — i.e. using it there needs no copy.
+    pub mapped: ClusterSet,
 }
 
 impl SrcView {
     /// `true` if the operand is available in cluster `c` without a
     /// copy.
     pub fn in_cluster(&self, c: ClusterId) -> bool {
-        self.mapped[c.index()]
+        self.mapped.contains(c)
     }
 }
 
@@ -129,46 +172,83 @@ impl DecodedView<'_> {
     }
 }
 
-/// Per-cycle machine state observable by the steering logic.
-#[derive(Copy, Clone, Debug, Default)]
+/// Per-cycle machine state observable by the steering logic. Fixed
+/// `MAX_CLUSTERS`-long arrays (entries `n..` are zero) keep this
+/// `Copy` and alloc-free on the dispatch hot path.
+#[derive(Copy, Clone, Debug)]
 pub struct SteerCtx {
     /// Current cycle.
     pub now: u64,
+    /// Number of live clusters.
+    pub n: u8,
     /// Instructions with all operands ready, per cluster, at the start
     /// of this cycle — the paper's workload measure for metric I2.
-    pub ready: [u32; 2],
+    pub ready: [u32; MAX_CLUSTERS],
     /// Instruction-queue occupancy per cluster.
-    pub iq_len: [u32; 2],
+    pub iq_len: [u32; MAX_CLUSTERS],
     /// Issue width per cluster (constant, from the configuration).
-    pub issue_width: [u32; 2],
+    pub issue_width: [u32; MAX_CLUSTERS],
+}
+
+impl Default for SteerCtx {
+    /// A 2-cluster context with empty queues (test convenience).
+    fn default() -> SteerCtx {
+        SteerCtx {
+            now: 0,
+            n: 2,
+            ready: [0; MAX_CLUSTERS],
+            iq_len: [0; MAX_CLUSTERS],
+            issue_width: [0; MAX_CLUSTERS],
+        }
+    }
 }
 
 impl SteerCtx {
-    /// The cluster with fewer queued instructions (ties → integer
-    /// cluster), a reasonable instantaneous "least loaded" measure.
-    pub fn less_occupied(&self) -> ClusterId {
-        if self.iq_len[1] < self.iq_len[0] {
-            ClusterId::Fp
-        } else {
-            ClusterId::Int
-        }
+    /// The live clusters, in index order.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterId> {
+        (0..self.n).map(|i| ClusterId::from_index_unchecked(i as usize))
     }
 
-    /// The paper's instantaneous imbalance condition for metric I2:
-    /// *"the workload is considered imbalanced when one cluster has
-    /// more ready instructions than its issue width, and the other has
-    /// less"*; in that case it is quantified as the difference in ready
-    /// instructions (INT − FP), otherwise 0.
+    /// The cluster with the fewest queued instructions (ties → lowest
+    /// index), a reasonable instantaneous "least loaded" measure.
+    pub fn less_occupied(&self) -> ClusterId {
+        rank_clusters(ClusterSet::first_n(self.n as usize), |c| {
+            -i64::from(self.iq_len[c.index()])
+        })
+        .unwrap_or(ClusterId::INT)
+    }
+
+    /// The paper's instantaneous imbalance condition for metric I2 on
+    /// the two-cluster machine: *"the workload is considered imbalanced
+    /// when one cluster has more ready instructions than its issue
+    /// width, and the other has less"*; in that case it is quantified
+    /// as the difference in ready instructions (INT − FP), otherwise 0.
     pub fn instant_i2(&self) -> i64 {
-        let over0 = self.ready[0] > self.issue_width[0];
-        let over1 = self.ready[1] > self.issue_width[1];
-        let under0 = self.ready[0] < self.issue_width[0];
-        let under1 = self.ready[1] < self.issue_width[1];
-        if (over0 && under1) || (over1 && under0) {
-            i64::from(self.ready[0]) - i64::from(self.ready[1])
-        } else {
-            0
+        self.instant_imbalance(ClusterId::INT)
+    }
+
+    /// Per-cluster generalisation of [`SteerCtx::instant_i2`]: the sum
+    /// over every *imbalanced pair* `(j, k)` — one over its issue
+    /// width, the other under — of `ready[j] − ready[k]`. Positive
+    /// means cluster `j` holds excess ready work. On a 2-cluster
+    /// machine `instant_imbalance(INT)` is exactly the paper's I2
+    /// instant and `instant_imbalance(FP)` its negation.
+    pub fn instant_imbalance(&self, j: ClusterId) -> i64 {
+        let ji = j.index();
+        let over_j = self.ready[ji] > self.issue_width[ji];
+        let under_j = self.ready[ji] < self.issue_width[ji];
+        let mut sum = 0i64;
+        for k in 0..self.n as usize {
+            if k == ji {
+                continue;
+            }
+            let over_k = self.ready[k] > self.issue_width[k];
+            let under_k = self.ready[k] < self.issue_width[k];
+            if (over_j && under_k) || (over_k && under_j) {
+                sum += i64::from(self.ready[ji]) - i64::from(self.ready[k]);
+            }
         }
+        sum
     }
 }
 
@@ -238,7 +318,7 @@ pub trait Steering {
     }
 }
 
-/// Trivial reference scheme: alternates free instructions between the
+/// Trivial reference scheme: rotates free instructions across the
 /// clusters. This is the paper's **modulo steering** (§3.6); it is
 /// defined here (rather than in `dca-steer`) so the simulator's own
 /// tests and doctests have a scheme available.
@@ -253,11 +333,11 @@ pub trait Steering {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RoundRobin {
-    next: bool,
+    next: u8,
 }
 
 impl RoundRobin {
-    /// Creates the scheme starting at the integer cluster.
+    /// Creates the scheme starting at cluster 0.
     pub fn new() -> RoundRobin {
         RoundRobin::default()
     }
@@ -272,13 +352,24 @@ impl Steering for RoundRobin {
         &mut self,
         _d: &DecodedView<'_>,
         allowed: Allowed,
-        _ctx: &SteerCtx,
+        ctx: &SteerCtx,
     ) -> Option<ClusterId> {
         if let Some(forced) = allowed.forced() {
             return Some(forced);
         }
-        let c = if self.next { ClusterId::Fp } else { ClusterId::Int };
-        self.next = !self.next;
+        let n = ctx.n.max(1);
+        // Rank by cyclic distance from the rotation pointer: the
+        // pointer itself scores highest, then pointer+1, ... — on a
+        // 2-cluster machine this is exactly the old alternation. Both
+        // operands are `< n`, so the reductions are single compares
+        // rather than divisions (this runs once per decoded µop).
+        let next = self.next;
+        let c = rank_clusters(allowed.set(), |c| {
+            let d = c.index() as u8 + n - next;
+            -i64::from(if d >= n { d - n } else { d })
+        })?;
+        let succ = c.index() as u8 + 1;
+        self.next = if succ >= n { 0 } else { succ };
         Some(c)
     }
 }
@@ -291,32 +382,48 @@ mod tests {
     fn allowed_masks() {
         let b = Allowed::both();
         assert!(b.is_free() && b.forced().is_none());
-        let i = Allowed::only(ClusterId::Int);
-        assert!(i.contains(ClusterId::Int) && !i.contains(ClusterId::Fp));
-        assert_eq!(i.forced(), Some(ClusterId::Int));
-        assert_eq!(i.clamp(ClusterId::Fp), ClusterId::Int);
-        assert_eq!(b.clamp(ClusterId::Fp), ClusterId::Fp);
+        let i = Allowed::only(ClusterId::INT);
+        assert!(i.contains(ClusterId::INT) && !i.contains(ClusterId::FP));
+        assert_eq!(i.forced(), Some(ClusterId::INT));
+        assert_eq!(i.clamp(ClusterId::FP), ClusterId::INT);
+        assert_eq!(b.clamp(ClusterId::FP), ClusterId::FP);
+    }
+
+    #[test]
+    fn ranking_breaks_ties_towards_lowest_index() {
+        let set = ClusterSet::first_n(4);
+        assert_eq!(rank_clusters(set, |_| 0), Some(ClusterId::INT));
+        assert_eq!(
+            rank_clusters(set, |c| i64::from(c.index() == 2)),
+            ClusterId::from_index(2)
+        );
+        assert_eq!(rank_clusters(ClusterSet::EMPTY, |_| 0), None);
     }
 
     #[test]
     fn instant_i2_follows_paper_definition() {
-        let mut ctx = SteerCtx {
-            issue_width: [4, 4],
-            ..SteerCtx::default()
-        };
+        let mut ctx = SteerCtx::default();
+        ctx.issue_width[0] = 4;
+        ctx.issue_width[1] = 4;
         // One cluster above width, the other below: imbalanced.
-        ctx.ready = [7, 1];
+        ctx.ready[0] = 7;
+        ctx.ready[1] = 1;
         assert_eq!(ctx.instant_i2(), 6);
-        ctx.ready = [1, 7];
+        assert_eq!(ctx.instant_imbalance(ClusterId::FP), -6);
+        ctx.ready[0] = 1;
+        ctx.ready[1] = 7;
         assert_eq!(ctx.instant_i2(), -6);
         // Both above width: the machine issues at full rate — balanced.
-        ctx.ready = [9, 12];
+        ctx.ready[0] = 9;
+        ctx.ready[1] = 12;
         assert_eq!(ctx.instant_i2(), 0);
         // Both below width: balanced.
-        ctx.ready = [2, 3];
+        ctx.ready[0] = 2;
+        ctx.ready[1] = 3;
         assert_eq!(ctx.instant_i2(), 0);
         // Exactly at width is neither over nor under.
-        ctx.ready = [4, 1];
+        ctx.ready[0] = 4;
+        ctx.ready[1] = 1;
         assert_eq!(ctx.instant_i2(), 0);
     }
 
@@ -336,7 +443,30 @@ mod tests {
         let a = rr.steer(&d, Allowed::both(), &ctx).unwrap();
         let b = rr.steer(&d, Allowed::both(), &ctx).unwrap();
         assert_ne!(a, b);
-        let f = rr.steer(&d, Allowed::only(ClusterId::Fp), &ctx).unwrap();
-        assert_eq!(f, ClusterId::Fp);
+        let f = rr.steer(&d, Allowed::only(ClusterId::FP), &ctx).unwrap();
+        assert_eq!(f, ClusterId::FP);
+    }
+
+    #[test]
+    fn round_robin_rotates_over_four_clusters() {
+        let mut rr = RoundRobin::new();
+        let inst = dca_isa::Inst::nop();
+        let d = DecodedView {
+            seq: 0,
+            sidx: 0,
+            pc: 0,
+            inst: &inst,
+            class: dca_isa::ExecClass::Nop,
+            srcs: [None, None],
+        };
+        let ctx = SteerCtx {
+            n: 4,
+            ..SteerCtx::default()
+        };
+        let allowed = Allowed::first_n(4);
+        let seq: Vec<usize> = (0..6)
+            .map(|_| rr.steer(&d, allowed, &ctx).unwrap().index())
+            .collect();
+        assert_eq!(seq, vec![0, 1, 2, 3, 0, 1]);
     }
 }

@@ -314,7 +314,7 @@ mod tests {
             sidx: 0,
             pc: 0x1000 + seq * 4,
             text: "add r1, r1, #1".into(),
-            cluster: ClusterId::Int,
+            cluster: ClusterId::INT,
             kind,
             fetch_at: seq,
             dispatch_at: seq + 1,
@@ -344,8 +344,8 @@ mod tests {
         let mut t = Trace::with_capacity(8);
         t.push(rec(0, TracedKind::Normal));
         t.push(rec(2, TracedKind::Normal));
-        assert!((t.mean_queue_wait(ClusterId::Int) - 2.0).abs() < 1e-9);
-        assert_eq!(t.mean_queue_wait(ClusterId::Fp), 0.0);
+        assert!((t.mean_queue_wait(ClusterId::INT) - 2.0).abs() < 1e-9);
+        assert_eq!(t.mean_queue_wait(ClusterId::FP), 0.0);
     }
 
     #[test]

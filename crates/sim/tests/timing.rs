@@ -4,8 +4,8 @@
 
 use dca_prog::{parse_asm, Memory, Program};
 use dca_sim::{
-    steering::RoundRobin, Allowed, ClusterId, DecodedView, SimConfig, SimStats, Simulator,
-    SteerCtx, Steering,
+    per_cluster, steering::RoundRobin, Allowed, ClusterId, DecodedView, SimConfig, SimStats,
+    Simulator, SteerCtx, Steering,
 };
 
 /// Stateless steering by static-index parity. Unlike `RoundRobin`,
@@ -28,9 +28,9 @@ impl Steering for ParitySteer {
         _ctx: &SteerCtx,
     ) -> Option<ClusterId> {
         Some(allowed.clamp(if d.sidx.is_multiple_of(2) {
-            ClusterId::Int
+            ClusterId::INT
         } else {
-            ClusterId::Fp
+            ClusterId::FP
         }))
     }
 }
@@ -209,7 +209,7 @@ impl Steering for CountingSteer {
         _ctx: &SteerCtx,
     ) -> Option<ClusterId> {
         self.steer_calls += 1;
-        Some(allowed.clamp(ClusterId::Int))
+        Some(allowed.clamp(ClusterId::INT))
     }
 
     fn on_steered(&mut self, _d: &DecodedView<'_>, _cluster: ClusterId, _ctx: &SteerCtx) {
@@ -255,8 +255,8 @@ fn rf_port_limits_throttle_wide_issue() {
     .unwrap();
     let free = run(&SimConfig::paper_upper_bound(), &prog);
     let mut limited_cfg = SimConfig::paper_upper_bound();
-    limited_cfg.rf_read_ports = [4, 0];
-    limited_cfg.rf_write_ports = [4, 0];
+    limited_cfg.rf_read_ports = per_cluster(&[4]);
+    limited_cfg.rf_write_ports = per_cluster(&[4]);
     let limited = run(&limited_cfg, &prog);
     assert_eq!(free.committed, limited.committed, "architecture unchanged");
     assert!(
@@ -267,8 +267,8 @@ fn rf_port_limits_throttle_wide_issue() {
     );
     // Ample ports change nothing.
     let mut ample_cfg = SimConfig::paper_upper_bound();
-    ample_cfg.rf_read_ports = [16, 0];
-    ample_cfg.rf_write_ports = [8, 0];
+    ample_cfg.rf_read_ports = per_cluster(&[16]);
+    ample_cfg.rf_write_ports = per_cluster(&[8]);
     let ample = run(&ample_cfg, &prog);
     assert_eq!(ample.cycles, free.cycles, "16r/8w ports are never binding");
 }
@@ -276,7 +276,7 @@ fn rf_port_limits_throttle_wide_issue() {
 #[test]
 fn single_read_port_is_rejected() {
     let mut cfg = SimConfig::paper_clustered();
-    cfg.rf_read_ports = [1, 0];
+    cfg.rf_read_ports = per_cluster(&[1]);
     assert!(cfg.validate().is_err(), "1 read port cannot feed 2-src ops");
 }
 

@@ -121,7 +121,7 @@ fn renderers_cover_the_run() {
     assert!(pipe.contains('C'), "some µop commits inside the window");
     // Mean queue wait is defined for both clusters on this workload.
     let _ = stats;
-    assert!(trace.mean_queue_wait(ClusterId::Int) >= 0.0);
+    assert!(trace.mean_queue_wait(ClusterId::INT) >= 0.0);
 }
 
 #[test]

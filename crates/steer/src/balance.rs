@@ -3,32 +3,46 @@
 //! Slice instructions still go to the integer cluster, but instructions
 //! *outside* the slice are used to balance the workload: under strong
 //! imbalance they go to the least-loaded cluster, otherwise to the
-//! cluster where their operands reside.
+//! cluster where most of their operands reside.
 
-use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+use dca_sim::{rank_clusters, Allowed, ClusterId, DecodedView, SteerCtx, Steering};
 
 use crate::imbalance::{ImbalanceConfig, ImbalanceMonitor};
 use crate::slice_steer::SliceKind;
 use crate::tables::SliceFlags;
 
 /// Steers a *free* (non-slice) instruction by balance and operand
-/// locality — the §3.5 policy, shared by several schemes.
+/// locality — the §3.5 policy, shared by several schemes — as a
+/// lexicographic rank over the allowed clusters:
+///
+/// 1. operand locality (suppressed under strong imbalance, which the
+///    paper lets override locality entirely);
+/// 2. the lowest imbalance counter;
+/// 3. the shortest instruction queue (instantaneous tie-break).
+///
+/// On a two-cluster machine this is exactly the paper's decision
+/// procedure: operands-majority wins, ties go to the less-loaded
+/// cluster, and a strong imbalance forces the less-loaded cluster.
 pub(crate) fn steer_free_instruction(
     d: &DecodedView<'_>,
+    allowed: Allowed,
     ctx: &SteerCtx,
     monitor: &ImbalanceMonitor,
 ) -> ClusterId {
-    let fallback = ctx.less_occupied();
-    if monitor.is_strong() {
-        return monitor.less_loaded().unwrap_or(fallback);
-    }
-    let n_int = d.operands_in(ClusterId::Int);
-    let n_fp = d.operands_in(ClusterId::Fp);
-    match n_int.cmp(&n_fp) {
-        std::cmp::Ordering::Greater => ClusterId::Int,
-        std::cmp::Ordering::Less => ClusterId::Fp,
-        std::cmp::Ordering::Equal => monitor.less_loaded().unwrap_or(fallback),
-    }
+    let strong = monitor.is_strong();
+    rank_clusters(allowed.set(), |c| {
+        let locality = if strong {
+            0
+        } else {
+            i64::from(d.operands_in(c))
+        };
+        (
+            locality,
+            -monitor.counter_of(c),
+            -i64::from(ctx.iq_len[c.index()]),
+        )
+    })
+    .unwrap_or(ClusterId::INT)
 }
 
 /// Non-slice balance steering.
@@ -80,9 +94,9 @@ impl Steering for NonSliceBalance {
             return Some(f);
         }
         Some(if self.flags.contains(d.sidx) || self.kind.defines(d.inst) {
-            ClusterId::Int
+            ClusterId::INT
         } else {
-            steer_free_instruction(d, ctx, &self.monitor)
+            steer_free_instruction(d, allowed, ctx, &self.monitor)
         })
     }
 
@@ -104,7 +118,7 @@ impl Steering for NonSliceBalance {
 mod tests {
     use super::*;
     use dca_prog::{parse_asm, Memory};
-    use dca_sim::{SimConfig, Simulator};
+    use dca_sim::{ClusterSet, SimConfig, Simulator};
 
     #[test]
     fn runs_and_balances() {
@@ -139,7 +153,7 @@ mod tests {
         use dca_sim::SrcView;
         let monitor = ImbalanceMonitor::paper();
         let inst = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
-        let mk = |m2: [bool; 2], m3: [bool; 2]| DecodedView {
+        let mk = |m2: ClusterSet, m3: ClusterSet| DecodedView {
             seq: 0,
             sidx: 0,
             pc: 0,
@@ -150,22 +164,29 @@ mod tests {
                 Some(SrcView { reg: Reg::int(3), mapped: m3 }),
             ],
         };
-        let ctx = SteerCtx {
-            now: 0,
-            ready: [0, 0],
-            iq_len: [0, 0],
-            issue_width: [4, 4],
-        };
+        let only_int = ClusterSet::only(ClusterId::INT);
+        let only_fp = ClusterSet::only(ClusterId::FP);
+        let both = ClusterSet::first_n(2);
+        let ctx = SteerCtx::default();
         // Both operands in FP cluster -> FP.
-        let d = mk([false, true], [false, true]);
-        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Fp);
+        let d = mk(only_fp, only_fp);
+        assert_eq!(
+            steer_free_instruction(&d, Allowed::both(), &ctx, &monitor),
+            ClusterId::FP
+        );
         // Both in INT -> INT.
-        let d = mk([true, false], [true, false]);
-        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Int);
+        let d = mk(only_int, only_int);
+        assert_eq!(
+            steer_free_instruction(&d, Allowed::both(), &ctx, &monitor),
+            ClusterId::INT
+        );
         // Replicated everywhere -> tie -> falls back to occupancy (INT
         // wins ties with equal queues).
-        let d = mk([true, true], [true, true]);
-        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Int);
+        let d = mk(both, both);
+        assert_eq!(
+            steer_free_instruction(&d, Allowed::both(), &ctx, &monitor),
+            ClusterId::INT
+        );
     }
 
     #[test]
@@ -174,9 +195,10 @@ mod tests {
         use dca_sim::SrcView;
         let mut monitor = ImbalanceMonitor::paper();
         for _ in 0..50 {
-            monitor.on_steered(ClusterId::Int); // INT overloaded
+            monitor.on_steered(ClusterId::INT); // INT overloaded
         }
         let inst = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
+        let only_int = ClusterSet::only(ClusterId::INT);
         let d = DecodedView {
             seq: 0,
             sidx: 0,
@@ -184,12 +206,15 @@ mod tests {
             inst: &inst,
             class: dca_isa::ExecClass::IntAlu,
             srcs: [
-                Some(SrcView { reg: Reg::int(2), mapped: [true, false] }),
-                Some(SrcView { reg: Reg::int(3), mapped: [true, false] }),
+                Some(SrcView { reg: Reg::int(2), mapped: only_int }),
+                Some(SrcView { reg: Reg::int(3), mapped: only_int }),
             ],
         };
         let ctx = SteerCtx::default();
         // Operands say INT, but the strong imbalance forces FP.
-        assert_eq!(steer_free_instruction(&d, &ctx, &monitor), ClusterId::Fp);
+        assert_eq!(
+            steer_free_instruction(&d, Allowed::both(), &ctx, &monitor),
+            ClusterId::FP
+        );
     }
 }

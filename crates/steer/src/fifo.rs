@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use dca_isa::Reg;
-use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering, MAX_CLUSTERS};
 
 /// FIFO geometry (defaults: 8 FIFOs × 8 deep per cluster, as simulated
 /// in the paper).
@@ -52,13 +52,16 @@ struct Fifo {
 #[derive(Clone, Debug)]
 pub struct FifoSteering {
     cfg: FifoConfig,
-    fifos: [Vec<Fifo>; 2],
+    /// One FIFO bank per possible cluster (banks `n..` stay unused on
+    /// smaller machines).
+    fifos: Vec<Vec<Fifo>>,
     /// Where each in-flight µop sits: seq → (cluster, fifo index).
     placement: HashMap<u64, (usize, usize)>,
     /// Decision computed by `steer`, committed by `on_steered`.
     pending: Option<(u64, usize, usize)>,
-    /// Round-robin preference for empty-FIFO placement.
-    prefer_fp: bool,
+    /// Rotation pointer for empty-FIFO placement (round-robin start
+    /// cluster; the two-cluster machine's alternating preference).
+    next: u8,
     /// Dispatch stalls requested (diagnostics).
     stalls: u64,
 }
@@ -67,13 +70,12 @@ impl FifoSteering {
     /// Creates the scheme.
     pub fn new(cfg: FifoConfig) -> FifoSteering {
         FifoSteering {
-            fifos: [
-                (0..cfg.fifos_per_cluster).map(|_| Fifo::default()).collect(),
-                (0..cfg.fifos_per_cluster).map(|_| Fifo::default()).collect(),
-            ],
+            fifos: (0..MAX_CLUSTERS)
+                .map(|_| (0..cfg.fifos_per_cluster).map(|_| Fifo::default()).collect())
+                .collect(),
             placement: HashMap::new(),
             pending: None,
-            prefer_fp: false,
+            next: 0,
             stalls: 0,
             cfg,
         }
@@ -89,11 +91,22 @@ impl FifoSteering {
         self.stalls
     }
 
+    /// Clusters in rotation order starting at the round-robin pointer.
+    fn rotation(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = usize::from(self.next) % n.max(1);
+        (0..n).map(move |k| (start + k) % n)
+    }
+
     /// Finds a FIFO whose tail produces one of `d`'s sources.
-    fn chain_target(&self, d: &DecodedView<'_>, allowed: Allowed) -> Option<(usize, usize)> {
+    fn chain_target(
+        &self,
+        d: &DecodedView<'_>,
+        allowed: Allowed,
+        n: usize,
+    ) -> Option<(usize, usize)> {
         for src in d.src_views() {
-            for c in 0..2 {
-                if !allowed.contains(ClusterId::from_index(c)) {
+            for c in 0..n {
+                if !allowed.contains(ClusterId::from_index_unchecked(c)) {
                     continue;
                 }
                 for (fi, f) in self.fifos[c].iter().enumerate() {
@@ -111,11 +124,10 @@ impl FifoSteering {
         None
     }
 
-    /// Finds an empty FIFO, preferring the round-robin cluster.
-    fn empty_target(&self, allowed: Allowed) -> Option<(usize, usize)> {
-        let order = if self.prefer_fp { [1, 0] } else { [0, 1] };
-        for c in order {
-            if !allowed.contains(ClusterId::from_index(c)) {
+    /// Finds an empty FIFO, preferring the rotation cluster.
+    fn empty_target(&self, allowed: Allowed, n: usize) -> Option<(usize, usize)> {
+        for c in self.rotation(n) {
+            if !allowed.contains(ClusterId::from_index_unchecked(c)) {
                 continue;
             }
             if let Some(fi) = self.fifos[c].iter().position(|f| f.slots.is_empty()) {
@@ -127,13 +139,12 @@ impl FifoSteering {
 
     /// Any FIFO with room (last resort before stalling: the original
     /// heuristic prefers dependence chains and empty FIFOs, but a
-    /// two-cluster machine with busy queues would stall excessively
+    /// clustered machine with busy queues would stall excessively
     /// without this fallback — the paper's simulated variant issues
     /// from any slot, so partial sharing is harmless).
-    fn any_target(&self, allowed: Allowed) -> Option<(usize, usize)> {
-        let order = if self.prefer_fp { [1, 0] } else { [0, 1] };
-        for c in order {
-            if !allowed.contains(ClusterId::from_index(c)) {
+    fn any_target(&self, allowed: Allowed, n: usize) -> Option<(usize, usize)> {
+        for c in self.rotation(n) {
+            if !allowed.contains(ClusterId::from_index_unchecked(c)) {
                 continue;
             }
             if let Some(fi) = self.fifos[c]
@@ -156,16 +167,17 @@ impl Steering for FifoSteering {
         &mut self,
         d: &DecodedView<'_>,
         allowed: Allowed,
-        _ctx: &SteerCtx,
+        ctx: &SteerCtx,
     ) -> Option<ClusterId> {
+        let n = usize::from(ctx.n.max(2));
         let target = self
-            .chain_target(d, allowed)
-            .or_else(|| self.empty_target(allowed))
-            .or_else(|| self.any_target(allowed));
+            .chain_target(d, allowed, n)
+            .or_else(|| self.empty_target(allowed, n))
+            .or_else(|| self.any_target(allowed, n));
         match target {
             Some((c, fi)) => {
                 self.pending = Some((d.seq, c, fi));
-                Some(ClusterId::from_index(c))
+                Some(ClusterId::from_index_unchecked(c))
             }
             None => {
                 self.stalls += 1;
@@ -174,7 +186,7 @@ impl Steering for FifoSteering {
         }
     }
 
-    fn on_steered(&mut self, d: &DecodedView<'_>, cluster: ClusterId, _ctx: &SteerCtx) {
+    fn on_steered(&mut self, d: &DecodedView<'_>, cluster: ClusterId, ctx: &SteerCtx) {
         let (seq, c, fi) = match self.pending.take() {
             Some(p) if p.0 == d.seq && p.1 == cluster.index() => p,
             // The simulator clamped our choice (forced cluster) or the
@@ -193,7 +205,7 @@ impl Steering for FifoSteering {
             .slots
             .push((seq, d.inst.effective_dst()));
         self.placement.insert(seq, (c, fi));
-        self.prefer_fp = !self.prefer_fp;
+        self.next = (self.next + 1) % ctx.n.max(2);
     }
 
     fn on_issued(&mut self, seq: u64, _cluster: ClusterId) {
@@ -208,7 +220,7 @@ impl Steering for FifoSteering {
 mod tests {
     use super::*;
     use dca_prog::{parse_asm, Interp, Memory};
-    use dca_sim::{SimConfig, Simulator};
+    use dca_sim::{ClusterSet, SimConfig, Simulator};
 
     #[test]
     fn dependent_chain_shares_one_fifo() {
@@ -233,7 +245,10 @@ mod tests {
             inst: &i2,
             class: dca_isa::ExecClass::IntAlu,
             srcs: [
-                Some(dca_sim::SrcView { reg: Reg::int(1), mapped: [true, false] }),
+                Some(dca_sim::SrcView {
+                    reg: Reg::int(1),
+                    mapped: ClusterSet::only(ClusterId::INT),
+                }),
                 None,
             ],
         };
@@ -272,6 +287,34 @@ mod tests {
         // Issuing seq 0 frees one slot.
         s.on_issued(0, c);
         assert!(s.steer(&v3, Allowed::both(), &ctx).is_some());
+    }
+
+    #[test]
+    fn four_cluster_rotation_spreads_independent_work() {
+        let mut s = FifoSteering::paper();
+        let ctx = SteerCtx {
+            n: 4,
+            ..SteerCtx::default()
+        };
+        let allowed = Allowed::first_n(4);
+        let mut seen = [false; 4];
+        for seq in 0..4u64 {
+            // Four instructions with fresh destinations: no chains, so
+            // each takes an empty FIFO at the rotation pointer.
+            let inst = dca_isa::Inst::li(Reg::int(1 + seq as u8), 0);
+            let v = DecodedView {
+                seq,
+                sidx: seq as u32,
+                pc: 4 * seq,
+                inst: &inst,
+                class: dca_isa::ExecClass::IntAlu,
+                srcs: [None, None],
+            };
+            let c = s.steer(&v, allowed, &ctx).unwrap();
+            s.on_steered(&v, c, &ctx);
+            seen[c.index()] = true;
+        }
+        assert_eq!(seen, [true; 4], "rotation visits every cluster");
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl Steering for GeneralBalance {
         if let Some(f) = allowed.forced() {
             return Some(f);
         }
-        Some(steer_free_instruction(d, ctx, &self.monitor))
+        Some(steer_free_instruction(d, allowed, ctx, &self.monitor))
     }
 
     fn on_steered(&mut self, _d: &DecodedView<'_>, cluster: ClusterId, _ctx: &SteerCtx) {

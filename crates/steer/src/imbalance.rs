@@ -1,24 +1,29 @@
-//! The workload-imbalance monitor of §3.5.
+//! The workload-imbalance monitor of §3.5, generalised to N clusters.
 //!
 //! Two metrics are defined in the paper:
 //!
 //! * **I1** — "the difference in the number of instructions steered to
-//!   each cluster": a running counter, +1 for every instruction steered
-//!   to the integer cluster, −1 for the FP cluster, so "every
-//!   instruction decoded in the same cycle sees a different value".
-//! * **I2** — the difference in *ready* instructions, counted only when
-//!   the paper's imbalance condition holds (one cluster above its issue
-//!   width, the other below), averaged over the last `N` cycles.
+//!   each cluster". Per cluster `j` the monitor keeps a running counter
+//!   that gains `n−1` when an instruction is steered to `j` and loses 1
+//!   when it is steered elsewhere, so "every instruction decoded in the
+//!   same cycle sees a different value". On a two-cluster machine
+//!   `i1[INT]` is exactly the paper's signed counter (and `i1[FP]` its
+//!   negation).
+//! * **I2** — the excess of *ready* instructions, counted only when the
+//!   paper's imbalance condition holds between a pair of clusters (one
+//!   above its issue width, the other below), averaged over the last
+//!   `N` cycles ([`dca_sim::SteerCtx::instant_imbalance`]).
 //!
-//! The combined counter is `I1 + avg(I2)`; "strong imbalance" is
-//! `|counter| > threshold`. The paper determined `N = 16` and
-//! `threshold = 8` empirically, and notes I1 alone performs close to
-//! the combination — exposed here as [`ImbalanceMetric`] for the
-//! ablation bench.
+//! The combined per-cluster counter is `I1 + avg(I2)`; "strong
+//! imbalance" is a counter above `threshold · (n−1)` (the scaling keeps
+//! the paper's `threshold = 8` meaning unchanged at N=2). The paper
+//! determined `N = 16` and `threshold = 8` empirically, and notes I1
+//! alone performs close to the combination — exposed here as
+//! [`ImbalanceMetric`] for the ablation bench.
 
 use std::collections::VecDeque;
 
-use dca_sim::{ClusterId, SteerCtx};
+use dca_sim::{rank_clusters, ClusterId, ClusterSet, SteerCtx, MAX_CLUSTERS};
 
 /// Which workload information feeds the counter.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -52,9 +57,11 @@ impl Default for ImbalanceConfig {
     }
 }
 
-/// The single imbalance counter combining I1 and windowed I2.
+/// The per-cluster imbalance counters combining I1 and windowed I2.
 ///
-/// Positive values mean the **integer cluster** is overloaded.
+/// A large positive counter means the cluster is overloaded. On a
+/// two-cluster machine [`ImbalanceMonitor::counter`] (the INT-cluster
+/// counter) is exactly the paper's single signed counter.
 ///
 /// # Example
 ///
@@ -64,22 +71,33 @@ impl Default for ImbalanceConfig {
 ///
 /// let mut m = ImbalanceMonitor::new(ImbalanceConfig::default());
 /// for _ in 0..12 {
-///     m.on_steered(ClusterId::Int); // 12 net instructions to INT
+///     m.on_steered(ClusterId::INT); // 12 net instructions to INT
 /// }
-/// assert_eq!(m.overloaded(), Some(ClusterId::Int));
-/// assert_eq!(m.less_loaded(), Some(ClusterId::Fp));
+/// assert_eq!(m.overloaded(), Some(ClusterId::INT));
+/// assert_eq!(m.less_loaded(), Some(ClusterId::FP));
 /// ```
 #[derive(Clone, Debug)]
 pub struct ImbalanceMonitor {
     cfg: ImbalanceConfig,
-    i1: i64,
-    i2_window: VecDeque<i64>,
-    i2_sum: i64,
+    /// Live cluster count, learnt from `on_cycle` (the simulator emits
+    /// a cycle notification before any steering within the cycle).
+    n: usize,
+    i1: [i64; MAX_CLUSTERS],
+    i2_windows: Vec<VecDeque<i64>>,
+    i2_sums: [i64; MAX_CLUSTERS],
+    /// Windowed I2 average per cluster, recomputed once per cycle in
+    /// [`ImbalanceMonitor::on_cycle`] — the only place the window
+    /// changes — so the steering path (several [`counter_of`] calls per
+    /// steered instruction) reads a cached value instead of dividing.
+    ///
+    /// [`counter_of`]: ImbalanceMonitor::counter_of
+    i2_avg: [i64; MAX_CLUSTERS],
 }
 
 /// Bound on the running I1 term so a persistently skewed program
 /// cannot wind the counter arbitrarily far (the threshold logic only
-/// cares about small magnitudes anyway).
+/// cares about small magnitudes anyway). Scaled by `n−1` to match the
+/// per-steer increment.
 const I1_CLAMP: i64 = 256;
 
 impl ImbalanceMonitor {
@@ -87,9 +105,13 @@ impl ImbalanceMonitor {
     pub fn new(cfg: ImbalanceConfig) -> ImbalanceMonitor {
         ImbalanceMonitor {
             cfg,
-            i1: 0,
-            i2_window: VecDeque::with_capacity(cfg.window),
-            i2_sum: 0,
+            n: 2,
+            i1: [0; MAX_CLUSTERS],
+            i2_windows: (0..MAX_CLUSTERS)
+                .map(|_| VecDeque::with_capacity(cfg.window))
+                .collect(),
+            i2_sums: [0; MAX_CLUSTERS],
+            i2_avg: [0; MAX_CLUSTERS],
         }
     }
 
@@ -100,60 +122,73 @@ impl ImbalanceMonitor {
 
     /// Per-cycle update with the current ready counts (feeds I2).
     pub fn on_cycle(&mut self, ctx: &SteerCtx) {
-        let i2 = ctx.instant_i2();
-        self.i2_window.push_back(i2);
-        self.i2_sum += i2;
-        if self.i2_window.len() > self.cfg.window {
-            self.i2_sum -= self.i2_window.pop_front().expect("non-empty");
+        self.n = usize::from(ctx.n).clamp(2, MAX_CLUSTERS);
+        for j in 0..self.n {
+            let i2 = ctx.instant_imbalance(ClusterId::from_index_unchecked(j));
+            self.i2_windows[j].push_back(i2);
+            self.i2_sums[j] += i2;
+            if self.i2_windows[j].len() > self.cfg.window {
+                self.i2_sums[j] -= self.i2_windows[j].pop_front().expect("non-empty");
+            }
+            self.i2_avg[j] = if self.i2_windows[j].is_empty() {
+                0
+            } else {
+                self.i2_sums[j] / self.i2_windows[j].len() as i64
+            };
         }
     }
 
     /// Per-steered-instruction update (feeds I1).
     pub fn on_steered(&mut self, cluster: ClusterId) {
-        let delta = match cluster {
-            ClusterId::Int => 1,
-            ClusterId::Fp => -1,
-        };
-        self.i1 = (self.i1 + delta).clamp(-I1_CLAMP, I1_CLAMP);
-    }
-
-    fn i2_avg(&self) -> i64 {
-        if self.i2_window.is_empty() {
-            0
-        } else {
-            self.i2_sum / self.i2_window.len() as i64
+        let n = self.n as i64;
+        let clamp = I1_CLAMP * (n - 1);
+        for j in 0..self.n {
+            let delta = if j == cluster.index() { n - 1 } else { -1 };
+            self.i1[j] = (self.i1[j] + delta).clamp(-clamp, clamp);
         }
     }
 
-    /// The combined counter value (positive → INT overloaded).
-    pub fn counter(&self) -> i64 {
+    /// The counter of cluster `c` under the configured metric.
+    pub fn counter_of(&self, c: ClusterId) -> i64 {
+        let j = c.index();
         match self.cfg.metric {
-            ImbalanceMetric::I1Only => self.i1,
-            ImbalanceMetric::I2Only => self.i2_avg(),
-            ImbalanceMetric::Combined => self.i1 + self.i2_avg(),
+            ImbalanceMetric::I1Only => self.i1[j],
+            ImbalanceMetric::I2Only => self.i2_avg[j],
+            ImbalanceMetric::Combined => self.i1[j] + self.i2_avg[j],
         }
     }
 
-    /// The overloaded cluster under *strong imbalance*
-    /// (`|counter| > threshold`), else `None`.
+    /// The paper's two-cluster counter (positive → INT overloaded):
+    /// the INT-cluster counter, kept for diagnostics and ablations.
+    pub fn counter(&self) -> i64 {
+        self.counter_of(ClusterId::INT)
+    }
+
+    fn live(&self) -> ClusterSet {
+        ClusterSet::first_n(self.n)
+    }
+
+    /// The most overloaded cluster under *strong imbalance* (counter
+    /// above `threshold · (n−1)`), else `None`.
     pub fn overloaded(&self) -> Option<ClusterId> {
-        let c = self.counter();
-        if c > self.cfg.threshold {
-            Some(ClusterId::Int)
-        } else if c < -self.cfg.threshold {
-            Some(ClusterId::Fp)
-        } else {
-            None
-        }
+        let thr = self.cfg.threshold * (self.n as i64 - 1);
+        rank_clusters(self.live(), |c| self.counter_of(c))
+            .filter(|&c| self.counter_of(c) > thr)
     }
 
-    /// The less-loaded cluster by counter sign (`None` when exactly
-    /// balanced — callers fall back to an instantaneous measure).
+    /// The least-loaded cluster by counter (`None` when every cluster
+    /// carries the same counter — callers fall back to an instantaneous
+    /// measure).
     pub fn less_loaded(&self) -> Option<ClusterId> {
-        match self.counter() {
-            c if c > 0 => Some(ClusterId::Fp),
-            c if c < 0 => Some(ClusterId::Int),
-            _ => None,
+        let min = rank_clusters(self.live(), |c| -self.counter_of(c))?;
+        let all_equal = self
+            .live()
+            .iter()
+            .all(|c| self.counter_of(c) == self.counter_of(min));
+        if all_equal {
+            None
+        } else {
+            Some(min)
         }
     }
 
@@ -166,13 +201,15 @@ impl ImbalanceMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dca_sim::per_cluster;
 
     fn ctx(ready: [u32; 2]) -> SteerCtx {
         SteerCtx {
             now: 0,
-            ready,
-            iq_len: [0, 0],
-            issue_width: [4, 4],
+            n: 2,
+            ready: per_cluster(&ready),
+            iq_len: [0; MAX_CLUSTERS],
+            issue_width: per_cluster(&[4, 4]),
         }
     }
 
@@ -183,17 +220,18 @@ mod tests {
             ..ImbalanceConfig::default()
         });
         for _ in 0..5 {
-            m.on_steered(ClusterId::Int);
+            m.on_steered(ClusterId::INT);
         }
         for _ in 0..2 {
-            m.on_steered(ClusterId::Fp);
+            m.on_steered(ClusterId::FP);
         }
         assert_eq!(m.counter(), 3);
+        assert_eq!(m.counter_of(ClusterId::FP), -3);
         assert!(!m.is_strong());
         for _ in 0..6 {
-            m.on_steered(ClusterId::Int);
+            m.on_steered(ClusterId::INT);
         }
-        assert_eq!(m.overloaded(), Some(ClusterId::Int));
+        assert_eq!(m.overloaded(), Some(ClusterId::INT));
     }
 
     #[test]
@@ -203,7 +241,7 @@ mod tests {
             ..ImbalanceConfig::default()
         });
         for _ in 0..10_000 {
-            m.on_steered(ClusterId::Fp);
+            m.on_steered(ClusterId::FP);
         }
         assert_eq!(m.counter(), -I1_CLAMP);
     }
@@ -224,7 +262,8 @@ mod tests {
         }
         // Window of 4 holds the last four values: [44, 44, 44, 44].
         assert_eq!(m.counter(), 44);
-        assert_eq!(m.overloaded(), Some(ClusterId::Int));
+        assert_eq!(m.counter_of(ClusterId::FP), -44);
+        assert_eq!(m.overloaded(), Some(ClusterId::INT));
         // Window slides: four balanced cycles wash it out.
         for _ in 0..4 {
             m.on_cycle(&ctx([2, 2]));
@@ -236,11 +275,11 @@ mod tests {
     fn combined_adds_both_terms() {
         let mut m = ImbalanceMonitor::paper();
         for _ in 0..4 {
-            m.on_steered(ClusterId::Int);
+            m.on_steered(ClusterId::INT);
         }
         m.on_cycle(&ctx([20, 1])); // i2 = +19, window len 1
         assert_eq!(m.counter(), 4 + 19);
-        assert_eq!(m.overloaded(), Some(ClusterId::Int));
+        assert_eq!(m.overloaded(), Some(ClusterId::INT));
     }
 
     #[test]
@@ -248,5 +287,48 @@ mod tests {
         let m = ImbalanceMonitor::paper();
         assert_eq!(m.less_loaded(), None);
         assert!(!m.is_strong());
+    }
+
+    #[test]
+    fn four_cluster_counters_single_out_the_hot_cluster() {
+        let mut m = ImbalanceMonitor::new(ImbalanceConfig {
+            metric: ImbalanceMetric::I1Only,
+            ..ImbalanceConfig::default()
+        });
+        // Learn n=4 from a cycle notification.
+        let four = SteerCtx {
+            n: 4,
+            ..SteerCtx::default()
+        };
+        m.on_cycle(&four);
+        let c2 = ClusterId::from_index(2).unwrap();
+        for _ in 0..12 {
+            m.on_steered(c2);
+        }
+        // c2 gained 3 per steer; the rest lost 1 each.
+        assert_eq!(m.counter_of(c2), 36);
+        assert_eq!(m.counter_of(ClusterId::INT), -12);
+        // Strong imbalance needs counter > 8·(4−1) = 24: satisfied.
+        assert_eq!(m.overloaded(), Some(c2));
+        assert_eq!(m.less_loaded(), Some(ClusterId::INT), "ties → lowest index");
+    }
+
+    #[test]
+    fn n2_counters_stay_antisymmetric_under_mixed_updates() {
+        let mut m = ImbalanceMonitor::paper();
+        for k in 0..50u32 {
+            m.on_cycle(&ctx([k % 11, (k * 7) % 9]));
+            let c = if k % 3 == 0 {
+                ClusterId::FP
+            } else {
+                ClusterId::INT
+            };
+            m.on_steered(c);
+            assert_eq!(
+                m.counter_of(ClusterId::INT),
+                -m.counter_of(ClusterId::FP),
+                "after update {k}"
+            );
+        }
     }
 }

@@ -49,7 +49,7 @@ impl Steering for Naive {
         }
         // FP-bank writers (FP loads) belong with the FP data-path.
         let fp_dst = d.inst.effective_dst().is_some_and(|r| r.is_fp());
-        Some(if fp_dst { ClusterId::Fp } else { ClusterId::Int })
+        Some(allowed.clamp(if fp_dst { ClusterId::FP } else { ClusterId::INT }))
     }
 }
 
@@ -75,7 +75,7 @@ mod tests {
         let add = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
         assert_eq!(
             n.steer(&view(&add), Allowed::both(), &SteerCtx::default()),
-            Some(ClusterId::Int)
+            Some(ClusterId::INT)
         );
         let _ = ExecClass::IntAlu;
     }
@@ -86,7 +86,7 @@ mod tests {
         let fld = Inst::fld(Reg::fp(1), Reg::int(2), 0);
         assert_eq!(
             n.steer(&view(&fld), Allowed::both(), &SteerCtx::default()),
-            Some(ClusterId::Fp)
+            Some(ClusterId::FP)
         );
     }
 
@@ -95,8 +95,8 @@ mod tests {
         let mut n = Naive::new();
         let add = Inst::add(Reg::int(1), Reg::int(2), Reg::int(3));
         assert_eq!(
-            n.steer(&view(&add), Allowed::only(ClusterId::Fp), &SteerCtx::default()),
-            Some(ClusterId::Fp)
+            n.steer(&view(&add), Allowed::only(ClusterId::FP), &SteerCtx::default()),
+            Some(ClusterId::FP)
         );
     }
 }

@@ -129,10 +129,11 @@ impl Steering for PrioritySliceBalance {
                 &self.monitor,
                 &mut self.remaps,
                 d,
+                allowed,
                 ctx,
                 s,
             ),
-            _ => steer_free_instruction(d, ctx, &self.monitor),
+            _ => steer_free_instruction(d, allowed, ctx, &self.monitor),
         })
     }
 

@@ -7,7 +7,7 @@
 //! re-assigned** to the other cluster. Non-slice instructions follow
 //! the §3.5 balance policy.
 
-use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+use dca_sim::{rank_clusters, Allowed, ClusterId, DecodedView, SteerCtx, Steering};
 
 use crate::balance::steer_free_instruction;
 use crate::imbalance::{ImbalanceConfig, ImbalanceMonitor};
@@ -64,17 +64,22 @@ impl SliceBalance {
         monitor: &ImbalanceMonitor,
         remaps: &mut u64,
         d: &DecodedView<'_>,
+        allowed: Allowed,
         ctx: &SteerCtx,
         s: u32,
     ) -> ClusterId {
         match clusters.assignment(s) {
             Some(c) => {
                 // Re-assign the whole slice if its cluster is strongly
-                // overloaded.
+                // overloaded: move it to the least-loaded other cluster
+                // (the only other cluster on the paper machine).
                 if monitor.overloaded() == Some(c) {
-                    clusters.assign(s, c.other());
+                    let mut rest = allowed.set();
+                    rest.remove(c);
+                    let t = rank_clusters(rest, |k| -monitor.counter_of(k)).unwrap_or(c);
+                    clusters.assign(s, t);
                     *remaps += 1;
-                    c.other()
+                    t
                 } else {
                     c
                 }
@@ -82,7 +87,7 @@ impl SliceBalance {
             None => {
                 // First time this slice is dispatched: place it like a
                 // free instruction and remember the choice.
-                let c = steer_free_instruction(d, ctx, monitor);
+                let c = steer_free_instruction(d, allowed, ctx, monitor);
                 clusters.assign(s, c);
                 c
             }
@@ -114,10 +119,11 @@ impl Steering for SliceBalance {
                 &self.monitor,
                 &mut self.remaps,
                 d,
+                allowed,
                 ctx,
                 s,
             ),
-            None => steer_free_instruction(d, ctx, &self.monitor),
+            None => steer_free_instruction(d, allowed, ctx, &self.monitor),
         })
     }
 

@@ -5,7 +5,7 @@
 //! remaining instructions to the FP cluster (excepting complex integer
 //! instructions)." The Br variant uses branch backward slices instead.
 
-use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
+use dca_sim::{rank_clusters, Allowed, ClusterId, DecodedView, SteerCtx, Steering};
 
 use crate::tables::SliceFlags;
 
@@ -81,15 +81,21 @@ impl Steering for SliceSteering {
         &mut self,
         d: &DecodedView<'_>,
         allowed: Allowed,
-        _ctx: &SteerCtx,
+        ctx: &SteerCtx,
     ) -> Option<ClusterId> {
         if let Some(f) = allowed.forced() {
             return Some(f);
         }
         Some(if self.flags.contains(d.sidx) || self.kind.defines(d.inst) {
-            ClusterId::Int
+            ClusterId::INT
         } else {
-            ClusterId::Fp
+            // Non-slice work spreads over the remaining clusters (the
+            // single FP cluster on the paper machine), shortest queue
+            // first.
+            let mut rest = allowed.set();
+            rest.remove(ClusterId::INT);
+            rank_clusters(rest, |c| -i64::from(ctx.iq_len[c.index()]))
+                .unwrap_or(ClusterId::INT)
         })
     }
 

@@ -38,7 +38,7 @@ use dca_sim::{Allowed, ClusterId, DecodedView, SteerCtx, Steering};
 ///         halt",
 /// )?;
 /// let part = StaticPartition::analyze(&p);
-/// assert_eq!(part.assignment(0), ClusterId::Int);
+/// assert_eq!(part.assignment(0), ClusterId::INT);
 /// assert_eq!(part.name(), "static-ldst");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -71,20 +71,20 @@ impl StaticPartition {
         let mut assign: Vec<ClusterId> = (0..n as u32)
             .map(|sidx| {
                 if slice.contains_sidx(sidx) {
-                    ClusterId::Int
+                    ClusterId::INT
                 } else {
-                    ClusterId::Fp
+                    ClusterId::FP
                 }
             })
             .collect();
         // Refinement: pull non-slice instructions whose neighbours are
         // mostly integer-side into the integer cluster (approximates
         // [18]'s communication-reducing extension).
-        let mut int_count = assign.iter().filter(|&&c| c == ClusterId::Int).count();
+        let mut int_count = assign.iter().filter(|&&c| c == ClusterId::INT).count();
         let cap = (n as f64 * max_int_share) as usize;
         let initial: Vec<ClusterId> = assign.clone();
         for sidx in 0..n as u32 {
-            if initial[sidx as usize] == ClusterId::Int || int_count >= cap {
+            if initial[sidx as usize] == ClusterId::INT || int_count >= cap {
                 continue;
             }
             let mut int_neigh = 0usize;
@@ -92,13 +92,13 @@ impl StaticPartition {
             for node in [NodeId::main(sidx), NodeId::access(sidx)] {
                 for &n2 in rdg.parents(node).iter().chain(rdg.children(node)) {
                     total_neigh += 1;
-                    if initial[n2.sidx() as usize] == ClusterId::Int {
+                    if initial[n2.sidx() as usize] == ClusterId::INT {
                         int_neigh += 1;
                     }
                 }
             }
             if total_neigh > 0 && int_neigh * 2 >= total_neigh {
-                assign[sidx as usize] = ClusterId::Int;
+                assign[sidx as usize] = ClusterId::INT;
                 int_count += 1;
             }
         }
@@ -119,7 +119,7 @@ impl StaticPartition {
         if self.assign.is_empty() {
             return 0.0;
         }
-        self.assign.iter().filter(|&&c| c == ClusterId::Int).count() as f64
+        self.assign.iter().filter(|&&c| c == ClusterId::INT).count() as f64
             / self.assign.len() as f64
     }
 }
@@ -133,9 +133,21 @@ impl Steering for StaticPartition {
         &mut self,
         d: &DecodedView<'_>,
         allowed: Allowed,
-        _ctx: &SteerCtx,
+        ctx: &SteerCtx,
     ) -> Option<ClusterId> {
-        Some(allowed.clamp(self.assignment(d.sidx)))
+        // The offline analysis is two-valued (slice vs rest). On an
+        // N-way machine the non-slice partition is spread statically
+        // over the non-integer clusters by instruction index, keeping
+        // the per-static-instruction property (all dynamic instances in
+        // one cluster).
+        let c = match self.assignment(d.sidx) {
+            ClusterId::INT => ClusterId::INT,
+            _ => {
+                let n = u32::from(ctx.n.max(2));
+                ClusterId::from_index_unchecked((1 + d.sidx % (n - 1)) as usize)
+            }
+        };
+        Some(allowed.clamp(c))
     }
 }
 
@@ -161,10 +173,10 @@ mod tests {
         )
         .unwrap();
         let part = StaticPartition::analyze_with(&p, 0.5);
-        assert_eq!(part.assignment(0), ClusterId::Int);
-        assert_eq!(part.assignment(2), ClusterId::Int);
-        assert_eq!(part.assignment(4), ClusterId::Int);
-        assert_eq!(part.assignment(3), ClusterId::Fp, "pure value chain stays FP");
+        assert_eq!(part.assignment(0), ClusterId::INT);
+        assert_eq!(part.assignment(2), ClusterId::INT);
+        assert_eq!(part.assignment(4), ClusterId::INT);
+        assert_eq!(part.assignment(3), ClusterId::FP, "pure value chain stays FP");
         assert!(part.int_share() <= 0.75);
     }
 
@@ -182,11 +194,11 @@ mod tests {
         let tight = StaticPartition::analyze_with(&p, 0.0);
         // With a zero cap, refinement cannot grow the integer side at
         // all — only the true slice is INT.
-        assert_eq!(tight.assignment(2), ClusterId::Fp);
+        assert_eq!(tight.assignment(2), ClusterId::FP);
         let loose = StaticPartition::analyze_with(&p, 1.0);
         // With no cap, the add chained to the load value gets pulled in
         // (its only neighbours include the INT-side load).
-        assert_eq!(loose.assignment(2), ClusterId::Int);
+        assert_eq!(loose.assignment(2), ClusterId::INT);
     }
 
     #[test]

@@ -228,7 +228,7 @@ impl ClusterTable {
             .entry(defining_sidx)
             .and_modify(|e| e.crit_events += 1)
             .or_insert(ClusterAssign {
-                cluster: ClusterId::Int,
+                cluster: ClusterId::INT,
                 crit_events: 1,
             });
     }
@@ -373,10 +373,10 @@ mod tests {
     fn cluster_table_assign_and_crit() {
         let mut t = ClusterTable::new();
         assert_eq!(t.assignment(5), None);
-        t.assign(5, ClusterId::Fp);
-        assert_eq!(t.assignment(5), Some(ClusterId::Fp));
-        t.assign(5, ClusterId::Int);
-        assert_eq!(t.assignment(5), Some(ClusterId::Int));
+        t.assign(5, ClusterId::FP);
+        assert_eq!(t.assignment(5), Some(ClusterId::FP));
+        t.assign(5, ClusterId::INT);
+        assert_eq!(t.assignment(5), Some(ClusterId::INT));
         assert_eq!(t.crit_events(5), 0);
         t.record_crit_event(5);
         t.record_crit_event(5);

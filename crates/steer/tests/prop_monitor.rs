@@ -31,12 +31,11 @@ proptest! {
         let mut m = ImbalanceMonitor::paper();
         for e in &events {
             match *e {
-                Event::Steer(int) => m.on_steered(if int { ClusterId::Int } else { ClusterId::Fp }),
+                Event::Steer(int) => m.on_steered(if int { ClusterId::INT } else { ClusterId::FP }),
                 Event::Cycle { ready0, ready1 } => m.on_cycle(&SteerCtx {
-                    now: 0,
-                    ready: [ready0, ready1],
-                    iq_len: [0, 0],
-                    issue_width: [4, 4],
+                    ready: dca_sim::per_cluster(&[ready0, ready1]),
+                    issue_width: dca_sim::per_cluster(&[4, 4]),
+                    ..SteerCtx::default()
                 }),
             }
         }
@@ -45,8 +44,9 @@ proptest! {
         // Sign correctness: the overloaded cluster is on the positive
         // side iff it is INT.
         match m.overloaded() {
-            Some(ClusterId::Int) => prop_assert!(m.counter() > 0),
-            Some(ClusterId::Fp) => prop_assert!(m.counter() < 0),
+            Some(ClusterId::INT) => prop_assert!(m.counter() > 0),
+            Some(ClusterId::FP) => prop_assert!(m.counter() < 0),
+            Some(other) => prop_assert!(false, "impossible cluster {other} on a 2-cluster monitor"),
             None => prop_assert!(m.counter().abs() <= 8),
         }
         // less_loaded is always the opposite side of the counter sign.
@@ -63,7 +63,7 @@ proptest! {
         });
         let mut expected: i64 = 0;
         for &int in &flips {
-            m.on_steered(if int { ClusterId::Int } else { ClusterId::Fp });
+            m.on_steered(if int { ClusterId::INT } else { ClusterId::FP });
             expected = (expected + if int { 1 } else { -1 }).clamp(-256, 256);
         }
         prop_assert_eq!(m.counter(), expected);
@@ -87,7 +87,7 @@ proptest! {
                 // Issue (retire from FIFO bookkeeping) a random inflight op.
                 let idx = (pick as usize) % in_flight.len();
                 let victim = in_flight.swap_remove(idx);
-                s.on_issued(victim, ClusterId::Int);
+                s.on_issued(victim, ClusterId::INT);
             } else {
                 let d = DecodedView {
                     seq: next_seq,

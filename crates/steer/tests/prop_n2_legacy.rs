@@ -1,0 +1,205 @@
+//! N=2 legacy-equivalence properties (the refactor's safety net at the
+//! steering layer): on a two-cluster machine the N-way ranking
+//! primitive, the generalised imbalance monitor and the balance
+//! steering policy must reproduce the pre-refactor pick-a-side logic
+//! decision for decision. A fourth property checks that per-cluster
+//! stat vectors merge element-wise for N>2 machines.
+
+use dca_isa::{ExecClass, Inst, Reg};
+use dca_sim::{
+    per_cluster, rank_clusters, Allowed, ClusterId, ClusterSet, DecodedView, SimStats, SrcView,
+    SteerCtx, Steering, MAX_CLUSTERS,
+};
+use dca_steer::{GeneralBalance, ImbalanceMonitor};
+use proptest::prelude::*;
+
+/// One step of a random steering history: a cycle tick with observed
+/// ready counts, or a decode with operand residency and queue state.
+#[derive(Clone, Debug)]
+enum Event {
+    Cycle { ready0: u32, ready1: u32 },
+    Decode { srcs: [Option<u8>; 2], iq0: u32, iq1: u32 },
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    // `(present, bits)` pairs stand in for `Option` strategies.
+    let src = (any::<bool>(), 0u8..4).prop_map(|(some, bits)| some.then_some(bits));
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..40, 0u32..40).prop_map(|(a, b)| Event::Cycle { ready0: a, ready1: b }),
+            (src.clone(), src, 0u32..64, 0u32..64)
+                .prop_map(|(s0, s1, iq0, iq1)| Event::Decode { srcs: [s0, s1], iq0, iq1 }),
+        ],
+        1..300,
+    )
+}
+
+/// Residency bitmask → the set of clusters holding the operand
+/// (bit 0 = INT, bit 1 = FP).
+fn mapped(bits: u8) -> ClusterSet {
+    let mut s = ClusterSet::first_n(0);
+    if bits & 1 != 0 {
+        s.insert(ClusterId::INT);
+    }
+    if bits & 2 != 0 {
+        s.insert(ClusterId::FP);
+    }
+    s
+}
+
+fn views(srcs: [Option<u8>; 2]) -> [Option<SrcView>; 2] {
+    srcs.map(|o| {
+        o.map(|bits| SrcView {
+            reg: Reg::int(1),
+            mapped: mapped(bits),
+        })
+    })
+}
+
+/// The pre-refactor two-cluster general-balance policy, verbatim:
+/// strong imbalance sends to the less loaded side; otherwise operand
+/// locality decides; ties fall back to the signed counter, then the
+/// shorter queue, then INT.
+fn legacy_general(d: &DecodedView<'_>, ctx: &SteerCtx, m: &ImbalanceMonitor) -> ClusterId {
+    if m.is_strong() {
+        return m.less_loaded().expect("strong imbalance has a loaded side");
+    }
+    let int_ops = d.operands_in(ClusterId::INT);
+    let fp_ops = d.operands_in(ClusterId::FP);
+    if int_ops != fp_ops {
+        return if int_ops > fp_ops { ClusterId::INT } else { ClusterId::FP };
+    }
+    let k = m.counter(); // positive → INT more loaded
+    if k > 0 {
+        return ClusterId::FP;
+    }
+    if k < 0 {
+        return ClusterId::INT;
+    }
+    if ctx.iq_len[1] < ctx.iq_len[0] {
+        ClusterId::FP
+    } else {
+        ClusterId::INT
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `rank_clusters` over two clusters is exactly the legacy
+    /// pick-a-side comparison: FP wins iff its score is strictly
+    /// greater (ties go to the lower index, INT).
+    #[test]
+    fn rank_clusters_n2_is_pick_a_side(s0 in any::<i64>(), s1 in any::<i64>()) {
+        let scores = [s0, s1];
+        let got = rank_clusters(ClusterSet::first_n(2), |c| scores[c.index()]);
+        let want = if s1 > s0 { ClusterId::FP } else { ClusterId::INT };
+        prop_assert_eq!(got, Some(want));
+    }
+
+    /// On two clusters the generalised per-cluster counters collapse
+    /// to the paper's single signed counter: FP's counter is the exact
+    /// negation of INT's, and overloaded/less_loaded follow its sign.
+    #[test]
+    fn monitor_n2_counters_are_antisymmetric(events in arb_events()) {
+        let mut m = ImbalanceMonitor::paper();
+        for e in &events {
+            match *e {
+                Event::Cycle { ready0, ready1 } => m.on_cycle(&SteerCtx {
+                    ready: per_cluster(&[ready0, ready1]),
+                    issue_width: per_cluster(&[4, 4]),
+                    ..SteerCtx::default()
+                }),
+                Event::Decode { iq0, .. } => {
+                    // Steer somewhere deterministic to wind I1.
+                    m.on_steered(if iq0 % 2 == 0 { ClusterId::INT } else { ClusterId::FP });
+                }
+            }
+            let k = m.counter_of(ClusterId::INT);
+            prop_assert_eq!(m.counter_of(ClusterId::FP), -k, "antisymmetric at N=2");
+            let want_over = if k > 8 {
+                Some(ClusterId::INT)
+            } else if -k > 8 {
+                Some(ClusterId::FP)
+            } else {
+                None
+            };
+            prop_assert_eq!(m.overloaded(), want_over);
+            let want_less = match k.cmp(&0) {
+                std::cmp::Ordering::Greater => Some(ClusterId::FP),
+                std::cmp::Ordering::Less => Some(ClusterId::INT),
+                std::cmp::Ordering::Equal => None,
+            };
+            prop_assert_eq!(m.less_loaded(), want_less);
+        }
+    }
+
+    /// The shipped N-way `GeneralBalance` and the legacy three-branch
+    /// reference agree on every decision of a random history.
+    #[test]
+    fn general_balance_n2_matches_legacy_reference(events in arb_events()) {
+        let mut scheme = GeneralBalance::new();
+        let mut mirror = ImbalanceMonitor::paper();
+        let inst = Inst::li(Reg::int(1), 0);
+        let mut seq = 0u64;
+        for e in &events {
+            match *e {
+                Event::Cycle { ready0, ready1 } => {
+                    let ctx = SteerCtx {
+                        ready: per_cluster(&[ready0, ready1]),
+                        issue_width: per_cluster(&[4, 4]),
+                        ..SteerCtx::default()
+                    };
+                    scheme.on_cycle(&ctx);
+                    mirror.on_cycle(&ctx);
+                }
+                Event::Decode { srcs, iq0, iq1 } => {
+                    let ctx = SteerCtx {
+                        iq_len: per_cluster(&[iq0, iq1]),
+                        issue_width: per_cluster(&[4, 4]),
+                        ..SteerCtx::default()
+                    };
+                    let d = DecodedView {
+                        seq,
+                        sidx: 0,
+                        pc: 0,
+                        inst: &inst,
+                        class: ExecClass::IntAlu,
+                        srcs: views(srcs),
+                    };
+                    seq += 1;
+                    let got = scheme.steer(&d, Allowed::both(), &ctx);
+                    let want = legacy_general(&d, &ctx, &mirror);
+                    prop_assert_eq!(got, Some(want));
+                    scheme.on_steered(&d, want, &ctx);
+                    mirror.on_steered(want);
+                }
+            }
+        }
+    }
+
+    /// Per-cluster stat vectors merge element-wise across all
+    /// `MAX_CLUSTERS` lanes — the N>2 counterpart of the sampled
+    /// harness's interval combination step.
+    #[test]
+    fn merge_sums_per_cluster_vectors(
+        a in proptest::collection::vec(0u64..1 << 40, MAX_CLUSTERS..MAX_CLUSTERS + 1),
+        b in proptest::collection::vec(0u64..1 << 40, MAX_CLUSTERS..MAX_CLUSTERS + 1),
+    ) {
+        let mut x = SimStats {
+            steered: per_cluster(&a),
+            copies_by_dir: per_cluster(&b),
+            ..SimStats::default()
+        };
+        let y = SimStats {
+            steered: per_cluster(&b),
+            copies_by_dir: per_cluster(&a),
+            ..SimStats::default()
+        };
+        x.merge(&y);
+        for j in 0..MAX_CLUSTERS {
+            prop_assert_eq!(x.steered[j], a[j] + b[j]);
+            prop_assert_eq!(x.copies_by_dir[j], a[j] + b[j]);
+        }
+    }
+}

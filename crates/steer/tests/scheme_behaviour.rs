@@ -154,7 +154,7 @@ fn static_partition_matches_converged_dynamic_flags_on_loops() {
         if si.inst.op == dca_isa::Opcode::Halt {
             continue;
         }
-        let statically_int = static_part.assignment(si.sidx) == dca_sim::ClusterId::Int;
+        let statically_int = static_part.assignment(si.sidx) == dca_sim::ClusterId::INT;
         let dynamically_flagged = dynamic.flags().contains(si.sidx);
         assert_eq!(
             statically_int, dynamically_flagged,

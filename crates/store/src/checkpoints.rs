@@ -30,31 +30,44 @@ pub struct CheckpointKey<'a> {
     pub max_insts: u64,
     /// Deterministic fingerprint of the generated program + memory.
     pub fingerprint: u64,
+    /// Hash of the warming microarchitecture
+    /// (`dca_sim::SimConfig::uarch_hash`): cache hierarchy + branch
+    /// predictor geometry. Continuous-warming snapshots embedded in the
+    /// stream are only restorable on a machine with the same substrate
+    /// geometry, so streams warmed for different machines never alias.
+    pub uarch: u64,
 }
 
 impl CheckpointKey<'_> {
     /// The store file name for this key.
     pub fn file_name(&self) -> String {
         format!(
-            "ck_{}_{}_p{}_m{}.dcc",
-            self.workload, self.scale, self.period, self.max_insts
+            "ck_{}_{}_p{}_m{}_u{:016x}.dcc",
+            self.workload, self.scale, self.period, self.max_insts, self.uarch
         )
     }
 
     /// Parses a [`CheckpointKey::file_name`] back into
-    /// `(workload, scale, period, max_insts)`. Used by the cross-scale
-    /// prefix scan ([`Store::load_checkpoints_covering`]) to discover
-    /// donor streams; a misparse (or an adversarial name) is harmless
-    /// because every load re-verifies the key against the file's meta
-    /// record.
+    /// `(workload, scale, period, max_insts, uarch)`. Used by the
+    /// cross-scale prefix scan ([`Store::load_checkpoints_covering`])
+    /// to discover donor streams; a misparse (or an adversarial name)
+    /// is harmless because every load re-verifies the key against the
+    /// file's meta record.
     ///
     /// [`Store::load_checkpoints_covering`]: crate::Store::load_checkpoints_covering
-    pub(crate) fn parse_file_name(name: &str) -> Option<(&str, &str, u64, u64)> {
+    pub(crate) fn parse_file_name(name: &str) -> Option<(&str, &str, u64, u64, u64)> {
         let rest = name.strip_prefix("ck_")?.strip_suffix(".dcc")?;
+        let (rest, uarch) = rest.rsplit_once("_u")?;
         let (rest, max) = rest.rsplit_once("_m")?;
         let (rest, period) = rest.rsplit_once("_p")?;
         let (workload, scale) = rest.rsplit_once('_')?;
-        Some((workload, scale, period.parse().ok()?, max.parse().ok()?))
+        Some((
+            workload,
+            scale,
+            period.parse().ok()?,
+            max.parse().ok()?,
+            u64::from_str_radix(uarch, 16).ok()?,
+        ))
     }
 }
 
@@ -97,6 +110,7 @@ pub(crate) fn encode(key: &CheckpointKey<'_>, ff: &FastForward) -> Vec<Vec<u8>> 
     meta.extend_from_slice(&key.period.to_le_bytes());
     meta.extend_from_slice(&key.max_insts.to_le_bytes());
     meta.extend_from_slice(&key.fingerprint.to_le_bytes());
+    meta.extend_from_slice(&key.uarch.to_le_bytes());
     meta.extend_from_slice(&ff.total_insts.to_le_bytes());
     meta.push(u8::from(ff.halted));
     meta.extend_from_slice(&(ff.checkpoints.len() as u32).to_le_bytes());
@@ -151,22 +165,23 @@ pub(crate) fn decode(
         let period = r.u64()?;
         let max_insts = r.u64()?;
         let fingerprint = r.u64()?;
+        let uarch = r.u64()?;
         let total_insts = r.u64()?;
         let halted = r.u8()? != 0;
         let count = r.u32()? as usize;
         let workload = r.str()?.to_owned();
         let scale = r.str()?.to_owned();
         r.finish()?;
-        Ok((period, max_insts, fingerprint, total_insts, halted, count, workload, scale))
+        Ok((period, max_insts, fingerprint, uarch, total_insts, halted, count, workload, scale))
     })();
-    let (period, max_insts, fingerprint, total_insts, halted, count, workload, scale) =
+    let (period, max_insts, fingerprint, uarch, total_insts, halted, count, workload, scale) =
         parse.map_err(|e| corrupt(path, format!("meta record: {e}")))?;
-    if (workload.as_str(), scale.as_str(), period, max_insts)
-        != (key.workload, key.scale, key.period, key.max_insts)
+    if (workload.as_str(), scale.as_str(), period, max_insts, uarch)
+        != (key.workload, key.scale, key.period, key.max_insts, key.uarch)
     {
         return Err(corrupt(
             path,
-            format!("meta key ({workload}/{scale}/p{period}/m{max_insts}) does not match the file name"),
+            format!("meta key ({workload}/{scale}/p{period}/m{max_insts}/u{uarch:016x}) does not match the file name"),
         ));
     }
     if fingerprint != key.fingerprint {

@@ -58,6 +58,7 @@
 //! let ff = fast_forward(&prog, Memory::new(), 5, u64::MAX);
 //! let key = CheckpointKey {
 //!     workload: "doc", scale: "smoke", period: 5, max_insts: u64::MAX, fingerprint: 42,
+//!     uarch: 0,
 //! };
 //! store.save_checkpoints(&key, &ff)?;
 //! let restored = store.load_checkpoints(&key)?;
@@ -493,13 +494,19 @@ impl Store {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
-            let Some((workload, scale, period, max)) = CheckpointKey::parse_file_name(name)
+            let Some((workload, scale, period, max, uarch)) = CheckpointKey::parse_file_name(name)
             else {
                 continue;
             };
             // `>=`, not `>`: an equal window stored under a different
             // scale *name* (same fingerprint) serves the request as-is.
-            if workload == key.workload && period == key.period && max >= key.max_insts {
+            // Streams warmed on a different microarchitectural substrate
+            // carry incompatible embedded snapshots, so they never donate.
+            if workload == key.workload
+                && period == key.period
+                && max >= key.max_insts
+                && uarch == key.uarch
+            {
                 donors.push((max, scale.to_owned()));
             }
         }
@@ -878,6 +885,7 @@ mod tests {
             period: 40,
             max_insts: u64::MAX,
             fingerprint: 0xfeed,
+            uarch: 0x1234,
         }
     }
 
@@ -886,6 +894,7 @@ mod tests {
             workload: "compress",
             scale: "smoke",
             machine: "clustered",
+            geometry: 0x5678,
             scheme: "Modulo",
             period: 40,
             warmup: 10,
@@ -1090,8 +1099,8 @@ mod tests {
             committed_uops: 500,
             copies: 7,
             critical_copies: 3,
-            copies_by_dir: [4, 3],
-            steered: [300, 156],
+            copies_by_dir: dca_sim::per_cluster(&[4, 3, 2, 1]),
+            steered: dca_sim::per_cluster(&[300, 156, 80, 20]),
             replication_reg_cycles: 99,
             loads: 50,
             stores: 20,
@@ -1112,6 +1121,7 @@ mod tests {
             workload: "li",
             scale: "smoke",
             machine: "base",
+            geometry: 0xabcd,
             scheme: "Naive",
             period: 10,
             warmup: 2,

@@ -14,7 +14,7 @@
 //! over stored intervals is bit-identical to a merge over freshly
 //! simulated ones.
 
-use dca_sim::{BalanceHistogram, SimStats};
+use dca_sim::{BalanceHistogram, SimStats, MAX_CLUSTERS};
 
 use crate::file::{put_str, Reader};
 use crate::StoreError;
@@ -30,6 +30,11 @@ pub struct ResultKey<'a> {
     pub scale: &'a str,
     /// Machine key (`"base"`, `"clustered"`, …).
     pub machine: &'a str,
+    /// Hash of the full simulated machine configuration
+    /// (`dca_sim::SimConfig::config_hash`): cluster count, per-cluster
+    /// geometry, distances, substrates. Distinguishes N-way and ablated
+    /// variants sharing a machine *name*.
+    pub geometry: u64,
     /// Scheme key (`"GeneralBalance"`, …).
     pub scheme: &'a str,
     /// Checkpoint period (dynamic instructions).
@@ -55,7 +60,7 @@ impl ResultKey<'_> {
     /// The store file name for this key.
     pub fn file_name(&self) -> String {
         format!(
-            "rs_{}_{}_{}_{}_p{}_w{}_i{}_m{}{}{}.dcr",
+            "rs_{}_{}_{}_{}_p{}_w{}_i{}_m{}_g{:016x}{}{}.dcr",
             self.workload,
             self.scale,
             self.machine,
@@ -64,6 +69,7 @@ impl ResultKey<'_> {
             self.warmup,
             self.interval,
             self.max_insts,
+            self.geometry,
             if self.warm_steering { "_ws" } else { "" },
             if self.continuous_warming { "_cw" } else { "" },
         )
@@ -90,10 +96,16 @@ fn encode_stats(s: &SimStats, out: &mut Vec<u8>) {
     u(s.committed_uops);
     u(s.copies);
     u(s.critical_copies);
-    u(s.copies_by_dir[0]);
-    u(s.copies_by_dir[1]);
-    u(s.steered[0]);
-    u(s.steered[1]);
+    // Per-cluster vectors are length-prefixed so the record layout
+    // survives MAX_CLUSTERS growth.
+    u(MAX_CLUSTERS as u64);
+    for v in s.copies_by_dir {
+        u(v);
+    }
+    u(MAX_CLUSTERS as u64);
+    for v in s.steered {
+        u(v);
+    }
     for b in s.balance.bucket_counts() {
         u(b);
     }
@@ -115,6 +127,18 @@ fn encode_stats(s: &SimStats, out: &mut Vec<u8>) {
     u(s.slice_hits);
 }
 
+fn per_cluster_vec(r: &mut Reader<'_>) -> Result<[u64; MAX_CLUSTERS], String> {
+    let len = r.u64()? as usize;
+    if len > MAX_CLUSTERS {
+        return Err(format!("per-cluster vector of {len} > {MAX_CLUSTERS} entries"));
+    }
+    let mut out = [0u64; MAX_CLUSTERS];
+    for v in out.iter_mut().take(len) {
+        *v = r.u64()?;
+    }
+    Ok(out)
+}
+
 fn decode_stats(r: &mut Reader<'_>) -> Result<SimStats, String> {
     let mut s = SimStats {
         cycles: r.u64()?,
@@ -122,8 +146,8 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<SimStats, String> {
         committed_uops: r.u64()?,
         copies: r.u64()?,
         critical_copies: r.u64()?,
-        copies_by_dir: [r.u64()?, r.u64()?],
-        steered: [r.u64()?, r.u64()?],
+        copies_by_dir: per_cluster_vec(r)?,
+        steered: per_cluster_vec(r)?,
         ..SimStats::default()
     };
     let mut buckets = [0u64; 21];
@@ -161,6 +185,7 @@ pub(crate) fn encode(key: &ResultKey<'_>, intervals: &[IntervalRecord]) -> Vec<V
     meta.push(u8::from(key.warm_steering));
     meta.push(u8::from(key.continuous_warming));
     meta.extend_from_slice(&key.fingerprint.to_le_bytes());
+    meta.extend_from_slice(&key.geometry.to_le_bytes());
     meta.extend_from_slice(&(intervals.len() as u32).to_le_bytes());
     put_str(&mut meta, key.workload);
     put_str(&mut meta, key.scale);
@@ -200,6 +225,7 @@ pub(crate) fn decode(
         let warm_steering = r.u8()? != 0;
         let continuous_warming = r.u8()? != 0;
         let fingerprint = r.u64()?;
+        let geometry = r.u64()?;
         let count = r.u32()? as usize;
         let workload = r.str()?.to_owned();
         let scale = r.str()?.to_owned();
@@ -208,10 +234,10 @@ pub(crate) fn decode(
         r.finish()?;
         Ok((
             period, warmup, interval, max_insts, warm_steering, continuous_warming, fingerprint,
-            count, workload, scale, machine, scheme,
+            geometry, count, workload, scale, machine, scheme,
         ))
     })();
-    let (period, warmup, interval, max_insts, warm_steering, continuous_warming, fingerprint, count, workload, scale, machine, scheme) =
+    let (period, warmup, interval, max_insts, warm_steering, continuous_warming, fingerprint, geometry, count, workload, scale, machine, scheme) =
         parse.map_err(|e| corrupt(path, format!("meta record: {e}")))?;
     let meta_key = (
         workload.as_str(),
@@ -224,6 +250,7 @@ pub(crate) fn decode(
         max_insts,
         warm_steering,
         continuous_warming,
+        geometry,
     );
     let want = (
         key.workload,
@@ -236,6 +263,7 @@ pub(crate) fn decode(
         key.max_insts,
         key.warm_steering,
         key.continuous_warming,
+        key.geometry,
     );
     if meta_key != want {
         return Err(corrupt(path, "meta key does not match the file name"));

@@ -33,6 +33,7 @@ fn key(workload: &str) -> CheckpointKey<'_> {
         period: 25,
         max_insts: u64::MAX,
         fingerprint: 9,
+        uarch: 0,
     }
 }
 

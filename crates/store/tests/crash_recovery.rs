@@ -37,6 +37,7 @@ fn target_key() -> CheckpointKey<'static> {
         period: 20,
         max_insts: u64::MAX,
         fingerprint: 1,
+        uarch: 0,
     }
 }
 
@@ -47,6 +48,7 @@ fn neighbour_key() -> CheckpointKey<'static> {
         period: 20,
         max_insts: u64::MAX,
         fingerprint: 2,
+        uarch: 0,
     }
 }
 

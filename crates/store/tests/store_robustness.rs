@@ -91,6 +91,7 @@ proptest! {
             period,
             max_insts: 20_000,
             fingerprint: p.content_hash(),
+            uarch: 0,
         };
         store.save_checkpoints(&key, &ff).expect("save");
         let back = store.load_checkpoints(&key).unwrap_or_else(|e| {
@@ -134,6 +135,7 @@ proptest! {
             period,
             max_insts: 10_000,
             fingerprint: p.content_hash(),
+            uarch: 0,
         };
         store.save_checkpoints(&key, &ff).expect("save");
         let back = store.load_checkpoints(&key).unwrap_or_else(|e| {
@@ -176,6 +178,7 @@ fn saved_fixture(name: &str) -> (Store, CheckpointKey<'static>, std::path::PathB
         period: 50,
         max_insts: u64::MAX,
         fingerprint: 7,
+        uarch: 0,
     };
     store.save_checkpoints(&key, &ff).unwrap();
     let path = store.shard_path(FileKind::Checkpoints, &key.file_name());
@@ -292,6 +295,7 @@ fn stale_timing_version_results_are_rejected_as_a_unit() {
         workload: "fixture",
         scale: "smoke",
         machine: "clustered",
+        geometry: 0,
         scheme: "Naive",
         period: 50,
         warmup: 10,
@@ -346,6 +350,7 @@ fn shorter_window_is_served_from_a_longer_streams_prefix() {
         period,
         max_insts: 1_500,
         fingerprint,
+        uarch: 0,
     };
     store.save_checkpoints(&paper_key, &long).unwrap();
 
@@ -356,6 +361,7 @@ fn shorter_window_is_served_from_a_longer_streams_prefix() {
         period,
         max_insts: 600,
         fingerprint,
+        uarch: 0,
     };
     assert!(
         store.load_checkpoints(&full_key).unwrap_err().is_not_found(),

@@ -34,9 +34,9 @@ impl Steering for PcHash {
             return Some(f);
         }
         Some(if (d.pc >> 5) & 1 == 0 {
-            ClusterId::Int
+            ClusterId::INT
         } else {
-            ClusterId::Fp
+            ClusterId::FP
         })
     }
 }

@@ -51,8 +51,8 @@ fn main() {
         println!("{}", trace.render_pipe(0, 64));
         println!(
             "mean IQ wait: INT {:.1} cycles, FP {:.1} cycles\n",
-            trace.mean_queue_wait(dca::sim::ClusterId::Int),
-            trace.mean_queue_wait(dca::sim::ClusterId::Fp),
+            trace.mean_queue_wait(dca::sim::ClusterId::INT),
+            trace.mean_queue_wait(dca::sim::ClusterId::FP),
         );
     }
     println!(
