@@ -1,0 +1,96 @@
+//! `obs_validate` — CI gate for observability artefacts.
+//!
+//! ```text
+//! obs_validate trace.json metrics.prom
+//! ```
+//!
+//! Exits 0 when `trace.json` is valid Chrome trace-event JSON carrying
+//! complete (`ph:"X"`) spans from all four instrumented layers (`lab`,
+//! `prog`, `sim`, `store`) with sane timestamps, and `metrics.prom` is
+//! a Prometheus text exposition carrying the core session counters.
+//! Prints a one-line summary per file; exits 1 with a diagnostic on
+//! the first violation.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use dca_obs::json::Json;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("obs_validate: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(trace_path), Some(metrics_path)) = (args.next(), args.next()) else {
+        return fail("usage: obs_validate TRACE.json METRICS.prom");
+    };
+
+    // --- Chrome trace-event JSON ---
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {trace_path}: {e}")),
+    };
+    let doc = match dca_obs::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{trace_path} is not valid JSON: {e}")),
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_array) else {
+        return fail(&format!("{trace_path} lacks a traceEvents array"));
+    };
+    if events.is_empty() {
+        return fail(&format!("{trace_path} has zero span events"));
+    }
+    let mut cats = BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = e.get("name").and_then(Json::as_str);
+        if name.is_none_or(str::is_empty) {
+            return fail(&format!("event {i} has no name"));
+        }
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            return fail(&format!("event {i} is not a complete (ph:X) event"));
+        }
+        if e.get("ts").and_then(Json::as_f64).is_none()
+            || e.get("dur").and_then(Json::as_f64).is_none()
+        {
+            return fail(&format!("event {i} lacks numeric ts/dur"));
+        }
+        if let Some(c) = e.get("cat").and_then(Json::as_str) {
+            cats.insert(c.to_string());
+        }
+    }
+    for want in ["lab", "prog", "sim", "store"] {
+        if !cats.contains(want) {
+            return fail(&format!(
+                "no `{want}` span in {trace_path} (cats present: {cats:?})"
+            ));
+        }
+    }
+    println!(
+        "obs_validate: {trace_path}: {} events across layers {:?}",
+        events.len(),
+        cats
+    );
+
+    // --- Prometheus text exposition ---
+    let prom = match std::fs::read_to_string(&metrics_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {metrics_path}: {e}")),
+    };
+    for needle in [
+        "# TYPE dca_intervals_computed_total counter",
+        "# TYPE dca_store_reads_total counter",
+        "# TYPE dca_interval_ns histogram",
+        "dca_interval_ns_bucket",
+        "dca_lab_workers",
+    ] {
+        if !prom.contains(needle) {
+            return fail(&format!("{metrics_path} missing `{needle}`"));
+        }
+    }
+    let samples = prom.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+    println!("obs_validate: {metrics_path}: {samples} samples");
+    println!("obs_validate: OK");
+    ExitCode::SUCCESS
+}

@@ -1263,6 +1263,7 @@ pub fn sampling(lab: &mut Lab) -> Figure {
         let (mut det_insts, mut det_secs, mut warm_insts, mut warm_secs) =
             (0u64, 0.0f64, 0u64, 0.0f64);
         let mut stored_intervals = 0u64;
+        let (mut restored, mut early_stops) = (0u64, 0u64);
         for &(_, machine, scheme) in &SAMPLING_SERIES {
             let info = lab
                 .sample_info(SAMPLING_BENCH, machine, scheme)
@@ -1272,6 +1273,8 @@ pub fn sampling(lab: &mut Lab) -> Figure {
             warm_insts += info.warmed_insts;
             warm_secs += info.warm_secs;
             stored_intervals += info.from_store;
+            restored += info.restored_snapshots;
+            early_stops += u64::from(info.early_stop);
         }
         let ff_rate = ff.insts as f64 / ff.secs.max(1e-9);
         let mut foot = String::new();
@@ -1322,6 +1325,20 @@ pub fn sampling(lab: &mut Lab) -> Figure {
                     .map_or("store dir unknown".into(), |p| p.display().to_string())
             );
         }
+        // Session counters (PR 4/5 observables, now first-class in the
+        // metrics registry): snapshot restores and adaptive early stops
+        // come from the per-combination sample diagnostics; lock
+        // elections from the process-wide registry (they are per
+        // process, not per combination).
+        let m = dca_obs::metrics();
+        let _ = writeln!(
+            foot,
+            "Counters: {restored} restored snapshots, {early_stops}/{} combinations\n\
+             early-stopped, {} lock elections won / {} lost this process.",
+            SAMPLING_SERIES.len(),
+            m.lock_elections_won_total.get(),
+            m.lock_elections_lost_total.get(),
+        );
         if det_secs > 0.0 {
             // A straight detailed pass would simulate the whole window
             // for every combination at the measured detailed rate;
@@ -1358,12 +1375,16 @@ pub fn sampling(lab: &mut Lab) -> Figure {
         let _ = write!(
             json_extra,
             ",\n  \"fast_forward\": {{\"insts\": {}, \"executed_insts\": {}, \"from_store\": {}, \"secs\": {:.3}}},\n  \
-             \"store\": {{\"enabled\": {}, \"intervals_from_store\": {stored_intervals}}}",
+             \"store\": {{\"enabled\": {}, \"intervals_from_store\": {stored_intervals}}},\n  \
+             \"counters\": {{\"restored_snapshots\": {restored}, \"early_stops\": {early_stops}, \
+             \"lock_elections_won\": {}, \"lock_elections_lost\": {}}}",
             ff.insts,
             ff.executed_insts(),
             ff.from_store,
             ff.secs,
             opts.store_dir.is_some(),
+            dca_obs::metrics().lock_elections_won_total.get(),
+            dca_obs::metrics().lock_elections_lost_total.get(),
         );
         timing = Some(foot);
     }
@@ -1397,8 +1418,10 @@ pub fn sampling(lab: &mut Lab) -> Figure {
                 opts.max_insts
             );
             match std::fs::write(&path, json) {
-                Ok(()) => eprintln!("[lab] wrote {path}"),
-                Err(e) => eprintln!("[lab] could not write {path}: {e}"),
+                Ok(()) => dca_obs::progress::info(format!("[lab] wrote {path}")),
+                Err(e) => {
+                    dca_obs::progress::warn(format!("[lab] could not write {path}: {e}"))
+                }
             }
         }
     }

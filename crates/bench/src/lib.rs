@@ -17,9 +17,10 @@
 pub mod figures;
 
 use std::collections::{BTreeMap, HashMap};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use dca_obs::progress;
 use dca_prog::{fast_forward_with, FastForward, Program};
 use dca_sim::{ContinuousWarmer, MachineDesc, SimConfig, SimStats, Simulator, Steering};
 use dca_uarch::UarchSnapshot;
@@ -108,7 +109,7 @@ impl Machine {
     }
 
     /// Stable key for memoisation and result-store file names.
-    fn key(self) -> String {
+    pub fn key(self) -> String {
         match self {
             Machine::Base => "base".into(),
             Machine::Clustered => "clustered".into(),
@@ -356,6 +357,14 @@ pub struct RunOpts {
     /// keeps the store default of 120 s). CI and tests set this low so
     /// a wedged peer cannot stall a run for minutes.
     pub lock_wait_secs: Option<u64>,
+    /// Suppress progress lines (`-q`/`--quiet`); warnings still print.
+    pub quiet: bool,
+    /// Write this invocation's spans as Chrome trace-event JSON here
+    /// (`--trace-out`). Enables span recording.
+    pub trace_out: Option<PathBuf>,
+    /// Write a Prometheus text exposition of the metrics registry here
+    /// (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -368,6 +377,9 @@ impl Default for RunOpts {
             store_dir: None,
             warm_steering: false,
             lock_wait_secs: None,
+            quiet: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -378,8 +390,9 @@ impl RunOpts {
     /// `--sample-period N`, `--sample-warmup N`, `--sample-interval N`,
     /// `--target-stderr X`, `--warming detached|continuous`,
     /// `--store-dir DIR`, `--no-store`, `--lock-wait-secs N`,
-    /// `--warm-steering`, `--verbose`). Unrecognised arguments are
-    /// returned for the caller.
+    /// `--warm-steering`, `--verbose`, `-q`/`--quiet`,
+    /// `--trace-out FILE`, `--metrics-out FILE`). Unrecognised
+    /// arguments are returned for the caller.
     ///
     /// `--scale paper` selects [`Scale::Paper`], widens the default
     /// instruction budget to the paper's 100M window and turns on
@@ -459,6 +472,15 @@ impl RunOpts {
                 "--no-store" => no_store = true,
                 "--warm-steering" => opts.warm_steering = true,
                 "--verbose" => opts.verbose = true,
+                "--quiet" | "-q" => opts.quiet = true,
+                "--trace-out" => {
+                    let v = args.next().expect("--trace-out needs a file path");
+                    opts.trace_out = Some(PathBuf::from(v));
+                }
+                "--metrics-out" => {
+                    let v = args.next().expect("--metrics-out needs a file path");
+                    opts.metrics_out = Some(PathBuf::from(v));
+                }
                 _ => rest.push(a),
             }
         }
@@ -474,6 +496,52 @@ impl RunOpts {
             opts.store_dir = Some(PathBuf::from(".dca-store"));
         }
         (opts, rest)
+    }
+
+    /// Applies the observability options process-wide: the progress
+    /// sink's verbosity and span recording. CLI entry points call this
+    /// once, before any work; library users who never call it keep the
+    /// defaults (normal verbosity, tracing off).
+    pub fn apply_observability(&self) {
+        dca_obs::progress::set_verbosity(if self.quiet {
+            dca_obs::Verbosity::Quiet
+        } else if self.verbose {
+            dca_obs::Verbosity::Verbose
+        } else {
+            dca_obs::Verbosity::Normal
+        });
+        if self.trace_out.is_some() {
+            dca_obs::span::set_enabled(true);
+        }
+    }
+
+    /// Writes the requested observability artefacts — the Chrome
+    /// trace-event JSON (`--trace-out`) and the Prometheus metrics
+    /// exposition (`--metrics-out`). Called once at the end of a CLI
+    /// invocation; a no-op when neither flag was given. Strictly
+    /// separate from `results/` report bytes.
+    pub fn write_observability(&self) {
+        fn write_artefact(path: &Path, what: &str, bytes: &str) {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(path, bytes) {
+                Ok(()) => dca_obs::progress::info(format!("[lab] wrote {}", path.display())),
+                Err(e) => {
+                    dca_obs::progress::warn(format!(
+                        "[lab] could not write {what} {}: {e}",
+                        path.display()
+                    ));
+                }
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            let events = dca_obs::span::drain();
+            write_artefact(path, "trace", &dca_obs::span::chrome_trace(&events));
+        }
+        if let Some(path) = &self.metrics_out {
+            write_artefact(path, "metrics", &dca_obs::metrics().snapshot().prometheus());
+        }
     }
 }
 
@@ -811,6 +879,70 @@ impl Lab {
         self.opts.clone()
     }
 
+    /// Builds a run manifest stamping this Lab's configuration: engine
+    /// versions, scale and instruction budget, sampling parameters,
+    /// store directory, and the fingerprints of every workload
+    /// materialised so far. Callers add per-invocation entries (phase
+    /// timings, metrics snapshot) before saving.
+    pub fn manifest(&self, command: &str) -> dca_obs::manifest::Manifest {
+        use dca_obs::json::Json;
+        let mut m = dca_obs::manifest::Manifest::new(command);
+        m.set_u64("interp_version", u64::from(dca_prog::INTERP_VERSION))
+            .set_u64("timing_version", u64::from(dca_sim::TIMING_VERSION))
+            .set_u64(
+                "format_version",
+                u64::from(dca_store::file::FORMAT_VERSION),
+            )
+            .set_str("scale", self.opts.scale.name())
+            .set_u64("max_insts", self.opts.max_insts);
+        match &self.opts.sampling {
+            Some(s) => {
+                m.set(
+                    "sampling",
+                    Json::Obj(vec![
+                        ("period".to_string(), Json::U64(s.period)),
+                        ("warmup".to_string(), Json::U64(s.warmup)),
+                        ("interval".to_string(), Json::U64(s.interval)),
+                        (
+                            "target_stderr".to_string(),
+                            match s.target_stderr {
+                                Some(v) => Json::F64(v),
+                                None => Json::Null,
+                            },
+                        ),
+                        (
+                            "warming".to_string(),
+                            Json::Str(s.warming.name().to_string()),
+                        ),
+                    ]),
+                );
+            }
+            None => {
+                m.set("sampling", Json::Null);
+            }
+        }
+        m.set(
+            "store_dir",
+            match &self.opts.store_dir {
+                Some(d) => Json::Str(d.display().to_string()),
+                None => Json::Null,
+            },
+        );
+        let mut fps: Vec<(String, Json)> = self
+            .workloads
+            .iter()
+            .map(|(name, w)| {
+                (
+                    name.to_string(),
+                    Json::Str(format!("{:#018x}", w.fingerprint())),
+                )
+            })
+            .collect();
+        fps.sort_by(|a, b| a.0.cmp(&b.0));
+        m.set("workload_fingerprints", Json::Obj(fps));
+        m
+    }
+
     /// First-writer-wins shard acquisition against a shared store.
     ///
     /// Fast path: the shard is already published — return it. On a
@@ -836,24 +968,37 @@ impl Lab {
         // store: fall through to the lock loop so the winner heals it
         // (recompute + save). Only an unusable store — lock directory
         // unreachable, or a lock that never frees — degrades.
+        let m = dca_obs::metrics();
         match load() {
-            Ok(v) => return (v, true),
-            Err(e) if e.is_not_found() => {}
-            Err(e) => eprintln!("[lab] store: {what}: {e}; recomputing"),
+            Ok(v) => {
+                m.store_hits_total.inc();
+                return (v, true);
+            }
+            Err(e) if e.is_not_found() => m.store_misses_total.inc(),
+            Err(e) => {
+                m.store_misses_total.inc();
+                progress::warn(format!("[lab] store: {what}: {e}; recomputing"));
+            }
         }
-        let deadline = Instant::now() + store.lock_wait();
+        let wait_t0 = Instant::now();
+        let deadline = wait_t0 + store.lock_wait();
         let mut backoff = Duration::from_millis(10);
+        let waited_ns = || wait_t0.elapsed().as_nanos() as u64;
         loop {
             match store.try_lock(FileKind::Checkpoints, name) {
                 LockAttempt::Acquired(_guard) => {
+                    m.lock_elections_won_total.inc();
+                    m.lock_wait_ns.record(waited_ns());
                     match load() {
                         Ok(v) => return (v, true),
                         Err(e) if e.is_not_found() => {}
-                        Err(e) => eprintln!("[lab] store: {what}: {e}; recomputing"),
+                        Err(e) => {
+                            progress::warn(format!("[lab] store: {what}: {e}; recomputing"));
+                        }
                     }
                     let v = compute();
                     if let Err(e) = save(&v) {
-                        eprintln!("[lab] store: could not save {what}: {e}");
+                        progress::warn(format!("[lab] store: could not save {what}: {e}"));
                     }
                     return (v, false);
                 }
@@ -862,23 +1007,27 @@ impl Lab {
                     // poll for its publication, quietly treating
                     // not-yet-healed errors as misses.
                     if let Ok(v) = load() {
+                        m.lock_elections_lost_total.inc();
+                        m.lock_wait_ns.record(waited_ns());
                         return (v, true);
                     }
                     if Instant::now() >= deadline {
-                        eprintln!(
+                        m.lock_wait_ns.record(waited_ns());
+                        progress::warn(format!(
                             "[lab] store: lock on {name} still held after {:?}; \
                              computing {what} without the store",
                             store.lock_wait()
-                        );
+                        ));
                         return (compute(), false);
                     }
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(Duration::from_millis(250));
                 }
                 LockAttempt::Unavailable(e) => {
-                    eprintln!(
+                    m.lock_wait_ns.record(waited_ns());
+                    progress::warn(format!(
                         "[lab] store: lock unavailable ({e}); computing {what} without the store"
-                    );
+                    ));
                     return (compute(), false);
                 }
             }
@@ -961,6 +1110,7 @@ impl Lab {
         if todo.is_empty() {
             return;
         }
+        let _span = dca_obs::span("lab", "lab.ensure").arg("runs", todo.len());
         let benches: Vec<&'static str> = todo.iter().map(|&(b, _, _)| b).collect();
         self.build_workloads(&benches);
 
@@ -968,9 +1118,10 @@ impl Lab {
             self.ensure_sampled(&todo, sampling);
             return;
         }
-        if self.opts.verbose {
-            eprintln!("[lab] running {} combinations in parallel", todo.len());
-        }
+        progress::detail(format!(
+            "[lab] running {} combinations in parallel",
+            todo.len()
+        ));
         let max_insts = self.opts.max_insts;
         let cfgs: Vec<SimConfig> = todo.iter().map(|&(_, m, _)| self.config_of(m)).collect();
         let workloads = &self.workloads;
@@ -1053,14 +1204,14 @@ impl Lab {
             }
         }
         if !missing.is_empty() {
-            if self.opts.verbose {
-                eprintln!(
-                    "[lab] fast-forwarding {} benchmark(s) ({} insts, checkpoint every {})",
-                    missing.len(),
-                    max_insts,
-                    sampling.period
-                );
-            }
+            let _ff_span = dca_obs::span("lab", "lab.fast_forward_phase")
+                .arg("benchmarks", missing.len());
+            progress::detail(format!(
+                "[lab] fast-forwarding {} benchmark(s) ({} insts, checkpoint every {})",
+                missing.len(),
+                max_insts,
+                sampling.period
+            ));
             let workloads = &self.workloads;
             let store = self.store.as_ref();
             let fps = &fingerprints;
@@ -1101,17 +1252,23 @@ impl Lab {
                 };
                 (bench, ff, t0.elapsed().as_secs_f64(), from_store)
             });
+            let (mut ff_executed, mut ff_secs) = (0u64, 0.0f64);
             for (bench, ff, secs, from_store) in passes {
-                self.ff_info.insert(
-                    bench,
-                    FastForwardInfo {
-                        insts: ff.total_insts,
-                        checkpoints: ff.checkpoints.len() as u64,
-                        secs,
-                        from_store,
-                    },
-                );
+                let info = FastForwardInfo {
+                    insts: ff.total_insts,
+                    checkpoints: ff.checkpoints.len() as u64,
+                    secs,
+                    from_store,
+                };
+                ff_executed += info.executed_insts();
+                ff_secs += secs;
+                self.ff_info.insert(bench, info);
                 self.ffs.insert(bench, ff);
+            }
+            if ff_executed > 0 && ff_secs > 0.0 {
+                dca_obs::metrics()
+                    .ff_insts_per_sec
+                    .set((ff_executed as f64 / ff_secs) as u64);
             }
         }
 
@@ -1162,9 +1319,17 @@ impl Lab {
                                 from_store: true,
                             })
                             .collect();
+                        let m = dca_obs::metrics();
+                        m.store_hits_total.inc();
+                        m.intervals_from_store_total.add(outcomes.len() as u64);
                     }
-                    Err(e) if e.is_not_found() => {}
-                    Err(e) => eprintln!("[lab] store: {e}; recomputing"),
+                    Err(e) if e.is_not_found() => {
+                        dca_obs::metrics().store_misses_total.inc();
+                    }
+                    Err(e) => {
+                        dca_obs::metrics().store_misses_total.inc();
+                        progress::warn(format!("[lab] store: {e}; recomputing"));
+                    }
                 }
             }
             let used = adaptive_prefix(&outcomes, budgets[i], sampling.target_stderr);
@@ -1196,13 +1361,31 @@ impl Lab {
             if batch.is_empty() {
                 break;
             }
-            if self.opts.verbose {
-                eprintln!("[lab] sampling round: {} intervals", batch.len());
-            }
+            // Worst-case work remaining (every undecided run exhausts
+            // its budget), for the ETA off the live intervals/sec rate.
+            let remaining: u64 = states
+                .iter()
+                .zip(&budgets)
+                .filter(|(st, _)| st.used.is_none())
+                .map(|(st, &b)| (b - st.outcomes.len()) as u64)
+                .sum();
+            progress::detail(format!(
+                "[lab] sampling round: {} intervals ({} worst-case, {})",
+                batch.len(),
+                remaining,
+                progress::eta(
+                    remaining,
+                    dca_obs::metrics().intervals_per_sec_milli.get()
+                )
+            ));
+            let round_t0 = Instant::now();
             let workloads = &self.workloads;
             let ffs = &self.ffs;
             let results = Self::fan_out(&batch, |&(i, idx)| {
                 let (bench, machine, scheme) = todo[i];
+                let _span = dca_obs::span("lab", "lab.interval")
+                    .arg("bench", bench)
+                    .arg("checkpoint", idx);
                 let w = &workloads[bench];
                 let ckpt = &ffs[bench].checkpoints[idx];
                 let cfg = &cfgs[i];
@@ -1244,6 +1427,10 @@ impl Lab {
                 let t1 = Instant::now();
                 let stats = sim.run_mut(steering.as_mut(), budget);
                 let detailed_secs = t1.elapsed().as_secs_f64();
+                let m = dca_obs::metrics();
+                m.intervals_computed_total.inc();
+                m.warm_insts_total.add(warmed);
+                m.interval_ns.record((detailed_secs * 1e9) as u64);
                 (
                     (i, idx),
                     IntervalOutcome {
@@ -1256,6 +1443,13 @@ impl Lab {
                     },
                 )
             });
+            // Live sampling throughput for the next round's ETA line.
+            let round_secs = round_t0.elapsed().as_secs_f64();
+            if round_secs > 0.0 {
+                dca_obs::metrics()
+                    .intervals_per_sec_milli
+                    .set((batch.len() as f64 * 1000.0 / round_secs) as u64);
+            }
             // Deterministic append: checkpoint order per run, whatever
             // order the workers finished in.
             let ordered: BTreeMap<(usize, usize), IntervalOutcome> =
@@ -1273,10 +1467,20 @@ impl Lab {
 
         // Merge each run's decided prefix, persist newly computed
         // intervals, and fill the caches.
+        let (mut all_det_insts, mut all_det_secs) = (0u64, 0.0f64);
         for (i, &(bench, machine, scheme)) in todo.iter().enumerate() {
             let st = &states[i];
             let used = st.used.expect("scheduling loop decides every run");
             let (merged, info) = merge_outcomes(&st.outcomes, used, budgets[i] as u64);
+            {
+                let m = dca_obs::metrics();
+                if info.early_stop {
+                    m.early_stops_total.inc();
+                }
+                m.restored_snapshots_total.add(info.restored_snapshots);
+                all_det_insts += info.detailed_insts;
+                all_det_secs += info.detailed_secs;
+            }
             if let Some(store) = &self.store {
                 if st.outcomes.len() > st.prefilled {
                     let scheme_key = scheme.key();
@@ -1317,13 +1521,17 @@ impl Lab {
                             };
                             if existing < records.len() {
                                 if let Err(e) = store.save_intervals(&key, &records) {
-                                    eprintln!("[lab] store: could not save intervals: {e}");
+                                    progress::warn(format!(
+                                        "[lab] store: could not save intervals: {e}"
+                                    ));
                                 }
                             }
                         }
                         LockAttempt::Busy => {} // a peer is writing this shard
                         LockAttempt::Unavailable(e) => {
-                            eprintln!("[lab] store: could not save intervals: {e}");
+                            progress::warn(format!(
+                                "[lab] store: could not save intervals: {e}"
+                            ));
                         }
                     }
                 }
@@ -1331,6 +1539,11 @@ impl Lab {
             let key = Self::cache_key(bench, machine, scheme);
             self.sample_info.insert(key.clone(), info);
             self.cache.insert(key, merged);
+        }
+        if all_det_insts > 0 && all_det_secs > 0.0 {
+            dca_obs::metrics()
+                .detailed_insts_per_sec
+                .set((all_det_insts as f64 / all_det_secs) as u64);
         }
     }
 
@@ -1378,7 +1591,9 @@ impl Lab {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(items.len());
+        dca_obs::metrics().lab_workers.set(workers.max(1) as u64);
         if workers <= 1 {
+            let _span = dca_obs::span("lab", "lab.worker").arg("items", items.len());
             return items.iter().map(f).collect();
         }
         let next = AtomicUsize::new(0);
@@ -1386,12 +1601,14 @@ impl Lab {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        let mut span = dca_obs::span("lab", "lab.worker");
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
                             out.push(f(item));
                         }
+                        span.add_arg("items", out.len());
                         out
                     })
                 })
@@ -1409,9 +1626,11 @@ impl Lab {
         if let Some(s) = self.cache.get(&key) {
             return s.clone();
         }
-        if self.opts.verbose {
-            eprintln!("[lab] {bench} / {} / {}", machine.key(), scheme.label());
-        }
+        progress::detail(format!(
+            "[lab] {bench} / {} / {}",
+            machine.key(),
+            scheme.label()
+        ));
         if self.opts.sampling.is_some() {
             // Sampled runs always go through the batch driver: even a
             // single combination fans its intervals across the pool.
@@ -1465,7 +1684,8 @@ pub fn run_cli(fixed: Option<&'static str>) {
 /// Panics on malformed options or an unknown figure id.
 pub fn run_cli_with(args: impl Iterator<Item = String>, fixed: Option<&'static str>) {
     let (opts, rest) = RunOpts::from_args(args);
-    let mut lab = Lab::new(opts);
+    opts.apply_observability();
+    let mut lab = Lab::new(opts.clone());
     let out = std::path::PathBuf::from("results");
     let selected: Vec<String> = match fixed {
         Some(f) => vec![f.to_string()],
@@ -1473,33 +1693,58 @@ pub fn run_cli_with(args: impl Iterator<Item = String>, fixed: Option<&'static s
         None => rest,
     };
     let t0 = std::time::Instant::now();
-    for sel in selected {
+    let mut generated = Vec::new();
+    for sel in &selected {
         if sel == "all" {
             for fig in figures::all(&mut lab) {
                 emit(&fig, &out);
+                generated.push(fig.id.to_string());
             }
         } else {
-            let f = figures::by_name(&sel)
+            let f = figures::by_name(sel)
                 .unwrap_or_else(|| panic!("unknown figure `{sel}`; try `all`"));
             let fig = f(&mut lab);
             emit(&fig, &out);
+            generated.push(fig.id.to_string());
         }
     }
-    eprintln!(
-        "[lab] {} simulation runs, {:.1}s",
-        lab.runs(),
-        t0.elapsed().as_secs_f64()
+    let elapsed = t0.elapsed().as_secs_f64();
+    progress::info(format!(
+        "[lab] {} simulation runs, {elapsed:.1}s",
+        lab.runs()
+    ));
+    let mut manifest = lab.manifest("figures");
+    manifest.set(
+        "figures",
+        dca_obs::json::Json::Arr(
+            generated
+                .iter()
+                .map(|id| dca_obs::json::Json::Str(id.clone()))
+                .collect(),
+        ),
     );
+    manifest.phase_secs("figures", elapsed);
+    manifest.set_metrics(&dca_obs::metrics().snapshot());
+    let manifest_path = out.join("run_manifest.json");
+    if let Err(e) = manifest.save(&manifest_path) {
+        progress::warn(format!(
+            "[lab] could not write manifest {}: {e}",
+            manifest_path.display()
+        ));
+    } else {
+        progress::info(format!("[lab] wrote {}", manifest_path.display()));
+    }
+    opts.write_observability();
 }
 
 fn emit(fig: &figures::Figure, out: &std::path::Path) {
     println!("# {}\n\n{}", fig.title, fig.body);
     if let Some(timing) = &fig.timing {
-        eprintln!("{timing}");
+        progress::info(timing.clone());
     }
     match fig.save(out) {
-        Ok(p) => eprintln!("[lab] wrote {}", p.display()),
-        Err(e) => eprintln!("[lab] could not write {}: {e}", fig.id),
+        Ok(p) => progress::info(format!("[lab] wrote {}", p.display())),
+        Err(e) => progress::warn(format!("[lab] could not write {}: {e}", fig.id)),
     }
 }
 

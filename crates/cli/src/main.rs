@@ -36,6 +36,14 @@ USAGE:
     dca figures [ID ...]          (no ID: regenerate everything)
     dca store   stat|verify|gc|fsck [--repair] [--store-dir DIR]
 
+Observability (run, figures, store): --verbose prints per-step detail,
+-q/--quiet suppresses progress (warnings still print),
+--trace-out FILE records hierarchical spans as Chrome trace-event JSON
+(load in Perfetto), --metrics-out FILE writes a Prometheus text
+exposition of the session counters. `dca run` and `dca figures` also
+stamp results/run_manifest.json with versions, fingerprints, budgets
+and per-phase wall-clock. None of this touches report bytes.
+
 `--scale paper` runs the paper's 100M-instruction window per benchmark
 via checkpointed sampled simulation (compare/figures only; tune with
 --sample-period N, --sample-warmup N, --sample-interval N — the flags
@@ -146,7 +154,7 @@ fn load_program(
     kernel: Option<&str>,
     asm: Option<&str>,
     scale: dca_workloads::Scale,
-) -> Result<(String, Program, Memory), String> {
+) -> Result<(String, Program, Memory, Option<u64>), String> {
     if [bench.is_some(), kernel.is_some(), asm.is_some()]
         .iter()
         .filter(|&&x| x)
@@ -164,7 +172,8 @@ fn load_program(
                 ));
             }
             let w = dca_workloads::build(b, scale);
-            Ok((b.to_string(), w.program, w.memory))
+            let fp = w.fingerprint();
+            Ok((b.to_string(), w.program, w.memory, Some(fp)))
         }
         (None, Some(k), None) => {
             let w = dca_workloads::kernels::by_name(k).ok_or_else(|| {
@@ -173,13 +182,14 @@ fn load_program(
                     dca_workloads::kernels::NAMES.join(", ")
                 )
             })?;
-            Ok((k.to_string(), w.program, w.memory))
+            let fp = w.fingerprint();
+            Ok((k.to_string(), w.program, w.memory, Some(fp)))
         }
         (None, None, Some(path)) => {
             let src = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let prog = parse_asm(&src).map_err(|e| format!("{path}: {e}"))?;
-            Ok((path.to_string(), prog, Memory::new()))
+            Ok((path.to_string(), prog, Memory::new(), None))
         }
         _ => Err("need --bench NAME, --kernel NAME or --asm FILE (try `dca list`)".into()),
     }
@@ -187,6 +197,7 @@ fn load_program(
 
 fn parse_opts(args: Vec<String>) -> (RunOpts, Flags) {
     let (opts, rest) = RunOpts::from_args(args.into_iter());
+    opts.apply_observability();
     (opts, Flags(rest))
 }
 
@@ -219,14 +230,16 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
         (None, Some(spec)) => dca_sim::MachineDesc::parse(&spec)?.apply(&machine.config())?,
         (None, None) => machine.config(),
     };
-    let (name, prog, mem) =
+    let (name, prog, mem, fingerprint) =
         load_program(bench.as_deref(), kernel.as_deref(), asm.as_deref(), opts.scale)?;
     let mut steering = scheme.instantiate(&prog);
     let mut sim = Simulator::new(&cfg, &prog, mem);
     if trace_cap > 0 {
         sim.enable_trace(trace_cap);
     }
+    let t0 = std::time::Instant::now();
     let stats = sim.run_mut(steering.as_mut(), opts.max_insts);
+    let sim_secs = t0.elapsed().as_secs_f64();
     println!(
         "{}",
         report::run_report(&name, machine, scheme.label(), &stats)
@@ -243,7 +256,53 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
     } else if pipe.is_some() {
         return Err("--pipe needs --trace N".into());
     }
+    save_run_manifest(&opts, &name, machine, scheme, fingerprint, sim_secs);
+    opts.write_observability();
     Ok(())
+}
+
+/// Stamps `results/run_manifest.json` for a `dca run` invocation:
+/// engine versions, program identity, budgets and wall-clock, plus the
+/// final metrics snapshot (DESIGN.md §12). Best-effort — a run on a
+/// read-only filesystem still prints its report.
+fn save_run_manifest(
+    opts: &RunOpts,
+    program: &str,
+    machine: Machine,
+    scheme: SchemeKind,
+    fingerprint: Option<u64>,
+    sim_secs: f64,
+) {
+    use dca_obs::json::Json;
+    let mut m = dca_obs::manifest::Manifest::new("run");
+    m.set_u64("interp_version", u64::from(dca_prog::INTERP_VERSION))
+        .set_u64("timing_version", u64::from(dca_sim::TIMING_VERSION))
+        .set_u64(
+            "format_version",
+            u64::from(dca_store::file::FORMAT_VERSION),
+        )
+        .set_str("program", program)
+        .set_str("machine", machine.key())
+        .set_str("scheme", scheme.name())
+        .set_str("scale", opts.scale.name())
+        .set_u64("max_insts", opts.max_insts);
+    m.set(
+        "workload_fingerprint",
+        match fingerprint {
+            Some(fp) => Json::Str(format!("{fp:#018x}")),
+            None => Json::Null,
+        },
+    );
+    m.phase_secs("detailed", sim_secs);
+    m.set_metrics(&dca_obs::metrics().snapshot());
+    let path = std::path::Path::new("results").join("run_manifest.json");
+    match m.save(&path) {
+        Ok(()) => dca_obs::progress::detail(format!("[dca] wrote {}", path.display())),
+        Err(e) => dca_obs::progress::detail(format!(
+            "[dca] could not write manifest {}: {e}",
+            path.display()
+        )),
+    }
 }
 
 fn cmd_compare(args: Vec<String>) -> Result<(), String> {
@@ -277,7 +336,7 @@ fn cmd_compare(args: Vec<String>) -> Result<(), String> {
         ));
     };
 
-    let mut lab = Lab::new(opts);
+    let mut lab = Lab::new(opts.clone());
     let mut headers = vec!["scheme"];
     headers.extend(benches.iter().copied());
     if benches.len() > 1 {
@@ -300,6 +359,7 @@ fn cmd_compare(args: Vec<String>) -> Result<(), String> {
     }
     println!("Speed-up (%) over the base machine, clustered machine runs\n");
     println!("{}", t.to_aligned());
+    opts.write_observability();
     Ok(())
 }
 
@@ -309,7 +369,7 @@ fn cmd_slices(args: Vec<String>) -> Result<(), String> {
     let kernel = flags.take("--kernel");
     let asm = flags.take("--asm");
     flags.finish("slices")?;
-    let (name, prog, _) =
+    let (name, prog, _, _) =
         load_program(bench.as_deref(), kernel.as_deref(), asm.as_deref(), opts.scale)?;
     println!("{}", report::slice_report(&name, &prog));
     Ok(())
@@ -347,7 +407,23 @@ fn print_file_report(r: &dca_store::FileReport) -> u8 {
 fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
     use dca_store::Store;
 
+    // `store` predates RunOpts and keeps its own flag handling, but
+    // shares the observability switches with run/figures.
+    let mut obs = RunOpts::default();
     let mut flags = Flags(args);
+    for q in ["-q", "--quiet"] {
+        if let Some(i) = flags.0.iter().position(|a| a == q) {
+            flags.0.remove(i);
+            obs.quiet = true;
+        }
+    }
+    if let Some(i) = flags.0.iter().position(|a| a == "--verbose") {
+        flags.0.remove(i);
+        obs.verbose = true;
+    }
+    obs.trace_out = flags.take("--trace-out").map(std::path::PathBuf::from);
+    obs.metrics_out = flags.take("--metrics-out").map(std::path::PathBuf::from);
+    obs.apply_observability();
     let dir = match flags.take("--store-dir") {
         Some(d) if d.is_empty() => return Err("--store-dir needs a directory".into()),
         Some(d) => d,
@@ -366,7 +442,29 @@ fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
         return Err("--repair only applies to `dca store fsck`".into());
     }
     let store = Store::open(&dir);
-    match sub.as_str() {
+    let code = cmd_store_sub(&store, &dir, &sub, repair.is_some())?;
+    // Every store op runs through the instrumented I/O layer, so the
+    // session counters are exactly this maintenance op's footprint.
+    let m = dca_obs::metrics();
+    dca_obs::progress::info(format!(
+        "  io: {} reads / {} bytes in, {} writes / {} bytes out, {} meta ops",
+        m.store_reads_total.get(),
+        m.store_read_bytes_total.get(),
+        m.store_writes_total.get(),
+        m.store_written_bytes_total.get(),
+        m.store_meta_ops_total.get(),
+    ));
+    obs.write_observability();
+    Ok(code)
+}
+
+fn cmd_store_sub(
+    store: &dca_store::Store,
+    dir: &str,
+    sub: &str,
+    repair: bool,
+) -> Result<ExitCode, String> {
+    match sub {
         "stat" => {
             let s = store.stat();
             println!("store {dir}");
@@ -378,6 +476,26 @@ fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
                 "  result shards:      {:>4} files, {:>10} bytes",
                 s.result_files.0, s.result_files.1
             );
+            for sh in &s.shards {
+                let kind = match sh.kind {
+                    Some(dca_store::FileKind::Checkpoints) => "checkpoints",
+                    Some(dca_store::FileKind::Results) => "results",
+                    None => "unknown",
+                };
+                println!(
+                    "    {:<40} {kind:<11} {:>10} bytes, {:>5} records",
+                    sh.name, sh.bytes, sh.records
+                );
+            }
+            for l in &s.locks {
+                println!(
+                    "    {:<40} lock        owner {} age {} ({})",
+                    l.name,
+                    l.pid.map_or("?".to_string(), |p| p.to_string()),
+                    l.age_secs.map_or("?".to_string(), |a| format!("{a}s")),
+                    if l.live { "live" } else { "stale" },
+                );
+            }
             if s.stale_files > 0 {
                 println!("  stale-version shards: {} (run `dca store gc`)", s.stale_files);
             }
@@ -439,7 +557,7 @@ fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "fsck" => {
-            let r = store.fsck(repair.is_some());
+            let r = store.fsck(repair);
             let mut code = 0u8;
             for file in &r.reports {
                 code = code.max(print_file_report(file));
@@ -448,7 +566,7 @@ fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
                 "store {dir}: swept {} temp file(s), {} stale lock(s)",
                 r.temps_removed, r.stale_locks_removed
             );
-            if repair.is_some() {
+            if repair {
                 println!("  repaired (removed) {} damaged shard(s)", r.repaired);
             }
             if r.skipped_locked > 0 {
@@ -459,7 +577,7 @@ fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
             }
             // Repair clears damage, so only I/O errors — or damage
             // left behind under a live lock — keep a non-zero exit.
-            if repair.is_some() && r.skipped_locked == 0 && code == 1 {
+            if repair && r.skipped_locked == 0 && code == 1 {
                 code = 0;
             }
             Ok(ExitCode::from(code))

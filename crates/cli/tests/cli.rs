@@ -165,6 +165,140 @@ fn figures_subcommand_writes_artefacts() {
     assert!(body.contains("Fetch width"), "Table 2 content present");
 }
 
+/// The observability acceptance criteria in one end-to-end pass: the
+/// same sampled figures run with and without `--trace-out` /
+/// `--metrics-out` produces byte-identical reports; the trace is valid
+/// Chrome trace-event JSON with spans from all four layers (Lab
+/// worker, fast-forward, interval simulation, store I/O); the metrics
+/// file is a Prometheus exposition; and the run manifest stamps the
+/// invocation.
+#[test]
+fn observability_artefacts_leave_reports_byte_identical() {
+    use dca_obs::json::Json;
+
+    let base = std::env::temp_dir().join("dca-cli-obs");
+    std::fs::remove_dir_all(&base).ok();
+    let sampled_args = |store: &str| {
+        vec![
+            "figures".to_string(),
+            "sampling".to_string(),
+            "--scale".to_string(),
+            "smoke".to_string(),
+            "--max-insts".to_string(),
+            "40000".to_string(),
+            "--sample-period".to_string(),
+            "10000".to_string(),
+            "--sample-warmup".to_string(),
+            "1000".to_string(),
+            "--sample-interval".to_string(),
+            "2000".to_string(),
+            "--store-dir".to_string(),
+            store.to_string(),
+        ]
+    };
+
+    // Plain run: no observability flags.
+    let plain = base.join("plain");
+    std::fs::create_dir_all(&plain).unwrap();
+    let o = Command::new(env!("CARGO_BIN_EXE_dca"))
+        .args(sampled_args(plain.join("store").to_str().unwrap()))
+        .current_dir(&plain)
+        .output()
+        .expect("binary runs");
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Instrumented run: spans + metrics on, everything else equal.
+    let traced = base.join("traced");
+    std::fs::create_dir_all(&traced).unwrap();
+    let mut args = sampled_args(traced.join("store").to_str().unwrap());
+    args.extend(
+        ["--trace-out", "obs/trace.json", "--metrics-out", "obs/metrics.prom"]
+            .map(String::from),
+    );
+    let o = Command::new(env!("CARGO_BIN_EXE_dca"))
+        .args(&args)
+        .current_dir(&traced)
+        .output()
+        .expect("binary runs");
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Report bytes are identical with tracing on vs off.
+    let report = |d: &std::path::Path| {
+        std::fs::read(d.join("results").join("sampling.md")).expect("report written")
+    };
+    assert_eq!(
+        report(&plain),
+        report(&traced),
+        "tracing/metrics must not perturb report bytes"
+    );
+
+    // The trace parses as Chrome trace-event JSON and carries spans
+    // from every instrumented layer.
+    let trace =
+        std::fs::read_to_string(traced.join("obs").join("trace.json")).expect("trace written");
+    let doc = dca_obs::json::parse(&trace).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "spans recorded");
+    for want in ["lab", "prog", "sim", "store"] {
+        assert!(
+            events.iter().any(|e| {
+                e.get("cat").and_then(Json::as_str) == Some(want)
+                    && e.get("ph").and_then(Json::as_str) == Some("X")
+            }),
+            "no `{want}` span in trace"
+        );
+    }
+
+    // The metrics file is a Prometheus text exposition with the core
+    // session counters.
+    let prom = std::fs::read_to_string(traced.join("obs").join("metrics.prom"))
+        .expect("metrics written");
+    for needle in [
+        "# TYPE dca_intervals_computed_total counter",
+        "dca_store_writes_total",
+        "dca_interval_ns_bucket",
+    ] {
+        assert!(prom.contains(needle), "metrics missing {needle}:\n{prom}");
+    }
+
+    // The run manifest stamps the invocation.
+    let manifest = std::fs::read_to_string(traced.join("results").join("run_manifest.json"))
+        .expect("manifest written");
+    let doc = dca_obs::json::parse(&manifest).expect("manifest is valid JSON");
+    assert_eq!(doc.get("command").and_then(Json::as_str), Some("figures"));
+    for key in ["interp_version", "timing_version", "format_version"] {
+        assert!(doc.get(key).and_then(Json::as_u64).is_some(), "missing {key}");
+    }
+    assert!(
+        doc.get("workload_fingerprints")
+            .and_then(|f| f.get("compress"))
+            .and_then(Json::as_str)
+            .is_some(),
+        "workload fingerprint stamped"
+    );
+    assert!(
+        doc.get("counters")
+            .and_then(|c| c.get("intervals_computed_total"))
+            .and_then(Json::as_u64)
+            .is_some_and(|v| v > 0),
+        "metrics snapshot embedded"
+    );
+
+    // `-q` silences progress lines entirely (warnings excepted).
+    let o = Command::new(env!("CARGO_BIN_EXE_dca"))
+        .args(["figures", "table2", "--scale", "smoke", "-q"])
+        .current_dir(&plain)
+        .output()
+        .expect("binary runs");
+    assert!(o.status.success());
+    assert_eq!(stderr(&o), "", "quiet run must not print progress");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
 #[test]
 fn store_lifecycle_stat_verify_gc() {
     let dir = std::env::temp_dir().join("dca-cli-store");

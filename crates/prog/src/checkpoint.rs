@@ -155,6 +155,7 @@ pub fn fast_forward_with(
     hook: &mut dyn WarmHook,
 ) -> FastForward {
     assert!(every > 0, "checkpoint interval must be non-zero");
+    let mut span = dca_obs::span("prog", "prog.fast_forward").arg("every", every);
     let mut it = Interp::new(prog, mem).with_fuel(max);
     let mut checkpoints = vec![it.checkpoint().with_uarch_opt(hook.snapshot())];
     let mut next_ckpt = every;
@@ -165,6 +166,9 @@ pub fn fast_forward_with(
             next_ckpt += every;
         }
     }
+    span.add_arg("insts", it.seq());
+    span.add_arg("checkpoints", checkpoints.len());
+    dca_obs::metrics().ff_insts_total.add(it.seq());
     FastForward {
         checkpoints,
         total_insts: it.seq(),

@@ -196,6 +196,9 @@ struct IqBuf {
     /// Future wakeups as `(cycle, seq)` in a min-heap: entries whose
     /// operands are all known move here until their ready cycle is due.
     timeline: BinaryHeap<Reverse<(u64, u64)>>,
+    /// High-watermark of `timeline` depth over the run (observability;
+    /// reported as the `event_queue_peak` gauge after each run).
+    timeline_peak: u64,
 }
 
 impl IqBuf {
@@ -208,7 +211,14 @@ impl IqBuf {
             len: 0,
             ready: Vec::with_capacity(cap),
             timeline: BinaryHeap::with_capacity(cap),
+            timeline_peak: 0,
         }
+    }
+
+    /// Schedules a wakeup at `when`, tracking the high-watermark.
+    fn push_event(&mut self, when: u64, seq: u64) {
+        self.timeline.push(Reverse((when, seq)));
+        self.timeline_peak = self.timeline_peak.max(self.timeline.len() as u64);
     }
 
     fn len(&self) -> usize {
@@ -602,6 +612,7 @@ impl<'p> Simulator<'p> {
     ///
     /// Same conditions as [`Simulator::run`].
     pub fn run_mut(&mut self, steering: &mut dyn Steering, max_insts: u64) -> SimStats {
+        let mut span = dca_obs::span("sim", "sim.run").arg("max_insts", max_insts);
         self.interp = Some(
             self.interp
                 .take()
@@ -637,6 +648,12 @@ impl<'p> Simulator<'p> {
         self.stats.l1d = self.hierarchy.l1d_stats().since(&self.warm_baseline.l1d);
         self.stats.l2 = self.hierarchy.l2_stats().since(&self.warm_baseline.l2);
         self.stats.bpred = self.bpred.stats().since(&self.warm_baseline.bpred);
+        span.add_arg("committed", self.stats.committed);
+        span.add_arg("cycles", self.stats.cycles);
+        let m = dca_obs::metrics();
+        m.detailed_insts_total.add(self.stats.committed);
+        let peak = self.iq[..self.n].iter().map(|q| q.timeline_peak).max();
+        m.event_queue_peak.set_max(peak.unwrap_or(0));
         self.stats.clone()
     }
 
@@ -1211,7 +1228,7 @@ impl<'p> Simulator<'p> {
             if e.pending == 0 {
                 let when = e.ready_cycle.max(e.dispatched_at + 1);
                 debug_assert!(when > self.now, "wakeups never fire retroactively");
-                buf.timeline.push(Reverse((when, seq)));
+                buf.push_event(when, seq);
             }
         }
         self.wake_scratch = woken;
@@ -1680,7 +1697,7 @@ impl<'p> Simulator<'p> {
             }
             if e.pending == 0 {
                 let when = e.ready_cycle.max(e.dispatched_at + 1);
-                self.iq[c].timeline.push(Reverse((when, e.seq)));
+                self.iq[c].push_event(when, e.seq);
             }
         }
         self.iq[c].insert(e);

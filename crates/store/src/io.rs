@@ -302,6 +302,112 @@ impl StoreIo for FaultIo {
     }
 }
 
+/// A [`StoreIo`] decorator that records a `store`-category span and
+/// the store I/O metrics (op counts, byte counts, per-op latency
+/// histogram) around every operation of the wrapped implementation.
+///
+/// Strictly observational: arguments, results and errors pass through
+/// unchanged, and the inner implementation's own operation counting
+/// (e.g. [`FaultIo`]'s deterministic fault indices) is unaffected
+/// because the wrapper issues exactly one inner call per call.
+pub struct InstrumentedIo {
+    inner: std::sync::Arc<dyn StoreIo>,
+}
+
+impl std::fmt::Debug for InstrumentedIo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrumentedIo").field("inner", &self.inner).finish()
+    }
+}
+
+impl InstrumentedIo {
+    /// Wraps `inner`; every operation is traced and metered.
+    pub fn new(inner: std::sync::Arc<dyn StoreIo>) -> InstrumentedIo {
+        InstrumentedIo { inner }
+    }
+
+    /// Runs `op` under a `store.<name>` span, recording its latency in
+    /// the `store_op_ns` histogram.
+    fn observe<T>(
+        &self,
+        name: &'static str,
+        path: &Path,
+        op: impl FnOnce(&dyn StoreIo) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut span = dca_obs::span("store", name);
+        if let Some(f) = path.file_name() {
+            span.add_arg("file", f.to_string_lossy());
+        }
+        let start = std::time::Instant::now();
+        let out = op(&*self.inner);
+        dca_obs::metrics()
+            .store_op_ns
+            .record(start.elapsed().as_nanos() as u64);
+        if out.is_err() {
+            span.add_arg("err", true);
+        }
+        out
+    }
+}
+
+impl StoreIo for InstrumentedIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let out = self.observe("store.read", path, |io| io.read(path));
+        let m = dca_obs::metrics();
+        m.store_reads_total.inc();
+        if let Ok(bytes) = &out {
+            m.store_read_bytes_total.add(bytes.len() as u64);
+        }
+        out
+    }
+
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let out = self.observe("store.write", path, |io| io.write_all(path, bytes));
+        let m = dca_obs::metrics();
+        m.store_writes_total.inc();
+        if out.is_ok() {
+            m.store_written_bytes_total.add(bytes.len() as u64);
+        }
+        out
+    }
+
+    fn create_exclusive(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let out =
+            self.observe("store.create_exclusive", path, |io| io.create_exclusive(path, bytes));
+        let m = dca_obs::metrics();
+        m.store_writes_total.inc();
+        if out.is_ok() {
+            m.store_written_bytes_total.add(bytes.len() as u64);
+        }
+        out
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        dca_obs::metrics().store_meta_ops_total.inc();
+        self.observe("store.rename", to, |io| io.rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        dca_obs::metrics().store_meta_ops_total.inc();
+        self.observe("store.remove", path, |io| io.remove_file(path))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        dca_obs::metrics().store_meta_ops_total.inc();
+        self.observe("store.mkdir", path, |io| io.create_dir_all(path))
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<(PathBuf, u64)>> {
+        dca_obs::metrics().store_meta_ops_total.inc();
+        self.observe("store.read_dir", path, |io| io.read_dir(path))
+    }
+
+    fn metadata(&self, path: &Path) -> io::Result<(u64, Option<SystemTime>)> {
+        dca_obs::metrics().store_meta_ops_total.inc();
+        self.observe("store.stat", path, |io| io.metadata(path))
+    }
+}
+
 /// `true` when an I/O error means "the device is full" (`ENOSPC`) —
 /// the store maps it to [`StoreError::Full`](crate::StoreError::Full)
 /// so callers can degrade gracefully instead of treating it as damage.

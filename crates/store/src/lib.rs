@@ -79,7 +79,7 @@ pub mod shard;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 use dca_prog::FastForward;
 
@@ -217,6 +217,32 @@ pub struct FileReport {
     pub status: FileStatus,
 }
 
+/// Per-shard detail row of [`Store::stat`].
+#[derive(Debug)]
+pub struct ShardStat {
+    /// Shard file name (within `ck/` or `rs/`).
+    pub name: String,
+    /// Payload kind, when the header was readable.
+    pub kind: Option<FileKind>,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Intact records in the shard (frame-walk count).
+    pub records: u64,
+}
+
+/// Per-lock detail row of [`Store::stat`].
+#[derive(Debug)]
+pub struct LockStat {
+    /// Lock file name (within `locks/`).
+    pub name: String,
+    /// Owning process id, when the lock file parsed.
+    pub pid: Option<u32>,
+    /// Lock age in seconds (from its recorded acquisition time).
+    pub age_secs: Option<u64>,
+    /// Whether the owner is provably live.
+    pub live: bool,
+}
+
 /// Aggregate directory statistics, as reported by [`Store::stat`].
 #[derive(Debug, Default)]
 pub struct StoreStat {
@@ -234,6 +260,10 @@ pub struct StoreStat {
     pub live_locks: u64,
     /// Advisory locks whose owner is dead (swept by gc/fsck).
     pub stale_locks: u64,
+    /// Per-shard detail (name order, readable shards only).
+    pub shards: Vec<ShardStat>,
+    /// Per-lock detail (name order).
+    pub locks: Vec<LockStat>,
 }
 
 /// Result of a [`Store::gc`] pass.
@@ -287,10 +317,13 @@ impl Store {
 
     /// Opens a store whose every filesystem operation goes through
     /// `io` — the fault-injection entry point (see [`io::FaultIo`]).
+    /// The given `io` is wrapped in an [`io::InstrumentedIo`], so every
+    /// operation is traced and metered (a pass-through decorator: it
+    /// does not perturb an inner [`io::FaultIo`]'s operation indices).
     pub fn open_with_io(root: impl Into<PathBuf>, io: Arc<dyn StoreIo>) -> Store {
         let store = Store {
             root: root.into(),
-            io,
+            io: Arc::new(io::InstrumentedIo::new(io)),
             lock_wait: Duration::from_secs(120),
         };
         store.startup();
@@ -341,10 +374,10 @@ impl Store {
         }
         let rep = shard::migrate_legacy(&self.io, &self.root);
         if rep.migrated > 0 || rep.skipped > 0 {
-            eprintln!(
+            dca_obs::progress::info(format!(
                 "dca-store: migrated {} legacy store file(s) to sharded layout ({} left in place)",
                 rep.migrated, rep.skipped
-            );
+            ));
         }
     }
 
@@ -361,7 +394,11 @@ impl Store {
                 return LockAttempt::Unavailable(e.to_string());
             }
         }
-        lock::try_acquire(&self.io, &path, lock::DEFAULT_STALE_AFTER)
+        let attempt = lock::try_acquire(&self.io, &path, lock::DEFAULT_STALE_AFTER);
+        if matches!(attempt, LockAttempt::Busy) {
+            dca_obs::metrics().lock_busy_polls_total.inc();
+        }
+        attempt
     }
 
     /// `true` when a live process holds the writer lock for `name`.
@@ -594,18 +631,31 @@ impl Store {
             .collect()
     }
 
-    /// Cheap directory summary (header reads only, no full-file
-    /// checksum validation beyond the header's own).
+    /// Directory summary: header reads plus a checksum-free record
+    /// frame-walk per shard (for the per-shard record counts), and a
+    /// parse of each lock file (for owner pid / age detail).
     pub fn stat(&self) -> StoreStat {
+        let now_secs = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
         let mut s = StoreStat::default();
         for (path, bytes) in self.entries() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
             match self
                 .io
                 .read(&path)
                 .map_err(StoreError::Io)
-                .and_then(|b| shard::read_shard_header(&b, &path))
+                .map(|b| {
+                    let header = shard::read_shard_header(&b, &path);
+                    let (intact, _) = shard::deep_check_records(&b);
+                    (header, intact as u64)
+                })
             {
-                Ok(h) => {
+                Ok((Ok(h), records)) => {
                     match h.kind {
                         FileKind::Checkpoints => {
                             s.checkpoint_files.0 += 1;
@@ -619,17 +669,47 @@ impl Store {
                     if Self::check_versions(&path, &h).is_err() {
                         s.stale_files += 1;
                     }
+                    s.shards.push(ShardStat {
+                        name,
+                        kind: Some(h.kind),
+                        bytes,
+                        records,
+                    });
                 }
-                Err(StoreError::Version { .. }) => s.stale_files += 1,
-                Err(_) => s.unreadable_files += 1,
+                Ok((Err(StoreError::Version { .. }), _)) => s.stale_files += 1,
+                Ok((Err(_), _)) | Err(_) => s.unreadable_files += 1,
             }
         }
         s.legacy_files = self.legacy_entries().len() as u64;
         if let Ok(locks) = self.io.read_dir(&self.root.join("locks")) {
             for (path, _) in locks {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
                 match lock::holder(&self.io, &path, lock::DEFAULT_STALE_AFTER) {
-                    Some((_, true)) => s.live_locks += 1,
-                    _ => s.stale_locks += 1,
+                    Some((info, live)) => {
+                        if live {
+                            s.live_locks += 1;
+                        } else {
+                            s.stale_locks += 1;
+                        }
+                        s.locks.push(LockStat {
+                            name,
+                            pid: Some(info.pid),
+                            age_secs: now_secs.checked_sub(info.ts_secs),
+                            live,
+                        });
+                    }
+                    None => {
+                        s.stale_locks += 1;
+                        s.locks.push(LockStat {
+                            name,
+                            pid: None,
+                            age_secs: None,
+                            live: false,
+                        });
+                    }
                 }
             }
         }

@@ -193,6 +193,7 @@ pub(crate) fn try_acquire(
                 // which is correct (someone *live* holds it). The
                 // unlink itself can race a concurrent takeover; losing
                 // that race is also just Busy.
+                dca_obs::metrics().lock_takeovers_total.inc();
                 let _ = io.remove_file(path);
             }
             Err(e) => return LockAttempt::Unavailable(e.to_string()),
