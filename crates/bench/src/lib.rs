@@ -18,6 +18,8 @@ pub mod figures;
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dca_obs::progress;
@@ -357,6 +359,11 @@ pub struct RunOpts {
     /// keeps the store default of 120 s). CI and tests set this low so
     /// a wedged peer cannot stall a run for minutes.
     pub lock_wait_secs: Option<u64>,
+    /// Staleness threshold for the store's lock-takeover and
+    /// orphaned-temp sweeps (`--stale-secs`; `None` keeps the shared
+    /// default of [`dca_store::lock::DEFAULT_STALE_AFTER`], 600 s).
+    /// One knob for both, so the two ages cannot drift apart.
+    pub stale_secs: Option<u64>,
     /// Suppress progress lines (`-q`/`--quiet`); warnings still print.
     pub quiet: bool,
     /// Write this invocation's spans as Chrome trace-event JSON here
@@ -377,6 +384,7 @@ impl Default for RunOpts {
             store_dir: None,
             warm_steering: false,
             lock_wait_secs: None,
+            stale_secs: None,
             quiet: false,
             trace_out: None,
             metrics_out: None,
@@ -390,6 +398,7 @@ impl RunOpts {
     /// `--sample-period N`, `--sample-warmup N`, `--sample-interval N`,
     /// `--target-stderr X`, `--warming detached|continuous`,
     /// `--store-dir DIR`, `--no-store`, `--lock-wait-secs N`,
+    /// `--stale-secs N`,
     /// `--warm-steering`, `--verbose`, `-q`/`--quiet`,
     /// `--trace-out FILE`, `--metrics-out FILE`). Unrecognised
     /// arguments are returned for the caller.
@@ -467,6 +476,13 @@ impl RunOpts {
                         args.next()
                             .and_then(|v| v.parse().ok())
                             .expect("--lock-wait-secs needs a number of seconds"),
+                    );
+                }
+                "--stale-secs" => {
+                    opts.stale_secs = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--stale-secs needs a number of seconds"),
                     );
                 }
                 "--no-store" => no_store = true,
@@ -805,17 +821,47 @@ pub struct Lab {
     custom: HashMap<u64, SimConfig>,
     /// Persistent checkpoint/result store ([`RunOpts::store_dir`]).
     store: Option<Store>,
+    /// Cooperative cancellation token ([`Lab::set_cancel`]): checked
+    /// between chunk-scheduling rounds, never mid-interval.
+    cancel: Option<Arc<AtomicBool>>,
+    /// Per-round progress callback ([`Lab::set_round_hook`]): invoked
+    /// on the driving thread before each sampling round fans out.
+    round_hook: Option<RoundHook>,
+}
+
+/// A per-round progress callback (see [`Lab::set_round_hook`]).
+pub type RoundHook = Box<dyn Fn(&RoundProgress) + Send>;
+
+/// What [`Lab::ensure`] is about to do in one chunk-scheduling round,
+/// handed to the hook installed with [`Lab::set_round_hook`] — the
+/// attachment point for live progress streaming (`dca serve` forwards
+/// these, plus the insts/sec gauges, to its subscribed clients).
+#[derive(Clone, Copy, Debug)]
+pub struct RoundProgress {
+    /// Scheduling round number, starting at 1.
+    pub round: u64,
+    /// Intervals fanning out in this round.
+    pub batch: u64,
+    /// Worst-case intervals still to simulate after this round's batch
+    /// was drawn (every undecided run exhausts its budget).
+    pub remaining: u64,
+    /// Live sampling throughput, milli-intervals per second (the
+    /// `intervals_per_sec_milli` gauge; 0 until the first round lands).
+    pub intervals_per_sec_milli: u64,
 }
 
 impl Lab {
     /// Creates a lab.
     pub fn new(opts: RunOpts) -> Lab {
         let store = opts.store_dir.as_ref().map(|dir| {
-            let s = Store::open(dir);
-            match opts.lock_wait_secs {
-                Some(secs) => s.with_lock_wait(Duration::from_secs(secs)),
-                None => s,
+            let mut s = Store::open(dir);
+            if let Some(secs) = opts.lock_wait_secs {
+                s = s.with_lock_wait(Duration::from_secs(secs));
             }
+            if let Some(secs) = opts.stale_secs {
+                s = s.with_stale_after(Duration::from_secs(secs));
+            }
+            s
         });
         Lab {
             opts,
@@ -826,7 +872,41 @@ impl Lab {
             sample_info: BTreeMap::new(),
             custom: HashMap::new(),
             store,
+            cancel: None,
+            round_hook: None,
         }
+    }
+
+    /// Installs a cooperative cancellation token (`None` clears it).
+    ///
+    /// [`Lab::ensure`] checks the token between chunk-scheduling
+    /// rounds — the natural preemption points of the sampled driver —
+    /// and stops scheduling further work once it is set. Cancellation
+    /// is *total*, like store degradation: every requested combination
+    /// still receives an entry (merged from whatever contiguous prefix
+    /// of intervals finished in time, possibly empty), so no caller
+    /// panics; the caller that set the token is expected to check
+    /// [`Lab::cancelled`] and discard this lab, whose caches now hold
+    /// partial results. Intervals that did complete are still saved to
+    /// the store — they form a valid checkpoint-order prefix a future
+    /// run extends.
+    pub fn set_cancel(&mut self, token: Option<Arc<AtomicBool>>) {
+        self.cancel = token;
+    }
+
+    /// `true` once the installed cancellation token has been set.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|t| t.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Installs a per-round progress hook (`None` clears it): called
+    /// on the driving thread just before each sampling round fans out,
+    /// with the round's [`RoundProgress`]. `dca serve` uses this to
+    /// stream progress events to its clients.
+    pub fn set_round_hook(&mut self, hook: Option<RoundHook>) {
+        self.round_hook = hook;
     }
 
     /// Registers a custom machine geometry and returns the
@@ -1012,6 +1092,12 @@ impl Lab {
                         return (v, true);
                     }
                     if Instant::now() >= deadline {
+                        // The loser's degradation is part of the total-
+                        // degradation invariant (a permanently held
+                        // lock must never fail a run) — counted, so a
+                        // fleet of serve workers wedging on one lock is
+                        // visible in the metrics, not just in stderr.
+                        m.lock_deadline_expired_total.inc();
                         m.lock_wait_ns.record(waited_ns());
                         progress::warn(format!(
                             "[lab] store: lock on {name} still held after {:?}; \
@@ -1057,6 +1143,15 @@ impl Lab {
         }
         for (&bench, info) in &other.ff_info {
             self.ff_info.entry(bench).or_insert_with(|| info.clone());
+        }
+        // A child with no store of its own shares the parent's handle
+        // (`Store` clones share the instrumented I/O). Matters when
+        // the parent was built via [`Lab::with_store`] — e.g. by the
+        // serve dispatcher — where `opts.store_dir` is unset and a
+        // side lab built from `parent.opts()` would otherwise lose
+        // persistence and recompute warm intervals.
+        if self.store.is_none() {
+            self.store = other.store.clone();
         }
     }
 
@@ -1108,6 +1203,16 @@ impl Lab {
             }
         }
         if todo.is_empty() {
+            return;
+        }
+        // Cancellation before any work: every requested combination
+        // still gets a (empty) cache entry so downstream lookups stay
+        // total; the cancelling caller discards this lab.
+        if self.cancelled() {
+            for &(bench, machine, scheme) in &todo {
+                self.cache
+                    .insert(Self::cache_key(bench, machine, scheme), SimStats::default());
+            }
             return;
         }
         let _span = dca_obs::span("lab", "lab.ensure").arg("runs", todo.len());
@@ -1344,7 +1449,20 @@ impl Lab {
         // its next chunk of checkpoint indices; all chunks of a round
         // fan out together. Without a stderr target a run's first
         // chunk is its whole budget (no adaptivity — one round).
+        let mut round = 0u64;
         loop {
+            // Round boundaries are the cancellation points: a set
+            // token freezes every undecided run at its contiguous
+            // prefix (possibly empty) so the merge below stays total.
+            if self.cancelled() {
+                for st in states.iter_mut() {
+                    if st.used.is_none() {
+                        st.used = Some(st.outcomes.len());
+                    }
+                }
+                progress::warn("[lab] sampling cancelled; merging completed prefixes");
+                break;
+            }
             let mut batch: Vec<(usize, usize)> = Vec::new();
             for (i, st) in states.iter().enumerate() {
                 if st.used.is_some() {
@@ -1378,6 +1496,15 @@ impl Lab {
                     dca_obs::metrics().intervals_per_sec_milli.get()
                 )
             ));
+            round += 1;
+            if let Some(hook) = &self.round_hook {
+                hook(&RoundProgress {
+                    round,
+                    batch: batch.len() as u64,
+                    remaining,
+                    intervals_per_sec_milli: dca_obs::metrics().intervals_per_sec_milli.get(),
+                });
+            }
             let round_t0 = Instant::now();
             let workloads = &self.workloads;
             let ffs = &self.ffs;
@@ -2553,6 +2680,158 @@ mod tests {
             Duration::from_secs(120)
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_secs_flag_reaches_the_store() {
+        let dir = std::env::temp_dir().join("dca-bench-stalesecs");
+        let argv = ["--stale-secs", "7", "--store-dir"]
+            .iter()
+            .map(ToString::to_string)
+            .chain(std::iter::once(dir.display().to_string()));
+        let (opts, rest) = RunOpts::from_args(argv);
+        assert!(rest.is_empty());
+        assert_eq!(opts.stale_secs, Some(7));
+        let lab = Lab::new(opts);
+        assert_eq!(
+            lab.store.as_ref().expect("store configured").stale_after(),
+            Duration::from_secs(7),
+            "--stale-secs overrides the shared lock/temp staleness threshold"
+        );
+        // Without the flag both thresholds keep the one shared default.
+        let lab = Lab::new(RunOpts {
+            store_dir: Some(dir.clone()),
+            ..RunOpts::default()
+        });
+        assert_eq!(
+            lab.store.as_ref().expect("store configured").stale_after(),
+            dca_store::lock::DEFAULT_STALE_AFTER
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// ISSUE 9 regression: a permanently held shard lock (live owner
+    /// that never publishes) must expire the lock-wait deadline into
+    /// in-memory compute with `from_store = false` and a counted
+    /// metric — never an error, never a hung run. The contending lab
+    /// runs through a `FaultIo` store (armed, non-firing plan) so the
+    /// degradation path is exercised under the injection layer used by
+    /// the crash sweeps.
+    #[test]
+    fn permanently_held_lock_degrades_with_a_counted_metric() {
+        use dca_store::io::{FaultIo, FaultKind, FaultPlan};
+        let (opts, dir) = store_opts("held-lock");
+        let run = ("compress", Machine::Clustered, SchemeKind::Modulo);
+
+        // The wedged peer: holds the checkpoint-shard lock this lab
+        // will want, from a live pid (ours), and never releases it.
+        let key = CheckpointKey {
+            workload: run.0,
+            scale: opts.scale.name(),
+            period: opts.sampling.unwrap().period,
+            max_insts: opts.max_insts,
+            fingerprint: dca_workloads::build(run.0, opts.scale).fingerprint(),
+            uarch: SimConfig::default().uarch_hash(),
+        };
+        let holder = Store::open(&dir);
+        let _guard = match holder.try_lock(FileKind::Checkpoints, &key.file_name()) {
+            LockAttempt::Acquired(g) => g,
+            other => panic!("could not stage the held lock: {other:?}"),
+        };
+
+        let m = dca_obs::metrics();
+        let expired_before = m.lock_deadline_expired_total.get();
+        let io = std::sync::Arc::new(FaultIo::new(FaultPlan::fail_at(u64::MAX, FaultKind::Fail)));
+        let store = Store::open_with_io(&dir, io).with_lock_wait(Duration::from_millis(300));
+        let mut lab = Lab::with_store(opts, store);
+        let s = lab.stats(run.0, run.1, run.2);
+        assert!(
+            !lab.fast_forward_info(run.0).expect("ran").from_store,
+            "deadline loser reports from_store = false"
+        );
+        assert!(
+            m.lock_deadline_expired_total.get() > expired_before,
+            "the expiry is counted, not just logged"
+        );
+        let reference = Lab::new(sampled_opts()).stats(run.0, run.1, run.2);
+        assert_eq!(s.cycles, reference.cycles, "degraded run is still correct");
+        assert_eq!(s.committed, reference.committed);
+        // The loser computed without the lock, so it must not have
+        // published the checkpoint shard behind the holder's back.
+        assert!(
+            !dir.join("ck").join(key.file_name()).exists(),
+            "no shard written without holding its lock"
+        );
+        drop(_guard);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Chunk-round cancellation (the `dca serve` disconnect path):
+    /// setting the token between rounds freezes every run at its
+    /// completed prefix — total (no panic, every combination gets an
+    /// entry), partial (fewer intervals than the budget), and flagged
+    /// (`Lab::cancelled`). The round hook observes the rounds.
+    #[test]
+    fn cancellation_between_rounds_is_total_and_flagged() {
+        use std::sync::atomic::Ordering;
+        use std::sync::Mutex;
+        let opts = RunOpts {
+            scale: Scale::Smoke,
+            max_insts: 60_000,
+            sampling: Some(SampleOpts {
+                // Many checkpoints, so the budget spans several chunk
+                // rounds and a cancellation lands between two of them.
+                period: 2_000,
+                warmup: 1_500,
+                interval: 1_000,
+                // A target no run can reach keeps the driver in
+                // chunked rounds for the whole budget.
+                target_stderr: Some(1e-12),
+                warming: Warming::Detached,
+            }),
+            ..RunOpts::default()
+        };
+        let run = ("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+        let reference = Lab::new(opts.clone()).stats(run.0, run.1, run.2);
+
+        let token = Arc::new(AtomicBool::new(false));
+        let seen: Arc<Mutex<Vec<RoundProgress>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut lab = Lab::new(opts.clone());
+        lab.set_cancel(Some(token.clone()));
+        let (t, s) = (token.clone(), seen.clone());
+        lab.set_round_hook(Some(Box::new(move |p| {
+            s.lock().unwrap().push(*p);
+            // Cancel after the first round fans out: the check at the
+            // next round boundary freezes the prefix.
+            t.store(true, Ordering::Relaxed);
+        })));
+        let stats = lab.stats(run.0, run.1, run.2);
+        assert!(lab.cancelled(), "token observed");
+        let rounds = seen.lock().unwrap();
+        assert_eq!(rounds.len(), 1, "cancelled before round 2");
+        assert_eq!(rounds[0].round, 1);
+        assert!(rounds[0].batch > 0 && rounds[0].batch <= INTERVAL_CHUNK as u64);
+        let info = lab.sample_info(run.0, run.1, run.2).expect("total: info exists");
+        assert!(
+            info.intervals < info.budget,
+            "frozen at a partial prefix ({} of {})",
+            info.intervals,
+            info.budget
+        );
+        assert!(stats.committed > 0, "completed prefix merged");
+        assert!(
+            stats.committed < reference.committed,
+            "partial ({} insts) vs complete ({})",
+            stats.committed,
+            reference.committed
+        );
+
+        // A token set before any work: still total, empty entries.
+        let mut lab = Lab::new(opts);
+        lab.set_cancel(Some(Arc::new(AtomicBool::new(true))));
+        let stats = lab.stats(run.0, run.1, run.2);
+        assert!(lab.cancelled());
+        assert_eq!(stats.committed, 0, "no work scheduled after cancellation");
     }
 
     #[test]

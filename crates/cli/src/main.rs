@@ -35,6 +35,11 @@ USAGE:
     dca list
     dca figures [ID ...]          (no ID: regenerate everything)
     dca store   stat|verify|gc|fsck [--repair] [--store-dir DIR]
+                [--stale-secs N]
+    dca serve   [--listen ADDR] [--store-dir DIR | --no-store]
+                [--lock-wait-secs N] [--stale-secs N]
+    dca client  [--addr ADDR] (--figure ID [-- OPTS...] | --ping |
+                --stats | --shutdown) [--out FILE] [--json-out FILE]
 
 Observability (run, figures, store): --verbose prints per-step detail,
 -q/--quiet suppresses progress (warnings still print),
@@ -68,6 +73,18 @@ shard (exit 0 clean, 1 corrupt/stale, 2 I/O error), `gc` deletes
 corrupt or stale-version entries (skipping shards a live writer
 holds locked), `fsck` additionally sweeps orphaned temp files and
 dead-owner locks (--repair also deletes damaged shards).
+--lock-wait-secs N bounds how long a run waits for a peer's shard
+lock before degrading to in-memory compute; --stale-secs N is the
+shared staleness threshold for lock takeover and temp sweeps.
+
+`dca serve` runs the harness as a daemon on a Unix socket (default
+.dca-serve.sock) or host:port. Clients (`dca client`) request figures
+over a framed, checksummed protocol; identical in-flight requests are
+deduplicated onto one computation, scheduling is round-robin across
+clients, progress streams per sampling round, and results already in
+the store are served warm with zero recompute. `dca client --figure
+ID -- --scale paper ...` forwards everything after `--` as harness
+options; --ping, --stats and --shutdown probe and manage the daemon.
 
 Machines: base | clustered | one-bus | ub | homo<N> | hetero4
 `--clusters N` simulates N copies of the paper's cluster (shorthand for
@@ -102,6 +119,8 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "serve" => dca_serve::cmd_serve(args),
+        "client" => dca_serve::cmd_client(args),
         "figures" => {
             // Delegate to the bench harness (same artefacts as the
             // fig*/table*/ablate_* binaries).
@@ -429,6 +448,13 @@ fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
         Some(d) => d,
         None => ".dca-store".into(),
     };
+    let stale_secs = flags
+        .take("--stale-secs")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--stale-secs needs a number of seconds, got `{v}`"))
+        })
+        .transpose()?;
     let sub = if flags.0.is_empty() {
         "stat".to_string()
     } else {
@@ -441,7 +467,10 @@ fn cmd_store(args: Vec<String>) -> Result<ExitCode, String> {
     if repair.is_some() && sub != "fsck" {
         return Err("--repair only applies to `dca store fsck`".into());
     }
-    let store = Store::open(&dir);
+    let mut store = Store::open(&dir);
+    if let Some(secs) = stale_secs {
+        store = store.with_stale_after(std::time::Duration::from_secs(secs));
+    }
     let code = cmd_store_sub(&store, &dir, &sub, repair.is_some())?;
     // Every store op runs through the instrumented I/O layer, so the
     // session counters are exactly this maintenance op's footprint.

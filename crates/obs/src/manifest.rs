@@ -110,11 +110,31 @@ impl Manifest {
     }
 
     /// Writes the manifest to `path`, creating parent directories.
+    ///
+    /// The write is atomic (unique temp file + rename, like the store
+    /// shards): concurrent invocations stamping the same manifest —
+    /// stress_store.sh's racing processes, N serve-driven runs — each
+    /// replace it wholesale, so a reader always sees one writer's
+    /// complete document, never an interleaving or a torn prefix.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.render())
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "manifest".to_string());
+        let tmp = path.with_file_name(format!(
+            ".tmp-{}-{}-{name}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 }
 
@@ -161,6 +181,60 @@ mod tests {
             .filter(|(k, _)| k == "workers")
             .count();
         assert_eq!(n, 1);
+    }
+
+    /// Regression for the torn-manifest bug (ISSUE 9): `save` used a
+    /// bare `std::fs::write`, so concurrent writers could interleave
+    /// and a reader could observe a torn prefix. With temp+rename,
+    /// every read of the path parses as exactly one writer's complete
+    /// document.
+    #[test]
+    fn concurrent_saves_never_tear() {
+        let dir = std::env::temp_dir().join(format!("dca-manifest-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("results").join("run_manifest.json");
+        let writers = 4;
+        let rounds = 40;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let path = path.clone();
+                s.spawn(move || {
+                    for i in 0..rounds {
+                        let mut m = Manifest::new("race");
+                        m.set_u64("writer", w);
+                        // Wildly different document lengths make a torn
+                        // or interleaved write fail the parse below.
+                        m.set_str("pad", "x".repeat(1 + (w as usize) * 4096));
+                        m.set_u64("round", i);
+                        m.save(&path).expect("save");
+                    }
+                });
+            }
+            let path = path.clone();
+            s.spawn(move || {
+                let mut seen = 0u32;
+                while seen < 200 {
+                    seen += 1;
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(t) => t,
+                        Err(_) => continue, // not yet written
+                    };
+                    let doc = crate::json::parse(&text)
+                        .unwrap_or_else(|e| panic!("torn manifest observed: {e}\n{text}"));
+                    let w = doc.get("writer").and_then(Json::as_u64).expect("writer field");
+                    let pad = doc.get("pad").and_then(Json::as_str).expect("pad field");
+                    assert_eq!(pad.len(), 1 + (w as usize) * 4096, "pad matches its writer");
+                }
+            });
+        });
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "orphaned temps: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -206,6 +206,27 @@ registry! {
         detailed_insts_total,
         /// Instructions executed through continuous-warming hooks.
         warm_insts_total,
+        /// Lock-wait deadlines that expired with the holder still
+        /// live: the Lab degraded to in-memory compute
+        /// (`from_store = false`) instead of failing the run.
+        lock_deadline_expired_total,
+        /// Requests accepted by `dca serve` (figure + run, all clients).
+        serve_requests_total,
+        /// Requests attached to an identical in-flight job instead of
+        /// spawning their own computation (N clients, 1 computation).
+        serve_dedup_hits_total,
+        /// Results broadcast to serve clients.
+        serve_results_total,
+        /// Frames rejected by the serve protocol (bad magic, oversized
+        /// length prefix, checksum mismatch, truncated mid-frame).
+        serve_rejected_frames_total,
+        /// Jobs cancelled after their last subscriber disconnected.
+        serve_cancelled_jobs_total,
+        /// Payload bytes received from serve clients.
+        serve_bytes_in_total,
+        /// Payload bytes sent to serve clients (summed over clients;
+        /// the per-client split is reported on disconnect).
+        serve_bytes_out_total,
     }
     gauges {
         /// Fast-forward throughput, instructions per second.
@@ -219,6 +240,10 @@ registry! {
         event_queue_peak,
         /// Lab worker threads in the current fan-out.
         lab_workers,
+        /// Clients currently connected to `dca serve`.
+        serve_clients,
+        /// Jobs queued (not yet executing) across all serve clients.
+        serve_queue_depth,
     }
     histograms {
         /// Per-interval detailed simulation time, nanoseconds.

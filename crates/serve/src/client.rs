@@ -1,0 +1,143 @@
+//! The request side: `dca client`.
+//!
+//! One connection, one request, a stream of progress events, one
+//! result. The figure body goes to stdout (or `--out FILE`), and
+//! `--json-out FILE` records the serving summary — dedup/warm flags,
+//! fast-forward instructions, interval counts, wall-clock — which is
+//! what `scripts/bench_serve.sh` asserts on.
+
+use std::path::PathBuf;
+
+use dca_obs::json::{self, Json};
+use dca_obs::progress;
+
+use crate::net;
+use crate::proto::FigureRequest;
+use crate::wire::{self, FrameKind};
+
+/// What one `dca client` invocation asks of the server.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Request one figure with harness arguments.
+    Figure {
+        /// Figure id.
+        figure: String,
+        /// `RunOpts::from_args`-grammar options forwarded verbatim.
+        args: Vec<String>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Fetch server counters.
+    Stats,
+    /// Ask the server to shut down.
+    Shutdown,
+}
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientOpts {
+    /// Server address (Unix socket path or `host:port`).
+    pub addr: String,
+    /// The request.
+    pub mode: Mode,
+    /// Write the figure body here instead of stdout.
+    pub out: Option<PathBuf>,
+    /// Write the serving summary (JSON) here.
+    pub json_out: Option<PathBuf>,
+    /// Suppress progress lines.
+    pub quiet: bool,
+}
+
+/// Runs one request against a serve daemon.
+pub fn run_client(opts: &ClientOpts) -> Result<(), String> {
+    let mut conn =
+        net::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    let (kind, payload): (FrameKind, Vec<u8>) = match &opts.mode {
+        Mode::Figure { figure, args } => (
+            FrameKind::ReqFigure,
+            FigureRequest::render_payload(figure, args),
+        ),
+        Mode::Ping => (FrameKind::ReqPing, b"ping".to_vec()),
+        Mode::Stats => (FrameKind::ReqStats, Vec::new()),
+        Mode::Shutdown => (FrameKind::ReqShutdown, Vec::new()),
+    };
+    wire::write_frame(&mut conn, kind, &payload).map_err(|e| format!("send: {e}"))?;
+    loop {
+        let (kind, payload) = wire::read_frame(&mut conn).map_err(|e| e.to_string())?;
+        let text = || String::from_utf8_lossy(&payload).into_owned();
+        match FrameKind::from_byte(kind) {
+            Some(FrameKind::EvPong) => {
+                println!("{}", text());
+                return Ok(());
+            }
+            Some(FrameKind::EvStats) => {
+                let doc = json::parse(&text())?;
+                println!("{}", doc.render_pretty());
+                return Ok(());
+            }
+            Some(FrameKind::EvError) => {
+                let doc = json::parse(&text()).unwrap_or(Json::Null);
+                let msg = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .unwrap_or_else(text);
+                return Err(format!("server: {msg}"));
+            }
+            Some(FrameKind::EvProgress) => {
+                if !opts.quiet {
+                    let doc = json::parse(&text()).unwrap_or(Json::Null);
+                    let g = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    progress::info(format!(
+                        "  round {} ({} intervals, {} remaining, {:.1} intervals/s, queue {})",
+                        g("round"),
+                        g("batch"),
+                        g("remaining"),
+                        g("intervals_per_sec_milli") as f64 / 1000.0,
+                        g("queue_depth"),
+                    ));
+                }
+            }
+            Some(FrameKind::EvResult) => {
+                let doc = json::parse(&text())?;
+                return deliver_result(opts, &doc);
+            }
+            _ => return Err(format!("unexpected frame kind 0x{kind:02x} from server")),
+        }
+    }
+}
+
+fn deliver_result(opts: &ClientOpts, doc: &Json) -> Result<(), String> {
+    let body = doc.get("body").and_then(Json::as_str).unwrap_or_default();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, body).map_err(|e| format!("write {}: {e}", path.display()))?
+        }
+        None => print!("{body}"),
+    }
+    if let Some(path) = &opts.json_out {
+        let summary: Vec<(String, Json)> = doc
+            .as_object()
+            .unwrap_or_default()
+            .iter()
+            .filter(|(k, _)| k != "body")
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        std::fs::write(path, Json::Obj(summary).render_pretty())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    if !opts.quiet {
+        let flag = |k: &str| doc.get(k).and_then(|v| match v {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }) == Some(true);
+        progress::info(format!(
+            "  {} in {} ms{}{}",
+            doc.get("figure").and_then(Json::as_str).unwrap_or("?"),
+            doc.get("elapsed_ms").and_then(Json::as_u64).unwrap_or(0),
+            if flag("dedup") { " (deduplicated)" } else { "" },
+            if flag("warm") { " (warm, zero recompute)" } else { "" },
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! `dca-serve` — a long-lived simulation service (DESIGN.md §13).
+//!
+//! `dca serve` turns the experiment harness into a daemon: clients
+//! connect over a Unix or TCP socket, speak a small length-prefixed,
+//! checksummed frame protocol ([`wire`]), and request paper figures.
+//! The server
+//!
+//! - **deduplicates** identical in-flight requests — one computation,
+//!   every subscriber gets the byte-identical report ([`server`]);
+//! - **schedules fairly** — round-robin across clients, so a batch
+//!   client queueing many figures cannot starve an interactive one;
+//! - **streams progress** — per-sampling-round events carrying the
+//!   live intervals/second gauge from `dca-obs`;
+//! - **serves warm results** with zero recompute — the shared
+//!   [`dca_store::Store`] (one handle, cloned per Lab) makes a repeat
+//!   of yesterday's figure a pure read path, and the result event
+//!   says so (`warm: true`, `ff_insts: 0`).
+//!
+//! The protocol adds no dependencies: framing is hand-rolled in the
+//! style of the store container (FNV-64 checksums, explicit error
+//! taxonomy), payloads are `dca_obs::json` documents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod net;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{run_client, ClientOpts, Mode};
+pub use server::{serve, serve_with, ServeOpts};
+
+/// `dca serve [--listen ADDR] [--store-dir DIR | --no-store]
+/// [--lock-wait-secs N] [--stale-secs N] [-q|--verbose]`.
+pub fn cmd_serve(args: Vec<String>) -> Result<(), String> {
+    let mut opts = ServeOpts::default();
+    let mut obs = dca_bench::RunOpts::default();
+    let mut args = args;
+    opts.listen = take(&mut args, "--listen")?.unwrap_or_else(|| ".dca-serve.sock".into());
+    if let Some(dir) = take(&mut args, "--store-dir")? {
+        opts.store_dir = Some(dir.into());
+    }
+    if switch(&mut args, "--no-store") {
+        opts.store_dir = None;
+    }
+    opts.lock_wait_secs = take_u64(&mut args, "--lock-wait-secs")?;
+    opts.stale_secs = take_u64(&mut args, "--stale-secs")?;
+    obs.quiet = switch(&mut args, "-q") || switch(&mut args, "--quiet");
+    obs.verbose = switch(&mut args, "--verbose");
+    finish(args, "serve")?;
+    obs.apply_observability();
+    serve(opts)
+}
+
+/// `dca client [--addr ADDR] (--figure ID [-- ARGS..] | --ping |
+/// --stats | --shutdown) [--out FILE] [--json-out FILE] [-q]`.
+pub fn cmd_client(args: Vec<String>) -> Result<(), String> {
+    let mut args = args;
+    // Everything after `--` is forwarded to the server as harness
+    // options for the requested figure.
+    let fwd = match args.iter().position(|a| a == "--") {
+        Some(i) => {
+            let tail = args.split_off(i + 1);
+            args.pop();
+            tail
+        }
+        None => Vec::new(),
+    };
+    let addr = take(&mut args, "--addr")?.unwrap_or_else(|| ".dca-serve.sock".into());
+    let out = take(&mut args, "--out")?.map(Into::into);
+    let json_out = take(&mut args, "--json-out")?.map(Into::into);
+    let quiet = switch(&mut args, "-q") || switch(&mut args, "--quiet");
+    let figure = take(&mut args, "--figure")?;
+    let mode = if let Some(figure) = figure {
+        Mode::Figure { figure, args: fwd }
+    } else if switch(&mut args, "--ping") {
+        Mode::Ping
+    } else if switch(&mut args, "--stats") {
+        Mode::Stats
+    } else if switch(&mut args, "--shutdown") {
+        Mode::Shutdown
+    } else {
+        return Err("need --figure ID, --ping, --stats or --shutdown".into());
+    };
+    finish(args, "client")?;
+    let obs = dca_bench::RunOpts {
+        quiet,
+        ..Default::default()
+    };
+    obs.apply_observability();
+    run_client(&ClientOpts {
+        addr,
+        mode,
+        out,
+        json_out,
+        quiet,
+    })
+}
+
+fn take(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    args.remove(i);
+    Ok(Some(args.remove(i)))
+}
+
+fn take_u64(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    take(args, flag)?
+        .map(|v| v.parse().map_err(|_| format!("{flag} needs a number, got `{v}`")))
+        .transpose()
+}
+
+fn switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn finish(args: Vec<String>, context: &str) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unrecognised arguments for {context}: {args:?}"))
+    }
+}

@@ -1,0 +1,118 @@
+//! Transport: one listener/stream abstraction over TCP and Unix
+//! sockets.
+//!
+//! An address containing a `/` is a filesystem socket path
+//! (`/tmp/dca.sock`, `./srv/dca.sock`); anything else is `host:port`.
+//! Unix sockets are the default for local serving (no port
+//! allocation, filesystem permissions); TCP exists for the tests and
+//! for serving across a network namespace.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// Is `addr` a filesystem socket path rather than `host:port`?
+pub fn is_unix(addr: &str) -> bool {
+    addr.contains('/')
+}
+
+/// One bidirectional client connection, transport-erased.
+pub trait Conn: Read + Write + Send {
+    /// An independently-owned handle to the same socket (for the
+    /// writer thread, and for shutdown handles held by the server).
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>>;
+    /// Shuts down both directions, unblocking any thread inside a
+    /// blocking read on another clone.
+    fn shutdown_conn(&self);
+}
+
+impl Conn for TcpStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+impl Conn for UnixStream {
+    fn try_clone_conn(&self) -> io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+    fn shutdown_conn(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
+}
+
+/// A bound accept socket. Dropping a Unix listener removes its socket
+/// file.
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener plus the path to unlink on drop.
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds `addr`. A pre-existing Unix socket file is removed first:
+    /// it is either a dead server's leftover (a live one would still
+    /// hold the listener) or an operator error either way.
+    pub fn bind(addr: &str) -> io::Result<Listener> {
+        if is_unix(addr) {
+            let path = PathBuf::from(addr);
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            let _ = std::fs::remove_file(&path);
+            Ok(Listener::Unix(UnixListener::bind(&path)?, path))
+        } else {
+            Ok(Listener::Tcp(TcpListener::bind(addr)?))
+        }
+    }
+
+    /// Accepts one connection.
+    pub fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Box::new(s))
+            }
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+
+    /// The bound address in connectable form (resolves `:0` TCP ports).
+    pub fn local_addr(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default(),
+            Listener::Unix(_, p) => p.display().to_string(),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Connects to a serve address (client side, and the server's own
+/// shutdown self-connection that wakes the accept loop).
+pub fn connect(addr: &str) -> io::Result<Box<dyn Conn>> {
+    if is_unix(addr) {
+        Ok(Box::new(UnixStream::connect(addr)?))
+    } else {
+        Ok(Box::new(TcpStream::connect(addr)?))
+    }
+}

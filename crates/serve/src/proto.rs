@@ -1,0 +1,300 @@
+//! Request/event payloads and canonical request keys.
+//!
+//! Payloads are JSON documents built with `dca_obs::json` — the same
+//! hand-rolled parser/renderer the manifests use, so the protocol
+//! adds no dependency. A figure request carries the figure id plus
+//! harness options in the *CLI's own argument grammar*
+//! (`--scale paper`, `--target-stderr 0`, …), which the server parses
+//! with [`dca_bench::RunOpts::from_args`] — serve requests and shell
+//! invocations cannot drift apart because they share one parser.
+//!
+//! Deduplication needs a canonical identity for "the same request":
+//! two clients asking for `sampling` with reordered but equivalent
+//! flags must collide. [`FigureRequest::canonical_key`] therefore
+//! renders the *parsed* options — scale name, budget, sampling
+//! parameters — not the raw argument strings.
+
+use dca_bench::RunOpts;
+use dca_obs::json::{self, Json};
+
+/// A parsed, validated figure request.
+#[derive(Clone, Debug)]
+pub struct FigureRequest {
+    /// Figure id (`fig03`, `table1`, `sampling`, …).
+    pub figure: String,
+    /// Harness options, already parsed from the request's `args`.
+    pub opts: RunOpts,
+}
+
+impl FigureRequest {
+    /// Parses a `ReqFigure` payload:
+    /// `{"figure": "fig03", "args": ["--scale", "paper", ...]}`.
+    ///
+    /// Rejects unknown figures, unparsed leftover arguments, and any
+    /// attempt to steer the server's own store or observability from
+    /// the wire (`--store-dir`, `--trace-out`, …) — those belong to
+    /// whoever started the daemon.
+    pub fn parse(payload: &[u8]) -> Result<FigureRequest, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let doc = json::parse(text)?;
+        let figure = doc
+            .get("figure")
+            .and_then(Json::as_str)
+            .ok_or("missing `figure`")?
+            .to_string();
+        if dca_bench::figures::by_name(&figure).is_none() {
+            return Err(format!("unknown figure `{figure}`"));
+        }
+        let args: Vec<String> = match doc.get("args") {
+            None => Vec::new(),
+            Some(a) => a
+                .as_array()
+                .ok_or("`args` must be an array")?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string).ok_or("`args` must hold strings"))
+                .collect::<Result<_, _>>()?,
+        };
+        for forbidden in ["--store-dir", "--no-store", "--trace-out", "--metrics-out"] {
+            if args.iter().any(|a| a == forbidden) {
+                return Err(format!("`{forbidden}` is a server-side option"));
+            }
+        }
+        let (opts, rest) = RunOpts::from_args(args.into_iter());
+        if !rest.is_empty() {
+            return Err(format!("unrecognised request options: {rest:?}"));
+        }
+        Ok(FigureRequest { figure, opts })
+    }
+
+    /// Renders a request payload (the client-side inverse of
+    /// [`FigureRequest::parse`]).
+    pub fn render_payload(figure: &str, args: &[String]) -> Vec<u8> {
+        Json::Obj(vec![
+            ("figure".to_string(), Json::Str(figure.to_string())),
+            (
+                "args".to_string(),
+                Json::Arr(args.iter().map(|a| Json::Str(a.clone())).collect()),
+            ),
+        ])
+        .render()
+        .into_bytes()
+    }
+
+    /// Canonical identity of this request: figure id plus the
+    /// *simulation-relevant* parsed options. Flag order, whitespace
+    /// and client-side switches (verbosity) do not change the key.
+    pub fn canonical_key(&self) -> String {
+        format!("{}\u{1f}{}", self.figure, opts_key(&self.opts))
+    }
+}
+
+/// Canonical rendering of the options that change simulation results
+/// (and therefore Lab-cache identity). Everything else — quiet flags,
+/// lock patience, store placement — is serving policy, not identity.
+pub fn opts_key(o: &RunOpts) -> String {
+    let sampling = match &o.sampling {
+        None => Json::Null,
+        Some(s) => Json::Obj(vec![
+            ("period".to_string(), Json::U64(s.period)),
+            ("warmup".to_string(), Json::U64(s.warmup)),
+            ("interval".to_string(), Json::U64(s.interval)),
+            (
+                "target_stderr".to_string(),
+                match s.target_stderr {
+                    None => Json::Null,
+                    Some(x) => Json::F64(x),
+                },
+            ),
+            ("warming".to_string(), Json::Str(s.warming.name().to_string())),
+        ]),
+    };
+    Json::Obj(vec![
+        ("scale".to_string(), Json::Str(o.scale.name().to_string())),
+        ("max_insts".to_string(), Json::U64(o.max_insts)),
+        ("sampling".to_string(), sampling),
+        ("warm_steering".to_string(), Json::Bool(o.warm_steering)),
+    ])
+    .render()
+}
+
+/// Builds an `EvProgress` payload.
+pub fn progress_payload(
+    job: u64,
+    figure: &str,
+    p: &dca_bench::RoundProgress,
+    queue_depth: u64,
+) -> Vec<u8> {
+    Json::Obj(vec![
+        ("job".to_string(), Json::U64(job)),
+        ("figure".to_string(), Json::Str(figure.to_string())),
+        ("round".to_string(), Json::U64(p.round)),
+        ("batch".to_string(), Json::U64(p.batch)),
+        ("remaining".to_string(), Json::U64(p.remaining)),
+        (
+            "intervals_per_sec_milli".to_string(),
+            Json::U64(p.intervals_per_sec_milli),
+        ),
+        ("queue_depth".to_string(), Json::U64(queue_depth)),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Per-job deltas of the session metrics, taken around one job's
+/// execution. Valid as *exact* attribution because the dispatcher
+/// executes one job at a time (each job fans out internally).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobDeltas {
+    /// Fast-forward instructions executed.
+    pub ff_insts: u64,
+    /// Detailed intervals simulated fresh.
+    pub intervals_computed: u64,
+    /// Intervals served from the store.
+    pub intervals_from_store: u64,
+}
+
+impl JobDeltas {
+    /// Snapshot of the counters this struct tracks.
+    pub fn snapshot() -> JobDeltas {
+        let m = dca_obs::metrics();
+        JobDeltas {
+            ff_insts: m.ff_insts_total.get(),
+            intervals_computed: m.intervals_computed_total.get(),
+            intervals_from_store: m.intervals_from_store_total.get(),
+        }
+    }
+
+    /// Delta against an earlier snapshot.
+    pub fn since(&self, before: &JobDeltas) -> JobDeltas {
+        JobDeltas {
+            ff_insts: self.ff_insts - before.ff_insts,
+            intervals_computed: self.intervals_computed - before.intervals_computed,
+            intervals_from_store: self.intervals_from_store - before.intervals_from_store,
+        }
+    }
+
+    /// A warm result touched no simulator at all: nothing fast-
+    /// forwarded, nothing simulated in detail.
+    pub fn is_warm(&self) -> bool {
+        self.ff_insts == 0 && self.intervals_computed == 0
+    }
+}
+
+/// Builds an `EvResult` payload. `dedup` marks a subscriber that
+/// attached to another client's in-flight computation.
+pub fn result_payload(
+    job: u64,
+    figure: &dca_bench::figures::Figure,
+    deltas: &JobDeltas,
+    dedup: bool,
+    elapsed_ms: u64,
+) -> Vec<u8> {
+    Json::Obj(vec![
+        ("job".to_string(), Json::U64(job)),
+        ("figure".to_string(), Json::Str(figure.id.to_string())),
+        ("title".to_string(), Json::Str(figure.title.clone())),
+        ("body".to_string(), Json::Str(figure.body.clone())),
+        ("dedup".to_string(), Json::Bool(dedup)),
+        ("warm".to_string(), Json::Bool(deltas.is_warm())),
+        ("ff_insts".to_string(), Json::U64(deltas.ff_insts)),
+        (
+            "intervals_computed".to_string(),
+            Json::U64(deltas.intervals_computed),
+        ),
+        (
+            "intervals_from_store".to_string(),
+            Json::U64(deltas.intervals_from_store),
+        ),
+        ("elapsed_ms".to_string(), Json::U64(elapsed_ms)),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Builds an `EvError` payload.
+pub fn error_payload(job: Option<u64>, message: &str) -> Vec<u8> {
+    let mut members = Vec::new();
+    if let Some(j) = job {
+        members.push(("job".to_string(), Json::U64(j)));
+    }
+    members.push(("error".to_string(), Json::Str(message.to_string())));
+    Json::Obj(members).render().into_bytes()
+}
+
+/// Builds an `EvStats` payload from the live registry.
+pub fn stats_payload() -> Vec<u8> {
+    let m = dca_obs::metrics();
+    Json::Obj(vec![
+        ("requests".to_string(), Json::U64(m.serve_requests_total.get())),
+        ("dedup_hits".to_string(), Json::U64(m.serve_dedup_hits_total.get())),
+        ("results".to_string(), Json::U64(m.serve_results_total.get())),
+        (
+            "rejected_frames".to_string(),
+            Json::U64(m.serve_rejected_frames_total.get()),
+        ),
+        (
+            "cancelled_jobs".to_string(),
+            Json::U64(m.serve_cancelled_jobs_total.get()),
+        ),
+        ("clients".to_string(), Json::U64(m.serve_clients.get())),
+        ("queue_depth".to_string(), Json::U64(m.serve_queue_depth.get())),
+        ("bytes_in".to_string(), Json::U64(m.serve_bytes_in_total.get())),
+        ("bytes_out".to_string(), Json::U64(m.serve_bytes_out_total.get())),
+    ])
+    .render()
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_requests_share_a_key() {
+        let a = FigureRequest::parse(
+            br#"{"figure": "sampling", "args": ["--scale", "smoke", "--max-insts", "60000"]}"#,
+        )
+        .unwrap();
+        let b = FigureRequest::parse(
+            br#"{"figure": "sampling", "args": ["--max-insts", "60000", "--scale", "smoke"]}"#,
+        )
+        .unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key(), "flag order is not identity");
+        let c = FigureRequest::parse(
+            br#"{"figure": "sampling", "args": ["--scale", "smoke", "--max-insts", "50000"]}"#,
+        )
+        .unwrap();
+        assert_ne!(a.canonical_key(), c.canonical_key(), "budget is identity");
+        let d = FigureRequest::parse(br#"{"figure": "fig03", "args": ["--scale", "smoke", "--max-insts", "60000"]}"#)
+            .unwrap();
+        assert_ne!(a.canonical_key(), d.canonical_key(), "figure is identity");
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        for (payload, needle) in [
+            (&b"\xff\xfe"[..], "UTF-8"),
+            (br#"{"args": []}"#, "figure"),
+            (br#"{"figure": "nope"}"#, "unknown figure"),
+            (br#"{"figure": "sampling", "args": ["--bogus"]}"#, "unrecognised"),
+            (
+                br#"{"figure": "sampling", "args": ["--store-dir", "/tmp/x"]}"#,
+                "server-side",
+            ),
+        ] {
+            let err = FigureRequest::parse(payload).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let payload = FigureRequest::render_payload(
+            "sampling",
+            &["--scale".to_string(), "smoke".to_string()],
+        );
+        let req = FigureRequest::parse(&payload).unwrap();
+        assert_eq!(req.figure, "sampling");
+        assert_eq!(req.opts.scale.name(), "smoke");
+    }
+}

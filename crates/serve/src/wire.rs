@@ -1,0 +1,242 @@
+//! Frame layer of the serve protocol (DESIGN.md §13).
+//!
+//! Every message on a serve connection is one frame:
+//!
+//! ```text
+//! +--------+------+----------+-----------+-------------+
+//! | magic  | kind | len (LE) | payload   | fnv64 (LE)  |
+//! | 8 B    | 1 B  | 4 B      | len bytes | 8 B         |
+//! +--------+------+----------+-----------+-------------+
+//! ```
+//!
+//! The magic pins the protocol revision (`DCASERV1`), the checksum is
+//! the store's FNV-64 ([`dca_store::file::fnv64`]) over the payload
+//! bytes, and `len` is bounded by [`MAX_PAYLOAD`] so a corrupt or
+//! hostile length prefix cannot make the server allocate gigabytes.
+//! Payloads are JSON documents rendered by `dca_obs::json` — the frame
+//! layer itself never interprets them.
+//!
+//! Error taxonomy matters more than throughput here: a clean
+//! end-of-stream *between* frames is [`WireError::Closed`] (normal
+//! disconnect), while every other failure — truncated frame, wrong
+//! magic, oversized length, checksum mismatch — names what broke so
+//! the server can count it and drop exactly one connection.
+
+use std::io::{Read, Write};
+
+use dca_store::file::fnv64;
+
+/// First eight bytes of every frame.
+pub const MAGIC: [u8; 8] = *b"DCASERV1";
+
+/// Upper bound on a frame payload. Figure bodies are a few KiB; 8 MiB
+/// leaves two orders of magnitude of headroom while keeping a garbage
+/// length prefix harmless.
+pub const MAX_PAYLOAD: u32 = 8 * 1024 * 1024;
+
+/// Fixed bytes around a payload (magic + kind + len + checksum).
+pub const FRAME_OVERHEAD: u64 = 8 + 1 + 4 + 8;
+
+/// Frame kinds. Requests (client → server) occupy the low half,
+/// events (server → client) have the high bit set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Compute (or serve warm) one paper figure; payload names the
+    /// figure and its harness options.
+    ReqFigure = 0x01,
+    /// Liveness probe; the payload is echoed back in an [`EvPong`].
+    ///
+    /// [`EvPong`]: FrameKind::EvPong
+    ReqPing = 0x02,
+    /// Ask for the server's counters (requests, dedup hits, queue
+    /// depth, bytes per direction).
+    ReqStats = 0x03,
+    /// Ask the server to shut down cleanly.
+    ReqShutdown = 0x04,
+    /// Sampling-round progress for a subscribed job.
+    EvProgress = 0x81,
+    /// Final figure report for a subscribed job.
+    EvResult = 0x82,
+    /// Request-level failure (unknown figure, bad options, cancelled).
+    EvError = 0x83,
+    /// Reply to [`ReqPing`](FrameKind::ReqPing).
+    EvPong = 0x84,
+    /// Reply to [`ReqStats`](FrameKind::ReqStats).
+    EvStats = 0x85,
+}
+
+impl FrameKind {
+    /// Maps a wire byte back to a kind; `None` for bytes no revision
+    /// of the protocol has assigned.
+    pub fn from_byte(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::ReqFigure,
+            0x02 => FrameKind::ReqPing,
+            0x03 => FrameKind::ReqStats,
+            0x04 => FrameKind::ReqShutdown,
+            0x81 => FrameKind::EvProgress,
+            0x82 => FrameKind::EvResult,
+            0x83 => FrameKind::EvError,
+            0x84 => FrameKind::EvPong,
+            0x85 => FrameKind::EvStats,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything that can go wrong while reading one frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Clean end-of-stream at a frame boundary: the peer hung up.
+    Closed,
+    /// The transport failed mid-frame (including truncation).
+    Io(String),
+    /// The first eight bytes were not [`MAGIC`].
+    BadMagic,
+    /// The length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload arrived intact-length but failed its checksum.
+    BadChecksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "i/o mid-frame: {e}"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::Oversized(n) => {
+                write!(f, "length prefix {n} exceeds {MAX_PAYLOAD}")
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+/// Writes one frame. The kind byte is trusted (it comes from our own
+/// enum); the checksum is computed here.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    w.write_all(&MAGIC)?;
+    w.write_all(&[kind as u8])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv64(payload).to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame, returning the raw kind byte and the payload. The
+/// kind is returned raw (not as [`FrameKind`]) so the server can
+/// reject unknown kinds *after* the frame was consumed — an unknown
+/// kind leaves the stream synchronised, unlike the other errors.
+pub fn read_frame(r: &mut impl Read) -> Result<(u8, Vec<u8>), WireError> {
+    let mut magic = [0u8; 8];
+    // A clean EOF before any magic byte is a normal hang-up; EOF
+    // anywhere later is a mid-frame disconnect.
+    match r.read(&mut magic) {
+        Ok(0) => return Err(WireError::Closed),
+        Ok(n) => read_exact_from(r, &mut magic[n..])?,
+        Err(e) => return Err(WireError::Io(e.to_string())),
+    }
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let mut head = [0u8; 5];
+    read_exact_from(r, &mut head)?;
+    let kind = head[0];
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_from(r, &mut payload)?;
+    let mut sum = [0u8; 8];
+    read_exact_from(r, &mut sum)?;
+    if u64::from_le_bytes(sum) != fnv64(&payload) {
+        return Err(WireError::BadChecksum);
+    }
+    Ok((kind, payload))
+}
+
+fn read_exact_from(r: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| WireError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: FrameKind, payload: &[u8]) -> (u8, Vec<u8>) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind, payload).unwrap();
+        assert_eq!(buf.len() as u64, FRAME_OVERHEAD + payload.len() as u64);
+        read_frame(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for (kind, payload) in [
+            (FrameKind::ReqPing, &b""[..]),
+            (FrameKind::ReqFigure, br#"{"figure":"sampling"}"#),
+            (FrameKind::EvResult, &[0u8, 255, 7][..]),
+        ] {
+            let (k, p) = roundtrip(kind, payload);
+            assert_eq!(FrameKind::from_byte(k), Some(kind));
+            assert_eq!(p, payload);
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed_but_mid_frame_is_io() {
+        assert!(matches!(read_frame(&mut &b""[..]), Err(WireError::Closed)));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::ReqPing, b"abc").unwrap();
+        for cut in 1..buf.len() {
+            match read_frame(&mut &buf[..cut]) {
+                Err(WireError::Io(_)) => {}
+                other => panic!("cut at {cut}: expected Io, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_named() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::ReqPing, b"abcd").unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::BadMagic)
+        ));
+
+        let mut bad = buf.clone();
+        bad[12] = 0xff; // length prefix high byte: far past MAX_PAYLOAD
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::Oversized(_))
+        ));
+
+        let mut bad = buf.clone();
+        bad[14] ^= 0x01; // one payload byte
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(WireError::BadChecksum)
+        ));
+
+        // Unknown kind byte still parses as a frame (stream stays in
+        // sync); rejection is the protocol layer's job.
+        let mut odd = buf.clone();
+        odd[8] = 0x7f;
+        let (k, p) = read_frame(&mut odd.as_slice()).unwrap();
+        assert_eq!(k, 0x7f);
+        assert_eq!(p, b"abcd");
+        assert!(FrameKind::from_byte(k).is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! End-to-end protocol robustness and serving semantics over real
+//! sockets (ISSUE 9, satellite 4): malformed frames, oversized length
+//! prefixes, mid-frame disconnects and checksum-mismatch frames must
+//! all be rejected without panicking the server or poisoning other
+//! clients' sessions — proven by keeping one healthy client connected
+//! across every abuse and pinging it afterwards.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+use dca_serve::wire::{self, FrameKind, WireError, MAGIC};
+use dca_serve::{run_client, serve_with, ClientOpts, Mode, ServeOpts};
+
+/// The per-job metric attribution (`JobDeltas`) is exact because one
+/// daemon executes one job at a time — but the test harness hosts
+/// several daemons in one process sharing one metrics registry, so
+/// tests that start a server take this lock to keep the attribution
+/// (and the counters the stats assertions read) honest.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Starts a daemon on an ephemeral TCP port; returns the resolved
+/// address and the serve thread (joined by [`shutdown`]).
+fn start(store_dir: Option<PathBuf>) -> (String, JoinHandle<Result<(), String>>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let opts = ServeOpts {
+        listen: "127.0.0.1:0".to_string(),
+        store_dir,
+        lock_wait_secs: None,
+        stale_secs: None,
+    };
+    let handle = std::thread::spawn(move || {
+        serve_with(opts, |addr| {
+            let _ = tx.send(addr.to_string());
+        })
+    });
+    (rx.recv().expect("server bound"), handle)
+}
+
+fn shutdown(addr: &str, handle: JoinHandle<Result<(), String>>) {
+    run_client(&client_opts(addr, Mode::Shutdown)).expect("shutdown accepted");
+    handle.join().expect("serve thread").expect("clean exit");
+}
+
+fn client_opts(addr: &str, mode: Mode) -> ClientOpts {
+    ClientOpts {
+        addr: addr.to_string(),
+        mode,
+        out: None,
+        json_out: None,
+        quiet: true,
+    }
+}
+
+fn ping(addr: &str) {
+    run_client(&client_opts(addr, Mode::Ping)).expect("ping");
+}
+
+/// Reads frames until the peer closes, returning the raw kinds seen.
+fn drain_kinds(conn: &mut TcpStream) -> Vec<u8> {
+    let mut kinds = Vec::new();
+    loop {
+        match wire::read_frame(conn) {
+            Ok((k, _)) => kinds.push(k),
+            Err(_) => return kinds,
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_poison_only_their_own_session() {
+    let _serial = serial();
+    let (addr, handle) = start(None);
+    // The canary: a healthy session that must survive every abuse.
+    let mut healthy = TcpStream::connect(&addr).unwrap();
+    wire::write_frame(&mut healthy, FrameKind::ReqPing, b"canary").unwrap();
+    let (k, p) = wire::read_frame(&mut healthy).unwrap();
+    assert_eq!(FrameKind::from_byte(k), Some(FrameKind::EvPong));
+    assert_eq!(p, b"canary");
+
+    // 1. Garbage magic: the server reports the framing error and
+    //    closes that connection.
+    let mut bad = TcpStream::connect(&addr).unwrap();
+    bad.write_all(b"NOTDCA!!xxxxxxxxxxxxxxxxxxxx").unwrap();
+    bad.flush().unwrap();
+    let kinds = drain_kinds(&mut bad);
+    assert_eq!(kinds, vec![FrameKind::EvError as u8], "bad magic → error, close");
+
+    // 2. Oversized length prefix: rejected before any allocation.
+    let mut bad = TcpStream::connect(&addr).unwrap();
+    bad.write_all(&MAGIC).unwrap();
+    bad.write_all(&[FrameKind::ReqPing as u8]).unwrap();
+    bad.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    bad.flush().unwrap();
+    let kinds = drain_kinds(&mut bad);
+    assert_eq!(kinds, vec![FrameKind::EvError as u8], "oversized → error, close");
+
+    // 3. Mid-frame disconnect: half a header, then hang up.
+    let mut bad = TcpStream::connect(&addr).unwrap();
+    bad.write_all(&MAGIC[..5]).unwrap();
+    bad.flush().unwrap();
+    drop(bad);
+
+    // 4. Checksum mismatch: a full frame whose payload was corrupted
+    //    in flight.
+    let mut buf = Vec::new();
+    wire::write_frame(&mut buf, FrameKind::ReqPing, b"corrupt-me").unwrap();
+    let payload_start = (wire::FRAME_OVERHEAD - 8) as usize;
+    buf[payload_start] ^= 0xff;
+    let mut bad = TcpStream::connect(&addr).unwrap();
+    bad.write_all(&buf).unwrap();
+    bad.flush().unwrap();
+    let kinds = drain_kinds(&mut bad);
+    assert_eq!(kinds, vec![FrameKind::EvError as u8], "bad checksum → error, close");
+
+    // 5. Unknown frame kind: the frame itself parsed, so the session
+    //    stays usable after the rejection.
+    let mut odd = TcpStream::connect(&addr).unwrap();
+    let mut frame = Vec::new();
+    wire::write_frame(&mut frame, FrameKind::ReqPing, b"x").unwrap();
+    frame[8] = 0x7f; // unassigned kind; checksum covers only the payload
+    odd.write_all(&frame).unwrap();
+    odd.flush().unwrap();
+    let (k, _) = wire::read_frame(&mut odd).unwrap();
+    assert_eq!(FrameKind::from_byte(k), Some(FrameKind::EvError));
+    wire::write_frame(&mut odd, FrameKind::ReqPing, b"still here").unwrap();
+    let (k, p) = wire::read_frame(&mut odd).unwrap();
+    assert_eq!(FrameKind::from_byte(k), Some(FrameKind::EvPong));
+    assert_eq!(p, b"still here");
+
+    // 6. A semantically invalid request (unknown figure) is an
+    //    application error, not a session error.
+    let mut sem = TcpStream::connect(&addr).unwrap();
+    wire::write_frame(
+        &mut sem,
+        FrameKind::ReqFigure,
+        br#"{"figure": "not-a-figure"}"#,
+    )
+    .unwrap();
+    let (k, _) = wire::read_frame(&mut sem).unwrap();
+    assert_eq!(FrameKind::from_byte(k), Some(FrameKind::EvError));
+    wire::write_frame(&mut sem, FrameKind::ReqPing, b"ok").unwrap();
+    let (k, _) = wire::read_frame(&mut sem).unwrap();
+    assert_eq!(FrameKind::from_byte(k), Some(FrameKind::EvPong));
+
+    // After all of it the canary still answers.
+    wire::write_frame(&mut healthy, FrameKind::ReqPing, b"survived").unwrap();
+    let (k, p) = wire::read_frame(&mut healthy).unwrap();
+    assert_eq!(FrameKind::from_byte(k), Some(FrameKind::EvPong));
+    assert_eq!(p, b"survived");
+    drop(healthy);
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn concurrent_identical_requests_return_identical_bodies() {
+    let _serial = serial();
+    let (addr, handle) = start(None);
+    let fetch = |addr: String| -> String {
+        let dir = std::env::temp_dir().join(format!(
+            "dca-serve-e2e-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("body.md");
+        run_client(&ClientOpts {
+            addr,
+            mode: Mode::Figure {
+                figure: "fig03".to_string(),
+                args: ["--scale", "smoke", "--max-insts", "60000"]
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect(),
+            },
+            out: Some(out.clone()),
+            json_out: None,
+            quiet: true,
+        })
+        .expect("figure request");
+        let body = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        body
+    };
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || fetch(addr))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(!bodies[0].is_empty());
+    assert!(
+        bodies.iter().all(|b| b == &bodies[0]),
+        "all clients get the byte-identical report"
+    );
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn warm_restart_serves_from_the_store_with_zero_fast_forward() {
+    let _serial = serial();
+    let base = std::env::temp_dir().join(format!("dca-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let store = base.join("store");
+    let args: Vec<String> = [
+        "--scale", "smoke", "--max-insts", "60000", "--sample-period", "10000",
+        "--sample-warmup", "8000", "--sample-interval", "6000", "--target-stderr", "0",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let fetch = |addr: &str, tag: &str| -> (String, dca_obs::json::Json) {
+        let out = base.join(format!("{tag}.md"));
+        let summary = base.join(format!("{tag}.json"));
+        run_client(&ClientOpts {
+            addr: addr.to_string(),
+            mode: Mode::Figure {
+                figure: "sampling".to_string(),
+                args: args.clone(),
+            },
+            out: Some(out.clone()),
+            json_out: Some(summary.clone()),
+            quiet: true,
+        })
+        .expect("figure request");
+        let body = std::fs::read_to_string(&out).unwrap();
+        let doc = dca_obs::json::parse(&std::fs::read_to_string(&summary).unwrap()).unwrap();
+        (body, doc)
+    };
+
+    let (addr, handle) = start(Some(store.clone()));
+    let (cold_body, cold) = fetch(&addr, "cold");
+    shutdown(&addr, handle);
+    assert!(
+        cold.get("ff_insts")
+            .and_then(dca_obs::json::Json::as_u64)
+            .unwrap()
+            > 0,
+        "cold run fast-forwards"
+    );
+
+    // A fresh daemon on the same store: no in-memory caches survive
+    // the restart, so a warm result can only come from the store.
+    let (addr, handle) = start(Some(store));
+    let (warm_body, warm) = fetch(&addr, "warm");
+    shutdown(&addr, handle);
+    let get = |d: &dca_obs::json::Json, k: &str| d.get(k).and_then(dca_obs::json::Json::as_u64);
+    assert_eq!(get(&warm, "ff_insts"), Some(0), "zero fast-forward instructions");
+    assert_eq!(get(&warm, "intervals_computed"), Some(0), "zero recompute");
+    assert!(
+        get(&warm, "intervals_from_store").unwrap() > 0,
+        "intervals replayed from the store"
+    );
+    assert_eq!(warm_body, cold_body, "warm report is byte-identical");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn client_disconnect_mid_job_leaves_the_server_healthy() {
+    let _serial = serial();
+    let (addr, handle) = start(None);
+    // Ask for real work, then vanish without reading the result.
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    wire::write_frame(
+        &mut conn,
+        FrameKind::ReqFigure,
+        br#"{"figure": "fig03", "args": ["--scale", "smoke", "--max-insts", "60000"]}"#,
+    )
+    .unwrap();
+    drop(conn);
+    // The server either cancels the orphaned job or finishes it into
+    // the void; a new client must get full service either way.
+    ping(&addr);
+    let body_client = client_opts(&addr, Mode::Figure {
+        figure: "fig03".to_string(),
+        args: vec!["--scale".to_string(), "smoke".to_string(),
+                   "--max-insts".to_string(), "60000".to_string()],
+    });
+    run_client(&body_client).expect("full service after a mid-job disconnect");
+    shutdown(&addr, handle);
+}
+
+/// The wire module's reader must never panic on arbitrary prefixes of
+/// a valid frame or on arbitrary corrupt bytes (the server-side loop
+/// relies on every failure being a typed `WireError`).
+#[test]
+fn reader_is_total_over_corrupt_input() {
+    let mut frame = Vec::new();
+    wire::write_frame(&mut frame, FrameKind::ReqFigure, br#"{"figure":"fig03"}"#).unwrap();
+    for cut in 0..frame.len() {
+        match wire::read_frame(&mut &frame[..cut]) {
+            Err(WireError::Closed) if cut == 0 => {}
+            Err(WireError::Io(_)) if cut > 0 => {}
+            other => panic!("prefix {cut}: unexpected {other:?}"),
+        }
+    }
+    // Flip every single byte in turn: the result is a typed error or
+    // (for kind-byte flips) a parsed frame — never a panic.
+    for i in 0..frame.len() {
+        let mut bad = frame.clone();
+        bad[i] ^= 0xa5;
+        let _ = wire::read_frame(&mut bad.as_slice());
+    }
+}

@@ -299,11 +299,18 @@ pub struct FsckReport {
 /// handle is `Send + Sync`, so one `Store` can be shared across the
 /// Lab's worker threads; independent `Store`s (and processes) sharing
 /// one directory coordinate through shard locks and atomic renames.
-#[derive(Debug)]
+///
+/// The handle is also `Clone` — the read-mostly concurrent access
+/// path: a long-lived service (`dca serve`) opens the directory once
+/// (paying the startup sweep/migration once) and hands cheap clones,
+/// which share the same instrumented I/O layer and settings, to every
+/// `Lab` it constructs.
+#[derive(Clone, Debug)]
 pub struct Store {
     root: PathBuf,
     io: Arc<dyn StoreIo>,
     lock_wait: Duration,
+    stale_after: Duration,
 }
 
 impl Store {
@@ -325,6 +332,7 @@ impl Store {
             root: root.into(),
             io: Arc::new(io::InstrumentedIo::new(io)),
             lock_wait: Duration::from_secs(120),
+            stale_after: lock::DEFAULT_STALE_AFTER,
         };
         store.startup();
         store
@@ -336,6 +344,25 @@ impl Store {
     pub fn with_lock_wait(mut self, wait: Duration) -> Store {
         self.lock_wait = wait;
         self
+    }
+
+    /// Overrides the staleness threshold — the age past which a lock
+    /// (or orphaned temp file) whose owner's liveness cannot be
+    /// determined is presumed abandoned. One knob governs both (see
+    /// [`lock::DEFAULT_STALE_AFTER`]); it applies to every lock
+    /// decision and maintenance sweep performed through this handle
+    /// after the call (the open-time sweep runs with the conservative
+    /// default). CI and tests set it low to reclaim artefacts of
+    /// deliberately killed writers promptly.
+    pub fn with_stale_after(mut self, stale_after: Duration) -> Store {
+        self.stale_after = stale_after;
+        self
+    }
+
+    /// The staleness threshold in effect (see
+    /// [`Store::with_stale_after`]).
+    pub fn stale_after(&self) -> Duration {
+        self.stale_after
     }
 
     /// The bound for lock-contention retry loops (see
@@ -370,7 +397,7 @@ impl Store {
             self.root.join(FileKind::Checkpoints.dir()),
             self.root.join(FileKind::Results.dir()),
         ] {
-            shard::sweep_temps(&self.io, &dir);
+            shard::sweep_temps(&self.io, &dir, self.stale_after);
         }
         let rep = shard::migrate_legacy(&self.io, &self.root);
         if rep.migrated > 0 || rep.skipped > 0 {
@@ -394,7 +421,7 @@ impl Store {
                 return LockAttempt::Unavailable(e.to_string());
             }
         }
-        let attempt = lock::try_acquire(&self.io, &path, lock::DEFAULT_STALE_AFTER);
+        let attempt = lock::try_acquire(&self.io, &path, self.stale_after);
         if matches!(attempt, LockAttempt::Busy) {
             dca_obs::metrics().lock_busy_polls_total.inc();
         }
@@ -403,7 +430,7 @@ impl Store {
 
     /// `true` when a live process holds the writer lock for `name`.
     fn live_locked(&self, name: &str) -> bool {
-        lock::holder(&self.io, &self.lock_path(name), lock::DEFAULT_STALE_AFTER)
+        lock::holder(&self.io, &self.lock_path(name), self.stale_after)
             .map(|(_, live)| live)
             .unwrap_or(false)
     }
@@ -687,7 +714,7 @@ impl Store {
                     .file_name()
                     .map(|n| n.to_string_lossy().into_owned())
                     .unwrap_or_default();
-                match lock::holder(&self.io, &path, lock::DEFAULT_STALE_AFTER) {
+                match lock::holder(&self.io, &path, self.stale_after) {
                     Some((info, live)) => {
                         if live {
                             s.live_locks += 1;
@@ -879,7 +906,7 @@ impl Store {
             self.root.join(FileKind::Checkpoints.dir()),
             self.root.join(FileKind::Results.dir()),
         ] {
-            let (n, bytes) = shard::sweep_temps(&self.io, &dir);
+            let (n, bytes) = shard::sweep_temps(&self.io, &dir, self.stale_after);
             report.removed += n;
             report.freed_bytes += bytes;
         }
@@ -894,7 +921,7 @@ impl Store {
         };
         let mut removed = 0;
         for (path, _) in locks {
-            let live = lock::holder(&self.io, &path, lock::DEFAULT_STALE_AFTER)
+            let live = lock::holder(&self.io, &path, self.stale_after)
                 .map(|(_, live)| live)
                 .unwrap_or(false);
             if !live && self.io.remove_file(&path).is_ok() {
@@ -916,7 +943,7 @@ impl Store {
             self.root.join(FileKind::Checkpoints.dir()),
             self.root.join(FileKind::Results.dir()),
         ] {
-            report.temps_removed += shard::sweep_temps(&self.io, &dir).0;
+            report.temps_removed += shard::sweep_temps(&self.io, &dir, self.stale_after).0;
         }
         report.stale_locks_removed = self.sweep_stale_locks();
         report.reports = self.verify();

@@ -24,9 +24,13 @@ use std::time::{Duration, SystemTime};
 
 use crate::io::StoreIo;
 
-/// Age past which a lock whose owner's liveness cannot be determined
-/// is presumed abandoned (the pid-liveness probe is authoritative when
-/// it works; this bounds the damage when it does not).
+/// Age past which an artefact whose owner's liveness cannot be
+/// determined is presumed abandoned (the pid-liveness probe is
+/// authoritative when it works; this bounds the damage when it does
+/// not). This is the **single** staleness threshold of the store: lock
+/// takeover and the orphaned-temp sweep ([`crate::shard::sweep_temps`])
+/// both use it, and [`crate::Store::with_stale_after`] overrides both
+/// together — they cannot drift apart.
 pub const DEFAULT_STALE_AFTER: Duration = Duration::from_secs(600);
 
 /// Magic first token of every lock file.

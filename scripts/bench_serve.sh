@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Serve-mode benchmark (ISSUE 9 acceptance): starts the `dca serve`
+# daemon on a unix socket, fans CLIENTS concurrent clients at the
+# same figure, and asserts
+#   (a) every client's report is byte-identical,
+#   (b) the daemon computed ONCE — dedup_hits == CLIENTS-1,
+#   (c) the daemon shuts down cleanly: exit 0, socket unlinked, and
+#       no leaked lock files or .tmp-* temps in the store,
+#   (d) a restarted daemon over the same store serves the figure
+#       warm — zero fast-forward instructions, zero recomputed
+#       intervals, byte-identical body.
+# Records the cold and warm request latencies in BENCH_serve.json.
+#
+# Usage: scripts/bench_serve.sh [output.json]
+#   DCA_BIN  dca binary          (default target/release/dca)
+#   SCALE    figure scale        (default paper)
+#   CLIENTS  concurrent clients  (default 4)
+set -euo pipefail
+
+OUT="${1:-BENCH_serve.json}"
+BIN="${DCA_BIN:-target/release/dca}"
+SCALE="${SCALE:-paper}"
+N="${CLIENTS:-4}"
+TMP="$(mktemp -d)"
+SOCK="$TMP/dca.sock"
+STORE="$TMP/store"
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+[ -x "$BIN" ] || { echo "error: $BIN not built (cargo build --release -p dca-cli)" >&2; exit 1; }
+
+start_daemon() {
+  "$BIN" serve --listen "$SOCK" --store-dir "$STORE" -q &
+  SRV=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return
+    sleep 0.1
+  done
+  echo "FAIL: daemon did not bind $SOCK" >&2
+  exit 1
+}
+
+stop_daemon() {
+  "$BIN" client --addr "$SOCK" --shutdown -q
+  if ! wait "$SRV"; then
+    echo "FAIL: daemon exited non-zero" >&2
+    exit 1
+  fi
+  SRV=""
+  if [ -e "$SOCK" ]; then
+    echo "FAIL: daemon left its socket file behind" >&2
+    exit 1
+  fi
+}
+
+# ---- cold: N concurrent clients, one computation ---------------------
+start_daemon
+T0=$(date +%s%N)
+pids=()
+for i in $(seq 1 "$N"); do
+  "$BIN" client --addr "$SOCK" --figure sampling \
+    --out "$TMP/cold-$i.md" --json-out "$TMP/cold-$i.json" -q \
+    -- --scale "$SCALE" &
+  pids+=("$!")
+done
+for p in "${pids[@]}"; do wait "$p"; done
+T1=$(date +%s%N)
+
+# (a) every subscriber saw the same bytes.
+for i in $(seq 2 "$N"); do
+  if ! cmp -s "$TMP/cold-1.md" "$TMP/cold-$i.md"; then
+    echo "FAIL: client $i's report differs from client 1's" >&2
+    diff "$TMP/cold-1.md" "$TMP/cold-$i.md" >&2 || true
+    exit 1
+  fi
+done
+
+# (b) one computation: the other N-1 requests coalesced onto it.
+DEDUP=$("$BIN" client --addr "$SOCK" --stats \
+  | grep -o '"dedup_hits": [0-9]*' | grep -o '[0-9]*$')
+if [ "$DEDUP" -ne $((N - 1)) ]; then
+  echo "FAIL: expected $((N - 1)) dedup hits for $N identical requests, got $DEDUP" >&2
+  exit 1
+fi
+
+# (c) clean shutdown, nothing leaked in the store.
+stop_daemon
+LEAKED=$(find "$STORE" \( -name '*.lock' -o -name '.tmp-*' \) 2>/dev/null | wc -l)
+if [ "$LEAKED" -ne 0 ]; then
+  echo "FAIL: $LEAKED leaked lock/temp file(s) after shutdown:" >&2
+  find "$STORE" \( -name '*.lock' -o -name '.tmp-*' \) >&2
+  exit 1
+fi
+
+# ---- warm: a restarted daemon serves from the store ------------------
+start_daemon
+T2=$(date +%s%N)
+"$BIN" client --addr "$SOCK" --figure sampling \
+  --out "$TMP/warm.md" --json-out "$TMP/warm.json" -q \
+  -- --scale "$SCALE"
+T3=$(date +%s%N)
+stop_daemon
+
+# (d) warm means warm: no fast-forward, no recompute, same bytes.
+for want in '"warm": true' '"ff_insts": 0' '"intervals_computed": 0'; do
+  if ! grep -qF "$want" "$TMP/warm.json"; then
+    echo "FAIL: warm request summary lacks $want:" >&2
+    cat "$TMP/warm.json" >&2
+    exit 1
+  fi
+done
+if ! cmp -s "$TMP/cold-1.md" "$TMP/warm.md"; then
+  echo "FAIL: warm report differs from the cold one" >&2
+  diff "$TMP/cold-1.md" "$TMP/warm.md" >&2 || true
+  exit 1
+fi
+
+read -r COLD_MS WARM_MS <<<"$(awk -v c=$((T1 - T0)) -v w=$((T3 - T2)) \
+  'BEGIN { printf "%.1f %.1f", c / 1e6, w / 1e6 }')"
+cat >"$OUT" <<JSON
+{
+  "benchmark": "dca serve (figure sampling --scale $SCALE, $N concurrent clients)",
+  "clients": $N,
+  "cold_latency_ms": $COLD_MS,
+  "warm_latency_ms": $WARM_MS,
+  "dedup_hits": $DEDUP,
+  "reports_byte_identical": true,
+  "warm_zero_recompute": true,
+  "clean_shutdown": true
+}
+JSON
+cat "$OUT"
+echo "OK: $N clients, 1 computation ($DEDUP coalesced), warm restart served with zero recompute"
