@@ -107,6 +107,14 @@ pub struct Figure {
 }
 
 impl Figure {
+    /// The full report document — the exact bytes [`Figure::save`]
+    /// writes to `<id>.md`. Serve fronts return this same rendering,
+    /// so a report fetched over the wire is byte-identical to one
+    /// generated offline by `dca figures`.
+    pub fn document(&self) -> String {
+        format!("# {}\n\n{}", self.title, self.body)
+    }
+
     /// Writes the figure to `<dir>/<id>.md` (and any timing footer to
     /// `<dir>/<id>.timing`) and returns the report path.
     ///
@@ -116,7 +124,7 @@ impl Figure {
     pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.md", self.id));
-        std::fs::write(&path, format!("# {}\n\n{}", self.title, self.body))?;
+        std::fs::write(&path, self.document())?;
         let timing_path = dir.join(format!("{}.timing", self.id));
         match &self.timing {
             Some(timing) => std::fs::write(timing_path, timing)?,

@@ -18,7 +18,7 @@ pub mod figures;
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -391,6 +391,25 @@ impl Default for RunOpts {
         }
     }
 }
+
+/// Flags of the [`RunOpts::from_args`] grammar that configure the
+/// *process* — persistence placement, lock patience, observability
+/// sinks, verbosity — rather than the simulation. A serve daemon
+/// refuses them on the wire (they belong to whoever started the
+/// daemon), and both serve fronts share this one table so the
+/// refusal list cannot drift from the parser. Each entry is
+/// `(flag, takes_value)`.
+pub const SERVER_SIDE_FLAGS: &[(&str, bool)] = &[
+    ("--store-dir", true),
+    ("--no-store", false),
+    ("--lock-wait-secs", true),
+    ("--stale-secs", true),
+    ("--trace-out", true),
+    ("--metrics-out", true),
+    ("--verbose", false),
+    ("--quiet", false),
+    ("-q", false),
+];
 
 impl RunOpts {
     /// Parses harness options from command-line arguments
@@ -827,6 +846,56 @@ pub struct Lab {
     /// Per-round progress callback ([`Lab::set_round_hook`]): invoked
     /// on the driving thread before each sampling round fans out.
     round_hook: Option<RoundHook>,
+    /// Work attribution tally ([`Lab::work`]). Shared (same `Arc`)
+    /// with labs that [`Lab::adopt_from`] this one, so side
+    /// measurements a figure spawns internally are attributed to the
+    /// same logical job.
+    tally: Arc<WorkTally>,
+}
+
+/// Atomic work counters owned by one [`Lab`] (and the labs adopted
+/// from it). Unlike the process-wide metrics registry, these
+/// attribute work to *one lab*, which is what makes per-job deltas
+/// exact when a serve dispatcher runs several jobs concurrently.
+#[derive(Debug, Default)]
+struct WorkTally {
+    ff_insts: AtomicU64,
+    intervals_computed: AtomicU64,
+    intervals_from_store: AtomicU64,
+    straight_runs: AtomicU64,
+}
+
+/// Snapshot of a lab's work counters ([`Lab::work`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkCounts {
+    /// Fast-forward instructions executed (0 when every checkpoint
+    /// stream came from the store).
+    pub ff_insts: u64,
+    /// Sample intervals simulated in detail.
+    pub intervals_computed: u64,
+    /// Sample intervals served from the store.
+    pub intervals_from_store: u64,
+    /// Straight (unsampled) detailed passes executed.
+    pub straight_runs: u64,
+}
+
+impl WorkCounts {
+    /// Component-wise delta against an earlier snapshot.
+    pub fn since(&self, before: &WorkCounts) -> WorkCounts {
+        WorkCounts {
+            ff_insts: self.ff_insts - before.ff_insts,
+            intervals_computed: self.intervals_computed - before.intervals_computed,
+            intervals_from_store: self.intervals_from_store - before.intervals_from_store,
+            straight_runs: self.straight_runs - before.straight_runs,
+        }
+    }
+
+    /// Did this span of work touch a simulator at all? A warm span
+    /// fast-forwarded nothing and simulated nothing — every result
+    /// came from the store or a memo.
+    pub fn is_warm(&self) -> bool {
+        self.ff_insts == 0 && self.intervals_computed == 0 && self.straight_runs == 0
+    }
 }
 
 /// A per-round progress callback (see [`Lab::set_round_hook`]).
@@ -874,6 +943,22 @@ impl Lab {
             store,
             cancel: None,
             round_hook: None,
+            tally: Arc::new(WorkTally::default()),
+        }
+    }
+
+    /// Snapshot of the work this lab (and every lab adopted from it)
+    /// has performed: fast-forward instructions, intervals computed
+    /// fresh vs served from the store, straight detailed passes.
+    /// Deltas of two snapshots attribute work to a span exactly, even
+    /// while other labs run concurrently in the same process — this
+    /// is what the serve dispatcher reports per job.
+    pub fn work(&self) -> WorkCounts {
+        WorkCounts {
+            ff_insts: self.tally.ff_insts.load(Ordering::Relaxed),
+            intervals_computed: self.tally.intervals_computed.load(Ordering::Relaxed),
+            intervals_from_store: self.tally.intervals_from_store.load(Ordering::Relaxed),
+            straight_runs: self.tally.straight_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -1153,6 +1238,10 @@ impl Lab {
         if self.store.is_none() {
             self.store = other.store.clone();
         }
+        // Work done by this side lab counts against the adopting
+        // job's tally: "warm" must keep meaning "zero simulation
+        // anywhere in the figure", side measurements included.
+        self.tally = Arc::clone(&other.tally);
     }
 
     fn bench_name(bench: &str) -> &'static str {
@@ -1230,11 +1319,13 @@ impl Lab {
         let max_insts = self.opts.max_insts;
         let cfgs: Vec<SimConfig> = todo.iter().map(|&(_, m, _)| self.config_of(m)).collect();
         let workloads = &self.workloads;
+        let tally = &self.tally;
         let jobs: Vec<usize> = (0..todo.len()).collect();
         let results = Self::fan_out(&jobs, |&i| {
             let (bench, machine, scheme) = todo[i];
             let w = &workloads[bench];
             let stats = Self::simulate(w, &cfgs[i], scheme, max_insts);
+            tally.straight_runs.fetch_add(1, Ordering::Relaxed);
             (Self::cache_key(bench, machine, scheme), stats)
         });
         self.cache.extend(results);
@@ -1370,6 +1461,7 @@ impl Lab {
                 self.ff_info.insert(bench, info);
                 self.ffs.insert(bench, ff);
             }
+            self.tally.ff_insts.fetch_add(ff_executed, Ordering::Relaxed);
             if ff_executed > 0 && ff_secs > 0.0 {
                 dca_obs::metrics()
                     .ff_insts_per_sec
@@ -1427,6 +1519,9 @@ impl Lab {
                         let m = dca_obs::metrics();
                         m.store_hits_total.inc();
                         m.intervals_from_store_total.add(outcomes.len() as u64);
+                        self.tally
+                            .intervals_from_store
+                            .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
                     }
                     Err(e) if e.is_not_found() => {
                         dca_obs::metrics().store_misses_total.inc();
@@ -1508,6 +1603,7 @@ impl Lab {
             let round_t0 = Instant::now();
             let workloads = &self.workloads;
             let ffs = &self.ffs;
+            let tally = &self.tally;
             let results = Self::fan_out(&batch, |&(i, idx)| {
                 let (bench, machine, scheme) = todo[i];
                 let _span = dca_obs::span("lab", "lab.interval")
@@ -1556,6 +1652,7 @@ impl Lab {
                 let detailed_secs = t1.elapsed().as_secs_f64();
                 let m = dca_obs::metrics();
                 m.intervals_computed_total.inc();
+                tally.intervals_computed.fetch_add(1, Ordering::Relaxed);
                 m.warm_insts_total.add(warmed);
                 m.interval_ns.record((detailed_secs * 1e9) as u64);
                 (
@@ -1709,22 +1806,35 @@ impl Lab {
     /// Maps `f` over `items` on scoped worker threads (work-stealing
     /// via a shared atomic index) and returns the results; their order
     /// is unspecified. Runs inline when a single worker suffices.
+    ///
+    /// Worker threads are drawn from the process-wide budget
+    /// ([`set_worker_budget`]): concurrent fan-outs — e.g. K serve
+    /// jobs sampling at once — split the machine between them instead
+    /// of each spawning a full complement. A fan-out always gets at
+    /// least one worker (progress is never blocked on the budget), so
+    /// momentary oversubscription is bounded by the number of
+    /// concurrent fan-outs, never multiplicative.
     fn fan_out<T: Sync, R: Send>(
         items: &[T],
         f: impl Fn(&T) -> R + Sync,
     ) -> Vec<R> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(items.len());
-        dca_obs::metrics().lab_workers.set(workers.max(1) as u64);
-        if workers <= 1 {
+        use std::sync::atomic::AtomicUsize;
+        let desired = default_parallelism().min(items.len());
+        if desired <= 1 {
+            dca_obs::metrics().lab_workers.set(1);
             let _span = dca_obs::span("lab", "lab.worker").arg("items", items.len());
             return items.iter().map(f).collect();
         }
+        let workers = claim_workers(desired);
+        dca_obs::metrics().lab_workers.set(workers as u64);
+        if workers <= 1 {
+            let _span = dca_obs::span("lab", "lab.worker").arg("items", items.len());
+            let out = items.iter().map(f).collect();
+            release_workers(workers);
+            return out;
+        }
         let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
+        let out = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
@@ -1744,7 +1854,9 @@ impl Lab {
                 .into_iter()
                 .flat_map(|h| h.join().expect("lab worker panicked"))
                 .collect()
-        })
+        });
+        release_workers(workers);
+        out
     }
 
     /// Simulates (or returns the memoised result of) one combination.
@@ -1768,6 +1880,7 @@ impl Lab {
         let cfg = self.config_of(machine);
         let w = self.workload(bench);
         let stats = Self::simulate(w, &cfg, scheme, max);
+        self.tally.straight_runs.fetch_add(1, Ordering::Relaxed);
         self.cache.insert(key, stats.clone());
         stats
     }
@@ -1788,6 +1901,46 @@ impl Lab {
     pub fn runs(&self) -> usize {
         self.cache.len()
     }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide worker budget every [`Lab`] fan-out draws from.
+/// Signed: a fan-out that finds the budget exhausted still takes one
+/// worker (progress guarantee), briefly driving the balance negative.
+fn worker_budget() -> &'static AtomicI64 {
+    static BUDGET: std::sync::OnceLock<AtomicI64> = std::sync::OnceLock::new();
+    BUDGET.get_or_init(|| AtomicI64::new(default_parallelism() as i64))
+}
+
+/// Sets the process-wide Lab worker budget (default: one per core).
+/// Concurrent fan-outs — K serve jobs sampling at once — share this
+/// pool instead of each assuming it owns the machine. Call while no
+/// fan-out is in flight (at startup, or between jobs): the budget is
+/// set absolutely, not adjusted relative to outstanding claims.
+pub fn set_worker_budget(n: usize) {
+    worker_budget().store(n.max(1) as i64, Ordering::SeqCst);
+}
+
+/// Claims between 1 and `desired` workers from the budget.
+fn claim_workers(desired: usize) -> usize {
+    let b = worker_budget();
+    let mut avail = b.load(Ordering::Relaxed);
+    loop {
+        let take = avail.min(desired as i64).max(1);
+        match b.compare_exchange_weak(avail, avail - take, Ordering::SeqCst, Ordering::Relaxed) {
+            Ok(_) => return take as usize,
+            Err(cur) => avail = cur,
+        }
+    }
+}
+
+fn release_workers(n: usize) {
+    worker_budget().fetch_add(n as i64, Ordering::SeqCst);
 }
 
 /// Shared `main` for the figure binaries: parses common options,
@@ -1986,6 +2139,83 @@ mod tests {
         let mut opts = sampled_opts();
         opts.sampling.as_mut().expect("sampled").warming = Warming::Continuous;
         opts
+    }
+
+    /// The serve refusal table cannot drift from the parser: every
+    /// flag listed as server-side is actually a flag `from_args`
+    /// consumes (with a value exactly when the table says so).
+    #[test]
+    fn server_side_flags_match_the_parser() {
+        for &(flag, takes_value) in SERVER_SIDE_FLAGS {
+            let mut argv = vec![flag.to_string()];
+            if takes_value {
+                argv.push("1".to_string());
+            }
+            let (_, rest) = RunOpts::from_args(argv.into_iter());
+            assert!(
+                rest.is_empty(),
+                "`{flag}` is listed in SERVER_SIDE_FLAGS but the parser left {rest:?}"
+            );
+        }
+    }
+
+    /// Per-lab work attribution: each lab tallies its own simulation
+    /// work, labs are independent of one another, and memoised
+    /// lookups add nothing — the invariant serve's per-job deltas
+    /// are built on.
+    #[test]
+    fn work_tally_is_per_lab_and_exact() {
+        let mut a = Lab::new(sampled_opts());
+        let mut b = Lab::new(smoke_opts());
+        assert_eq!(a.work(), WorkCounts::default());
+        let _ = a.stats("compress", Machine::Clustered, SchemeKind::Modulo);
+        let wa = a.work();
+        assert!(wa.ff_insts > 0, "cold sampled run fast-forwards");
+        assert!(wa.intervals_computed > 0, "cold sampled run simulates intervals");
+        assert_eq!(wa.straight_runs, 0);
+        assert!(!wa.is_warm());
+        assert_eq!(b.work(), WorkCounts::default(), "other labs are untouched");
+        // A straight (unsampled) pass counts as a run, so a fresh
+        // non-sampled figure can never report itself warm.
+        let _ = b.stats("compress", Machine::Base, SchemeKind::Naive);
+        assert_eq!(b.work().straight_runs, 1);
+        assert!(!b.work().is_warm());
+        // Memoised lookups do no work.
+        let before = a.work();
+        let _ = a.stats("compress", Machine::Clustered, SchemeKind::Modulo);
+        assert_eq!(a.work().since(&before), WorkCounts::default());
+    }
+
+    /// `adopt_from` shares the parent's tally: side labs a figure
+    /// spawns internally attribute their work to the same job.
+    #[test]
+    fn adopted_labs_share_the_work_tally() {
+        let mut parent = Lab::new(sampled_opts());
+        let _ = parent.stats("compress", Machine::Clustered, SchemeKind::Modulo);
+        let before = parent.work();
+        let mut child = Lab::new(parent.opts());
+        child.adopt_from(&parent);
+        assert_eq!(child.work(), before, "shared tally, same snapshot");
+        let _ = child.stats("compress", Machine::Clustered, SchemeKind::GeneralBalance);
+        let delta = parent.work().since(&before);
+        assert!(
+            delta.intervals_computed > 0,
+            "child work shows up on the parent's tally"
+        );
+        assert_eq!(delta.ff_insts, 0, "adopted checkpoint streams are reused");
+    }
+
+    /// The worker-budget primitives keep their progress guarantee: a
+    /// claim always yields at least one worker and never more than
+    /// asked for.
+    #[test]
+    fn worker_budget_claims_are_bounded() {
+        let got = claim_workers(4);
+        assert!((1..=4).contains(&got));
+        release_workers(got);
+        let one = claim_workers(1);
+        assert_eq!(one, 1);
+        release_workers(one);
     }
 
     #[test]

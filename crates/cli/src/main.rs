@@ -36,10 +36,12 @@ USAGE:
     dca figures [ID ...]          (no ID: regenerate everything)
     dca store   stat|verify|gc|fsck [--repair] [--store-dir DIR]
                 [--stale-secs N]
-    dca serve   [--listen ADDR] [--store-dir DIR | --no-store]
-                [--lock-wait-secs N] [--stale-secs N]
-    dca client  [--addr ADDR] (--figure ID [-- OPTS...] | --ping |
-                --stats | --shutdown) [--out FILE] [--json-out FILE]
+    dca serve   [--listen ADDR] [--http-addr ADDR] [--jobs K]
+                [--store-dir DIR | --no-store] [--lock-wait-secs N]
+                [--stale-secs N]
+    dca client  [--addr ADDR] [--http] (--figure ID [-- OPTS...] |
+                --ping | --stats | --shutdown) [--out FILE] [--json]
+                [--json-out FILE]
 
 Observability (run, figures, store): --verbose prints per-step detail,
 -q/--quiet suppresses progress (warnings still print),
@@ -82,9 +84,15 @@ shared staleness threshold for lock takeover and temp sweeps.
 over a framed, checksummed protocol; identical in-flight requests are
 deduplicated onto one computation, scheduling is round-robin across
 clients, progress streams per sampling round, and results already in
-the store are served warm with zero recompute. `dca client --figure
-ID -- --scale paper ...` forwards everything after `--` as harness
-options; --ping, --stats and --shutdown probe and manage the daemon.
+the store are served warm with zero recompute. --http-addr ADDR adds
+an HTTP/1.1 front over the same core (POST /v1/figures, job polling,
+chunked progress streams, Prometheus /v1/metrics); dedup and fairness
+span both transports. --jobs K runs up to K jobs concurrently on one
+shared worker budget, keeping per-job accounting exact. `dca client
+--figure ID -- --scale paper ...` forwards everything after `--` as
+harness options; --http speaks to the HTTP front instead of the
+framed protocol, --json prints the serving summary as JSON on stdout;
+--ping, --stats and --shutdown probe and manage the daemon.
 
 Machines: base | clustered | one-bus | ub | homo<N> | hetero4
 `--clusters N` simulates N copies of the paper's cluster (shorthand for

@@ -227,6 +227,16 @@ registry! {
         /// Payload bytes sent to serve clients (summed over clients;
         /// the per-client split is reported on disconnect).
         serve_bytes_out_total,
+        /// HTTP requests accepted by the serve HTTP front (all
+        /// endpoints, before routing).
+        serve_http_requests_total,
+        /// HTTP requests rejected by the parser or the router
+        /// (malformed head, oversized body, unknown endpoint).
+        serve_http_rejected_total,
+        /// Bytes received on the serve HTTP front.
+        serve_http_bytes_in_total,
+        /// Bytes sent on the serve HTTP front.
+        serve_http_bytes_out_total,
     }
     gauges {
         /// Fast-forward throughput, instructions per second.
@@ -244,6 +254,9 @@ registry! {
         serve_clients,
         /// Jobs queued (not yet executing) across all serve clients.
         serve_queue_depth,
+        /// Jobs currently executing in the serve dispatcher (bounded
+        /// by `dca serve --jobs`).
+        serve_active_jobs,
     }
     histograms {
         /// Per-interval detailed simulation time, nanoseconds.

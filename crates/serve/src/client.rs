@@ -1,18 +1,28 @@
 //! The request side: `dca client`.
 //!
-//! One connection, one request, a stream of progress events, one
-//! result. The figure body goes to stdout (or `--out FILE`), and
-//! `--json-out FILE` records the serving summary — dedup/warm flags,
-//! fast-forward instructions, interval counts, wall-clock — which is
-//! what `scripts/bench_serve.sh` asserts on.
+//! One request, a stream of progress events, one result — over either
+//! transport: the framed protocol (default) or, with `--http`, the
+//! HTTP/1.1 front (submit → follow the chunked progress stream →
+//! fetch the result). Both paths deliver the *same bytes*: the
+//! report is [`Figure::document`]-rendered markdown, identical to
+//! what offline `dca figures` saves.
+//!
+//! The report goes to stdout (or `--out FILE`). The serving summary —
+//! job id, canonical key, dedup/warm flags, per-job work deltas,
+//! wall-clock — is structured JSON: `--json` prints it to stdout
+//! (instead of the report), `--json-out FILE` writes it to a file.
+//! `scripts/bench_serve.sh` and `bench_serve_http.sh` assert on it.
+//!
+//! [`Figure::document`]: dca_bench::figures::Figure::document
 
 use std::path::PathBuf;
 
 use dca_obs::json::{self, Json};
 use dca_obs::progress;
 
-use crate::net;
-use crate::proto::FigureRequest;
+use crate::http::{write_request, HttpReader};
+use crate::net::{self, Conn};
+use crate::proto::{self, FigureRequest};
 use crate::wire::{self, FrameKind};
 
 /// What one `dca client` invocation asks of the server.
@@ -25,7 +35,7 @@ pub enum Mode {
         /// `RunOpts::from_args`-grammar options forwarded verbatim.
         args: Vec<String>,
     },
-    /// Liveness probe.
+    /// Liveness probe (and protocol version negotiation).
     Ping,
     /// Fetch server counters.
     Stats,
@@ -38,10 +48,16 @@ pub enum Mode {
 pub struct ClientOpts {
     /// Server address (Unix socket path or `host:port`).
     pub addr: String,
+    /// Speak HTTP to the server's `--http-addr` front instead of the
+    /// framed protocol.
+    pub http: bool,
     /// The request.
     pub mode: Mode,
-    /// Write the figure body here instead of stdout.
+    /// Write the report here instead of stdout.
     pub out: Option<PathBuf>,
+    /// Print the serving summary as JSON on stdout (the report then
+    /// only goes to `--out`, keeping stdout machine-parseable).
+    pub json: bool,
     /// Write the serving summary (JSON) here.
     pub json_out: Option<PathBuf>,
     /// Suppress progress lines.
@@ -50,6 +66,14 @@ pub struct ClientOpts {
 
 /// Runs one request against a serve daemon.
 pub fn run_client(opts: &ClientOpts) -> Result<(), String> {
+    if opts.http {
+        run_http(opts)
+    } else {
+        run_frame(opts)
+    }
+}
+
+fn run_frame(opts: &ClientOpts) -> Result<(), String> {
     let mut conn =
         net::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
     let (kind, payload): (FrameKind, Vec<u8>) = match &opts.mode {
@@ -57,7 +81,10 @@ pub fn run_client(opts: &ClientOpts) -> Result<(), String> {
             FrameKind::ReqFigure,
             FigureRequest::render_payload(figure, args),
         ),
-        Mode::Ping => (FrameKind::ReqPing, b"ping".to_vec()),
+        Mode::Ping => (
+            FrameKind::ReqPing,
+            format!("{{\"proto\": {}}}", proto::PROTO_VERSION).into_bytes(),
+        ),
         Mode::Stats => (FrameKind::ReqStats, Vec::new()),
         Mode::Shutdown => (FrameKind::ReqShutdown, Vec::new()),
     };
@@ -85,56 +112,215 @@ pub fn run_client(opts: &ClientOpts) -> Result<(), String> {
                 return Err(format!("server: {msg}"));
             }
             Some(FrameKind::EvProgress) => {
-                if !opts.quiet {
-                    let doc = json::parse(&text()).unwrap_or(Json::Null);
-                    let g = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
-                    progress::info(format!(
-                        "  round {} ({} intervals, {} remaining, {:.1} intervals/s, queue {})",
-                        g("round"),
-                        g("batch"),
-                        g("remaining"),
-                        g("intervals_per_sec_milli") as f64 / 1000.0,
-                        g("queue_depth"),
-                    ));
-                }
+                print_progress(opts, &json::parse(&text()).unwrap_or(Json::Null));
             }
             Some(FrameKind::EvResult) => {
                 let doc = json::parse(&text())?;
-                return deliver_result(opts, &doc);
+                let title = doc.get("title").and_then(Json::as_str).unwrap_or_default();
+                let body = doc.get("body").and_then(Json::as_str).unwrap_or_default();
+                let document = format!("# {title}\n\n{body}");
+                let summary: Vec<(String, Json)> = doc
+                    .as_object()
+                    .unwrap_or_default()
+                    .iter()
+                    .filter(|(k, _)| k != "body")
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                return deliver_result(opts, &Json::Obj(summary), &document);
             }
             _ => return Err(format!("unexpected frame kind 0x{kind:02x} from server")),
         }
     }
 }
 
-fn deliver_result(opts: &ClientOpts, doc: &Json) -> Result<(), String> {
-    let body = doc.get("body").and_then(Json::as_str).unwrap_or_default();
-    match &opts.out {
-        Some(path) => {
-            std::fs::write(path, body).map_err(|e| format!("write {}: {e}", path.display()))?
+/// One HTTP exchange on a fresh or kept-alive connection.
+fn http_round(
+    conn: &mut Box<dyn Conn>,
+    reader: &mut HttpReader<Box<dyn Conn>>,
+    method: &str,
+    target: &str,
+    body: Option<(&str, &[u8])>,
+) -> Result<crate::http::HttpResponse, String> {
+    write_request(&mut *conn, method, target, body).map_err(|e| format!("send: {e}"))?;
+    reader.read_response().map_err(|e| e.to_string())
+}
+
+fn http_connect(addr: &str) -> Result<(Box<dyn Conn>, HttpReader<Box<dyn Conn>>), String> {
+    let conn = net::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let rd = conn
+        .try_clone_conn()
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    Ok((conn, HttpReader::new(rd)))
+}
+
+fn run_http(opts: &ClientOpts) -> Result<(), String> {
+    let (mut conn, mut reader) = http_connect(&opts.addr)?;
+    match &opts.mode {
+        Mode::Ping => {
+            let resp = http_round(&mut conn, &mut reader, "GET", "/v1/ping", None)?;
+            println!("{}", String::from_utf8_lossy(&resp.body));
+            Ok(())
         }
-        None => print!("{body}"),
+        Mode::Stats => {
+            let resp = http_round(&mut conn, &mut reader, "GET", "/v1/stats", None)?;
+            let doc = json::parse(&String::from_utf8_lossy(&resp.body))?;
+            println!("{}", doc.render_pretty());
+            Ok(())
+        }
+        Mode::Shutdown => {
+            let resp = http_round(&mut conn, &mut reader, "POST", "/v1/shutdown", None)?;
+            println!("{}", String::from_utf8_lossy(&resp.body));
+            Ok(())
+        }
+        Mode::Figure { figure, args } => {
+            let payload = FigureRequest::render_payload(figure, args);
+            let resp = http_round(
+                &mut conn,
+                &mut reader,
+                "POST",
+                "/v1/figures",
+                Some(("application/json", &payload)),
+            )?;
+            let body = String::from_utf8_lossy(&resp.body).into_owned();
+            if resp.status != 202 {
+                let doc = json::parse(&body).unwrap_or(Json::Null);
+                let msg = doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or(&body);
+                return Err(format!("server: {msg}"));
+            }
+            let doc = json::parse(&body)?;
+            let job = doc
+                .get("job")
+                .and_then(Json::as_u64)
+                .ok_or("submit reply lacks a job id")?;
+            // Follow the chunked progress stream on its own
+            // connection (the server closes streaming connections).
+            let summary = follow_stream(opts, job)?;
+            if let Some(msg) = summary.get("error").and_then(Json::as_str) {
+                return Err(format!("server: {msg}"));
+            }
+            // The summary's dedup flag describes the *stream*
+            // subscription (always an attach); what the caller wants
+            // is whether the POST itself coalesced.
+            let submitted_dedup = matches!(doc.get("dedup"), Some(Json::Bool(true)));
+            let summary = match summary {
+                Json::Obj(mut members) => {
+                    for (k, v) in members.iter_mut() {
+                        if k == "dedup" {
+                            *v = Json::Bool(submitted_dedup);
+                        }
+                    }
+                    Json::Obj(members)
+                }
+                other => other,
+            };
+            // The report itself: byte-identical to frame `--out` and
+            // offline `dca figures` output.
+            let resp = http_round(
+                &mut conn,
+                &mut reader,
+                "GET",
+                &format!("/v1/jobs/{job}/result"),
+                None,
+            )?;
+            if resp.status != 200 {
+                return Err(format!(
+                    "server: result fetch returned {}: {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body)
+                ));
+            }
+            let document = String::from_utf8_lossy(&resp.body).into_owned();
+            deliver_result(opts, &summary, &document)
+        }
+    }
+}
+
+/// Follows `GET /v1/jobs/<id>?stream=1`, printing progress lines and
+/// returning the final summary document.
+fn follow_stream(opts: &ClientOpts, job: u64) -> Result<Json, String> {
+    let (mut conn, mut reader) = http_connect(&opts.addr)?;
+    write_request(
+        &mut conn,
+        "GET",
+        &format!("/v1/jobs/{job}?stream=1"),
+        None,
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    let (status, _) = reader.read_response_head().map_err(|e| e.to_string())?;
+    if status != 200 {
+        return Err(format!("server: stream open returned {status}"));
+    }
+    let mut pending = String::new();
+    let mut last = Json::Null;
+    while let Some(chunk) = reader.next_chunk().map_err(|e| e.to_string())? {
+        pending.push_str(&String::from_utf8_lossy(&chunk));
+        while let Some(i) = pending.find('\n') {
+            let line: String = pending.drain(..=i).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let doc = json::parse(line).unwrap_or(Json::Null);
+            if doc.get("round").is_some() {
+                print_progress(opts, &doc);
+            } else if doc.get("state").is_none() || doc.get("dedup").is_some() {
+                // Result summaries and errors; plain status echoes of
+                // a still-running job are skipped.
+                last = doc;
+            }
+        }
+    }
+    match last {
+        Json::Null => Err("stream ended without a result".to_string()),
+        doc => Ok(doc),
+    }
+}
+
+fn print_progress(opts: &ClientOpts, doc: &Json) {
+    if opts.quiet {
+        return;
+    }
+    let g = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+    progress::info(format!(
+        "  round {} ({} intervals, {} remaining, {:.1} intervals/s, queue {})",
+        g("round"),
+        g("batch"),
+        g("remaining"),
+        g("intervals_per_sec_milli") as f64 / 1000.0,
+        g("queue_depth"),
+    ));
+}
+
+/// Delivers one finished figure: the report to `--out`/stdout, the
+/// summary to stdout (`--json`) and/or a file (`--json-out`).
+fn deliver_result(opts: &ClientOpts, summary: &Json, document: &str) -> Result<(), String> {
+    match &opts.out {
+        Some(path) => std::fs::write(path, document)
+            .map_err(|e| format!("write {}: {e}", path.display()))?,
+        None if !opts.json => print!("{document}"),
+        None => {} // --json owns stdout
+    }
+    if opts.json {
+        println!("{}", summary.render_pretty());
     }
     if let Some(path) = &opts.json_out {
-        let summary: Vec<(String, Json)> = doc
-            .as_object()
-            .unwrap_or_default()
-            .iter()
-            .filter(|(k, _)| k != "body")
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        std::fs::write(path, Json::Obj(summary).render_pretty())
+        std::fs::write(path, summary.render_pretty())
             .map_err(|e| format!("write {}: {e}", path.display()))?;
     }
     if !opts.quiet {
-        let flag = |k: &str| doc.get(k).and_then(|v| match v {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }) == Some(true);
+        let flag = |k: &str| {
+            summary.get(k).and_then(|v| match v {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }) == Some(true)
+        };
         progress::info(format!(
             "  {} in {} ms{}{}",
-            doc.get("figure").and_then(Json::as_str).unwrap_or("?"),
-            doc.get("elapsed_ms").and_then(Json::as_u64).unwrap_or(0),
+            summary.get("figure").and_then(Json::as_str).unwrap_or("?"),
+            summary.get("elapsed_ms").and_then(Json::as_u64).unwrap_or(0),
             if flag("dedup") { " (deduplicated)" } else { "" },
             if flag("warm") { " (warm, zero recompute)" } else { "" },
         ));

@@ -1,0 +1,168 @@
+//! The framed-protocol front: one thin map between `DCASERV1` frames
+//! and the core [`Service`] (DESIGN.md §14).
+//!
+//! This file owns no scheduling and no job state. The reader parses
+//! frames into [`Request`]s and hands them to [`Service::handle`];
+//! the writer renders [`Event`]s back into frames. Everything else —
+//! dedup, fairness, progress fan-out, cancellation — happens in the
+//! transport-neutral core, which is how the HTTP front can share it.
+//!
+//! ## Threads (per connection)
+//!
+//! - **reader** (this module's [`session`]): the protocol state
+//!   machine. A malformed frame poisons only its own connection — the
+//!   reader counts it, reports it, closes, and every other session is
+//!   untouched.
+//! - **writer**: drains the session's event channel onto the socket.
+//!   Senders are held by the session (pong/stats/errors) and by jobs
+//!   (progress/results), so slow simulation never blocks on a slow
+//!   client socket inside a dispatcher.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+use dca_obs::progress;
+
+use crate::net::{self, Conn};
+use crate::proto::{self, FigureRequest};
+use crate::service::{Control, Event, Request, Service};
+use crate::wire::{self, FrameKind, WireError, FRAME_OVERHEAD};
+
+/// Renders a core event as a frame. `None` is the shutdown sentinel:
+/// the event stream ends here and the writer exits.
+fn event_frame(ev: &Event) -> Option<(FrameKind, Vec<u8>)> {
+    match ev {
+        Event::Progress {
+            job,
+            figure,
+            round,
+            queue_depth,
+        } => Some((
+            FrameKind::EvProgress,
+            proto::progress_payload(*job, figure, round, *queue_depth),
+        )),
+        Event::Result { outcome, dedup, .. } => Some((
+            FrameKind::EvResult,
+            proto::result_payload(outcome, *dedup, true),
+        )),
+        Event::Error { job, message } => {
+            Some((FrameKind::EvError, proto::error_payload(*job, message)))
+        }
+        Event::Pong(payload) => Some((FrameKind::EvPong, payload.clone())),
+        Event::Stats => Some((FrameKind::EvStats, proto::stats_payload())),
+        Event::Shutdown => None,
+    }
+}
+
+/// Writer half of one session: drains the event channel onto the
+/// socket. Exits when every sender is gone (disconnect), the daemon
+/// shuts down (sentinel), or the socket dies.
+fn writer_loop(mut conn: Box<dyn Conn>, rx: Receiver<Event>) {
+    let m = dca_obs::metrics();
+    while let Ok(ev) = rx.recv() {
+        let Some((kind, payload)) = event_frame(&ev) else { return };
+        let n = FRAME_OVERHEAD + payload.len() as u64;
+        if wire::write_frame(&mut conn, kind, &payload).is_err() {
+            return;
+        }
+        m.serve_bytes_out_total.add(n);
+    }
+}
+
+/// Reader half of one session: the per-client protocol state machine.
+/// `wake_addrs` lists every listener to self-connect on shutdown so
+/// both accept loops observe the flag.
+pub(crate) fn session(
+    service: &Arc<Service>,
+    mut conn: Box<dyn Conn>,
+    client_no: u64,
+    wake_addrs: &[String],
+) {
+    let m = dca_obs::metrics();
+    let (sess, rx) = service.open_session(&format!("frame/{client_no}"));
+    let writer = match conn.try_clone_conn() {
+        Ok(w) => std::thread::spawn(move || writer_loop(w, rx)),
+        Err(e) => {
+            progress::warn(format!("serve: client {client_no}: clone failed: {e}"));
+            service.close_session(&sess);
+            return;
+        }
+    };
+    match conn.try_clone_conn() {
+        Ok(h) => service.set_unblocker(sess.id, Box::new(move || h.shutdown_conn())),
+        Err(e) => progress::warn(format!("serve: client {client_no}: clone failed: {e}")),
+    }
+    let mut want_shutdown = false;
+    loop {
+        match wire::read_frame(&mut conn) {
+            Ok((kind_byte, payload)) => {
+                m.serve_bytes_in_total
+                    .add(FRAME_OVERHEAD + payload.len() as u64);
+                let req = match FrameKind::from_byte(kind_byte) {
+                    Some(FrameKind::ReqFigure) => match FigureRequest::parse(&payload) {
+                        Ok(freq) => Some(Request::Figure(freq)),
+                        Err(e) => {
+                            m.serve_rejected_frames_total.inc();
+                            sess.push(Event::Error {
+                                job: None,
+                                message: e,
+                            });
+                            None
+                        }
+                    },
+                    Some(FrameKind::ReqPing) => Some(Request::Ping(payload)),
+                    Some(FrameKind::ReqStats) => Some(Request::Stats),
+                    Some(FrameKind::ReqShutdown) => Some(Request::Shutdown),
+                    // Event kinds from a client, or bytes no revision
+                    // assigned: the frame parsed, so the stream is
+                    // still in sync — reject it, keep the session.
+                    Some(_) | None => {
+                        m.serve_rejected_frames_total.inc();
+                        sess.push(Event::Error {
+                            job: None,
+                            message: format!("unexpected frame kind 0x{kind_byte:02x}"),
+                        });
+                        None
+                    }
+                };
+                if let Some(r) = req {
+                    if service.handle(&sess, r) == Control::ShutdownRequested {
+                        // Shutdown begins *after* this session winds
+                        // down (below), so the ack is on the wire
+                        // before the accept loops start closing
+                        // sockets.
+                        want_shutdown = true;
+                        break;
+                    }
+                }
+            }
+            Err(WireError::Closed) => break,
+            Err(e) => {
+                // Malformed framing (bad magic, oversized prefix,
+                // checksum mismatch, mid-frame truncation): the byte
+                // stream can no longer be trusted to be frame-aligned.
+                // Count it, tell the peer, close only this session.
+                m.serve_rejected_frames_total.inc();
+                sess.push(Event::Error {
+                    job: None,
+                    message: e.to_string(),
+                });
+                break;
+            }
+        }
+    }
+    service.drop_unblocker(sess.id);
+    service.close_session(&sess);
+    drop(sess);
+    // The writer drains queued events (errors and the shutdown ack
+    // included), then its channel closes and it exits.
+    let _ = writer.join();
+    conn.shutdown_conn();
+    if want_shutdown {
+        service.begin_shutdown();
+        // Wake both accept loops so they observe the flag.
+        for addr in wake_addrs {
+            let _ = net::connect(addr);
+        }
+    }
+}

@@ -1,44 +1,70 @@
-//! `dca-serve` — a long-lived simulation service (DESIGN.md §13).
+//! `dca-serve` — a long-lived simulation service (DESIGN.md §13–14).
 //!
-//! `dca serve` turns the experiment harness into a daemon: clients
-//! connect over a Unix or TCP socket, speak a small length-prefixed,
-//! checksummed frame protocol ([`wire`]), and request paper figures.
-//! The server
+//! `dca serve` turns the experiment harness into a daemon. The crate
+//! is layered so transports and policy stay independent:
 //!
-//! - **deduplicates** identical in-flight requests — one computation,
-//!   every subscriber gets the byte-identical report ([`server`]);
-//! - **schedules fairly** — round-robin across clients, so a batch
+//! - [`service`] — the transport-neutral core: `Request`/`Event`
+//!   types, canonical job keys, subscriber sets, fair scheduling,
+//!   K-way dispatch with per-options-key Lab exclusivity, bounded
+//!   retention of finished jobs.
+//! - [`frame`] over [`wire`] — the length-prefixed, checksummed
+//!   `DCASERV1` protocol, now one thin front over the core.
+//! - [`http`] — a hand-rolled, totality-swept HTTP/1.1 front over the
+//!   *same* core: `POST /v1/figures`, job polling, chunked progress
+//!   streams, Prometheus `/v1/metrics`.
+//! - [`proto`] — the shared JSON payload codecs (`dca_obs::json`) and
+//!   the Ping-time protocol version negotiation.
+//!
+//! The core gives every front the same guarantees:
+//!
+//! - **deduplication across transports** — identical in-flight
+//!   requests coalesce onto one computation whether they arrived as
+//!   frames or HTTP POSTs, and every subscriber gets the
+//!   byte-identical report;
+//! - **fair scheduling** — round-robin across clients, so a batch
 //!   client queueing many figures cannot starve an interactive one;
-//! - **streams progress** — per-sampling-round events carrying the
+//! - **progress streams** — per-sampling-round events carrying the
 //!   live intervals/second gauge from `dca-obs`;
-//! - **serves warm results** with zero recompute — the shared
+//! - **warm results** with zero recompute — the shared
 //!   [`dca_store::Store`] (one handle, cloned per Lab) makes a repeat
 //!   of yesterday's figure a pure read path, and the result event
 //!   says so (`warm: true`, `ff_insts: 0`).
 //!
-//! The protocol adds no dependencies: framing is hand-rolled in the
-//! style of the store container (FNV-64 checksums, explicit error
-//! taxonomy), payloads are `dca_obs::json` documents.
+//! No dependencies are added: framing, HTTP, and JSON are all
+//! hand-rolled in the style of the store container (explicit error
+//! taxonomies, totality sweeps in the test suite).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod frame;
+pub mod http;
 pub mod net;
 pub mod proto;
 pub mod server;
+pub mod service;
 pub mod wire;
 
 pub use client::{run_client, ClientOpts, Mode};
-pub use server::{serve, serve_with, ServeOpts};
+pub use server::{serve, serve_with, Bound, ServeOpts};
+pub use service::{Event, Request, Service};
 
-/// `dca serve [--listen ADDR] [--store-dir DIR | --no-store]
-/// [--lock-wait-secs N] [--stale-secs N] [-q|--verbose]`.
+/// `dca serve [--listen ADDR] [--http-addr ADDR] [--jobs K]
+/// [--store-dir DIR | --no-store] [--lock-wait-secs N]
+/// [--stale-secs N] [-q|--verbose]`.
 pub fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     let mut opts = ServeOpts::default();
     let mut obs = dca_bench::RunOpts::default();
     let mut args = args;
     opts.listen = take(&mut args, "--listen")?.unwrap_or_else(|| ".dca-serve.sock".into());
+    opts.http_addr = take(&mut args, "--http-addr")?;
+    if let Some(k) = take_u64(&mut args, "--jobs")? {
+        if k == 0 {
+            return Err("--jobs needs at least 1".into());
+        }
+        opts.jobs = k as usize;
+    }
     if let Some(dir) = take(&mut args, "--store-dir")? {
         opts.store_dir = Some(dir.into());
     }
@@ -54,8 +80,9 @@ pub fn cmd_serve(args: Vec<String>) -> Result<(), String> {
     serve(opts)
 }
 
-/// `dca client [--addr ADDR] (--figure ID [-- ARGS..] | --ping |
-/// --stats | --shutdown) [--out FILE] [--json-out FILE] [-q]`.
+/// `dca client [--addr ADDR] [--http] (--figure ID [-- ARGS..] |
+/// --ping | --stats | --shutdown) [--out FILE] [--json]
+/// [--json-out FILE] [-q]`.
 pub fn cmd_client(args: Vec<String>) -> Result<(), String> {
     let mut args = args;
     // Everything after `--` is forwarded to the server as harness
@@ -69,7 +96,9 @@ pub fn cmd_client(args: Vec<String>) -> Result<(), String> {
         None => Vec::new(),
     };
     let addr = take(&mut args, "--addr")?.unwrap_or_else(|| ".dca-serve.sock".into());
+    let http = switch(&mut args, "--http");
     let out = take(&mut args, "--out")?.map(Into::into);
+    let json = switch(&mut args, "--json");
     let json_out = take(&mut args, "--json-out")?.map(Into::into);
     let quiet = switch(&mut args, "-q") || switch(&mut args, "--quiet");
     let figure = take(&mut args, "--figure")?;
@@ -92,8 +121,10 @@ pub fn cmd_client(args: Vec<String>) -> Result<(), String> {
     obs.apply_observability();
     run_client(&ClientOpts {
         addr,
+        http,
         mode,
         out,
+        json,
         json_out,
         quiet,
     })

@@ -13,9 +13,30 @@
 //! flags must collide. [`FigureRequest::canonical_key`] therefore
 //! renders the *parsed* options — scale name, budget, sampling
 //! parameters — not the raw argument strings.
+//!
+//! These payloads are shared by every front: the framed protocol
+//! wraps them in `DCASERV1` frames, the HTTP front returns them as
+//! response bodies. A client that wants to know which protocol
+//! features the daemon speaks sends a Ping whose payload is
+//! `{"proto": N}`; [`pong_reply`] answers with the negotiated
+//! version (`min(N, PROTO_VERSION)`). Any other ping payload is
+//! echoed verbatim, which is exactly the v1 behaviour — old clients
+//! and new daemons interoperate without a handshake.
 
 use dca_bench::RunOpts;
 use dca_obs::json::{self, Json};
+
+use crate::service::{JobOutcome, JobStatus, SubmitOutcome};
+
+/// The protocol version this daemon speaks. v1 is PR 8's framed
+/// protocol; v2 adds the HTTP front, job polling, detached submits,
+/// and the per-job `straight_runs`/`key` result fields.
+pub const PROTO_VERSION: u64 = 2;
+
+/// Exact per-job work attribution, measured by the executing Lab's
+/// own tally ([`dca_bench::Lab::work`]) — not by global-counter
+/// snapshots, which would bleed across jobs under K-way dispatch.
+pub use dca_bench::WorkCounts as JobDeltas;
 
 /// A parsed, validated figure request.
 #[derive(Clone, Debug)]
@@ -54,7 +75,7 @@ impl FigureRequest {
                 .map(|v| v.as_str().map(str::to_string).ok_or("`args` must hold strings"))
                 .collect::<Result<_, _>>()?,
         };
-        for forbidden in ["--store-dir", "--no-store", "--trace-out", "--metrics-out"] {
+        for &(forbidden, _) in dca_bench::SERVER_SIDE_FLAGS {
             if args.iter().any(|a| a == forbidden) {
                 return Err(format!("`{forbidden}` is a server-side option"));
             }
@@ -140,61 +161,29 @@ pub fn progress_payload(
     .into_bytes()
 }
 
-/// Per-job deltas of the session metrics, taken around one job's
-/// execution. Valid as *exact* attribution because the dispatcher
-/// executes one job at a time (each job fans out internally).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct JobDeltas {
-    /// Fast-forward instructions executed.
-    pub ff_insts: u64,
-    /// Detailed intervals simulated fresh.
-    pub intervals_computed: u64,
-    /// Intervals served from the store.
-    pub intervals_from_store: u64,
-}
-
-impl JobDeltas {
-    /// Snapshot of the counters this struct tracks.
-    pub fn snapshot() -> JobDeltas {
-        let m = dca_obs::metrics();
-        JobDeltas {
-            ff_insts: m.ff_insts_total.get(),
-            intervals_computed: m.intervals_computed_total.get(),
-            intervals_from_store: m.intervals_from_store_total.get(),
+/// Answers a Ping. A payload of `{"proto": N}` is a version
+/// negotiation: the reply carries `min(N, PROTO_VERSION)` (what both
+/// sides can speak) plus the server's own version. Anything else —
+/// including non-UTF-8 and non-JSON payloads — is echoed verbatim,
+/// the v1 liveness-probe behaviour.
+pub fn pong_reply(payload: &[u8]) -> Vec<u8> {
+    if let Ok(text) = std::str::from_utf8(payload) {
+        if let Ok(doc) = json::parse(text) {
+            if let Some(client) = doc.get("proto").and_then(Json::as_u64) {
+                return Json::Obj(vec![
+                    ("proto".to_string(), Json::U64(client.min(PROTO_VERSION))),
+                    ("server_proto".to_string(), Json::U64(PROTO_VERSION)),
+                ])
+                .render()
+                .into_bytes();
+            }
         }
     }
-
-    /// Delta against an earlier snapshot.
-    pub fn since(&self, before: &JobDeltas) -> JobDeltas {
-        JobDeltas {
-            ff_insts: self.ff_insts - before.ff_insts,
-            intervals_computed: self.intervals_computed - before.intervals_computed,
-            intervals_from_store: self.intervals_from_store - before.intervals_from_store,
-        }
-    }
-
-    /// A warm result touched no simulator at all: nothing fast-
-    /// forwarded, nothing simulated in detail.
-    pub fn is_warm(&self) -> bool {
-        self.ff_insts == 0 && self.intervals_computed == 0
-    }
+    payload.to_vec()
 }
 
-/// Builds an `EvResult` payload. `dedup` marks a subscriber that
-/// attached to another client's in-flight computation.
-pub fn result_payload(
-    job: u64,
-    figure: &dca_bench::figures::Figure,
-    deltas: &JobDeltas,
-    dedup: bool,
-    elapsed_ms: u64,
-) -> Vec<u8> {
-    Json::Obj(vec![
-        ("job".to_string(), Json::U64(job)),
-        ("figure".to_string(), Json::Str(figure.id.to_string())),
-        ("title".to_string(), Json::Str(figure.title.clone())),
-        ("body".to_string(), Json::Str(figure.body.clone())),
-        ("dedup".to_string(), Json::Bool(dedup)),
+fn deltas_members(deltas: &JobDeltas) -> Vec<(String, Json)> {
+    vec![
         ("warm".to_string(), Json::Bool(deltas.is_warm())),
         ("ff_insts".to_string(), Json::U64(deltas.ff_insts)),
         (
@@ -205,10 +194,98 @@ pub fn result_payload(
             "intervals_from_store".to_string(),
             Json::U64(deltas.intervals_from_store),
         ),
-        ("elapsed_ms".to_string(), Json::U64(elapsed_ms)),
+        ("straight_runs".to_string(), Json::U64(deltas.straight_runs)),
+    ]
+}
+
+/// Builds an `EvResult` payload (also the final line of an HTTP
+/// progress stream and the `done` job-status body, both of which set
+/// `include_body: false` — the report itself comes from `/result`).
+/// `dedup` marks a subscriber that attached to a computation another
+/// request originated.
+pub fn result_payload(outcome: &JobOutcome, dedup: bool, include_body: bool) -> Vec<u8> {
+    let mut members = vec![("job".to_string(), Json::U64(outcome.job))];
+    members.extend(outcome_members(outcome, dedup, include_body));
+    Json::Obj(members).render().into_bytes()
+}
+
+fn outcome_members(outcome: &JobOutcome, dedup: bool, include_body: bool) -> Vec<(String, Json)> {
+    let mut members = vec![("key".to_string(), Json::Str(outcome.key.clone()))];
+    match &outcome.result {
+        Ok(figure) => {
+            members.push(("figure".to_string(), Json::Str(figure.id.to_string())));
+            members.push(("title".to_string(), Json::Str(figure.title.clone())));
+            if include_body {
+                members.push(("body".to_string(), Json::Str(figure.body.clone())));
+            }
+        }
+        Err(reason) => {
+            members.push(("figure".to_string(), Json::Str(outcome.figure_name.clone())));
+            members.push(("error".to_string(), Json::Str(reason.clone())));
+        }
+    }
+    members.push(("dedup".to_string(), Json::Bool(dedup)));
+    members.extend(deltas_members(&outcome.deltas));
+    members.push(("elapsed_ms".to_string(), Json::U64(outcome.elapsed_ms)));
+    members
+}
+
+/// Builds the HTTP submit response: the job id to poll, the canonical
+/// key the request was deduplicated by, and whether it coalesced onto
+/// an in-flight computation.
+pub fn submit_payload(s: &SubmitOutcome) -> Vec<u8> {
+    Json::Obj(vec![
+        ("job".to_string(), Json::U64(s.job)),
+        ("key".to_string(), Json::Str(s.key.clone())),
+        ("dedup".to_string(), Json::Bool(s.dedup)),
+        ("state".to_string(), Json::Str("queued".to_string())),
     ])
     .render()
     .into_bytes()
+}
+
+/// Builds the poll-style job-status body (`GET /v1/jobs/<id>`).
+pub fn status_payload(job: u64, status: &JobStatus) -> Vec<u8> {
+    match status {
+        JobStatus::Queued { figure } => Json::Obj(vec![
+            ("job".to_string(), Json::U64(job)),
+            ("state".to_string(), Json::Str("queued".to_string())),
+            ("figure".to_string(), Json::Str(figure.clone())),
+        ])
+        .render()
+        .into_bytes(),
+        JobStatus::Executing { figure, progress } => {
+            let progress = match progress {
+                None => Json::Null,
+                Some((p, depth)) => Json::Obj(vec![
+                    ("round".to_string(), Json::U64(p.round)),
+                    ("batch".to_string(), Json::U64(p.batch)),
+                    ("remaining".to_string(), Json::U64(p.remaining)),
+                    (
+                        "intervals_per_sec_milli".to_string(),
+                        Json::U64(p.intervals_per_sec_milli),
+                    ),
+                    ("queue_depth".to_string(), Json::U64(*depth)),
+                ]),
+            };
+            Json::Obj(vec![
+                ("job".to_string(), Json::U64(job)),
+                ("state".to_string(), Json::Str("executing".to_string())),
+                ("figure".to_string(), Json::Str(figure.clone())),
+                ("progress".to_string(), progress),
+            ])
+            .render()
+            .into_bytes()
+        }
+        JobStatus::Done(outcome) => {
+            let mut members = vec![
+                ("job".to_string(), Json::U64(job)),
+                ("state".to_string(), Json::Str("done".to_string())),
+            ];
+            members.extend(outcome_members(outcome, false, false));
+            Json::Obj(members).render().into_bytes()
+        }
+    }
 }
 
 /// Builds an `EvError` payload.
@@ -238,8 +315,18 @@ pub fn stats_payload() -> Vec<u8> {
         ),
         ("clients".to_string(), Json::U64(m.serve_clients.get())),
         ("queue_depth".to_string(), Json::U64(m.serve_queue_depth.get())),
+        ("active_jobs".to_string(), Json::U64(m.serve_active_jobs.get())),
         ("bytes_in".to_string(), Json::U64(m.serve_bytes_in_total.get())),
         ("bytes_out".to_string(), Json::U64(m.serve_bytes_out_total.get())),
+        (
+            "http_requests".to_string(),
+            Json::U64(m.serve_http_requests_total.get()),
+        ),
+        (
+            "http_rejected".to_string(),
+            Json::U64(m.serve_http_rejected_total.get()),
+        ),
+        ("proto".to_string(), Json::U64(PROTO_VERSION)),
     ])
     .render()
     .into_bytes()
@@ -285,6 +372,45 @@ mod tests {
             let err = FigureRequest::parse(payload).unwrap_err();
             assert!(err.contains(needle), "{err:?} should mention {needle:?}");
         }
+    }
+
+    /// Every entry of the shared refusal table is refused on the
+    /// wire, with a message naming the flag and the reason, while the
+    /// same flag still parses fine locally (the table is shared with
+    /// `RunOpts::from_args`, which accepts them).
+    #[test]
+    fn every_server_side_flag_is_refused_on_the_wire() {
+        for &(flag, takes_value) in dca_bench::SERVER_SIDE_FLAGS {
+            let mut args = vec![flag.to_string()];
+            if takes_value {
+                args.push("1".to_string());
+            }
+            let payload = FigureRequest::render_payload("sampling", &args);
+            let err = FigureRequest::parse(&payload).unwrap_err();
+            assert!(
+                err.contains(flag) && err.contains("server-side"),
+                "{flag}: got {err:?}"
+            );
+        }
+    }
+
+    /// Ping negotiation: `{"proto": N}` gets `min(N, ours)` back;
+    /// anything else — the v1 liveness probe — echoes verbatim.
+    #[test]
+    fn ping_negotiates_versions_and_echoes_everything_else() {
+        let reply = pong_reply(br#"{"proto": 99}"#);
+        let doc = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+        assert_eq!(doc.get("proto").and_then(Json::as_u64), Some(PROTO_VERSION));
+        assert_eq!(
+            doc.get("server_proto").and_then(Json::as_u64),
+            Some(PROTO_VERSION)
+        );
+        let reply = pong_reply(br#"{"proto": 1}"#);
+        let doc = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+        assert_eq!(doc.get("proto").and_then(Json::as_u64), Some(1), "old client wins");
+        assert_eq!(pong_reply(b"canary"), b"canary", "v1 probes echo");
+        assert_eq!(pong_reply(b"\xff\xfe"), b"\xff\xfe", "even non-UTF-8");
+        assert_eq!(pong_reply(br#"{"other": 1}"#), br#"{"other": 1}"#);
     }
 
     #[test]

@@ -1,60 +1,49 @@
-//! The serve daemon: accept loop, per-connection sessions, and the
-//! single dispatcher that executes jobs against a pool of [`Lab`]s.
+//! Daemon assembly: bind the listeners, spawn the fronts and the
+//! dispatchers, wire them all to one [`Service`] core.
 //!
 //! ## Threads
 //!
-//! - **accept loop** (the caller of [`serve`]): accepts connections,
-//!   spawns one session per client.
-//! - **per-client reader**: parses frames, submits requests. A
-//!   malformed frame poisons only its own connection — the reader
-//!   counts it, reports it, closes, and every other session is
-//!   untouched.
-//! - **per-client writer**: drains an mpsc channel of outbound
-//!   events. Senders are held by the reader (pong/stats/errors) and
-//!   by jobs (progress/results), so slow simulation never blocks on a
-//!   slow client socket inside the dispatcher.
-//! - **dispatcher**: executes one job at a time (each job already
-//!   fans out across the Lab worker pool internally), round-robin
-//!   across clients so one client queueing ten figures cannot starve
-//!   a second client's first request.
+//! - **frame accept loop** (the caller of [`serve`]): accepts framed-
+//!   protocol connections, one [`crate::frame::session`] thread each.
+//! - **HTTP accept loop** (spawned when `--http-addr` is set): same
+//!   shape, one [`crate::http::http_session`] thread per connection.
+//! - **K dispatchers** (`--jobs K`): each runs
+//!   [`crate::service::dispatcher`] against the shared Lab pool. The
+//!   core never hands two dispatchers jobs with the same options key,
+//!   so a Lab is owned by at most one job at a time; all jobs share
+//!   one process-wide Lab *worker* budget
+//!   ([`dca_bench::set_worker_budget`]), so `--jobs 4` does not
+//!   quadruple thread pressure.
 //!
-//! ## Dedup
-//!
-//! Jobs are keyed by [`FigureRequest::canonical_key`]. A request whose
-//! key matches a queued or executing job *subscribes* to that job
-//! instead of enqueueing a new one: one computation, N byte-identical
-//! results, `serve_dedup_hits_total` incremented N−1 times.
-//!
-//! ## Cancellation
-//!
-//! A disconnected client is unsubscribed from every job. A job with
-//! no subscribers left is dropped from the queue (if still queued) or
-//! has its cancel token set (if executing) — the Lab then freezes at
-//! the end of the current sampling round and its partially-populated
-//! cache is discarded, while completed intervals remain in the store
-//! as a reusable prefix.
+//! Shutdown (frame `ReqShutdown` or HTTP `POST /v1/shutdown`) flips
+//! the core's flag, wakes both accept loops by self-connection, shuts
+//! every parked session socket down, and joins everything — no
+//! leaked sockets, locks, or temp files (asserted by the smoke
+//! benches).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use dca_bench::{figures, Lab};
 use dca_obs::progress;
 use dca_store::Store;
 
-use crate::net::{self, Conn, Listener};
-use crate::proto::{self, FigureRequest, JobDeltas};
-use crate::wire::{self, FrameKind, WireError, FRAME_OVERHEAD};
+use crate::net::Listener;
+use crate::service::{dispatcher, Service};
+use crate::{frame, http};
 
 /// Server configuration (the `dca serve` flags).
 #[derive(Clone, Debug)]
 pub struct ServeOpts {
-    /// Listen address: a Unix socket path (contains `/`) or
-    /// `host:port`.
+    /// Framed-protocol listen address: a Unix socket path (contains
+    /// `/`) or `host:port`.
     pub listen: String,
+    /// HTTP/1.1 listen address (`--http-addr`); `None` disables the
+    /// HTTP front.
+    pub http_addr: Option<String>,
+    /// Concurrent jobs (`--jobs`); clamped to at least 1.
+    pub jobs: usize,
     /// Store directory shared by every job; `None` serves storeless.
     pub store_dir: Option<PathBuf>,
     /// Lock patience override (`--lock-wait-secs`).
@@ -67,6 +56,8 @@ impl Default for ServeOpts {
     fn default() -> ServeOpts {
         ServeOpts {
             listen: "127.0.0.1:0".to_string(),
+            http_addr: None,
+            jobs: 1,
             store_dir: Some(PathBuf::from(".dca-store")),
             lock_wait_secs: None,
             stale_secs: None,
@@ -74,442 +65,33 @@ impl Default for ServeOpts {
     }
 }
 
-type ClientId = u64;
-type JobId = u64;
-
-/// Outbound event, queued to a client's writer thread.
-type OutFrame = (FrameKind, Vec<u8>);
-
-struct Job {
-    key: String,
-    req: FigureRequest,
-    /// Subscribers in attach order; index 0 is the originator, later
-    /// entries are dedup hits.
-    subs: Vec<(ClientId, Sender<OutFrame>)>,
-    cancel: Arc<AtomicBool>,
-    executing: bool,
+/// The daemon's bound addresses, reported before the first accept.
+#[derive(Clone, Debug)]
+pub struct Bound {
+    /// The framed-protocol address (`:0` TCP ports resolved).
+    pub frame: String,
+    /// The HTTP address, when that front is enabled.
+    pub http: Option<String>,
 }
 
-struct ClientEntry {
-    /// Handle used to shut the socket down at server shutdown,
-    /// unblocking the session's reader.
-    shutdown: Box<dyn Conn>,
-}
-
-#[derive(Default)]
-struct State {
-    clients: HashMap<ClientId, ClientEntry>,
-    /// Round-robin rotation over connected clients.
-    rr: VecDeque<ClientId>,
-    /// Per-client FIFO of *queued* jobs (executing jobs live only in
-    /// `jobs`).
-    queues: HashMap<ClientId, VecDeque<JobId>>,
-    jobs: HashMap<JobId, Job>,
-    /// Canonical key → queued-or-executing job (the dedup index).
-    inflight: HashMap<String, JobId>,
-    next_job: JobId,
-    shutdown: bool,
-}
-
-impl State {
-    fn queue_depth(&self) -> u64 {
-        self.queues.values().map(|q| q.len() as u64).sum()
-    }
-
-    fn publish_gauges(&self) {
-        let m = dca_obs::metrics();
-        m.serve_clients.set(self.clients.len() as u64);
-        m.serve_queue_depth.set(self.queue_depth());
-    }
-}
-
-/// Shared scheduling state; `pub(crate)` so the in-process tests can
-/// drive submit/dispatch deterministically.
-pub(crate) struct Service {
-    state: Mutex<State>,
-    cv: Condvar,
-}
-
-impl Service {
-    pub(crate) fn new() -> Service {
-        Service {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
-        }
-    }
-
-    fn register(&self, id: ClientId, shutdown: Box<dyn Conn>) {
-        let mut st = self.state.lock().unwrap();
-        st.clients.insert(id, ClientEntry { shutdown });
-        st.rr.push_back(id);
-        st.queues.insert(id, VecDeque::new());
-        st.publish_gauges();
-    }
-
-    /// Submits a request for `client`; events flow to `tx`. Returns
-    /// the job id and whether this was a dedup attach.
-    pub(crate) fn submit(
-        &self,
-        client: ClientId,
-        tx: Sender<OutFrame>,
-        req: FigureRequest,
-    ) -> (JobId, bool) {
-        let key = req.canonical_key();
-        let mut st = self.state.lock().unwrap();
-        if let Some(&jid) = st.inflight.get(&key) {
-            let job = st.jobs.get_mut(&jid).expect("inflight points at a live job");
-            job.subs.push((client, tx));
-            dca_obs::metrics().serve_dedup_hits_total.inc();
-            return (jid, true);
-        }
-        st.next_job += 1;
-        let jid = st.next_job;
-        st.jobs.insert(
-            jid,
-            Job {
-                key: key.clone(),
-                req,
-                subs: vec![(client, tx)],
-                cancel: Arc::new(AtomicBool::new(false)),
-                executing: false,
-            },
-        );
-        st.inflight.insert(key, jid);
-        st.queues.entry(client).or_default().push_back(jid);
-        st.publish_gauges();
-        self.cv.notify_all();
-        (jid, false)
-    }
-
-    /// Removes `client` everywhere: its queue, the rotation, and every
-    /// job's subscriber list. Jobs left with no subscribers are
-    /// cancelled; queued jobs that still have subscribers migrate to a
-    /// surviving subscriber's queue so fairness keeps working.
-    fn disconnect(&self, client: ClientId) {
-        let mut st = self.state.lock().unwrap();
-        st.clients.remove(&client);
-        st.rr.retain(|&c| c != client);
-        let orphaned: Vec<JobId> = st.queues.remove(&client).unwrap_or_default().into();
-        for job in st.jobs.values_mut() {
-            job.subs.retain(|(c, _)| *c != client);
-        }
-        for jid in orphaned {
-            let Some(job) = st.jobs.get(&jid) else { continue };
-            if let Some(&(heir, _)) = job.subs.first() {
-                st.queues.entry(heir).or_default().push_back(jid);
-            }
-        }
-        // Any job now subscriber-less dies: queued ones vanish,
-        // executing ones get their cancel token set and are reaped by
-        // the dispatcher.
-        let doomed: Vec<JobId> = st
-            .jobs
-            .iter()
-            .filter(|(_, j)| j.subs.is_empty())
-            .map(|(&jid, _)| jid)
-            .collect();
-        for jid in doomed {
-            let job = &st.jobs[&jid];
-            if job.executing {
-                job.cancel.store(true, Ordering::Relaxed);
-            } else {
-                let job = st.jobs.remove(&jid).unwrap();
-                st.inflight.remove(&job.key);
-                for q in st.queues.values_mut() {
-                    q.retain(|&j| j != jid);
-                }
-                dca_obs::metrics().serve_cancelled_jobs_total.inc();
-            }
-        }
-        st.publish_gauges();
-        self.cv.notify_all();
-    }
-
-    /// Blocks until a job is ready or shutdown; round-robin across
-    /// client queues. Returns the job with its cancel token.
-    pub(crate) fn next_job(&self) -> Option<(JobId, FigureRequest, Arc<AtomicBool>)> {
-        let mut st = self.state.lock().unwrap();
-        loop {
-            if st.shutdown {
-                return None;
-            }
-            let rotation: Vec<ClientId> = st.rr.iter().copied().collect();
-            let mut picked = None;
-            for c in rotation {
-                let jid = match st.queues.get_mut(&c).and_then(|q| q.pop_front()) {
-                    Some(j) => j,
-                    None => continue,
-                };
-                // Move the served client to the back of the rotation.
-                st.rr.retain(|&x| x != c);
-                st.rr.push_back(c);
-                picked = Some(jid);
-                break;
-            }
-            match picked {
-                Some(jid) => {
-                    let job = st.jobs.get_mut(&jid).expect("queued job exists");
-                    job.executing = true;
-                    let out = (jid, job.req.clone(), Arc::clone(&job.cancel));
-                    st.publish_gauges();
-                    return Some(out);
-                }
-                None => st = self.cv.wait(st).unwrap(),
-            }
-        }
-    }
-
-    /// Subscriber snapshot + live queue depth, for progress events.
-    fn progress_info(&self, jid: JobId) -> (Vec<Sender<OutFrame>>, u64) {
-        let st = self.state.lock().unwrap();
-        let subs = st
-            .jobs
-            .get(&jid)
-            .map(|j| j.subs.iter().map(|(_, tx)| tx.clone()).collect())
-            .unwrap_or_default();
-        (subs, st.queue_depth())
-    }
-
-    /// Completes a job: removes it from the dedup index and fans the
-    /// result (or the cancellation error) out to every subscriber.
-    pub(crate) fn finish_job(
-        &self,
-        jid: JobId,
-        figure: &figures::Figure,
-        deltas: &JobDeltas,
-        elapsed: Duration,
-        cancelled: bool,
-    ) {
-        let job = {
-            let mut st = self.state.lock().unwrap();
-            let job = st.jobs.remove(&jid);
-            if let Some(j) = &job {
-                st.inflight.remove(&j.key);
-            }
-            st.publish_gauges();
-            job
-        };
-        let Some(job) = job else { return };
-        let m = dca_obs::metrics();
-        if cancelled {
-            m.serve_cancelled_jobs_total.inc();
-            let payload = proto::error_payload(Some(jid), "cancelled");
-            for (_, tx) in &job.subs {
-                let _ = tx.send((FrameKind::EvError, payload.clone()));
-            }
-            return;
-        }
-        let elapsed_ms = elapsed.as_millis() as u64;
-        for (i, (_, tx)) in job.subs.iter().enumerate() {
-            let payload = proto::result_payload(jid, figure, deltas, i > 0, elapsed_ms);
-            m.serve_results_total.inc();
-            let _ = tx.send((FrameKind::EvResult, payload));
-        }
-    }
-
-    pub(crate) fn begin_shutdown(&self) {
-        let mut st = self.state.lock().unwrap();
-        st.shutdown = true;
-        // Whatever is executing stops at its next round boundary.
-        for job in st.jobs.values() {
-            if job.executing {
-                job.cancel.store(true, Ordering::Relaxed);
-            }
-        }
-        self.cv.notify_all();
-    }
-
-    fn is_shutdown(&self) -> bool {
-        self.state.lock().unwrap().shutdown
-    }
-
-    /// Shuts every client socket down, unblocking their readers.
-    fn disconnect_all(&self) {
-        let st = self.state.lock().unwrap();
-        for entry in st.clients.values() {
-            entry.shutdown.shutdown_conn();
-        }
-    }
-}
-
-/// The dispatcher: one job at a time, against a pool of Labs keyed by
-/// canonical harness options so every request with the same options
-/// shares one in-memory memo (cross-request dedup in time, on top of
-/// the in-flight dedup in space).
-pub(crate) fn dispatcher(service: Arc<Service>, store: Option<Store>) {
-    let mut labs: HashMap<String, Lab> = HashMap::new();
-    while let Some((jid, req, cancel)) = service.next_job() {
-        let okey = proto::opts_key(&req.opts);
-        let lab = labs.entry(okey.clone()).or_insert_with(|| {
-            let mut opts = req.opts.clone();
-            // The daemon owns persistence and output: one shared Store
-            // handle (cloned, same instrumented I/O), no per-job
-            // stdout/trace noise, whatever the client asked for.
-            opts.store_dir = None;
-            opts.quiet = true;
-            opts.verbose = false;
-            opts.trace_out = None;
-            opts.metrics_out = None;
-            match &store {
-                Some(s) => Lab::with_store(opts, s.clone()),
-                None => Lab::new(opts),
-            }
-        });
-        lab.set_cancel(Some(Arc::clone(&cancel)));
-        let hook_service = Arc::clone(&service);
-        let hook_figure = req.figure.clone();
-        lab.set_round_hook(Some(Box::new(move |p| {
-            let (subs, depth) = hook_service.progress_info(jid);
-            let payload = proto::progress_payload(jid, &hook_figure, p, depth);
-            for tx in subs {
-                let _ = tx.send((FrameKind::EvProgress, payload.clone()));
-            }
-        })));
-        let figfn = figures::by_name(&req.figure).expect("validated at parse");
-        let before = JobDeltas::snapshot();
-        let t0 = Instant::now();
-        let figure = figfn(lab);
-        let deltas = JobDeltas::snapshot().since(&before);
-        lab.set_round_hook(None);
-        lab.set_cancel(None);
-        let cancelled = cancel.load(Ordering::Relaxed);
-        if cancelled {
-            // The frozen Lab's caches hold partial merges; drop it.
-            // Completed intervals already live in the store as a
-            // valid prefix for the next request.
-            labs.remove(&okey);
-        }
-        service.finish_job(jid, &figure, &deltas, t0.elapsed(), cancelled);
-    }
-}
-
-/// Writer half of one session: drains outbound events onto the
-/// socket. Exits when every sender is gone (disconnect) or the socket
-/// dies.
-fn writer_loop(mut conn: Box<dyn Conn>, rx: Receiver<OutFrame>) {
-    let m = dca_obs::metrics();
-    while let Ok((kind, payload)) = rx.recv() {
-        let n = FRAME_OVERHEAD + payload.len() as u64;
-        if wire::write_frame(&mut conn, kind, &payload).is_err() {
-            return;
-        }
-        m.serve_bytes_out_total.add(n);
-    }
-}
-
-/// Reader half of one session: the per-client protocol state machine.
-fn session(
-    service: &Arc<Service>,
-    mut conn: Box<dyn Conn>,
-    client: ClientId,
-    listen_addr: &str,
-) {
-    let m = dca_obs::metrics();
-    let (tx, rx) = std::sync::mpsc::channel::<OutFrame>();
-    let writer = match conn.try_clone_conn() {
-        Ok(w) => std::thread::spawn(move || writer_loop(w, rx)),
-        Err(e) => {
-            progress::warn(format!("serve: client {client}: clone failed: {e}"));
-            return;
-        }
-    };
-    match conn.try_clone_conn() {
-        Ok(h) => service.register(client, h),
-        Err(e) => {
-            progress::warn(format!("serve: client {client}: clone failed: {e}"));
-            drop(tx);
-            let _ = writer.join();
-            return;
-        }
-    }
-    let mut want_shutdown = false;
-    loop {
-        match wire::read_frame(&mut conn) {
-            Ok((kind_byte, payload)) => {
-                m.serve_bytes_in_total
-                    .add(FRAME_OVERHEAD + payload.len() as u64);
-                match FrameKind::from_byte(kind_byte) {
-                    Some(FrameKind::ReqFigure) => {
-                        m.serve_requests_total.inc();
-                        match FigureRequest::parse(&payload) {
-                            Ok(req) => {
-                                service.submit(client, tx.clone(), req);
-                            }
-                            Err(e) => {
-                                m.serve_rejected_frames_total.inc();
-                                let _ = tx.send((
-                                    FrameKind::EvError,
-                                    proto::error_payload(None, &e),
-                                ));
-                            }
-                        }
-                    }
-                    Some(FrameKind::ReqPing) => {
-                        let _ = tx.send((FrameKind::EvPong, payload));
-                    }
-                    Some(FrameKind::ReqStats) => {
-                        let _ = tx.send((FrameKind::EvStats, proto::stats_payload()));
-                    }
-                    Some(FrameKind::ReqShutdown) => {
-                        let _ = tx.send((FrameKind::EvPong, b"shutting down".to_vec()));
-                        // Shutdown begins *after* this session winds
-                        // down (below), so the ack is on the wire
-                        // before the accept loop starts closing
-                        // sockets.
-                        want_shutdown = true;
-                        break;
-                    }
-                    // Event kinds from a client, or bytes no revision
-                    // assigned: the frame parsed, so the stream is
-                    // still in sync — reject it, keep the session.
-                    Some(_) | None => {
-                        m.serve_rejected_frames_total.inc();
-                        let _ = tx.send((
-                            FrameKind::EvError,
-                            proto::error_payload(
-                                None,
-                                &format!("unexpected frame kind 0x{kind_byte:02x}"),
-                            ),
-                        ));
-                    }
-                }
-            }
-            Err(WireError::Closed) => break,
-            Err(e) => {
-                // Malformed framing (bad magic, oversized prefix,
-                // checksum mismatch, mid-frame truncation): the byte
-                // stream can no longer be trusted to be frame-aligned.
-                // Count it, tell the peer, close only this session.
-                m.serve_rejected_frames_total.inc();
-                let _ = tx.send((
-                    FrameKind::EvError,
-                    proto::error_payload(None, &e.to_string()),
-                ));
-                break;
-            }
-        }
-    }
-    service.disconnect(client);
-    drop(tx);
-    // The writer drains queued events (errors and the shutdown ack
-    // included), then its channel closes and it exits.
-    let _ = writer.join();
-    conn.shutdown_conn();
-    if want_shutdown {
-        service.begin_shutdown();
-        // Wake the accept loop so it observes the flag.
-        let _ = net::connect(listen_addr);
-    }
-}
-
-/// Runs the daemon until a client sends `ReqShutdown`. Returns the
-/// bound address via `on_bound` before the first accept (tests bind
-/// `127.0.0.1:0` and need the resolved port).
-pub fn serve_with(opts: ServeOpts, on_bound: impl FnOnce(&str)) -> Result<(), String> {
+/// Runs the daemon until a client asks for shutdown (frame
+/// `ReqShutdown` or HTTP `POST /v1/shutdown`). Bound addresses are
+/// reported via `on_bound` before the first accept (tests bind
+/// `127.0.0.1:0` and need the resolved ports).
+pub fn serve_with(opts: ServeOpts, on_bound: impl FnOnce(&Bound)) -> Result<(), String> {
     let listener =
         Listener::bind(&opts.listen).map_err(|e| format!("bind {}: {e}", opts.listen))?;
-    let addr = listener.local_addr();
-    on_bound(&addr);
+    let http_listener = match &opts.http_addr {
+        Some(addr) => {
+            Some(Listener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?)
+        }
+        None => None,
+    };
+    let bound = Bound {
+        frame: listener.local_addr(),
+        http: http_listener.as_ref().map(Listener::local_addr),
+    };
+    on_bound(&bound);
     let store = opts.store_dir.as_ref().map(|dir| {
         let mut s = Store::open(dir);
         if let Some(secs) = opts.lock_wait_secs {
@@ -521,19 +103,66 @@ pub fn serve_with(opts: ServeOpts, on_bound: impl FnOnce(&str)) -> Result<(), St
         s
     });
     progress::info(format!(
-        "serve: listening on {addr} (store: {})",
+        "serve: listening on {} (store: {}, jobs: {})",
+        bound.frame,
         opts.store_dir
             .as_ref()
             .map(|d| d.display().to_string())
-            .unwrap_or_else(|| "disabled".to_string())
+            .unwrap_or_else(|| "disabled".to_string()),
+        opts.jobs.max(1),
     ));
+    if let Some(http) = &bound.http {
+        progress::info(format!("serve: http on {http}"));
+    }
     let service = Arc::new(Service::new());
-    let disp = {
+    // Self-connect targets that wake the accept loops at shutdown.
+    let wake_addrs: Arc<Vec<String>> = Arc::new(
+        std::iter::once(bound.frame.clone())
+            .chain(bound.http.clone())
+            .collect(),
+    );
+    let labs = Arc::new(Mutex::new(HashMap::new()));
+    let dispatchers: Vec<_> = (0..opts.jobs.max(1))
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let store = store.clone();
+            let labs = Arc::clone(&labs);
+            std::thread::spawn(move || dispatcher(service, store, labs))
+        })
+        .collect();
+    // Session threads from both fronts, joined after shutdown.
+    let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    // Connection counter shared by both fronts so client keys stay
+    // unique across transports.
+    let next_client = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let http_accept = http_listener.map(|hl| {
         let service = Arc::clone(&service);
-        std::thread::spawn(move || dispatcher(service, store))
-    };
-    let mut sessions = Vec::new();
-    let mut next_client: ClientId = 0;
+        let sessions = Arc::clone(&sessions);
+        let wake_addrs = Arc::clone(&wake_addrs);
+        let next_client = Arc::clone(&next_client);
+        std::thread::spawn(move || loop {
+            let conn = match hl.accept() {
+                Ok(c) => c,
+                Err(e) => {
+                    if service.is_shutdown() {
+                        return;
+                    }
+                    progress::warn(format!("serve: http accept: {e}"));
+                    continue;
+                }
+            };
+            if service.is_shutdown() {
+                return; // the shutdown self-connection
+            }
+            let client = next_client.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let service = Arc::clone(&service);
+            let wake_addrs = Arc::clone(&wake_addrs);
+            sessions.lock().unwrap().push(std::thread::spawn(move || {
+                http::http_session(&service, conn, client, &wake_addrs)
+            }));
+        })
+    });
     loop {
         let conn = match listener.accept() {
             Ok(c) => c,
@@ -548,20 +177,25 @@ pub fn serve_with(opts: ServeOpts, on_bound: impl FnOnce(&str)) -> Result<(), St
         if service.is_shutdown() {
             break; // the shutdown self-connection
         }
-        next_client += 1;
-        let client = next_client;
-        let service = Arc::clone(&service);
-        let addr = addr.clone();
-        sessions.push(std::thread::spawn(move || {
-            session(&service, conn, client, &addr)
+        let client = next_client.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let service_ = Arc::clone(&service);
+        let wake_addrs = Arc::clone(&wake_addrs);
+        sessions.lock().unwrap().push(std::thread::spawn(move || {
+            frame::session(&service_, conn, client, &wake_addrs)
         }));
     }
+    if let Some(h) = http_accept {
+        let _ = h.join();
+    }
     // Unblock every session still parked in a read, then join all.
-    service.disconnect_all();
-    for s in sessions {
+    service.unblock_all();
+    let handles: Vec<_> = std::mem::take(&mut *sessions.lock().unwrap());
+    for s in handles {
         let _ = s.join();
     }
-    let _ = disp.join();
+    for d in dispatchers {
+        let _ = d.join();
+    }
     progress::info("serve: clean shutdown");
     Ok(())
 }
@@ -569,111 +203,4 @@ pub fn serve_with(opts: ServeOpts, on_bound: impl FnOnce(&str)) -> Result<(), St
 /// [`serve_with`] without the bound-address callback.
 pub fn serve(opts: ServeOpts) -> Result<(), String> {
     serve_with(opts, |_| {})
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::mpsc::channel;
-
-    fn req(figure: &str, args: &[&str]) -> FigureRequest {
-        let args: Vec<String> = args.iter().map(ToString::to_string).collect();
-        FigureRequest::parse(&FigureRequest::render_payload(figure, &args)).unwrap()
-    }
-
-    /// Dedup at the Service layer, deterministically: two submits of
-    /// the same canonical request collapse onto one job, a different
-    /// request does not.
-    #[test]
-    fn identical_inflight_requests_share_one_job() {
-        let svc = Service::new();
-        let (tx_a, _rx_a) = channel();
-        let (tx_b, _rx_b) = channel();
-        let (tx_c, _rx_c) = channel();
-        let r = req("sampling", &["--scale", "smoke"]);
-        let (j1, dedup1) = svc.submit(1, tx_a, r.clone());
-        let (j2, dedup2) = svc.submit(2, tx_b, r);
-        assert_eq!(j1, j2, "same canonical request: same job");
-        assert!(!dedup1 && dedup2);
-        let (j3, dedup3) = svc.submit(1, tx_c, req("sampling", &["--scale", "default"]));
-        assert_ne!(j1, j3);
-        assert!(!dedup3);
-        let st = svc.state.lock().unwrap();
-        assert_eq!(st.jobs[&j1].subs.len(), 2);
-        assert_eq!(st.queue_depth(), 2, "two distinct jobs queued");
-    }
-
-    /// Round-robin fairness: with client 1 queueing two jobs before
-    /// client 2's single job arrives, the dispatch order interleaves
-    /// (1, 2, 1) instead of draining client 1 first.
-    #[test]
-    fn dispatch_interleaves_clients() {
-        let svc = Service::new();
-        let (n1, _h1) = fake_client(&svc, 1);
-        let (n2, _h2) = fake_client(&svc, 2);
-        let (tx, _rx) = channel();
-        let (a, _) = svc.submit(n1, tx.clone(), req("fig03", &["--scale", "smoke"]));
-        let (b, _) = svc.submit(n1, tx.clone(), req("fig04", &["--scale", "smoke"]));
-        let (c, _) = svc.submit(n2, tx.clone(), req("fig05", &["--scale", "smoke"]));
-        let order: Vec<JobId> = (0..3).map(|_| svc.next_job().unwrap().0).collect();
-        assert_eq!(order, vec![a, c, b], "second client is not starved");
-    }
-
-    /// Disconnecting the originator of a queued job keeps the job
-    /// alive for its surviving dedup subscriber; disconnecting the
-    /// only subscriber cancels it.
-    #[test]
-    fn disconnect_reassigns_or_cancels() {
-        let svc = Service::new();
-        let (n1, _h1) = fake_client(&svc, 1);
-        let (n2, _h2) = fake_client(&svc, 2);
-        let (tx, _rx) = channel();
-        let r = req("sampling", &["--scale", "smoke"]);
-        let (shared, _) = svc.submit(n1, tx.clone(), r.clone());
-        let _ = svc.submit(n2, tx.clone(), r);
-        let (solo, _) = svc.submit(n1, tx.clone(), req("fig03", &["--scale", "smoke"]));
-        let cancelled_before = dca_obs::metrics().serve_cancelled_jobs_total.get();
-        svc.disconnect(n1);
-        {
-            let st = svc.state.lock().unwrap();
-            assert!(st.jobs.contains_key(&shared), "survives via client 2");
-            assert!(!st.jobs.contains_key(&solo), "no subscribers left");
-            assert!(
-                st.queues[&n2].contains(&shared),
-                "migrated to the surviving subscriber's queue"
-            );
-        }
-        assert!(dca_obs::metrics().serve_cancelled_jobs_total.get() > cancelled_before);
-        // The survivor is still dispatchable.
-        let (jid, _, _) = svc.next_job().unwrap();
-        assert_eq!(jid, shared);
-    }
-
-    /// An executing job whose last subscriber vanishes gets its
-    /// cancel token set rather than being dropped mid-flight.
-    #[test]
-    fn executing_job_is_cancelled_not_dropped() {
-        let svc = Service::new();
-        let (n1, _h1) = fake_client(&svc, 1);
-        let (tx, _rx) = channel();
-        let (jid, _) = svc.submit(n1, tx, req("sampling", &["--scale", "smoke"]));
-        let (got, _, cancel) = svc.next_job().unwrap();
-        assert_eq!(got, jid);
-        assert!(!cancel.load(Ordering::Relaxed));
-        svc.disconnect(n1);
-        assert!(cancel.load(Ordering::Relaxed), "token set on disconnect");
-        let st = svc.state.lock().unwrap();
-        assert!(st.jobs.contains_key(&jid), "reaped by the dispatcher, not here");
-    }
-
-    /// Registers a loopback socket pair as a client so disconnect has
-    /// a real shutdown handle to call.
-    fn fake_client(svc: &Service, id: ClientId) -> (ClientId, Box<dyn Conn>) {
-        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = l.local_addr().unwrap();
-        let a = std::net::TcpStream::connect(addr).unwrap();
-        let (b, _) = l.accept().unwrap();
-        svc.register(id, Box::new(a));
-        (id, Box::new(b))
-    }
 }

@@ -1,0 +1,319 @@
+//! End-to-end abuse of the HTTP/1.1 front over real sockets (ISSUE
+//! 10, satellites b and c): truncated heads, oversized bodies, split
+//! CRLFs, pipelined garbage and mid-body disconnects must all map to
+//! named error responses (or a quiet close) without panicking the
+//! server or poisoning other sessions — proven by a healthy canary
+//! connection pinged after every abuse. The server-side-flag refusal
+//! table is enumerated over *both* transports.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+
+use dca_obs::json::{self, Json};
+use dca_serve::http::{write_request, HttpReader, HttpResponse};
+use dca_serve::proto::FigureRequest;
+use dca_serve::wire::{self, FrameKind};
+use dca_serve::{run_client, serve_with, ClientOpts, Mode, ServeOpts};
+
+/// Serialises the tests in this binary: each starts its own daemon
+/// and the process shares one metrics registry.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Starts a daemon with both fronts on ephemeral TCP ports; returns
+/// `(frame_addr, http_addr, handle)`.
+fn start() -> (String, String, JoinHandle<Result<(), String>>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let opts = ServeOpts {
+        listen: "127.0.0.1:0".to_string(),
+        http_addr: Some("127.0.0.1:0".to_string()),
+        store_dir: None,
+        ..ServeOpts::default()
+    };
+    let handle = std::thread::spawn(move || {
+        serve_with(opts, |bound| {
+            let _ = tx.send((bound.frame.clone(), bound.http.clone().unwrap()));
+        })
+    });
+    let (frame, http) = rx.recv().expect("server bound");
+    (frame, http, handle)
+}
+
+fn shutdown(frame_addr: &str, handle: JoinHandle<Result<(), String>>) {
+    run_client(&ClientOpts {
+        addr: frame_addr.to_string(),
+        http: false,
+        mode: Mode::Shutdown,
+        out: None,
+        json: false,
+        json_out: None,
+        quiet: true,
+    })
+    .expect("shutdown accepted");
+    handle.join().expect("serve thread").expect("clean exit");
+}
+
+/// One raw HTTP exchange on a fresh connection: send `bytes`, read
+/// one response (`None` if the server closed without one).
+fn raw_round(http_addr: &str, bytes: &[u8]) -> Option<HttpResponse> {
+    let mut conn = TcpStream::connect(http_addr).unwrap();
+    conn.write_all(bytes).unwrap();
+    conn.flush().unwrap();
+    let mut reader = HttpReader::new(conn.try_clone().unwrap());
+    reader.read_response().ok()
+}
+
+struct Canary {
+    conn: TcpStream,
+    reader: HttpReader<TcpStream>,
+}
+
+impl Canary {
+    fn open(http_addr: &str) -> Canary {
+        let conn = TcpStream::connect(http_addr).unwrap();
+        let reader = HttpReader::new(conn.try_clone().unwrap());
+        Canary { conn, reader }
+    }
+
+    /// The canary's keep-alive session must still answer a ping.
+    fn check(&mut self, after: &str) {
+        write_request(&mut self.conn, "GET", "/v1/ping", None).unwrap();
+        let resp = self.reader.read_response().unwrap_or_else(|e| {
+            panic!("canary died after {after}: {e}");
+        });
+        assert_eq!(resp.status, 200, "canary ping after {after}");
+    }
+}
+
+#[test]
+fn malformed_http_poisons_only_its_own_connection() {
+    let _serial = serial();
+    let (frame_addr, http_addr, handle) = start();
+    let mut canary = Canary::open(&http_addr);
+    canary.check("connect");
+
+    // 1. Garbage request line → 400, close.
+    let resp = raw_round(&http_addr, b"NOT A REQUEST AT ALL\r\n\r\n").unwrap();
+    assert_eq!(resp.status, 400, "garbage request line");
+    canary.check("garbage request line");
+
+    // 2. Unsupported HTTP version → 505.
+    let resp = raw_round(&http_addr, b"GET /v1/ping HTTP/2.0\r\n\r\n").unwrap();
+    assert_eq!(resp.status, 505, "HTTP/2.0");
+    canary.check("unsupported version");
+
+    // 3. Oversized Content-Length: refused before any allocation.
+    let resp = raw_round(
+        &http_addr,
+        b"POST /v1/figures HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 413, "oversized Content-Length");
+    canary.check("oversized Content-Length");
+
+    // 4. Unparseable and conflicting Content-Length → 400.
+    let resp = raw_round(
+        &http_addr,
+        b"POST /v1/figures HTTP/1.1\r\ncontent-length: abc\r\n\r\n",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "bad Content-Length");
+    let resp = raw_round(
+        &http_addr,
+        b"POST /v1/figures HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 3\r\n\r\nhi",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "conflicting Content-Length");
+    canary.check("Content-Length abuse");
+
+    // 5. Request bodies with Transfer-Encoding are not implemented,
+    //    and say so.
+    let resp = raw_round(
+        &http_addr,
+        b"POST /v1/figures HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 501, "chunked request body");
+    canary.check("Transfer-Encoding");
+
+    // 6. Oversized head: a header section that never ends → 431.
+    let mut conn = TcpStream::connect(&http_addr).unwrap();
+    conn.write_all(b"GET /v1/ping HTTP/1.1\r\n").unwrap();
+    let filler = format!("x-filler: {}\r\n", "y".repeat(1000));
+    for _ in 0..20 {
+        if conn.write_all(filler.as_bytes()).is_err() {
+            break; // server already rejected and closed
+        }
+    }
+    let mut reader = HttpReader::new(conn.try_clone().unwrap());
+    if let Ok(resp) = reader.read_response() {
+        assert_eq!(resp.status, 431, "oversized head");
+    }
+    drop(conn);
+    canary.check("oversized head");
+
+    // 7. Truncated head: half a request line, then hang up.
+    let mut conn = TcpStream::connect(&http_addr).unwrap();
+    conn.write_all(b"GET /v1/pi").unwrap();
+    conn.flush().unwrap();
+    drop(conn);
+    canary.check("truncated head");
+
+    // 8. Mid-body disconnect: promise 100 bytes, send 10, vanish.
+    let mut conn = TcpStream::connect(&http_addr).unwrap();
+    conn.write_all(b"POST /v1/figures HTTP/1.1\r\ncontent-length: 100\r\n\r\n0123456789")
+        .unwrap();
+    conn.flush().unwrap();
+    drop(conn);
+    canary.check("mid-body disconnect");
+
+    // 9. Split CRLFs: a valid request dribbled one byte at a time
+    //    still parses.
+    let mut conn = TcpStream::connect(&http_addr).unwrap();
+    for b in b"GET /v1/ping HTTP/1.1\r\nconnection: close\r\n\r\n" {
+        conn.write_all(&[*b]).unwrap();
+        conn.flush().unwrap();
+    }
+    let mut reader = HttpReader::new(conn.try_clone().unwrap());
+    assert_eq!(reader.read_response().unwrap().status, 200, "split CRLFs");
+    canary.check("split CRLFs");
+
+    // 10. Pipelined garbage: a valid request followed by junk on the
+    //     same connection. The valid one is answered; the junk gets a
+    //     400 and the close poisons only that connection.
+    let mut conn = TcpStream::connect(&http_addr).unwrap();
+    conn.write_all(b"GET /v1/ping HTTP/1.1\r\n\r\n\x00\xff garbage\r\n\r\n")
+        .unwrap();
+    conn.flush().unwrap();
+    let mut reader = HttpReader::new(conn.try_clone().unwrap());
+    assert_eq!(reader.read_response().unwrap().status, 200, "pipelined: valid first");
+    assert_eq!(reader.read_response().unwrap().status, 400, "pipelined: junk second");
+    canary.check("pipelined garbage");
+
+    // 11. Wrong method / unknown path are application errors, not
+    //     session errors: the connection survives.
+    let mut conn = TcpStream::connect(&http_addr).unwrap();
+    let mut reader = HttpReader::new(conn.try_clone().unwrap());
+    write_request(&mut conn, "PUT", "/v1/figures", None).unwrap();
+    let resp = reader.read_response().unwrap();
+    assert_eq!(resp.status, 405, "PUT /v1/figures");
+    write_request(&mut conn, "GET", "/v1/nowhere", None).unwrap();
+    assert_eq!(reader.read_response().unwrap().status, 404, "unknown path");
+    write_request(&mut conn, "GET", "/v1/ping", None).unwrap();
+    assert_eq!(reader.read_response().unwrap().status, 200, "same connection lives on");
+    canary.check("application errors");
+
+    shutdown(&frame_addr, handle);
+}
+
+#[test]
+fn every_server_side_flag_is_refused_over_both_transports() {
+    let _serial = serial();
+    let (frame_addr, http_addr, handle) = start();
+    for &(flag, takes_value) in dca_bench::SERVER_SIDE_FLAGS {
+        let mut args = vec![flag.to_string()];
+        if takes_value {
+            args.push("x".to_string());
+        }
+        let payload = FigureRequest::render_payload("fig03", &args);
+
+        // Framed transport: EvError naming the flag.
+        let mut conn = TcpStream::connect(&frame_addr).unwrap();
+        wire::write_frame(&mut conn, FrameKind::ReqFigure, &payload).unwrap();
+        let (kind, body) = wire::read_frame(&mut conn).unwrap();
+        assert_eq!(
+            FrameKind::from_byte(kind),
+            Some(FrameKind::EvError),
+            "frame transport refuses {flag}"
+        );
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.contains(flag), "frame error names {flag}: {text}");
+
+        // HTTP transport: 400 naming the flag.
+        let mut conn = TcpStream::connect(&http_addr).unwrap();
+        let mut reader = HttpReader::new(conn.try_clone().unwrap());
+        write_request(
+            &mut conn,
+            "POST",
+            "/v1/figures",
+            Some(("application/json", &payload)),
+        )
+        .unwrap();
+        let resp = reader.read_response().unwrap();
+        assert_eq!(resp.status, 400, "http transport refuses {flag}");
+        let text = String::from_utf8_lossy(&resp.body);
+        assert!(text.contains(flag), "http error names {flag}: {text}");
+    }
+    shutdown(&frame_addr, handle);
+}
+
+#[test]
+fn http_and_frame_clients_get_byte_identical_reports() {
+    let _serial = serial();
+    let (frame_addr, http_addr, handle) = start();
+    let base = std::env::temp_dir().join(format!("dca-serve-http-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let args: Vec<String> = ["--scale", "smoke", "--max-insts", "60000"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let fetch = |addr: &str, http: bool, tag: &str| -> (String, Json) {
+        let out = base.join(format!("{tag}.md"));
+        let summary = base.join(format!("{tag}.json"));
+        run_client(&ClientOpts {
+            addr: addr.to_string(),
+            http,
+            mode: Mode::Figure {
+                figure: "fig03".to_string(),
+                args: args.clone(),
+            },
+            out: Some(out.clone()),
+            json: false,
+            json_out: Some(summary.clone()),
+            quiet: true,
+        })
+        .expect("figure request");
+        let body = std::fs::read_to_string(&out).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&summary).unwrap()).unwrap();
+        (body, doc)
+    };
+
+    let (frame_body, frame_doc) = fetch(&frame_addr, false, "frame");
+    let (http_body, http_doc) = fetch(&http_addr, true, "http");
+    assert!(!frame_body.is_empty());
+    assert_eq!(http_body, frame_body, "reports are byte-identical across transports");
+    assert!(frame_body.starts_with("# "), "document carries its title");
+    for key in ["figure", "key", "title"] {
+        assert_eq!(
+            http_doc.get(key).and_then(Json::as_str),
+            frame_doc.get(key).and_then(Json::as_str),
+            "summary `{key}` agrees across transports"
+        );
+    }
+
+    // The HTTP job stayed pollable after delivery: the detached done
+    // map still serves the result, byte-identical again.
+    let job = http_doc.get("job").and_then(Json::as_u64).unwrap();
+    let mut conn = TcpStream::connect(&http_addr).unwrap();
+    let mut reader = HttpReader::new(conn.try_clone().unwrap());
+    write_request(&mut conn, "GET", &format!("/v1/jobs/{job}/result"), None).unwrap();
+    let resp = reader.read_response().unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(String::from_utf8_lossy(&resp.body), frame_body);
+
+    // The metrics endpoint renders Prometheus text including the HTTP
+    // front's own counters.
+    write_request(&mut conn, "GET", "/v1/metrics", None).unwrap();
+    let resp = reader.read_response().unwrap();
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8_lossy(&resp.body).into_owned();
+    assert!(text.contains("serve_http_requests_total"), "metrics: {text}");
+
+    let _ = std::fs::remove_dir_all(&base);
+    shutdown(&frame_addr, handle);
+}

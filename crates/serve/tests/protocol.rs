@@ -31,12 +31,11 @@ fn start(store_dir: Option<PathBuf>) -> (String, JoinHandle<Result<(), String>>)
     let opts = ServeOpts {
         listen: "127.0.0.1:0".to_string(),
         store_dir,
-        lock_wait_secs: None,
-        stale_secs: None,
+        ..ServeOpts::default()
     };
     let handle = std::thread::spawn(move || {
-        serve_with(opts, |addr| {
-            let _ = tx.send(addr.to_string());
+        serve_with(opts, |bound| {
+            let _ = tx.send(bound.frame.clone());
         })
     });
     (rx.recv().expect("server bound"), handle)
@@ -50,8 +49,10 @@ fn shutdown(addr: &str, handle: JoinHandle<Result<(), String>>) {
 fn client_opts(addr: &str, mode: Mode) -> ClientOpts {
     ClientOpts {
         addr: addr.to_string(),
+        http: false,
         mode,
         out: None,
+        json: false,
         json_out: None,
         quiet: true,
     }
@@ -172,6 +173,7 @@ fn concurrent_identical_requests_return_identical_bodies() {
         let out = dir.join("body.md");
         run_client(&ClientOpts {
             addr,
+            http: false,
             mode: Mode::Figure {
                 figure: "fig03".to_string(),
                 args: ["--scale", "smoke", "--max-insts", "60000"]
@@ -180,6 +182,7 @@ fn concurrent_identical_requests_return_identical_bodies() {
                     .collect(),
             },
             out: Some(out.clone()),
+            json: false,
             json_out: None,
             quiet: true,
         })
@@ -224,11 +227,13 @@ fn warm_restart_serves_from_the_store_with_zero_fast_forward() {
         let summary = base.join(format!("{tag}.json"));
         run_client(&ClientOpts {
             addr: addr.to_string(),
+            http: false,
             mode: Mode::Figure {
                 figure: "sampling".to_string(),
                 args: args.clone(),
             },
             out: Some(out.clone()),
+            json: false,
             json_out: Some(summary.clone()),
             quiet: true,
         })

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# HTTP-front benchmark (ISSUE 10 acceptance): starts `dca serve` with
+# both fronts and `--jobs 2`, fans FRAME_N framed clients and HTTP_N
+# curl clients at the same figure, and asserts
+#   (a) every report is byte-identical across transports AND matches
+#       what offline `dca figures` writes to results/sampling.md,
+#   (b) requests coalesced across transports: dedup_hits >= 3,
+#   (c) the daemon shuts down cleanly: exit 0, unix socket unlinked,
+#       HTTP port closed, no leaked lock files or .tmp-* temps.
+# Records the fan-out latency in BENCH_serve_http.json.
+#
+# Usage: scripts/bench_serve_http.sh [output.json]
+#   DCA_BIN   dca binary            (default target/release/dca)
+#   SCALE     figure scale          (default paper)
+#   FRAME_N   framed clients        (default 4)
+#   HTTP_N    curl clients          (default 4)
+set -euo pipefail
+
+OUT="${1:-BENCH_serve_http.json}"
+case "$OUT" in /*) ;; *) OUT="$PWD/$OUT" ;; esac
+BIN="${DCA_BIN:-target/release/dca}"
+case "$BIN" in /*) ;; *) BIN="$PWD/$BIN" ;; esac
+SCALE="${SCALE:-paper}"
+FRAME_N="${FRAME_N:-4}"
+HTTP_N="${HTTP_N:-4}"
+TMP="$(mktemp -d)"
+SOCK="$TMP/dca.sock"
+STORE="$TMP/store"
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+[ -x "$BIN" ] || { echo "error: $BIN not built (cargo build --release -p dca-cli)" >&2; exit 1; }
+command -v curl >/dev/null || { echo "error: curl not available" >&2; exit 1; }
+
+# Start the daemon with both fronts; parse the ephemeral HTTP port
+# from its stderr progress line ("serve: http on 127.0.0.1:PORT").
+"$BIN" serve --listen "$SOCK" --http-addr 127.0.0.1:0 --jobs 2 \
+  --store-dir "$STORE" 2>"$TMP/serve.log" &
+SRV=$!
+HTTP=""
+for _ in $(seq 1 100); do
+  if [ -S "$SOCK" ]; then
+    HTTP=$(grep -o 'serve: http on [0-9.:]*' "$TMP/serve.log" | head -1 | awk '{print $4}')
+    [ -n "$HTTP" ] && break
+  fi
+  sleep 0.1
+done
+if [ -z "$HTTP" ]; then
+  echo "FAIL: daemon did not bind both fronts:" >&2
+  cat "$TMP/serve.log" >&2
+  exit 1
+fi
+
+PAYLOAD='{"figure": "sampling", "args": ["--scale", "'"$SCALE"'"]}'
+
+# One curl client: submit, poll to completion, fetch the report.
+http_fetch() { # outfile
+  local resp job
+  resp=$(curl -sS -X POST -H 'content-type: application/json' \
+    --data "$PAYLOAD" "http://$HTTP/v1/figures")
+  job=$(printf '%s' "$resp" | grep -o '"job":[0-9]*' | grep -o '[0-9]*$')
+  [ -n "$job" ] || { echo "FAIL: submit reply lacks a job id: $resp" >&2; return 1; }
+  until curl -sS "http://$HTTP/v1/jobs/$job" | grep -q '"state":"done"'; do
+    sleep 0.2
+  done
+  curl -sS -o "$1" "http://$HTTP/v1/jobs/$job/result"
+}
+
+# ---- fan-out: HTTP_N curl + FRAME_N framed clients, one figure ------
+T0=$(date +%s%N)
+# The first POST starts the job; everyone else must coalesce onto it.
+http_fetch "$TMP/http-1.md" &
+pids=("$!")
+sleep 0.3
+for i in $(seq 2 "$HTTP_N"); do
+  http_fetch "$TMP/http-$i.md" &
+  pids+=("$!")
+done
+for i in $(seq 1 "$FRAME_N"); do
+  "$BIN" client --addr "$SOCK" --figure sampling \
+    --out "$TMP/frame-$i.md" --json-out "$TMP/frame-$i.json" -q \
+    -- --scale "$SCALE" &
+  pids+=("$!")
+done
+for p in "${pids[@]}"; do wait "$p"; done
+T1=$(date +%s%N)
+
+# (a) byte-identical across transports...
+for f in $(seq 1 "$FRAME_N"); do
+  if ! cmp -s "$TMP/http-1.md" "$TMP/frame-$f.md"; then
+    echo "FAIL: frame client $f's report differs from the HTTP one" >&2
+    diff "$TMP/http-1.md" "$TMP/frame-$f.md" >&2 || true
+    exit 1
+  fi
+done
+for h in $(seq 2 "$HTTP_N"); do
+  if ! cmp -s "$TMP/http-1.md" "$TMP/http-$h.md"; then
+    echo "FAIL: HTTP client $h's report differs from HTTP client 1's" >&2
+    exit 1
+  fi
+done
+# ...and identical to what offline `dca figures` writes.
+mkdir -p "$TMP/offline"
+(cd "$TMP/offline" && "$BIN" figures sampling --scale "$SCALE" --no-store -q \
+  >/dev/null 2>"$TMP/offline.log")
+if ! cmp -s "$TMP/http-1.md" "$TMP/offline/results/sampling.md"; then
+  echo "FAIL: served report differs from offline dca figures output" >&2
+  diff "$TMP/http-1.md" "$TMP/offline/results/sampling.md" >&2 || true
+  exit 1
+fi
+
+# (b) cross-transport dedup: everyone after the first coalesced.
+DEDUP=$("$BIN" client --addr "$SOCK" --stats \
+  | grep -o '"dedup_hits": [0-9]*' | grep -o '[0-9]*$')
+if [ "$DEDUP" -lt 3 ]; then
+  echo "FAIL: expected >= 3 cross-transport dedup hits, got $DEDUP" >&2
+  exit 1
+fi
+
+# (c) clean shutdown over HTTP; nothing leaked.
+curl -sS -X POST "http://$HTTP/v1/shutdown" >/dev/null
+if ! wait "$SRV"; then
+  echo "FAIL: daemon exited non-zero" >&2
+  exit 1
+fi
+SRV=""
+if [ -e "$SOCK" ]; then
+  echo "FAIL: daemon left its socket file behind" >&2
+  exit 1
+fi
+if curl -s --max-time 2 "http://$HTTP/v1/ping" >/dev/null 2>&1; then
+  echo "FAIL: HTTP port still answering after shutdown" >&2
+  exit 1
+fi
+LEAKED=$(find "$STORE" \( -name '*.lock' -o -name '.tmp-*' \) 2>/dev/null | wc -l)
+if [ "$LEAKED" -ne 0 ]; then
+  echo "FAIL: $LEAKED leaked lock/temp file(s) after shutdown:" >&2
+  find "$STORE" \( -name '*.lock' -o -name '.tmp-*' \) >&2
+  exit 1
+fi
+
+FAN_MS=$(awk -v n=$((T1 - T0)) 'BEGIN { printf "%.1f", n / 1e6 }')
+cat >"$OUT" <<JSON
+{
+  "benchmark": "dca serve --http-addr --jobs 2 (figure sampling --scale $SCALE)",
+  "frame_clients": $FRAME_N,
+  "http_clients": $HTTP_N,
+  "jobs": 2,
+  "fanout_latency_ms": $FAN_MS,
+  "dedup_hits": $DEDUP,
+  "reports_byte_identical": true,
+  "matches_offline_figures": true,
+  "clean_shutdown": true
+}
+JSON
+cat "$OUT"
+echo "OK: $HTTP_N http + $FRAME_N frame clients, $DEDUP coalesced, clean shutdown"
